@@ -1,0 +1,278 @@
+// Ablations for the design choices DESIGN.md calls out (not a paper figure;
+// supports the paper's Sec. III-B and V-B arguments with measurements):
+//
+//  A1. Indicator fixing (Sec. V-B dominance generalization) on/off:
+//      free-indicator counts and solve time.
+//  A2. The true-error primal heuristic (the B&B's cross-branch incumbent
+//      source) on/off: nodes explored and time — "off" approximates the
+//      naive per-partition reasoning of TREE inside the same solver.
+//  A3. Tight per-pair big-M vs auto (bounds-derived) big-M: nodes and time.
+//  A4. Seed strategies for SYM-GD: ordinal / linear / grid / random.
+//  A5. Exact strategy: spatial weight-space B&B vs indicator MILP, across
+//      attribute counts (the kAuto crossover).
+//  A6. Multi-start presolve incumbent on/off under a fixed budget.
+//  A7. Lazy row generation vs the classical full relaxation.
+//  A8. Objective variants on one instance: Definition-3 position error,
+//      top-heavy weighted error, Kendall-tau inversions.
+//  A9. Direct branch-and-bound minimization vs the Sec. III-A alternative
+//      the paper sketches for SMT solvers: binary-searching the smallest
+//      error bound E over a series of satisfiability probes.
+//
+// Flags: --n, --k, --seed, --budget.
+
+#include "bench/harness_include.h"
+
+using namespace rankhow;
+using namespace rankhow::bench;
+
+namespace {
+
+/// One indicator-MILP solve with selected toggles (the A1-A3 ablations are
+/// MILP-path design choices; kAuto would route these instances to the
+/// spatial strategy and mask them).
+struct MilpToggles {
+  bool fixing = true;
+  bool heuristic = true;
+  bool presolve = true;
+  bool lazy = true;
+  bool tight_big_m = true;
+};
+
+MethodRow SolveWith(const Dataset& data, const Ranking& given,
+                    EpsilonConfig eps, double budget,
+                    const MilpToggles& toggles, const std::string& label) {
+  RankHowOptions options;
+  options.eps = eps;
+  options.strategy = SolveStrategy::kIndicatorMilp;
+  options.time_limit_seconds = budget;
+  options.use_indicator_fixing = toggles.fixing;
+  options.use_primal_heuristic = toggles.heuristic;
+  options.use_presolve = toggles.presolve;
+  options.use_lazy_separation = toggles.lazy;
+  options.use_tight_big_m = toggles.tight_big_m;
+  RankHow solver(data, given, options);
+  auto result = solver.Solve();
+  if (!result.ok()) return Failed(label, result.status());
+  return MethodRow{
+      label, static_cast<double>(result->error), result->seconds,
+      result->proven_optimal,
+      StrFormat("nodes=%lld free=%ld fixed=%ld lazy_rounds=%lld",
+                static_cast<long long>(result->stats.nodes_explored),
+                result->num_free_indicators, result->num_fixed_indicators,
+                static_cast<long long>(result->stats.lazy_rounds))};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  int n = static_cast<int>(flags.GetInt("n", 150, "tuples"));
+  int k = static_cast<int>(flags.GetInt("k", 5, "ranking length"));
+  double budget = flags.GetDouble("budget", 8, "cap per solve (s)");
+  uint64_t seed = flags.GetInt("seed", 13, "generation seed");
+  if (!flags.Finish()) return 0;
+
+  std::cout << "=== Ablations (synthetic anti-correlated, n=" << n
+            << ", k=" << k << ", m=4) ===\n";
+  SyntheticSpec spec;
+  spec.num_tuples = n;
+  spec.num_attributes = 4;
+  spec.distribution = SyntheticDistribution::kAntiCorrelated;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 3, k);
+  EpsilonConfig eps = SyntheticEps();
+
+  TablePrinter table({"ablation", "variant", "error", "seconds", "note"});
+  auto add = [&](const char* ablation, const MethodRow& row) {
+    table.AddRow({ablation, row.method,
+                  row.error < 0 ? "fail" : FormatDouble(row.error),
+                  FormatDouble(row.seconds, 3), row.note});
+  };
+
+  // A1: fixing on/off.
+  add("A1 fixing", SolveWith(data, given, eps, budget, {.fixing = true},
+                             "on"));
+  add("A1 fixing", SolveWith(data, given, eps, budget, {.fixing = false},
+                             "off"));
+
+  // A2: incumbent sources off entirely (no presolve, no per-node heuristic)
+  // — the remaining pruning is what a per-partition algorithm like TREE has.
+  add("A2 incumbents",
+      SolveWith(data, given, eps, budget, MilpToggles{}, "on"));
+  add("A2 incumbents",
+      SolveWith(data, given, eps, budget,
+                {.heuristic = false, .presolve = false}, "off"));
+
+  // A3: tight per-pair big-M vs loose bounds-derived M.
+  add("A3 big-M",
+      SolveWith(data, given, eps, budget, MilpToggles{}, "tight"));
+  add("A3 big-M", SolveWith(data, given, eps, budget,
+                            {.tight_big_m = false}, "loose"));
+
+  // A4: seed strategies for SYM-GD (fixed cell 0.05).
+  {
+    auto run_seed = [&](const char* name,
+                        Result<std::vector<double>> seed_w) {
+      if (!seed_w.ok()) {
+        add("A4 seed", Failed(name, seed_w.status()));
+        return;
+      }
+      SymGdOptions options;
+      options.cell_size = 0.05;
+      options.solver.eps = eps;
+      options.time_budget_seconds = budget;
+      SymGd symgd(data, given, options);
+      WallTimer timer;
+      auto result = symgd.Run(*seed_w);
+      add("A4 seed",
+          result.ok()
+              ? MethodRow{name, static_cast<double>(result->error),
+                          timer.ElapsedSeconds(), false,
+                          StrFormat("%d cells", result->iterations)}
+              : Failed(name, result.status()));
+    };
+    run_seed("ordinal", OrdinalRegressionSeed(data, given, eps.eps1));
+    run_seed("linear", LinearRegressionSeed(data, given));
+    run_seed("grid", GridLowerBoundSeed(data, given,
+                                        {.target_cell_size = 0.1,
+                                         .max_cells = 500,
+                                         .eps1 = eps.eps1,
+                                         .eps2 = eps.eps2}));
+    run_seed("random",
+             Result<std::vector<double>>(RandomSeed(4, seed)));
+  }
+
+  // A5: spatial vs indicator MILP across m (smaller n so the MILP can
+  // finish too; the crossover drives SolveStrategy::kAuto).
+  for (int m5 : {3, 4, 6, 8}) {
+    SyntheticSpec sp = spec;
+    sp.num_tuples = std::min(n, 120);
+    sp.num_attributes = m5;
+    Dataset d5 = GenerateSynthetic(sp);
+    Ranking g5 = PowerSumRanking(d5, 3, k);
+    for (SolveStrategy strategy :
+         {SolveStrategy::kSpatial, SolveStrategy::kIndicatorMilp}) {
+      RankHowOptions options;
+      options.eps = eps;
+      options.strategy = strategy;
+      options.time_limit_seconds = budget;
+      RankHow solver(d5, g5, options);
+      auto result = solver.Solve();
+      const char* name =
+          strategy == SolveStrategy::kSpatial ? "spatial" : "milp";
+      add(StrFormat("A5 m=%d", m5).c_str(),
+          result.ok()
+              ? MethodRow{name, static_cast<double>(result->error),
+                          result->seconds, result->proven_optimal,
+                          StrFormat("nodes=%lld",
+                                    static_cast<long long>(
+                                        result->stats.nodes_explored))}
+              : Failed(name, result.status()));
+    }
+  }
+
+  // A6: presolve incumbent on/off, on a *realizable* instance where a
+  // presolve hit turns the whole solve into an instant optimality proof
+  // (incumbent 0 == root bound 0).
+  {
+    Dataset d6 = data;
+    Ranking g6 =
+        Ranking::FromScores(d6.Scores({0.4, 0.3, 0.2, 0.1}), k, 0.0);
+    add("A6 presolve",
+        SolveWith(d6, g6, eps, budget, MilpToggles{}, "on"));
+    add("A6 presolve", SolveWith(d6, g6, eps, budget,
+                                 {.presolve = false}, "off"));
+  }
+
+  // A7: lazy row generation vs full relaxation, at a size where the full
+  // relaxation's node LPs are big enough to hurt.
+  {
+    SyntheticSpec sp = spec;
+    sp.num_tuples = std::max(n, 600);
+    Dataset d7 = GenerateSynthetic(sp);
+    Ranking g7 = PowerSumRanking(d7, 3, k);
+    add("A7 rows",
+        SolveWith(d7, g7, eps, budget, MilpToggles{}, "lazy"));
+    add("A7 rows",
+        SolveWith(d7, g7, eps, budget, {.lazy = false}, "full"));
+  }
+
+  // A8: objective variants (Sec. I's generalized measures) on one instance.
+  {
+    struct Variant {
+      const char* name;
+      RankingObjectiveSpec spec;
+    };
+    std::vector<Variant> variants = {
+        {"position", RankingObjectiveSpec{}},
+        {"top-heavy", RankingObjectiveSpec::TopHeavy(k)},
+        {"inversions", RankingObjectiveSpec::Inversions()},
+    };
+    for (const Variant& variant : variants) {
+      RankHowOptions options;
+      options.eps = eps;
+      options.time_limit_seconds = budget;
+      RankHow solver(data, given, options);
+      solver.problem().objective = variant.spec;
+      auto result = solver.Solve();
+      add("A8 objective",
+          result.ok()
+              ? MethodRow{variant.name, static_cast<double>(result->error),
+                          result->seconds, result->proven_optimal,
+                          result->verification &&
+                                  result->verification->consistent
+                              ? "verified"
+                              : "UNVERIFIED"}
+              : Failed(variant.name, result.status()));
+    }
+  }
+
+  // A9: direct minimization vs the SMT-style binary search on error bounds
+  // (Sec. III-A: "performing binary search to find the smallest error value
+  // for which a satisfying assignment can be found"). Same model builder,
+  // same B&B machinery — the difference is pure search organization, and
+  // infeasible probes make the SAT route pay for its optimality proof.
+  {
+    // A small instance with a *positive* optimum: the SAT route must prove
+    // probes infeasible, which is where it pays relative to direct B&B.
+    SyntheticSpec sp = spec;
+    sp.num_tuples = std::min(n, 60);
+    Dataset d9 = GenerateSynthetic(sp);
+    Ranking g9 = PowerSumRanking(d9, 5, std::max(k, 8));
+    for (SolveStrategy strategy :
+         {SolveStrategy::kIndicatorMilp, SolveStrategy::kSatBinarySearch}) {
+      RankHowOptions options;
+      options.eps = eps;
+      options.strategy = strategy;
+      options.time_limit_seconds = budget;
+      RankHow solver(d9, g9, options);
+      auto result = solver.Solve();
+      const char* name = strategy == SolveStrategy::kIndicatorMilp
+                             ? "direct-bnb"
+                             : "sat-search";
+      add("A9 search",
+          result.ok()
+              ? MethodRow{name, static_cast<double>(result->error),
+                          result->seconds, result->proven_optimal,
+                          StrFormat("nodes=%lld probes=%ld",
+                                    static_cast<long long>(
+                                        result->stats.nodes_explored),
+                                    result->sat_probes)}
+              : Failed(name, result.status()));
+    }
+  }
+
+  Emit("ablations", table);
+  std::cout
+      << "Expected: fixing trims free indicators (strongly on correlated "
+         "data, mildly on anti-correlated); without incumbent sources the "
+         "solver may find nothing at all (Sec. III-B's 'holistic' effect); "
+         "tight big-M needs fewer nodes than loose; informed seeds beat "
+         "random; spatial wins at small m, the MILP takes over as m grows; "
+         "presolve turns realizable instances into instant proofs; lazy "
+         "rows dominate at large n; objective variants are all verified; "
+         "both search organizations prove the same optimum, with the SAT "
+         "binary search spending extra nodes on infeasible probes.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Section VI-B case study: the NBA MVP ranking.
+//
+// Paper reference: 13 vote-receiving players, 8 ranking attributes, a tie at
+// the bottom. RankHow returns the optimal function (error 6) in 1.6 s; the
+// original TREE needs >16 h to reach error 9; TREE + the ε1 construction
+// needs 36 min for error 7 — 35000× / 1000× slower than RankHow.
+//
+// We reproduce the *shape*: RankHow solves the instance to proven optimality
+// in well under a second of solver time, while TREE burns its entire (much
+// larger) budget without matching it. Flags: --n, --panelists, --seed,
+// --tree_budget (seconds per TREE variant).
+
+#include "bench/harness_include.h"
+
+using namespace rankhow;
+using namespace rankhow::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  int n = static_cast<int>(flags.GetInt("n", 4000, "simulated player-seasons"));
+  int panelists = static_cast<int>(flags.GetInt("panelists", 100, "voters"));
+  uint64_t seed = flags.GetInt("seed", 22, "simulation seed");
+  double tree_budget =
+      flags.GetDouble("tree_budget", 12.0, "seconds per TREE variant");
+  if (!flags.Finish()) return 0;
+
+  std::cout << "=== Case study (Sec. VI-B): NBA MVP ===\n";
+  NbaData nba = GenerateNba({.num_tuples = n, .seed = seed});
+  MvpVoteResult mvp = SimulateMvpVote(nba, panelists, seed + 1);
+  Dataset voted = mvp.voted_table;
+  voted.NormalizeMinMax();
+  std::cout << mvp.vote_receivers.size() << " players received votes (paper: "
+            << "13); m = " << voted.num_attributes() << "\n\n";
+
+  EpsilonConfig eps = NbaEps();
+  TablePrinter table({"method", "error", "seconds", "optimal", "note"});
+
+  // RankHow (the 1.6 s row of the paper).
+  MethodRow rankhow = RunRankHow(voted, mvp.ranking, eps, 4 * tree_budget);
+  table.AddRow({rankhow.method, FormatDouble(rankhow.error),
+                FormatDouble(rankhow.seconds, 3),
+                rankhow.optimal ? "yes" : "no", rankhow.note});
+
+  // Original TREE: eps1 below the noise floor, budget-limited (the paper ran
+  // it 16 hours; we cap and report progress).
+  {
+    TreeOptions tree;
+    tree.eps1 = 1e-10;
+    tree.eps2 = 0.0;
+    tree.tie_eps = eps.tie_eps;
+    tree.time_limit_seconds = tree_budget;
+    auto result = RunTreeBaseline(voted, mvp.ranking, tree);
+    if (result.ok()) {
+      table.AddRow({"Tree (original)", FormatDouble(result->error),
+                    FormatDouble(result->seconds, 3),
+                    result->completed ? "yes" : "no",
+                    StrFormat("%ld LPs, %ld leaves%s", result->lp_calls,
+                              result->leaves_reached,
+                              result->completed ? "" : ", budget hit")});
+    } else {
+      table.AddRow({"Tree (original)", "fail", FormatDouble(tree_budget),
+                    "no", result.status().ToString()});
+    }
+  }
+
+  // TREE + the paper's ε1 construction (+ dominance pre-fixing, which the
+  // ε1 value enables): faster but still far behind.
+  {
+    TreeOptions tree;
+    tree.eps1 = eps.eps1;
+    tree.eps2 = eps.eps2;
+    tree.tie_eps = eps.tie_eps;
+    tree.time_limit_seconds = tree_budget;
+    tree.use_dominance_pruning = true;
+    auto result = RunTreeBaseline(voted, mvp.ranking, tree);
+    if (result.ok()) {
+      table.AddRow({"Tree (+eps1)", FormatDouble(result->error),
+                    FormatDouble(result->seconds, 3),
+                    result->completed ? "yes" : "no",
+                    StrFormat("%ld LPs, %ld leaves%s", result->lp_calls,
+                              result->leaves_reached,
+                              result->completed ? "" : ", budget hit")});
+    } else {
+      table.AddRow({"Tree (+eps1)", "fail", FormatDouble(tree_budget), "no",
+                    result.status().ToString()});
+    }
+  }
+
+  Emit("case_study_mvp", table);
+  std::cout << "Paper shape: RankHow optimal in seconds; TREE orders of "
+               "magnitude slower (16h/36min at full scale), with higher "
+               "error when stopped early.\n";
+  if (rankhow.error >= 0) {
+    std::cout << "RankHow function: exactly verified error "
+              << rankhow.error
+              << (rankhow.optimal ? " (proven optimal)" : " (incumbent)")
+              << " over " << mvp.ranking.k() << " ranked players.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 3a: the big picture on the NBA data (m = 5, k = 6, full dataset,
+// ranking by MP*PER). Error-per-tuple vs execution time for RankHow,
+// OrdinalRegression, LinearRegression, AdaRank, Sampling (same budget as
+// RankHow), and SYM-GD at three increasing budgets.
+//
+// Paper shape: the regression/boosting heuristics are fast but far from the
+// minimum; Sampling improves with time but stays away; SYM-GD reaches
+// (near-)optimal error in a fraction of RankHow's time. (AdaRank's error is
+// off the chart — the paper reports 30 and literally parks the point in the
+// figure's corner.)
+//
+// Flags: --n (default 4000; paper 22840), --k, --m, --budget (RankHow cap).
+
+#include "bench/harness_include.h"
+
+using namespace rankhow;
+using namespace rankhow::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  int n = static_cast<int>(flags.GetInt("n", 2000, "tuples (paper: 22840)"));
+  int k = static_cast<int>(flags.GetInt("k", 6, "ranking length"));
+  int m = static_cast<int>(flags.GetInt("m", 5, "ranking attributes"));
+  double budget = flags.GetDouble("budget", 20, "RankHow time cap (s)");
+  uint64_t seed = flags.GetInt("seed", 1, "simulation seed");
+  if (!flags.Finish()) return 0;
+
+  std::cout << "=== Fig 3a: NBA big picture (n=" << n << ", m=" << m
+            << ", k=" << k << ") ===\n";
+  NbaData nba = GenerateNba({.num_tuples = n, .seed = seed});
+  std::vector<int> attrs;
+  for (int a = 0; a < m && a < nba.table.num_attributes(); ++a) {
+    attrs.push_back(a);
+  }
+  Dataset data = nba.table.SelectAttributes(attrs);
+  data.NormalizeMinMax();
+  Ranking given = NbaPerRanking(nba, k);
+  EpsilonConfig eps = NbaEps();
+
+  TablePrinter table(
+      {"method", "error_per_tuple", "seconds", "optimal", "note"});
+  auto add = [&](const MethodRow& row) {
+    table.AddRow({row.method, PerTuple(row.error, given.k()),
+                  FormatDouble(row.seconds, 3), row.optimal ? "yes" : "no",
+                  row.note});
+  };
+
+  MethodRow rankhow = RunRankHow(data, given, eps, budget);
+  add(rankhow);
+  add(RunOrdinalRegression(data, given, eps));
+  add(RunLinearRegression(data, given, eps));
+  add(RunAdaRank(data, given, eps));
+  add(RunSamplingBaseline(data, given, eps,
+                          rankhow.seconds > 0 ? rankhow.seconds : budget,
+                          seed));
+  // SYM-GD at three budgets (the paper's 5 / 11 / 15 second points, scaled
+  // to the RankHow budget actually spent here).
+  double base = std::max(0.5, rankhow.seconds);
+  add(RunSymGd(data, given, eps, 1e-2, base / 8, true, "Sym-GD (short)"));
+  add(RunSymGd(data, given, eps, 1e-2, base / 4, true, "Sym-GD (medium)"));
+  add(RunSymGd(data, given, eps, 1e-2, base / 2, true, "Sym-GD (long)"));
+
+  Emit("fig3a_big_picture", table);
+  std::cout << "Paper shape: heuristics fast but inaccurate; Sampling "
+               "improves slowly; Sym-GD near-optimal at a fraction of "
+               "RankHow's time; RankHow optimal.\n";
+  return 0;
+}

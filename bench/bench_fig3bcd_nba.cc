@@ -1,0 +1,114 @@
+// Figures 3b/3c/3d: exact OPT on the NBA data (ranking = MP*PER), varying
+//   3b: k in {2,3,4,5,6}          (n = full, m = 5)
+//   3c: n in 5 steps to full size (k = 6, m = 5)
+//   3d: m in {4,5,6,7,8}          (n = full, k = 6)
+// for RankHow, OrdinalRegression, Sampling (RankHow-matched budget) and
+// LinearRegression. y axis = error per tuple.
+//
+// Paper shapes: error grows with k; flat in n (RankHow) but growing for
+// LinearRegression; non-increasing in m for RankHow, reaching 0 at m = 8.
+//
+// Flags: --n (default 3000; paper 22840), --budget per config, --seed.
+
+#include "bench/harness_include.h"
+
+using namespace rankhow;
+using namespace rankhow::bench;
+
+namespace {
+
+struct Config {
+  std::string axis;
+  int value;
+  Dataset data;
+  Ranking given;
+};
+
+void RunConfigs(const std::vector<Config>& configs, EpsilonConfig eps,
+                double budget, uint64_t seed, TablePrinter* table) {
+  for (const Config& c : configs) {
+    MethodRow rankhow = RunRankHow(c.data, c.given, eps, budget);
+    MethodRow ordinal = RunOrdinalRegression(c.data, c.given, eps);
+    MethodRow sampling = RunSamplingBaseline(
+        c.data, c.given, eps, rankhow.seconds > 0 ? rankhow.seconds : budget,
+        seed);
+    MethodRow linear = RunLinearRegression(c.data, c.given, eps);
+    for (const MethodRow* row : {&rankhow, &ordinal, &sampling, &linear}) {
+      table->AddRow({c.axis, std::to_string(c.value), row->method,
+                     PerTuple(row->error, c.given.k()),
+                     FormatDouble(row->seconds, 3), row->note});
+    }
+    std::cout << "  " << c.axis << "=" << c.value << " done (RankHow "
+              << PerTuple(rankhow.error, c.given.k()) << "/tuple)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  int n_full =
+      static_cast<int>(flags.GetInt("n", 1200, "tuples (paper: 22840)"));
+  double budget = flags.GetDouble("budget", 8, "RankHow cap per config (s)");
+  uint64_t seed = flags.GetInt("seed", 1, "simulation seed");
+  if (!flags.Finish()) return 0;
+
+  std::cout << "=== Fig 3b/3c/3d: NBA exact OPT (n_full=" << n_full
+            << ") ===\n";
+  NbaData nba = GenerateNba({.num_tuples = n_full, .seed = seed});
+  EpsilonConfig eps = NbaEps();
+
+  TablePrinter table({"axis", "value", "method", "error_per_tuple",
+                      "seconds", "note"});
+
+  // Fig 3b: vary k at m = 5.
+  {
+    Dataset data = nba.table.SelectAttributes({0, 1, 2, 3, 4});
+    data.NormalizeMinMax();
+    std::vector<Config> configs;
+    for (int k : {2, 3, 4, 5, 6}) {
+      configs.push_back({"k", k, data, NbaPerRanking(nba, k)});
+    }
+    std::cout << "[3b] varying k\n";
+    RunConfigs(configs, eps, budget, seed, &table);
+  }
+
+  // Fig 3c: vary n at k = 6, m = 5 (prefixes of the dataset).
+  {
+    std::vector<Config> configs;
+    for (int frac = 1; frac <= 5; ++frac) {
+      int n = n_full * frac / 5;
+      std::vector<int> rows(n);
+      for (int i = 0; i < n; ++i) rows[i] = i;
+      NbaData sub;
+      sub.table = nba.table.SelectTuples(rows).SelectAttributes(
+          {0, 1, 2, 3, 4});
+      sub.mp_times_per.assign(nba.mp_times_per.begin(),
+                              nba.mp_times_per.begin() + n);
+      Dataset data = sub.table;
+      data.NormalizeMinMax();
+      configs.push_back({"n", n, data, NbaPerRanking(sub, 6)});
+    }
+    std::cout << "[3c] varying n\n";
+    RunConfigs(configs, eps, budget, seed, &table);
+  }
+
+  // Fig 3d: vary m at k = 6.
+  {
+    std::vector<Config> configs;
+    for (int m : {4, 5, 6, 7, 8}) {
+      std::vector<int> attrs;
+      for (int a = 0; a < m; ++a) attrs.push_back(a);
+      Dataset data = nba.table.SelectAttributes(attrs);
+      data.NormalizeMinMax();
+      configs.push_back({"m", m, data, NbaPerRanking(nba, 6)});
+    }
+    std::cout << "[3d] varying m\n";
+    RunConfigs(configs, eps, budget, seed, &table);
+  }
+
+  Emit("fig3bcd_nba", table);
+  std::cout << "Paper shapes: error grows with k; ~flat in n for RankHow "
+               "(LinearRegression grows); non-increasing in m for RankHow.\n";
+  return 0;
+}

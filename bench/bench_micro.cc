@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark): throughput of the substrates the
+// paper-scale experiments lean on — the simplex solver, indicator interval
+// fixing, double/exact score ranking, and the exact arithmetic itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/indicator_fixing.h"
+#include "data/synthetic.h"
+#include "lp/simplex.h"
+#include "math/dyadic.h"
+#include "math/rational.h"
+#include "ranking/score_ranking.h"
+#include "ranking/verifier.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+Dataset MakeData(int n, int m, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_tuples = n;
+  spec.num_attributes = m;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int rows = static_cast<int>(state.range(1));
+  Rng rng(7);
+  LpModel model;
+  std::vector<int> vars(m);
+  LinearExpr sum;
+  for (int i = 0; i < m; ++i) {
+    vars[i] = model.AddVariable(0, 1);
+    sum += LinearExpr::Term(vars[i], 1.0);
+  }
+  model.AddConstraint(sum, RelOp::kEq, 1.0);
+  for (int r = 0; r < rows; ++r) {
+    LinearExpr e;
+    double centroid = 0;
+    for (int i = 0; i < m; ++i) {
+      double c = rng.NextGaussian();
+      e += LinearExpr::Term(vars[i], c);
+      centroid += c / m;
+    }
+    model.AddConstraint(e, RelOp::kLe, centroid + 0.05);
+  }
+  LinearExpr obj;
+  for (int i = 0; i < m; ++i) obj += LinearExpr::Term(vars[i],
+                                                      rng.NextGaussian());
+  model.SetObjective(obj);
+  SimplexSolver solver;
+  for (auto _ : state) {
+    auto sol = solver.Solve(model);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Args({5, 50})->Args({8, 200})->Args({27, 400});
+
+void BM_IndicatorFixingFullSimplex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 3);
+  std::vector<int> tuples = {0, 1, 2, 3, 4};
+  WeightBox box = WeightBox::FullSimplex(5);
+  for (auto _ : state) {
+    auto fixing = ComputeIndicatorFixing(data, tuples, box, 1e-5, 0.0);
+    benchmark::DoNotOptimize(fixing);
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size() * n);
+}
+BENCHMARK(BM_IndicatorFixingFullSimplex)->Arg(10000)->Arg(100000);
+
+void BM_IndicatorFixingCell(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 3);
+  std::vector<int> tuples = {0, 1, 2, 3, 4};
+  WeightBox box = WeightBox::CellAround({0.2, 0.2, 0.2, 0.2, 0.2}, 0.01);
+  for (auto _ : state) {
+    auto fixing = ComputeIndicatorFixing(data, tuples, box, 1e-5, 0.0);
+    benchmark::DoNotOptimize(fixing);
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size() * n);
+}
+BENCHMARK(BM_IndicatorFixingCell)->Arg(10000)->Arg(100000);
+
+void BM_PositionError(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 5);
+  Ranking given = PowerSumRanking(data, 3, 10);
+  std::vector<double> w = {0.2, 0.2, 0.2, 0.2, 0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PositionError(data, given, w, 1e-6));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PositionError)->Arg(10000)->Arg(100000);
+
+void BM_ExactVerification(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 7);
+  Ranking given = PowerSumRanking(data, 3, 10);
+  std::vector<double> w = {0.25, 0.25, 0.2, 0.15, 0.15};
+  for (auto _ : state) {
+    auto report = VerifySolution(data, given, w, 1e-6, 0);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * given.k() * n);
+}
+BENCHMARK(BM_ExactVerification)->Arg(10000)->Arg(50000);
+
+void BM_DyadicDotProduct(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> w(8);
+  std::vector<double> a(8);
+  for (int i = 0; i < 8; ++i) {
+    w[i] = rng.NextDouble();
+    a[i] = rng.NextUniform(0, 30);
+  }
+  for (auto _ : state) {
+    Dyadic sum;
+    for (int i = 0; i < 8; ++i) {
+      sum += Dyadic::FromDouble(w[i]) * Dyadic::FromDouble(a[i]);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DyadicDotProduct);
+
+void BM_RationalArithmetic(benchmark::State& state) {
+  Rational a = Rational::FromDouble(0.123456789);
+  Rational b = Rational::FromDouble(3.14159265358979);
+  for (auto _ : state) {
+    Rational c = a * b + a - b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RationalArithmetic);
+
+void BM_ScoreRanking(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 9);
+  std::vector<double> w = {0.2, 0.2, 0.2, 0.2, 0.2};
+  std::vector<double> scores = data.Scores(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScoreRankPositions(scores, 1e-6));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScoreRanking)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace rankhow
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Table III: numerical imprecision. NBA subset with n = 10 tuples, m = 8
+// attributes, k = 1..10. The "+" variants use the Lemma-2/3 gap
+// (ε1 = 1e-4); the "-" variants use ε1 = 1e-10, below the solver's noise
+// floor. Every returned solution is re-checked with exact rational
+// arithmetic; the table reports the TRUE position error.
+//
+// Paper shape: RankHow+ and OR+ achieve 0 everywhere; the "-" variants
+// intermittently return false positives (nonzero verified error).
+//
+// Flags: --seed, --trials (the "-" failures are data-dependent; more trials
+// make them visible; errors are summed over trials like repeated runs).
+
+#include "bench/harness_include.h"
+
+using namespace rankhow;
+using namespace rankhow::bench;
+
+namespace {
+
+/// Solves and returns the *verified* error (what Table III reports).
+long SolveVerified(const Dataset& data, const Ranking& given, double eps1,
+                   bool* verified_ok) {
+  RankHowOptions options;
+  options.eps.tie_eps = eps1 / 2;
+  options.eps.eps1 = eps1;
+  options.eps.eps2 = 0.0;
+  // Table III is about VERIFICATION outcomes, not optimality proofs: the
+  // presolve incumbent on these 10-tuple instances is found in
+  // milliseconds, so a short cap keeps the 40-solve sweep brisk.
+  options.time_limit_seconds = 5;
+  RankHow solver(data, given, options);
+  auto result = solver.Solve();
+  if (!result.ok()) {
+    *verified_ok = false;
+    return -1;
+  }
+  *verified_ok = result->verification->consistent;
+  return result->verification->exact_error;
+}
+
+long OrdinalVerified(const Dataset& data, const Ranking& given, double eps1) {
+  OrdinalRegressionOptions options;
+  options.margin = eps1;
+  auto fit = FitOrdinalRegression(data, given, options);
+  if (!fit.ok()) return -1;
+  // Exact evaluation at the OR weights (ties at eps1/2, as for RankHow).
+  auto report = VerifySolution(data, given, fit->weights, eps1 / 2, 0);
+  if (!report.ok()) return -1;
+  return report->exact_error;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  uint64_t seed = flags.GetInt("seed", 17, "subset selection seed");
+  if (!flags.Finish()) return 0;
+
+  std::cout << "=== Table III: numerical imprecision (n=10, m=8, k=1..10) "
+               "===\n";
+  // A 10-tuple NBA subset. To exercise the numerics the way tiny ε1 does in
+  // the paper, pick statistically close players (mid-table neighbours by
+  // MP*PER) so score differences are small.
+  NbaData nba = GenerateNba({.num_tuples = 4000, .seed = seed});
+  std::vector<int> order(nba.table.num_tuples());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return nba.mp_times_per[a] > nba.mp_times_per[b];
+  });
+  std::vector<int> subset(order.begin() + 500, order.begin() + 510);
+  Dataset data = nba.table.SelectTuples(subset);
+  data.NormalizeMinMax();
+  std::vector<double> sub_scores;
+  for (int t : subset) sub_scores.push_back(nba.mp_times_per[t]);
+
+  TablePrinter table(
+      {"k", "RankHow+", "RankHow-", "OR+", "OR-", "rh+_verified"});
+  long total_minus = 0;
+  for (int k = 1; k <= 10; ++k) {
+    Ranking given = Ranking::FromScores(sub_scores, k);
+    bool plus_ok = false;
+    bool minus_ok = false;
+    long rh_plus = SolveVerified(data, given, 1e-4, &plus_ok);
+    long rh_minus = SolveVerified(data, given, 1e-10, &minus_ok);
+    long or_plus = OrdinalVerified(data, given, 1e-4);
+    long or_minus = OrdinalVerified(data, given, 1e-10);
+    total_minus += std::max(0L, rh_minus) + std::max(0L, or_minus);
+    table.AddRow({std::to_string(k), std::to_string(rh_plus),
+                  std::to_string(rh_minus), std::to_string(or_plus),
+                  std::to_string(or_minus), plus_ok ? "yes" : "NO"});
+  }
+
+  Emit("table3_numerics", table);
+  std::cout << "Paper shape: the + variants (eps1 = 1e-4) read 0 across the "
+               "row and always verify; the - variants (eps1 = 1e-10) suffer "
+               "sporadic nonzero true errors (false positives).\n";
+  std::cout << "(sum of '-' errors over k: " << total_minus << ")\n";
+  return 0;
+}

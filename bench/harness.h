@@ -1,0 +1,182 @@
+#ifndef RANKHOW_BENCH_HARNESS_H_
+#define RANKHOW_BENCH_HARNESS_H_
+
+/// Shared plumbing for the paper-experiment harnesses: standard epsilon
+/// settings per dataset family (Sec. VI-A), one-call competitor runners,
+/// and uniform result rows. Every harness prints a table whose rows mirror
+/// the series of the corresponding paper figure/table and writes the same
+/// rows as CSV next to the binary.
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/adarank.h"
+#include "baselines/linear_regression.h"
+#include "baselines/ordinal_regression.h"
+#include "baselines/sampling.h"
+#include "core/opt_problem.h"
+#include "core/rankhow.h"
+#include "core/seeding.h"
+#include "core/sym_gd.h"
+#include "data/dataset.h"
+#include "ranking/ranking.h"
+#include "ranking/score_ranking.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace rankhow {
+namespace bench {
+
+/// The paper's per-dataset numerical settings (Sec. VI-A).
+inline EpsilonConfig NbaEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-5;
+  eps.eps1 = 1e-4;
+  eps.eps2 = 0.0;
+  return eps;
+}
+inline EpsilonConfig CsRankingsEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-3;
+  eps.eps1 = 1e-2;
+  eps.eps2 = 0.0;
+  return eps;
+}
+inline EpsilonConfig SyntheticEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-6;
+  eps.eps1 = 1e-5;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+/// One method's outcome on one configuration.
+struct MethodRow {
+  std::string method;
+  double error = -1;       ///< total position error (-1 = failed)
+  double seconds = 0;
+  bool optimal = false;    ///< proven optimal (exact solver only)
+  std::string note;
+};
+
+inline MethodRow Failed(std::string method, const Status& status) {
+  MethodRow row;
+  row.method = std::move(method);
+  row.note = status.ToString();
+  return row;
+}
+
+/// Exact solver with a budget. Reports the verified error of the incumbent
+/// (unproven results carry a note).
+inline MethodRow RunRankHow(const Dataset& data, const Ranking& given,
+                            EpsilonConfig eps, double time_limit) {
+  RankHowOptions options;
+  options.eps = eps;
+  options.time_limit_seconds = time_limit;
+  RankHow solver(data, given, options);
+  auto result = solver.Solve();
+  if (!result.ok()) return Failed("RankHow", result.status());
+  MethodRow row{"RankHow", static_cast<double>(result->error),
+                result->seconds, result->proven_optimal, ""};
+  if (!result->proven_optimal) {
+    row.note = StrFormat("bound=%ld", result->bound);
+  }
+  if (result->verification && !result->verification->consistent) {
+    row.note += " UNVERIFIED";
+  }
+  return row;
+}
+
+inline MethodRow RunOrdinalRegression(const Dataset& data,
+                                      const Ranking& given,
+                                      EpsilonConfig eps) {
+  OrdinalRegressionOptions options;
+  options.margin = eps.eps1;
+  auto fit = FitOrdinalRegression(data, given, options);
+  if (!fit.ok()) return Failed("OrdinalRegression", fit.status());
+  long error = PositionError(data, given, fit->weights, eps.tie_eps);
+  return MethodRow{"OrdinalRegression", static_cast<double>(error),
+                   fit->seconds, false, fit->exact_lp ? "" : "subgradient"};
+}
+
+inline MethodRow RunLinearRegression(const Dataset& data,
+                                     const Ranking& given,
+                                     EpsilonConfig eps) {
+  auto fit = FitLinearRegression(data, given);
+  if (!fit.ok()) return Failed("LinearRegression", fit.status());
+  long error = PositionError(data, given, fit->weights, eps.tie_eps);
+  return MethodRow{"LinearRegression", static_cast<double>(error),
+                   fit->seconds, false, ""};
+}
+
+inline MethodRow RunAdaRank(const Dataset& data, const Ranking& given,
+                            EpsilonConfig eps) {
+  AdaRankOptions options;
+  options.tie_eps = eps.tie_eps;
+  auto fit = FitAdaRank(data, given, options);
+  if (!fit.ok()) return Failed("AdaRank", fit.status());
+  long error = PositionError(data, given, fit->weights, eps.tie_eps);
+  return MethodRow{"AdaRank", static_cast<double>(error), fit->seconds,
+                   false, ""};
+}
+
+inline MethodRow RunSamplingBaseline(const Dataset& data,
+                                     const Ranking& given, EpsilonConfig eps,
+                                     double budget_seconds, uint64_t seed) {
+  SamplingOptions options;
+  options.time_budget_seconds = std::max(budget_seconds, 0.01);
+  options.tie_eps = eps.tie_eps;
+  options.seed = seed;
+  auto fit = RunSampling(data, given, options);
+  if (!fit.ok()) return Failed("Sampling", fit.status());
+  return MethodRow{"Sampling", static_cast<double>(fit->error), fit->seconds,
+                   false, StrFormat("%ld samples", fit->samples_drawn)};
+}
+
+inline MethodRow RunSymGd(const Dataset& data, const Ranking& given,
+                          EpsilonConfig eps, double cell_size,
+                          double time_budget, bool adaptive,
+                          const std::string& label = "Sym-GD") {
+  auto seed = OrdinalRegressionSeed(data, given, eps.eps1);
+  if (!seed.ok()) return Failed(label, seed.status());
+  SymGdOptions options;
+  options.cell_size = cell_size;
+  options.adaptive = adaptive;
+  options.time_budget_seconds = time_budget;
+  options.solver.eps = eps;
+  options.solver.time_limit_seconds =
+      time_budget > 0 ? time_budget : 0;
+  SymGd symgd(data, given, options);
+  WallTimer timer;
+  auto result = symgd.Run(*seed);
+  if (!result.ok()) return Failed(label, result.status());
+  return MethodRow{label, static_cast<double>(result->error),
+                   timer.ElapsedSeconds(), false,
+                   StrFormat("%d cells", result->iterations)};
+}
+
+/// Formats error as per-tuple error (the paper's y axis).
+inline std::string PerTuple(double error, int k) {
+  if (error < 0) return "fail";
+  return FormatDouble(error / std::max(1, k), 4);
+}
+
+/// Prints and saves a table. The csv lands next to the binary.
+inline void Emit(const std::string& name, const TablePrinter& table) {
+  std::cout << table.ToText() << "\n";
+  std::string path = name + ".csv";
+  Status st = table.WriteCsv(path);
+  if (st.ok()) {
+    std::cout << "(rows written to " << path << ")\n";
+  } else {
+    std::cerr << st.ToString() << "\n";
+  }
+}
+
+}  // namespace bench
+}  // namespace rankhow
+
+#endif  // RANKHOW_BENCH_HARNESS_H_

@@ -1,0 +1,15 @@
+#ifndef RANKHOW_BENCH_HARNESS_INCLUDE_H_
+#define RANKHOW_BENCH_HARNESS_INCLUDE_H_
+
+/// Umbrella include for the benchmark harness binaries.
+
+#include "baselines/tree.h"
+#include "bench/harness.h"
+#include "data/csrankings.h"
+#include "data/derived.h"
+#include "data/nba.h"
+#include "data/synthetic.h"
+#include "ranking/error_measures.h"
+#include "ranking/verifier.h"
+
+#endif  // RANKHOW_BENCH_HARNESS_INCLUDE_H_

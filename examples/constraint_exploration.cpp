@@ -1,0 +1,120 @@
+// A tour of RankHow's constraint vocabulary on one small instance:
+//  * weight bounds and group bounds (the predicate P),
+//  * position-range constraints ("no top-10 tuple moves more than 2 spots"),
+//  * pinned winners and pairwise orders,
+//  * alternative error measures (Kendall tau, top-weighted inversions),
+//  * derived attributes turning a quadratic ranking linear.
+//
+// Run: ./build/examples/example_constraint_exploration
+
+#include <iostream>
+
+#include "core/rankhow.h"
+#include "data/derived.h"
+#include "data/synthetic.h"
+#include "ranking/error_measures.h"
+#include "ranking/score_ranking.h"
+#include "util/string_util.h"
+
+using namespace rankhow;
+
+namespace {
+
+RankHowOptions BaseOptions() {
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-7;
+  options.eps.eps1 = 1e-6;
+  options.eps.eps2 = 0.0;
+  options.time_limit_seconds = 60;
+  return options;
+}
+
+void Show(const char* label, const Result<RankHowResult>& result) {
+  if (!result.ok()) {
+    std::cout << label << ": " << result.status().ToString() << "\n";
+    return;
+  }
+  std::cout << label << ": error " << result->error
+            << (result->proven_optimal ? " (optimal)" : "") << "   f = "
+            << result->function.ToString(2) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  SyntheticSpec spec;
+  spec.num_tuples = 60;
+  spec.num_attributes = 4;
+  spec.distribution = SyntheticDistribution::kAntiCorrelated;
+  spec.seed = 7;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 2, 10);  // quadratic ground truth
+
+  std::cout << "60 anti-correlated tuples, ranking = top-10 by sum(A_i^2)\n\n";
+
+  // 1. Plain optimum.
+  RankHow plain(data, given, BaseOptions());
+  auto base = plain.Solve();
+  Show("[1] unconstrained", base);
+
+  // 2. Weight floor on every attribute: "no attribute may be ignored".
+  RankHow floored(data, given, BaseOptions());
+  for (int a = 0; a < data.num_attributes(); ++a) {
+    floored.problem().constraints.AddMinWeight(a, 0.05);
+  }
+  Show("[2] every weight >= 0.05", floored.Solve());
+
+  // 3. Group bound: the first two attributes together at most 0.35.
+  RankHow grouped(data, given, BaseOptions());
+  grouped.problem().constraints.AddGroupBound({0, 1}, RelOp::kLe, 0.35);
+  Show("[3] w1 + w2 <= 0.35", grouped.Solve());
+
+  // 4. Position ranges: every top-5 tuple stays within +/-2 positions.
+  RankHow banded(data, given, BaseOptions());
+  for (int t : given.ranked_tuples()) {
+    int p = given.position(t);
+    if (p > 5) continue;
+    banded.problem().position_constraints.push_back(
+        {t, std::max(1, p - 2), p + 2});
+  }
+  Show("[4] top-5 within +/-2 positions (hard)", banded.Solve());
+
+  // 4b. Example 1's relative band, as a one-liner: tuple ranked i-th must
+  // land within [floor(0.9 i), ceil(1.1 i)].
+  RankHow rel_banded(data, given, BaseOptions());
+  Status band_status = AppendRelativePositionBand(
+      given, 0.9, 1.1, 100, &rel_banded.problem().position_constraints);
+  if (band_status.ok()) {
+    Show("[4b] relative band 0.9i..1.1i (hard)", rel_banded.Solve());
+  }
+
+  // 5. Pin the winner and force tuple ranked 1 above tuple ranked 3.
+  RankHow pinned(data, given, BaseOptions());
+  int first = given.ranked_tuples()[0];
+  int third = given.ranked_tuples()[2];
+  pinned.problem().position_constraints.push_back({first, 1, 1});
+  pinned.problem().order_constraints.push_back({first, third});
+  Show("[5] winner pinned + pairwise order", pinned.Solve());
+
+  // 6. Alternative measures on the unconstrained optimum.
+  if (base.ok()) {
+    auto positions = ScoreRankPositions(
+        data.Scores(base->function.weights), 5e-7);
+    std::cout << "\n[6] other measures of [1]: Kendall-tau distance = "
+              << KendallTauDistance(given, positions)
+              << ", top-weighted inversions = "
+              << StrFormat("%.3f",
+                           TopWeightedInversionError(given, positions))
+              << ", tau coefficient = "
+              << StrFormat("%.3f", KendallTauCoefficient(given, positions))
+              << "\n";
+  }
+
+  // 7. Derived attributes: adding A_i^2 makes the quadratic ranking
+  // linearly realizable (error 0).
+  Dataset augmented = WithDerivedAttributes(data, {.squares = true});
+  RankHow kernelized(augmented, given, BaseOptions());
+  Show("\n[7] with derived attributes A_i^2", kernelized.Solve());
+
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Choosing WHAT to optimize: the same given ranking fit under the three
+// supported objectives (Sec. I-II of the paper):
+//
+//   position-error   Σ |ρ(r) − π(r)|            — Definition 3 (default)
+//   top-heavy        Σ penalty(π(r))·|ρ(r)−π(r)| — errors at the top cost more
+//   inversions       Kendall-tau distance        — count discordant pairs
+//
+// A function that is optimal for one objective is usually NOT optimal for
+// the others; this example makes the trade-off concrete on a simulated NBA
+// season ranked by the non-linear MP·PER production score, then cross-
+// evaluates each winner under all three measures.
+//
+// Run: ./build/examples/example_objective_tradeoffs [--n=600] [--k=8]
+
+#include <iostream>
+#include <vector>
+
+#include "core/rankhow.h"
+#include "data/nba.h"
+#include "ranking/objective.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace rankhow;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  int n = static_cast<int>(flags.GetInt("n", 600, "simulated player-seasons"));
+  int k = static_cast<int>(flags.GetInt("k", 8, "length of the top ranking"));
+  double budget = flags.GetDouble("budget", 20, "seconds per solve");
+  uint64_t seed = flags.GetInt("seed", 7, "simulation seed");
+  if (!flags.Finish()) return 0;
+
+  NbaData nba = GenerateNba({.num_tuples = n, .seed = seed});
+  Dataset data = nba.table;
+  data.NormalizeMinMax();
+  Ranking given = Ranking::FromScores(nba.mp_times_per, k, 0.0);
+
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-5;  // the paper's NBA settings
+  options.eps.eps1 = 1e-4;
+  options.eps.eps2 = 0.0;
+  options.time_limit_seconds = budget;
+
+  std::cout << "Fitting the top-" << k << " of the MP*PER ranking over " << n
+            << " simulated player-seasons, under three objectives.\n\n";
+
+  struct Variant {
+    const char* name;
+    RankingObjectiveSpec spec;
+  };
+  std::vector<Variant> variants = {
+      {"position-error", RankingObjectiveSpec{}},
+      {"top-heavy", RankingObjectiveSpec::TopHeavy(k)},
+      {"inversions", RankingObjectiveSpec::Inversions()},
+  };
+
+  std::vector<std::vector<double>> winners;
+  TablePrinter solves({"objective", "optimum", "proven", "seconds",
+                       "function"});
+  for (const Variant& variant : variants) {
+    RankHow solver(data, given, options);
+    solver.problem().objective = variant.spec;
+    auto result = solver.Solve();
+    if (!result.ok()) {
+      std::cout << variant.name << " failed: "
+                << result.status().ToString() << "\n";
+      return 1;
+    }
+    winners.push_back(result->function.weights);
+    solves.AddRow({variant.name, StrFormat("%ld", result->error),
+                   result->proven_optimal ? "yes" : "no",
+                   FormatDouble(result->seconds, 2),
+                   result->function.ToString()});
+  }
+  std::cout << solves.ToText();
+
+  // Cross-evaluation: each winner scored under every measure. The diagonal
+  // is (near-)optimal by construction; off-diagonal entries show what the
+  // choice of objective costs you elsewhere.
+  std::cout << "\nCross-evaluation (rows = optimized-for, columns = "
+               "measured-as):\n\n";
+  TablePrinter cross({"optimized \\ measured", "position-error", "top-heavy",
+                      "inversions"});
+  for (size_t i = 0; i < winners.size(); ++i) {
+    std::vector<std::string> row = {variants[i].name};
+    for (const Variant& measure : variants) {
+      row.push_back(StrFormat(
+          "%ld", ObjectiveOf(data, given, winners[i], options.eps.tie_eps,
+                             measure.spec)));
+    }
+    cross.AddRow(row);
+  }
+  std::cout << cross.ToText();
+
+  std::cout << "\nReading guide: the top-heavy winner concentrates its "
+               "remaining error low in the ranking; the inversion winner "
+               "preserves pairwise order even when absolute positions "
+               "drift.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: synthesize a linear scoring function for a tiny ranking.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <iostream>
+
+#include "core/rankhow.h"
+#include "ranking/score_ranking.h"
+
+using namespace rankhow;
+
+int main() {
+  // A relation R(speed, comfort, price_score) of five products...
+  Dataset data({"speed", "comfort", "price_score"}, 5);
+  double rows[5][3] = {
+      {9.0, 6.0, 3.0},  // product 0
+      {7.0, 8.0, 4.0},  // product 1
+      {6.0, 5.0, 9.0},  // product 2
+      {4.0, 7.0, 6.0},  // product 3
+      {3.0, 3.0, 8.0},  // product 4
+  };
+  for (int t = 0; t < 5; ++t) {
+    for (int a = 0; a < 3; ++a) data.set_value(t, a, rows[t][a]);
+  }
+
+  // ... and someone's published top-3 (positions; kUnranked = "don't care").
+  auto given = Ranking::Create({1, 2, 3, kUnranked, kUnranked});
+  if (!given.ok()) {
+    std::cerr << given.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Ask RankHow for the most accurate simple linear explanation.
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-7;  // score-tie tolerance (Definition 2)
+  options.eps.eps1 = 1e-6;     // indicator thresholds (Equation 2)
+  options.eps.eps2 = 0.0;
+  RankHow solver(data, *given, options);
+
+  auto result = solver.Solve();
+  if (!result.ok()) {
+    std::cerr << "solve failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "Scoring function: " << result->function.ToString() << "\n";
+  std::cout << "Position error:   " << result->error
+            << (result->proven_optimal ? " (proven optimal)" : "") << "\n";
+  std::cout << "Verified exactly: "
+            << (result->verification->consistent ? "yes" : "NO") << "\n";
+
+  // Show the induced ranking next to the given one.
+  auto positions = ScoreRankPositions(
+      data.Scores(result->function.weights), options.eps.tie_eps);
+  std::cout << "\nproduct  given  induced  score\n";
+  for (int t = 0; t < data.num_tuples(); ++t) {
+    std::cout << "   " << t << "       ";
+    if (given->IsRanked(t)) {
+      std::cout << given->position(t);
+    } else {
+      std::cout << "-";
+    }
+    std::cout << "       " << positions[t] << "     "
+              << data.ScoreOf(t, result->function.weights) << "\n";
+  }
+  return 0;
+}

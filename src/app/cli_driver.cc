@@ -1,0 +1,238 @@
+#include "app/cli_driver.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool IsUnrankedCell(std::string_view raw) {
+  std::string v = ToLower(Trim(raw));
+  return v.empty() || v == "-" || v == "0" || v == "na" || v == "null" ||
+         v == "unranked" || v == "bot" || v == "\xe2\x8a\xa5" /* ⊥ */;
+}
+
+int FindColumn(const CsvTable& csv, const std::string& name) {
+  for (size_t c = 0; c < csv.header.size(); ++c) {
+    if (csv.header[c] == name) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<CliProblem> AssembleCliProblem(const CsvTable& csv,
+                                      const CliDataSpec& spec) {
+  if (csv.rows.empty()) {
+    return Status::Invalid("CSV has no data rows");
+  }
+  const int n = static_cast<int>(csv.rows.size());
+
+  int id_col = -1;
+  if (!spec.id_column.empty()) {
+    id_col = FindColumn(csv, spec.id_column);
+    if (id_col < 0) {
+      return Status::Invalid("id column not in CSV: " + spec.id_column);
+    }
+  }
+  int rank_col = -1;
+  if (!spec.rank_column.empty()) {
+    rank_col = FindColumn(csv, spec.rank_column);
+    if (rank_col < 0) {
+      return Status::Invalid("rank column not in CSV: " + spec.rank_column);
+    }
+  }
+
+  // Resolve the ranking attributes.
+  std::vector<int> attr_cols;
+  std::vector<std::string> attr_names;
+  if (!spec.attributes.empty()) {
+    for (const std::string& name : spec.attributes) {
+      int c = FindColumn(csv, name);
+      if (c < 0) return Status::Invalid("attribute not in CSV: " + name);
+      if (c == id_col || c == rank_col) {
+        return Status::Invalid("attribute overlaps id/rank column: " + name);
+      }
+      attr_cols.push_back(c);
+      attr_names.push_back(name);
+    }
+  } else {
+    for (size_t c = 0; c < csv.header.size(); ++c) {
+      if (static_cast<int>(c) == id_col || static_cast<int>(c) == rank_col) {
+        continue;
+      }
+      attr_cols.push_back(static_cast<int>(c));
+      attr_names.push_back(csv.header[c]);
+    }
+  }
+  if (attr_cols.empty()) {
+    return Status::Invalid("no ranking attributes selected");
+  }
+
+  CliProblem out;
+  out.data = Dataset(attr_names, n);
+  for (int t = 0; t < n; ++t) {
+    for (size_t a = 0; a < attr_cols.size(); ++a) {
+      const std::string& cell = csv.rows[t][attr_cols[a]];
+      auto v = ParseDouble(cell);
+      if (!v.ok()) {
+        return Status::Invalid(StrFormat(
+            "row %d, column '%s': non-numeric cell '%s'", t + 1,
+            attr_names[a].c_str(), cell.c_str()));
+      }
+      out.data.set_value(t, static_cast<int>(a), *v);
+    }
+  }
+
+  out.labels.reserve(n);
+  for (int t = 0; t < n; ++t) {
+    out.labels.push_back(id_col >= 0 ? csv.rows[t][id_col]
+                                     : "row" + std::to_string(t + 1));
+  }
+
+  for (const std::string& name : spec.negate) {
+    RH_ASSIGN_OR_RETURN(int attr, out.data.AttributeIndex(name));
+    out.data.NegateColumn(attr);
+  }
+
+  // The given ranking: explicit column, or row order + k.
+  std::vector<int> positions(n, kUnranked);
+  if (rank_col >= 0) {
+    for (int t = 0; t < n; ++t) {
+      const std::string& cell = csv.rows[t][rank_col];
+      if (IsUnrankedCell(cell)) continue;
+      auto p = ParseInt(Trim(cell));
+      if (!p.ok() || *p < 1) {
+        return Status::Invalid(StrFormat(
+            "row %d: bad rank value '%s' (positive integer or blank/-/na)",
+            t + 1, cell.c_str()));
+      }
+      positions[t] = static_cast<int>(*p);
+    }
+  } else {
+    if (spec.k < 1 || spec.k > n) {
+      return Status::Invalid(StrFormat(
+          "k=%d out of range for %d rows (no rank column given)", spec.k,
+          n));
+    }
+    for (int t = 0; t < spec.k; ++t) positions[t] = t + 1;
+  }
+
+  if (spec.drop_duplicates) {
+    std::vector<int> kept = out.data.DropDuplicateTuples();
+    if (static_cast<int>(kept.size()) < n) {
+      std::vector<int> kept_positions;
+      std::vector<std::string> kept_labels;
+      kept_positions.reserve(kept.size());
+      kept_labels.reserve(kept.size());
+      for (int t : kept) {
+        kept_positions.push_back(positions[t]);
+        kept_labels.push_back(std::move(out.labels[t]));
+      }
+      positions = std::move(kept_positions);
+      out.labels = std::move(kept_labels);
+    }
+  }
+
+  if (spec.normalize) out.data.NormalizeMinMax();
+
+  RH_ASSIGN_OR_RETURN(
+      out.given,
+      Ranking::Create(std::move(positions), spec.offset_ranking
+                                                ? RankingValidation::kOffset
+                                                : RankingValidation::kStrict));
+  return out;
+}
+
+Status ApplyWeightBounds(const Dataset& data, const std::string& spec,
+                         bool is_min, WeightConstraintSet* constraints) {
+  if (Trim(spec).empty()) return Status();
+  for (const std::string& entry : Split(spec, ',')) {
+    std::vector<std::string> parts = Split(entry, ':');
+    if (parts.size() != 2) {
+      return Status::Invalid("weight bound must be ATTR:VALUE, got: " +
+                             entry);
+    }
+    std::string name(Trim(parts[0]));
+    RH_ASSIGN_OR_RETURN(int attr, data.AttributeIndex(name));
+    RH_ASSIGN_OR_RETURN(double bound, ParseDouble(Trim(parts[1])));
+    if (bound < 0 || bound > 1) {
+      return Status::Invalid(StrFormat(
+          "weight bound for %s must lie in [0,1], got %g", name.c_str(),
+          bound));
+    }
+    if (is_min) {
+      constraints->AddMinWeight(attr, bound, "min_" + name);
+    } else {
+      constraints->AddMaxWeight(attr, bound, "max_" + name);
+    }
+  }
+  return Status();
+}
+
+Status ApplyOrderConstraints(const std::vector<std::string>& labels,
+                             const std::string& spec,
+                             std::vector<PairwiseOrderConstraint>* out) {
+  if (Trim(spec).empty()) return Status();
+  auto find_label = [&labels](std::string_view name) -> int {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const std::string& entry : Split(spec, ',')) {
+    std::vector<std::string> parts = Split(entry, '>');
+    if (parts.size() != 2) {
+      return Status::Invalid("order constraint must be LABEL_A>LABEL_B: " +
+                             entry);
+    }
+    std::string above(Trim(parts[0]));
+    std::string below(Trim(parts[1]));
+    int a = find_label(above);
+    int b = find_label(below);
+    if (a < 0) return Status::Invalid("unknown label: " + above);
+    if (b < 0) return Status::Invalid("unknown label: " + below);
+    if (a == b) {
+      return Status::Invalid("order constraint needs two distinct tuples: " +
+                             entry);
+    }
+    out->push_back({a, b});
+  }
+  return Status();
+}
+
+Result<SolveStrategy> ParseStrategy(const std::string& name) {
+  std::string v = ToLower(Trim(name));
+  if (v == "auto") return SolveStrategy::kAuto;
+  if (v == "milp" || v == "indicator-milp") {
+    return SolveStrategy::kIndicatorMilp;
+  }
+  if (v == "spatial") return SolveStrategy::kSpatial;
+  if (v == "sat" || v == "sat-binary-search") {
+    return SolveStrategy::kSatBinarySearch;
+  }
+  return Status::Invalid("unknown strategy '" + name +
+                         "' (auto|milp|spatial|sat)");
+}
+
+Result<RankingObjectiveSpec> ParseObjectiveSpec(const std::string& name,
+                                                int k) {
+  std::string v = ToLower(Trim(name));
+  if (v == "position") return RankingObjectiveSpec{};
+  if (v == "topheavy") return RankingObjectiveSpec::TopHeavy(k);
+  if (v == "inversions") return RankingObjectiveSpec::Inversions();
+  return Status::Invalid("unknown objective '" + name +
+                         "' (position|topheavy|inversions)");
+}
+
+}  // namespace rankhow

@@ -1,0 +1,88 @@
+#ifndef RANKHOW_APP_CLI_DRIVER_H_
+#define RANKHOW_APP_CLI_DRIVER_H_
+
+/// \file cli_driver.h
+/// The assembly layer behind the `rankhow_cli` tool: turn a CSV table plus
+/// textual options into a solvable OPT instance. Kept out of the binary so
+/// the parsing/assembly rules are unit-testable and reusable by downstream
+/// embedders who have their own flag handling.
+
+#include <string>
+#include <vector>
+
+#include "core/rankhow.h"
+#include "data/dataset.h"
+#include "ranking/objective.h"
+#include "ranking/ranking.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// How to interpret a CSV table as an OPT instance.
+struct CliDataSpec {
+  /// Ranking attributes (CSV column names). Empty = every column except the
+  /// id and rank columns.
+  std::vector<std::string> attributes;
+  /// Optional label column (player name, institution, ...). Not used for
+  /// scoring.
+  std::string id_column;
+  /// Optional column holding the given positions. Accepted cell values:
+  /// positive integers for ranked tuples; "", "-", "0", "na", "null" or
+  /// "unranked" (case-insensitive) for ⊥. When empty, the file's row order
+  /// IS the ranking and the first `k` rows get positions 1..k.
+  std::string rank_column;
+  /// Ranking length when `rank_column` is empty.
+  int k = 10;
+  /// Attributes where lower is better (turnovers); negated per Sec. I.
+  std::vector<std::string> negate;
+  /// Min-max rescale all attributes to [0,1] (recommended: the ε settings
+  /// assume comparable column scales).
+  bool normalize = true;
+  /// Accept rankings that do not start at position 1 (mid-ranking windows,
+  /// RankingValidation::kOffset).
+  bool offset_ranking = false;
+  /// Drop tuples that duplicate an earlier row on all ranking attributes
+  /// (the paper keeps one of identically-statted players).
+  bool drop_duplicates = false;
+};
+
+/// A ready-to-solve instance assembled from a CSV.
+struct CliProblem {
+  Dataset data;
+  Ranking given;
+  /// One label per tuple: the id column's value, or "row<i>" (1-based).
+  std::vector<std::string> labels;
+};
+
+/// Validates the spec against the table, selects/parses columns, negates,
+/// normalizes, and builds the given ranking.
+///
+/// Errors: kInvalidArgument (unknown column, non-numeric cell, bad rank
+/// value, invalid ranking under Definition 1).
+Result<CliProblem> AssembleCliProblem(const CsvTable& csv,
+                                      const CliDataSpec& spec);
+
+/// Parses a bound list "PTS:0.1,AST:0.05" and adds one min- (or max-)
+/// weight constraint per entry, resolving attribute names against `data`.
+/// An empty spec string is a no-op.
+Status ApplyWeightBounds(const Dataset& data, const std::string& spec,
+                         bool is_min, WeightConstraintSet* constraints);
+
+/// Parses "LABEL_A>LABEL_B[,LABEL_C>LABEL_D...]" into pairwise order
+/// constraints ("A must outscore B"), resolving labels against `labels`.
+Status ApplyOrderConstraints(const std::vector<std::string>& labels,
+                             const std::string& spec,
+                             std::vector<PairwiseOrderConstraint>* out);
+
+/// "auto" | "milp" | "spatial" | "sat".
+Result<SolveStrategy> ParseStrategy(const std::string& name);
+
+/// "position" | "topheavy" | "inversions"; `k` sizes the top-heavy penalty
+/// ladder.
+Result<RankingObjectiveSpec> ParseObjectiveSpec(const std::string& name,
+                                                int k);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_APP_CLI_DRIVER_H_

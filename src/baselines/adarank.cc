@@ -1,0 +1,106 @@
+#include "baselines/adarank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/model.h"
+#include "ranking/score_ranking.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+namespace {
+
+/// Per-tuple performance in [-1, 1] from position errors: 0 error -> 1,
+/// worst possible displacement -> -1.
+std::vector<double> PerformancePerTuple(const Dataset& data,
+                                        const Ranking& given,
+                                        const std::vector<double>& scores,
+                                        double tie_eps) {
+  const std::vector<int>& ranked = given.ranked_tuples();
+  std::vector<long> errors =
+      PositionErrorBreakdown(scores, given, tie_eps);
+  double worst = std::max(1, data.num_tuples() - 1);
+  std::vector<double> perf(ranked.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    perf[i] = 1.0 - 2.0 * std::min<double>(errors[i], worst) / worst;
+  }
+  return perf;
+}
+
+}  // namespace
+
+Result<AdaRankFit> FitAdaRank(const Dataset& data, const Ranking& given,
+                              const AdaRankOptions& options) {
+  if (data.num_tuples() != given.num_tuples()) {
+    return Status::Invalid("dataset / ranking size mismatch");
+  }
+  if (options.rounds < 1) return Status::Invalid("rounds must be >= 1");
+  WallTimer timer;
+  const int m = data.num_attributes();
+  const std::vector<int>& ranked = given.ranked_tuples();
+  const size_t q = ranked.size();
+
+  // Tuple distribution over the ranked tuples.
+  std::vector<double> dist(q, 1.0 / static_cast<double>(q));
+  // Per-attribute per-tuple performance of the single-attribute ranker
+  // (independent of boosting round, so precompute).
+  std::vector<std::vector<double>> weak_perf(m);
+  for (int a = 0; a < m; ++a) {
+    weak_perf[a] =
+        PerformancePerTuple(data, given, data.column(a), options.tie_eps);
+  }
+
+  AdaRankFit fit;
+  fit.weights.assign(m, 0.0);
+  std::vector<double> ensemble_scores(data.num_tuples(), 0.0);
+
+  for (int round = 0; round < options.rounds; ++round) {
+    // Pick the weak ranker with the best distribution-weighted performance.
+    int best_attr = -1;
+    double best_score = -kInfinity;
+    for (int a = 0; a < m; ++a) {
+      double s = 0;
+      for (size_t i = 0; i < q; ++i) s += dist[i] * weak_perf[a][i];
+      if (s > best_score) {
+        best_score = s;
+        best_attr = a;
+      }
+    }
+    // α_t from the weighted performance (clamped away from ±1).
+    double r = std::max(-0.999999, std::min(0.999999, best_score));
+    double alpha = 0.5 * std::log((1.0 + r) / (1.0 - r));
+    if (!(alpha > 0)) {
+      // No weak ranker beats random under this distribution: stop early.
+      if (round == 0) {
+        // Degenerate input; fall back to the single best attribute so the
+        // returned function is at least well-defined.
+        fit.weights[best_attr] = 1.0;
+        fit.selected_attributes.push_back(best_attr);
+      }
+      break;
+    }
+    fit.weights[best_attr] += alpha;
+    fit.selected_attributes.push_back(best_attr);
+
+    // Update the ensemble and re-weight tuples by its per-tuple performance.
+    const std::vector<double>& col = data.column(best_attr);
+    for (int t = 0; t < data.num_tuples(); ++t) {
+      ensemble_scores[t] += alpha * col[t];
+    }
+    std::vector<double> ens_perf = PerformancePerTuple(
+        data, given, ensemble_scores, options.tie_eps);
+    double z = 0;
+    for (size_t i = 0; i < q; ++i) {
+      dist[i] = std::exp(-ens_perf[i]);
+      z += dist[i];
+    }
+    for (size_t i = 0; i < q; ++i) dist[i] /= z;
+  }
+
+  fit.seconds = timer.ElapsedSeconds();
+  return fit;
+}
+
+}  // namespace rankhow

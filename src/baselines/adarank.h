@@ -1,0 +1,41 @@
+#ifndef RANKHOW_BASELINES_ADARANK_H_
+#define RANKHOW_BASELINES_ADARANK_H_
+
+/// \file adarank.h
+/// The ADARANK competitor (Xu & Li, SIGIR'07) adapted to OPT as the paper
+/// describes (Sec. VI-A): single attributes serve as weak rankers, the
+/// per-tuple prediction-quality measure is derived from the tuple's
+/// position error under the current ensemble, and boosting re-weights
+/// tuples that the ensemble ranks badly. The paper observes (and our
+/// harness reproduces) the failure mode where one strongly-correlated
+/// attribute is selected round after round.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+struct AdaRankOptions {
+  int rounds = 50;
+  /// Tie tolerance used when computing per-tuple position errors.
+  double tie_eps = 0.0;
+};
+
+struct AdaRankFit {
+  /// Per-attribute accumulated boosting weights (α totals), >= 0.
+  std::vector<double> weights;
+  /// Attribute chosen in each round (diagnostics for the degeneracy the
+  /// paper describes).
+  std::vector<int> selected_attributes;
+  double seconds = 0;
+};
+
+Result<AdaRankFit> FitAdaRank(const Dataset& data, const Ranking& given,
+                              const AdaRankOptions& options = AdaRankOptions());
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_BASELINES_ADARANK_H_

@@ -1,0 +1,247 @@
+#include "baselines/ordinal_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lp/simplex.h"
+#include "math/linalg.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+namespace {
+
+/// A pair constraint: tuple `above` should outscore `below` by `margin`
+/// (strict pair), or stay within tie_band (tie == true).
+struct OrderedPair {
+  int above;
+  int below;
+  bool tie;
+};
+
+/// Builds the pair set: consecutive distinct positions among ranked tuples,
+/// tied ranked pairs, and (last-ranked, ⊥) pairs.
+Result<std::vector<OrderedPair>> BuildPairs(
+    const Ranking& given, const OrdinalRegressionOptions& options, Rng* rng) {
+  const std::vector<int>& ranked = given.ranked_tuples();
+  std::vector<OrderedPair> pairs;
+
+  // Ties: all pairs sharing a position.
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    for (size_t j = i + 1; j < ranked.size() &&
+                           given.position(ranked[j]) ==
+                               given.position(ranked[i]);
+         ++j) {
+      if (!options.support_ties) {
+        return Status::Invalid(
+            "given ranking contains ties; the original ordinal-regression "
+            "formulation does not support them (enable support_ties)");
+      }
+      pairs.push_back({ranked[i], ranked[j], /*tie=*/true});
+    }
+  }
+  // Strict pairs: each tuple vs the first tuple of the next position group.
+  for (size_t i = 0; i + 1 < ranked.size(); ++i) {
+    for (size_t j = i + 1; j < ranked.size(); ++j) {
+      if (given.position(ranked[j]) > given.position(ranked[i])) {
+        pairs.push_back({ranked[i], ranked[j], /*tie=*/false});
+        break;  // only the immediate successor group
+      }
+    }
+  }
+  // Bottom pairs: the lowest-ranked tuples must not be outscored by ⊥
+  // tuples beyond the margin... ⊥ may tie with the last position, so this
+  // is a zero-margin strict pair (handled by margin_scale = 0 below).
+  std::vector<int> bottom;
+  int worst_position = 0;
+  for (int t : ranked) worst_position = std::max(worst_position,
+                                                 given.position(t));
+  std::vector<int> last_group;
+  for (int t : ranked) {
+    if (given.position(t) == worst_position) last_group.push_back(t);
+  }
+  std::vector<int> unranked;
+  for (int t = 0; t < given.num_tuples(); ++t) {
+    if (!given.IsRanked(t)) unranked.push_back(t);
+  }
+  if (options.max_bottom_pairs > 0 &&
+      static_cast<int>(unranked.size()) > options.max_bottom_pairs) {
+    rng->Shuffle(&unranked);
+    unranked.resize(options.max_bottom_pairs);
+  }
+  for (int u : unranked) {
+    // Use the first tuple of the last ranked group as the representative.
+    pairs.push_back({last_group.front(), u, /*tie=*/false});
+  }
+  return pairs;
+}
+
+double PairMargin(const OrderedPair& pair, const Ranking& given,
+                  const OrdinalRegressionOptions& options) {
+  if (pair.tie) return 0;  // handled via tie_band rows
+  // ⊥ tuples may tie with the last ranked position: zero margin.
+  if (!given.IsRanked(pair.below)) return 0;
+  return options.margin;
+}
+
+Result<OrdinalRegressionFit> SolveWithLp(
+    const Dataset& data, const Ranking& given,
+    const std::vector<OrderedPair>& pairs,
+    const OrdinalRegressionOptions& options) {
+  const int m = data.num_attributes();
+  LpModel lp;
+  std::vector<int> w(m);
+  LinearExpr simplex_row;
+  for (int a = 0; a < m; ++a) {
+    w[a] = lp.AddVariable(0.0, 1.0, "w" + std::to_string(a));
+    simplex_row += LinearExpr::Term(w[a], 1.0);
+  }
+  lp.AddConstraint(simplex_row, RelOp::kEq, 1.0, "simplex");
+
+  LinearExpr objective;
+  for (const OrderedPair& pair : pairs) {
+    LinearExpr diff;
+    for (int a = 0; a < m; ++a) {
+      diff += LinearExpr::Term(
+          w[a], data.value(pair.above, a) - data.value(pair.below, a));
+    }
+    if (pair.tie) {
+      // |diff| <= tie_band + z with z >= 0 shared across both sides:
+      // diff − z <= tie_band  and  diff + z >= −tie_band.
+      int z = lp.AddVariable(0.0, kInfinity, "z_tie");
+      objective += LinearExpr::Term(z, 1.0);
+      lp.AddConstraint(diff - LinearExpr::Term(z, 1.0), RelOp::kLe,
+                       options.tie_band);
+      lp.AddConstraint(diff + LinearExpr::Term(z, 1.0), RelOp::kGe,
+                       -options.tie_band);
+    } else {
+      int z = lp.AddVariable(0.0, kInfinity, "z");
+      objective += LinearExpr::Term(z, 1.0);
+      lp.AddConstraint(diff + LinearExpr::Term(z, 1.0), RelOp::kGe,
+                       PairMargin(pair, given, options));
+    }
+  }
+  lp.SetObjective(objective, ObjectiveSense::kMinimize);
+  RH_ASSIGN_OR_RETURN(LpSolution sol, SimplexSolver().Solve(lp));
+
+  OrdinalRegressionFit fit;
+  fit.weights.resize(m);
+  for (int a = 0; a < m; ++a) {
+    fit.weights[a] = std::max(0.0, std::min(1.0, sol.values[w[a]]));
+  }
+  fit.penalty = sol.objective;
+  fit.exact_lp = true;
+  return fit;
+}
+
+/// Euclidean projection onto the probability simplex.
+std::vector<double> ProjectToSimplex(std::vector<double> v) {
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumsum = 0;
+  double theta = 0;
+  int rho = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    cumsum += sorted[i];
+    double candidate = (cumsum - 1.0) / static_cast<double>(i + 1);
+    if (sorted[i] - candidate > 0) {
+      rho = static_cast<int>(i + 1);
+      theta = candidate;
+    }
+  }
+  (void)rho;
+  for (double& x : v) x = std::max(0.0, x - theta);
+  return v;
+}
+
+OrdinalRegressionFit SolveWithSubgradient(
+    const Dataset& data, const Ranking& given,
+    const std::vector<OrderedPair>& pairs,
+    const OrdinalRegressionOptions& options) {
+  const int m = data.num_attributes();
+  std::vector<double> w(m, 1.0 / m);
+  std::vector<double> best = w;
+  double best_loss = kInfinity;
+
+  auto loss_and_grad = [&](const std::vector<double>& weights,
+                           std::vector<double>* grad) {
+    grad->assign(m, 0.0);
+    double loss = 0;
+    for (const OrderedPair& pair : pairs) {
+      double diff = 0;
+      for (int a = 0; a < m; ++a) {
+        diff += weights[a] *
+                (data.value(pair.above, a) - data.value(pair.below, a));
+      }
+      if (pair.tie) {
+        double excess = std::abs(diff) - options.tie_band;
+        if (excess > 0) {
+          loss += excess;
+          double sign = diff > 0 ? 1.0 : -1.0;
+          for (int a = 0; a < m; ++a) {
+            (*grad)[a] += sign * (data.value(pair.above, a) -
+                                  data.value(pair.below, a));
+          }
+        }
+      } else {
+        double short_by = PairMargin(pair, given, options) - diff;
+        if (short_by > 0) {
+          loss += short_by;
+          for (int a = 0; a < m; ++a) {
+            (*grad)[a] -= data.value(pair.above, a) -
+                          data.value(pair.below, a);
+          }
+        }
+      }
+    }
+    return loss;
+  };
+
+  std::vector<double> grad(m);
+  for (int iter = 0; iter < options.subgradient_iters; ++iter) {
+    double loss = loss_and_grad(w, &grad);
+    if (loss < best_loss) {
+      best_loss = loss;
+      best = w;
+      if (loss == 0) break;
+    }
+    double grad_norm = std::sqrt(Dot(grad, grad));
+    if (grad_norm < 1e-15) break;
+    double lr = options.subgradient_lr / (1.0 + 0.05 * iter) / grad_norm;
+    for (int a = 0; a < m; ++a) w[a] -= lr * grad[a];
+    w = ProjectToSimplex(std::move(w));
+  }
+
+  OrdinalRegressionFit fit;
+  fit.weights = best;
+  fit.penalty = best_loss;
+  fit.exact_lp = false;
+  return fit;
+}
+
+}  // namespace
+
+Result<OrdinalRegressionFit> FitOrdinalRegression(
+    const Dataset& data, const Ranking& given,
+    const OrdinalRegressionOptions& options) {
+  if (data.num_tuples() != given.num_tuples()) {
+    return Status::Invalid("dataset / ranking size mismatch");
+  }
+  WallTimer timer;
+  Rng rng(options.seed ^ 0x4F52ULL);
+  RH_ASSIGN_OR_RETURN(std::vector<OrderedPair> pairs,
+                      BuildPairs(given, options, &rng));
+  Result<OrdinalRegressionFit> fit =
+      static_cast<int>(pairs.size()) <= options.max_lp_pairs
+          ? SolveWithLp(data, given, pairs, options)
+          : Result<OrdinalRegressionFit>(
+                SolveWithSubgradient(data, given, pairs, options));
+  if (!fit.ok()) return fit.status();
+  fit->seconds = timer.ElapsedSeconds();
+  return fit;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,49 @@
+#include "baselines/sampling.h"
+
+#include "ranking/score_ranking.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+Result<SamplingFit> RunSampling(const Dataset& data, const Ranking& given,
+                                const SamplingOptions& options) {
+  if (data.num_tuples() != given.num_tuples()) {
+    return Status::Invalid("dataset / ranking size mismatch");
+  }
+  if (options.time_budget_seconds <= 0 && options.max_samples <= 0) {
+    return Status::Invalid("sampling needs a time budget or sample cap");
+  }
+  Deadline deadline(options.time_budget_seconds);
+  Rng rng(options.seed ^ 0x53414D50ULL);
+  const int m = data.num_attributes();
+
+  SamplingFit fit;
+  fit.error = -1;
+  while (!deadline.Expired()) {
+    if (options.max_samples > 0 && fit.samples_drawn >= options.max_samples) {
+      break;
+    }
+    ++fit.samples_drawn;
+    std::vector<double> w = rng.NextSimplexPoint(m);
+    if (options.constraints != nullptr &&
+        !options.constraints->IsSatisfied(w)) {
+      continue;
+    }
+    ++fit.samples_evaluated;
+    long error = PositionError(data, given, w, options.tie_eps);
+    if (fit.error < 0 || error < fit.error) {
+      fit.error = error;
+      fit.weights = std::move(w);
+      if (error == 0) break;
+    }
+  }
+  fit.seconds = deadline.ElapsedSeconds();
+  if (fit.error < 0) {
+    return Status::ResourceExhausted(
+        "no sample satisfied the weight constraints within the budget");
+  }
+  return fit;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,43 @@
+#ifndef RANKHOW_BASELINES_SAMPLING_H_
+#define RANKHOW_BASELINES_SAMPLING_H_
+
+/// \file sampling.h
+/// The SAMPLING competitor: draw weight vectors uniformly from the simplex
+/// (rejecting ones that violate P), evaluate their true position error, and
+/// keep the best until the time budget runs out. The paper gives it the same
+/// budget RankHow used, making it the "what does brute randomness buy"
+/// baseline.
+
+#include <cstdint>
+
+#include "core/weight_constraints.h"
+#include "data/dataset.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+struct SamplingOptions {
+  double time_budget_seconds = 1.0;
+  /// Hard cap regardless of budget; 0 = unlimited.
+  long max_samples = 0;
+  /// Optional predicate P (samples violating it are rejected).
+  const WeightConstraintSet* constraints = nullptr;
+  double tie_eps = 0.0;
+  uint64_t seed = 0;
+};
+
+struct SamplingFit {
+  std::vector<double> weights;
+  long error = 0;
+  long samples_drawn = 0;
+  long samples_evaluated = 0;  ///< samples that satisfied P
+  double seconds = 0;
+};
+
+Result<SamplingFit> RunSampling(const Dataset& data, const Ranking& given,
+                                const SamplingOptions& options);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_BASELINES_SAMPLING_H_

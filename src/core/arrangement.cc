@@ -1,0 +1,127 @@
+#include "core/arrangement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+
+namespace {
+
+/// The three vertices of the weight 2-simplex.
+constexpr std::array<std::array<double, 3>, 3> kVertices = {{
+    {1.0, 0.0, 0.0},
+    {0.0, 1.0, 0.0},
+    {0.0, 0.0, 1.0},
+}};
+
+}  // namespace
+
+Result<std::vector<SimplexSegment>> TieBoundarySegments(
+    const Dataset& data, const std::vector<int>& tuples, double level) {
+  if (data.num_attributes() != 3) {
+    return Status::Invalid(StrFormat(
+        "TieBoundarySegments visualizes the 2-simplex and needs exactly 3 "
+        "attributes, got %d",
+        data.num_attributes()));
+  }
+  for (int t : tuples) {
+    if (t < 0 || t >= data.num_tuples()) {
+      return Status::Invalid(StrFormat("tuple id %d out of range", t));
+    }
+  }
+
+  std::vector<SimplexSegment> segments;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    for (size_t j = i + 1; j < tuples.size(); ++j) {
+      const int s = tuples[i];
+      const int r = tuples[j];
+      const std::vector<double> d = data.DiffVector(s, r);
+
+      // Intersect {w·d = level} with the three simplex edges. On the edge
+      // from vertex u to vertex v, w(t) = t·u + (1−t)·v has
+      // w·d = t·d_u + (1−t)·d_v, so t* = (level − d_v) / (d_u − d_v).
+      std::vector<std::array<double, 3>> points;
+      for (int u = 0; u < 3; ++u) {
+        for (int v = u + 1; v < 3; ++v) {
+          const double du = d[u];
+          const double dv = d[v];
+          if (std::abs(du - dv) < 1e-15) {
+            // Edge parallel to the hyperplane: either disjoint or the whole
+            // edge lies on it; the latter is reported as the edge segment.
+            if (std::abs(du - level) < 1e-12) {
+              points.push_back(kVertices[u]);
+              points.push_back(kVertices[v]);
+            }
+            continue;
+          }
+          const double t = (level - dv) / (du - dv);
+          if (t < -1e-12 || t > 1 + 1e-12) continue;
+          const double tc = std::clamp(t, 0.0, 1.0);
+          std::array<double, 3> w{};
+          for (int a = 0; a < 3; ++a) {
+            w[a] = tc * kVertices[u][a] + (1 - tc) * kVertices[v][a];
+          }
+          points.push_back(w);
+        }
+      }
+      // Deduplicate corner hits (a line through a vertex intersects both
+      // adjacent edges at the same point).
+      std::vector<std::array<double, 3>> unique;
+      for (const auto& p : points) {
+        bool dup = false;
+        for (const auto& q : unique) {
+          double dist = 0;
+          for (int a = 0; a < 3; ++a) dist += std::abs(p[a] - q[a]);
+          if (dist < 1e-9) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) unique.push_back(p);
+      }
+      if (unique.empty()) continue;  // hyperplane misses the simplex
+      SimplexSegment segment;
+      segment.a = unique.front();
+      segment.b = unique.size() >= 2 ? unique[1] : unique.front();
+      segment.s = s;
+      segment.r = r;
+      segment.level = level;
+      segments.push_back(segment);
+    }
+  }
+  return segments;
+}
+
+Result<std::vector<ErrorSample>> ErrorField(const Dataset& data,
+                                            const Ranking& given,
+                                            int resolution, double tie_eps,
+                                            const RankingObjectiveSpec& spec) {
+  if (data.num_attributes() != 3) {
+    return Status::Invalid("ErrorField needs exactly 3 attributes");
+  }
+  if (data.num_tuples() != given.num_tuples()) {
+    return Status::Invalid("dataset/ranking size mismatch");
+  }
+  if (resolution < 1) {
+    return Status::Invalid("resolution must be >= 1");
+  }
+  std::vector<ErrorSample> samples;
+  samples.reserve(static_cast<size_t>(resolution + 1) * (resolution + 2) / 2);
+  for (int i = 0; i <= resolution; ++i) {
+    for (int j = 0; j <= resolution - i; ++j) {
+      ErrorSample sample;
+      sample.w = {static_cast<double>(i) / resolution,
+                  static_cast<double>(j) / resolution,
+                  static_cast<double>(resolution - i - j) / resolution};
+      sample.error = ObjectiveOf(
+          data, given, {sample.w[0], sample.w[1], sample.w[2]}, tie_eps,
+          spec);
+      samples.push_back(sample);
+    }
+  }
+  return samples;
+}
+
+}  // namespace rankhow

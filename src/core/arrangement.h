@@ -1,0 +1,65 @@
+#ifndef RANKHOW_CORE_ARRANGEMENT_H_
+#define RANKHOW_CORE_ARRANGEMENT_H_
+
+/// \file arrangement.h
+/// The weight-space geometry behind Figures 1 and 2 of the paper: for
+/// m = 3, the set of weight vectors is the 2-simplex {Σw = 1, w >= 0}, and
+/// each tuple pair (s, r) contributes an indicator boundary — the line
+/// {w : w·d(s,r) = level} — whose cells are the regions where δ_sr is
+/// constant. TieBoundarySegments computes those lines clipped to the
+/// simplex so the figures can be regenerated (see tools/arrangement_dump).
+/// ErrorField samples the position error over the simplex (the "terrain"
+/// SYM-GD descends).
+
+#include <array>
+#include <vector>
+
+#include "core/opt_problem.h"
+#include "data/dataset.h"
+#include "ranking/objective.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// One indicator boundary {w on the 2-simplex : w·d(s,r) = level}, clipped
+/// to the simplex. Endpoints are barycentric weight vectors (w1, w2, w3).
+struct SimplexSegment {
+  std::array<double, 3> a{};
+  std::array<double, 3> b{};
+  int s = -1;
+  int r = -1;
+  /// The hyperplane level (0 for the Definition-2 tie boundary, ε₁/ε₂ for
+  /// the Equation-(2) indicator thresholds of Fig. 2).
+  double level = 0;
+};
+
+/// Computes the boundary segment of every ordered pair (s, r) with
+/// s, r ∈ `tuples`, s ≠ r, s < r (the line for (r, s) is the same set of
+/// points at level 0 and the mirrored level otherwise). Pairs whose
+/// hyperplane misses the simplex (e.g. s dominates r — the Example-5 case
+/// where the boundary only touches a corner) produce no segment, or a
+/// degenerate zero-length one when it touches exactly a corner.
+///
+/// Requires a 3-attribute dataset (kInvalidArgument otherwise).
+Result<std::vector<SimplexSegment>> TieBoundarySegments(
+    const Dataset& data, const std::vector<int>& tuples, double level = 0.0);
+
+/// One sample of the error terrain over the simplex.
+struct ErrorSample {
+  std::array<double, 3> w{};
+  long error = 0;
+};
+
+/// Samples the Definition-3 position error (or any objective) on a regular
+/// barycentric grid with `resolution` subdivisions per side — the scalar
+/// field whose cell structure Figure 1 illustrates and whose local minima
+/// SYM-GD finds. Requires m == 3.
+Result<std::vector<ErrorSample>> ErrorField(
+    const Dataset& data, const Ranking& given, int resolution,
+    double tie_eps = 0.0,
+    const RankingObjectiveSpec& spec = RankingObjectiveSpec{});
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_ARRANGEMENT_H_

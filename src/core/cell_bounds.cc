@@ -1,0 +1,37 @@
+#include "core/cell_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rankhow {
+
+Result<CellErrorBounds> ComputeCellErrorBounds(const Dataset& data,
+                                               const Ranking& given,
+                                               const WeightBox& box,
+                                               double eps1, double eps2) {
+  RH_ASSIGN_OR_RETURN(
+      FixingSummary fixing,
+      ComputeIndicatorFixing(data, given.ranked_tuples(), box, eps1, eps2));
+  CellErrorBounds bounds;
+  for (const TupleFixing& group : fixing.groups) {
+    long beats_min = group.fixed_one;
+    long beats_max = group.fixed_one + static_cast<long>(group.free.size());
+    long target = given.position(group.tuple) - 1;
+    // Positions bracket [beats_min+1, beats_max+1]; distance of target+1 to
+    // the bracket is a valid per-tuple lower bound; the farthest endpoint a
+    // valid upper bound.
+    long lo = 0;
+    if (target < beats_min) {
+      lo = beats_min - target;
+    } else if (target > beats_max) {
+      lo = target - beats_max;
+    }
+    long hi = std::max(std::labs(target - beats_min),
+                       std::labs(target - beats_max));
+    bounds.lower += lo;
+    bounds.upper += hi;
+  }
+  return bounds;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,35 @@
+#ifndef RANKHOW_CORE_CELL_BOUNDS_H_
+#define RANKHOW_CORE_CELL_BOUNDS_H_
+
+/// \file cell_bounds.h
+/// Error bounds for weight-space regions (Sec. IV-B): for any box, each
+/// indicator δ_sr is fixed 1, fixed 0, or free, which brackets every ranked
+/// tuple's induced position and therefore the total position error of EVERY
+/// weight vector in the box. Used by the grid-lower-bound seeding strategy.
+
+#include "core/indicator_fixing.h"
+#include "data/dataset.h"
+#include "math/simplex_box.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+struct CellErrorBounds {
+  /// No weight vector in the box achieves error below this.
+  long lower = 0;
+  /// Some weight vector in the box is guaranteed to achieve at most this
+  /// (conservative: derived from the same interval brackets).
+  long upper = 0;
+};
+
+/// Bounds the position error over box ∩ simplex. eps1/eps2 are the indicator
+/// thresholds of Equation (2).
+Result<CellErrorBounds> ComputeCellErrorBounds(const Dataset& data,
+                                               const Ranking& given,
+                                               const WeightBox& box,
+                                               double eps1, double eps2);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_CELL_BOUNDS_H_

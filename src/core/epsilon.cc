@@ -1,0 +1,59 @@
+#include "core/epsilon.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+EpsilonConfig DeriveEpsilons(double tie_eps, double tau) {
+  RH_CHECK(tau > 0) << "precision tolerance must be positive";
+  EpsilonConfig eps;
+  eps.tie_eps = tie_eps;
+  eps.eps2 = tie_eps - tau;
+  // τ⁺: minimally greater than τ in double precision.
+  double tau_plus =
+      std::nextafter(tau, std::numeric_limits<double>::infinity());
+  eps.eps1 = tie_eps + tau_plus;
+  return eps;
+}
+
+Result<TauSearchResult> FindPrecisionTolerance(
+    double tie_eps,
+    const std::function<Result<bool>(const EpsilonConfig&)>& solve_and_verify,
+    TauSearchOptions options) {
+  RH_CHECK(options.tau_min > 0 && options.tau_max > options.tau_min);
+  TauSearchResult result;
+
+  // The largest tolerance must verify, otherwise the instance is outside
+  // the search range (τ genuinely above tau_max).
+  EpsilonConfig hi_eps = DeriveEpsilons(tie_eps, options.tau_max);
+  RH_ASSIGN_OR_RETURN(bool hi_ok, solve_and_verify(hi_eps));
+  ++result.probes;
+  if (!hi_ok) {
+    return Status::Numerical(
+        "even the largest probed precision tolerance fails verification");
+  }
+  double lo = options.tau_min;  // may fail verification
+  double hi = options.tau_max;  // verifies
+  result.tau = hi;
+  result.eps = hi_eps;
+
+  for (int step = 0; step < options.max_steps; ++step) {
+    double mid = std::sqrt(lo * hi);  // geometric bisection
+    EpsilonConfig eps = DeriveEpsilons(tie_eps, mid);
+    RH_ASSIGN_OR_RETURN(bool ok, solve_and_verify(eps));
+    ++result.probes;
+    if (ok) {
+      hi = mid;
+      result.tau = mid;
+      result.eps = eps;
+    } else {
+      lo = mid;
+    }
+  }
+  return result;
+}
+
+}  // namespace rankhow

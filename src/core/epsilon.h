@@ -1,0 +1,49 @@
+#ifndef RANKHOW_CORE_EPSILON_H_
+#define RANKHOW_CORE_EPSILON_H_
+
+/// \file epsilon.h
+/// Section V-A machinery: choosing the indicator thresholds ε₁, ε₂ from the
+/// tie tolerance ε and the solver's precision tolerance τ (Lemmas 2 and 3),
+/// and the paper's binary-search heuristic for finding τ itself by probing
+/// the solver and exactly verifying its answers.
+
+#include <functional>
+
+#include "core/opt_problem.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// Lemma 2/3 construction: ε₂ = ε − τ and ε₁ = ε + τ⁺ with τ⁺ minimally
+/// greater than τ, so ε₁ − ε₂ > 2τ and the solver can never consider δ = 0
+/// and δ = 1 simultaneously satisfiable.
+EpsilonConfig DeriveEpsilons(double tie_eps, double tau);
+
+struct TauSearchOptions {
+  double tau_min = 1e-12;
+  double tau_max = 1e-2;
+  /// Geometric bisection steps.
+  int max_steps = 16;
+};
+
+struct TauSearchResult {
+  /// Smallest probed τ whose solutions verified.
+  double tau = 0;
+  /// The corresponding (ε, ε₁, ε₂).
+  EpsilonConfig eps;
+  /// Solver probes performed.
+  int probes = 0;
+};
+
+/// The paper's τ heuristic: binary-search τ̂; on numerical problems
+/// (detected as a failed exact verification) move up, otherwise down.
+/// `solve_and_verify` must run the solver at the given EpsilonConfig and
+/// report whether the result passed exact verification.
+Result<TauSearchResult> FindPrecisionTolerance(
+    double tie_eps,
+    const std::function<Result<bool>(const EpsilonConfig&)>& solve_and_verify,
+    TauSearchOptions options = TauSearchOptions());
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_EPSILON_H_

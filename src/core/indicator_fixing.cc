@@ -1,0 +1,81 @@
+#include "core/indicator_fixing.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+namespace {
+
+/// True when the box is the whole [0,1]^m (ranges reduce to min/max of d).
+bool IsFullBox(const WeightBox& box) {
+  for (int i = 0; i < box.dim(); ++i) {
+    if (box.lo[i] != 0.0 || box.hi[i] != 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<FixingSummary> ComputeIndicatorFixing(const Dataset& data,
+                                             const std::vector<int>& tuples,
+                                             const WeightBox& box,
+                                             double eps1, double eps2,
+                                             bool enable_fixing) {
+  RH_CHECK(box.dim() == data.num_attributes());
+  if (!box.IntersectsSimplex()) {
+    return Status::Infeasible("weight box misses the simplex");
+  }
+  const int n = data.num_tuples();
+  const int m = data.num_attributes();
+  const bool full_box = IsFullBox(box);
+
+  // Pre-sort coordinates by (hi - lo) availability only matters inside
+  // DotRangeOnSimplexBox; for the hot loop we inline the two greedy passes
+  // with a reusable index ordering per pair.
+  FixingSummary summary;
+  summary.groups.reserve(tuples.size());
+  std::vector<double> d(m);
+
+  for (int r : tuples) {
+    TupleFixing group;
+    group.tuple = r;
+    for (int s = 0; s < n; ++s) {
+      if (s == r) continue;
+      double lo;
+      double hi;
+      if (full_box) {
+        // Range of w·d over the simplex = [min dᵢ, max dᵢ].
+        lo = data.value(s, 0) - data.value(r, 0);
+        hi = lo;
+        for (int a = 1; a < m; ++a) {
+          double v = data.value(s, a) - data.value(r, a);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      } else {
+        for (int a = 0; a < m; ++a) d[a] = data.value(s, a) - data.value(r, a);
+        auto range = DotRangeOnSimplexBox(d, box);
+        if (!range.ok()) return range.status();
+        lo = range->min;
+        hi = range->max;
+      }
+      if (enable_fixing && lo >= eps1) {
+        ++group.fixed_one;
+      } else if (enable_fixing && hi <= eps2) {
+        ++group.fixed_zero;
+      } else {
+        group.free.push_back(FreePair{s, lo, hi});
+      }
+    }
+    summary.total_fixed_one += group.fixed_one;
+    summary.total_fixed_zero += group.fixed_zero;
+    summary.total_free += static_cast<long>(group.free.size());
+    summary.groups.push_back(std::move(group));
+  }
+  return summary;
+}
+
+}  // namespace rankhow

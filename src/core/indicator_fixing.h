@@ -1,0 +1,69 @@
+#ifndef RANKHOW_CORE_INDICATOR_FIXING_H_
+#define RANKHOW_CORE_INDICATOR_FIXING_H_
+
+/// \file indicator_fixing.h
+/// Interval fixing of the indicator variables δ_sr over a weight box. This
+/// single primitive implements two ideas of the paper:
+///
+///  * Section V-B's dominator/dominatee elimination is the special case of
+///    fixing over the *whole simplex*: if s dominates r then w·d(s,r) >= ε₁
+///    for every admissible w, so δ_sr ≡ 1 (and symmetrically ≡ 0).
+///  * Section IV-A's SYM-GD cell reduction is fixing over a *small box*:
+///    few indicator hyperplanes intersect a small cell, so almost all δ
+///    become constants and the local MILP collapses toward an LP.
+///
+/// Ranges of w·d over box ∩ simplex are computed exactly with the greedy
+/// support function in math/simplex_box.h.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "math/simplex_box.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// An undetermined pair: s may or may not outscore the group's tuple r
+/// within the box. [diff_min, diff_max] is the exact range of w·d(s,r).
+struct FreePair {
+  int s = -1;
+  double diff_min = 0;
+  double diff_max = 0;
+};
+
+/// Fixing summary for one "group" tuple r (a ranked tuple or a
+/// position-constrained one).
+struct TupleFixing {
+  int tuple = -1;
+  /// Number of s with δ_sr fixed to 1 (s certainly outscores r in the box).
+  int fixed_one = 0;
+  /// Number of s with δ_sr fixed to 0.
+  int fixed_zero = 0;
+  /// The undetermined pairs.
+  std::vector<FreePair> free;
+};
+
+struct FixingSummary {
+  std::vector<TupleFixing> groups;
+  long total_fixed_one = 0;
+  long total_fixed_zero = 0;
+  long total_free = 0;
+};
+
+/// Computes δ_sr fixing for every group tuple r in `tuples` against all
+/// other tuples s, over `box` ∩ simplex:
+///   min w·d >= eps1  ⇒ δ = 1,   max w·d <= eps2  ⇒ δ = 0,   else free.
+/// Fails with kInfeasible when box ∩ simplex is empty.
+///
+/// With `enable_fixing == false` every pair is reported as free (ranges are
+/// still computed, so big-M stays tight) — the ablation knob for measuring
+/// what Sec. V-B's pruning buys.
+Result<FixingSummary> ComputeIndicatorFixing(const Dataset& data,
+                                             const std::vector<int>& tuples,
+                                             const WeightBox& box,
+                                             double eps1, double eps2,
+                                             bool enable_fixing = true);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_INDICATOR_FIXING_H_

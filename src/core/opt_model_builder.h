@@ -1,0 +1,71 @@
+#ifndef RANKHOW_CORE_OPT_MODEL_BUILDER_H_
+#define RANKHOW_CORE_OPT_MODEL_BUILDER_H_
+
+/// \file opt_model_builder.h
+/// Compiles an OPT instance into the MILP of Equation (2):
+///
+///   min Σ_{r ∈ Rπ(k)} | π(r) − 1 − Σ_{s≠r} δ_sr |
+///   s.t. P(w),  Σw = 1,  w >= 0,
+///        δ_sr = 1 ⇒ w·d(s,r) >= ε₁,
+///        δ_sr = 0 ⇒ w·d(s,r) <= ε₂,
+///
+/// with the |·| objective linearized through per-tuple error variables,
+/// indicators already fixed by interval analysis substituted as constants
+/// (Sec. V-B / IV-A), per-pair tight big-M values from the exact w·d ranges,
+/// and the Example-1 side constraints (position ranges, pairwise orders)
+/// lowered onto the same indicator variables.
+
+#include <vector>
+
+#include "core/indicator_fixing.h"
+#include "core/opt_problem.h"
+#include "math/simplex_box.h"
+#include "milp/milp_model.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// The compiled model plus the variable maps needed to interpret solutions.
+struct OptModel {
+  MilpModel milp;
+  /// Model variable ids of w₁..w_m.
+  std::vector<int> weight_vars;
+
+  /// One group per tuple that needed indicator variables (every ranked tuple
+  /// plus any position-constrained unranked tuple).
+  struct TupleGroup {
+    int tuple = -1;
+    /// π(r) for ranked tuples, kUnranked otherwise.
+    int given_position = kUnranked;
+    /// Error variable id (only for ranked tuples; -1 otherwise).
+    int error_var = -1;
+    /// Free indicator variables: (s, model var id).
+    std::vector<std::pair<int, int>> delta_vars;
+    /// Number of δ_sr fixed to 1.
+    int fixed_one = 0;
+  };
+  std::vector<TupleGroup> groups;
+
+  long num_free_indicators = 0;
+  long num_fixed_indicators = 0;
+
+  /// Extracts the weight vector from a model-variable assignment.
+  std::vector<double> ExtractWeights(const std::vector<double>& values) const;
+};
+
+/// Builds the MILP restricted to weight box `box` (the full simplex for the
+/// global RankHow solve; a small cell for SYM-GD). The box is first
+/// tightened with P's single-variable bounds. `enable_fixing == false`
+/// disables the Sec. V-B / IV-A indicator substitution (ablation);
+/// `enable_cuts == false` drops the transitivity strengthening rows;
+/// `tight_big_m == false` discards the per-pair exact Ms so the relaxation
+/// falls back to loose bounds-derived values (ablation A3).
+Result<OptModel> BuildOptModel(const OptProblem& problem,
+                               const WeightBox& box,
+                               bool enable_fixing = true,
+                               bool enable_cuts = true,
+                               bool tight_big_m = true);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_OPT_MODEL_BUILDER_H_

@@ -1,0 +1,160 @@
+#ifndef RANKHOW_CORE_RANKHOW_H_
+#define RANKHOW_CORE_RANKHOW_H_
+
+/// \file rankhow.h
+/// The RANKHOW exact solver (Sections III and V of the paper): synthesize a
+/// linear scoring function minimizing position-based error against a given
+/// ranking, under flexible weight constraints, by solving the Equation-(2)
+/// MILP holistically with branch-and-bound — with dominance/interval
+/// pruning, tight big-M, a true-error primal heuristic supplying the
+/// cross-branch incumbents, and exact-arithmetic verification of the result.
+///
+/// Typical use:
+///   RankHow solver(data, given_ranking, options);
+///   solver.problem().constraints.AddMinWeight(pts_index, 0.1);
+///   auto result = solver.Solve();
+///   std::cout << result->function.ToString() << "  error=" << result->error;
+
+#include <optional>
+#include <vector>
+
+#include "core/opt_model_builder.h"
+#include "core/opt_problem.h"
+#include "core/presolve.h"
+#include "core/scoring_function.h"
+#include "core/spatial_bnb.h"
+#include "lp/simplex.h"
+#include "milp/branch_and_bound.h"
+#include "ranking/verifier.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+/// Which exact search runs under RankHow::Solve.
+enum class SolveStrategy {
+  /// Pick per instance: spatial subdivision when the weight-space dimension
+  /// is small and the pair count moderate, indicator MILP otherwise.
+  kAuto,
+  /// The paper's Equation-(2) MILP, solved by branch-and-bound on the δ
+  /// indicator variables (what Gurobi does).
+  kIndicatorMilp,
+  /// Weight-space branch-and-bound (core/spatial_bnb.h): exact under the
+  /// true ε-tie semantics, fastest for few attributes.
+  kSpatial,
+  /// The Section III-A alternative the paper sketches for SMT solvers (Z3):
+  /// convert OPT into a series of satisfiability problems and binary-search
+  /// the smallest error bound E for which `Equation-(2) constraints ∧
+  /// objective <= E` admits a solution. Each probe is a feasibility MILP.
+  /// Exact like kIndicatorMilp but typically slower (infeasible probes must
+  /// exhaust their search tree) — measured in bench_ablations (A9).
+  kSatBinarySearch,
+};
+
+const char* SolveStrategyName(SolveStrategy strategy);
+
+struct RankHowOptions {
+  EpsilonConfig eps;
+  SolveStrategy strategy = SolveStrategy::kAuto;
+  /// Wall-clock budget for one solve; 0 = unlimited.
+  double time_limit_seconds = 0;
+  /// Branch-and-bound node cap; 0 = unlimited.
+  int64_t max_nodes = 0;
+  /// Run the multi-start presolve (core/presolve.h) to warm-start the exact
+  /// search with a strong incumbent. Skipped when the caller supplies
+  /// initial weights (SYM-GD's iterates) — those play the same role.
+  bool use_presolve = true;
+  PresolveOptions presolve;
+  /// Evaluate the true error of each node's weight vector as an incumbent
+  /// (Sec. III-B's "cross-branch information"). Disabling this is the
+  /// "naive TREE-like solver" ablation.
+  bool use_primal_heuristic = true;
+  /// Substitute interval-fixed indicators as constants (Sec. V-B pruning).
+  bool use_indicator_fixing = true;
+  /// Add mutual-exclusion + transitivity strengthening rows (tighter LP
+  /// bounds at the cost of larger node LPs).
+  bool use_strengthening_cuts = true;
+  /// Lazy row generation in the MILP branch-and-bound (see BnbOptions).
+  /// Disabling is the full-relaxation ablation.
+  bool use_lazy_separation = true;
+  /// Tight per-pair big-M from the simplex-box support function (default).
+  /// Disabling lets the relaxation auto-derive loose Ms from variable
+  /// bounds — the textbook formulation the paper implicitly improves on.
+  bool use_tight_big_m = true;
+  /// Re-compute the final error in exact arithmetic (Sec. V-A).
+  bool verify = true;
+  SimplexOptions lp_options;
+};
+
+struct RankHowResult {
+  ScoringFunction function;
+  /// Position-based error of `function` — exact-arithmetic value when
+  /// verification is on, otherwise the solver's claimed objective.
+  long error = 0;
+  /// The objective the solver claimed for its solution.
+  long claimed_error = 0;
+  /// Proven lower bound on the optimum.
+  long bound = 0;
+  /// True iff the exact search completed (bound == claimed objective).
+  bool proven_optimal = false;
+  /// Which strategy actually ran (resolves kAuto).
+  SolveStrategy strategy_used = SolveStrategy::kIndicatorMilp;
+  /// Present when options.verify; consistent == false flags a numerical
+  /// false positive (Table III's phenomenon).
+  std::optional<VerificationReport> verification;
+  BnbStats stats;
+  long num_free_indicators = 0;
+  long num_fixed_indicators = 0;
+  /// Satisfiability probes issued (kSatBinarySearch only).
+  long sat_probes = 0;
+  double seconds = 0;
+};
+
+/// The exact OPT solver. Holds a mutable OptProblem so callers can layer
+/// constraints between solves (the Example-1 exploration workflow).
+class RankHow {
+ public:
+  RankHow(const Dataset& data, const Ranking& given,
+          RankHowOptions options = RankHowOptions());
+
+  /// The problem instance; add weight/position/order constraints here.
+  OptProblem& problem() { return problem_; }
+  const OptProblem& problem() const { return problem_; }
+  RankHowOptions& options() { return options_; }
+
+  /// Global solve over the whole weight simplex.
+  Result<RankHowResult> Solve(
+      const std::vector<double>* initial_weights = nullptr) const;
+
+  /// Solve restricted to a weight box (SYM-GD cells; Sec. IV).
+  Result<RankHowResult> SolveInBox(
+      const WeightBox& box,
+      const std::vector<double>* initial_weights = nullptr) const;
+
+  /// Evaluates a weight vector the way the MILP sees it: returns the
+  /// Equation-(2) objective if every score difference is outside the
+  /// (ε₂, ε₁) gap and all side constraints hold; nullopt otherwise.
+  std::optional<long> MilpConsistentError(
+      const std::vector<double>& weights) const;
+
+ private:
+  SolveStrategy ResolveStrategy(const WeightBox& box) const;
+  Result<RankHowResult> SolveModel(const OptModel& model,
+                                   const std::vector<double>* initial_weights,
+                                   const Deadline& deadline) const;
+  Result<RankHowResult> SolveSpatial(const WeightBox& box,
+                                     const std::vector<double>& warm,
+                                     const Deadline& deadline) const;
+  Result<RankHowResult> SolveSatBinarySearch(
+      const OptModel& model, const std::vector<double>* initial_weights,
+      const Deadline& deadline) const;
+
+  const Dataset& data_;
+  const Ranking& given_;
+  OptProblem problem_;
+  RankHowOptions options_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_RANKHOW_H_

@@ -1,0 +1,32 @@
+#include "core/scoring_function.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+ScoringFunction ScoringFunction::FromWeights(const Dataset& data,
+                                             std::vector<double> weights) {
+  RH_CHECK(static_cast<int>(weights.size()) == data.num_attributes());
+  return ScoringFunction{std::move(weights), data.attribute_names()};
+}
+
+std::string ScoringFunction::ToString(int precision, double min_weight) const {
+  std::string out;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (std::abs(weights[i]) < min_weight) continue;
+    if (!out.empty()) out += " + ";
+    out += StrFormat("%.*f*%s", precision, weights[i],
+                     i < attribute_names.size()
+                         ? attribute_names[i].c_str()
+                         : StrFormat("A%zu", i + 1).c_str());
+  }
+  if (out.empty()) out = "0";
+  return out;
+}
+
+std::vector<double> ScoringFunction::Score(const Dataset& data) const {
+  return data.Scores(weights);
+}
+
+}  // namespace rankhow

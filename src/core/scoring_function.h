@@ -1,0 +1,33 @@
+#ifndef RANKHOW_CORE_SCORING_FUNCTION_H_
+#define RANKHOW_CORE_SCORING_FUNCTION_H_
+
+/// \file scoring_function.h
+/// The synthesized artifact: a linear scoring function f_W over named
+/// attributes, e.g. "0.02*REB + 0.14*AST + 0.84*BLK" from the paper's
+/// Example 1.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rankhow {
+
+/// A linear scoring function with named attributes.
+struct ScoringFunction {
+  std::vector<double> weights;
+  std::vector<std::string> attribute_names;
+
+  static ScoringFunction FromWeights(const Dataset& data,
+                                     std::vector<double> weights);
+
+  /// Human-readable rendering; weights below `min_weight` are omitted.
+  std::string ToString(int precision = 2, double min_weight = 0.005) const;
+
+  /// Scores every tuple of a dataset with matching attribute count.
+  std::vector<double> Score(const Dataset& data) const;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_SCORING_FUNCTION_H_

@@ -1,0 +1,144 @@
+#include "core/seeding.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "baselines/linear_regression.h"
+#include "baselines/ordinal_regression.h"
+#include "core/cell_bounds.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rankhow {
+
+std::vector<double> ProjectWeightsToSimplex(std::vector<double> weights) {
+  double total = 0;
+  for (double& w : weights) {
+    if (w < 0) w = 0;
+    total += w;
+  }
+  if (total <= 0) {
+    std::fill(weights.begin(), weights.end(), 1.0 / weights.size());
+    return weights;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+Result<std::vector<double>> OrdinalRegressionSeed(const Dataset& data,
+                                                  const Ranking& given,
+                                                  double eps1) {
+  OrdinalRegressionOptions options;
+  options.margin = eps1;
+  RH_ASSIGN_OR_RETURN(OrdinalRegressionFit fit,
+                      FitOrdinalRegression(data, given, options));
+  return ProjectWeightsToSimplex(std::move(fit.weights));
+}
+
+Result<std::vector<double>> LinearRegressionSeed(const Dataset& data,
+                                                 const Ranking& given) {
+  RH_ASSIGN_OR_RETURN(LinearRegressionFit fit,
+                      FitLinearRegression(data, given));
+  return ProjectWeightsToSimplex(std::move(fit.weights));
+}
+
+namespace {
+
+struct ScoredBox {
+  long lower_bound;
+  long upper_bound;
+  double width;
+  WeightBox box;
+};
+
+struct BoxOrder {
+  bool operator()(const ScoredBox& a, const ScoredBox& b) const {
+    if (a.lower_bound != b.lower_bound) return a.lower_bound > b.lower_bound;
+    return a.upper_bound > b.upper_bound;
+  }
+};
+
+double MaxWidth(const WeightBox& box) {
+  double w = 0;
+  for (int i = 0; i < box.dim(); ++i) w = std::max(w, box.hi[i] - box.lo[i]);
+  return w;
+}
+
+}  // namespace
+
+Result<std::vector<double>> GridLowerBoundSeed(const Dataset& data,
+                                               const Ranking& given,
+                                               const GridSeedOptions& options) {
+  const int m = data.num_attributes();
+  std::priority_queue<ScoredBox, std::vector<ScoredBox>, BoxOrder> open;
+
+  auto push_box = [&](WeightBox box) -> Status {
+    if (!box.IntersectsSimplex()) return Status::OK();
+    auto bounds = ComputeCellErrorBounds(data, given, box, options.eps1,
+                                         options.eps2);
+    if (!bounds.ok()) return bounds.status();
+    open.push(ScoredBox{bounds->lower, bounds->upper, MaxWidth(box),
+                        std::move(box)});
+    return Status::OK();
+  };
+
+  RH_RETURN_NOT_OK(push_box(WeightBox::FullSimplex(m)));
+
+  int evaluations = 1;
+  std::vector<double> best_point;
+  long best_upper = -1;
+  while (!open.empty() && evaluations < options.max_cells) {
+    ScoredBox top = open.top();
+    open.pop();
+    if (best_upper >= 0 && top.lower_bound >= best_upper) {
+      // Even the most promising cell cannot beat the best certified cell.
+      break;
+    }
+    if (top.width <= options.target_cell_size ||
+        top.lower_bound == top.upper_bound) {
+      auto point = AnyPointOnSimplexBox(top.box);
+      if (point.ok() &&
+          (best_upper < 0 || top.upper_bound < best_upper)) {
+        best_upper = top.upper_bound;
+        best_point = *point;
+        if (best_upper == 0) break;
+      }
+      continue;
+    }
+    // Split the widest dimension.
+    int dim = 0;
+    double widest = -1;
+    for (int i = 0; i < m; ++i) {
+      double w = top.box.hi[i] - top.box.lo[i];
+      if (w > widest) {
+        widest = w;
+        dim = i;
+      }
+    }
+    double mid = 0.5 * (top.box.lo[dim] + top.box.hi[dim]);
+    WeightBox left = top.box;
+    left.hi[dim] = mid;
+    WeightBox right = top.box;
+    right.lo[dim] = mid;
+    RH_RETURN_NOT_OK(push_box(std::move(left)));
+    RH_RETURN_NOT_OK(push_box(std::move(right)));
+    evaluations += 2;
+  }
+  // Budget exhausted: fall back to the most promising remaining cell.
+  if (best_point.empty() && !open.empty()) {
+    auto point = AnyPointOnSimplexBox(open.top().box);
+    if (point.ok()) best_point = *point;
+  }
+  if (best_point.empty()) {
+    return Status::ResourceExhausted(
+        "grid seed found no evaluable cell within its budget");
+  }
+  return best_point;
+}
+
+std::vector<double> RandomSeed(int num_attributes, uint64_t seed) {
+  Rng rng(seed ^ 0x53454544ULL);
+  return rng.NextSimplexPoint(num_attributes);
+}
+
+}  // namespace rankhow

@@ -1,0 +1,59 @@
+#ifndef RANKHOW_CORE_SEEDING_H_
+#define RANKHOW_CORE_SEEDING_H_
+
+/// \file seeding.h
+/// Seed-point strategies for SYM-GD (Sec. IV-B). The paper's default is an
+/// ordinal-regression fit ("optimizes the wrong loss, but that loss is
+/// correlated with rank-position error"); alternatives are linear
+/// regression, the grid-lower-bound search over weight-space cells, and
+/// plain random draws.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "math/simplex_box.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// Clamps negatives to zero and rescales to Σw = 1 (uniform fallback when
+/// everything is non-positive). Positive rescaling never changes the
+/// induced ranking, so this is a safe way to move regression coefficients
+/// onto the simplex.
+std::vector<double> ProjectWeightsToSimplex(std::vector<double> weights);
+
+/// Ordinal-regression seed (the SYM-GD default; margin = eps1).
+Result<std::vector<double>> OrdinalRegressionSeed(const Dataset& data,
+                                                  const Ranking& given,
+                                                  double eps1);
+
+/// Linear-regression seed (OLS projected onto the simplex).
+Result<std::vector<double>> LinearRegressionSeed(const Dataset& data,
+                                                 const Ranking& given);
+
+struct GridSeedOptions {
+  /// Stop refining a cell once its width falls to this size.
+  double target_cell_size = 0.1;
+  /// Budget on cell-bound evaluations.
+  int max_cells = 2000;
+  double eps1 = 1e-9;
+  double eps2 = 0.0;
+};
+
+/// The paper's second strategy: search weight-space cells by error lower
+/// bound (Sec. IV-B). Implemented as best-first box subdivision — cells are
+/// refined in ascending lower-bound order instead of enumerating all
+/// (1/c)^m at once, which visits the same cells the exhaustive grid would
+/// but reaches the winning one much sooner.
+Result<std::vector<double>> GridLowerBoundSeed(
+    const Dataset& data, const Ranking& given,
+    const GridSeedOptions& options = GridSeedOptions());
+
+/// Uniform random simplex point.
+std::vector<double> RandomSeed(int num_attributes, uint64_t seed);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_SEEDING_H_

@@ -1,0 +1,276 @@
+#include "core/spatial_bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/indicator_fixing.h"
+#include "core/presolve.h"
+#include "lp/simplex.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+namespace {
+
+/// A subdivision node: a box with the lower bound its parent proved for it
+/// (tightened on expansion).
+struct Node {
+  WeightBox box;
+  long lb;
+  int depth;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.lb != b.lb) return a.lb > b.lb;  // lowest bound first
+    return a.depth < b.depth;              // then dive
+  }
+};
+
+double MaxWidth(const WeightBox& box) {
+  double w = 0;
+  for (int i = 0; i < box.dim(); ++i) w = std::max(w, box.hi[i] - box.lo[i]);
+  return w;
+}
+
+/// What bounding a box concluded.
+struct BoxBound {
+  long lb = 0;
+  bool feasible = true;   // false: prune (no valid weight vector inside)
+  bool all_fixed = true;  // every indicator constant over the box
+};
+
+}  // namespace
+
+Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
+  RH_RETURN_NOT_OK(problem_.Validate());
+  if (problem_.objective.kind == ObjectiveKind::kInversions) {
+    // The beats-bracket bound does not transfer to pair-inversion counting;
+    // RankHow routes inversion objectives to the indicator MILP.
+    return Status::Invalid(
+        "SpatialBnb supports position-error objectives only; use "
+        "SolveStrategy::kIndicatorMilp for inversion objectives");
+  }
+  const Dataset& data = *problem_.data;
+  const Ranking& given = *problem_.given;
+  const int m = data.num_attributes();
+  const double tie_eps = problem_.eps.tie_eps;
+  // True-semantics fixing thresholds: a pair beats iff diff > ε, so it is
+  // fixed to 1 when min diff exceeds ε (η guards the strict inequality) and
+  // fixed to 0 when max diff <= ε.
+  const double eta = std::max(1e-15, 1e-9 * tie_eps);
+  const double fix_one_at = tie_eps + eta;
+  const double fix_zero_at = tie_eps;
+
+  WeightBox root = problem_.constraints.TightenBox(root_box);
+  if (!root.IntersectsSimplex()) {
+    return Status::Infeasible("spatial root box ∩ simplex ∩ P bounds empty");
+  }
+
+  // Tuples needing beat brackets: ranked ones (objective) plus
+  // position-constrained extras (pruning only).
+  std::vector<int> tuples = given.ranked_tuples();
+  for (const PositionConstraint& pc : problem_.position_constraints) {
+    if (!given.IsRanked(pc.tuple)) tuples.push_back(pc.tuple);
+  }
+
+  const bool has_general_rows = [&] {
+    for (const WeightConstraint& c : problem_.constraints.constraints()) {
+      if (c.terms.size() > 1) return true;
+    }
+    return false;
+  }();
+  SimplexSolver lp_solver;  // only used for general-row feasibility checks
+
+  // Feasibility of box ∩ simplex ∩ P(general rows); returns a point inside
+  // when one is needed (for incumbent evaluation), or empty when the caller
+  // only needs the verdict.
+  auto feasible_point =
+      [&](const WeightBox& box) -> Result<std::vector<double>> {
+    if (!has_general_rows) return AnyPointOnSimplexBox(box);
+    LpModel lp;
+    std::vector<int> weight_vars(m);
+    LinearExpr sum;
+    for (int a = 0; a < m; ++a) {
+      weight_vars[a] = lp.AddVariable(box.lo[a], box.hi[a], "w");
+      sum += LinearExpr::Term(weight_vars[a], 1.0);
+    }
+    lp.AddConstraint(std::move(sum), RelOp::kEq, 1.0, "simplex");
+    problem_.constraints.AppendTo(&lp, weight_vars);
+    return lp_solver.FindFeasiblePoint(lp);
+  };
+
+  // Bounds a box. Also prunes via order constraints and position brackets.
+  std::vector<double> diff(m);
+  auto bound_box = [&](const WeightBox& box) -> Result<BoxBound> {
+    BoxBound out;
+    for (const PairwiseOrderConstraint& oc : problem_.order_constraints) {
+      for (int a = 0; a < m; ++a) {
+        diff[a] = data.value(oc.above, a) - data.value(oc.below, a);
+      }
+      RH_ASSIGN_OR_RETURN(DotRange range, DotRangeOnSimplexBox(diff, box));
+      if (range.max <= tie_eps) {  // can never rank `above` higher here
+        out.feasible = false;
+        return out;
+      }
+      // Satisfied at some points but not all: the box must keep splitting
+      // even when every indicator is fixed, or a single rejected evaluation
+      // would wrongly discard the satisfying part.
+      if (range.min < fix_one_at) out.all_fixed = false;
+    }
+    RH_ASSIGN_OR_RETURN(
+        FixingSummary fixing,
+        ComputeIndicatorFixing(data, tuples, box, fix_one_at, fix_zero_at));
+    for (const TupleFixing& group : fixing.groups) {
+      const long beats_min = group.fixed_one;
+      const long beats_max =
+          group.fixed_one + static_cast<long>(group.free.size());
+      if (!group.free.empty()) out.all_fixed = false;
+      for (const PositionConstraint& pc : problem_.position_constraints) {
+        if (pc.tuple != group.tuple) continue;
+        if (beats_min + 1 > pc.max_position ||
+            beats_max + 1 < pc.min_position) {
+          out.feasible = false;
+          return out;
+        }
+      }
+      if (!given.IsRanked(group.tuple)) continue;
+      const long target = given.position(group.tuple) - 1;
+      const long penalty =
+          problem_.objective.PenaltyAt(given.position(group.tuple));
+      if (target < beats_min) {
+        out.lb += penalty * (beats_min - target);
+      } else if (target > beats_max) {
+        out.lb += penalty * (target - beats_max);
+      }
+    }
+    return out;
+  };
+
+  Deadline deadline(options_.time_limit_seconds);
+  WallTimer timer;
+  SpatialBnbResult result;
+  SpatialBnbStats& stats = result.stats;
+
+  long incumbent = std::numeric_limits<long>::max();
+  std::vector<double> incumbent_weights;
+  auto offer_incumbent = [&](const std::vector<double>& w) {
+    auto err = EvaluateTrueError(problem_, w);
+    if (err.has_value() && *err < incumbent) {
+      incumbent = *err;
+      incumbent_weights = w;
+      ++stats.incumbent_updates;
+    }
+  };
+  if (!options_.initial_weights.empty()) {
+    offer_incumbent(options_.initial_weights);
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{root, 0, 0});
+  long floor_lb_min = std::numeric_limits<long>::max();
+  bool limits_hit = false;
+  long frontier_lb = std::numeric_limits<long>::max();  // once exhausted
+
+  while (!open.empty()) {
+    if (deadline.Expired() ||
+        (options_.max_boxes > 0 && stats.boxes_explored >= options_.max_boxes)) {
+      limits_hit = true;
+      frontier_lb = open.top().lb;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.lb >= incumbent) {
+      // Best-first: every remaining box is at least this bad.
+      frontier_lb = node.lb;
+      break;
+    }
+    ++stats.boxes_explored;
+
+    RH_ASSIGN_OR_RETURN(BoxBound bb, bound_box(node.box));
+    if (!bb.feasible) {
+      ++stats.boxes_pruned_infeasible;
+      continue;
+    }
+    long lb = std::max(node.lb, bb.lb);
+    if (lb >= incumbent) {
+      ++stats.boxes_pruned_bound;
+      continue;
+    }
+    // General P rows can empty a box that the interval bounds cannot see.
+    auto point = feasible_point(node.box);
+    if (!point.ok()) {
+      if (point.status().code() == StatusCode::kInfeasible) {
+        ++stats.boxes_pruned_infeasible;
+        continue;
+      }
+      return point.status();
+    }
+    offer_incumbent(*point);
+    if (lb >= incumbent) {
+      ++stats.boxes_pruned_bound;
+      continue;
+    }
+
+    if (bb.all_fixed) {
+      // Every indicator is constant over the box, so the error is constant
+      // and the evaluated point realized it (incumbent updated above) —
+      // unless a position constraint rejected it, which then rejects the
+      // whole box identically (positions are functions of the fixed
+      // indicators; order constraints hold everywhere here by the
+      // all_fixed test; the LP point satisfies P).
+      continue;
+    }
+    if (MaxWidth(node.box) <= options_.min_box_width) {
+      // Resolution floor: the box straddles a hyperplane within numerical
+      // noise. The evaluation above settled it unless its value is above
+      // the bound — then the proof has a hole we must report.
+      if (incumbent > lb) {
+        ++stats.floor_misses;
+        floor_lb_min = std::min(floor_lb_min, lb);
+      }
+      continue;
+    }
+
+    // Split the widest dimension at its midpoint (closed halves: the cover
+    // keeps hyperplane-boundary points in both children).
+    int dim = 0;
+    double widest = -1;
+    for (int i = 0; i < m; ++i) {
+      double w = node.box.hi[i] - node.box.lo[i];
+      if (w > widest) {
+        widest = w;
+        dim = i;
+      }
+    }
+    double mid = 0.5 * (node.box.lo[dim] + node.box.hi[dim]);
+    for (int side = 0; side < 2; ++side) {
+      Node child{node.box, lb, node.depth + 1};
+      (side == 0 ? child.box.hi : child.box.lo)[dim] = mid;
+      if (!child.box.IntersectsSimplex()) continue;
+      open.push(std::move(child));
+    }
+  }
+
+  stats.seconds = timer.ElapsedSeconds();
+  if (incumbent == std::numeric_limits<long>::max()) {
+    if (limits_hit) {
+      return Status::ResourceExhausted(
+          "spatial search limits reached before finding a feasible point");
+    }
+    return Status::Infeasible(
+        "no weight vector satisfies the side constraints in the box");
+  }
+  result.weights = std::move(incumbent_weights);
+  result.error = incumbent;
+  long proven = open.empty() && !limits_hit ? incumbent : frontier_lb;
+  proven = std::min(proven, floor_lb_min);
+  result.bound = std::min(proven, incumbent);
+  result.proven_optimal = !limits_hit && result.bound >= incumbent;
+  return result;
+}
+
+}  // namespace rankhow

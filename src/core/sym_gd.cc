@@ -1,0 +1,107 @@
+#include "core/sym_gd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+SymGd::SymGd(const Dataset& data, const Ranking& given, SymGdOptions options)
+    : options_(std::move(options)), solver_(data, given, options_.solver) {}
+
+Result<SymGdResult> SymGd::Run(const std::vector<double>& seed) const {
+  // Cell size is user input (Sec. IV-C: any value in (0, 2)); report
+  // misuse as a status, not a crash.
+  if (!(options_.cell_size > 0 && options_.cell_size < 2)) {
+    return Status::Invalid(StrFormat("cell size must lie in (0, 2), got %g",
+                                     options_.cell_size));
+  }
+  const int m = solver_.problem().data->num_attributes();
+  if (static_cast<int>(seed.size()) != m) {
+    return Status::Invalid("seed weight arity mismatch");
+  }
+  double seed_sum = 0;
+  for (double w : seed) {
+    if (!(w >= -1e-9)) {
+      return Status::Invalid("seed weights must be non-negative");
+    }
+    seed_sum += w;
+  }
+  if (std::abs(seed_sum - 1.0) > 1e-6) {
+    return Status::Invalid(StrFormat(
+        "seed weights must sum to 1 (got %g): SYM-GD cells are boxes "
+        "around a point on the weight simplex",
+        seed_sum));
+  }
+  Deadline deadline(options_.time_budget_seconds);
+  WallTimer timer;
+
+  SymGdResult result;
+  std::vector<double> current = seed;
+  long current_error = -1;  // unknown until the first solve
+  double cell = options_.cell_size;
+
+  // Outer loop = Algorithm 2's cell doubling; a single pass when
+  // non-adaptive (Algorithm 1).
+  while (true) {
+    bool converged = false;
+    // Inner loop = Algorithm 1: move to the cell optimum until stuck.
+    while (result.iterations < options_.max_iterations) {
+      if (deadline.Expired()) break;
+      // Budget the inner MILP so one oversized cell cannot eat t_total
+      // (Sec. IV-C's motivation for the adaptive variant).
+      RankHow inner = solver_;
+      if (deadline.HasBudget()) {
+        double remaining = deadline.RemainingSeconds();
+        double prior = inner.options().time_limit_seconds;
+        inner.options().time_limit_seconds =
+            prior > 0 ? std::min(prior, remaining) : remaining;
+      }
+      WeightBox box = WeightBox::CellAround(current, cell);
+      auto step = inner.SolveInBox(box, &current);
+      if (!step.ok()) {
+        if (step.status().code() == StatusCode::kResourceExhausted) break;
+        return step.status();
+      }
+      ++result.iterations;
+      result.error_trajectory.push_back(step->error);
+      result.total_nodes += step->stats.nodes_explored;
+      result.total_free_indicators += step->num_free_indicators;
+
+      bool improved = current_error < 0 || step->error < current_error;
+      if (current_error < 0 || step->error <= current_error) {
+        current = step->function.weights;
+        current_error = step->error;
+        result.function = std::move(step->function);
+        result.error = step->error;
+      }
+      if (!improved && result.iterations > 1) {
+        converged = true;  // error(W_i) == error(W_{i-1}): local optimum
+        break;
+      }
+      if (current_error == 0) {
+        converged = true;  // perfect ranking; nothing to improve
+        break;
+      }
+    }
+    (void)converged;
+    if (!options_.adaptive || deadline.Expired() ||
+        result.iterations >= options_.max_iterations || current_error == 0) {
+      break;
+    }
+    cell = std::min(cell * 2, 1.999);  // Algorithm 2, line 6
+  }
+
+  result.final_cell_size = cell;
+  result.seconds = timer.ElapsedSeconds();
+  if (current_error < 0) {
+    return Status::ResourceExhausted(
+        "SYM-GD budget expired before the first cell solve finished");
+  }
+  return result;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,69 @@
+#ifndef RANKHOW_CORE_SYM_GD_H_
+#define RANKHOW_CORE_SYM_GD_H_
+
+/// \file sym_gd.h
+/// Symbolic gradient descent (Section IV): "gradient descent on steroids".
+/// From a seed weight vector, repeatedly find the TRUE optimum inside a cell
+/// of size c around the current iterate (a small MILP — most indicators are
+/// fixed by interval analysis inside a small cell), recenter, and repeat
+/// until the error stops improving (Algorithm 1). The adaptive variant
+/// doubles the cell size whenever the search stalls in a local optimum,
+/// until the time budget runs out (Algorithm 2).
+
+#include <vector>
+
+#include "core/rankhow.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+struct SymGdOptions {
+  /// Cell size c (0 < c < 2); Algorithm 1 keeps it constant, Algorithm 2
+  /// starts here.
+  double cell_size = 0.1;
+  /// Total wall-clock budget t_total; 0 = unlimited (Algorithm 1 only).
+  double time_budget_seconds = 0;
+  /// Run Algorithm 2 (cell doubling on convergence) instead of Algorithm 1.
+  bool adaptive = false;
+  /// Safety cap on descent steps.
+  int max_iterations = 1000;
+  /// Inner exact-solver configuration (epsilons, verification, limits).
+  RankHowOptions solver;
+};
+
+struct SymGdResult {
+  ScoringFunction function;
+  /// Verified position error of the returned function.
+  long error = 0;
+  /// Descent steps taken (cell solves).
+  int iterations = 0;
+  /// error after each solve, for convergence plots.
+  std::vector<long> error_trajectory;
+  /// Final cell size (grows under Algorithm 2).
+  double final_cell_size = 0;
+  double seconds = 0;
+  /// Aggregate MILP statistics across all cell solves.
+  long total_nodes = 0;
+  long total_free_indicators = 0;
+};
+
+/// The SYM-GD optimizer over a fixed problem instance.
+class SymGd {
+ public:
+  SymGd(const Dataset& data, const Ranking& given,
+        SymGdOptions options = SymGdOptions());
+
+  /// Access the problem to add constraints (shared with the inner solver).
+  OptProblem& problem() { return solver_.problem(); }
+
+  /// Runs the descent from a seed weight vector (must lie on the simplex).
+  Result<SymGdResult> Run(const std::vector<double>& seed) const;
+
+ private:
+  SymGdOptions options_;
+  RankHow solver_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_SYM_GD_H_

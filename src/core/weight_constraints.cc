@@ -1,0 +1,92 @@
+#include "core/weight_constraints.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+void WeightConstraintSet::AddMinWeight(int attr, double lo, std::string name) {
+  Add(WeightConstraint{{{attr, 1.0}}, RelOp::kGe, lo, std::move(name)});
+}
+
+void WeightConstraintSet::AddMaxWeight(int attr, double hi, std::string name) {
+  Add(WeightConstraint{{{attr, 1.0}}, RelOp::kLe, hi, std::move(name)});
+}
+
+void WeightConstraintSet::AddGroupBound(const std::vector<int>& attrs,
+                                        RelOp op, double rhs,
+                                        std::string name) {
+  WeightConstraint c;
+  for (int a : attrs) c.terms.emplace_back(a, 1.0);
+  c.op = op;
+  c.rhs = rhs;
+  c.name = std::move(name);
+  Add(std::move(c));
+}
+
+void WeightConstraintSet::Add(WeightConstraint constraint) {
+  RH_CHECK(!constraint.terms.empty()) << "empty weight constraint";
+  constraints_.push_back(std::move(constraint));
+}
+
+void WeightConstraintSet::AppendTo(LpModel* model,
+                                   const std::vector<int>& weight_vars) const {
+  for (const WeightConstraint& c : constraints_) {
+    LinearExpr expr;
+    for (const auto& [attr, coeff] : c.terms) {
+      RH_CHECK(attr >= 0 && attr < static_cast<int>(weight_vars.size()))
+          << "weight constraint references unknown attribute " << attr;
+      expr += LinearExpr::Term(weight_vars[attr], coeff);
+    }
+    model->AddConstraint(std::move(expr), c.op, c.rhs,
+                         c.name.empty() ? "P" : c.name);
+  }
+}
+
+WeightBox WeightConstraintSet::TightenBox(const WeightBox& base) const {
+  WeightBox box = base;
+  for (const WeightConstraint& c : constraints_) {
+    if (c.terms.size() != 1) continue;  // only single-variable constraints
+    auto [attr, coeff] = c.terms[0];
+    if (coeff == 0.0 || attr >= box.dim()) continue;
+    double bound = c.rhs / coeff;
+    // coeff*w <= rhs: upper bound if coeff > 0, lower bound if coeff < 0
+    // (mirrored for >=; equality tightens both sides).
+    bool upper = (c.op == RelOp::kLe) == (coeff > 0);
+    if (c.op == RelOp::kEq) {
+      box.lo[attr] = std::max(box.lo[attr], bound);
+      box.hi[attr] = std::min(box.hi[attr], bound);
+    } else if (upper) {
+      box.hi[attr] = std::min(box.hi[attr], bound);
+    } else {
+      box.lo[attr] = std::max(box.lo[attr], bound);
+    }
+  }
+  return box;
+}
+
+bool WeightConstraintSet::IsSatisfied(const std::vector<double>& weights,
+                                      double tol) const {
+  for (const WeightConstraint& c : constraints_) {
+    double lhs = 0;
+    for (const auto& [attr, coeff] : c.terms) {
+      if (attr >= static_cast<int>(weights.size())) return false;
+      lhs += coeff * weights[attr];
+    }
+    switch (c.op) {
+      case RelOp::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case RelOp::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case RelOp::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,66 @@
+#ifndef RANKHOW_CORE_WEIGHT_CONSTRAINTS_H_
+#define RANKHOW_CORE_WEIGHT_CONSTRAINTS_H_
+
+/// \file weight_constraints.h
+/// The predicate P of the OPT problem (Definition 4): a conjunction of
+/// linear constraints Σ αᵢwᵢ ≤ α₀ on the weight vector, beyond the implicit
+/// simplex constraints w ≥ 0, Σw = 1. This is how a user enforces prior
+/// knowledge ("points scored must weigh at least 0.1", "defensive skills at
+/// most 0.4 total" — Example 1).
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "math/simplex_box.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// One linear constraint Σ terms.coeff · w_terms.attr (op) rhs.
+struct WeightConstraint {
+  std::vector<std::pair<int, double>> terms;  // (attribute index, coefficient)
+  RelOp op = RelOp::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A conjunction of weight constraints with convenience builders.
+class WeightConstraintSet {
+ public:
+  /// w_attr >= lo.
+  void AddMinWeight(int attr, double lo, std::string name = "");
+  /// w_attr <= hi.
+  void AddMaxWeight(int attr, double hi, std::string name = "");
+  /// Σ_{a ∈ attrs} w_a (op) rhs — e.g. bound the total weight of all
+  /// defensive skills.
+  void AddGroupBound(const std::vector<int>& attrs, RelOp op, double rhs,
+                     std::string name = "");
+  /// General Σ αᵢwᵢ (op) α₀.
+  void Add(WeightConstraint constraint);
+
+  const std::vector<WeightConstraint>& constraints() const {
+    return constraints_;
+  }
+  bool empty() const { return constraints_.empty(); }
+  size_t size() const { return constraints_.size(); }
+
+  /// Appends the constraints as rows of `model` (weight_vars maps attribute
+  /// index -> model variable id).
+  void AppendTo(LpModel* model, const std::vector<int>& weight_vars) const;
+
+  /// Shrinks a weight box using the single-variable constraints (sound for
+  /// indicator fixing: the result still contains the feasible set).
+  WeightBox TightenBox(const WeightBox& base) const;
+
+  /// Checks a weight vector against all constraints.
+  bool IsSatisfied(const std::vector<double>& weights,
+                   double tol = 1e-9) const;
+
+ private:
+  std::vector<WeightConstraint> constraints_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_CORE_WEIGHT_CONSTRAINTS_H_

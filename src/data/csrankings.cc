@@ -1,0 +1,71 @@
+#include "data/csrankings.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+namespace {
+
+const char* kAreaNames[kCsRankingsNumAreas] = {
+    "AI",      "Vision",  "ML",       "NLP",     "Web",     "Arch",
+    "Networks", "Security", "DB",      "HPC",     "Mobile",  "Metrics",
+    "OS",      "PL",      "SE",       "Theory",  "Crypto",  "Logic",
+    "Graphics", "HCI",     "Robotics", "Bio",     "EDA",     "Embedded",
+    "Visualization", "ECom", "CSEd"};
+
+}  // namespace
+
+CsRankingsData GenerateCsRankings(const CsRankingsSpec& spec) {
+  RH_CHECK(spec.num_institutions > 0 && spec.num_areas > 0);
+  Rng rng(spec.seed ^ 0x43535241ULL);
+
+  std::vector<std::string> names;
+  names.reserve(spec.num_areas);
+  for (int a = 0; a < spec.num_areas; ++a) {
+    names.push_back(a < kCsRankingsNumAreas
+                        ? kAreaNames[a]
+                        : StrFormat("Area%d", a + 1));
+  }
+  CsRankingsData out;
+  out.table = Dataset(names, spec.num_institutions);
+  out.default_scores.resize(spec.num_institutions);
+
+  // Per-area field size multiplier (some areas publish much more).
+  std::vector<double> area_scale(spec.num_areas);
+  for (int a = 0; a < spec.num_areas; ++a) {
+    area_scale[a] = std::exp(rng.NextGaussian(0.0, 0.5));
+  }
+
+  for (int t = 0; t < spec.num_institutions; ++t) {
+    // Latent quality: heavy-tailed so a handful of institutions dominate.
+    double quality = std::exp(rng.NextGaussian(0.0, 1.0));
+    // Specialization: each institution is strong in a few areas.
+    for (int a = 0; a < spec.num_areas; ++a) {
+      double specialization = std::exp(rng.NextGaussian(0.0, 0.9));
+      double mean = 2.5 * quality * area_scale[a] * specialization;
+      // Adjusted counts in CSRankings are fractional (author shares);
+      // keep one decimal.
+      double count = std::round(
+          std::max(0.0, mean * std::exp(rng.NextGaussian(0.0, 0.4)) - 0.4) *
+          10.0) / 10.0;
+      out.table.set_value(t, a, count);
+    }
+    // Geometric mean of (count + 1): the CSRankings aggregation.
+    double log_sum = 0;
+    for (int a = 0; a < spec.num_areas; ++a) {
+      log_sum += std::log(out.table.value(t, a) + 1.0);
+    }
+    out.default_scores[t] = std::exp(log_sum / spec.num_areas);
+  }
+  return out;
+}
+
+Ranking CsRankingsDefaultRanking(const CsRankingsData& data, int k) {
+  return Ranking::FromScores(data.default_scores, k);
+}
+
+}  // namespace rankhow

@@ -1,0 +1,42 @@
+#ifndef RANKHOW_DATA_CSRANKINGS_H_
+#define RANKHOW_DATA_CSRANKINGS_H_
+
+/// \file csrankings.h
+/// CSRankings dataset *simulator*: 628 institutions × 27 CS-area publication
+/// counts, with the default given ranking produced by a CSRankings-style
+/// geometric-mean score (non-linear in the counts). See DESIGN.md
+/// "Substitutions" — the real data cannot be shipped; this reproduces its
+/// shape: few tuples, many attributes, heavy-tailed counts correlated with a
+/// latent institution quality, and area-specialization noise.
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "ranking/ranking.h"
+
+namespace rankhow {
+
+inline constexpr int kCsRankingsNumInstitutions = 628;
+inline constexpr int kCsRankingsNumAreas = 27;
+
+struct CsRankingsSpec {
+  int num_institutions = kCsRankingsNumInstitutions;
+  int num_areas = kCsRankingsNumAreas;
+  uint64_t seed = 0;
+};
+
+struct CsRankingsData {
+  /// Columns: per-area adjusted publication counts ("AI", "Vision", ...).
+  Dataset table;
+  /// CSRankings-style score: geometric mean of (count + 1) across areas.
+  std::vector<double> default_scores;
+};
+
+CsRankingsData GenerateCsRankings(const CsRankingsSpec& spec);
+
+/// The default given ranking (top-k by geometric-mean score).
+Ranking CsRankingsDefaultRanking(const CsRankingsData& data, int k);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_DATA_CSRANKINGS_H_

@@ -1,0 +1,81 @@
+#ifndef RANKHOW_DATA_DATASET_H_
+#define RANKHOW_DATA_DATASET_H_
+
+/// \file dataset.h
+/// Column-major numeric relation R(A1..Am). Columns are the ranking
+/// attributes; higher values are assumed desirable (use NegateColumn for
+/// undesirable properties like turnovers, per Sec. I of the paper).
+
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// A dense numeric table with named attributes, stored column-major for the
+/// scan-heavy access patterns (scoring, indicator fixing).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> attribute_names, int num_tuples);
+
+  int num_tuples() const { return num_tuples_; }
+  int num_attributes() const { return static_cast<int>(columns_.size()); }
+
+  const std::string& attribute_name(int attr) const { return names_[attr]; }
+  const std::vector<std::string>& attribute_names() const { return names_; }
+  /// Index of a named attribute.
+  Result<int> AttributeIndex(const std::string& name) const;
+
+  double value(int tuple, int attr) const { return columns_[attr][tuple]; }
+  void set_value(int tuple, int attr, double v) { columns_[attr][tuple] = v; }
+  const std::vector<double>& column(int attr) const { return columns_[attr]; }
+
+  /// Appends a column; must match num_tuples. Returns its index.
+  int AddColumn(std::string name, std::vector<double> values);
+
+  /// f_W(r) = Σ wᵢ·Aᵢ(r) for one tuple.
+  double ScoreOf(int tuple, const std::vector<double>& weights) const;
+  /// Scores for all tuples.
+  std::vector<double> Scores(const std::vector<double>& weights) const;
+
+  /// Attribute difference vector d(s,r) with dᵢ = s.Aᵢ − r.Aᵢ. The score
+  /// difference f_W(s) − f_W(r) equals w·d (the indicator hyperplanes of
+  /// Eq. (2)).
+  std::vector<double> DiffVector(int s, int r) const;
+
+  /// True iff s dominates r: s.Aᵢ >= r.Aᵢ on all attributes with at least one
+  /// strict (Sec. V-B).
+  bool Dominates(int s, int r) const;
+
+  /// Flips the sign of a column (for undesirable attributes).
+  void NegateColumn(int attr);
+
+  /// Rescales every column to [0,1] (min-max). Constant columns map to 0.
+  /// Returns per-column (min, max) used, for interpreting weights later.
+  std::vector<std::pair<double, double>> NormalizeMinMax();
+
+  /// New dataset with the given tuple rows (in the given order).
+  Dataset SelectTuples(const std::vector<int>& tuples) const;
+  /// New dataset with the given attribute columns (in the given order).
+  Dataset SelectAttributes(const std::vector<int>& attrs) const;
+
+  /// Removes tuples that are exact duplicates of an earlier tuple across all
+  /// attributes (the paper keeps one of identically-statted players).
+  /// Returns the kept tuple ids (in original order).
+  std::vector<int> DropDuplicateTuples();
+
+  /// Loads numeric columns from a parsed CSV (all columns by default).
+  static Result<Dataset> FromCsv(const CsvTable& csv);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+  int num_tuples_ = 0;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_DATA_DATASET_H_

@@ -1,0 +1,47 @@
+#include "data/derived.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+
+Dataset WithDerivedAttributes(const Dataset& data, const DerivedSpec& spec) {
+  Dataset out = data;
+  const int m = data.num_attributes();
+  const int n = data.num_tuples();
+  if (spec.squares) {
+    for (int a = 0; a < m; ++a) {
+      std::vector<double> col(n);
+      for (int t = 0; t < n; ++t) {
+        double v = data.value(t, a);
+        col[t] = v * v;
+      }
+      out.AddColumn(data.attribute_name(a) + "^2", std::move(col));
+    }
+  }
+  if (spec.pairwise_products) {
+    for (int a = 0; a < m; ++a) {
+      for (int b = a + 1; b < m; ++b) {
+        std::vector<double> col(n);
+        for (int t = 0; t < n; ++t) {
+          col[t] = data.value(t, a) * data.value(t, b);
+        }
+        out.AddColumn(data.attribute_name(a) + "*" + data.attribute_name(b),
+                      std::move(col));
+      }
+    }
+  }
+  if (spec.logs) {
+    for (int a = 0; a < m; ++a) {
+      std::vector<double> col(n);
+      for (int t = 0; t < n; ++t) {
+        col[t] = std::log1p(std::max(data.value(t, a), 0.0));
+      }
+      out.AddColumn("log1p(" + data.attribute_name(a) + ")", std::move(col));
+    }
+  }
+  return out;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,32 @@
+#ifndef RANKHOW_DATA_DERIVED_H_
+#define RANKHOW_DATA_DERIVED_H_
+
+/// \file derived.h
+/// Derived-attribute augmentation (Sec. I "How to use RankHow" and the
+/// generalizability experiments of Sec. VI-F): RankHow synthesizes linear
+/// functions, but over an augmented attribute space (squares, pairwise
+/// products, logs) the function becomes non-linear in the original
+/// attributes — the same trick as polynomial/RBF kernels for SVMs.
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rankhow {
+
+struct DerivedSpec {
+  /// Add Aᵢ² columns (the paper's Sec. VI-F augmentation).
+  bool squares = false;
+  /// Add Aᵢ·Aⱼ columns for i < j.
+  bool pairwise_products = false;
+  /// Add log(1 + max(Aᵢ, 0)) columns.
+  bool logs = false;
+};
+
+/// Returns a new dataset with the original columns followed by the derived
+/// ones (named e.g. "PTS^2", "PTS*REB", "log1p(PTS)").
+Dataset WithDerivedAttributes(const Dataset& data, const DerivedSpec& spec);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_DATA_DERIVED_H_

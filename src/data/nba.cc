@@ -1,0 +1,223 @@
+#include "data/nba.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+namespace {
+
+/// An archetype describes the stat profile of a class of players.
+/// Stats are per-game means at a reference 32 minutes; actual stats scale
+/// with minutes played.
+struct Archetype {
+  double share;  // mixture weight
+  double pts, reb, ast, stl, blk, tov;
+  double fg_pct, tp_pct, ft_pct;  // shooting percentages
+};
+
+// Loosely modeled on modern-era positional splits.
+constexpr Archetype kArchetypes[] = {
+    // share  pts   reb  ast  stl  blk  tov  fg%   3p%   ft%
+    {0.08, 26.0, 6.0, 6.5, 1.3, 0.7, 3.2, 0.50, 0.37, 0.85},  // star perimeter
+    {0.06, 24.0, 11.0, 3.5, 0.9, 1.8, 2.8, 0.55, 0.25, 0.75}, // star big
+    {0.18, 15.0, 4.0, 5.0, 1.1, 0.3, 2.2, 0.44, 0.36, 0.82},  // guard
+    {0.22, 13.0, 5.5, 2.2, 0.9, 0.5, 1.6, 0.46, 0.35, 0.78},  // wing
+    {0.16, 11.0, 8.5, 1.6, 0.7, 1.3, 1.7, 0.52, 0.20, 0.68},  // big
+    {0.30, 6.0, 3.0, 1.3, 0.5, 0.3, 1.0, 0.43, 0.30, 0.72},   // bench
+};
+
+int SampleArchetype(Rng& rng) {
+  double u = rng.NextDouble();
+  double acc = 0;
+  for (size_t i = 0; i < std::size(kArchetypes); ++i) {
+    acc += kArchetypes[i].share;
+    if (u < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(std::size(kArchetypes)) - 1;
+}
+
+double ClampPositive(double v) { return v < 0 ? 0.0 : v; }
+
+double ClampPct(double v) {
+  return std::min(0.95, std::max(0.05, v));
+}
+
+}  // namespace
+
+double ComputePer(double pts, double reb, double ast, double stl, double blk,
+                  double fg_pct, double ft_pct, double tov, double mp) {
+  double u_per = pts * (1.0 + 0.25 * fg_pct) + 0.8 * reb + 1.1 * ast +
+                 1.7 * (stl + blk) - 1.4 * tov + 0.3 * ft_pct * pts;
+  double minutes = std::max(mp, 4.0);  // avoid tiny-denominator blowups
+  return u_per / (minutes / 36.0);
+}
+
+NbaData GenerateNba(const NbaSpec& spec) {
+  RH_CHECK(spec.num_tuples > 0);
+  Rng rng(spec.seed ^ 0x4E424153494DULL);
+
+  NbaData out;
+  out.table = Dataset({"PTS", "REB", "AST", "STL", "BLK", "FG%", "3P%",
+                       "FT%"},
+                      spec.num_tuples);
+  out.labels.reserve(spec.num_tuples);
+  out.minutes.resize(spec.num_tuples);
+  out.turnovers.resize(spec.num_tuples);
+  out.games.resize(spec.num_tuples);
+  out.per.resize(spec.num_tuples);
+  out.mp_times_per.resize(spec.num_tuples);
+
+  for (int t = 0; t < spec.num_tuples; ++t) {
+    const Archetype& arch = kArchetypes[SampleArchetype(rng)];
+    // Player-season quality multiplier and minutes.
+    double quality = std::exp(rng.NextGaussian(0.0, 0.22));
+    double minutes = std::min(40.0, std::max(
+        6.0, rng.NextGaussian(24.0 + 8.0 * (quality - 1.0), 6.0)));
+    double usage = minutes / 32.0;  // stats scale with playing time
+
+    double pts = ClampPositive(arch.pts * quality * usage *
+                               std::exp(rng.NextGaussian(0, 0.18)));
+    // Compress the extreme tail: season scoring averages above ~35 PPG are
+    // historically rare, so squeeze the excess rather than truncating.
+    if (pts > 35.0) pts = 35.0 + (pts - 35.0) * 0.35;
+    double reb = ClampPositive(arch.reb * quality * usage *
+                               std::exp(rng.NextGaussian(0, 0.20)));
+    double ast = ClampPositive(arch.ast * quality * usage *
+                               std::exp(rng.NextGaussian(0, 0.22)));
+    double stl = ClampPositive(arch.stl * quality * usage *
+                               std::exp(rng.NextGaussian(0, 0.30)));
+    double blk = ClampPositive(arch.blk * quality * usage *
+                               std::exp(rng.NextGaussian(0, 0.35)));
+    double tov = ClampPositive(arch.tov * usage * (0.6 + 0.4 * quality) *
+                               std::exp(rng.NextGaussian(0, 0.20)));
+    double fg = ClampPct(arch.fg_pct + rng.NextGaussian(0, 0.04) +
+                         0.02 * (quality - 1.0));
+    double tp = ClampPct(arch.tp_pct + rng.NextGaussian(0, 0.06));
+    double ft = ClampPct(arch.ft_pct + rng.NextGaussian(0, 0.05));
+    double games = std::min(82.0, std::max(10.0, rng.NextGaussian(62, 14)));
+
+    // Round like published per-game stats (1 decimal; percentages 3).
+    auto round1 = [](double v) { return std::round(v * 10.0) / 10.0; };
+    auto round3 = [](double v) { return std::round(v * 1000.0) / 1000.0; };
+    pts = round1(pts);
+    reb = round1(reb);
+    ast = round1(ast);
+    stl = round1(stl);
+    blk = round1(blk);
+    tov = round1(tov);
+    fg = round3(fg);
+    tp = round3(tp);
+    ft = round3(ft);
+    minutes = round1(minutes);
+
+    out.table.set_value(t, 0, pts);
+    out.table.set_value(t, 1, reb);
+    out.table.set_value(t, 2, ast);
+    out.table.set_value(t, 3, stl);
+    out.table.set_value(t, 4, blk);
+    out.table.set_value(t, 5, fg);
+    out.table.set_value(t, 6, tp);
+    out.table.set_value(t, 7, ft);
+    out.minutes[t] = minutes;
+    out.turnovers[t] = tov;
+    out.games[t] = std::round(games);
+    out.per[t] = ComputePer(pts, reb, ast, stl, blk, fg, ft, tov, minutes);
+    // Season total minutes × efficiency — the paper's MP*PER ranking proxy.
+    out.mp_times_per[t] = minutes * out.games[t] * out.per[t];
+    out.labels.push_back(StrFormat("P%05d-S%02d", t,
+                                   static_cast<int>(rng.NextBelow(44))));
+  }
+
+  // Drop identically-statted duplicates, keeping side arrays aligned.
+  std::vector<int> keep = out.table.DropDuplicateTuples();
+  if (static_cast<int>(keep.size()) != spec.num_tuples) {
+    auto select = [&keep](auto& v) {
+      auto old = v;
+      v.clear();
+      v.reserve(keep.size());
+      for (int idx : keep) v.push_back(old[idx]);
+    };
+    select(out.labels);
+    select(out.minutes);
+    select(out.turnovers);
+    select(out.games);
+    select(out.per);
+    select(out.mp_times_per);
+  }
+  return out;
+}
+
+Ranking NbaPerRanking(const NbaData& data, int k) {
+  return Ranking::FromScores(data.mp_times_per, k);
+}
+
+MvpVoteResult SimulateMvpVote(const NbaData& data, int num_panelists,
+                              uint64_t seed) {
+  RH_CHECK(num_panelists > 0);
+  const int n = data.table.num_tuples();
+  Rng rng(seed ^ 0x4D565021ULL);
+
+  // Panelists see season production with personal narrative noise. Only the
+  // plausible candidates (top slice by true production) draw attention.
+  std::vector<int> candidates(n);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    return data.mp_times_per[a] > data.mp_times_per[b];
+  });
+  // A small plausible-candidate pool and moderate perception noise yield
+  // roughly the paper's vote spread (13 players received votes in 2022-23).
+  const int pool = std::min(n, 25);
+  candidates.resize(pool);
+
+  double scale = std::max(1.0, data.mp_times_per[candidates[0]] * 0.02);
+  constexpr int kPoints[5] = {10, 7, 5, 3, 1};
+  std::vector<int> total_points(n, 0);
+  for (int p = 0; p < num_panelists; ++p) {
+    std::vector<std::pair<double, int>> view;
+    view.reserve(pool);
+    for (int c : candidates) {
+      // Gumbel noise: panel-member-specific perception.
+      double gumbel = -std::log(-std::log(
+          std::min(1.0 - 1e-12, std::max(1e-12, rng.NextDouble()))));
+      view.emplace_back(data.mp_times_per[c] + scale * gumbel, c);
+    }
+    std::sort(view.begin(), view.end(), std::greater<>());
+    for (int place = 0; place < 5; ++place) {
+      total_points[view[place].second] += kPoints[place];
+    }
+  }
+
+  MvpVoteResult result;
+  for (int t = 0; t < n; ++t) {
+    if (total_points[t] > 0) result.vote_receivers.push_back(t);
+  }
+  std::sort(result.vote_receivers.begin(), result.vote_receivers.end(),
+            [&](int a, int b) { return total_points[a] > total_points[b]; });
+  for (int t : result.vote_receivers) {
+    result.points.push_back(total_points[t]);
+  }
+
+  // Competition ranking over the vote receivers (ties share a position).
+  const int v = static_cast<int>(result.vote_receivers.size());
+  std::vector<int> positions(v, kUnranked);
+  for (int i = 0; i < v; ++i) {
+    int above = 0;
+    for (int j = 0; j < v; ++j) {
+      if (result.points[j] > result.points[i]) ++above;
+    }
+    positions[i] = above + 1;
+  }
+  auto ranking = Ranking::Create(std::move(positions));
+  RH_CHECK(ranking.ok()) << ranking.status().ToString();
+  result.ranking = *std::move(ranking);
+  result.voted_table = data.table.SelectTuples(result.vote_receivers);
+  return result;
+}
+
+}  // namespace rankhow

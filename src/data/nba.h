@@ -1,0 +1,91 @@
+#ifndef RANKHOW_DATA_NBA_H_
+#define RANKHOW_DATA_NBA_H_
+
+/// \file nba.h
+/// NBA dataset *simulator*. The paper evaluates on real basketball-reference
+/// data (22 840 player-season tuples, seasons 1979/80–2022/23) ranked by
+/// (a) MVP-panel votes and (b) MP·PER, a complex non-linear efficiency
+/// formula over attributes partially hidden from the ranking-attribute set.
+///
+/// We cannot ship that data, so this module generates a statistically
+/// faithful substitute (see DESIGN.md "Substitutions"): an archetype-mixture
+/// model over per-game stats with realistic correlations, a simplified PER
+/// formula that — like the real one — involves hidden attributes (minutes,
+/// turnovers, games) and rate/volume interactions, and an MVP vote simulator
+/// reproducing the 10/7/5/3/1 ballot protocol of Example 1.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ranking/ranking.h"
+
+namespace rankhow {
+
+/// The eight default ranking attributes used throughout Sec. VI
+/// (per-game averages / percentages).
+inline constexpr int kNbaNumRankingAttributes = 8;
+
+struct NbaData {
+  /// Columns: PTS, REB, AST, STL, BLK, FG%, 3P%, FT% (the paper's default
+  /// ranking attributes, in this order).
+  Dataset table;
+  /// Synthetic player-season labels ("P01234-S05"), parallel to the rows.
+  std::vector<std::string> labels;
+  /// Hidden attributes (not ranking attributes): minutes played per game,
+  /// turnovers per game, games played.
+  std::vector<double> minutes;
+  std::vector<double> turnovers;
+  std::vector<double> games;
+  /// Player Efficiency Rating (simplified formula; see ComputePer).
+  std::vector<double> per;
+  /// Season-total production proxy MP·PER — the paper's non-linear given-
+  /// ranking function for the NBA experiments.
+  std::vector<double> mp_times_per;
+};
+
+struct NbaSpec {
+  int num_tuples = 22840;  // paper's dataset size
+  uint64_t seed = 0;
+};
+
+/// Generates the simulated dataset. Exact duplicates are dropped (the paper
+/// keeps one of identically-statted players), so the result may have very
+/// slightly fewer rows than requested.
+NbaData GenerateNba(const NbaSpec& spec);
+
+/// The simplified PER formula: a per-minute efficiency rate
+///   uPER = PTS·(1+0.25·FG%) + 0.8·REB + 1.1·AST + 1.7·(STL+BLK)
+///          − 1.4·TOV + 0.3·FT%·PTS
+/// normalized by minutes: PER = uPER / (MP/36) … all per-game inputs.
+/// Non-linear in the ranking attributes and dependent on hidden ones, like
+/// the real PER.
+double ComputePer(double pts, double reb, double ast, double stl, double blk,
+                  double fg_pct, double ft_pct, double tov, double mp);
+
+/// Given ranking for the "MP*PER" experiments: top-k tuples by MP·PER.
+Ranking NbaPerRanking(const NbaData& data, int k);
+
+struct MvpVoteResult {
+  /// Tuple ids (rows of data.table) that received at least one vote,
+  /// ordered by total points (the "13 players" of Sec. VI-B).
+  std::vector<int> vote_receivers;
+  /// Their point totals, parallel to vote_receivers.
+  std::vector<int> points;
+  /// The given ranking over ONLY the vote receivers (positions share ranks
+  /// on point ties, as in the paper where the last two players tie).
+  Ranking ranking;
+  /// Row selection of the voted players as a dataset (same attribute order).
+  Dataset voted_table;
+};
+
+/// Simulates the MVP panel of Example 1: `num_panelists` voters each rank
+/// their top-5 by a noisy view of season production (MP·PER + Gumbel noise);
+/// places earn 10/7/5/3/1 points; the final ranking is by point totals.
+MvpVoteResult SimulateMvpVote(const NbaData& data, int num_panelists,
+                              uint64_t seed);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_DATA_NBA_H_

@@ -1,0 +1,43 @@
+#ifndef RANKHOW_DATA_SYNTHETIC_H_
+#define RANKHOW_DATA_SYNTHETIC_H_
+
+/// \file synthetic.h
+/// The three classic synthetic distributions of Börzsönyi et al. (skyline
+/// paper [51]), as used in the paper's scalability and generalizability
+/// experiments (Sec. VI-F): uniform, correlated, and anti-correlated, with
+/// attribute values in [0, 1].
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "ranking/ranking.h"
+
+namespace rankhow {
+
+enum class SyntheticDistribution { kUniform, kCorrelated, kAntiCorrelated };
+
+const char* SyntheticDistributionName(SyntheticDistribution dist);
+
+struct SyntheticSpec {
+  int num_tuples = 1000;
+  int num_attributes = 5;
+  SyntheticDistribution distribution = SyntheticDistribution::kUniform;
+  uint64_t seed = 0;
+  /// Strength of the (anti-)correlation structure in (0, 1]; higher = noisier.
+  double noise = 0.15;
+};
+
+/// Generates a dataset with attributes "A1".."Am".
+Dataset GenerateSynthetic(const SyntheticSpec& spec);
+
+/// The paper's non-linear given-ranking functions: score(r) = Σᵢ Aᵢ(r)^e
+/// for exponent e ∈ {2,3,4,5} (Table II). Returns the per-tuple scores.
+std::vector<double> PowerSumScores(const Dataset& data, int exponent);
+
+/// Convenience: the given ranking obtained by ranking the top `k` tuples of
+/// the power-sum score.
+Ranking PowerSumRanking(const Dataset& data, int exponent, int k);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_DATA_SYNTHETIC_H_

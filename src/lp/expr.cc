@@ -1,0 +1,128 @@
+#include "lp/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+LinearExpr LinearExpr::Term(int var, double coeff) {
+  LinearExpr e;
+  e.AddTerm(var, coeff);
+  return e;
+}
+
+LinearExpr& LinearExpr::AddTerm(int var, double coeff) {
+  RH_DCHECK(var >= 0);
+  if (coeff != 0.0) {
+    terms_.emplace_back(var, coeff);
+    Merge();
+  }
+  return *this;
+}
+
+void LinearExpr::Merge() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < terms_.size();) {
+    int var = terms_[i].first;
+    double coeff = 0;
+    while (i < terms_.size() && terms_[i].first == var) {
+      coeff += terms_[i].second;
+      ++i;
+    }
+    if (coeff != 0.0) terms_[out++] = {var, coeff};
+  }
+  terms_.resize(out);
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr& other) const {
+  LinearExpr out = *this;
+  out += other;
+  return out;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr& other) const {
+  LinearExpr out = *this;
+  out -= other;
+  return out;
+}
+
+LinearExpr LinearExpr::operator*(double scale) const {
+  LinearExpr out;
+  out.constant_ = constant_ * scale;
+  if (scale != 0.0) {
+    out.terms_ = terms_;
+    for (auto& [var, coeff] : out.terms_) coeff *= scale;
+  }
+  return out;
+}
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& other) {
+  constant_ += other.constant_;
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  Merge();
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator-=(const LinearExpr& other) {
+  constant_ -= other.constant_;
+  for (const auto& [var, coeff] : other.terms_) {
+    terms_.emplace_back(var, -coeff);
+  }
+  Merge();
+  return *this;
+}
+
+double LinearExpr::CoeffOf(int var) const {
+  for (const auto& [v, c] : terms_) {
+    if (v == var) return c;
+  }
+  return 0.0;
+}
+
+double LinearExpr::Evaluate(const std::vector<double>& values) const {
+  double sum = constant_;
+  for (const auto& [var, coeff] : terms_) {
+    RH_DCHECK(var < static_cast<int>(values.size()));
+    sum += coeff * values[var];
+  }
+  return sum;
+}
+
+std::string LinearExpr::ToString() const {
+  std::string out;
+  for (const auto& [var, coeff] : terms_) {
+    if (out.empty()) {
+      out += StrFormat("%s*x%d", FormatDouble(coeff).c_str(), var);
+    } else {
+      out += coeff >= 0 ? " + " : " - ";
+      out += StrFormat("%s*x%d", FormatDouble(std::abs(coeff)).c_str(), var);
+    }
+  }
+  if (constant_ != 0.0 || out.empty()) {
+    if (!out.empty()) out += constant_ >= 0 ? " + " : " - ";
+    out += FormatDouble(std::abs(constant_));
+    if (out == FormatDouble(std::abs(constant_)) && constant_ < 0) {
+      out = "-" + out;
+    }
+  }
+  return out;
+}
+
+const char* RelOpToString(RelOp op) {
+  switch (op) {
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kGe:
+      return ">=";
+    case RelOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+}  // namespace rankhow

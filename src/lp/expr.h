@@ -1,0 +1,68 @@
+#ifndef RANKHOW_LP_EXPR_H_
+#define RANKHOW_LP_EXPR_H_
+
+/// \file expr.h
+/// Symbolic linear expressions over model variables. Model-building code
+/// (Equation (2) of the paper, weight predicates P, ordinal-regression
+/// programs) composes these with natural operator syntax and hands them to
+/// LpModel / MilpModel.
+
+#include <string>
+#include <vector>
+
+namespace rankhow {
+
+/// Sparse linear expression  Σ coeffᵢ·xᵢ + constant.
+///
+/// Terms are kept sorted by variable id with duplicates merged, so
+/// expressions built in any order compare and print deterministically.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  /// Constant expression.
+  explicit LinearExpr(double constant) : constant_(constant) {}
+
+  /// The expression `coeff * x_var`.
+  static LinearExpr Term(int var, double coeff);
+
+  LinearExpr& AddTerm(int var, double coeff);
+  LinearExpr& AddConstant(double value) {
+    constant_ += value;
+    return *this;
+  }
+
+  LinearExpr operator+(const LinearExpr& other) const;
+  LinearExpr operator-(const LinearExpr& other) const;
+  LinearExpr operator*(double scale) const;
+  LinearExpr& operator+=(const LinearExpr& other);
+  LinearExpr& operator-=(const LinearExpr& other);
+
+  double constant() const { return constant_; }
+  const std::vector<std::pair<int, double>>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+  /// Coefficient of a variable (0 if absent).
+  double CoeffOf(int var) const;
+
+  /// Evaluates at a dense assignment (indexed by variable id).
+  double Evaluate(const std::vector<double>& values) const;
+
+  /// Human-readable form, e.g. "0.3*x1 - 0.7*x4 + 1".
+  std::string ToString() const;
+
+ private:
+  // Sorted by variable id, no zero coefficients, no duplicates.
+  std::vector<std::pair<int, double>> terms_;
+  double constant_ = 0;
+
+  void Merge();
+};
+
+/// Constraint sense for rows `expr (op) rhs`.
+enum class RelOp { kLe, kGe, kEq };
+
+const char* RelOpToString(RelOp op);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_LP_EXPR_H_

@@ -1,0 +1,72 @@
+#include "lp/model.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+int LpModel::AddVariable(double lower, double upper, std::string name) {
+  RH_CHECK(lower <= upper) << "variable with empty domain: " << name;
+  variables_.push_back(LpVariable{lower, upper, std::move(name)});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int LpModel::AddConstraint(LinearExpr expr, RelOp op, double rhs,
+                           std::string name) {
+  for (const auto& [var, coeff] : expr.terms()) {
+    (void)coeff;
+    RH_CHECK(var >= 0 && var < num_variables())
+        << "constraint references unknown variable x" << var;
+  }
+  constraints_.push_back(LpConstraint{std::move(expr), op, rhs,
+                                      std::move(name)});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+bool LpModel::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_variables()) return false;
+  for (int i = 0; i < num_variables(); ++i) {
+    if (x[i] < variables_[i].lower - tol || x[i] > variables_[i].upper + tol) {
+      return false;
+    }
+  }
+  for (const auto& c : constraints_) {
+    // Evaluate() includes the expression constant; the row means
+    // expr(x) op rhs with that constant on the left.
+    double lhs = c.expr.Evaluate(x);
+    double rhs = c.rhs;
+    switch (c.op) {
+      case RelOp::kLe:
+        if (lhs > rhs + tol) return false;
+        break;
+      case RelOp::kGe:
+        if (lhs < rhs - tol) return false;
+        break;
+      case RelOp::kEq:
+        if (std::abs(lhs - rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string LpModel::ToString() const {
+  std::string out = sense_ == ObjectiveSense::kMinimize ? "min " : "max ";
+  out += objective_.ToString() + "\ns.t.\n";
+  for (const auto& c : constraints_) {
+    out += "  " + c.expr.ToString() + " " + RelOpToString(c.op) + " " +
+           FormatDouble(c.rhs);
+    if (!c.name.empty()) out += "   [" + c.name + "]";
+    out += "\n";
+  }
+  for (int i = 0; i < num_variables(); ++i) {
+    const auto& v = variables_[i];
+    out += StrFormat("  %s <= x%d <= %s", FormatDouble(v.lower).c_str(), i,
+                     FormatDouble(v.upper).c_str());
+    if (!v.name.empty()) out += "   [" + v.name + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rankhow

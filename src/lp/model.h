@@ -1,0 +1,85 @@
+#ifndef RANKHOW_LP_MODEL_H_
+#define RANKHOW_LP_MODEL_H_
+
+/// \file model.h
+/// Declarative linear-program container: variables with bounds, linear rows,
+/// and a linear objective. Solved by SimplexSolver; extended with binaries
+/// and indicator constraints by MilpModel.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lp/expr.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A decision variable with box bounds.
+struct LpVariable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  std::string name;
+};
+
+/// A linear row `expr (op) rhs` (the expression's constant is folded into
+/// the right-hand side at solve time).
+struct LpConstraint {
+  LinearExpr expr;
+  RelOp op = RelOp::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// Objective direction.
+enum class ObjectiveSense { kMinimize, kMaximize };
+
+/// A linear program.
+class LpModel {
+ public:
+  /// Adds a variable with bounds [lower, upper]; returns its id.
+  int AddVariable(double lower, double upper, std::string name = "");
+
+  /// Adds `expr (op) rhs`; returns the row id.
+  int AddConstraint(LinearExpr expr, RelOp op, double rhs,
+                    std::string name = "");
+
+  void SetObjective(LinearExpr objective,
+                    ObjectiveSense sense = ObjectiveSense::kMinimize) {
+    objective_ = std::move(objective);
+    sense_ = sense;
+  }
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  const LpVariable& variable(int id) const { return variables_[id]; }
+  LpVariable& mutable_variable(int id) { return variables_[id]; }
+  const LpConstraint& constraint(int id) const { return constraints_[id]; }
+  const LinearExpr& objective() const { return objective_; }
+  ObjectiveSense sense() const { return sense_; }
+
+  /// Checks a point against all rows and bounds within `tol`.
+  bool IsFeasible(const std::vector<double>& x, double tol = 1e-7) const;
+
+  /// Multi-line textual rendering for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<LpVariable> variables_;
+  std::vector<LpConstraint> constraints_;
+  LinearExpr objective_;
+  ObjectiveSense sense_ = ObjectiveSense::kMinimize;
+};
+
+/// The result of a successful LP solve.
+struct LpSolution {
+  std::vector<double> values;  ///< one per model variable
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_LP_MODEL_H_

@@ -1,0 +1,65 @@
+#ifndef RANKHOW_LP_SIMPLEX_H_
+#define RANKHOW_LP_SIMPLEX_H_
+
+/// \file simplex.h
+/// A dense two-phase primal simplex solver. This is the LP engine under
+/// everything in the repository: the MILP branch-and-bound relaxations
+/// (RankHow), the TREE baseline's feasibility checks, and the ordinal
+/// regression baseline.
+///
+/// Scope: dense tableau, Dantzig pricing with automatic fallback to Bland's
+/// rule under degeneracy (guaranteeing termination), arbitrary variable
+/// bounds compiled to standard form. Designed for the moderate LP sizes this
+/// system produces (thousands of rows/columns), not for sparse industrial
+/// LPs — see DESIGN.md "Substitutions".
+
+#include "lp/model.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+struct SimplexOptions {
+  /// Hard cap on pivots; 0 picks `20*(rows+cols) + 5000` automatically.
+  int max_iterations = 0;
+  /// Wall-clock cap in seconds (0 = none); checked every few hundred
+  /// pivots. Exceeding it returns kResourceExhausted.
+  double deadline_seconds = 0;
+  /// Entries smaller than this are treated as zero when pivoting.
+  double pivot_tol = 1e-9;
+  /// Reduced-cost optimality tolerance.
+  double cost_tol = 1e-9;
+  /// Phase-1 objective above this value declares infeasibility.
+  double phase1_tol = 1e-7;
+  /// Consecutive non-improving pivots before switching to Bland's rule.
+  int degenerate_limit = 128;
+  /// Anti-degeneracy: relax every inequality row by a deterministic jitter
+  /// of about this relative magnitude (0 disables). Relaxation only ever
+  /// ENLARGES the feasible region, so infeasibility verdicts stay exact and
+  /// minimization objectives remain valid lower bounds; returned points can
+  /// violate original rows by at most this amount (far below the post-solve
+  /// check tolerance).
+  double degeneracy_jitter = 1e-9;
+};
+
+/// Solves LpModels. Stateless and reusable; safe to share across solves.
+///
+/// Error codes: kInfeasible, kUnbounded, kResourceExhausted (iteration cap),
+/// kInvalidArgument (malformed model).
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = SimplexOptions())
+      : options_(options) {}
+
+  Result<LpSolution> Solve(const LpModel& model) const;
+
+  /// Convenience: feasibility check only (zero objective). Returns a feasible
+  /// point, kInfeasible, or another error.
+  Result<std::vector<double>> FindFeasiblePoint(const LpModel& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_LP_SIMPLEX_H_

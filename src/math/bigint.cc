@@ -1,0 +1,330 @@
+#include "math/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+BigInt::BigInt(int64_t value) {
+  negative_ = value < 0;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(value) + 1
+                           : static_cast<uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<uint32_t>(mag & 0xFFFFFFFFu));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::FromString(const std::string& s) {
+  RH_CHECK(!s.empty()) << "BigInt::FromString on empty string";
+  size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  RH_CHECK(i < s.size()) << "BigInt::FromString: no digits";
+  BigInt result;
+  BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    RH_CHECK(s[i] >= '0' && s[i] <= '9')
+        << "BigInt::FromString: bad digit '" << s[i] << "'";
+    result = result * ten + BigInt(s[i] - '0');
+  }
+  if (neg && !result.is_zero()) result.negative_ = true;
+  return result;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<uint32_t>(sum & 0xFFFFFFFFu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  RH_DCHECK(CompareMagnitude(a, b) >= 0);
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  RH_DCHECK(borrow == 0);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMagnitude(limbs_, other.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMagnitude(other.limbs_, limbs_);
+      out.negative_ = other.negative_;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  return *this + (-other);
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] +
+                     static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] +
+                     carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    size_t pos = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out.limbs_[pos] + carry;
+      out.limbs_[pos] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++pos;
+    }
+  }
+  out.negative_ = negative_ != other.negative_;
+  out.Trim();
+  return out;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::ShiftLeft(int bits) const {
+  RH_DCHECK(bits >= 0);
+  if (is_zero() || bits == 0) return *this;
+  int limb_shift = bits / 32;
+  int bit_shift = bits % 32;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v & 0xFFFFFFFFu);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(int bits) const {
+  RH_DCHECK(bits >= 0);
+  if (is_zero() || bits == 0) return *this;
+  int limb_shift = bits / 32;
+  int bit_shift = bits % 32;
+  if (limb_shift >= static_cast<int>(limbs_.size())) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v & 0xFFFFFFFFu);
+  }
+  out.Trim();
+  return out;
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+int BigInt::CountTrailingZeros() const {
+  if (limbs_.empty()) return 0;
+  int zeros = 0;
+  for (uint32_t limb : limbs_) {
+    if (limb == 0) {
+      zeros += 32;
+    } else {
+      zeros += __builtin_ctz(limb);
+      break;
+    }
+  }
+  return zeros;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt::DivModResult BigInt::DivMod(const BigInt& divisor) const {
+  RH_CHECK(!divisor.is_zero()) << "BigInt division by zero";
+  // Shift-subtract long division on magnitudes; O(bits^2) but only used on
+  // verification-sized operands.
+  BigInt dividend_mag = Abs();
+  BigInt divisor_mag = divisor.Abs();
+  DivModResult result;
+  if (CompareMagnitude(dividend_mag.limbs_, divisor_mag.limbs_) < 0) {
+    result.quotient = BigInt();
+    result.remainder = *this;
+    return result;
+  }
+  int shift = dividend_mag.BitLength() - divisor_mag.BitLength();
+  BigInt shifted = divisor_mag.ShiftLeft(shift);
+  BigInt quotient;
+  BigInt remainder = dividend_mag;
+  for (int b = shift; b >= 0; --b) {
+    if (remainder.Compare(shifted) >= 0) {
+      remainder -= shifted;
+      // Set bit b of quotient.
+      quotient += BigInt(1).ShiftLeft(b);
+    }
+    shifted = shifted.ShiftRight(1);
+  }
+  quotient.negative_ = !quotient.is_zero() && (negative_ != divisor.negative_);
+  remainder.negative_ = !remainder.is_zero() && negative_;
+  result.quotient = std::move(quotient);
+  result.remainder = std::move(remainder);
+  return result;
+}
+
+BigInt BigInt::operator/(const BigInt& divisor) const {
+  return DivMod(divisor).quotient;
+}
+BigInt BigInt::operator%(const BigInt& divisor) const {
+  return DivMod(divisor).remainder;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  if (x.is_zero()) return y;
+  if (y.is_zero()) return x;
+  int shift = std::min(x.CountTrailingZeros(), y.CountTrailingZeros());
+  x = x.ShiftRight(x.CountTrailingZeros());
+  while (!y.is_zero()) {
+    y = y.ShiftRight(y.CountTrailingZeros());
+    if (x.Compare(y) > 0) std::swap(x, y);
+    y -= x;
+  }
+  return x.ShiftLeft(shift);
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeated divmod by 10^9 on a limb copy.
+  std::vector<uint32_t> mag = limbs_;
+  std::string digits;
+  while (!mag.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = mag.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits += static_cast<char>('0' + rem % 10);
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits += '-';
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::ToDouble() const {
+  if (is_zero()) return 0.0;
+  double value = 0;
+  // Top three limbs give > 64 bits of precision; scale by remaining limbs.
+  size_t n = limbs_.size();
+  size_t take = std::min<size_t>(3, n);
+  for (size_t i = 0; i < take; ++i) {
+    value = value * 4294967296.0 + limbs_[n - 1 - i];
+  }
+  value = std::ldexp(value, static_cast<int>(n - take) * 32);
+  return negative_ ? -value : value;
+}
+
+bool BigInt::FitsInt64(int64_t* out) const {
+  if (limbs_.size() > 2) return false;
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > 0x8000000000000000ULL) return false;
+    *out = static_cast<int64_t>(~mag + 1);
+  } else {
+    if (mag > 0x7FFFFFFFFFFFFFFFULL) return false;
+    *out = static_cast<int64_t>(mag);
+  }
+  return true;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,107 @@
+#ifndef RANKHOW_MATH_BIGINT_H_
+#define RANKHOW_MATH_BIGINT_H_
+
+/// \file bigint.h
+/// Arbitrary-precision signed integers. This is the foundation of the exact
+/// arithmetic used to *verify* solver output (Sec. V-A of the paper): IEEE
+/// doubles convert losslessly into BigInt-backed dyadic rationals, so the
+/// re-computed ranking is exact, not merely higher-precision.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rankhow {
+
+/// Sign-magnitude big integer with 32-bit limbs (little-endian).
+///
+/// Supports the operations the verification pipeline needs: +, -, *,
+/// comparisons, bit shifts, divmod, gcd, and decimal conversion. Zero is
+/// canonically represented by an empty limb vector and positive sign.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(int64_t value);
+
+  /// Parses an optionally signed decimal string ("-123"). Aborts on garbage
+  /// (use in tests / literals only).
+  static BigInt FromString(const std::string& s);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  /// -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+
+  /// Truncated division (quotient rounds toward zero, like C++ int division).
+  /// Requires a non-zero divisor. remainder has the dividend's sign.
+  struct DivModResult;
+  DivModResult DivMod(const BigInt& divisor) const;
+  BigInt operator/(const BigInt& divisor) const;
+  BigInt operator%(const BigInt& divisor) const;
+
+  /// Three-way comparison: -1, 0, +1.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  /// Logical shift of the magnitude; sign is preserved.
+  BigInt ShiftLeft(int bits) const;
+  BigInt ShiftRight(int bits) const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  int BitLength() const;
+  /// Number of trailing zero bits in the magnitude (0 for zero).
+  int CountTrailingZeros() const;
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+
+  BigInt Abs() const;
+
+  /// Greatest common divisor of magnitudes (binary GCD; gcd(0,x) = |x|).
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  /// Decimal rendering, e.g. "-123456789012345678901234567890".
+  std::string ToString() const;
+
+  /// Approximate conversion (round-to-nearest on the top bits; may overflow
+  /// to +/-inf for huge values).
+  double ToDouble() const;
+
+  /// Exact conversion when the value fits in int64; ok()=false otherwise.
+  bool FitsInt64(int64_t* out) const;
+
+ private:
+  // Magnitude, little-endian, no trailing zero limbs.
+  std::vector<uint32_t> limbs_;
+  bool negative_ = false;
+
+  void Trim();
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+};
+
+struct BigInt::DivModResult {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_MATH_BIGINT_H_

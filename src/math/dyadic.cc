@@ -1,0 +1,75 @@
+#include "math/dyadic.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+void Dyadic::Normalize() {
+  if (mantissa_.is_zero()) {
+    exponent_ = 0;
+    return;
+  }
+  int tz = mantissa_.CountTrailingZeros();
+  if (tz > 0) {
+    mantissa_ = mantissa_.ShiftRight(tz);
+    exponent_ += tz;
+  }
+}
+
+Dyadic Dyadic::FromDouble(double value) {
+  RH_CHECK(std::isfinite(value)) << "Dyadic::FromDouble on non-finite value";
+  if (value == 0.0) return Dyadic();
+  int exp = 0;
+  double frac = std::frexp(value, &exp);  // value = frac * 2^exp, |frac|<1
+  // 53 bits of mantissa: frac * 2^53 is an exact integer.
+  int64_t mant = static_cast<int64_t>(std::ldexp(frac, 53));
+  return Dyadic(BigInt(mant), exp - 53);
+}
+
+Dyadic Dyadic::operator-() const {
+  Dyadic out = *this;
+  out.mantissa_ = -out.mantissa_;
+  return out;
+}
+
+Dyadic Dyadic::operator+(const Dyadic& other) const {
+  if (is_zero()) return other;
+  if (other.is_zero()) return *this;
+  // Align to the smaller exponent.
+  int32_t e = std::min(exponent_, other.exponent_);
+  BigInt a = mantissa_.ShiftLeft(exponent_ - e);
+  BigInt b = other.mantissa_.ShiftLeft(other.exponent_ - e);
+  return Dyadic(a + b, e);
+}
+
+Dyadic Dyadic::operator-(const Dyadic& other) const {
+  return *this + (-other);
+}
+
+Dyadic Dyadic::operator*(const Dyadic& other) const {
+  return Dyadic(mantissa_ * other.mantissa_, exponent_ + other.exponent_);
+}
+
+int Dyadic::Compare(const Dyadic& other) const {
+  return (*this - other).sign();
+}
+
+Dyadic Dyadic::Abs() const {
+  Dyadic out = *this;
+  out.mantissa_ = out.mantissa_.Abs();
+  return out;
+}
+
+double Dyadic::ToDouble() const {
+  return std::ldexp(mantissa_.ToDouble(), exponent_);
+}
+
+std::string Dyadic::ToString() const {
+  return StrFormat("%s*2^%d", mantissa_.ToString().c_str(),
+                   static_cast<int>(exponent_));
+}
+
+}  // namespace rankhow

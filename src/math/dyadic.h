@@ -1,0 +1,80 @@
+#ifndef RANKHOW_MATH_DYADIC_H_
+#define RANKHOW_MATH_DYADIC_H_
+
+/// \file dyadic.h
+/// Exact dyadic rationals: values of the form mantissa * 2^exponent with an
+/// arbitrary-precision mantissa. Every finite IEEE-754 double converts
+/// losslessly, and the set is closed under +, -, *, which is exactly the
+/// operation set needed to recompute scores f_W(r) = sum_i w_i * A_i and
+/// score differences precisely. This plays the role of Java's BigDecimal in
+/// the paper's verification step (Sec. V-A), but in base 2 so conversions
+/// are exact rather than merely high-precision.
+
+#include <cstdint>
+#include <string>
+
+#include "math/bigint.h"
+
+namespace rankhow {
+
+/// An exact dyadic rational mantissa * 2^exponent.
+///
+/// Normalized so the mantissa is odd (or zero): each value has a unique
+/// representation, keeping operands small across long computations.
+class Dyadic {
+ public:
+  Dyadic() : mantissa_(0), exponent_(0) {}
+  explicit Dyadic(int64_t value) : mantissa_(value), exponent_(0) {
+    Normalize();
+  }
+  Dyadic(BigInt mantissa, int32_t exponent)
+      : mantissa_(std::move(mantissa)), exponent_(exponent) {
+    Normalize();
+  }
+
+  /// Exact conversion of a finite double. Aborts on NaN/inf.
+  static Dyadic FromDouble(double value);
+
+  bool is_zero() const { return mantissa_.is_zero(); }
+  /// -1, 0, +1.
+  int sign() const { return mantissa_.sign(); }
+
+  Dyadic operator-() const;
+  Dyadic operator+(const Dyadic& other) const;
+  Dyadic operator-(const Dyadic& other) const;
+  Dyadic operator*(const Dyadic& other) const;
+  Dyadic& operator+=(const Dyadic& o) { return *this = *this + o; }
+  Dyadic& operator-=(const Dyadic& o) { return *this = *this - o; }
+  Dyadic& operator*=(const Dyadic& o) { return *this = *this * o; }
+
+  /// Three-way comparison.
+  int Compare(const Dyadic& other) const;
+  bool operator==(const Dyadic& o) const { return Compare(o) == 0; }
+  bool operator!=(const Dyadic& o) const { return Compare(o) != 0; }
+  bool operator<(const Dyadic& o) const { return Compare(o) < 0; }
+  bool operator<=(const Dyadic& o) const { return Compare(o) <= 0; }
+  bool operator>(const Dyadic& o) const { return Compare(o) > 0; }
+  bool operator>=(const Dyadic& o) const { return Compare(o) >= 0; }
+
+  Dyadic Abs() const;
+
+  /// Nearest double (exact when the value fits a double, which holds for
+  /// all inputs produced by FromDouble and small sums/products thereof).
+  double ToDouble() const;
+
+  /// Debug rendering "mantissa*2^exponent".
+  std::string ToString() const;
+
+  const BigInt& mantissa() const { return mantissa_; }
+  int32_t exponent() const { return exponent_; }
+
+ private:
+  void Normalize();
+
+  BigInt mantissa_;
+  int32_t exponent_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_MATH_DYADIC_H_

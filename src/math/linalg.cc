@@ -1,0 +1,170 @@
+#include "math/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (int i = 0; i < cols_; ++i) {
+    for (int j = i; j < cols_; ++j) {
+      double sum = 0;
+      for (int r = 0; r < rows_; ++r) sum += at(r, i) * at(r, j);
+      g.at(i, j) = sum;
+      g.at(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeTimes(const std::vector<double>& y) const {
+  RH_DCHECK(static_cast<int>(y.size()) == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out[c] += at(r, c) * y[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Times(const std::vector<double>& x) const {
+  RH_DCHECK(static_cast<int>(x.size()) == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double sum = 0;
+    for (int c = 0; c < cols_; ++c) sum += at(r, c) * x[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  RH_DCHECK(a.size() == b.size());
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b) {
+  const int n = a.rows();
+  RH_CHECK(a.cols() == n && static_cast<int>(b.size()) == n);
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-13) {
+      return Status::Numerical("singular linear system");
+    }
+    if (pivot != col) {
+      for (int c = col; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    double inv = 1.0 / a.at(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (int c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[r];
+    for (int c = r + 1; c < n; ++c) sum -= a.at(r, c) * x[c];
+    x[r] = sum / a.at(r, r);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double ridge) {
+  RH_CHECK(x.rows() == static_cast<int>(y.size()));
+  Matrix gram = x.Gram();
+  std::vector<double> rhs = x.TransposeTimes(y);
+  auto direct = SolveLinearSystem(gram, rhs);
+  if (direct.ok()) return direct;
+  // Ridge fallback for singular / ill-conditioned systems.
+  for (int i = 0; i < gram.rows(); ++i) gram.at(i, i) += ridge;
+  return SolveLinearSystem(gram, rhs);
+}
+
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& x, const std::vector<double>& y, int max_iter) {
+  const int n = x.cols();
+  RH_CHECK(x.rows() == static_cast<int>(y.size()));
+  std::vector<bool> passive(n, false);
+  std::vector<double> beta(n, 0.0);
+
+  auto solve_passive = [&]() -> Result<std::vector<double>> {
+    // Least squares restricted to the passive set.
+    std::vector<int> idx;
+    for (int i = 0; i < n; ++i) {
+      if (passive[i]) idx.push_back(i);
+    }
+    Matrix sub(x.rows(), static_cast<int>(idx.size()));
+    for (int r = 0; r < x.rows(); ++r) {
+      for (size_t j = 0; j < idx.size(); ++j) sub.at(r, j) = x.at(r, idx[j]);
+    }
+    RH_ASSIGN_OR_RETURN(std::vector<double> z_sub, LeastSquares(sub, y));
+    std::vector<double> z(n, 0.0);
+    for (size_t j = 0; j < idx.size(); ++j) z[idx[j]] = z_sub[j];
+    return z;
+  };
+
+  const double tol = 1e-10;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    // Gradient of 0.5||Xb - y||^2 is Xᵀ(Xb − y); w = −gradient.
+    std::vector<double> resid = x.Times(beta);
+    for (size_t i = 0; i < resid.size(); ++i) resid[i] = y[i] - resid[i];
+    std::vector<double> w = x.TransposeTimes(resid);
+
+    int best = -1;
+    double best_w = tol;
+    for (int i = 0; i < n; ++i) {
+      if (!passive[i] && w[i] > best_w) {
+        best_w = w[i];
+        best = i;
+      }
+    }
+    if (best < 0) return beta;  // KKT satisfied
+    passive[best] = true;
+
+    for (int inner = 0; inner < max_iter; ++inner) {
+      RH_ASSIGN_OR_RETURN(std::vector<double> z, solve_passive());
+      bool all_positive = true;
+      for (int i = 0; i < n; ++i) {
+        if (passive[i] && z[i] <= tol) {
+          all_positive = false;
+          break;
+        }
+      }
+      if (all_positive) {
+        beta = z;
+        break;
+      }
+      // Step as far as possible toward z while staying feasible.
+      double alpha = 1.0;
+      for (int i = 0; i < n; ++i) {
+        if (passive[i] && z[i] <= tol && beta[i] - z[i] > 0) {
+          alpha = std::min(alpha, beta[i] / (beta[i] - z[i]));
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        beta[i] += alpha * (z[i] - beta[i]);
+        if (passive[i] && beta[i] <= tol) {
+          beta[i] = 0.0;
+          passive[i] = false;
+        }
+      }
+    }
+  }
+  return beta;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,62 @@
+#ifndef RANKHOW_MATH_LINALG_H_
+#define RANKHOW_MATH_LINALG_H_
+
+/// \file linalg.h
+/// Small dense linear algebra for the regression baselines: dot products,
+/// Gaussian elimination, ordinary least squares via normal equations (with a
+/// ridge fallback for singular systems) and non-negative least squares
+/// (Lawson–Hanson active set).
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace rankhow {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Aᵀ · A (cols×cols).
+  Matrix Gram() const;
+  /// Aᵀ · y (length cols). y must have length rows.
+  std::vector<double> TransposeTimes(const std::vector<double>& y) const;
+  /// A · x (length rows). x must have length cols.
+  std::vector<double> Times(const std::vector<double>& x) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A is square
+/// (n×n) and consumed by value. Fails with kNumerical if singular.
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+/// Ordinary least squares: argmin ||X β − y||². Falls back to ridge
+/// (λ = `ridge`) when the normal equations are singular.
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double ridge = 1e-8);
+
+/// Non-negative least squares: argmin ||X β − y||² s.t. β ≥ 0
+/// (Lawson–Hanson active-set method).
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& x, const std::vector<double>& y, int max_iter = 1000);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_MATH_LINALG_H_

@@ -1,0 +1,92 @@
+#include "math/rational.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+void Rational::Normalize() {
+  RH_CHECK(!den_.is_zero()) << "Rational with zero denominator";
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Rational Rational::FromDouble(double value) {
+  RH_CHECK(std::isfinite(value));
+  if (value == 0.0) return Rational();
+  int exp = 0;
+  double frac = std::frexp(value, &exp);
+  int64_t mant = static_cast<int64_t>(std::ldexp(frac, 53));
+  exp -= 53;
+  if (exp >= 0) return Rational(BigInt(mant).ShiftLeft(exp), BigInt(1));
+  return Rational(BigInt(mant), BigInt(1).ShiftLeft(-exp));
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  RH_CHECK(!other.is_zero()) << "Rational division by zero";
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+int Rational::Compare(const Rational& other) const {
+  return (num_ * other.den_ - other.num_ * den_).sign();
+}
+
+Rational Rational::Abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.Abs();
+  return out;
+}
+
+double Rational::ToDouble() const {
+  // Scale num and den to comparable magnitude to avoid double overflow.
+  int shift = num_.BitLength() - den_.BitLength();
+  // Bring the quotient near 2^0 .. 2^64.
+  BigInt n = num_;
+  BigInt d = den_;
+  int applied = 0;
+  if (shift > 512) {
+    d = d.ShiftLeft(shift - 512);
+    applied = shift - 512;
+  } else if (shift < -512) {
+    n = n.ShiftLeft(-shift - 512);
+    applied = -(-shift - 512);
+  }
+  return std::ldexp(n.ToDouble() / d.ToDouble(), applied);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == BigInt(1)) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+}  // namespace rankhow

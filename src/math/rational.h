@@ -1,0 +1,68 @@
+#ifndef RANKHOW_MATH_RATIONAL_H_
+#define RANKHOW_MATH_RATIONAL_H_
+
+/// \file rational.h
+/// Exact rationals on BigInt. Used by property tests to cross-check the
+/// floating-point simplex on small instances and by utilities that need
+/// exact division (Dyadic covers the verifier's +,-,* needs more cheaply).
+
+#include <string>
+
+#include "math/bigint.h"
+
+namespace rankhow {
+
+/// num/den with den > 0, always in lowest terms; 0 is 0/1.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  explicit Rational(int64_t value) : num_(value), den_(1) {}
+  Rational(int64_t num, int64_t den) : num_(num), den_(den) { Normalize(); }
+  Rational(BigInt num, BigInt den) : num_(std::move(num)), den_(std::move(den)) {
+    Normalize();
+  }
+
+  /// Exact conversion of a finite double (doubles are dyadic rationals).
+  static Rational FromDouble(double value);
+
+  bool is_zero() const { return num_.is_zero(); }
+  int sign() const { return num_.sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Requires a non-zero divisor.
+  Rational operator/(const Rational& other) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  int Compare(const Rational& other) const;
+  bool operator==(const Rational& o) const { return Compare(o) == 0; }
+  bool operator!=(const Rational& o) const { return Compare(o) != 0; }
+  bool operator<(const Rational& o) const { return Compare(o) < 0; }
+  bool operator<=(const Rational& o) const { return Compare(o) <= 0; }
+  bool operator>(const Rational& o) const { return Compare(o) > 0; }
+  bool operator>=(const Rational& o) const { return Compare(o) >= 0; }
+
+  Rational Abs() const;
+
+  double ToDouble() const;
+  /// "num/den" (or just "num" when den == 1).
+  std::string ToString() const;
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_MATH_RATIONAL_H_

@@ -1,0 +1,161 @@
+#include "math/simplex_box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+WeightBox WeightBox::FullSimplex(int m) {
+  WeightBox box;
+  box.lo.assign(m, 0.0);
+  box.hi.assign(m, 1.0);
+  return box;
+}
+
+WeightBox WeightBox::CellAround(const std::vector<double>& center, double c) {
+  WeightBox box;
+  box.lo.reserve(center.size());
+  box.hi.reserve(center.size());
+  for (double w : center) {
+    box.lo.push_back(std::max(w - c / 2, 0.0));
+    box.hi.push_back(std::min(w + c / 2, 1.0));
+  }
+  return box;
+}
+
+bool WeightBox::IntersectsSimplex() const {
+  double sum_lo = 0;
+  double sum_hi = 0;
+  for (int i = 0; i < dim(); ++i) {
+    if (lo[i] > hi[i]) return false;
+    sum_lo += lo[i];
+    sum_hi += hi[i];
+  }
+  // Small slack: boxes are built from floating-point centers.
+  return sum_lo <= 1.0 + 1e-12 && sum_hi >= 1.0 - 1e-12;
+}
+
+bool WeightBox::Contains(const std::vector<double>& w, double tol) const {
+  if (static_cast<int>(w.size()) != dim()) return false;
+  for (int i = 0; i < dim(); ++i) {
+    if (w[i] < lo[i] - tol || w[i] > hi[i] + tol) return false;
+  }
+  return true;
+}
+
+WeightBox WeightBox::Intersect(const WeightBox& other) const {
+  RH_DCHECK(dim() == other.dim());
+  WeightBox out;
+  out.lo.resize(dim());
+  out.hi.resize(dim());
+  for (int i = 0; i < dim(); ++i) {
+    out.lo[i] = std::max(lo[i], other.lo[i]);
+    out.hi[i] = std::min(hi[i], other.hi[i]);
+  }
+  return out;
+}
+
+std::vector<double> WeightBox::Clamp(const std::vector<double>& w) const {
+  RH_DCHECK(static_cast<int>(w.size()) == dim());
+  std::vector<double> out(w.size());
+  for (int i = 0; i < dim(); ++i) {
+    out[i] = std::min(std::max(w[i], lo[i]), hi[i]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Exact min of d·w over {Σw=1, lo≤w≤hi} by greedy filling: start at lo and
+/// distribute the remaining mass 1−Σlo to coordinates in ascending d order.
+Result<double> MinDot(const std::vector<double>& d, const WeightBox& box) {
+  const int m = static_cast<int>(d.size());
+  double sum_lo = 0;
+  for (int i = 0; i < m; ++i) {
+    if (box.lo[i] > box.hi[i] + 1e-15) {
+      return Status::Infeasible("empty box");
+    }
+    sum_lo += box.lo[i];
+  }
+  double remaining = 1.0 - sum_lo;
+  if (remaining < -1e-12) return Status::Infeasible("sum lo > 1");
+
+  double value = 0;
+  for (int i = 0; i < m; ++i) value += d[i] * box.lo[i];
+
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return d[a] < d[b]; });
+  for (int idx : order) {
+    if (remaining <= 0) break;
+    double slack = box.hi[idx] - box.lo[idx];
+    double take = std::min(slack, remaining);
+    value += d[idx] * take;
+    remaining -= take;
+  }
+  if (remaining > 1e-9) return Status::Infeasible("sum hi < 1");
+  return value;
+}
+
+}  // namespace
+
+Result<DotRange> DotRangeOnSimplexBox(const std::vector<double>& d,
+                                      const WeightBox& box) {
+  RH_DCHECK(static_cast<int>(d.size()) == box.dim());
+  RH_ASSIGN_OR_RETURN(double mn, MinDot(d, box));
+  std::vector<double> neg(d.size());
+  for (size_t i = 0; i < d.size(); ++i) neg[i] = -d[i];
+  RH_ASSIGN_OR_RETURN(double neg_min, MinDot(neg, box));
+  return DotRange{mn, -neg_min};
+}
+
+DotRange DotRangeOnFullSimplex(const std::vector<double>& d) {
+  RH_DCHECK(!d.empty());
+  double mn = d[0];
+  double mx = d[0];
+  for (double v : d) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  return DotRange{mn, mx};
+}
+
+Result<std::vector<double>> AnyPointOnSimplexBox(const WeightBox& box) {
+  const int m = box.dim();
+  double sum_lo = 0;
+  for (int i = 0; i < m; ++i) {
+    if (box.lo[i] > box.hi[i] + 1e-15) {
+      return Status::Infeasible("empty box");
+    }
+    sum_lo += box.lo[i];
+  }
+  double remaining = 1.0 - sum_lo;
+  if (remaining < -1e-12) return Status::Infeasible("sum lo > 1");
+  std::vector<double> w = box.lo;
+  // Distribute the remaining mass proportionally to the available slack,
+  // yielding a point away from the box boundary when possible.
+  double total_slack = 0;
+  for (int i = 0; i < m; ++i) total_slack += box.hi[i] - box.lo[i];
+  if (remaining > total_slack + 1e-9) {
+    return Status::Infeasible("sum hi < 1");
+  }
+  if (total_slack > 0) {
+    double frac = std::min(1.0, remaining / total_slack);
+    for (int i = 0; i < m; ++i) w[i] += frac * (box.hi[i] - box.lo[i]);
+  }
+  // Fix residual rounding by a final greedy pass.
+  double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  double residual = 1.0 - sum;
+  for (int i = 0; i < m && std::abs(residual) > 1e-15; ++i) {
+    double nw = std::min(std::max(w[i] + residual, box.lo[i]), box.hi[i]);
+    residual -= nw - w[i];
+    w[i] = nw;
+  }
+  return w;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,352 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+namespace {
+
+/// A subproblem: bound fixings applied on top of the root core LP, plus the
+/// set of indicator big-M rows its ancestors found binding (lazily grown —
+/// children start from the parent's set instead of rediscovering it).
+struct Node {
+  std::vector<std::pair<int, double>> fixings;  // (binary var, 0.0 or 1.0)
+  std::shared_ptr<const std::vector<int>> active_rows;
+  double bound;                                 // parent LP bound (lower)
+  int depth = 0;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;  // best (lowest) first
+    return a.depth < b.depth;  // deeper first as tie-break (dive)
+  }
+};
+
+}  // namespace
+
+Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
+  if (model.lp().sense() != ObjectiveSense::kMinimize) {
+    return Status::Invalid(
+        "BranchAndBound requires a minimization objective; negate the "
+        "objective expression for maximization");
+  }
+  // Lazy row generation: node LPs start from the core LP (no indicator
+  // rows) plus the rows inherited from the parent, and pull in further
+  // big-M rows only when the LP iterate violates them. On Equation-(2)
+  // instances the vast majority of the k·n indicator rows never bind, so
+  // this shrinks node LPs by orders of magnitude.
+  const LpModel& core = model.lp();
+  const size_t num_indicators = model.indicators().size();
+  // Separation pool: compiled indicator rows first (indices < num_indicators
+  // map back to their binary for violation branching), then lazy cuts.
+  std::vector<MilpModel::CompiledRow> compiled;
+  compiled.reserve(num_indicators + model.lazy_cuts().size());
+  for (size_t i = 0; i < num_indicators; ++i) {
+    RH_ASSIGN_OR_RETURN(MilpModel::CompiledRow row, model.CompileIndicator(i));
+    compiled.push_back(std::move(row));
+  }
+  for (const MilpModel::CompiledRow& cut : model.lazy_cuts()) {
+    compiled.push_back(cut);
+  }
+  // Binary upper bounds, also enforced lazily: the dense-tableau simplex
+  // compiles every finite upper bound into a row, so thousands of mostly
+  // slack "δ <= 1" rows would dominate node LP cost. Node assembly relaxes
+  // unfixed binaries to [0, ∞) and these pool rows pull the bound back in
+  // only where the LP actually pushes past it. Intermediate LP values stay
+  // valid lower bounds (the feasible set only grows), and "clean" points
+  // satisfy every bound by construction.
+  for (int var : model.binary_vars()) {
+    compiled.push_back(
+        MilpModel::CompiledRow{LinearExpr::Term(var, 1.0), RelOp::kLe, 1.0});
+  }
+  const size_t num_rows = compiled.size();
+  const std::vector<int>& binaries = model.binary_vars();
+  Deadline deadline(options_.time_limit_seconds);
+  constexpr double kViolationTol = 1e-7;
+  constexpr int kMaxLazyRounds = 100;
+
+  BnbResult best;
+  best.objective = options_.initial_incumbent;
+  best.values = options_.initial_values;
+  BnbStats& stats = best.stats;
+  WallTimer timer;
+
+  auto tighten = [&](double bound) {
+    return options_.objective_is_integral ? std::ceil(bound - 1e-6) : bound;
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  {
+    auto root_active = std::make_shared<std::vector<int>>();
+    if (!options_.lazy_separation) {
+      // Full relaxation from the start: every pool row in every node LP.
+      root_active->resize(num_rows);
+      for (size_t i = 0; i < num_rows; ++i) (*root_active)[i] = i;
+    }
+    open.push(Node{{}, std::move(root_active), -kInfinity, 0});
+  }
+  // The global lower bound is the smallest bound among unexplored subtrees
+  // (the queue is ordered by bound, so that is open.top()).
+  double global_bound = kInfinity;  // +inf once the tree is exhausted
+  bool limits_hit = false;
+
+  // Branches both ways on `var` from `node`, carrying `bound` and `active`.
+  auto branch = [&](const Node& node, int var, double first_value,
+                    double bound,
+                    std::shared_ptr<const std::vector<int>> active) {
+    for (double value : {first_value, 1.0 - first_value}) {
+      Node child;
+      child.fixings = node.fixings;
+      child.fixings.emplace_back(var, value);
+      child.active_rows = active;
+      child.bound = bound;
+      child.depth = node.depth + 1;
+      open.push(std::move(child));
+    }
+  };
+
+  while (!open.empty()) {
+    if (options_.max_nodes > 0 && stats.nodes_explored >= options_.max_nodes) {
+      limits_hit = true;
+      break;
+    }
+    if (deadline.Expired()) {
+      limits_hit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= best.objective - options_.abs_gap) {
+      // All remaining nodes are at least as bad: incumbent is optimal.
+      global_bound = node.bound;
+      limits_hit = false;
+      break;
+    }
+    ++stats.nodes_explored;
+
+    // Assemble the node LP: core + fixings + inherited lazy rows. Unfixed
+    // binaries get an open upper bound (see the bound rows in the pool).
+    LpModel relaxation = core;
+    for (int var : binaries) {
+      relaxation.mutable_variable(var).upper = kInfinity;
+    }
+    for (const auto& [var, value] : node.fixings) {
+      LpVariable& v = relaxation.mutable_variable(var);
+      v.lower = value;
+      v.upper = value;
+    }
+    std::shared_ptr<const std::vector<int>> active = node.active_rows;
+    for (int idx : *active) {
+      relaxation.AddConstraint(LinearExpr(compiled[idx].expr),
+                               compiled[idx].op, compiled[idx].rhs, "lazy");
+    }
+
+    // Lazy separation loop: solve, add violated indicator rows, re-solve.
+    // Every intermediate LP value is already a valid lower bound (a subset
+    // of rows only relaxes further), so pruning can fire mid-loop.
+    Result<LpSolution> lp = Status::Internal("lazy loop never ran");
+    bool clean = false;     // no violated indicator rows at lp solution
+    bool pruned = false;
+    bool lp_failed = false;
+    bool out_of_time = false;
+    double bound = node.bound;
+    for (int round = 0; round < kMaxLazyRounds; ++round) {
+      // Re-budget every round with the remaining global time: one node can
+      // run many separation rounds, and each re-solve must fit what is left
+      // of time_limit_seconds (not what was left when the node started).
+      if (deadline.Expired()) {
+        out_of_time = true;
+        break;
+      }
+      SimplexOptions lp_options = options_.lp_options;
+      if (deadline.HasBudget()) {
+        double remaining = deadline.RemainingSeconds();
+        lp_options.deadline_seconds =
+            lp_options.deadline_seconds > 0
+                ? std::min(lp_options.deadline_seconds, remaining)
+                : remaining;
+      }
+      SimplexSolver lp_solver(lp_options);
+      lp = lp_solver.Solve(relaxation);
+      if (!lp.ok()) {
+        lp_failed = true;
+        break;
+      }
+      stats.lp_iterations += lp->iterations;
+      bound = std::max(bound, tighten(lp->objective));
+      if (bound >= best.objective - options_.abs_gap) {
+        pruned = true;  // subset bound already kills the node
+        break;
+      }
+      std::vector<int> violated;
+      for (size_t i = 0; i < num_rows; ++i) {
+        double lhs = compiled[i].expr.Evaluate(lp->values);
+        double v = compiled[i].op == RelOp::kGe ? compiled[i].rhs - lhs
+                                                : lhs - compiled[i].rhs;
+        if (v > kViolationTol) violated.push_back(static_cast<int>(i));
+      }
+      if (violated.empty()) {
+        clean = true;
+        break;
+      }
+      auto grown = std::make_shared<std::vector<int>>(*active);
+      for (int idx : violated) {
+        grown->push_back(idx);
+        relaxation.AddConstraint(LinearExpr(compiled[idx].expr),
+                                 compiled[idx].op, compiled[idx].rhs, "lazy");
+      }
+      active = std::move(grown);
+      ++stats.lazy_rounds;
+    }
+
+    if (out_of_time) {
+      // Global budget ran out between separation rounds: the node is not
+      // fully explored; put it back so the final bound accounting sees it.
+      open.push(std::move(node));
+      limits_hit = true;
+      break;
+    }
+    if (pruned) continue;
+    if (lp_failed) {
+      if (lp.status().code() == StatusCode::kInfeasible) continue;  // prune
+      if (lp.status().code() == StatusCode::kResourceExhausted &&
+          deadline.Expired()) {
+        // Global budget ran out mid-LP: the node is unexplored, put it back
+        // so the final bound accounting sees it.
+        open.push(std::move(node));
+        limits_hit = true;
+        break;
+      }
+      // Numerical trouble (spurious unboundedness, iteration stall): we
+      // cannot bound this node, but dropping it would be unsound. Branch on
+      // the first unfixed binary without tightening — the children are more
+      // constrained and typically solve cleanly; a fully fixed node that
+      // still fails is genuinely broken.
+      int branch_var = -1;
+      for (int var : binaries) {
+        bool fixed = false;
+        for (const auto& [fv, value] : node.fixings) {
+          (void)value;
+          if (fv == var) {
+            fixed = true;
+            break;
+          }
+        }
+        if (!fixed) {
+          branch_var = var;
+          break;
+        }
+      }
+      if (branch_var < 0) {
+        // Fully fixed and still failing: drop the node but record it — the
+        // final optimality claim is downgraded below.
+        ++stats.numerical_drops;
+        RH_LOG(Warning) << "dropping fully-fixed node after LP failure: "
+                        << lp.status().ToString();
+        continue;
+      }
+      branch(node, branch_var, 0.0, node.bound, active);
+      continue;
+    }
+
+    // Primal heuristic: let the caller turn this fractional point into a
+    // true feasible solution (RankHow: evaluate the ranking error of w).
+    if (heuristic_) {
+      auto candidate = heuristic_(lp->values);
+      if (candidate.has_value() &&
+          candidate->objective < best.objective - options_.abs_gap) {
+        best.objective = candidate->objective;
+        best.values = candidate->values;
+        ++stats.incumbent_updates;
+      }
+      if (bound >= best.objective - options_.abs_gap) continue;
+    }
+
+    // Find the most fractional binary.
+    int branch_var = -1;
+    double branch_score = options_.int_tol;
+    for (int var : binaries) {
+      double v = lp->values[var];
+      double frac = std::min(v, 1.0 - v);
+      if (frac > branch_score) {
+        branch_score = frac;
+        branch_var = var;
+      }
+    }
+
+    if (branch_var < 0 && clean) {
+      // Integral and no violated indicator rows: feasible for the full
+      // relaxation, so this is a true incumbent. IsFeasible is a debug-only
+      // invariant check.
+      if (lp->objective < best.objective - options_.abs_gap) {
+        RH_DCHECK(model.IsFeasible(lp->values, 1e-4))
+            << "integral LP point violates indicator semantics (bad big-M?)";
+        best.objective = lp->objective;
+        best.values = lp->values;
+        ++stats.incumbent_updates;
+      }
+      continue;
+    }
+    if (branch_var < 0) {
+      // Integral but the lazy loop hit its round cap with violations left:
+      // force progress by branching on the binary of the most violated
+      // indicator row. (Cannot accept the point; cannot prune the node.)
+      double worst = kViolationTol;
+      for (size_t i = 0; i < num_indicators; ++i) {
+        double lhs = compiled[i].expr.Evaluate(lp->values);
+        double v = compiled[i].op == RelOp::kGe ? compiled[i].rhs - lhs
+                                                : lhs - compiled[i].rhs;
+        if (v > worst) {
+          worst = v;
+          branch_var = model.indicators()[i].binary_var;
+        }
+      }
+      if (branch_var < 0) continue;  // cannot happen: !clean means violations
+      bool already_fixed = false;
+      for (const auto& [fv, value] : node.fixings) {
+        (void)value;
+        if (fv == branch_var) already_fixed = true;
+      }
+      if (already_fixed) {
+        ++stats.numerical_drops;  // irrecoverable; downgrade the proof
+        continue;
+      }
+    }
+
+    // Branch. Explore the side the LP leans toward first (slightly better
+    // bounds in practice); both children inherit this node's bound and
+    // lazily-grown row set.
+    double leaning = lp->values[branch_var] >= 0.5 ? 1.0 : 0.0;
+    branch(node, branch_var, leaning, bound, active);
+  }
+
+  stats.seconds = timer.ElapsedSeconds();
+  if (limits_hit) {
+    // Unexplored subtrees remain; the weakest of their bounds limits what we
+    // can claim.
+    global_bound = open.empty() ? best.objective : open.top().bound;
+    if (!std::isfinite(best.objective)) {
+      return Status::ResourceExhausted(
+          "branch-and-bound limits reached before finding a feasible "
+          "solution");
+    }
+  } else if (open.empty()) {
+    // Tree exhausted: the incumbent (if any) is exactly optimal.
+    if (!std::isfinite(best.objective)) {
+      return Status::Infeasible("no feasible MILP assignment");
+    }
+    global_bound = best.objective;
+  }
+  best.best_bound = std::min(global_bound, best.objective);
+  best.proven_optimal = global_bound >= best.objective - options_.abs_gap &&
+                        stats.numerical_drops == 0;
+  return best;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,134 @@
+#include "milp/milp_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+int MilpModel::AddBinaryVariable(std::string name) {
+  int var = lp_.AddVariable(0.0, 1.0, std::move(name));
+  binary_vars_.push_back(var);
+  return var;
+}
+
+void MilpModel::MarkBinary(int var) {
+  RH_CHECK(var >= 0 && var < lp_.num_variables());
+  const LpVariable& v = lp_.variable(var);
+  RH_CHECK(v.lower >= 0.0 && v.upper <= 1.0)
+      << "binary variable must have bounds within [0,1]";
+  binary_vars_.push_back(var);
+}
+
+void MilpModel::AddIndicator(IndicatorConstraint indicator) {
+  RH_CHECK(indicator.binary_var >= 0 &&
+           indicator.binary_var < lp_.num_variables());
+  RH_CHECK(indicator.op != RelOp::kEq)
+      << "indicator constraints support <= and >= only";
+  indicators_.push_back(std::move(indicator));
+}
+
+namespace {
+
+/// Interval bound of an expression over the variables' box bounds.
+/// Returns false when unbounded in the needed direction.
+bool ExprRange(const LpModel& lp, const LinearExpr& expr, double* min_out,
+               double* max_out) {
+  double lo = expr.constant();
+  double hi = expr.constant();
+  for (const auto& [var, coeff] : expr.terms()) {
+    const LpVariable& v = lp.variable(var);
+    double a = coeff > 0 ? v.lower : v.upper;
+    double b = coeff > 0 ? v.upper : v.lower;
+    lo += coeff * a;
+    hi += coeff * b;
+  }
+  *min_out = lo;
+  *max_out = hi;
+  return std::isfinite(lo) && std::isfinite(hi);
+}
+
+}  // namespace
+
+Result<MilpModel::CompiledRow> MilpModel::CompileIndicator(size_t i) const {
+  RH_CHECK(i < indicators_.size());
+  const IndicatorConstraint& ind = indicators_[i];
+  double m = ind.big_m;
+  if (m <= 0) {
+    double lo = 0;
+    double hi = 0;
+    if (!ExprRange(lp_, ind.expr, &lo, &hi)) {
+      return Status::Invalid(StrFormat(
+          "cannot derive big-M for indicator %zu: unbounded expression", i));
+    }
+    m = ind.op == RelOp::kGe ? ind.rhs - lo : hi - ind.rhs;
+    m = std::max(m, 0.0) + 1.0;  // slack for numerical safety
+  }
+  // δ = active ⇒ expr >= rhs  compiles to  expr + M·(active? (1−δ) : δ) >= rhs
+  // δ = active ⇒ expr <= rhs  compiles to  expr − M·(active? (1−δ) : δ) <= rhs
+  CompiledRow row;
+  row.expr = ind.expr;
+  row.op = ind.op;
+  row.rhs = ind.rhs;
+  double sign = ind.op == RelOp::kGe ? 1.0 : -1.0;
+  if (ind.active_value) {
+    // expr + sign*M*(1-δ) {>=,<=} rhs  →  expr − sign·M·δ {>=,<=} rhs − sign·M
+    row.expr += LinearExpr::Term(ind.binary_var, -sign * m);
+    row.rhs -= sign * m;
+  } else {
+    // expr + sign*M*δ {>=,<=} rhs
+    row.expr += LinearExpr::Term(ind.binary_var, sign * m);
+  }
+  return row;
+}
+
+Result<double> MilpModel::IndicatorRowViolation(
+    size_t i, const std::vector<double>& x) const {
+  RH_ASSIGN_OR_RETURN(CompiledRow row, CompileIndicator(i));
+  double lhs = row.expr.Evaluate(x);
+  return row.op == RelOp::kGe ? row.rhs - lhs : lhs - row.rhs;
+}
+
+void MilpModel::AddLazyCut(LinearExpr expr, RelOp op, double rhs) {
+  RH_CHECK(op != RelOp::kEq) << "lazy cuts support <= and >= only";
+  lazy_cuts_.push_back(CompiledRow{std::move(expr), op, rhs});
+}
+
+Result<LpModel> MilpModel::BuildRelaxation() const {
+  LpModel relaxed = lp_;
+  for (size_t i = 0; i < indicators_.size(); ++i) {
+    RH_ASSIGN_OR_RETURN(CompiledRow row, CompileIndicator(i));
+    relaxed.AddConstraint(std::move(row.expr), row.op, row.rhs,
+                          StrFormat("ind%zu", i));
+  }
+  for (size_t i = 0; i < lazy_cuts_.size(); ++i) {
+    relaxed.AddConstraint(LinearExpr(lazy_cuts_[i].expr), lazy_cuts_[i].op,
+                          lazy_cuts_[i].rhs, StrFormat("cut%zu", i));
+  }
+  return relaxed;
+}
+
+bool MilpModel::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (!lp_.IsFeasible(x, tol)) return false;
+  for (int var : binary_vars_) {
+    double v = x[var];
+    if (std::abs(v - std::round(v)) > tol) return false;
+  }
+  for (const IndicatorConstraint& ind : indicators_) {
+    bool active =
+        std::abs(x[ind.binary_var] - (ind.active_value ? 1.0 : 0.0)) <= tol;
+    if (!active) continue;
+    double lhs = ind.expr.Evaluate(x);
+    if (ind.op == RelOp::kGe && lhs < ind.rhs - tol) return false;
+    if (ind.op == RelOp::kLe && lhs > ind.rhs + tol) return false;
+  }
+  for (const CompiledRow& cut : lazy_cuts_) {
+    double lhs = cut.expr.Evaluate(x);
+    if (cut.op == RelOp::kGe && lhs < cut.rhs - tol) return false;
+    if (cut.op == RelOp::kLe && lhs > cut.rhs + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace rankhow

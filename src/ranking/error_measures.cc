@@ -1,0 +1,71 @@
+#include "ranking/error_measures.h"
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+namespace {
+
+/// Applies `fn(a, b)` to every ordered pair of ranked tuples with
+/// π(a) < π(b) strictly.
+template <typename Fn>
+void ForEachStrictGivenPair(const Ranking& given, Fn&& fn) {
+  const std::vector<int>& ranked = given.ranked_tuples();
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    for (size_t j = i + 1; j < ranked.size(); ++j) {
+      int a = ranked[i];
+      int b = ranked[j];
+      if (given.position(a) < given.position(b)) {
+        fn(a, b);
+      } else if (given.position(b) < given.position(a)) {
+        fn(b, a);
+      }
+      // Tied pairs are neutral.
+    }
+  }
+}
+
+}  // namespace
+
+long KendallTauDistance(const Ranking& given,
+                        const std::vector<int>& approx_positions) {
+  RH_CHECK(static_cast<int>(approx_positions.size()) == given.num_tuples());
+  long inversions = 0;
+  ForEachStrictGivenPair(given, [&](int above, int below) {
+    if (approx_positions[above] > approx_positions[below]) ++inversions;
+  });
+  return inversions;
+}
+
+double TopWeightedInversionError(const Ranking& given,
+                                 const std::vector<int>& approx_positions) {
+  RH_CHECK(static_cast<int>(approx_positions.size()) == given.num_tuples());
+  double error = 0;
+  ForEachStrictGivenPair(given, [&](int above, int below) {
+    if (approx_positions[above] > approx_positions[below]) {
+      error += 1.0 / static_cast<double>(given.position(above));
+    }
+  });
+  return error;
+}
+
+double KendallTauCoefficient(const Ranking& given,
+                             const std::vector<int>& approx_positions) {
+  RH_CHECK(static_cast<int>(approx_positions.size()) == given.num_tuples());
+  long concordant = 0;
+  long discordant = 0;
+  ForEachStrictGivenPair(given, [&](int above, int below) {
+    if (approx_positions[above] < approx_positions[below]) {
+      ++concordant;
+    } else if (approx_positions[above] > approx_positions[below]) {
+      ++discordant;
+    }
+  });
+  long k = given.k();
+  long total_pairs = k * (k - 1) / 2;
+  if (total_pairs == 0) return 1.0;
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(total_pairs);
+}
+
+}  // namespace rankhow

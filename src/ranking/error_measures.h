@@ -1,0 +1,36 @@
+#ifndef RANKHOW_RANKING_ERROR_MEASURES_H_
+#define RANKHOW_RANKING_ERROR_MEASURES_H_
+
+/// \file error_measures.h
+/// Alternative ranking-quality measures the paper mentions alongside
+/// position-based error (Sec. I): Kendall-tau-style inversion counts and a
+/// top-weighted variant that penalizes mistakes near the head of the ranking
+/// more heavily.
+
+#include <vector>
+
+#include "ranking/ranking.h"
+
+namespace rankhow {
+
+/// Number of discordant ranked pairs: pairs (a,b) of ranked tuples with
+/// π(a) < π(b) but approx positions ordered strictly the other way, plus
+/// half-discordant ties counted per Kendall's tau-b convention is NOT used —
+/// this is the plain inversion count on strict orderings (ties in either
+/// ranking make a pair concordant-neutral and contribute 0).
+long KendallTauDistance(const Ranking& given,
+                        const std::vector<int>& approx_positions);
+
+/// Inversions weighted by 1/min(π(a), π(b)): an inversion involving the
+/// number-1 tuple costs 1, one between positions 9 and 12 costs 1/9.
+double TopWeightedInversionError(const Ranking& given,
+                                 const std::vector<int>& approx_positions);
+
+/// Normalized Kendall tau in [-1, 1] over the ranked tuples (1 = identical
+/// order, -1 = fully reversed). Neutral pairs (ties) dilute toward 0.
+double KendallTauCoefficient(const Ranking& given,
+                             const std::vector<int>& approx_positions);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_RANKING_ERROR_MEASURES_H_

@@ -1,0 +1,159 @@
+#include "ranking/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+Ranking::Ranking(std::vector<int> positions)
+    : positions_(std::move(positions)) {
+  for (int t = 0; t < num_tuples(); ++t) {
+    if (positions_[t] != kUnranked) ranked_tuples_.push_back(t);
+  }
+  std::sort(ranked_tuples_.begin(), ranked_tuples_.end(), [this](int a, int b) {
+    if (positions_[a] != positions_[b]) return positions_[a] < positions_[b];
+    return a < b;
+  });
+}
+
+Result<Ranking> Ranking::Create(std::vector<int> positions,
+                                RankingValidation validation) {
+  const int n = static_cast<int>(positions.size());
+  int ranked = 0;
+  for (int p : positions) {
+    if (p == kUnranked) continue;
+    if (p < 1) {
+      return Status::Invalid(
+          StrFormat("position %d invalid: must be >= 1 or kUnranked", p));
+    }
+    if (p > n) {
+      return Status::Invalid(StrFormat(
+          "position %d unachievable: only %d tuples exist", p, n));
+    }
+    ++ranked;
+  }
+  if (ranked == 0) return Status::Invalid("ranking has no ranked tuple");
+  std::vector<int> ranked_positions;
+  ranked_positions.reserve(ranked);
+  for (int p : positions) {
+    if (p != kUnranked) ranked_positions.push_back(p);
+  }
+  std::sort(ranked_positions.begin(), ranked_positions.end());
+
+  if (validation == RankingValidation::kStrict) {
+    // Position-1 and no-excessive-gap checks of Definition 1.
+    if (ranked_positions.front() != 1) {
+      return Status::Invalid("no tuple has position 1");
+    }
+    for (size_t i = 0; i < ranked_positions.size(); ++i) {
+      // Tuple at position p needs >= p-1 tuples strictly above. In sorted
+      // order, the i-th entry (0-based) has exactly `first occurrence index`
+      // entries before it with strictly smaller positions.
+      int p = ranked_positions[i];
+      size_t strictly_above =
+          std::lower_bound(ranked_positions.begin(), ranked_positions.end(),
+                           p) -
+          ranked_positions.begin();
+      if (static_cast<int>(strictly_above) < p - 1) {
+        return Status::Invalid(StrFormat(
+            "excessive gap: position %d has only %zu tuples above", p,
+            strictly_above));
+      }
+    }
+  } else {
+    // kOffset achievability: position p needs p-1 tuples that COULD rank
+    // above — ranked tuples strictly above plus all unranked tuples.
+    const int unranked = n - ranked;
+    for (int p : ranked_positions) {
+      size_t strictly_above =
+          std::lower_bound(ranked_positions.begin(), ranked_positions.end(),
+                           p) -
+          ranked_positions.begin();
+      if (static_cast<int>(strictly_above) + unranked < p - 1) {
+        return Status::Invalid(StrFormat(
+            "offset position %d unachievable: only %zu ranked tuples above "
+            "and %d unranked tuples available",
+            p, strictly_above, unranked));
+      }
+    }
+  }
+  return Ranking(std::move(positions));
+}
+
+Ranking Ranking::FromScores(const std::vector<double>& scores, int k,
+                            double tie_eps) {
+  const int n = static_cast<int>(scores.size());
+  RH_CHECK(k >= 1 && k <= n) << "FromScores: k out of range";
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return scores[a] > scores[b]; });
+
+  // Definition 2: rank of r = 1 + #{s : f(s) - f(r) > eps}. Computed over
+  // the descending order with a two-pointer scan.
+  std::vector<int> positions(n, kUnranked);
+  int beats = 0;  // tuples with score > scores[order[i]] + eps
+  int j = 0;
+  int last_position = 0;
+  for (int i = 0; i < n; ++i) {
+    while (scores[order[j]] - scores[order[i]] > tie_eps) {
+      ++j;
+      ++beats;
+    }
+    int position = beats + 1;
+    // Keep the top-k closed under ties: stop only when a NEW position would
+    // exceed k.
+    if (position > k && position != last_position) break;
+    positions[order[i]] = position;
+    last_position = position;
+  }
+  auto result = Create(std::move(positions));
+  RH_CHECK(result.ok()) << "FromScores produced invalid ranking: "
+                        << result.status().ToString();
+  return *std::move(result);
+}
+
+Result<Ranking> Ranking::Window(int lo, int hi) const {
+  if (lo < 1 || hi < lo) return Status::Invalid("bad window bounds");
+  // Keep original positions: the OPT objective then asks the scoring
+  // function to place each slice tuple where the given ranking did, with
+  // every tuple outside the slice unconstrained (⊥).
+  std::vector<int> positions(num_tuples(), kUnranked);
+  int kept = 0;
+  for (int t = 0; t < num_tuples(); ++t) {
+    int p = positions_[t];
+    if (p != kUnranked && p >= lo && p <= hi) {
+      positions[t] = p;
+      ++kept;
+    }
+  }
+  if (kept == 0) return Status::Invalid("empty position window");
+  return Create(std::move(positions), RankingValidation::kOffset);
+}
+
+Result<Ranking> Ranking::WindowRebased(int lo, int hi) const {
+  if (lo < 1 || hi < lo) return Status::Invalid("bad window bounds");
+  // Re-rank the tuples inside the window with competition ranking (ties may
+  // straddle the window edge, so simple position shifting could produce a
+  // ranking that does not start at 1).
+  std::vector<int> in_window;
+  for (int t = 0; t < num_tuples(); ++t) {
+    int p = positions_[t];
+    if (p != kUnranked && p >= lo && p <= hi) in_window.push_back(t);
+  }
+  if (in_window.empty()) return Status::Invalid("empty position window");
+  std::vector<int> positions(num_tuples(), kUnranked);
+  for (int t : in_window) {
+    int above = 0;
+    for (int s : in_window) {
+      if (positions_[s] < positions_[t]) ++above;
+    }
+    positions[t] = above + 1;
+  }
+  return Create(std::move(positions));
+}
+
+}  // namespace rankhow

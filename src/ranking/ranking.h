@@ -1,0 +1,93 @@
+#ifndef RANKHOW_RANKING_RANKING_H_
+#define RANKHOW_RANKING_RANKING_H_
+
+/// \file ranking.h
+/// The paper's notion of a *given ranking* π (Definition 1): each tuple gets
+/// a positive integer position or ⊥ ("unranked", may appear anywhere below
+/// the ranked tuples). Ties are expressed by repeated positions; gaps follow
+/// the competition-ranking rule (positions 1,1,3 — never 1,1,2).
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace rankhow {
+
+/// Sentinel position for ⊥ (tuples whose order does not matter).
+inline constexpr int kUnranked = -1;
+
+/// How strictly Create() validates the position vector.
+enum class RankingValidation {
+  /// Full Definition 1: some tuple at position 1, no excessive gaps.
+  kStrict,
+  /// Offset rankings (Sec. I's "fit positions 30-50" generalization):
+  /// positions may start above 1 and leave gaps below the window. Only
+  /// achievability is checked — every position p must be realizable by some
+  /// score assignment, i.e. enough other tuples exist to fill positions
+  /// 1..p-1.
+  kOffset,
+};
+
+/// An immutable validated ranking π over tuples 0..n-1.
+class Ranking {
+ public:
+  /// Empty placeholder (num_tuples() == 0). Useful as a default member;
+  /// every non-trivial instance comes from Create()/FromScores().
+  Ranking() = default;
+
+  /// Validates (kStrict — Definition 1):
+  ///  * ranked positions are >= 1,
+  ///  * some tuple has position 1,
+  ///  * no excessive gaps: a tuple at position p has >= p-1 tuples ranked
+  ///    strictly above it,
+  ///  * (⊥ tuples carry kUnranked).
+  /// With kOffset, the first two checks relax as documented on
+  /// RankingValidation.
+  static Result<Ranking> Create(
+      std::vector<int> positions,
+      RankingValidation validation = RankingValidation::kStrict);
+
+  /// Builds the ranking induced by sorting `scores` descending (higher score
+  /// = better rank), keeping the top `k` scores ranked and assigning ⊥ to the
+  /// rest. Scores within `tie_eps` of each other tie (Definition 2
+  /// semantics). If the k-th ranked tuple ties with later ones, those later
+  /// tuples are ranked too (the top-k set is closed under ties).
+  static Ranking FromScores(const std::vector<double>& scores, int k,
+                            double tie_eps = 0.0);
+
+  int num_tuples() const { return static_cast<int>(positions_.size()); }
+  /// Number of ranked (non-⊥) tuples.
+  int k() const { return static_cast<int>(ranked_tuples_.size()); }
+
+  /// Position of a tuple (kUnranked for ⊥).
+  int position(int tuple) const { return positions_[tuple]; }
+  bool IsRanked(int tuple) const { return positions_[tuple] != kUnranked; }
+
+  /// Ranked tuple ids ordered by position (ties in id order).
+  const std::vector<int>& ranked_tuples() const { return ranked_tuples_; }
+
+  const std::vector<int>& positions() const { return positions_; }
+
+  /// Restriction to a position window [lo, hi] (Sec. I: a university ranked
+  /// 50th fits a function to positions 30-50). Tuples inside keep their
+  /// ORIGINAL positions — the synthesized function should place them where
+  /// the given ranking did, with every other tuple free; all others get ⊥.
+  /// The result is an offset ranking (see RankingValidation::kOffset).
+  Result<Ranking> Window(int lo, int hi) const;
+
+  /// Like Window, but re-ranks the slice starting at position 1 ("treat the
+  /// slice as its own top-k"): the synthesized function must pull the slice
+  /// to the top of the whole relation. A much stronger requirement than
+  /// Window — use it only when that is really what you mean.
+  Result<Ranking> WindowRebased(int lo, int hi) const;
+
+ private:
+  explicit Ranking(std::vector<int> positions);
+
+  std::vector<int> positions_;
+  std::vector<int> ranked_tuples_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_RANKING_RANKING_H_

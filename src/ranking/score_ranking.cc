@@ -1,0 +1,95 @@
+#include "ranking/score_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace rankhow {
+
+namespace {
+
+/// Sorted (descending) copy of scores.
+std::vector<double> SortedDescending(const std::vector<double>& scores) {
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  return sorted;
+}
+
+/// #{s : scores[s] > value + eps} via binary search on the descending array.
+int CountBeating(const std::vector<double>& sorted_desc, double value,
+                 double eps) {
+  // With comparator `>` on a descending array, lower_bound yields the first
+  // index where sorted[i] <= value + eps; everything before it beats value
+  // strictly.
+  auto it = std::lower_bound(sorted_desc.begin(), sorted_desc.end(),
+                             value + eps, std::greater<double>());
+  return static_cast<int>(it - sorted_desc.begin());
+}
+
+}  // namespace
+
+std::vector<int> ScoreRankPositions(const std::vector<double>& scores,
+                                    double tie_eps) {
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+  std::vector<int> positions(n, 0);
+  int beats = 0;
+  int j = 0;
+  for (int i = 0; i < n; ++i) {
+    while (scores[order[j]] - scores[order[i]] > tie_eps) {
+      ++j;
+      ++beats;
+    }
+    positions[order[i]] = beats + 1;
+  }
+  return positions;
+}
+
+std::vector<int> ScoreRankPositionsOf(const std::vector<double>& scores,
+                                      const std::vector<int>& tuples,
+                                      double tie_eps) {
+  std::vector<double> sorted = SortedDescending(scores);
+  std::vector<int> positions;
+  positions.reserve(tuples.size());
+  for (int t : tuples) {
+    positions.push_back(CountBeating(sorted, scores[t], tie_eps) + 1);
+  }
+  return positions;
+}
+
+long PositionErrorFromScores(const std::vector<double>& scores,
+                             const Ranking& given, double tie_eps) {
+  std::vector<double> sorted = SortedDescending(scores);
+  long error = 0;
+  for (int t : given.ranked_tuples()) {
+    int rho = CountBeating(sorted, scores[t], tie_eps) + 1;
+    error += std::labs(static_cast<long>(rho) - given.position(t));
+  }
+  return error;
+}
+
+long PositionError(const Dataset& data, const Ranking& given,
+                   const std::vector<double>& weights, double tie_eps) {
+  RH_CHECK(data.num_tuples() == given.num_tuples());
+  return PositionErrorFromScores(data.Scores(weights), given, tie_eps);
+}
+
+std::vector<long> PositionErrorBreakdown(const std::vector<double>& scores,
+                                         const Ranking& given,
+                                         double tie_eps) {
+  std::vector<double> sorted = SortedDescending(scores);
+  std::vector<long> breakdown;
+  breakdown.reserve(given.ranked_tuples().size());
+  for (int t : given.ranked_tuples()) {
+    int rho = CountBeating(sorted, scores[t], tie_eps) + 1;
+    breakdown.push_back(std::labs(static_cast<long>(rho) - given.position(t)));
+  }
+  return breakdown;
+}
+
+}  // namespace rankhow

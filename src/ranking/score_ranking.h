@@ -1,0 +1,44 @@
+#ifndef RANKHOW_RANKING_SCORE_RANKING_H_
+#define RANKHOW_RANKING_SCORE_RANKING_H_
+
+/// \file score_ranking.h
+/// Score-based rankings ρ_W induced by a linear function f_W (Definition 2)
+/// and the position-based error of Definition 3, in fast floating-point
+/// form. The exact (rational-arithmetic) counterpart lives in verifier.h.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// ρ_W positions for ALL tuples: ρ(r) = 1 + #{s : f(s) − f(r) > ε}.
+/// O(n log n).
+std::vector<int> ScoreRankPositions(const std::vector<double>& scores,
+                                    double tie_eps);
+
+/// Positions of selected tuples only (O(n log n) + O(|tuples| log n)).
+std::vector<int> ScoreRankPositionsOf(const std::vector<double>& scores,
+                                      const std::vector<int>& tuples,
+                                      double tie_eps);
+
+/// Position-based error (Definition 3) of the score-based ranking induced by
+/// `weights` against the given ranking π: Σ_{r ranked} |ρ_W(r) − π(r)|.
+long PositionError(const Dataset& data, const Ranking& given,
+                   const std::vector<double>& weights, double tie_eps);
+
+/// Same, reusing precomputed scores.
+long PositionErrorFromScores(const std::vector<double>& scores,
+                             const Ranking& given, double tie_eps);
+
+/// Per-tuple breakdown |ρ_W(r) − π(r)| for the ranked tuples (ordered as
+/// given.ranked_tuples()).
+std::vector<long> PositionErrorBreakdown(const std::vector<double>& scores,
+                                         const Ranking& given,
+                                         double tie_eps);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_RANKING_SCORE_RANKING_H_

@@ -1,0 +1,137 @@
+#include "ranking/verifier.h"
+
+#include <cmath>
+
+#include "math/dyadic.h"
+#include "util/logging.h"
+
+namespace rankhow {
+
+namespace {
+
+/// Exact sign of f_W(s) − f_W(r) − ε computed with dyadic rationals.
+int ExactDiffSign(const Dataset& data, const std::vector<double>& weights,
+                  int s, int r, double tie_eps) {
+  Dyadic diff;
+  for (int a = 0; a < data.num_attributes(); ++a) {
+    if (weights[a] == 0.0) continue;
+    Dyadic w = Dyadic::FromDouble(weights[a]);
+    Dyadic dv = Dyadic::FromDouble(data.value(s, a)) -
+                Dyadic::FromDouble(data.value(r, a));
+    diff += w * dv;
+  }
+  diff -= Dyadic::FromDouble(tie_eps);
+  return diff.sign();
+}
+
+}  // namespace
+
+std::vector<int> ExactScoreRankPositionsOf(const Dataset& data,
+                                           const std::vector<double>& weights,
+                                           const std::vector<int>& tuples,
+                                           double tie_eps,
+                                           long* exact_comparisons,
+                                           long* total_comparisons) {
+  RH_CHECK(static_cast<int>(weights.size()) == data.num_attributes());
+  const int n = data.num_tuples();
+  const int m = data.num_attributes();
+  long exact_used = 0;
+  long total = 0;
+
+  // Double scores with a certified forward error bound. Each score is a sum
+  // of m products; the rounding error of a dot product is bounded by
+  // (m+2)·u·Σ|wᵢAᵢ| with unit roundoff u = 2^-53. A score DIFFERENCE then
+  // carries at most err(s) + err(r) + u·|f(s)−f(r)| of error; we fold the
+  // last term into a slightly inflated constant.
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> score_err(n, 0.0);
+  const double u = std::ldexp(1.0, -53);
+  for (int t = 0; t < n; ++t) {
+    double sum = 0;
+    double abs_sum = 0;
+    for (int a = 0; a < m; ++a) {
+      double term = weights[a] * data.value(t, a);
+      sum += term;
+      abs_sum += std::abs(term);
+    }
+    scores[t] = sum;
+    score_err[t] = (m + 3) * u * abs_sum;
+  }
+
+  std::vector<int> positions;
+  positions.reserve(tuples.size());
+  for (int r : tuples) {
+    int beats = 0;
+    for (int s = 0; s < n; ++s) {
+      if (s == r) continue;
+      ++total;
+      double diff = scores[s] - scores[r];
+      double band = score_err[s] + score_err[r];
+      if (diff - tie_eps > band) {
+        ++beats;  // certainly beats
+      } else if (diff - tie_eps < -band) {
+        // certainly does not beat
+      } else {
+        ++exact_used;
+        if (ExactDiffSign(data, weights, s, r, tie_eps) > 0) ++beats;
+      }
+    }
+    positions.push_back(beats + 1);
+  }
+  if (exact_comparisons != nullptr) *exact_comparisons = exact_used;
+  if (total_comparisons != nullptr) *total_comparisons = total;
+  return positions;
+}
+
+Result<VerificationReport> VerifySolution(const Dataset& data,
+                                          const Ranking& given,
+                                          const std::vector<double>& weights,
+                                          double tie_eps, long claimed_error) {
+  return VerifySolutionObjective(data, given, weights, tie_eps, claimed_error,
+                                 RankingObjectiveSpec{});
+}
+
+Result<VerificationReport> VerifySolutionObjective(
+    const Dataset& data, const Ranking& given,
+    const std::vector<double>& weights, double tie_eps, long claimed_error,
+    const RankingObjectiveSpec& spec) {
+  if (data.num_tuples() != given.num_tuples()) {
+    return Status::Invalid("dataset / ranking size mismatch");
+  }
+  if (static_cast<int>(weights.size()) != data.num_attributes()) {
+    return Status::Invalid("weight vector arity mismatch");
+  }
+  VerificationReport report;
+  report.claimed_error = claimed_error;
+  report.exact_positions = ExactScoreRankPositionsOf(
+      data, weights, given.ranked_tuples(), tie_eps,
+      &report.exact_comparisons, &report.total_comparisons);
+  const std::vector<int>& ranked = given.ranked_tuples();
+  long error = 0;
+  if (spec.kind == ObjectiveKind::kInversions) {
+    // Pairwise exact comparisons: for an ordered pair (a above b in π) the
+    // discordance test is sign(f(b) − f(a) − ε) > 0.
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      for (size_t j = i + 1; j < ranked.size(); ++j) {
+        int a = ranked[i];
+        int b = ranked[j];
+        if (given.position(a) == given.position(b)) continue;
+        if (given.position(a) > given.position(b)) std::swap(a, b);
+        ++report.total_comparisons;
+        ++report.exact_comparisons;
+        if (ExactDiffSign(data, weights, b, a, tie_eps) > 0) ++error;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      error += spec.PenaltyAt(given.position(ranked[i])) *
+               std::labs(static_cast<long>(report.exact_positions[i]) -
+                         given.position(ranked[i]));
+    }
+  }
+  report.exact_error = error;
+  report.consistent = error == claimed_error;
+  return report;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,70 @@
+#ifndef RANKHOW_RANKING_VERIFIER_H_
+#define RANKHOW_RANKING_VERIFIER_H_
+
+/// \file verifier.h
+/// Exact verification of solver output (Sec. V-A of the paper). The MILP
+/// solver works in floating point, and "solutions" can be false positives:
+/// the solver believes indicator values consistent with a score ranking that
+/// precise arithmetic refutes. This verifier recomputes the score-based
+/// ranking of the returned weight vector with *exact* dyadic-rational
+/// arithmetic (the role BigDecimal plays in the paper) and reports the true
+/// position error.
+///
+/// Performance: score differences are first evaluated in double with a
+/// certified forward error bound; only comparisons within the uncertainty
+/// band fall back to exact arithmetic, so verification stays near
+/// double-speed on large inputs while remaining exact.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "ranking/objective.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+struct VerificationReport {
+  /// True when the claimed error matches the exact recomputation.
+  bool consistent = false;
+  /// Exact objective value of the weight vector under Definition 2/3 (and
+  /// the chosen RankingObjectiveSpec).
+  long exact_error = 0;
+  /// The error value the solver claimed.
+  long claimed_error = 0;
+  /// Exact ρ_W positions of the ranked tuples (order of ranked_tuples()).
+  std::vector<int> exact_positions;
+  /// How many pairwise comparisons needed the exact-arithmetic path.
+  long exact_comparisons = 0;
+  /// Total pairwise comparisons.
+  long total_comparisons = 0;
+};
+
+/// Exactly recomputes the position error of `weights` and compares with
+/// `claimed_error`. `tie_eps` is the ε of Definition 2.
+Result<VerificationReport> VerifySolution(const Dataset& data,
+                                          const Ranking& given,
+                                          const std::vector<double>& weights,
+                                          double tie_eps, long claimed_error);
+
+/// Objective-aware variant: verifies position-error, weighted, or
+/// inversion objectives. Inversions are decided by exact pairwise
+/// comparisons (a pair's discordance is NOT derivable from ρ positions when
+/// ε-ties are intransitive).
+Result<VerificationReport> VerifySolutionObjective(
+    const Dataset& data, const Ranking& given,
+    const std::vector<double>& weights, double tie_eps, long claimed_error,
+    const RankingObjectiveSpec& spec);
+
+/// Exact ρ_W positions of the given tuples (1 + #{s : f(s) − f(r) > ε},
+/// decided in exact arithmetic).
+std::vector<int> ExactScoreRankPositionsOf(const Dataset& data,
+                                           const std::vector<double>& weights,
+                                           const std::vector<int>& tuples,
+                                           double tie_eps,
+                                           long* exact_comparisons = nullptr,
+                                           long* total_comparisons = nullptr);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_RANKING_VERIFIER_H_

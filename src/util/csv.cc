@@ -1,0 +1,91 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field += c;  // stray quote inside unquoted field: keep literal
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // handled with the following '\n'
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+    }
+  }
+  if (in_quotes) return Status::Invalid("unterminated quoted CSV field");
+  if (field_started || !field.empty() || !current.empty()) end_record();
+
+  if (records.empty()) return Status::Invalid("empty CSV input");
+  CsvTable table;
+  table.header = std::move(records.front());
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].size() == 1 && records[i][0].empty()) continue;  // blank
+    if (records[i].size() != table.header.size()) {
+      return Status::Invalid(StrFormat(
+          "CSV row %zu has %zu fields, header has %zu", i,
+          records[i].size(), table.header.size()));
+    }
+    table.rows.push_back(std::move(records[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseCsv(ss.str());
+}
+
+}  // namespace rankhow

@@ -1,0 +1,30 @@
+#ifndef RANKHOW_UTIL_CSV_H_
+#define RANKHOW_UTIL_CSV_H_
+
+/// \file csv.h
+/// Minimal CSV reading used to load externally provided datasets (the
+/// library ships simulators, but users can point the same API at real data).
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rankhow {
+
+/// A parsed CSV file: a header row and data rows of equal arity.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Supports quoted fields with embedded commas/quotes and
+/// both \n and \r\n line endings. All rows must match the header arity.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_UTIL_CSV_H_

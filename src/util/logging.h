@@ -1,0 +1,75 @@
+#ifndef RANKHOW_UTIL_LOGGING_H_
+#define RANKHOW_UTIL_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logging plus check macros. Logging goes to stderr so that
+/// harness table output on stdout stays machine-readable.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rankhow {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RH_LOG(level)                                            \
+  ::rankhow::internal::LogMessage(::rankhow::LogLevel::k##level, \
+                                  __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Always on: guards
+/// caller-visible invariants whose violation would corrupt results.
+#define RH_CHECK(condition)                                             \
+  if (!(condition))                                                     \
+  ::rankhow::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#ifdef NDEBUG
+#define RH_DCHECK(condition) \
+  if (false) ::rankhow::internal::FatalMessage(__FILE__, __LINE__, #condition)
+#else
+#define RH_DCHECK(condition) RH_CHECK(condition)
+#endif
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_UTIL_LOGGING_H_

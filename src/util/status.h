@@ -1,0 +1,178 @@
+#ifndef RANKHOW_UTIL_STATUS_H_
+#define RANKHOW_UTIL_STATUS_H_
+
+/// \file status.h
+/// Exception-free error handling in the style of arrow::Status /
+/// arrow::Result. All fallible public APIs in this library return Status (for
+/// procedures) or Result<T> (for functions producing a value).
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rankhow {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  // node/time/iteration limits hit
+  kInternal,           // invariant violation (bug)
+  kNumerical,          // numerical problem detected (e.g. failed verification)
+  kInfeasible,         // constraint system has no solution
+  kUnbounded,          // optimization objective unbounded
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a short human-readable name for a StatusCode ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// Cheap to copy in the OK case (no allocation). Use the factory functions
+/// (Status::OK(), Status::Invalid(...)) rather than the constructor.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Numerical(std::string msg) {
+    return Status(StatusCode::kNumerical, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error outcome. Holds T on success, Status otherwise.
+///
+/// Usage:
+///   Result<LpSolution> r = solver.Solve(model);
+///   if (!r.ok()) return r.status();
+///   const LpSolution& sol = *r;
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // mirroring arrow::Result ergonomics.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  const T& operator*() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& operator*() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Moves the value out; requires ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define RH_RETURN_NOT_OK(expr)                    \
+  do {                                            \
+    ::rankhow::Status _rh_st = (expr);            \
+    if (!_rh_st.ok()) return _rh_st;              \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define RH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(*tmp)
+
+#define RH_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define RH_ASSIGN_OR_RETURN_NAME(a, b) RH_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define RH_ASSIGN_OR_RETURN(lhs, expr) \
+  RH_ASSIGN_OR_RETURN_IMPL(            \
+      RH_ASSIGN_OR_RETURN_NAME(_rh_result_, __LINE__), lhs, expr)
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_UTIL_STATUS_H_

@@ -1,0 +1,89 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  RH_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, 4));
+  AddRow(std::move(cells));
+}
+
+std::string TablePrinter::ToText() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t j = 0; j < header_.size(); ++j) width[j] = header_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      width[j] = std::max(width[j], row[j].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) line += "  ";
+      line += row[j];
+      line.append(width[j] - row[j].size(), ' ');
+    }
+    // Strip trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t j = 0; j < width.size(); ++j) total += width[j] + (j ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+namespace {
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TablePrinter::ToCsv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out += ',';
+      out += CsvEscape(row[j]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  f << ToCsv();
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace rankhow

@@ -1,0 +1,45 @@
+#ifndef RANKHOW_UTIL_TABLE_PRINTER_H_
+#define RANKHOW_UTIL_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// Aligned plain-text tables plus CSV export. Every benchmark harness prints
+/// the same rows/series a paper table or figure reports through this class.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rankhow {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for the terminal) or as CSV (for plotting).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with 4 significant digits.
+  void AddNumericRow(const std::vector<double>& row);
+
+  /// Renders an aligned table with a separator under the header.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,52 @@
+#ifndef RANKHOW_UTIL_TIMER_H_
+#define RANKHOW_UTIL_TIMER_H_
+
+/// \file timer.h
+/// Wall-clock timing and deadline helpers used by the solvers' time budgets.
+
+#include <chrono>
+
+namespace rankhow {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline: `Expired()` becomes true `budget_seconds` after
+/// construction. A non-positive budget means "no deadline".
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool HasBudget() const { return budget_ > 0; }
+  bool Expired() const {
+    return HasBudget() && timer_.ElapsedSeconds() >= budget_;
+  }
+  double RemainingSeconds() const {
+    if (!HasBudget()) return 1e18;
+    double rem = budget_ - timer_.ElapsedSeconds();
+    return rem > 0 ? rem : 0;
+  }
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  double budget_;
+  WallTimer timer_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_UTIL_TIMER_H_

@@ -1,0 +1,299 @@
+#include "app/cli_driver.h"
+
+#include <gtest/gtest.h>
+
+namespace rankhow {
+namespace {
+
+CsvTable MiniCsv() {
+  CsvTable csv;
+  csv.header = {"name", "rank", "PTS", "REB", "TOV"};
+  csv.rows = {
+      {"Jokic", "1", "24.5", "11.8", "3.0"},
+      {"Embiid", "2", "33.1", "10.2", "3.4"},
+      {"Tatum", "3", "30.1", "8.8", "2.9"},
+      {"Bench1", "-", "12.0", "5.0", "1.0"},
+      {"Bench2", "na", "9.5", "3.2", "0.8"},
+  };
+  return csv;
+}
+
+TEST(AssembleCliProblemTest, RankColumnAndIdColumn) {
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  auto problem = AssembleCliProblem(MiniCsv(), spec);
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  EXPECT_EQ(problem->data.num_tuples(), 5);
+  EXPECT_EQ(problem->data.num_attributes(), 3);  // PTS, REB, TOV
+  EXPECT_EQ(problem->given.k(), 3);
+  EXPECT_EQ(problem->given.position(0), 1);
+  EXPECT_EQ(problem->given.position(3), kUnranked);
+  EXPECT_EQ(problem->labels[0], "Jokic");
+  EXPECT_EQ(problem->labels[4], "Bench2");
+}
+
+TEST(AssembleCliProblemTest, ExplicitAttributeSubset) {
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  spec.attributes = {"PTS", "REB"};
+  auto problem = AssembleCliProblem(MiniCsv(), spec);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ(problem->data.num_attributes(), 2);
+  EXPECT_EQ(problem->data.attribute_name(0), "PTS");
+  EXPECT_EQ(problem->data.attribute_name(1), "REB");
+}
+
+TEST(AssembleCliProblemTest, ImplicitRowOrderRanking) {
+  CsvTable csv = MiniCsv();
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.attributes = {"PTS", "REB"};  // leave "rank" out of the attributes
+  spec.k = 2;
+  auto problem = AssembleCliProblem(csv, spec);
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  EXPECT_EQ(problem->given.k(), 2);
+  EXPECT_EQ(problem->given.position(0), 1);
+  EXPECT_EQ(problem->given.position(1), 2);
+  EXPECT_EQ(problem->given.position(2), kUnranked);
+}
+
+TEST(AssembleCliProblemTest, NegateUndesirableAttribute) {
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  spec.negate = {"TOV"};
+  spec.normalize = false;
+  auto problem = AssembleCliProblem(MiniCsv(), spec);
+  ASSERT_TRUE(problem.ok());
+  auto tov = problem->data.AttributeIndex("TOV");
+  ASSERT_TRUE(tov.ok());
+  EXPECT_DOUBLE_EQ(problem->data.value(0, *tov), -3.0);
+}
+
+TEST(AssembleCliProblemTest, NormalizationRescalesToUnitRange) {
+  CliDataSpec spec;
+  spec.rank_column = "rank";
+  spec.id_column = "name";
+  spec.normalize = true;
+  auto problem = AssembleCliProblem(MiniCsv(), spec);
+  ASSERT_TRUE(problem.ok());
+  auto pts = problem->data.AttributeIndex("PTS");
+  ASSERT_TRUE(pts.ok());
+  double lo = 1e9, hi = -1e9;
+  for (int t = 0; t < problem->data.num_tuples(); ++t) {
+    lo = std::min(lo, problem->data.value(t, *pts));
+    hi = std::max(hi, problem->data.value(t, *pts));
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(AssembleCliProblemTest, DropDuplicatesKeepsRanksAligned) {
+  CsvTable csv;
+  csv.header = {"name", "rank", "A", "B"};
+  csv.rows = {
+      {"x", "1", "5", "2"},
+      {"y", "2", "3", "1"},
+      {"b1", "-", "1", "0"},
+      {"b2", "na", "1", "0"},  // duplicate of b1 on all attributes
+  };
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  spec.drop_duplicates = true;
+  auto problem = AssembleCliProblem(csv, spec);
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  EXPECT_EQ(problem->data.num_tuples(), 3);
+  EXPECT_EQ(problem->labels.size(), 3u);
+  EXPECT_EQ(problem->labels[2], "b1");
+  EXPECT_EQ(problem->given.position(0), 1);
+  EXPECT_EQ(problem->given.position(1), 2);
+  EXPECT_EQ(problem->given.position(2), kUnranked);
+}
+
+TEST(AssembleCliProblemTest, DropDuplicatesOfRankedTupleCanBreakRanking) {
+  // Removing a *ranked* duplicate leaves its position unfilled; with only
+  // two tuples left, position 3 is unachievable and assembly must say so
+  // rather than hand the solver an impossible instance.
+  CsvTable csv;
+  csv.header = {"name", "rank", "A"};
+  csv.rows = {
+      {"x", "1", "5"},
+      {"x_clone", "2", "5"},
+      {"y", "3", "1"},
+  };
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  spec.drop_duplicates = true;
+  spec.offset_ranking = true;
+  auto problem = AssembleCliProblem(csv, spec);
+  ASSERT_FALSE(problem.ok());
+  EXPECT_EQ(problem.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssembleCliProblemTest, ErrorOnUnknownColumns) {
+  CliDataSpec spec;
+  spec.rank_column = "nope";
+  EXPECT_FALSE(AssembleCliProblem(MiniCsv(), spec).ok());
+  spec = CliDataSpec();
+  spec.id_column = "nope";
+  EXPECT_FALSE(AssembleCliProblem(MiniCsv(), spec).ok());
+  spec = CliDataSpec();
+  spec.attributes = {"nope"};
+  EXPECT_FALSE(AssembleCliProblem(MiniCsv(), spec).ok());
+}
+
+TEST(AssembleCliProblemTest, ErrorOnNonNumericCell) {
+  CsvTable csv = MiniCsv();
+  csv.rows[1][2] = "abc";
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  auto problem = AssembleCliProblem(csv, spec);
+  ASSERT_FALSE(problem.ok());
+  EXPECT_EQ(problem.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssembleCliProblemTest, ErrorOnBadRankValue) {
+  CsvTable csv = MiniCsv();
+  csv.rows[0][1] = "-3";
+  CliDataSpec spec;
+  spec.rank_column = "rank";
+  EXPECT_FALSE(AssembleCliProblem(csv, spec).ok());
+}
+
+TEST(AssembleCliProblemTest, ErrorOnInvalidRankingUnderStrictValidation) {
+  CsvTable csv = MiniCsv();
+  csv.rows[0][1] = "2";  // nobody at position 1 now
+  csv.rows[1][1] = "3";
+  csv.rows[2][1] = "4";
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  EXPECT_FALSE(AssembleCliProblem(csv, spec).ok());
+  spec.offset_ranking = true;  // ... but fine as an offset ranking
+  auto problem = AssembleCliProblem(csv, spec);
+  EXPECT_TRUE(problem.ok()) << problem.status().ToString();
+}
+
+TEST(AssembleCliProblemTest, ErrorOnBadK) {
+  CliDataSpec spec;
+  spec.attributes = {"PTS"};
+  spec.k = 99;
+  EXPECT_FALSE(AssembleCliProblem(MiniCsv(), spec).ok());
+  spec.k = 0;
+  EXPECT_FALSE(AssembleCliProblem(MiniCsv(), spec).ok());
+}
+
+TEST(AssembleCliProblemTest, ErrorOnEmptyCsv) {
+  CsvTable csv;
+  csv.header = {"A"};
+  EXPECT_FALSE(AssembleCliProblem(csv, CliDataSpec()).ok());
+}
+
+TEST(ApplyWeightBoundsTest, ParsesMultipleEntries) {
+  Dataset d({"PTS", "REB", "AST"}, 1);
+  WeightConstraintSet constraints;
+  Status st =
+      ApplyWeightBounds(d, "PTS:0.1, AST:0.05", true, &constraints);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(constraints.size(), 2u);
+  EXPECT_TRUE(constraints.IsSatisfied({0.2, 0.7, 0.1}));
+  EXPECT_FALSE(constraints.IsSatisfied({0.05, 0.85, 0.1}));
+}
+
+TEST(ApplyWeightBoundsTest, MaxBound) {
+  Dataset d({"PTS", "REB"}, 1);
+  WeightConstraintSet constraints;
+  ASSERT_TRUE(ApplyWeightBounds(d, "REB:0.4", false, &constraints).ok());
+  EXPECT_TRUE(constraints.IsSatisfied({0.7, 0.3}));
+  EXPECT_FALSE(constraints.IsSatisfied({0.4, 0.6}));
+}
+
+TEST(ApplyWeightBoundsTest, EmptySpecIsNoop) {
+  Dataset d({"A"}, 1);
+  WeightConstraintSet constraints;
+  ASSERT_TRUE(ApplyWeightBounds(d, "  ", true, &constraints).ok());
+  EXPECT_TRUE(constraints.empty());
+}
+
+TEST(ApplyWeightBoundsTest, Errors) {
+  Dataset d({"A", "B"}, 1);
+  WeightConstraintSet constraints;
+  EXPECT_FALSE(ApplyWeightBounds(d, "A", true, &constraints).ok());
+  EXPECT_FALSE(ApplyWeightBounds(d, "C:0.1", true, &constraints).ok());
+  EXPECT_FALSE(ApplyWeightBounds(d, "A:1.5", true, &constraints).ok());
+  EXPECT_FALSE(ApplyWeightBounds(d, "A:xyz", true, &constraints).ok());
+}
+
+TEST(ApplyOrderConstraintsTest, ResolvesLabels) {
+  std::vector<std::string> labels = {"Jokic", "Tatum", "Embiid"};
+  std::vector<PairwiseOrderConstraint> out;
+  Status st =
+      ApplyOrderConstraints(labels, "Jokic>Tatum, Embiid>Jokic", &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].above, 0);
+  EXPECT_EQ(out[0].below, 1);
+  EXPECT_EQ(out[1].above, 2);
+  EXPECT_EQ(out[1].below, 0);
+}
+
+TEST(ApplyOrderConstraintsTest, Errors) {
+  std::vector<std::string> labels = {"a", "b"};
+  std::vector<PairwiseOrderConstraint> out;
+  EXPECT_FALSE(ApplyOrderConstraints(labels, "a>c", &out).ok());
+  EXPECT_FALSE(ApplyOrderConstraints(labels, "a", &out).ok());
+  EXPECT_FALSE(ApplyOrderConstraints(labels, "a>a", &out).ok());
+  EXPECT_TRUE(ApplyOrderConstraints(labels, "", &out).ok());
+}
+
+TEST(ParseStrategyTest, AllSpellings) {
+  EXPECT_EQ(*ParseStrategy("auto"), SolveStrategy::kAuto);
+  EXPECT_EQ(*ParseStrategy("MILP"), SolveStrategy::kIndicatorMilp);
+  EXPECT_EQ(*ParseStrategy("indicator-milp"), SolveStrategy::kIndicatorMilp);
+  EXPECT_EQ(*ParseStrategy("spatial"), SolveStrategy::kSpatial);
+  EXPECT_EQ(*ParseStrategy("sat"), SolveStrategy::kSatBinarySearch);
+  EXPECT_EQ(*ParseStrategy(" Sat-Binary-Search "),
+            SolveStrategy::kSatBinarySearch);
+  EXPECT_FALSE(ParseStrategy("gurobi").ok());
+}
+
+TEST(ParseObjectiveSpecTest, AllKinds) {
+  auto pos = ParseObjectiveSpec("position", 5);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos->kind, ObjectiveKind::kPositionError);
+  auto heavy = ParseObjectiveSpec("topheavy", 5);
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_EQ(heavy->kind, ObjectiveKind::kWeightedPositionError);
+  EXPECT_EQ(heavy->PenaltyAt(1), 5);
+  EXPECT_EQ(heavy->PenaltyAt(5), 1);
+  auto inv = ParseObjectiveSpec("inversions", 5);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->kind, ObjectiveKind::kInversions);
+  EXPECT_FALSE(ParseObjectiveSpec("ndcg", 5).ok());
+}
+
+// End-to-end: assemble from CSV and solve, mirroring the tool's main path.
+TEST(CliDriverIntegrationTest, AssembleAndSolve) {
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  auto problem = AssembleCliProblem(MiniCsv(), spec);
+  ASSERT_TRUE(problem.ok());
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-5;
+  options.eps.eps1 = 1e-4;
+  options.eps.eps2 = 0.0;
+  RankHow solver(problem->data, problem->given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_GE(result->error, 0);
+}
+
+}  // namespace
+}  // namespace rankhow

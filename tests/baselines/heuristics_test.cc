@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "baselines/adarank.h"
+#include "baselines/sampling.h"
+#include "data/synthetic.h"
+#include "ranking/score_ranking.h"
+
+namespace rankhow {
+namespace {
+
+TEST(AdaRankTest, PicksThePerfectSingleAttribute) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.num_attributes = 3;
+  spec.seed = 3;
+  Dataset data = GenerateSynthetic(spec);
+  // The given ranking IS attribute 1's ordering.
+  Ranking given = Ranking::FromScores(data.column(1), 8, 0.0);
+  auto fit = FitAdaRank(data, given);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  ASSERT_FALSE(fit->selected_attributes.empty());
+  EXPECT_EQ(fit->selected_attributes[0], 1);
+  // Weight mass concentrates on the winning attribute.
+  EXPECT_GT(fit->weights[1], fit->weights[0]);
+  EXPECT_GT(fit->weights[1], fit->weights[2]);
+  EXPECT_LE(PositionError(data, given, fit->weights, 0.0), 1);
+}
+
+TEST(AdaRankTest, DegenerateRepetitionOnDominantAttribute) {
+  // The paper's observed failure mode: one attribute strongly correlated
+  // with the ranking is selected round after round.
+  SyntheticSpec spec;
+  spec.num_tuples = 80;
+  spec.num_attributes = 4;
+  spec.seed = 4;
+  Dataset data = GenerateSynthetic(spec);
+  std::vector<double> w = {0.9, 0.05, 0.03, 0.02};
+  Ranking given = Ranking::FromScores(data.Scores(w), 10, 0.0);
+  AdaRankOptions options;
+  options.rounds = 20;
+  auto fit = FitAdaRank(data, given, options);
+  ASSERT_TRUE(fit.ok());
+  int first = fit->selected_attributes.empty()
+                  ? -1
+                  : fit->selected_attributes[0];
+  int repeats = 0;
+  for (int a : fit->selected_attributes) repeats += a == first;
+  EXPECT_GE(repeats * 2, static_cast<int>(fit->selected_attributes.size()))
+      << "expected the dominant attribute to be picked most rounds";
+}
+
+TEST(AdaRankTest, WeightsNonNegative) {
+  SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attributes = 5;
+  spec.seed = 5;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(PowerSumScores(data, 3), 6, 0.0);
+  auto fit = FitAdaRank(data, given);
+  ASSERT_TRUE(fit.ok());
+  for (double w : fit->weights) EXPECT_GE(w, 0.0);
+}
+
+TEST(AdaRankTest, RejectsBadInputs) {
+  Dataset d({"A"}, 2);
+  auto given = Ranking::Create({1, 2});
+  ASSERT_TRUE(given.ok());
+  AdaRankOptions options;
+  options.rounds = 0;
+  EXPECT_FALSE(FitAdaRank(d, *given, options).ok());
+}
+
+TEST(SamplingTest, FindsPerfectFunctionOnEasyInstance) {
+  SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attributes = 2;
+  spec.seed = 6;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.Scores({0.5, 0.5}), 3, 0.0);
+  SamplingOptions options;
+  options.time_budget_seconds = 2.0;
+  options.seed = 1;
+  auto fit = RunSampling(data, given, options);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_EQ(fit->error, 0);
+  EXPECT_GT(fit->samples_drawn, 0);
+}
+
+TEST(SamplingTest, RespectsConstraints) {
+  SyntheticSpec spec;
+  spec.num_tuples = 20;
+  spec.num_attributes = 3;
+  spec.seed = 7;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.column(0), 3, 0.0);
+  WeightConstraintSet constraints;
+  constraints.AddMinWeight(2, 0.5);
+  SamplingOptions options;
+  options.time_budget_seconds = 0.5;
+  options.constraints = &constraints;
+  options.seed = 2;
+  auto fit = RunSampling(data, given, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->weights[2], 0.5);
+  EXPECT_LE(fit->samples_evaluated, fit->samples_drawn);
+}
+
+TEST(SamplingTest, SampleCapRespected) {
+  SyntheticSpec spec;
+  spec.num_tuples = 10;
+  spec.num_attributes = 2;
+  spec.seed = 8;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(PowerSumScores(data, 5), 3, 0.0);
+  SamplingOptions options;
+  options.time_budget_seconds = 30;
+  options.max_samples = 25;
+  options.seed = 3;
+  auto fit = RunSampling(data, given, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LE(fit->samples_drawn, 25);
+}
+
+TEST(SamplingTest, RejectsNoBudget) {
+  Dataset d({"A"}, 2);
+  auto given = Ranking::Create({1, 2});
+  ASSERT_TRUE(given.ok());
+  SamplingOptions options;
+  options.time_budget_seconds = 0;
+  options.max_samples = 0;
+  EXPECT_FALSE(RunSampling(d, *given, options).ok());
+}
+
+}  // namespace
+}  // namespace rankhow

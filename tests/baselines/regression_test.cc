@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "baselines/linear_regression.h"
+#include "baselines/ordinal_regression.h"
+#include "data/synthetic.h"
+#include "ranking/score_ranking.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+// Paper Example 3: linear regression on
+// R = {(1,10000),(2,1000),(5,1),(4,10),(3,100)} with rank vector [1..5]
+// produces the ranking [1,2,5,4,3] — position error 4 — even though a
+// perfect linear scoring function exists.
+TEST(LinearRegressionTest, ExampleThreeFailureMode) {
+  Dataset d({"A1", "A2"}, 5);
+  double rows[5][2] = {{1, 10000}, {2, 1000}, {5, 1}, {4, 10}, {3, 100}};
+  for (int t = 0; t < 5; ++t) {
+    d.set_value(t, 0, rows[t][0]);
+    d.set_value(t, 1, rows[t][1]);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4, 5});
+
+  auto fit = FitLinearRegression(d, given);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  long error = PositionError(d, given, fit->weights, 0.0);
+  EXPECT_EQ(error, 4) << "w = [" << fit->weights[0] << ", "
+                      << fit->weights[1] << "]";
+
+  // The non-negative variant fails the same way (paper: [1,2,5,4,3] again).
+  LinearRegressionOptions nn;
+  nn.non_negative = true;
+  auto nn_fit = FitLinearRegression(d, given, nn);
+  ASSERT_TRUE(nn_fit.ok()) << nn_fit.status().ToString();
+  EXPECT_EQ(PositionError(d, given, nn_fit->weights, 0.0), 4);
+}
+
+TEST(LinearRegressionTest, RecoversCleanLinearRanking) {
+  SyntheticSpec spec;
+  spec.num_tuples = 120;
+  spec.num_attributes = 3;
+  spec.seed = 5;
+  Dataset data = GenerateSynthetic(spec);
+  std::vector<double> w_true = {0.2, 0.5, 0.3};
+  // Rank ALL tuples so the labels carry full information.
+  Ranking given = Ranking::FromScores(data.Scores(w_true), 120, 0.0);
+  auto fit = FitLinearRegression(data, given);
+  ASSERT_TRUE(fit.ok());
+  // Rank positions are a non-linear monotone transform of the true score,
+  // so OLS recovers the ordering only approximately — the paper's core
+  // point. Allow a small per-tuple slip (120 ranked tuples).
+  EXPECT_LE(PositionError(data, given, fit->weights, 0.0), 30);
+}
+
+TEST(LinearRegressionTest, NonNegativeVariantHasNonNegativeWeights) {
+  SyntheticSpec spec;
+  spec.num_tuples = 40;
+  spec.num_attributes = 4;
+  spec.seed = 6;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.column(0), 10, 0.0);
+  LinearRegressionOptions options;
+  options.non_negative = true;
+  auto fit = FitLinearRegression(data, given, options);
+  ASSERT_TRUE(fit.ok());
+  for (double w : fit->weights) EXPECT_GE(w, 0.0);
+}
+
+TEST(OrdinalRegressionTest, RecoversLinearRankingExactly) {
+  SyntheticSpec spec;
+  spec.num_tuples = 80;
+  spec.num_attributes = 3;
+  spec.seed = 7;
+  Dataset data = GenerateSynthetic(spec);
+  std::vector<double> w_true = {0.6, 0.1, 0.3};
+  Ranking given = Ranking::FromScores(data.Scores(w_true), 10, 0.0);
+  auto fit = FitOrdinalRegression(data, given);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_TRUE(fit->exact_lp);
+  EXPECT_NEAR(fit->penalty, 0.0, 1e-6);  // realizable: zero slack
+  EXPECT_LE(PositionError(data, given, fit->weights, 0.0), 1);
+}
+
+TEST(OrdinalRegressionTest, OriginalFormulationRejectsTies) {
+  Dataset d({"A", "B"}, 3);
+  for (int t = 0; t < 3; ++t) {
+    d.set_value(t, 0, 3 - t);
+    d.set_value(t, 1, t);
+  }
+  Ranking given = MustCreate({1, 1, 3});
+  OrdinalRegressionOptions options;
+  options.support_ties = false;  // Srinivasan's original
+  auto fit = FitOrdinalRegression(d, given, options);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OrdinalRegressionTest, TieExtensionHandlesTiedRanking) {
+  Dataset d({"A", "B"}, 4);
+  // Tuples 0,1 symmetric; a tie is realizable at w = (0.5, 0.5).
+  d.set_value(0, 0, 2);
+  d.set_value(0, 1, 4);
+  d.set_value(1, 0, 4);
+  d.set_value(1, 1, 2);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 1);
+  d.set_value(3, 0, 0);
+  d.set_value(3, 1, 0);
+  Ranking given = MustCreate({1, 1, 3, kUnranked});
+  auto fit = FitOrdinalRegression(d, given);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit->penalty, 0.0, 1e-9);
+  EXPECT_NEAR(fit->weights[0], 0.5, 1e-6);
+}
+
+TEST(OrdinalRegressionTest, SubgradientPathKicksInOnLargeInput) {
+  SyntheticSpec spec;
+  spec.num_tuples = 3000;
+  spec.num_attributes = 3;
+  spec.seed = 8;
+  Dataset data = GenerateSynthetic(spec);
+  std::vector<double> w_true = {0.5, 0.25, 0.25};
+  Ranking given = Ranking::FromScores(data.Scores(w_true), 5, 0.0);
+  OrdinalRegressionOptions options;
+  options.max_lp_pairs = 100;  // force the subgradient path
+  auto fit = FitOrdinalRegression(data, given, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_FALSE(fit->exact_lp);
+  // Should still land near a good ranking function.
+  EXPECT_LE(PositionError(data, given, fit->weights, 0.0), 50);
+}
+
+// Property: ordinal regression's LP penalty is zero iff the pairs are
+// realizable, and its weights always lie on the simplex.
+class OrdinalRegressionPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrdinalRegressionPropertyTest, WeightsOnSimplexAndPenaltySane) {
+  Rng rng(GetParam());
+  SyntheticSpec spec;
+  spec.num_tuples = static_cast<int>(rng.NextInt(10, 60));
+  spec.num_attributes = static_cast<int>(rng.NextInt(2, 5));
+  spec.seed = GetParam();
+  Dataset data = GenerateSynthetic(spec);
+  int k = static_cast<int>(rng.NextInt(2, 8));
+  Ranking given = Ranking::FromScores(
+      data.Scores(rng.NextSimplexPoint(spec.num_attributes)),
+      std::min(k, spec.num_tuples), 0.0);
+  auto fit = FitOrdinalRegression(data, given);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  double sum = 0;
+  for (double w : fit->weights) {
+    EXPECT_GE(w, -1e-9);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GE(fit->penalty, -1e-9);
+  // The generating weights realize the ranking, so the optimum penalty is 0.
+  EXPECT_NEAR(fit->penalty, 0.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrdinalRegressionPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace rankhow

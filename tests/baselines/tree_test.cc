@@ -1,0 +1,113 @@
+#include "baselines/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rankhow.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+Dataset SmallRandom(uint64_t seed, int n, int m) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  return d;
+}
+
+TEST(TreeBaselineTest, CompletesTinyInstance) {
+  Dataset d = SmallRandom(1, 4, 2);
+  Ranking given = Ranking::FromScores(d.Scores({0.7, 0.3}), 2, 0.0);
+  TreeOptions options;
+  options.eps1 = 1e-6;
+  options.tie_eps = 5e-7;
+  auto result = RunTreeBaseline(d, given, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->completed);
+  EXPECT_EQ(result->error, 0);  // realizable ranking
+  EXPECT_GT(result->lp_calls, 0);
+  EXPECT_GT(result->leaves_reached, 0);
+}
+
+TEST(TreeBaselineTest, BudgetLimitedRunReturnsSomething) {
+  Dataset d = SmallRandom(2, 12, 3);
+  Ranking given = Ranking::FromScores(d.Scores({0.4, 0.3, 0.3}), 5, 0.0);
+  TreeOptions options;
+  options.eps1 = 1e-6;
+  options.max_lp_calls = 200;  // nowhere near full enumeration
+  auto result = RunTreeBaseline(d, given, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->completed);
+  EXPECT_GE(result->error, 0);
+  EXPECT_LE(result->lp_calls, 210);
+}
+
+TEST(TreeBaselineTest, DominancePruningShrinksPairList) {
+  Dataset d = SmallRandom(3, 8, 2);
+  Ranking given = Ranking::FromScores(d.Scores({0.5, 0.5}), 3, 0.0);
+  TreeOptions plain;
+  plain.eps1 = 1e-6;
+  plain.max_lp_calls = 500;
+  TreeOptions pruned = plain;
+  pruned.use_dominance_pruning = true;
+  auto a = RunTreeBaseline(d, given, plain);
+  auto b = RunTreeBaseline(d, given, pruned);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // With pruning the tree is shallower: it either completes or reaches
+  // leaves with fewer LP calls. When both complete, the enumerated optimum
+  // (the leaf objective) must agree; the sampled witnesses may differ.
+  if (a->completed && b->completed) {
+    EXPECT_LE(b->lp_calls, a->lp_calls);
+    EXPECT_EQ(a->best_leaf_error, b->best_leaf_error);
+  }
+}
+
+// The headline agreement property: on instances small enough for TREE to
+// complete, the TREE optimum equals RankHow's proven optimum.
+class TreeVsRankHowTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeVsRankHowTest, AgreeOnTinyInstances) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(rng.NextInt(3, 6));
+  int m = 2;
+  int k = static_cast<int>(rng.NextInt(1, 3));
+  Dataset d = SmallRandom(GetParam() * 7 + 1, n, m);
+  Ranking given =
+      Ranking::FromScores(d.Scores(rng.NextSimplexPoint(m)), k, 0.0);
+
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+
+  TreeOptions tree_options;
+  tree_options.eps1 = eps.eps1;
+  tree_options.eps2 = eps.eps2;
+  tree_options.tie_eps = eps.tie_eps;
+  tree_options.use_dominance_pruning = true;
+  tree_options.max_lp_calls = 2000000;
+  auto tree = RunTreeBaseline(d, given, tree_options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  if (!tree->completed) return;  // too big to enumerate; skip
+
+  RankHowOptions options;
+  options.eps = eps;
+  RankHow solver(d, given, options);
+  auto exact = solver.Solve();
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  ASSERT_TRUE(exact->proven_optimal);
+
+  EXPECT_EQ(tree->best_leaf_error, exact->claimed_error)
+      << "TREE enumerated a different optimum than branch-and-bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeVsRankHowTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,171 @@
+#include "core/arrangement.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+Dataset ExampleFourData() {
+  // r = (3,2,8), s = (4,1,15), t = (1,1,14) — the instance of Fig. 2.
+  Dataset d({"A1", "A2", "A3"}, 3);
+  const double rows[3][3] = {{3, 2, 8}, {4, 1, 15}, {1, 1, 14}};
+  for (int t = 0; t < 3; ++t) {
+    for (int a = 0; a < 3; ++a) d.set_value(t, a, rows[t][a]);
+  }
+  return d;
+}
+
+double DotDiff(const Dataset& d, int s, int r,
+               const std::array<double, 3>& w) {
+  double acc = 0;
+  for (int a = 0; a < 3; ++a) acc += w[a] * (d.value(s, a) - d.value(r, a));
+  return acc;
+}
+
+bool OnSimplex(const std::array<double, 3>& w) {
+  double sum = 0;
+  for (double v : w) {
+    if (v < -1e-9 || v > 1 + 1e-9) return false;
+    sum += v;
+  }
+  return std::abs(sum - 1.0) < 1e-9;
+}
+
+TEST(TieBoundarySegmentsTest, EndpointsLieOnSimplexAndHyperplane) {
+  Dataset d = ExampleFourData();
+  auto segments = TieBoundarySegments(d, {0, 1, 2}, 0.0);
+  ASSERT_TRUE(segments.ok()) << segments.status().ToString();
+  for (const SimplexSegment& seg : *segments) {
+    EXPECT_TRUE(OnSimplex(seg.a));
+    EXPECT_TRUE(OnSimplex(seg.b));
+    EXPECT_NEAR(DotDiff(d, seg.s, seg.r, seg.a), seg.level, 1e-9);
+    EXPECT_NEAR(DotDiff(d, seg.s, seg.r, seg.b), seg.level, 1e-9);
+  }
+}
+
+TEST(TieBoundarySegmentsTest, ExampleFiveGeometry) {
+  // Fig. 2: the boundaries for δ_tr and δ_sr cross the triangle's
+  // interior; δ_ts "only intersects with the triangle at corner point
+  // (0, 1, 0): s dominates t". With tuples (r, s, t) = (0, 1, 2):
+  Dataset d = ExampleFourData();
+  auto segments = TieBoundarySegments(d, {0, 1, 2}, 0.0);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 3u);  // (r,s), (r,t), (s,t)
+  for (const SimplexSegment& seg : *segments) {
+    double length = 0;
+    for (int a = 0; a < 3; ++a) length += std::abs(seg.a[a] - seg.b[a]);
+    if (seg.s == 1 && seg.r == 2) {
+      // d(s,t) = (3, 0, 1): w·d = 0 only at w = (0, 1, 0).
+      EXPECT_NEAR(length, 0.0, 1e-9);
+      EXPECT_NEAR(seg.a[1], 1.0, 1e-9);
+    } else {
+      EXPECT_GT(length, 0.01);  // proper interior boundary
+    }
+  }
+}
+
+TEST(TieBoundarySegmentsTest, RejectsWrongDimension) {
+  Dataset d({"A", "B"}, 2);
+  d.set_value(0, 0, 1);
+  d.set_value(0, 1, 2);
+  d.set_value(1, 0, 2);
+  d.set_value(1, 1, 1);
+  EXPECT_FALSE(TieBoundarySegments(d, {0, 1}).ok());
+}
+
+TEST(TieBoundarySegmentsTest, RejectsBadTupleIds) {
+  Dataset d = ExampleFourData();
+  EXPECT_FALSE(TieBoundarySegments(d, {0, 9}).ok());
+}
+
+TEST(TieBoundarySegmentsTest, LevelShiftsTheBoundary) {
+  Dataset d = ExampleFourData();
+  const double level = 0.5;
+  auto segments = TieBoundarySegments(d, {0, 1}, level);
+  ASSERT_TRUE(segments.ok());
+  for (const SimplexSegment& seg : *segments) {
+    EXPECT_NEAR(DotDiff(d, seg.s, seg.r, seg.a), level, 1e-9);
+  }
+}
+
+// Random-instance property: every reported endpoint satisfies both the
+// simplex membership and the hyperplane equation.
+class ArrangementPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArrangementPropertyTest, SegmentsAreGeometricallySound) {
+  Rng rng(GetParam());
+  Dataset d({"A", "B", "C"}, 6);
+  for (int t = 0; t < 6; ++t) {
+    for (int a = 0; a < 3; ++a) d.set_value(t, a, rng.NextUniform(-2, 2));
+  }
+  auto segments = TieBoundarySegments(d, {0, 1, 2, 3, 4, 5}, 0.0);
+  ASSERT_TRUE(segments.ok());
+  for (const SimplexSegment& seg : *segments) {
+    EXPECT_TRUE(OnSimplex(seg.a));
+    EXPECT_TRUE(OnSimplex(seg.b));
+    EXPECT_NEAR(DotDiff(d, seg.s, seg.r, seg.a), 0.0, 1e-8);
+    EXPECT_NEAR(DotDiff(d, seg.s, seg.r, seg.b), 0.0, 1e-8);
+  }
+}
+
+// The sign of w·d(s,r) is constant within each open cell; crossing a
+// segment flips the indicator. Spot-check: midpoints of segments evaluate
+// to ~0 while the simplex centroid is off every sampled boundary almost
+// surely.
+TEST_P(ArrangementPropertyTest, MidpointsSitOnBoundaries) {
+  Rng rng(GetParam() + 100);
+  Dataset d({"A", "B", "C"}, 4);
+  for (int t = 0; t < 4; ++t) {
+    for (int a = 0; a < 3; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  auto segments = TieBoundarySegments(d, {0, 1, 2, 3}, 0.0);
+  ASSERT_TRUE(segments.ok());
+  for (const SimplexSegment& seg : *segments) {
+    std::array<double, 3> mid{};
+    for (int a = 0; a < 3; ++a) mid[a] = 0.5 * (seg.a[a] + seg.b[a]);
+    EXPECT_NEAR(DotDiff(d, seg.s, seg.r, mid), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrangementPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(ErrorFieldTest, GridCoversSimplexAndFindsPerfectRegion) {
+  // Example 4 has a perfect scoring function (error 0 region of Fig. 2);
+  // a reasonably fine field must sample it.
+  Dataset d = ExampleFourData();
+  auto ranking = Ranking::Create({1, 2, kUnranked});
+  ASSERT_TRUE(ranking.ok());
+  auto field = ErrorField(d, *ranking, 40);
+  ASSERT_TRUE(field.ok()) << field.status().ToString();
+  EXPECT_EQ(field->size(), 41u * 42u / 2u);  // triangular grid
+  long best = field->front().error;
+  for (const ErrorSample& sample : *field) {
+    EXPECT_TRUE(OnSimplex(sample.w));
+    best = std::min(best, sample.error);
+  }
+  EXPECT_EQ(best, 0);
+}
+
+TEST(ErrorFieldTest, Validation) {
+  Dataset d({"A", "B"}, 2);
+  d.set_value(0, 0, 1);
+  d.set_value(0, 1, 2);
+  d.set_value(1, 0, 2);
+  d.set_value(1, 1, 1);
+  auto two = Ranking::Create({1, 2});
+  ASSERT_TRUE(two.ok());
+  EXPECT_FALSE(ErrorField(d, *two, 10).ok());  // m != 3
+
+  Dataset d3 = ExampleFourData();
+  auto ranking = Ranking::Create({1, 2, kUnranked});
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_FALSE(ErrorField(d3, *ranking, 0).ok());  // bad resolution
+}
+
+}  // namespace
+}  // namespace rankhow

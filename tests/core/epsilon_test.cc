@@ -1,0 +1,85 @@
+#include "core/epsilon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rankhow.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+TEST(DeriveEpsilonsTest, SatisfiesLemmaOrdering) {
+  for (double tie_eps : {0.0, 1e-6, 5e-5, 1e-2}) {
+    for (double tau : {1e-10, 1e-6, 1e-4}) {
+      EpsilonConfig eps = DeriveEpsilons(tie_eps, tau);
+      EXPECT_TRUE(eps.Valid()) << "tie_eps=" << tie_eps << " tau=" << tau;
+      // Lemma 2: eps1 − eps2 = τ + τ⁺ > 2τ in exact arithmetic; computing
+      // the gap in doubles suffers catastrophic cancellation around
+      // tie_eps, so allow a relative slack of a few ulps of tie_eps.
+      double slack = 4 * std::max(tie_eps, tau) * 1e-15;
+      EXPECT_GE(eps.eps1 - eps.eps2, 2 * tau - slack);
+      // Lemma 3: eps2 >= tie_eps - tau.
+      EXPECT_GE(eps.eps2, tie_eps - tau - 1e-18);
+    }
+  }
+}
+
+TEST(TauSearchTest, FindsThresholdWithSyntheticOracle) {
+  // Oracle: verification passes iff tau >= tau_star.
+  const double tau_star = 3.7e-6;
+  int probes = 0;
+  auto oracle = [&](const EpsilonConfig& eps) -> Result<bool> {
+    ++probes;
+    double tau = eps.eps1 - eps.tie_eps;  // recover tau (≈ tau_plus)
+    return tau >= tau_star;
+  };
+  TauSearchOptions options;
+  options.max_steps = 24;
+  auto result = FindPrecisionTolerance(1e-4, oracle, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->tau, tau_star * 0.999);
+  EXPECT_LE(result->tau, tau_star * 4);  // geometric search converges close
+  EXPECT_EQ(result->probes, probes);
+  EXPECT_TRUE(result->eps.Valid());
+}
+
+TEST(TauSearchTest, FailsWhenNothingVerifies) {
+  auto oracle = [](const EpsilonConfig&) -> Result<bool> { return false; };
+  auto result = FindPrecisionTolerance(1e-4, oracle);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumerical);
+}
+
+TEST(TauSearchTest, EndToEndWithRankHow) {
+  // A small instance; the probe actually runs the solver and the exact
+  // verifier, mirroring Sec. V-A's procedure.
+  Rng rng(9);
+  Dataset data({"A", "B"}, 10);
+  for (int t = 0; t < 10; ++t) {
+    data.set_value(t, 0, rng.NextUniform(0, 1));
+    data.set_value(t, 1, rng.NextUniform(0, 1));
+  }
+  Ranking given = Ranking::FromScores(data.Scores({0.4, 0.6}), 4, 0.0);
+
+  auto probe = [&](const EpsilonConfig& eps) -> Result<bool> {
+    RankHowOptions options;
+    options.eps = eps;
+    RankHow solver(data, given, options);
+    auto result = solver.Solve();
+    if (!result.ok()) return result.status();
+    return result->verification->consistent;
+  };
+  TauSearchOptions options;
+  options.tau_min = 1e-10;
+  options.tau_max = 1e-3;
+  options.max_steps = 6;
+  auto result = FindPrecisionTolerance(0.0, probe, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->probes, 1);
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,136 @@
+#include "core/opt_problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rankhow.h"
+#include "ranking/score_ranking.h"
+
+namespace rankhow {
+namespace {
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+TEST(AppendRelativePositionBandTest, BandsMatchExampleOneFormula) {
+  // Example 1: "a player ranked i-th must be ranked in range ⌊0.9i⌋ to
+  // ⌈1.1i⌉". For i = 1..5: lows ⌊0.9⌋..⌊4.5⌋ = 1(clamped),1,2,3,4; highs
+  // ⌈1.1⌉..⌈5.5⌉ = 2,3,4,5,6.
+  Ranking given = MustCreate({1, 2, 3, 4, 5, kUnranked});
+  std::vector<PositionConstraint> bands;
+  ASSERT_TRUE(
+      AppendRelativePositionBand(given, 0.9, 1.1, 100, &bands).ok());
+  ASSERT_EQ(bands.size(), 5u);
+  int expected_lo[] = {1, 1, 2, 3, 4};
+  int expected_hi[] = {2, 3, 4, 5, 6};
+  for (const PositionConstraint& pc : bands) {
+    int i = given.position(pc.tuple);
+    EXPECT_EQ(pc.min_position, expected_lo[i - 1]) << "i=" << i;
+    EXPECT_EQ(pc.max_position, expected_hi[i - 1]) << "i=" << i;
+  }
+}
+
+TEST(AppendRelativePositionBandTest, LimitCutsOffDeeperPositions) {
+  Ranking given = MustCreate({1, 2, 3, 4, 5});
+  std::vector<PositionConstraint> bands;
+  ASSERT_TRUE(AppendRelativePositionBand(given, 0.9, 1.1, 3, &bands).ok());
+  EXPECT_EQ(bands.size(), 3u);
+  for (const PositionConstraint& pc : bands) {
+    EXPECT_LE(given.position(pc.tuple), 3);
+  }
+}
+
+TEST(AppendRelativePositionBandTest, UnrankedTuplesSkipped) {
+  Ranking given = MustCreate({1, kUnranked, 2, kUnranked});
+  std::vector<PositionConstraint> bands;
+  ASSERT_TRUE(
+      AppendRelativePositionBand(given, 0.8, 1.2, 100, &bands).ok());
+  EXPECT_EQ(bands.size(), 2u);
+}
+
+TEST(AppendRelativePositionBandTest, RejectsBadFractions) {
+  Ranking given = MustCreate({1, 2});
+  std::vector<PositionConstraint> bands;
+  EXPECT_FALSE(
+      AppendRelativePositionBand(given, 0.0, 1.1, 10, &bands).ok());
+  EXPECT_FALSE(
+      AppendRelativePositionBand(given, 1.2, 0.9, 10, &bands).ok());
+  EXPECT_FALSE(
+      AppendRelativePositionBand(given, 0.9, 1.1, 0, &bands).ok());
+}
+
+// The bands are honored end to end: with a tight band every ranked tuple
+// must stay within ±1 of its given slot, which the solution must respect.
+TEST(AppendRelativePositionBandTest, SolverHonorsBands) {
+  Dataset d({"A", "B"}, 6);
+  double a[] = {6, 5, 4, 3, 2, 1};
+  double b[] = {1, 2, 6, 5, 3, 4};
+  for (int t = 0; t < 6; ++t) {
+    d.set_value(t, 0, a[t]);
+    d.set_value(t, 1, b[t]);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4, kUnranked, kUnranked});
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-7;
+  options.eps.eps1 = 1e-6;
+  options.eps.eps2 = 0.0;
+  RankHow solver(d, given, options);
+  ASSERT_TRUE(AppendRelativePositionBand(
+                  given, 0.75, 1.25, 4,
+                  &solver.problem().position_constraints)
+                  .ok());
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<int> positions =
+      ScoreRankPositionsOf(d.Scores(result->function.weights),
+                           given.ranked_tuples(), options.eps.tie_eps);
+  for (size_t i = 0; i < given.ranked_tuples().size(); ++i) {
+    int t = given.ranked_tuples()[i];
+    int p = given.position(t);
+    EXPECT_GE(positions[i], std::max(1, static_cast<int>(0.75 * p)));
+    EXPECT_LE(positions[i], static_cast<int>(std::ceil(1.25 * p)));
+  }
+}
+
+TEST(OptProblemValidateTest, AcceptsWellFormedProblem) {
+  Dataset d({"A"}, 2);
+  d.set_value(0, 0, 2);
+  d.set_value(1, 0, 1);
+  Ranking given = MustCreate({1, 2});
+  OptProblem problem;
+  problem.data = &d;
+  problem.given = &given;
+  problem.eps.tie_eps = 5e-7;
+  problem.eps.eps1 = 1e-6;
+  problem.eps.eps2 = 0.0;
+  EXPECT_TRUE(problem.Validate().ok());
+}
+
+TEST(OptProblemValidateTest, RejectsMissingPieces) {
+  OptProblem problem;
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(OptProblemValidateTest, RejectsNegativePenalties) {
+  Dataset d({"A"}, 2);
+  d.set_value(0, 0, 2);
+  d.set_value(1, 0, 1);
+  Ranking given = MustCreate({1, 2});
+  OptProblem problem;
+  problem.data = &d;
+  problem.given = &given;
+  problem.eps.tie_eps = 5e-7;
+  problem.eps.eps1 = 1e-6;
+  problem.eps.eps2 = 0.0;
+  problem.objective.kind = ObjectiveKind::kWeightedPositionError;
+  problem.objective.penalties = {0, 3, -1};
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,185 @@
+#include "core/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ranking/score_ranking.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+OptProblem MakeProblem(const Dataset& data, const Ranking& given) {
+  OptProblem problem;
+  problem.data = &data;
+  problem.given = &given;
+  problem.eps = TestEps();
+  return problem;
+}
+
+TEST(EvaluateTrueErrorTest, MatchesPositionError) {
+  SyntheticSpec spec;
+  spec.num_tuples = 40;
+  spec.num_attributes = 4;
+  spec.seed = 3;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 3, 7);
+  OptProblem problem = MakeProblem(data, given);
+
+  std::vector<double> w = {0.25, 0.25, 0.25, 0.25};
+  auto err = EvaluateTrueError(problem, w);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, PositionError(data, given, w, TestEps().tie_eps));
+}
+
+TEST(EvaluateTrueErrorTest, RejectsPredicateViolation) {
+  SyntheticSpec spec;
+  spec.num_tuples = 20;
+  spec.num_attributes = 3;
+  spec.seed = 5;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 2, 4);
+  OptProblem problem = MakeProblem(data, given);
+  problem.constraints.AddMinWeight(0, 0.5, "w0>=0.5");
+
+  EXPECT_FALSE(EvaluateTrueError(problem, {0.1, 0.5, 0.4}).has_value());
+  EXPECT_TRUE(EvaluateTrueError(problem, {0.6, 0.2, 0.2}).has_value());
+}
+
+TEST(EvaluateTrueErrorTest, RejectsOrderViolation) {
+  Dataset data({"A", "B"}, 2);
+  data.set_value(0, 0, 1);
+  data.set_value(0, 1, 0);
+  data.set_value(1, 0, 0);
+  data.set_value(1, 1, 1);
+  auto given = Ranking::Create({1, 2});
+  ASSERT_TRUE(given.ok());
+  OptProblem problem = MakeProblem(data, *given);
+  problem.order_constraints.push_back({0, 1});  // tuple 0 must outscore 1
+
+  // w = (0.9, 0.1): f(0)=0.9 > f(1)=0.1 — satisfied.
+  EXPECT_TRUE(EvaluateTrueError(problem, {0.9, 0.1}).has_value());
+  // w = (0.1, 0.9): violated.
+  EXPECT_FALSE(EvaluateTrueError(problem, {0.1, 0.9}).has_value());
+}
+
+TEST(EvaluateTrueErrorTest, RejectsPositionViolation) {
+  Dataset data({"A", "B"}, 3);
+  data.set_value(0, 0, 3);
+  data.set_value(0, 1, 0);
+  data.set_value(1, 0, 2);
+  data.set_value(1, 1, 2);
+  data.set_value(2, 0, 0);
+  data.set_value(2, 1, 3);
+  auto given = Ranking::Create({1, 2, kUnranked});
+  ASSERT_TRUE(given.ok());
+  OptProblem problem = MakeProblem(data, *given);
+  problem.position_constraints.push_back({0, 1, 1});  // tuple 0 must be #1
+
+  // w = (1, 0): scores 3, 2, 0 — tuple 0 first.
+  EXPECT_TRUE(EvaluateTrueError(problem, {1.0, 0.0}).has_value());
+  // w = (0, 1): scores 0, 2, 3 — tuple 0 last.
+  EXPECT_FALSE(EvaluateTrueError(problem, {0.0, 1.0}).has_value());
+}
+
+TEST(PresolveTest, FindsPerfectWeightsOnRealizableRanking) {
+  SyntheticSpec spec;
+  spec.num_tuples = 60;
+  spec.num_attributes = 3;
+  spec.seed = 11;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.Scores({0.5, 0.3, 0.2}), 6, 0.0);
+  OptProblem problem = MakeProblem(data, given);
+
+  auto result = PresolveIncumbent(problem, WeightBox::FullSimplex(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->found());
+  // Multi-start + refinement reliably lands in the (full-dimensional)
+  // zero-error region of a realizable instance.
+  EXPECT_EQ(result->error, 0);
+  EXPECT_EQ(PositionError(data, given, result->weights, TestEps().tie_eps),
+            0);
+}
+
+TEST(PresolveTest, StaysInsideTheBox) {
+  SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attributes = 4;
+  spec.seed = 9;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 3, 5);
+  OptProblem problem = MakeProblem(data, given);
+
+  WeightBox box;
+  box.lo = {0.1, 0.0, 0.2, 0.0};
+  box.hi = {0.5, 0.3, 0.6, 0.4};
+  auto result = PresolveIncumbent(problem, box);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->found());
+  EXPECT_TRUE(box.Contains(result->weights, 1e-9));
+  double sum = 0;
+  for (double w : result->weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PresolveTest, RespectsPredicate) {
+  SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attributes = 3;
+  spec.seed = 2;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 2, 5);
+  OptProblem problem = MakeProblem(data, given);
+  problem.constraints.AddGroupBound({0, 2}, RelOp::kLe, 0.5, "w0+w2<=0.5");
+
+  auto result = PresolveIncumbent(problem, WeightBox::FullSimplex(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->found());
+  EXPECT_LE(result->weights[0] + result->weights[2], 0.5 + 1e-7);
+}
+
+TEST(PresolveTest, EmptyBoxIsInfeasible) {
+  SyntheticSpec spec;
+  spec.num_tuples = 10;
+  spec.num_attributes = 2;
+  spec.seed = 1;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 2, 3);
+  OptProblem problem = MakeProblem(data, given);
+
+  WeightBox box;
+  box.lo = {0.8, 0.8};  // Σlo > 1: misses the simplex
+  box.hi = {1.0, 1.0};
+  auto result = PresolveIncumbent(problem, box);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(PresolveTest, DeterministicAcrossRuns) {
+  SyntheticSpec spec;
+  spec.num_tuples = 40;
+  spec.num_attributes = 4;
+  spec.seed = 17;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 4, 6);
+  OptProblem problem = MakeProblem(data, given);
+
+  PresolveOptions options;
+  options.time_budget_seconds = 0;  // no deadline: fully deterministic
+  auto a = PresolveIncumbent(problem, WeightBox::FullSimplex(4), options);
+  auto b = PresolveIncumbent(problem, WeightBox::FullSimplex(4), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a->found() && b->found());
+  EXPECT_EQ(a->error, b->error);
+  EXPECT_EQ(a->weights, b->weights);
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,276 @@
+#include "core/rankhow.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ranking/score_ranking.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+// Paper Example 4/5: R(A1,A2,A3) with r=(3,2,8), s=(4,1,15), t=(1,1,14),
+// given ranking [1, 2, ⊥]. The OPT answer is 0 (a perfect linear function
+// with small w1, large w2, very small w3 exists).
+TEST(RankHowTest, ExampleFourHasPerfectSolution) {
+  Dataset d({"A1", "A2", "A3"}, 3);
+  d.set_value(0, 0, 3);
+  d.set_value(0, 1, 2);
+  d.set_value(0, 2, 8);
+  d.set_value(1, 0, 4);
+  d.set_value(1, 1, 1);
+  d.set_value(1, 2, 15);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 1);
+  d.set_value(2, 2, 14);
+  Ranking given = MustCreate({1, 2, kUnranked});
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+  EXPECT_TRUE(result->proven_optimal);
+  ASSERT_TRUE(result->verification.has_value());
+  EXPECT_TRUE(result->verification->consistent);
+  // The winning region has small w1, large w2, very small w3 (Example 5).
+  const auto& w = result->function.weights;
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_GT(w[1], w[2]);
+}
+
+// Paper Example 3: R = {(1,10000),(2,1000),(5,1),(4,10),(3,100)} ranked
+// [1..5]. A perfect linear function exists (e.g. 0.99*A1 + 0.01*A2).
+TEST(RankHowTest, ExampleThreePerfectRecovery) {
+  Dataset d({"A1", "A2"}, 5);
+  double rows[5][2] = {{1, 10000}, {2, 1000}, {5, 1}, {4, 10}, {3, 100}};
+  for (int t = 0; t < 5; ++t) {
+    d.set_value(t, 0, rows[t][0]);
+    d.set_value(t, 1, rows[t][1]);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4, 5});
+  // The function 0.99*A1 + 0.01*A2 gives scores
+  // [100.99, 11.98, 4.96, 4.06, 3.97] — a perfect recovery. The attributes
+  // span 1..10000, so per Sec. V-A the epsilons must match the data scale
+  // (adjacent score gaps here are ~0.09).
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-4;
+  options.eps.eps1 = 1e-3;
+  options.eps.eps2 = 0.0;
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(RankHowTest, InfeasibleRankingGetsPositiveError) {
+  // Two identical tuples cannot be strictly ordered; with a third tuple
+  // dominated by both, ranking [1,2,3] forces at least error... identical
+  // tuples always tie (positions equal), so |rho-pi| >= 1 somewhere.
+  Dataset d({"A", "B"}, 3);
+  d.set_value(0, 0, 5);
+  d.set_value(0, 1, 5);
+  d.set_value(1, 0, 5);
+  d.set_value(1, 1, 5);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 1);
+  Ranking given = MustCreate({1, 2, 3});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->error, 1);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(RankHowTest, TiedRankingRealizedByIdenticalTuples) {
+  Dataset d({"A", "B"}, 3);
+  d.set_value(0, 0, 5);
+  d.set_value(0, 1, 5);
+  d.set_value(1, 0, 5);
+  d.set_value(1, 1, 5);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 1);
+  Ranking given = MustCreate({1, 1, 3});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+}
+
+TEST(RankHowTest, WeightConstraintsRestrictTheOptimum) {
+  // A1 alone ranks perfectly; forcing most weight onto A2 breaks it.
+  Dataset d({"A1", "A2"}, 4);
+  double a1[] = {4, 3, 2, 1};
+  double a2[] = {1, 2, 3, 4};  // reversed order
+  for (int t = 0; t < 4; ++t) {
+    d.set_value(t, 0, a1[t]);
+    d.set_value(t, 1, a2[t]);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4});
+  RankHowOptions options;
+  options.eps = TestEps();
+  {
+    RankHow solver(d, given, options);
+    auto result = solver.Solve();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->error, 0);
+  }
+  {
+    RankHow solver(d, given, options);
+    solver.problem().constraints.AddMinWeight(1, 0.9, "force_a2");
+    auto result = solver.Solve();
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->error, 0);
+    EXPECT_GE(result->function.weights[1], 0.9 - 1e-6);
+  }
+}
+
+TEST(RankHowTest, PairwiseOrderConstraint) {
+  // Force tuple 1 above tuple 0 even though the given ranking prefers the
+  // opposite; the optimum must respect the hard constraint and eat error.
+  Dataset d({"A1", "A2"}, 3);
+  d.set_value(0, 0, 3);
+  d.set_value(0, 1, 1);
+  d.set_value(1, 0, 1);
+  d.set_value(1, 1, 3);
+  d.set_value(2, 0, 0.5);
+  d.set_value(2, 1, 0.5);
+  Ranking given = MustCreate({1, 2, kUnranked});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  solver.problem().order_constraints.push_back({1, 0});
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  double f0 = d.ScoreOf(0, result->function.weights);
+  double f1 = d.ScoreOf(1, result->function.weights);
+  EXPECT_GE(f1 - f0, options.eps.eps1 - 1e-9);
+  EXPECT_GE(result->error, 2);  // both top tuples displaced by 1
+}
+
+TEST(RankHowTest, PositionConstraintPinsWinner) {
+  // Tuple 2 beats on A2; pin tuple 0 at position 1 and check it sticks.
+  Dataset d({"A1", "A2"}, 3);
+  d.set_value(0, 0, 3);
+  d.set_value(0, 1, 1);
+  d.set_value(1, 0, 2);
+  d.set_value(1, 1, 2);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 3);
+  Ranking given = MustCreate({1, 2, 3});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  solver.problem().position_constraints.push_back({0, 1, 1});
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto positions = ScoreRankPositionsOf(
+      d.Scores(result->function.weights), {0}, options.eps.tie_eps);
+  EXPECT_EQ(positions[0], 1);
+}
+
+TEST(RankHowTest, MilpConsistentErrorDetectsGap) {
+  Dataset d({"A"}, 2);
+  d.set_value(0, 0, 1.0);
+  d.set_value(1, 0, 1.0 + 5e-7);  // difference inside (eps2, eps1) = (0,1e-6)
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  EXPECT_FALSE(solver.MilpConsistentError({1.0}).has_value());
+}
+
+TEST(RankHowTest, DisablingFixingGivesSameOptimum) {
+  Rng rng(17);
+  Dataset d({"A", "B"}, 8);
+  for (int t = 0; t < 8; ++t) {
+    d.set_value(t, 0, rng.NextUniform(0, 1));
+    d.set_value(t, 1, rng.NextUniform(0, 1));
+  }
+  Ranking given = Ranking::FromScores(d.Scores({0.3, 0.7}), 3, 0.0);
+  RankHowOptions options;
+  options.eps = TestEps();
+  // The fixing toggle is an MILP-path ablation; the spatial strategy uses
+  // interval fixing intrinsically (it IS its bound), so pin the strategy.
+  options.strategy = SolveStrategy::kIndicatorMilp;
+  RankHow with_fixing(d, given, options);
+  options.use_indicator_fixing = false;
+  RankHow without_fixing(d, given, options);
+  auto a = with_fixing.Solve();
+  auto b = without_fixing.Solve();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->error, b->error);
+  EXPECT_GT(a->num_fixed_indicators, 0);
+  EXPECT_EQ(b->num_fixed_indicators, 0);
+}
+
+// Property sweep: on random small instances, the proven-optimal RankHow
+// error is never beaten by any sampled MILP-consistent weight vector.
+class RankHowPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankHowPropertyTest, OptimumDominatesSampledWeights) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(rng.NextInt(4, 12));
+  int m = static_cast<int>(rng.NextInt(2, 4));
+  int k = static_cast<int>(rng.NextInt(1, std::min(n, 4)));
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  // Ranking from a random non-linear score.
+  std::vector<double> true_scores(n);
+  for (int t = 0; t < n; ++t) {
+    true_scores[t] = std::pow(d.value(t, 0), 2) +
+                     (m > 1 ? 0.5 * d.value(t, 1) : 0.0) +
+                     0.1 * rng.NextDouble();
+  }
+  Ranking given = Ranking::FromScores(true_scores, k, 0.0);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->proven_optimal);
+  ASSERT_TRUE(result->verification->consistent)
+      << "claimed " << result->claimed_error << " exact "
+      << result->verification->exact_error;
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> w = rng.NextSimplexPoint(m);
+    auto err = solver.MilpConsistentError(w);
+    if (!err.has_value()) continue;
+    EXPECT_LE(result->claimed_error, *err)
+        << "sampled weights beat the 'optimal' solution";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankHowPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace rankhow

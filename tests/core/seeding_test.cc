@@ -1,0 +1,90 @@
+#include "core/seeding.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ranking/score_ranking.h"
+
+namespace rankhow {
+namespace {
+
+void ExpectSimplex(const std::vector<double>& w) {
+  double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double v : w) EXPECT_GE(v, 0.0);
+}
+
+TEST(ProjectWeightsTest, ClampsAndNormalizes) {
+  auto w = ProjectWeightsToSimplex({2.0, -1.0, 2.0});
+  ExpectSimplex(w);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.5);
+}
+
+TEST(ProjectWeightsTest, AllNonPositiveFallsBackToUniform) {
+  auto w = ProjectWeightsToSimplex({-1.0, -2.0});
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+struct Instance {
+  Dataset data;
+  Ranking given;
+};
+
+Instance LinearInstance(uint64_t seed, const std::vector<double>& w_true,
+                        int n, int k) {
+  SyntheticSpec spec;
+  spec.num_tuples = n;
+  spec.num_attributes = static_cast<int>(w_true.size());
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.Scores(w_true), k, 0.0);
+  return {std::move(data), std::move(given)};
+}
+
+TEST(SeedingTest, OrdinalRegressionSeedRecoversLinearRanking) {
+  Instance inst = LinearInstance(3, {0.6, 0.3, 0.1}, 100, 8);
+  auto seed = OrdinalRegressionSeed(inst.data, inst.given, 1e-6);
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+  ExpectSimplex(*seed);
+  // A linearly-realizable ranking should be (nearly) recovered.
+  long error = PositionError(inst.data, inst.given, *seed, 0.0);
+  EXPECT_LE(error, 2);
+}
+
+TEST(SeedingTest, LinearRegressionSeedIsOnSimplex) {
+  Instance inst = LinearInstance(4, {0.2, 0.8}, 60, 5);
+  auto seed = LinearRegressionSeed(inst.data, inst.given);
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+  ExpectSimplex(*seed);
+}
+
+TEST(SeedingTest, GridLowerBoundSeedFindsGoodCell) {
+  Instance inst = LinearInstance(5, {0.15, 0.85}, 50, 5);
+  GridSeedOptions options;
+  options.target_cell_size = 0.1;
+  options.eps1 = 1e-6;
+  auto seed = GridLowerBoundSeed(inst.data, inst.given, options);
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+  ExpectSimplex(*seed);
+  // The chosen cell should land near the true weights: within one cell step
+  // of error from optimal (0). Allow a modest slack.
+  long error = PositionError(inst.data, inst.given, *seed, 0.0);
+  long random_error =
+      PositionError(inst.data, inst.given, RandomSeed(2, 1), 0.0);
+  EXPECT_LE(error, std::max<long>(random_error, 3));
+}
+
+TEST(SeedingTest, RandomSeedDeterministicPerSeed) {
+  auto a = RandomSeed(4, 7);
+  auto b = RandomSeed(4, 7);
+  EXPECT_EQ(a, b);
+  ExpectSimplex(a);
+}
+
+}  // namespace
+}  // namespace rankhow

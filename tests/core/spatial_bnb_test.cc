@@ -1,0 +1,236 @@
+#include "core/spatial_bnb.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rankhow.h"
+#include "data/synthetic.h"
+#include "ranking/score_ranking.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+OptProblem MakeProblem(const Dataset& data, const Ranking& given) {
+  OptProblem problem;
+  problem.data = &data;
+  problem.given = &given;
+  problem.eps = TestEps();
+  return problem;
+}
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+TEST(SpatialBnbTest, PerfectLinearRankingProvedOptimal) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.num_attributes = 3;
+  spec.seed = 7;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.Scores({0.6, 0.3, 0.1}), 8, 0.0);
+  OptProblem problem = MakeProblem(data, given);
+
+  SpatialBnb solver(problem, SpatialBnbOptions{});
+  auto result = solver.Solve(WeightBox::FullSimplex(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_EQ(result->bound, 0);
+  // The returned weights really do reproduce the ranking.
+  EXPECT_EQ(PositionError(data, given, result->weights, TestEps().tie_eps),
+            0);
+}
+
+TEST(SpatialBnbTest, DominatedTopTupleForcesErrorTwo) {
+  // s = (2,2) strictly dominates r = (1,1); ranking r first is impossible:
+  // under every simplex weight f(s) > f(r), so rho(r) >= 2 and rho(s) = 1,
+  // total error exactly 2.
+  Dataset data({"A", "B"}, 2);
+  data.set_value(0, 0, 1);
+  data.set_value(0, 1, 1);
+  data.set_value(1, 0, 2);
+  data.set_value(1, 1, 2);
+  Ranking given = MustCreate({1, 2});
+  OptProblem problem = MakeProblem(data, given);
+
+  SpatialBnb solver(problem, SpatialBnbOptions{});
+  auto result = solver.Solve(WeightBox::FullSimplex(2));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 2);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(SpatialBnbTest, WarmStartZeroClosesInstantly) {
+  SyntheticSpec spec;
+  spec.num_tuples = 40;
+  spec.num_attributes = 3;
+  spec.seed = 21;
+  Dataset data = GenerateSynthetic(spec);
+  std::vector<double> truth = {0.2, 0.5, 0.3};
+  Ranking given = Ranking::FromScores(data.Scores(truth), 6, 0.0);
+  OptProblem problem = MakeProblem(data, given);
+
+  SpatialBnbOptions options;
+  options.initial_weights = truth;
+  SpatialBnb solver(problem, options);
+  auto result = solver.Solve(WeightBox::FullSimplex(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+  EXPECT_TRUE(result->proven_optimal);
+  // lb(root) = 0 >= incumbent 0: the very first pop terminates the search.
+  EXPECT_LE(result->stats.boxes_explored, 1);
+}
+
+TEST(SpatialBnbTest, MinWeightConstraintShrinksTheBox) {
+  SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attributes = 3;
+  spec.seed = 4;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.Scores({0.9, 0.05, 0.05}), 5, 0.0);
+  OptProblem problem = MakeProblem(data, given);
+  problem.constraints.AddMinWeight(1, 0.4, "w1>=0.4");
+
+  SpatialBnb solver(problem, SpatialBnbOptions{});
+  auto result = solver.Solve(WeightBox::FullSimplex(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_GE(result->weights[1], 0.4 - 1e-9);
+}
+
+TEST(SpatialBnbTest, GroupBoundGeneralRowIsRespected) {
+  SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attributes = 4;
+  spec.seed = 5;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.Scores({0.4, 0.3, 0.2, 0.1}), 5,
+                                      0.0);
+  OptProblem problem = MakeProblem(data, given);
+  // General (multi-term) row: exercises the per-box LP feasibility path.
+  problem.constraints.AddGroupBound({0, 1}, RelOp::kLe, 0.3, "w0+w1<=0.3");
+
+  SpatialBnb solver(problem, SpatialBnbOptions{});
+  auto result = solver.Solve(WeightBox::FullSimplex(4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_LE(result->weights[0] + result->weights[1], 0.3 + 1e-7);
+}
+
+TEST(SpatialBnbTest, ContradictoryOrderConstraintsAreInfeasible) {
+  Dataset data({"A", "B"}, 2);
+  data.set_value(0, 0, 1);
+  data.set_value(0, 1, 0);
+  data.set_value(1, 0, 0);
+  data.set_value(1, 1, 1);
+  Ranking given = MustCreate({1, 2});
+  OptProblem problem = MakeProblem(data, given);
+  problem.order_constraints.push_back({0, 1});
+  problem.order_constraints.push_back({1, 0});
+
+  SpatialBnb solver(problem, SpatialBnbOptions{});
+  auto result = solver.Solve(WeightBox::FullSimplex(2));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SpatialBnbTest, PositionConstraintPrunesAndHolds) {
+  SyntheticSpec spec;
+  spec.num_tuples = 25;
+  spec.num_attributes = 3;
+  spec.seed = 13;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = Ranking::FromScores(data.Scores({0.5, 0.25, 0.25}), 6, 0.0);
+  OptProblem problem = MakeProblem(data, given);
+  // The given #1 must stay within the top 2 positions.
+  int top = given.ranked_tuples().front();
+  problem.position_constraints.push_back({top, 1, 2});
+
+  SpatialBnb solver(problem, SpatialBnbOptions{});
+  auto result = solver.Solve(WeightBox::FullSimplex(3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<int> pos =
+      ScoreRankPositionsOf(data.Scores(result->weights), {top},
+                           TestEps().tie_eps);
+  EXPECT_LE(pos[0], 2);
+}
+
+TEST(SpatialBnbTest, TimeLimitReportsUnproven) {
+  SyntheticSpec spec;
+  spec.num_tuples = 120;
+  spec.num_attributes = 5;
+  spec.distribution = SyntheticDistribution::kAntiCorrelated;
+  spec.seed = 2;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 4, 12);
+  OptProblem problem = MakeProblem(data, given);
+
+  SpatialBnbOptions options;
+  options.max_boxes = 50;  // far too few to finish
+  SpatialBnb solver(problem, options);
+  auto result = solver.Solve(WeightBox::FullSimplex(5));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->proven_optimal);
+  EXPECT_LE(result->bound, result->error);
+}
+
+/// Cross-validation sweep: on random small instances the spatial optimum
+/// must (a) be proven, (b) match the exhaustive sampling floor, and (c)
+/// never exceed the indicator-MILP optimum (the MILP's (ε₂,ε₁]-gap
+/// semantics exclude a sliver of weight space, so its optimum can only be
+/// equal or worse).
+class SpatialVsMilpTest
+    : public ::testing::TestWithParam<std::tuple<int, SyntheticDistribution>> {
+};
+
+TEST_P(SpatialVsMilpTest, AgreesWithIndicatorMilp) {
+  auto [seed, distribution] = GetParam();
+  SyntheticSpec spec;
+  spec.num_tuples = 24;
+  spec.num_attributes = 3;
+  spec.distribution = distribution;
+  spec.seed = static_cast<uint64_t>(seed);
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 2, 5);
+  OptProblem problem = MakeProblem(data, given);
+
+  SpatialBnb spatial(problem, SpatialBnbOptions{});
+  auto s = spatial.Solve(WeightBox::FullSimplex(3));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_TRUE(s->proven_optimal);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kIndicatorMilp;
+  options.time_limit_seconds = 30;
+  RankHow milp(data, given, options);
+  auto m = milp.Solve();
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_TRUE(m->proven_optimal);
+
+  EXPECT_LE(s->error, m->error);
+  // The gap sliver has measure ~eps1; on generic data both optima coincide.
+  EXPECT_GE(s->error, m->error - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpatialVsMilpTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(SyntheticDistribution::kUniform,
+                                         SyntheticDistribution::kCorrelated,
+                                         SyntheticDistribution::
+                                             kAntiCorrelated)));
+
+}  // namespace
+}  // namespace rankhow

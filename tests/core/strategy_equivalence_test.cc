@@ -1,0 +1,331 @@
+// Cross-checks the three exact solve strategies against each other:
+// the Equation-(2) indicator MILP, the weight-space spatial subdivision,
+// and the Section III-A satisfiability binary search ("SMT theorem provers
+// like Z3 can be used if we convert the optimization problem to a series of
+// satisfiability problems, performing binary search"). All three must prove
+// the same optimal error on instances small enough for each to finish.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rankhow.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+Dataset RandomDataset(Rng& rng, int n, int m) {
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  return d;
+}
+
+TEST(SolveStrategyNameTest, AllValuesNamed) {
+  EXPECT_STREQ(SolveStrategyName(SolveStrategy::kAuto), "auto");
+  EXPECT_STREQ(SolveStrategyName(SolveStrategy::kIndicatorMilp),
+               "indicator-milp");
+  EXPECT_STREQ(SolveStrategyName(SolveStrategy::kSpatial), "spatial");
+  EXPECT_STREQ(SolveStrategyName(SolveStrategy::kSatBinarySearch),
+               "sat-binary-search");
+}
+
+TEST(SatBinarySearchTest, PerfectInstanceProvesZero) {
+  // Paper Example 4: a perfect linear function exists, so the very first
+  // upper bound is 0 and no probes are needed beyond the warm start.
+  Dataset d({"A1", "A2", "A3"}, 3);
+  double rows[3][3] = {{3, 2, 8}, {4, 1, 15}, {1, 1, 14}};
+  for (int t = 0; t < 3; ++t) {
+    for (int a = 0; a < 3; ++a) d.set_value(t, a, rows[t][a]);
+  }
+  Ranking given = MustCreate({1, 2, kUnranked});
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSatBinarySearch;
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_EQ(result->strategy_used, SolveStrategy::kSatBinarySearch);
+  ASSERT_TRUE(result->verification.has_value());
+  EXPECT_TRUE(result->verification->consistent);
+}
+
+TEST(SatBinarySearchTest, PositiveOptimumNeedsInfeasibleProbes) {
+  // Identical tuples given distinct positions force error >= 1, so the
+  // search must *prove* the probe at E=0 infeasible before settling.
+  Dataset d({"A", "B"}, 3);
+  d.set_value(0, 0, 5);
+  d.set_value(0, 1, 5);
+  d.set_value(1, 0, 5);
+  d.set_value(1, 1, 5);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 1);
+  Ranking given = MustCreate({1, 2, 3});
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSatBinarySearch;
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->error, 1);
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_GE(result->sat_probes, 1);
+  EXPECT_EQ(result->bound, result->claimed_error);
+}
+
+TEST(SatBinarySearchTest, InfeasiblePredicatePropagates) {
+  Dataset d({"A", "B"}, 2);
+  d.set_value(0, 0, 1);
+  d.set_value(0, 1, 0);
+  d.set_value(1, 0, 0);
+  d.set_value(1, 1, 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSatBinarySearch;
+  options.use_presolve = false;  // no warm start: force the bootstrap probe
+  RankHow solver(d, given, options);
+  // w0 >= 0.8 and w1 >= 0.8 cannot hold with w0 + w1 = 1.
+  solver.problem().constraints.AddMinWeight(0, 0.8, "w0");
+  solver.problem().constraints.AddMinWeight(1, 0.8, "w1");
+  auto result = solver.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SatBinarySearchTest, RespectsWeightConstraints) {
+  Dataset d({"A1", "A2"}, 4);
+  double a1[] = {4, 3, 2, 1};
+  double a2[] = {1, 2, 3, 4};
+  for (int t = 0; t < 4; ++t) {
+    d.set_value(t, 0, a1[t]);
+    d.set_value(t, 1, a2[t]);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4});
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSatBinarySearch;
+  RankHow solver(d, given, options);
+  solver.problem().constraints.AddMinWeight(1, 0.9, "force_a2");
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->error, 0);
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_GE(result->function.weights[1], 0.9 - 1e-6);
+}
+
+TEST(SatBinarySearchTest, InversionObjective) {
+  // Anti-sorted pair: at least one inversion is unavoidable when the data
+  // order contradicts the given ranking on every attribute.
+  Dataset d({"A", "B"}, 3);
+  d.set_value(0, 0, 1);
+  d.set_value(0, 1, 1);
+  d.set_value(1, 0, 2);
+  d.set_value(1, 1, 2);
+  d.set_value(2, 0, 3);
+  d.set_value(2, 1, 3);
+  Ranking given = MustCreate({1, 2, 3});  // wants the dominated tuple first
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSatBinarySearch;
+  RankHow sat(d, given, options);
+  sat.problem().objective = RankingObjectiveSpec::Inversions();
+  auto a = sat.Solve();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  options.strategy = SolveStrategy::kIndicatorMilp;
+  RankHow milp(d, given, options);
+  milp.problem().objective = RankingObjectiveSpec::Inversions();
+  auto b = milp.Solve();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_TRUE(a->proven_optimal);
+  EXPECT_TRUE(b->proven_optimal);
+  EXPECT_EQ(a->error, b->error);
+  EXPECT_GE(a->error, 1);
+}
+
+TEST(SatBinarySearchTest, TinyTimeBudgetStillReturnsVerifiedIncumbent) {
+  Rng rng(99);
+  Dataset d = RandomDataset(rng, 30, 4);
+  std::vector<double> hidden = rng.NextSimplexPoint(4);
+  std::vector<double> scores(30);
+  for (int t = 0; t < 30; ++t) {
+    scores[t] = std::pow(d.value(t, 0), 3) + 0.2 * d.value(t, 1);
+  }
+  Ranking given = Ranking::FromScores(scores, 8, 0.0);
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSatBinarySearch;
+  options.time_limit_seconds = 0.05;  // far too small to prove optimality
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  // Either it got lucky and proved the optimum, or it reports an honest
+  // unproven incumbent; both must carry a verified error and a valid bound.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->verification.has_value());
+  EXPECT_LE(result->bound, result->claimed_error);
+  EXPECT_GE(result->error, 0);
+}
+
+// The core property: all three exact strategies prove the same optimum on
+// random instances (uniform data, non-linear generating function, random
+// k). This is the reproduction's analogue of agreeing with Gurobi.
+class StrategyEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyEquivalenceTest, AllStrategiesProveSameOptimum) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.NextInt(5, 14));
+  const int m = static_cast<int>(rng.NextInt(2, 4));
+  const int k = static_cast<int>(rng.NextInt(1, std::min(n, 5)));
+  Dataset d = RandomDataset(rng, n, m);
+  std::vector<double> scores(n);
+  for (int t = 0; t < n; ++t) {
+    scores[t] = std::pow(d.value(t, 0), 2) +
+                (m > 1 ? 0.6 * std::sqrt(d.value(t, 1)) : 0.0);
+  }
+  Ranking given = Ranking::FromScores(scores, k, 0.0);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+
+  long reference = -1;
+  for (SolveStrategy strategy :
+       {SolveStrategy::kIndicatorMilp, SolveStrategy::kSpatial,
+        SolveStrategy::kSatBinarySearch}) {
+    options.strategy = strategy;
+    RankHow solver(d, given, options);
+    auto result = solver.Solve();
+    ASSERT_TRUE(result.ok())
+        << SolveStrategyName(strategy) << ": " << result.status().ToString();
+    EXPECT_TRUE(result->proven_optimal) << SolveStrategyName(strategy);
+    EXPECT_EQ(result->strategy_used, strategy);
+    ASSERT_TRUE(result->verification.has_value());
+    EXPECT_TRUE(result->verification->consistent)
+        << SolveStrategyName(strategy) << " claimed "
+        << result->claimed_error << " exact "
+        << result->verification->exact_error;
+    if (reference < 0) {
+      reference = result->error;
+    } else {
+      EXPECT_EQ(result->error, reference)
+          << SolveStrategyName(strategy) << " disagrees with indicator-milp";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+// With weight constraints layered on, MILP and SAT binary search must still
+// agree (the spatial strategy handles P through per-box LP feasibility and
+// is covered by its own module tests; here we stress the two MILP-family
+// paths, which share the model builder but search very differently).
+class ConstrainedEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ConstrainedEquivalenceTest, MilpAndSatAgreeUnderConstraints) {
+  Rng rng(GetParam() + 1000);
+  const int n = static_cast<int>(rng.NextInt(5, 12));
+  const int m = static_cast<int>(rng.NextInt(3, 5));
+  const int k = static_cast<int>(rng.NextInt(2, std::min(n, 5)));
+  Dataset d = RandomDataset(rng, n, m);
+  std::vector<double> hidden = rng.NextSimplexPoint(m);
+  Ranking given = Ranking::FromScores(d.Scores(hidden), k, 0.0);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+
+  const int pinned = static_cast<int>(rng.NextInt(0, m - 1));
+  const double floor_w = rng.NextUniform(0.05, 0.3);
+
+  long errors[2];
+  int i = 0;
+  for (SolveStrategy strategy :
+       {SolveStrategy::kIndicatorMilp, SolveStrategy::kSatBinarySearch}) {
+    options.strategy = strategy;
+    RankHow solver(d, given, options);
+    solver.problem().constraints.AddMinWeight(pinned, floor_w, "floor");
+    auto result = solver.Solve();
+    ASSERT_TRUE(result.ok())
+        << SolveStrategyName(strategy) << ": " << result.status().ToString();
+    EXPECT_TRUE(result->proven_optimal) << SolveStrategyName(strategy);
+    EXPECT_GE(result->function.weights[pinned], floor_w - 1e-6);
+    errors[i++] = result->error;
+  }
+  EXPECT_EQ(errors[0], errors[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstrainedEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// DESIGN.md's determinism promise, checked at the solver level: repeated
+// solves of the same instance produce bit-identical results (weights,
+// error, node counts) for every strategy.
+class DeterminismTest : public ::testing::TestWithParam<SolveStrategy> {};
+
+TEST_P(DeterminismTest, RepeatSolvesAreBitIdentical) {
+  Rng rng(4242);
+  Dataset d = RandomDataset(rng, 14, 3);
+  std::vector<double> scores(14);
+  for (int t = 0; t < 14; ++t) {
+    scores[t] = std::pow(d.value(t, 0), 2) + 0.4 * d.value(t, 2);
+  }
+  Ranking given = Ranking::FromScores(scores, 4, 0.0);
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = GetParam();
+  RankHow solver(d, given, options);
+  auto a = solver.Solve();
+  auto b = solver.Solve();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->function.weights, b->function.weights);
+  EXPECT_EQ(a->error, b->error);
+  EXPECT_EQ(a->bound, b->bound);
+  EXPECT_EQ(a->stats.nodes_explored, b->stats.nodes_explored);
+  EXPECT_EQ(a->sat_probes, b->sat_probes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, DeterminismTest,
+    ::testing::Values(SolveStrategy::kIndicatorMilp, SolveStrategy::kSpatial,
+                      SolveStrategy::kSatBinarySearch),
+    [](const ::testing::TestParamInfo<SolveStrategy>& info) {
+      switch (info.param) {
+        case SolveStrategy::kIndicatorMilp:
+          return "IndicatorMilp";
+        case SolveStrategy::kSpatial:
+          return "Spatial";
+        case SolveStrategy::kSatBinarySearch:
+          return "SatBinarySearch";
+        default:
+          return "Other";
+      }
+    });
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,186 @@
+// Property sweeps for SYM-GD (Section IV): the descent invariants that must
+// hold on any instance, checked over randomized instances and seeds.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rankhow.h"
+#include "core/sym_gd.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+struct Instance {
+  Dataset data;
+  Ranking given;
+};
+
+Instance RandomInstance(Rng& rng, int n, int m, int k) {
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  // Non-linear generating function, as in Sec. VI-F.
+  std::vector<double> scores(n);
+  for (int t = 0; t < n; ++t) {
+    double s = 0;
+    for (int a = 0; a < m; ++a) s += std::pow(d.value(t, a), 3);
+    scores[t] = s;
+  }
+  Ranking given = Ranking::FromScores(scores, k, 0.0);
+  return {std::move(d), std::move(given)};
+}
+
+class SymGdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The error of the kept iterate never increases along the trajectory
+// prefix-minimum — Algorithm 1 only moves to a cell optimum at least as
+// good as the current point (solve() includes the seed in its cell).
+TEST_P(SymGdPropertyTest, KeptErrorIsMonotoneNonIncreasing) {
+  Rng rng(GetParam());
+  Instance inst = RandomInstance(rng, static_cast<int>(rng.NextInt(10, 30)),
+                                 static_cast<int>(rng.NextInt(2, 4)),
+                                 static_cast<int>(rng.NextInt(2, 6)));
+  SymGdOptions options;
+  options.cell_size = 0.2;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  std::vector<double> seed =
+      rng.NextSimplexPoint(inst.data.num_attributes());
+  auto result = symgd.Run(seed);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  long best_so_far = result->error_trajectory.empty()
+                         ? result->error
+                         : result->error_trajectory.front();
+  for (long e : result->error_trajectory) {
+    best_so_far = std::min(best_so_far, e);
+  }
+  EXPECT_EQ(result->error, best_so_far)
+      << "returned error is not the best visited";
+  // The final error can never beat the proven global optimum.
+  RankHowOptions global_options;
+  global_options.eps = TestEps();
+  RankHow global(inst.data, inst.given, global_options);
+  auto optimum = global.Solve();
+  ASSERT_TRUE(optimum.ok()) << optimum.status().ToString();
+  if (optimum->proven_optimal) {
+    EXPECT_GE(result->error, optimum->error);
+  }
+}
+
+// With a cell spanning the whole weight space, the first SYM-GD step IS the
+// global solve: the result must equal the proven global optimum.
+TEST_P(SymGdPropertyTest, FullSimplexCellMatchesGlobalOptimum) {
+  Rng rng(GetParam() + 500);
+  Instance inst = RandomInstance(rng, static_cast<int>(rng.NextInt(8, 16)),
+                                 static_cast<int>(rng.NextInt(2, 4)),
+                                 static_cast<int>(rng.NextInt(2, 4)));
+  SymGdOptions options;
+  options.cell_size = 1.999;  // cell covers the entire simplex
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  std::vector<double> seed =
+      rng.NextSimplexPoint(inst.data.num_attributes());
+  auto local = symgd.Run(seed);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+
+  RankHowOptions global_options;
+  global_options.eps = TestEps();
+  RankHow global(inst.data, inst.given, global_options);
+  auto optimum = global.Solve();
+  ASSERT_TRUE(optimum.ok());
+  ASSERT_TRUE(optimum->proven_optimal);
+  EXPECT_EQ(local->error, optimum->error);
+}
+
+// Determinism: identical options and seed produce identical results.
+TEST_P(SymGdPropertyTest, DeterministicAcrossRuns) {
+  Rng rng(GetParam() + 900);
+  Instance inst = RandomInstance(rng, 20, 3, 4);
+  SymGdOptions options;
+  options.cell_size = 0.15;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  std::vector<double> seed = rng.NextSimplexPoint(3);
+  auto a = symgd.Run(seed);
+  auto b = symgd.Run(seed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->error, b->error);
+  EXPECT_EQ(a->iterations, b->iterations);
+  EXPECT_EQ(a->error_trajectory, b->error_trajectory);
+  EXPECT_EQ(a->function.weights, b->function.weights);
+}
+
+// Every iterate stays inside the (clamped) cell around its predecessor:
+// |w_i − w_{i-1}|_∞ <= c/2 + float slack. We can observe only the kept
+// iterates, whose pairwise step is bounded by the cell geometry.
+TEST_P(SymGdPropertyTest, SeedAtSimplexCornerStaysFeasible) {
+  Rng rng(GetParam() + 1300);
+  Instance inst = RandomInstance(rng, 16, 3, 3);
+  SymGdOptions options;
+  options.cell_size = 0.1;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  // Corner of the simplex: the cell clamp max(w−c/2, 0)..min(w+c/2, 1)
+  // must keep every sub-solve feasible (Σw = 1 intersects the box).
+  std::vector<double> corner = {1.0, 0.0, 0.0};
+  auto result = symgd.Run(corner);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& w = result->function.weights;
+  double sum = 0;
+  for (double v : w) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, 1 + 1e-9);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+// The adaptive variant (Algorithm 2) is never worse than the fixed-cell
+// variant started from the same seed with the same starting cell — it runs
+// Algorithm 1 first and then keeps going with bigger cells.
+TEST_P(SymGdPropertyTest, AdaptiveNeverWorseThanFixed) {
+  Rng rng(GetParam() + 1700);
+  Instance inst = RandomInstance(rng, static_cast<int>(rng.NextInt(10, 24)),
+                                 3, static_cast<int>(rng.NextInt(2, 5)));
+  std::vector<double> seed = rng.NextSimplexPoint(3);
+
+  SymGdOptions fixed;
+  fixed.cell_size = 0.05;
+  fixed.adaptive = false;
+  fixed.solver.eps = TestEps();
+  SymGd fixed_gd(inst.data, inst.given, fixed);
+  auto fixed_result = fixed_gd.Run(seed);
+  ASSERT_TRUE(fixed_result.ok());
+
+  SymGdOptions adaptive = fixed;
+  adaptive.adaptive = true;
+  adaptive.time_budget_seconds = 10;  // Algorithm 2 needs a t_total
+  SymGd adaptive_gd(inst.data, inst.given, adaptive);
+  auto adaptive_result = adaptive_gd.Run(seed);
+  ASSERT_TRUE(adaptive_result.ok());
+
+  EXPECT_LE(adaptive_result->error, fixed_result->error);
+  EXPECT_GE(adaptive_result->final_cell_size,
+            fixed_result->final_cell_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymGdPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,137 @@
+#include "core/sym_gd.h"
+
+#include <gtest/gtest.h>
+
+#include "core/seeding.h"
+#include "data/synthetic.h"
+#include "ranking/score_ranking.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+struct Instance {
+  Dataset data;
+  Ranking given;
+};
+
+Instance MakeInstance(uint64_t seed, int n, int m, int k, int exponent) {
+  SyntheticSpec spec;
+  spec.num_tuples = n;
+  spec.num_attributes = m;
+  spec.distribution = SyntheticDistribution::kUniform;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, exponent, k);
+  return Instance{std::move(data), std::move(given)};
+}
+
+TEST(SymGdTest, ImprovesOnRandomSeed) {
+  Instance inst = MakeInstance(5, 80, 3, 5, 3);
+  std::vector<double> seed = RandomSeed(3, 99);
+  long seed_error =
+      PositionError(inst.data, inst.given, seed, TestEps().tie_eps);
+
+  SymGdOptions options;
+  options.cell_size = 0.3;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  auto result = symgd.Run(seed);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->error, seed_error);
+  EXPECT_GE(result->iterations, 1);
+  // Trajectory is monotonically non-increasing at the accepted steps.
+  for (size_t i = 1; i < result->error_trajectory.size(); ++i) {
+    EXPECT_LE(result->error_trajectory[i], result->error_trajectory[i - 1] +
+                                               0);
+  }
+}
+
+TEST(SymGdTest, MatchesGlobalOptimumOnEasyInstance) {
+  // Linearly-realizable ranking: the global optimum is 0 and a descent from
+  // any seed with a reasonably large cell should find it.
+  Rng rng(7);
+  SyntheticSpec spec;
+  spec.num_tuples = 60;
+  spec.num_attributes = 3;
+  spec.seed = 21;
+  Dataset data = GenerateSynthetic(spec);
+  std::vector<double> w_true = {0.5, 0.3, 0.2};
+  Ranking given = Ranking::FromScores(data.Scores(w_true), 5, 0.0);
+
+  SymGdOptions options;
+  options.cell_size = 0.4;
+  options.adaptive = true;
+  options.time_budget_seconds = 30;
+  options.solver.eps = TestEps();
+  SymGd symgd(data, given, options);
+  auto result = symgd.Run(RandomSeed(3, 4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+}
+
+TEST(SymGdTest, NeverWorseThanGlobalBound) {
+  Instance inst = MakeInstance(11, 40, 3, 4, 4);
+  RankHowOptions exact_options;
+  exact_options.eps = TestEps();
+  RankHow exact(inst.data, inst.given, exact_options);
+  auto global = exact.Solve();
+  ASSERT_TRUE(global.ok()) << global.status().ToString();
+
+  SymGdOptions options;
+  options.cell_size = 0.2;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  auto local = symgd.Run(RandomSeed(3, 123));
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  // Local search can't beat the proven global optimum.
+  EXPECT_GE(local->error, global->error);
+}
+
+TEST(SymGdTest, AdaptiveGrowsCellWhenStuck) {
+  Instance inst = MakeInstance(13, 60, 3, 5, 5);
+  SymGdOptions options;
+  options.cell_size = 0.01;  // tiny: will converge locally fast
+  options.adaptive = true;
+  options.time_budget_seconds = 5;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  auto result = symgd.Run(RandomSeed(3, 5));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Either solved to zero, or the cell grew beyond its initial size.
+  if (result->error > 0) {
+    EXPECT_GT(result->final_cell_size, options.cell_size);
+  }
+}
+
+TEST(SymGdTest, RespectsProblemConstraints) {
+  Instance inst = MakeInstance(3, 50, 3, 4, 2);
+  SymGdOptions options;
+  options.cell_size = 0.3;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  symgd.problem().constraints.AddMinWeight(2, 0.4, "keep_A3");
+  // Seed must satisfy the constraint for the first cell to be feasible.
+  auto result = symgd.Run({0.3, 0.3, 0.4});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->function.weights[2], 0.4 - 1e-6);
+}
+
+TEST(SymGdTest, RejectsBadSeedArity) {
+  Instance inst = MakeInstance(1, 20, 3, 3, 2);
+  SymGdOptions options;
+  options.solver.eps = TestEps();
+  SymGd symgd(inst.data, inst.given, options);
+  EXPECT_FALSE(symgd.Run({0.5, 0.5}).ok());
+}
+
+}  // namespace
+}  // namespace rankhow

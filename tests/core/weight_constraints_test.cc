@@ -1,0 +1,68 @@
+#include "core/weight_constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+
+namespace rankhow {
+namespace {
+
+TEST(WeightConstraintSetTest, BuildersAndSatisfaction) {
+  WeightConstraintSet set;
+  set.AddMinWeight(0, 0.1, "pts_min");
+  set.AddMaxWeight(1, 0.5);
+  set.AddGroupBound({1, 2}, RelOp::kLe, 0.6, "defense");
+  EXPECT_EQ(set.size(), 3u);
+
+  EXPECT_TRUE(set.IsSatisfied({0.4, 0.3, 0.3}));
+  EXPECT_FALSE(set.IsSatisfied({0.05, 0.5, 0.45}));  // w0 below 0.1
+  EXPECT_FALSE(set.IsSatisfied({0.3, 0.6, 0.1}));    // w1 above 0.5
+  EXPECT_FALSE(set.IsSatisfied({0.2, 0.5, 0.3}));    // group sum 0.8 > 0.6
+}
+
+TEST(WeightConstraintSetTest, TightenBoxUsesSingleVariableRows) {
+  WeightConstraintSet set;
+  set.AddMinWeight(0, 0.2);
+  set.AddMaxWeight(0, 0.7);
+  set.AddGroupBound({0, 1}, RelOp::kLe, 0.5);  // multi-var: ignored for box
+  WeightBox box = set.TightenBox(WeightBox::FullSimplex(2));
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.2);
+  EXPECT_DOUBLE_EQ(box.hi[0], 0.7);
+  EXPECT_DOUBLE_EQ(box.lo[1], 0.0);
+  EXPECT_DOUBLE_EQ(box.hi[1], 1.0);
+}
+
+TEST(WeightConstraintSetTest, TightenBoxHandlesNegatedCoefficients) {
+  WeightConstraintSet set;
+  // -2*w0 <= -0.4  <=>  w0 >= 0.2.
+  set.Add(WeightConstraint{{{0, -2.0}}, RelOp::kLe, -0.4, ""});
+  WeightBox box = set.TightenBox(WeightBox::FullSimplex(1));
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.2);
+}
+
+TEST(WeightConstraintSetTest, AppendToRestrictsLp) {
+  WeightConstraintSet set;
+  set.AddMinWeight(1, 0.6);
+  LpModel lp;
+  std::vector<int> vars = {lp.AddVariable(0, 1), lp.AddVariable(0, 1)};
+  LinearExpr sum = LinearExpr::Term(vars[0], 1) + LinearExpr::Term(vars[1], 1);
+  lp.AddConstraint(sum, RelOp::kEq, 1);
+  set.AppendTo(&lp, vars);
+  lp.SetObjective(LinearExpr::Term(vars[1], 1), ObjectiveSense::kMinimize);
+  auto sol = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->values[vars[1]], 0.6, 1e-9);  // forced up by the min
+}
+
+TEST(WeightConstraintSetTest, EqualityConstraint) {
+  WeightConstraintSet set;
+  set.Add(WeightConstraint{{{0, 1.0}}, RelOp::kEq, 0.25, ""});
+  EXPECT_TRUE(set.IsSatisfied({0.25, 0.75}));
+  EXPECT_FALSE(set.IsSatisfied({0.3, 0.7}));
+  WeightBox box = set.TightenBox(WeightBox::FullSimplex(2));
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.25);
+  EXPECT_DOUBLE_EQ(box.hi[0], 0.25);
+}
+
+}  // namespace
+}  // namespace rankhow

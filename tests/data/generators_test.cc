@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "data/csrankings.h"
+#include "data/derived.h"
+#include "data/nba.h"
+#include "data/synthetic.h"
+
+namespace rankhow {
+namespace {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  double mx = std::accumulate(x.begin(), x.end(), 0.0) / x.size();
+  double my = std::accumulate(y.begin(), y.end(), 0.0) / y.size();
+  double sxy = 0;
+  double sxx = 0;
+  double syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(SyntheticTest, ShapesAndRanges) {
+  for (auto dist : {SyntheticDistribution::kUniform,
+                    SyntheticDistribution::kCorrelated,
+                    SyntheticDistribution::kAntiCorrelated}) {
+    SyntheticSpec spec;
+    spec.num_tuples = 500;
+    spec.num_attributes = 4;
+    spec.distribution = dist;
+    spec.seed = 7;
+    Dataset d = GenerateSynthetic(spec);
+    EXPECT_EQ(d.num_tuples(), 500);
+    EXPECT_EQ(d.num_attributes(), 4);
+    for (int a = 0; a < 4; ++a) {
+      for (int t = 0; t < 500; ++t) {
+        EXPECT_GE(d.value(t, a), 0.0);
+        EXPECT_LE(d.value(t, a), 1.0);
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, DistributionsHaveExpectedCorrelationSign) {
+  SyntheticSpec spec;
+  spec.num_tuples = 4000;
+  spec.num_attributes = 4;
+  spec.seed = 11;
+
+  spec.distribution = SyntheticDistribution::kCorrelated;
+  Dataset corr = GenerateSynthetic(spec);
+  EXPECT_GT(PearsonCorrelation(corr.column(0), corr.column(1)), 0.5);
+
+  spec.distribution = SyntheticDistribution::kAntiCorrelated;
+  Dataset anti = GenerateSynthetic(spec);
+  // Attributes 0 and 1 sit on opposite sides of the anti-correlation.
+  EXPECT_LT(PearsonCorrelation(anti.column(0), anti.column(1)), -0.5);
+  // Attributes 0 and 2 are on the same side.
+  EXPECT_GT(PearsonCorrelation(anti.column(0), anti.column(2)), 0.5);
+
+  spec.distribution = SyntheticDistribution::kUniform;
+  Dataset uni = GenerateSynthetic(spec);
+  EXPECT_NEAR(PearsonCorrelation(uni.column(0), uni.column(1)), 0.0, 0.08);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.num_attributes = 3;
+  spec.seed = 99;
+  Dataset a = GenerateSynthetic(spec);
+  Dataset b = GenerateSynthetic(spec);
+  for (int t = 0; t < 50; ++t) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(a.value(t, c), b.value(t, c));
+  }
+}
+
+TEST(SyntheticTest, PowerSumRankingUsesNonLinearScore) {
+  SyntheticSpec spec;
+  spec.num_tuples = 200;
+  spec.num_attributes = 3;
+  spec.seed = 5;
+  Dataset d = GenerateSynthetic(spec);
+  Ranking r2 = PowerSumRanking(d, 2, 10);
+  Ranking r5 = PowerSumRanking(d, 5, 10);
+  EXPECT_GE(r2.k(), 10);
+  EXPECT_GE(r5.k(), 10);
+  // Higher exponent favors peaky tuples; rankings usually differ.
+  auto scores2 = PowerSumScores(d, 2);
+  auto scores5 = PowerSumScores(d, 5);
+  EXPECT_NE(scores2, scores5);
+}
+
+TEST(NbaTest, GeneratesRequestedShape) {
+  NbaSpec spec;
+  spec.num_tuples = 2000;
+  spec.seed = 3;
+  NbaData nba = GenerateNba(spec);
+  EXPECT_LE(nba.table.num_tuples(), 2000);
+  EXPECT_GE(nba.table.num_tuples(), 1900);  // few duplicates at most
+  EXPECT_EQ(nba.table.num_attributes(), kNbaNumRankingAttributes);
+  EXPECT_EQ(nba.labels.size(), static_cast<size_t>(nba.table.num_tuples()));
+  EXPECT_EQ(nba.per.size(), nba.minutes.size());
+}
+
+TEST(NbaTest, StatsAreInPlausibleRanges) {
+  NbaData nba = GenerateNba({.num_tuples = 3000, .seed = 4});
+  auto idx = [&](const char* name) { return *nba.table.AttributeIndex(name); };
+  double max_pts = 0;
+  double mean_fg = 0;
+  for (int t = 0; t < nba.table.num_tuples(); ++t) {
+    double pts = nba.table.value(t, idx("PTS"));
+    double fg = nba.table.value(t, idx("FG%"));
+    EXPECT_GE(pts, 0.0);
+    EXPECT_LT(pts, 60.0);
+    EXPECT_GE(fg, 0.05);
+    EXPECT_LE(fg, 0.95);
+    max_pts = std::max(max_pts, pts);
+    mean_fg += fg;
+  }
+  mean_fg /= nba.table.num_tuples();
+  EXPECT_GT(max_pts, 25.0);  // stars exist
+  EXPECT_GT(mean_fg, 0.35);
+  EXPECT_LT(mean_fg, 0.60);
+}
+
+TEST(NbaTest, PerFormulaRewardsProductionPenalizesTurnovers) {
+  double base = ComputePer(20, 8, 5, 1, 1, 0.5, 0.8, 2, 32);
+  EXPECT_GT(base, ComputePer(20, 8, 5, 1, 1, 0.5, 0.8, 5, 32));  // more TOV
+  EXPECT_LT(base, ComputePer(25, 8, 5, 1, 1, 0.5, 0.8, 2, 32));  // more PTS
+  // Same per-game stats in fewer minutes = higher efficiency.
+  EXPECT_LT(base, ComputePer(20, 8, 5, 1, 1, 0.5, 0.8, 2, 26));
+}
+
+TEST(NbaTest, PerRankingIsValidAndNonLinear) {
+  NbaData nba = GenerateNba({.num_tuples = 1500, .seed = 8});
+  Ranking r = NbaPerRanking(nba, 6);
+  EXPECT_GE(r.k(), 6);
+  // The top PER producer should be a high-usage player.
+  int top = r.ranked_tuples()[0];
+  EXPECT_GT(nba.table.value(top, 0), 10.0);  // PTS
+}
+
+TEST(NbaTest, MvpVoteProtocol) {
+  NbaData nba = GenerateNba({.num_tuples = 3000, .seed = 1});
+  MvpVoteResult mvp = SimulateMvpVote(nba, 100, 42);
+  // Around a dozen players receive votes (paper: 13).
+  EXPECT_GE(static_cast<int>(mvp.vote_receivers.size()), 6);
+  EXPECT_LE(static_cast<int>(mvp.vote_receivers.size()), 40);
+  // Total points = 100 panelists * (10+7+5+3+1).
+  int total = std::accumulate(mvp.points.begin(), mvp.points.end(), 0);
+  EXPECT_EQ(total, 100 * 26);
+  // Ranking positions valid and aligned with point order.
+  EXPECT_EQ(mvp.ranking.num_tuples(),
+            static_cast<int>(mvp.vote_receivers.size()));
+  EXPECT_EQ(mvp.ranking.position(0), 1);
+  for (size_t i = 1; i < mvp.points.size(); ++i) {
+    EXPECT_LE(mvp.points[i], mvp.points[i - 1]);
+  }
+  EXPECT_EQ(mvp.voted_table.num_tuples(),
+            static_cast<int>(mvp.vote_receivers.size()));
+}
+
+TEST(CsRankingsTest, ShapeAndScores) {
+  CsRankingsData cs = GenerateCsRankings({.seed = 2});
+  EXPECT_EQ(cs.table.num_tuples(), kCsRankingsNumInstitutions);
+  EXPECT_EQ(cs.table.num_attributes(), kCsRankingsNumAreas);
+  for (int t = 0; t < cs.table.num_tuples(); ++t) {
+    EXPECT_GT(cs.default_scores[t], 0.0);
+    for (int a = 0; a < cs.table.num_attributes(); ++a) {
+      EXPECT_GE(cs.table.value(t, a), 0.0);
+    }
+  }
+  Ranking r = CsRankingsDefaultRanking(cs, 25);
+  EXPECT_GE(r.k(), 25);
+}
+
+TEST(CsRankingsTest, CountsAreHeavyTailed) {
+  CsRankingsData cs = GenerateCsRankings({.seed = 6});
+  // Max area production far exceeds the median (heavy tail).
+  std::vector<double> totals(cs.table.num_tuples(), 0.0);
+  for (int t = 0; t < cs.table.num_tuples(); ++t) {
+    for (int a = 0; a < cs.table.num_attributes(); ++a) {
+      totals[t] += cs.table.value(t, a);
+    }
+  }
+  std::sort(totals.begin(), totals.end());
+  double median = totals[totals.size() / 2];
+  EXPECT_GT(totals.back(), 5 * median);
+}
+
+TEST(DerivedTest, SquaresColumnsAppended) {
+  Dataset d({"X", "Y"}, 2);
+  d.set_value(0, 0, 2);
+  d.set_value(0, 1, 3);
+  d.set_value(1, 0, -1);
+  d.set_value(1, 1, 4);
+  Dataset aug = WithDerivedAttributes(d, {.squares = true});
+  EXPECT_EQ(aug.num_attributes(), 4);
+  EXPECT_EQ(aug.attribute_name(2), "X^2");
+  EXPECT_DOUBLE_EQ(aug.value(0, 2), 4);
+  EXPECT_DOUBLE_EQ(aug.value(1, 2), 1);
+}
+
+TEST(DerivedTest, ProductsAndLogs) {
+  Dataset d({"X", "Y"}, 1);
+  d.set_value(0, 0, 2);
+  d.set_value(0, 1, 3);
+  Dataset aug = WithDerivedAttributes(
+      d, {.squares = false, .pairwise_products = true, .logs = true});
+  EXPECT_EQ(aug.num_attributes(), 5);  // X, Y, X*Y, log1p(X), log1p(Y)
+  EXPECT_DOUBLE_EQ(aug.value(0, 2), 6);
+  EXPECT_DOUBLE_EQ(aug.value(0, 3), std::log1p(2.0));
+}
+
+}  // namespace
+}  // namespace rankhow

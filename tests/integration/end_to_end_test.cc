@@ -1,0 +1,190 @@
+/// End-to-end integration tests: the full pipeline from data generation
+/// through seeding, exact solving, SYM-GD, competitors, and exact
+/// verification — the same paths the benchmark harnesses exercise.
+
+#include <gtest/gtest.h>
+
+#include "baselines/adarank.h"
+#include "baselines/linear_regression.h"
+#include "baselines/ordinal_regression.h"
+#include "baselines/sampling.h"
+#include "core/rankhow.h"
+#include "core/seeding.h"
+#include "core/sym_gd.h"
+#include "data/csrankings.h"
+#include "data/derived.h"
+#include "data/nba.h"
+#include "data/synthetic.h"
+#include "ranking/score_ranking.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig NbaEps() {
+  // The paper's NBA settings (normalized data): ε = 5e-5, ε1 = 1e-4, ε2 = 0.
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-5;
+  eps.eps1 = 1e-4;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+TEST(EndToEndTest, MvpCaseStudyPipeline) {
+  // Scaled-down Sec. VI-B: simulate seasons, hold the MVP vote, solve OPT
+  // over the vote receivers, verify, then explore with a constraint.
+  NbaData nba = GenerateNba({.num_tuples = 3000, .seed = 42});
+  MvpVoteResult mvp = SimulateMvpVote(nba, 100, 7);
+  ASSERT_GE(mvp.ranking.k(), 5);
+
+  Dataset voted = mvp.voted_table;
+  voted.NormalizeMinMax();
+  RankHowOptions options;
+  options.eps = NbaEps();
+  // Enough for a good incumbent on this m=8 instance; proving optimality
+  // can take much longer and is exercised by bench_case_study_mvp instead.
+  options.time_limit_seconds = 15;
+  RankHow solver(voted, mvp.ranking, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->verification.has_value());
+  EXPECT_TRUE(result->verification->consistent);
+  // The panel votes are driven by MP·PER which correlates with the stats:
+  // a small per-tuple error is expected.
+  EXPECT_LE(result->error, 3 * mvp.ranking.k());
+
+  // Example-1-style exploration: demand scoring weight on PTS.
+  int pts = *voted.AttributeIndex("PTS");
+  RankHow constrained(voted, mvp.ranking, options);
+  constrained.problem().constraints.AddMinWeight(pts, 0.1, "pts>=0.1");
+  auto constrained_result = constrained.Solve();
+  ASSERT_TRUE(constrained_result.ok())
+      << constrained_result.status().ToString();
+  EXPECT_GE(constrained_result->function.weights[pts], 0.1 - 1e-6);
+  EXPECT_GE(constrained_result->error, result->error);
+}
+
+TEST(EndToEndTest, SymGdWithOrdinalSeedOnCsRankings) {
+  CsRankingsData cs = GenerateCsRankings({.num_institutions = 150,
+                                          .num_areas = 8, .seed = 3});
+  Dataset data = cs.table;
+  data.NormalizeMinMax();
+  Ranking given = Ranking::FromScores(cs.default_scores, 10);
+
+  auto seed = OrdinalRegressionSeed(data, given, 1e-4);
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+
+  SymGdOptions options;
+  options.cell_size = 0.2;
+  options.adaptive = true;
+  options.time_budget_seconds = 15;
+  options.solver.eps = NbaEps();
+  SymGd symgd(data, given, options);
+  auto result = symgd.Run(*seed);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  long seed_error = PositionError(data, given, *seed, NbaEps().tie_eps);
+  EXPECT_LE(result->error, seed_error);
+}
+
+TEST(EndToEndTest, RankHowBeatsAllCompetitorsOnSyntheticOpt) {
+  // The Fig-3 "big picture" shape in miniature: the exact solver's verified
+  // error lower-bounds every competitor.
+  SyntheticSpec spec;
+  spec.num_tuples = 60;
+  spec.num_attributes = 4;
+  spec.distribution = SyntheticDistribution::kAntiCorrelated;
+  spec.seed = 11;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 3, 6);
+
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  RankHowOptions options;
+  options.eps = eps;
+  options.time_limit_seconds = 30;
+  RankHow solver(data, given, options);
+  auto exact = solver.Solve();
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  ASSERT_TRUE(exact->proven_optimal);
+
+  auto lin = FitLinearRegression(data, given);
+  ASSERT_TRUE(lin.ok());
+  EXPECT_LE(exact->error,
+            PositionError(data, given, lin->weights, eps.tie_eps));
+
+  auto ord = FitOrdinalRegression(data, given);
+  ASSERT_TRUE(ord.ok());
+  EXPECT_LE(exact->error,
+            PositionError(data, given, ord->weights, eps.tie_eps));
+
+  auto ada = FitAdaRank(data, given);
+  ASSERT_TRUE(ada.ok());
+  EXPECT_LE(exact->error,
+            PositionError(data, given, ada->weights, eps.tie_eps));
+
+  SamplingOptions sampling;
+  sampling.time_budget_seconds = 0.2;
+  sampling.seed = 5;
+  auto smp = RunSampling(data, given, sampling);
+  ASSERT_TRUE(smp.ok());
+  EXPECT_LE(exact->error, smp->error);
+}
+
+TEST(EndToEndTest, DerivedAttributesNeverHurtTheOptimum) {
+  // Sec. VI-F: augmenting with A_i^2 can only improve (more attributes =
+  // supersets of feasible functions; RankHow error is non-increasing in m).
+  SyntheticSpec spec;
+  spec.num_tuples = 40;
+  spec.num_attributes = 2;
+  spec.seed = 9;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 4, 5);
+
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  RankHowOptions options;
+  options.eps = eps;
+
+  RankHow plain(data, given, options);
+  auto base = plain.Solve();
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  Dataset augmented = WithDerivedAttributes(data, {.squares = true});
+  RankHow extended(augmented, given, options);
+  auto aug = extended.Solve();
+  ASSERT_TRUE(aug.ok()) << aug.status().ToString();
+  EXPECT_LE(aug->error, base->error);
+}
+
+TEST(EndToEndTest, PositionWindowFitsMidRankingSlice) {
+  // Sec. I: a university ranked 50th wants a function fit to positions
+  // 30-50 only.
+  SyntheticSpec spec;
+  spec.num_tuples = 80;
+  spec.num_attributes = 3;
+  spec.seed = 13;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking full = Ranking::FromScores(data.Scores({0.5, 0.3, 0.2}), 60, 0.0);
+  auto window = full.Window(30, 40);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  ASSERT_GE(window->k(), 5);
+
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  RankHowOptions options;
+  options.eps = eps;
+  options.time_limit_seconds = 30;
+  RankHow solver(data, *window, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The slice is linearly realizable (it came from a linear function).
+  EXPECT_EQ(result->error, 0);
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,355 @@
+// Failure injection: adversarial, degenerate, and malformed inputs must
+// produce crisp Status errors or well-defined results — never silent
+// garbage. Each test documents the contract the public API keeps when the
+// world misbehaves.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baselines/ordinal_regression.h"
+#include "core/rankhow.h"
+#include "core/sym_gd.h"
+#include "data/dataset.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+Dataset TwoByTwo(double a00, double a01, double a10, double a11) {
+  Dataset d({"A", "B"}, 2);
+  d.set_value(0, 0, a00);
+  d.set_value(0, 1, a01);
+  d.set_value(1, 0, a10);
+  d.set_value(1, 1, a11);
+  return d;
+}
+
+TEST(FailureInjectionTest, NanAttributeValueRejected) {
+  Dataset d = TwoByTwo(1, 2, std::nan(""), 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, InfiniteAttributeValueRejected) {
+  Dataset d = TwoByTwo(1, 2, std::numeric_limits<double>::infinity(), 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  EXPECT_FALSE(solver.Solve().ok());
+}
+
+TEST(FailureInjectionTest, EpsilonOrderingViolationRejected) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps.tie_eps = 1e-3;  // tie_eps >= eps1 breaks Lemma 2/3 ordering
+  options.eps.eps1 = 1e-6;
+  options.eps.eps2 = 0.0;
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, DatasetRankingSizeMismatchRejected) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2, kUnranked});  // 3 tuples vs 2
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  EXPECT_FALSE(solver.Solve().ok());
+}
+
+TEST(FailureInjectionTest, PositionConstraintOnUnknownTupleRejected) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  solver.problem().position_constraints.push_back({99, 1, 1});
+  EXPECT_FALSE(solver.Solve().ok());
+}
+
+TEST(FailureInjectionTest, EmptyPositionRangeRejected) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  solver.problem().position_constraints.push_back({0, 3, 2});  // max < min
+  EXPECT_FALSE(solver.Solve().ok());
+}
+
+TEST(FailureInjectionTest, SelfOrderConstraintRejected) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  solver.problem().order_constraints.push_back({1, 1});
+  EXPECT_FALSE(solver.Solve().ok());
+}
+
+// Contradictory weight predicates must surface kInfeasible on every
+// strategy, not hang or fabricate a function.
+class InfeasiblePredicateTest
+    : public ::testing::TestWithParam<SolveStrategy> {};
+
+TEST_P(InfeasiblePredicateTest, ReportsInfeasible) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = GetParam();
+  options.use_presolve = false;
+  RankHow solver(d, given, options);
+  solver.problem().constraints.AddMinWeight(0, 0.7);
+  solver.problem().constraints.AddMinWeight(1, 0.7);  // sums past 1
+  auto result = solver.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, InfeasiblePredicateTest,
+    ::testing::Values(SolveStrategy::kIndicatorMilp, SolveStrategy::kSpatial,
+                      SolveStrategy::kSatBinarySearch),
+    [](const ::testing::TestParamInfo<SolveStrategy>& info) {
+      switch (info.param) {
+        case SolveStrategy::kIndicatorMilp:
+          return "IndicatorMilp";
+        case SolveStrategy::kSpatial:
+          return "Spatial";
+        case SolveStrategy::kSatBinarySearch:
+          return "SatBinarySearch";
+        default:
+          return "Other";
+      }
+    });
+
+// Contradictory order constraints (a > b and b > a) are detected as
+// infeasible by every strategy.
+TEST(FailureInjectionTest, ContradictoryOrderConstraintsInfeasible) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  for (SolveStrategy strategy :
+       {SolveStrategy::kIndicatorMilp, SolveStrategy::kSpatial}) {
+    RankHowOptions options;
+    options.eps = TestEps();
+    options.strategy = strategy;
+    options.use_presolve = false;
+    RankHow solver(d, given, options);
+    solver.problem().order_constraints.push_back({0, 1});
+    solver.problem().order_constraints.push_back({1, 0});
+    auto result = solver.Solve();
+    ASSERT_FALSE(result.ok()) << SolveStrategyName(strategy);
+    EXPECT_EQ(result.status().code(), StatusCode::kInfeasible)
+        << SolveStrategyName(strategy);
+  }
+}
+
+// A dataset where every tuple is identical: every weight vector scores all
+// tuples equally, everything ties at position 1. The optimum is the exact
+// error of that all-tied ranking — finite, computable, no crash.
+TEST(FailureInjectionTest, AllIdenticalTuples) {
+  Dataset d({"A", "B"}, 4);
+  for (int t = 0; t < 4; ++t) {
+    d.set_value(t, 0, 3.0);
+    d.set_value(t, 1, 7.0);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // All four tie at 1: per-tuple errors |1-1|+|1-2|+|1-3|+|1-4| = 6.
+  EXPECT_EQ(result->error, 6);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+// A single attribute (m = 1): the simplex degenerates to the point w = (1).
+TEST(FailureInjectionTest, SingleAttributeDegenerateSimplex) {
+  Dataset d({"A"}, 3);
+  d.set_value(0, 0, 3);
+  d.set_value(1, 0, 2);
+  d.set_value(2, 0, 1);
+  Ranking given = MustCreate({1, 2, 3});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_DOUBLE_EQ(result->function.weights[0], 1.0);
+}
+
+// Data at wildly mismatched magnitudes (1e-8 vs 1e8 columns): the solver
+// must either return a verified answer or flag it, never an unverified lie.
+TEST(FailureInjectionTest, ExtremeMagnitudeColumnsStayVerified) {
+  Dataset d({"tiny", "huge"}, 4);
+  double tiny[] = {4e-8, 3e-8, 2e-8, 1e-8};
+  double huge[] = {1e8, 2e8, 3e8, 4e8};
+  for (int t = 0; t < 4; ++t) {
+    d.set_value(t, 0, tiny[t]);
+    d.set_value(t, 1, huge[t]);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4});
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-3;
+  options.eps.eps1 = 1e-2;
+  options.eps.eps2 = 0.0;
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->verification.has_value());
+  // The exact (rational-arithmetic) error is authoritative; the claim must
+  // match it or be flagged inconsistent.
+  if (result->verification->consistent) {
+    EXPECT_EQ(result->error, result->verification->exact_error);
+  } else {
+    EXPECT_NE(result->claimed_error, result->verification->exact_error);
+  }
+}
+
+// k == n: every tuple is ranked; dominance fixing has no ⊥ tail to exploit.
+TEST(FailureInjectionTest, FullRankingKEqualsN) {
+  Dataset d({"A", "B"}, 5);
+  double a[] = {5, 4, 3, 2, 1};
+  double b[] = {1, 2, 3, 4, 5};
+  for (int t = 0; t < 5; ++t) {
+    d.set_value(t, 0, a[t]);
+    d.set_value(t, 1, b[t]);
+  }
+  Ranking given = MustCreate({1, 2, 3, 4, 5});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->error, 0);
+}
+
+// An entirely tied given ranking [1,1,1] is valid and trivially realized by
+// any weight vector only when tuples tie; with distinct tuples the optimum
+// must pay for the forced strict order.
+TEST(FailureInjectionTest, AllTiedGivenRanking) {
+  Dataset d({"A", "B"}, 3);
+  d.set_value(0, 0, 3);
+  d.set_value(0, 1, 1);
+  d.set_value(1, 0, 2);
+  d.set_value(1, 1, 2);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 3);
+  Ranking given = MustCreate({1, 1, 1});
+  RankHowOptions options;
+  options.eps = TestEps();
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Any distinct-score outcome displaces two tuples by >= 1 each; ties can
+  // realize it exactly when a weight vector equalizes the three scores
+  // within tie_eps (w = (0.5, 0.5) scores all three at 2).
+  EXPECT_LE(result->error, 2);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(FailureInjectionTest, SymGdRejectsBadCellSize) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  SymGdOptions options;
+  options.solver.eps = TestEps();
+  options.cell_size = 0.0;  // must be in (0, 2)
+  SymGd symgd(d, given, options);
+  EXPECT_FALSE(symgd.Run({0.5, 0.5}).ok());
+  options.cell_size = 2.5;
+  SymGd symgd2(d, given, options);
+  EXPECT_FALSE(symgd2.Run({0.5, 0.5}).ok());
+}
+
+TEST(FailureInjectionTest, SymGdRejectsOffSimplexSeed) {
+  Dataset d = TwoByTwo(1, 2, 2, 1);
+  Ranking given = MustCreate({1, 2});
+  SymGdOptions options;
+  options.solver.eps = TestEps();
+  SymGd symgd(d, given, options);
+  EXPECT_FALSE(symgd.Run({0.9, 0.9}).ok());   // sums to 1.8
+  EXPECT_FALSE(symgd.Run({-0.2, 1.2}).ok());  // negative weight
+}
+
+TEST(FailureInjectionTest, OrdinalRegressionRequiresUntiedRanking) {
+  // Srinivasan's LP (the original, without our tie extension) rejects tied
+  // given rankings; with ties allowed it must succeed.
+  Dataset d({"A", "B"}, 3);
+  d.set_value(0, 0, 3);
+  d.set_value(0, 1, 1);
+  d.set_value(1, 0, 2);
+  d.set_value(1, 1, 2);
+  d.set_value(2, 0, 1);
+  d.set_value(2, 1, 3);
+  Ranking tied = MustCreate({1, 1, 3});
+  OrdinalRegressionOptions options;
+  options.support_ties = false;
+  EXPECT_FALSE(FitOrdinalRegression(d, tied, options).ok());
+  options.support_ties = true;
+  EXPECT_TRUE(FitOrdinalRegression(d, tied, options).ok());
+}
+
+TEST(FailureInjectionTest, MalformedCsvRejected) {
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());     // arity mismatch
+  EXPECT_FALSE(ParseCsv("a,b\n\"1,2\n").ok());     // unterminated quote
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/x.csv").ok());
+}
+
+TEST(FailureInjectionTest, TimeLimitZeroPointZeroOneStillReturns) {
+  // A pathologically small budget must still produce a structured outcome:
+  // either an incumbent (unproven) or a clean resource-exhausted error.
+  Dataset d({"A", "B", "C"}, 40);
+  Rng rng(5);
+  for (int t = 0; t < 40; ++t) {
+    for (int a = 0; a < 3; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  std::vector<double> scores(40);
+  for (int t = 0; t < 40; ++t) {
+    scores[t] = d.value(t, 0) * d.value(t, 0) + 0.3 * d.value(t, 2);
+  }
+  Ranking given = Ranking::FromScores(scores, 10, 0.0);
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.time_limit_seconds = 0.01;
+  RankHow solver(d, given, options);
+  auto result = solver.Solve();
+  if (result.ok()) {
+    EXPECT_GE(result->error, 0);
+    ASSERT_TRUE(result->verification.has_value());
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+}  // namespace
+}  // namespace rankhow

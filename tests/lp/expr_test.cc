@@ -1,0 +1,57 @@
+#include "lp/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace rankhow {
+namespace {
+
+TEST(LinearExprTest, MergesDuplicateTerms) {
+  LinearExpr e;
+  e.AddTerm(2, 1.5).AddTerm(0, 1.0).AddTerm(2, 0.5);
+  ASSERT_EQ(e.terms().size(), 2u);
+  EXPECT_EQ(e.terms()[0].first, 0);
+  EXPECT_DOUBLE_EQ(e.terms()[0].second, 1.0);
+  EXPECT_EQ(e.terms()[1].first, 2);
+  EXPECT_DOUBLE_EQ(e.terms()[1].second, 2.0);
+}
+
+TEST(LinearExprTest, DropsCancelledTerms) {
+  LinearExpr e = LinearExpr::Term(1, 2.0) - LinearExpr::Term(1, 2.0);
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.CoeffOf(1), 0.0);
+}
+
+TEST(LinearExprTest, ArithmeticAndEvaluate) {
+  LinearExpr a = LinearExpr::Term(0, 1.0) + LinearExpr::Term(1, 2.0);
+  LinearExpr b = LinearExpr::Term(1, -1.0);
+  b.AddConstant(3.0);
+  LinearExpr c = a + b;  // x0 + x1 + 3
+  std::vector<double> x = {2.0, 5.0};
+  EXPECT_DOUBLE_EQ(c.Evaluate(x), 10.0);
+  EXPECT_DOUBLE_EQ((c * 2.0).Evaluate(x), 20.0);
+  EXPECT_DOUBLE_EQ((a - a).Evaluate(x), 0.0);
+}
+
+TEST(LinearExprTest, ScaleByZeroClearsTerms) {
+  LinearExpr a = LinearExpr::Term(0, 1.0);
+  a.AddConstant(4.0);
+  LinearExpr z = a * 0.0;
+  EXPECT_TRUE(z.empty());
+  EXPECT_DOUBLE_EQ(z.constant(), 0.0);
+}
+
+TEST(LinearExprTest, ToStringReadable) {
+  LinearExpr e = LinearExpr::Term(1, 0.3) - LinearExpr::Term(4, 0.7);
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("0.3*x1"), std::string::npos);
+  EXPECT_NE(s.find("- 0.7*x4"), std::string::npos);
+}
+
+TEST(RelOpTest, Names) {
+  EXPECT_STREQ(RelOpToString(RelOp::kLe), "<=");
+  EXPECT_STREQ(RelOpToString(RelOp::kGe), ">=");
+  EXPECT_STREQ(RelOpToString(RelOp::kEq), "=");
+}
+
+}  // namespace
+}  // namespace rankhow

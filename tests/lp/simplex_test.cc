@@ -1,0 +1,262 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+// Classic textbook LP: max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18.
+// Optimum (2, 6) with objective 36.
+TEST(SimplexTest, TextbookMaximization) {
+  LpModel m;
+  int x = m.AddVariable(0, kInfinity, "x");
+  int y = m.AddVariable(0, kInfinity, "y");
+  m.AddConstraint(LinearExpr::Term(x, 1), RelOp::kLe, 4);
+  m.AddConstraint(LinearExpr::Term(y, 2), RelOp::kLe, 12);
+  m.AddConstraint(LinearExpr::Term(x, 3) + LinearExpr::Term(y, 2),
+                  RelOp::kLe, 18);
+  m.SetObjective(LinearExpr::Term(x, 3) + LinearExpr::Term(y, 5),
+                 ObjectiveSense::kMaximize);
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 36.0, 1e-6);
+  EXPECT_NEAR(sol->values[x], 2.0, 1e-6);
+  EXPECT_NEAR(sol->values[y], 6.0, 1e-6);
+}
+
+TEST(SimplexTest, MinimizationWithEqualityAndGe) {
+  // min x + 2y s.t. x + y = 10, x >= 3, y >= 2  ->  x=8, y=2, obj=12.
+  LpModel m;
+  int x = m.AddVariable(3, kInfinity, "x");
+  int y = m.AddVariable(2, kInfinity, "y");
+  m.AddConstraint(LinearExpr::Term(x, 1) + LinearExpr::Term(y, 1),
+                  RelOp::kEq, 10);
+  m.SetObjective(LinearExpr::Term(x, 1) + LinearExpr::Term(y, 2));
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 12.0, 1e-6);
+  EXPECT_NEAR(sol->values[x], 8.0, 1e-6);
+  EXPECT_NEAR(sol->values[y], 2.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LpModel m;
+  int x = m.AddVariable(0, kInfinity);
+  m.AddConstraint(LinearExpr::Term(x, 1), RelOp::kGe, 5);
+  m.AddConstraint(LinearExpr::Term(x, 1), RelOp::kLe, 3);
+  m.SetObjective(LinearExpr::Term(x, 1));
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpModel m;
+  int x = m.AddVariable(0, kInfinity);
+  m.AddConstraint(LinearExpr::Term(x, 1), RelOp::kGe, 1);
+  m.SetObjective(LinearExpr::Term(x, 1), ObjectiveSense::kMaximize);
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, HandlesUpperBoundedVariables) {
+  // max x + y with x in [0, 2], y in [0, 3] -> 5.
+  LpModel m;
+  int x = m.AddVariable(0, 2);
+  int y = m.AddVariable(0, 3);
+  m.SetObjective(LinearExpr::Term(x, 1) + LinearExpr::Term(y, 1),
+                 ObjectiveSense::kMaximize);
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 5.0, 1e-6);
+}
+
+TEST(SimplexTest, HandlesFreeVariables) {
+  // min x s.t. x >= -7 as a row (variable itself unbounded) -> -7.
+  LpModel m;
+  int x = m.AddVariable(-kInfinity, kInfinity, "free");
+  m.AddConstraint(LinearExpr::Term(x, 1), RelOp::kGe, -7);
+  m.SetObjective(LinearExpr::Term(x, 1));
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -7.0, 1e-6);
+  EXPECT_NEAR(sol->values[x], -7.0, 1e-6);
+}
+
+TEST(SimplexTest, HandlesNegativeUpperBoundOnlyVariable) {
+  // Variable with (-inf, -2]: max x -> -2.
+  LpModel m;
+  int x = m.AddVariable(-kInfinity, -2);
+  m.SetObjective(LinearExpr::Term(x, 1), ObjectiveSense::kMaximize);
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->values[x], -2.0, 1e-6);
+}
+
+TEST(SimplexTest, FixedVariable) {
+  LpModel m;
+  int x = m.AddVariable(2.5, 2.5, "fixed");
+  int y = m.AddVariable(0, kInfinity);
+  m.AddConstraint(LinearExpr::Term(x, 1) + LinearExpr::Term(y, 1),
+                  RelOp::kLe, 10);
+  m.SetObjective(LinearExpr::Term(y, 1), ObjectiveSense::kMaximize);
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->values[x], 2.5, 1e-6);
+  EXPECT_NEAR(sol->objective, 7.5, 1e-6);
+}
+
+TEST(SimplexTest, ExpressionConstantsFoldIntoRhs) {
+  // (x + 5) <= 7  ->  x <= 2.
+  LpModel m;
+  int x = m.AddVariable(0, kInfinity);
+  LinearExpr lhs = LinearExpr::Term(x, 1);
+  lhs.AddConstant(5);
+  m.AddConstraint(lhs, RelOp::kLe, 7);
+  m.SetObjective(LinearExpr::Term(x, 1), ObjectiveSense::kMaximize);
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->values[x], 2.0, 1e-6);
+}
+
+TEST(SimplexTest, ObjectiveConstantIncluded) {
+  LpModel m;
+  int x = m.AddVariable(0, 1);
+  LinearExpr obj = LinearExpr::Term(x, 1);
+  obj.AddConstant(100);
+  m.SetObjective(obj, ObjectiveSense::kMinimize);
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 100.0, 1e-6);
+}
+
+TEST(SimplexTest, EmptyModelWithConstantObjective) {
+  LpModel m;
+  m.SetObjective(LinearExpr(42.0));
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->objective, 42.0);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Beale-style degenerate LP (rhs of 0 on two rows invites cycling under
+  // naive pricing). Optimum: x1 = x3 = 1, x2 = x4 = 0, objective -0.77
+  // (second row gives x1 <= 24*x2 + x3; raising x2 never pays off at +150).
+  LpModel m;
+  int x1 = m.AddVariable(0, kInfinity);
+  int x2 = m.AddVariable(0, kInfinity);
+  int x3 = m.AddVariable(0, kInfinity);
+  int x4 = m.AddVariable(0, kInfinity);
+  LinearExpr r1 = LinearExpr::Term(x1, 0.25) - LinearExpr::Term(x2, 8) -
+                  LinearExpr::Term(x3, 1) + LinearExpr::Term(x4, 9);
+  LinearExpr r2 = LinearExpr::Term(x1, 0.5) - LinearExpr::Term(x2, 12) -
+                  LinearExpr::Term(x3, 0.5) + LinearExpr::Term(x4, 3);
+  LinearExpr r3 = LinearExpr::Term(x3, 1);
+  m.AddConstraint(r1, RelOp::kLe, 0);
+  m.AddConstraint(r2, RelOp::kLe, 0);
+  m.AddConstraint(r3, RelOp::kLe, 1);
+  m.SetObjective(LinearExpr::Term(x1, -0.75) + LinearExpr::Term(x2, 150) +
+                 LinearExpr::Term(x3, -0.02) + LinearExpr::Term(x4, 6));
+  auto sol = SimplexSolver().Solve(m);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -0.77, 1e-6);
+  EXPECT_TRUE(m.IsFeasible(sol->values, 1e-6));
+}
+
+TEST(SimplexTest, FindFeasiblePointOnSimplexConstraints) {
+  LpModel m;
+  std::vector<int> w(4);
+  LinearExpr sum;
+  for (int i = 0; i < 4; ++i) {
+    w[i] = m.AddVariable(0, 1);
+    sum += LinearExpr::Term(w[i], 1);
+  }
+  m.AddConstraint(sum, RelOp::kEq, 1);
+  m.AddConstraint(LinearExpr::Term(w[0], 1), RelOp::kGe, 0.3);
+  auto pt = SimplexSolver().FindFeasiblePoint(m);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_GE((*pt)[0], 0.3 - 1e-9);
+  double total = 0;
+  for (double v : *pt) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// Property test: on random feasible bounded LPs, the solver returns a point
+// that is (a) feasible and (b) at least as good as many random feasible
+// points (checks optimality direction without a reference solver).
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexPropertyTest, OptimumDominatesRandomFeasiblePoints) {
+  Rng rng(GetParam());
+  const int m_dim = static_cast<int>(rng.NextInt(2, 6));
+
+  LpModel model;
+  LinearExpr sum;
+  std::vector<int> vars(m_dim);
+  for (int i = 0; i < m_dim; ++i) {
+    vars[i] = model.AddVariable(0, 1);
+    sum += LinearExpr::Term(vars[i], 1);
+  }
+  model.AddConstraint(sum, RelOp::kEq, 1);  // simplex: always feasible
+  // A few random halfspace cuts through the simplex centroid (keeps the
+  // centroid feasible, so the LP stays feasible).
+  std::vector<std::vector<double>> cuts;
+  int n_cuts = static_cast<int>(rng.NextInt(0, 4));
+  for (int c = 0; c < n_cuts; ++c) {
+    std::vector<double> a(m_dim);
+    LinearExpr e;
+    double centroid_lhs = 0;
+    for (int i = 0; i < m_dim; ++i) {
+      a[i] = rng.NextGaussian();
+      e += LinearExpr::Term(vars[i], a[i]);
+      centroid_lhs += a[i] / m_dim;
+    }
+    model.AddConstraint(e, RelOp::kLe, centroid_lhs + 0.1);
+    cuts.push_back(a);
+  }
+  std::vector<double> obj(m_dim);
+  LinearExpr objective;
+  for (int i = 0; i < m_dim; ++i) {
+    obj[i] = rng.NextGaussian();
+    objective += LinearExpr::Term(vars[i], obj[i]);
+  }
+  model.SetObjective(objective, ObjectiveSense::kMinimize);
+
+  auto sol = SimplexSolver().Solve(model);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_TRUE(model.IsFeasible(sol->values, 1e-6));
+
+  // No random feasible point may beat the reported optimum.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> w = rng.NextSimplexPoint(m_dim);
+    bool ok = true;
+    for (size_t c = 0; c < cuts.size(); ++c) {
+      double lhs = 0;
+      double centroid_lhs = 0;
+      for (int i = 0; i < m_dim; ++i) {
+        lhs += cuts[c][i] * w[i];
+        centroid_lhs += cuts[c][i] / m_dim;
+      }
+      if (lhs > centroid_lhs + 0.1) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    double value = 0;
+    for (int i = 0; i < m_dim; ++i) value += obj[i] * w[i];
+    EXPECT_GE(value, sol->objective - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace rankhow

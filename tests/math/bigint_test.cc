@@ -1,0 +1,198 @@
+#include "math/bigint.h"
+#include <cmath>
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ((-zero).ToString(), "0");
+  EXPECT_EQ(zero.BitLength(), 0);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456789},
+                    int64_t{-987654321012345678}, INT64_MAX, INT64_MIN}) {
+    BigInt b(v);
+    int64_t back = 0;
+    ASSERT_TRUE(b.FitsInt64(&back)) << v;
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(BigIntTest, StringRoundTrip) {
+  const char* kValues[] = {"0", "1", "-1", "4294967296", "-4294967297",
+                           "123456789012345678901234567890"};
+  for (const char* s : kValues) {
+    EXPECT_EQ(BigInt::FromString(s).ToString(), s);
+  }
+}
+
+TEST(BigIntTest, AdditionMatchesInt64) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t a = rng.NextInt(-1000000000, 1000000000);
+    int64_t b = rng.NextInt(-1000000000, 1000000000);
+    int64_t sum = 0;
+    ASSERT_TRUE((BigInt(a) + BigInt(b)).FitsInt64(&sum));
+    EXPECT_EQ(sum, a + b);
+  }
+}
+
+TEST(BigIntTest, MultiplicationMatchesInt64) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t a = rng.NextInt(-3000000000LL, 3000000000LL);
+    int64_t b = rng.NextInt(-3000000, 3000000);
+    int64_t prod = 0;
+    ASSERT_TRUE((BigInt(a) * BigInt(b)).FitsInt64(&prod));
+    EXPECT_EQ(prod, a * b);
+  }
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  BigInt a = BigInt::FromString("123456789012345678901234567890");
+  BigInt b = BigInt::FromString("-98765432109876543210");
+  EXPECT_EQ((a * b).ToString(),
+            "-12193263113702179522496570642237463801111263526900");
+}
+
+TEST(BigIntTest, DivModMatchesInt64) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t a = rng.NextInt(-1000000000000LL, 1000000000000LL);
+    int64_t b = rng.NextInt(-100000, 100000);
+    if (b == 0) continue;
+    auto dm = BigInt(a).DivMod(BigInt(b));
+    int64_t q = 0;
+    int64_t r = 0;
+    ASSERT_TRUE(dm.quotient.FitsInt64(&q));
+    ASSERT_TRUE(dm.remainder.FitsInt64(&r));
+    EXPECT_EQ(q, a / b) << a << "/" << b;
+    EXPECT_EQ(r, a % b) << a << "%" << b;
+  }
+}
+
+TEST(BigIntTest, DivModIdentityOnLargeValues) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt(static_cast<int64_t>(rng.Next() >> 1));
+    a = a * BigInt(static_cast<int64_t>(rng.Next() >> 1)) +
+        BigInt(rng.NextInt(-5, 5));
+    BigInt b = BigInt(static_cast<int64_t>(rng.Next() >> 20) + 1);
+    auto dm = a.DivMod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder.Abs(), b.Abs());
+  }
+}
+
+TEST(BigIntTest, ShiftsAreInverse) {
+  BigInt v = BigInt::FromString("987654321098765432109876543210");
+  for (int bits : {1, 31, 32, 33, 64, 100}) {
+    EXPECT_EQ(v.ShiftLeft(bits).ShiftRight(bits), v) << bits;
+  }
+}
+
+TEST(BigIntTest, ShiftLeftMultipliesByPowerOfTwo) {
+  EXPECT_EQ(BigInt(3).ShiftLeft(10), BigInt(3 * 1024));
+  EXPECT_EQ(BigInt(-3).ShiftLeft(2), BigInt(-12));
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  std::vector<BigInt> sorted = {
+      BigInt::FromString("-100000000000000000000"), BigInt(-5), BigInt(0),
+      BigInt(7), BigInt::FromString("100000000000000000000")};
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    for (size_t j = 0; j < sorted.size(); ++j) {
+      EXPECT_EQ(sorted[i].Compare(sorted[j]) < 0, i < j);
+      EXPECT_EQ(sorted[i] == sorted[j], i == j);
+    }
+  }
+}
+
+TEST(BigIntTest, GcdMatchesEuclid) {
+  Rng rng(5);
+  auto gcd64 = [](int64_t a, int64_t b) {
+    a = a < 0 ? -a : a;
+    b = b < 0 ? -b : b;
+    while (b != 0) {
+      int64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  for (int i = 0; i < 500; ++i) {
+    int64_t a = rng.NextInt(-1000000, 1000000);
+    int64_t b = rng.NextInt(-1000000, 1000000);
+    int64_t g = 0;
+    ASSERT_TRUE(BigInt::Gcd(BigInt(a), BigInt(b)).FitsInt64(&g));
+    EXPECT_EQ(g, gcd64(a, b)) << a << "," << b;
+  }
+}
+
+TEST(BigIntTest, GcdWithZero) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(-42)), BigInt(42));
+  EXPECT_EQ(BigInt::Gcd(BigInt(42), BigInt(0)), BigInt(42));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+}
+
+TEST(BigIntTest, CountTrailingZeros) {
+  EXPECT_EQ(BigInt(1).CountTrailingZeros(), 0);
+  EXPECT_EQ(BigInt(8).CountTrailingZeros(), 3);
+  EXPECT_EQ(BigInt(1).ShiftLeft(100).CountTrailingZeros(), 100);
+}
+
+TEST(BigIntTest, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigInt(123456).ToDouble(), 123456.0);
+  BigInt big = BigInt(1).ShiftLeft(100);
+  EXPECT_DOUBLE_EQ(big.ToDouble(), std::ldexp(1.0, 100));
+  EXPECT_DOUBLE_EQ((-big).ToDouble(), -std::ldexp(1.0, 100));
+}
+
+TEST(BigIntTest, FitsInt64Boundaries) {
+  int64_t out = 0;
+  EXPECT_TRUE(BigInt(INT64_MAX).FitsInt64(&out));
+  EXPECT_TRUE(BigInt(INT64_MIN).FitsInt64(&out));
+  EXPECT_FALSE((BigInt(INT64_MAX) + BigInt(1)).FitsInt64(&out));
+  EXPECT_FALSE((BigInt(INT64_MIN) - BigInt(1)).FitsInt64(&out));
+}
+
+// Property sweep: ring axioms on random values.
+class BigIntPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntPropertyTest, RingAxioms) {
+  Rng rng(GetParam());
+  auto random_big = [&rng]() {
+    BigInt v(static_cast<int64_t>(rng.Next()));
+    if (rng.NextBelow(2)) v = v * BigInt(static_cast<int64_t>(rng.Next() >> 8));
+    return v;
+  };
+  BigInt a = random_big();
+  BigInt b = random_big();
+  BigInt c = random_big();
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, BigInt(0));
+  EXPECT_EQ(a + (-a), BigInt(0));
+  EXPECT_EQ(a * BigInt(1), a);
+  EXPECT_EQ(a * BigInt(0), BigInt(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,88 @@
+#include "math/dyadic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+TEST(DyadicTest, FromDoubleRoundTripsExactly) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, 0.1, 3.141592653589793, 1e-300,
+                   -1e300, 2.2250738585072014e-308}) {
+    EXPECT_EQ(Dyadic::FromDouble(v).ToDouble(), v) << v;
+  }
+}
+
+TEST(DyadicTest, ExactAdditionDetectsDoubleRounding) {
+  // In doubles, 0.1 + 0.2 != 0.3; in exact arithmetic the converted values
+  // must reproduce the double discrepancy precisely.
+  Dyadic a = Dyadic::FromDouble(0.1);
+  Dyadic b = Dyadic::FromDouble(0.2);
+  Dyadic c = Dyadic::FromDouble(0.3);
+  EXPECT_NE((a + b).Compare(c), 0);         // exact: 0.1+0.2 != 0.3
+  EXPECT_EQ((a + b).ToDouble(), 0.1 + 0.2); // rounding matches IEEE
+}
+
+TEST(DyadicTest, SignsAndComparison) {
+  Dyadic neg = Dyadic::FromDouble(-2.5);
+  Dyadic pos = Dyadic::FromDouble(1.25);
+  EXPECT_EQ(neg.sign(), -1);
+  EXPECT_EQ(pos.sign(), 1);
+  EXPECT_EQ(Dyadic().sign(), 0);
+  EXPECT_LT(neg, pos);
+  EXPECT_GT(pos, neg);
+  EXPECT_EQ(neg.Abs(), Dyadic::FromDouble(2.5));
+}
+
+TEST(DyadicTest, MultiplicationIsExact) {
+  Dyadic a = Dyadic::FromDouble(0.1);
+  // 0.1 * 3 computed exactly differs from the double 0.30000000000000004
+  // by less than one ulp of the double result but is NOT equal to it.
+  Dyadic three(3);
+  Dyadic exact = a * three;
+  EXPECT_NE(exact.Compare(Dyadic::FromDouble(0.1 * 3)), 0);
+  EXPECT_NEAR(exact.ToDouble(), 0.3, 1e-16);
+}
+
+TEST(DyadicTest, NormalizationKeepsMantissaOdd) {
+  Dyadic v(BigInt(40), 0);  // 40 = 5 * 2^3
+  EXPECT_EQ(v.mantissa(), BigInt(5));
+  EXPECT_EQ(v.exponent(), 3);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 40.0);
+}
+
+TEST(DyadicTest, ZeroHandling) {
+  Dyadic z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ((z + z).sign(), 0);
+  EXPECT_TRUE((Dyadic(5) - Dyadic(5)).is_zero());
+  EXPECT_TRUE((z * Dyadic(7)).is_zero());
+}
+
+class DyadicPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DyadicPropertyTest, FieldLikeAxiomsOnRandomDoubles) {
+  Rng rng(GetParam());
+  double da = rng.NextGaussian() * std::pow(10, rng.NextInt(-8, 8));
+  double db = rng.NextGaussian() * std::pow(10, rng.NextInt(-8, 8));
+  double dc = rng.NextGaussian();
+  Dyadic a = Dyadic::FromDouble(da);
+  Dyadic b = Dyadic::FromDouble(db);
+  Dyadic c = Dyadic::FromDouble(dc);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_TRUE((a - a).is_zero());
+  // Comparison agrees with double comparison (doubles convert exactly).
+  EXPECT_EQ(a.Compare(b), da < db ? -1 : (da > db ? 1 : 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DyadicPropertyTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace rankhow

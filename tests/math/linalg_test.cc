@@ -1,0 +1,149 @@
+#include "math/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+TEST(SolveLinearSystemTest, Solves2x2) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  auto x = SolveLinearSystem(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingular) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
+}
+
+TEST(SolveLinearSystemTest, NeedsPivoting) {
+  // Zero on the initial diagonal requires row exchange.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  Rng rng(1);
+  const int n = 50;
+  const int p = 3;
+  std::vector<double> beta_true = {0.5, -1.25, 2.0};
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    double yi = 0;
+    for (int j = 0; j < p; ++j) {
+      x.at(i, j) = rng.NextGaussian();
+      yi += x.at(i, j) * beta_true[j];
+    }
+    y[i] = yi;
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  for (int j = 0; j < p; ++j) EXPECT_NEAR((*beta)[j], beta_true[j], 1e-9);
+}
+
+TEST(LeastSquaresTest, RidgeFallbackOnCollinearColumns) {
+  Matrix x(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = i + 1.0;
+    x.at(i, 1) = 2.0 * (i + 1.0);  // perfectly collinear
+  }
+  auto beta = LeastSquares(x, {1, 2, 3, 4});
+  ASSERT_TRUE(beta.ok());  // ridge makes it solvable
+  // Fitted values should still reproduce y.
+  auto fitted = x.Times(*beta);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(fitted[i], i + 1.0, 1e-3);
+}
+
+TEST(NnlsTest, ClampsNegativeSolution) {
+  // Unconstrained optimum has a negative coefficient; NNLS must return 0.
+  Matrix x(3, 2);
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 0;
+  x.at(1, 0) = 0;
+  x.at(1, 1) = 1;
+  x.at(2, 0) = 1;
+  x.at(2, 1) = 1;
+  std::vector<double> y = {-1.0, 2.0, 1.0};
+  auto beta = NonNegativeLeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_GE((*beta)[0], 0.0);
+  EXPECT_GE((*beta)[1], 0.0);
+  EXPECT_EQ((*beta)[0], 0.0);
+  EXPECT_NEAR((*beta)[1], 1.5, 1e-9);
+}
+
+TEST(NnlsTest, MatchesOlsWhenOlsIsNonNegative) {
+  Rng rng(2);
+  const int n = 40;
+  const int p = 4;
+  std::vector<double> beta_true = {0.3, 0.7, 0.1, 1.4};
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    double yi = 0;
+    for (int j = 0; j < p; ++j) {
+      x.at(i, j) = std::abs(rng.NextGaussian());
+      yi += x.at(i, j) * beta_true[j];
+    }
+    y[i] = yi;
+  }
+  auto nnls = NonNegativeLeastSquares(x, y);
+  ASSERT_TRUE(nnls.ok());
+  for (int j = 0; j < p; ++j) EXPECT_NEAR((*nnls)[j], beta_true[j], 1e-6);
+}
+
+// Property: NNLS satisfies KKT conditions — beta >= 0, gradient >= -tol,
+// and complementary slackness.
+class NnlsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NnlsPropertyTest, KktConditionsHold) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(rng.NextInt(5, 30));
+  int p = static_cast<int>(rng.NextInt(1, 6));
+  Matrix x(n, p);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < p; ++j) x.at(i, j) = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  auto beta = NonNegativeLeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  std::vector<double> resid = x.Times(*beta);
+  for (int i = 0; i < n; ++i) resid[i] = y[i] - resid[i];
+  std::vector<double> grad = x.TransposeTimes(resid);  // = -∇(0.5||..||²)
+  for (int j = 0; j < p; ++j) {
+    EXPECT_GE((*beta)[j], 0.0);
+    EXPECT_LE(grad[j], 1e-6) << "negative gradient would allow improvement";
+    if ((*beta)[j] > 1e-8) {
+      EXPECT_NEAR(grad[j], 0.0, 1e-6) << "active coefficient not stationary";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,78 @@
+#include "math/rational.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+TEST(RationalTest, NormalizesToLowestTerms) {
+  Rational r(6, -8);
+  EXPECT_EQ(r.ToString(), "-3/4");
+  EXPECT_EQ(Rational(0, 5).ToString(), "0");
+  EXPECT_EQ(Rational(10, 5).ToString(), "2");
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational a(1, 3);
+  Rational b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+}
+
+TEST(RationalTest, FromDoubleIsExact) {
+  // 0.1 as a double is 3602879701896397 / 2^55.
+  Rational r = Rational::FromDouble(0.1);
+  EXPECT_EQ(r.num().ToString(), "3602879701896397");
+  EXPECT_EQ(r.den(), BigInt(1).ShiftLeft(55));
+  EXPECT_DOUBLE_EQ(r.ToDouble(), 0.1);
+}
+
+TEST(RationalTest, ComparisonAvoidsFloatPitfalls) {
+  Rational sum = Rational::FromDouble(0.1) + Rational::FromDouble(0.2);
+  EXPECT_NE(sum, Rational::FromDouble(0.3));
+  EXPECT_GT(sum, Rational::FromDouble(0.3));  // 0.1+0.2 is slightly above
+}
+
+TEST(RationalTest, ToDoubleOnExtremeMagnitudes) {
+  Rational big(BigInt(1).ShiftLeft(700), BigInt(1));
+  EXPECT_DOUBLE_EQ(big.ToDouble(), std::ldexp(1.0, 700));
+  Rational tiny(BigInt(1), BigInt(1).ShiftLeft(700));
+  EXPECT_DOUBLE_EQ(tiny.ToDouble(), std::ldexp(1.0, -700));
+  Rational ratio(BigInt(3).ShiftLeft(600), BigInt(2).ShiftLeft(600));
+  EXPECT_DOUBLE_EQ(ratio.ToDouble(), 1.5);
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  Rng rng(GetParam());
+  auto random_rational = [&rng]() {
+    int64_t num = rng.NextInt(-1000, 1000);
+    int64_t den = rng.NextInt(1, 1000);
+    return Rational(num, den);
+  };
+  Rational a = random_rational();
+  Rational b = random_rational();
+  Rational c = random_rational();
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, Rational(0));
+  if (!b.is_zero()) {
+    EXPECT_EQ(a / b * b, a);
+  }
+  // Compare matches cross-multiplication in double space.
+  EXPECT_EQ(a.Compare(b) < 0, a.ToDouble() < b.ToDouble() - 1e-15 ||
+                                  (a != b && a.ToDouble() <= b.ToDouble()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,126 @@
+#include "math/simplex_box.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+TEST(WeightBoxTest, FullSimplexIntersects) {
+  WeightBox box = WeightBox::FullSimplex(5);
+  EXPECT_TRUE(box.IntersectsSimplex());
+  EXPECT_EQ(box.dim(), 5);
+}
+
+TEST(WeightBoxTest, CellAroundClampsToUnitBox) {
+  WeightBox box = WeightBox::CellAround({0.05, 0.95, 0.0}, 0.2);
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(box.hi[0], 0.15);
+  EXPECT_DOUBLE_EQ(box.lo[1], 0.85);
+  EXPECT_DOUBLE_EQ(box.hi[1], 1.0);
+  EXPECT_DOUBLE_EQ(box.lo[2], 0.0);
+  EXPECT_DOUBLE_EQ(box.hi[2], 0.1);
+}
+
+TEST(WeightBoxTest, DetectsEmptyIntersection) {
+  // All upper bounds tiny: cannot reach sum 1.
+  WeightBox box;
+  box.lo = {0.0, 0.0};
+  box.hi = {0.3, 0.3};
+  EXPECT_FALSE(box.IntersectsSimplex());
+  // Lower bounds exceed 1.
+  box.lo = {0.7, 0.7};
+  box.hi = {1.0, 1.0};
+  EXPECT_FALSE(box.IntersectsSimplex());
+}
+
+TEST(DotRangeTest, FullSimplexIsMinMaxOfCoefficients) {
+  std::vector<double> d = {3.0, -1.5, 0.25};
+  DotRange r = DotRangeOnFullSimplex(d);
+  EXPECT_DOUBLE_EQ(r.min, -1.5);
+  EXPECT_DOUBLE_EQ(r.max, 3.0);
+  auto via_box = DotRangeOnSimplexBox(d, WeightBox::FullSimplex(3));
+  ASSERT_TRUE(via_box.ok());
+  EXPECT_DOUBLE_EQ(via_box->min, -1.5);
+  EXPECT_DOUBLE_EQ(via_box->max, 3.0);
+}
+
+TEST(DotRangeTest, RespectsBoxBounds) {
+  // w1 in [0.4, 1], w2 in [0, 0.6]; d = (0, 1):
+  // min at w2 = 0 (w1=1), max at w2 = 0.6 (w1=0.4).
+  WeightBox box;
+  box.lo = {0.4, 0.0};
+  box.hi = {1.0, 0.6};
+  auto r = DotRangeOnSimplexBox({0.0, 1.0}, box);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->min, 0.0);
+  EXPECT_DOUBLE_EQ(r->max, 0.6);
+}
+
+TEST(DotRangeTest, InfeasibleBoxFails) {
+  WeightBox box;
+  box.lo = {0.0, 0.0};
+  box.hi = {0.2, 0.2};
+  EXPECT_FALSE(DotRangeOnSimplexBox({1.0, 2.0}, box).ok());
+}
+
+TEST(AnyPointTest, ReturnsInteriorFeasiblePoint) {
+  WeightBox box;
+  box.lo = {0.1, 0.2, 0.0};
+  box.hi = {0.5, 0.6, 0.4};
+  auto w = AnyPointOnSimplexBox(box);
+  ASSERT_TRUE(w.ok());
+  double sum = std::accumulate(w->begin(), w->end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_TRUE(box.Contains(*w, 1e-9));
+}
+
+// Property: the greedy exact range bounds every sampled feasible point, and
+// is attained (within tolerance) by some sampled point when sampling densely.
+class DotRangePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DotRangePropertyTest, BoundsAllSimplexPoints) {
+  Rng rng(GetParam());
+  int m = static_cast<int>(rng.NextInt(2, 6));
+  std::vector<double> d(m);
+  for (double& v : d) v = rng.NextGaussian();
+
+  std::vector<double> center = rng.NextSimplexPoint(m);
+  double cell = rng.NextUniform(0.05, 0.8);
+  WeightBox box = WeightBox::CellAround(center, cell);
+  auto range = DotRangeOnSimplexBox(d, box);
+  ASSERT_TRUE(range.ok());
+  EXPECT_LE(range->min, range->max + 1e-12);
+
+  double seen_min = 1e18;
+  double seen_max = -1e18;
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Rejection-sample a point in box ∩ simplex via projection.
+    std::vector<double> w = rng.NextSimplexPoint(m);
+    // Blend toward the center to stay in the box more often.
+    double alpha = rng.NextDouble();
+    for (int i = 0; i < m; ++i) w[i] = alpha * w[i] + (1 - alpha) * center[i];
+    if (!box.Contains(w, 0.0)) continue;
+    double dot = 0;
+    for (int i = 0; i < m; ++i) dot += d[i] * w[i];
+    EXPECT_GE(dot, range->min - 1e-9);
+    EXPECT_LE(dot, range->max + 1e-9);
+    seen_min = std::min(seen_min, dot);
+    seen_max = std::max(seen_max, dot);
+  }
+  // The greedy endpoints are exact optima; sampled extremes can't beat them.
+  if (seen_min < 1e17) {
+    EXPECT_GE(seen_min, range->min - 1e-9);
+    EXPECT_LE(seen_max, range->max + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DotRangePropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,257 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+// 0/1 knapsack as MILP: max sum v_i x_i s.t. sum w_i x_i <= C.
+struct Knapsack {
+  std::vector<double> values;
+  std::vector<double> weights;
+  double capacity;
+};
+
+MilpModel BuildKnapsack(const Knapsack& k) {
+  MilpModel m;
+  LinearExpr weight;
+  LinearExpr value;
+  for (size_t i = 0; i < k.values.size(); ++i) {
+    int x = m.AddBinaryVariable();
+    weight += LinearExpr::Term(x, k.weights[i]);
+    value += LinearExpr::Term(x, k.values[i]);
+  }
+  m.lp().AddConstraint(weight, RelOp::kLe, k.capacity);
+  // BranchAndBound is minimization-only: maximize value == minimize -value.
+  m.lp().SetObjective(value * -1.0, ObjectiveSense::kMinimize);
+  return m;
+}
+
+double BruteForceKnapsack(const Knapsack& k) {
+  const int n = static_cast<int>(k.values.size());
+  double best = 0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double w = 0;
+    double v = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        w += k.weights[i];
+        v += k.values[i];
+      }
+    }
+    if (w <= k.capacity) best = std::max(best, v);
+  }
+  return best;
+}
+
+TEST(BranchAndBoundTest, SolvesSmallKnapsack) {
+  Knapsack k{{10, 13, 7, 8}, {5, 6, 3, 4}, 10};
+  MilpModel m = BuildKnapsack(k);
+  auto result = BranchAndBound().Solve(m);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, -BruteForceKnapsack(k), 1e-6);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(BranchAndBoundTest, RejectsMaximizationSense) {
+  MilpModel m;
+  int x = m.AddBinaryVariable();
+  m.lp().SetObjective(LinearExpr::Term(x, 1), ObjectiveSense::kMaximize);
+  auto result = BranchAndBound().Solve(m);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BranchAndBoundTest, InfeasibleModelReported) {
+  MilpModel m;
+  int x = m.AddBinaryVariable();
+  m.lp().AddConstraint(LinearExpr::Term(x, 1), RelOp::kGe, 2.0);
+  m.lp().SetObjective(LinearExpr::Term(x, 1));
+  auto result = BranchAndBound().Solve(m);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(BranchAndBoundTest, IndicatorDrivenChoice) {
+  // Choose delta to make x large: delta=1 => x >= 3; delta=0 => x <= 1.
+  // max x - 0.5*delta: best is delta=1, x=10 (obj 9.5).
+  MilpModel m;
+  int x = m.lp().AddVariable(0, 10, "x");
+  int d = m.AddBinaryVariable("d");
+  m.AddIndicator({d, true, LinearExpr::Term(x, 1), RelOp::kGe, 3.0, -1});
+  m.AddIndicator({d, false, LinearExpr::Term(x, 1), RelOp::kLe, 1.0, -1});
+  m.lp().SetObjective(LinearExpr::Term(x, -1) + LinearExpr::Term(d, 0.5),
+                      ObjectiveSense::kMinimize);
+  auto result = BranchAndBound().Solve(m);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, -9.5, 1e-6);
+  EXPECT_NEAR(result->values[x], 10.0, 1e-6);
+  EXPECT_NEAR(result->values[d], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, IntegralObjectiveTightensBound) {
+  // Fractional LP bound 2.5 must round up to 3 with integral objective.
+  // min x1 + x2 + x3 (binaries) s.t. x1+x2 >= 1.5 is infeasible at ints...
+  // use: sum of 5 binaries >= 2.5 -> integral optimum 3.
+  MilpModel m;
+  LinearExpr sum;
+  for (int i = 0; i < 5; ++i) sum += LinearExpr::Term(m.AddBinaryVariable(), 1);
+  m.lp().AddConstraint(sum, RelOp::kGe, 2.5);
+  m.lp().SetObjective(sum, ObjectiveSense::kMinimize);
+  BnbOptions opts;
+  opts.objective_is_integral = true;
+  auto result = BranchAndBound(opts).Solve(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 3.0, 1e-6);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(BranchAndBoundTest, WarmStartIncumbentPrunes) {
+  Knapsack k{{10, 13, 7, 8}, {5, 6, 3, 4}, 10};
+  MilpModel m = BuildKnapsack(k);
+  // Pass the known optimum (negated for max) as the initial incumbent: the
+  // solver should still prove optimality without improving it.
+  BnbOptions opts;
+  opts.initial_incumbent = -BruteForceKnapsack(k);
+  opts.initial_values = std::vector<double>(4, 0.0);
+  auto result = BranchAndBound(opts).Solve(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, -BruteForceKnapsack(k), 1e-6);
+}
+
+TEST(BranchAndBoundTest, NodeLimitReturnsIncumbentUnproven) {
+  Rng rng(7);
+  Knapsack k;
+  for (int i = 0; i < 14; ++i) {
+    k.values.push_back(rng.NextUniform(1, 20));
+    k.weights.push_back(rng.NextUniform(1, 10));
+  }
+  k.capacity = 30;
+  MilpModel m = BuildKnapsack(k);
+  BnbOptions opts;
+  opts.max_nodes = 3;  // far too few to finish
+  auto result = BranchAndBound(opts).Solve(m);
+  // Either found some incumbent (unproven) or exhausted resources.
+  if (result.ok()) {
+    EXPECT_LE(result->stats.nodes_explored, 3);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(BranchAndBoundTest, PrimalHeuristicSuppliesIncumbent) {
+  Knapsack k{{10, 13, 7, 8}, {5, 6, 3, 4}, 10};
+  MilpModel m = BuildKnapsack(k);
+  int heuristic_calls = 0;
+  BranchAndBound solver;
+  solver.SetPrimalHeuristic([&](const std::vector<double>& lp_values)
+                                -> std::optional<PrimalCandidate> {
+    ++heuristic_calls;
+    // Round down: always feasible for knapsack (weights positive).
+    std::vector<double> x(lp_values.size());
+    double value = 0;
+    double weight = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      x[i] = lp_values[i] > 0.99 ? 1.0 : 0.0;
+      weight += x[i] * k.weights[i];
+      value += x[i] * k.values[i];
+    }
+    if (weight > k.capacity) return std::nullopt;
+    return PrimalCandidate{-value, x};  // minimization sense
+  });
+  auto result = solver.Solve(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(heuristic_calls, 0);
+  EXPECT_NEAR(result->objective, -BruteForceKnapsack(k), 1e-6);
+}
+
+// Property sweep: random knapsacks vs brute force.
+class BnbKnapsackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BnbKnapsackPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.NextInt(3, 10));
+  Knapsack k;
+  for (int i = 0; i < n; ++i) {
+    k.values.push_back(std::round(rng.NextUniform(1, 30)));
+    k.weights.push_back(std::round(rng.NextUniform(1, 12)));
+  }
+  k.capacity = std::round(rng.NextUniform(5, 4.0 * n));
+  MilpModel m = BuildKnapsack(k);
+  auto result = BranchAndBound().Solve(m);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, -BruteForceKnapsack(k), 1e-6);
+  EXPECT_TRUE(result->proven_optimal);
+  EXPECT_TRUE(m.IsFeasible(result->values, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbKnapsackPropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+// Property sweep: random indicator MILPs vs enumeration of binary patterns.
+class BnbIndicatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BnbIndicatorPropertyTest, MatchesEnumeration) {
+  Rng rng(GetParam() + 1000);
+  const int nb = static_cast<int>(rng.NextInt(1, 4));
+  // One continuous variable x in [0, 10]; each binary adds indicator rows
+  // delta=1 => x >= a_i, delta=0 => x <= b_i (a_i > b_i).
+  MilpModel m;
+  int x = m.lp().AddVariable(0, 10, "x");
+  std::vector<double> a(nb);
+  std::vector<double> b(nb);
+  std::vector<double> cost(nb);
+  std::vector<int> deltas(nb);
+  for (int i = 0; i < nb; ++i) {
+    b[i] = rng.NextUniform(0, 4);
+    a[i] = b[i] + rng.NextUniform(0.5, 4);
+    cost[i] = rng.NextUniform(-3, 3);
+    deltas[i] = m.AddBinaryVariable();
+    m.AddIndicator({deltas[i], true, LinearExpr::Term(x, 1), RelOp::kGe,
+                    a[i], -1});
+    m.AddIndicator({deltas[i], false, LinearExpr::Term(x, 1), RelOp::kLe,
+                    b[i], -1});
+  }
+  LinearExpr obj = LinearExpr::Term(x, -1);  // favor large x
+  for (int i = 0; i < nb; ++i) obj += LinearExpr::Term(deltas[i], cost[i]);
+  m.lp().SetObjective(obj, ObjectiveSense::kMinimize);
+
+  // Enumerate all binary patterns; for each, x range is
+  // [max a_i over active, min b_i over inactive].
+  double best = kInfinity;
+  for (int mask = 0; mask < (1 << nb); ++mask) {
+    double x_lo = 0;
+    double x_hi = 10;
+    double pattern_cost = 0;
+    for (int i = 0; i < nb; ++i) {
+      if (mask & (1 << i)) {
+        x_lo = std::max(x_lo, a[i]);
+        pattern_cost += cost[i];
+      } else {
+        x_hi = std::min(x_hi, b[i]);
+      }
+    }
+    if (x_lo > x_hi) continue;
+    best = std::min(best, -x_hi + pattern_cost);
+  }
+
+  auto result = BranchAndBound().Solve(m);
+  if (!std::isfinite(best)) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+  } else {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NEAR(result->objective, best, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbIndicatorPropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,161 @@
+// Property sweep for the indicator → big-M compilation (the constraint
+// form of Equation (2)). Soundness: a compiled row may never cut off an
+// assignment that satisfies the logical indicator semantics; at integral
+// binaries it must enforce exactly the indicator's implication.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "milp/milp_model.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+struct RandomIndicatorModel {
+  MilpModel model;
+  std::vector<int> continuous;
+  int binary = -1;
+};
+
+RandomIndicatorModel Build(Rng& rng) {
+  RandomIndicatorModel out;
+  const int num_vars = static_cast<int>(rng.NextInt(1, 4));
+  for (int v = 0; v < num_vars; ++v) {
+    double lo = rng.NextUniform(-5, 0);
+    double hi = lo + rng.NextUniform(0.5, 8);
+    out.continuous.push_back(out.model.lp().AddVariable(lo, hi));
+  }
+  out.binary = out.model.AddBinaryVariable("d");
+
+  const int num_indicators = static_cast<int>(rng.NextInt(1, 3));
+  for (int i = 0; i < num_indicators; ++i) {
+    LinearExpr expr;
+    for (int v : out.continuous) {
+      expr.AddTerm(v, rng.NextUniform(-2, 2));
+    }
+    IndicatorConstraint ind;
+    ind.binary_var = out.binary;
+    ind.active_value = rng.NextInt(0, 1) == 1;
+    ind.expr = expr;
+    ind.op = rng.NextInt(0, 1) == 1 ? RelOp::kGe : RelOp::kLe;
+    ind.rhs = rng.NextUniform(-4, 4);
+    ind.big_m = -1;  // auto-derive from variable bounds
+    out.model.AddIndicator(ind);
+  }
+  return out;
+}
+
+std::vector<double> RandomPoint(Rng& rng, const RandomIndicatorModel& m,
+                                double binary_value) {
+  std::vector<double> x(m.model.lp().num_variables(), 0.0);
+  for (int v : m.continuous) {
+    const LpVariable& var = m.model.lp().variable(v);
+    x[v] = rng.NextUniform(var.lower, var.upper);
+  }
+  x[m.binary] = binary_value;
+  return x;
+}
+
+bool LogicallySatisfied(const MilpModel& model, const std::vector<double>& x) {
+  for (const IndicatorConstraint& ind : model.indicators()) {
+    double b = x[ind.binary_var];
+    bool active = std::abs(b - (ind.active_value ? 1.0 : 0.0)) < 1e-9;
+    if (!active) continue;
+    double lhs = ind.expr.Evaluate(x);
+    bool held = ind.op == RelOp::kGe ? lhs >= ind.rhs - 1e-9
+                                     : lhs <= ind.rhs + 1e-9;
+    if (!held) return false;
+  }
+  return true;
+}
+
+class MilpCompilePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Big-M soundness: every logically feasible integral assignment satisfies
+// every compiled row (the relaxation only ever over-approximates).
+TEST_P(MilpCompilePropertyTest, CompiledRowsNeverCutLogicalPoints) {
+  Rng rng(GetParam());
+  RandomIndicatorModel m = Build(rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x =
+        RandomPoint(rng, m, rng.NextInt(0, 1) == 1 ? 1.0 : 0.0);
+    if (!LogicallySatisfied(m.model, x)) continue;
+    for (size_t i = 0; i < m.model.indicators().size(); ++i) {
+      auto row = m.model.CompileIndicator(i);
+      ASSERT_TRUE(row.ok()) << row.status().ToString();
+      double lhs = row->expr.Evaluate(x);
+      bool held = row->op == RelOp::kGe ? lhs >= row->rhs - 1e-7
+                                        : lhs <= row->rhs + 1e-7;
+      EXPECT_TRUE(held) << "compiled row " << i
+                        << " cuts a logically feasible point";
+    }
+  }
+}
+
+// At the ACTIVE binary value the compiled row is exactly the indicator's
+// inequality: violating points must violate the row too.
+TEST_P(MilpCompilePropertyTest, CompiledRowsEnforceAtActiveValue) {
+  Rng rng(GetParam() + 4000);
+  RandomIndicatorModel m = Build(rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (size_t i = 0; i < m.model.indicators().size(); ++i) {
+      const IndicatorConstraint& ind = m.model.indicators()[i];
+      std::vector<double> x =
+          RandomPoint(rng, m, ind.active_value ? 1.0 : 0.0);
+      double lhs = ind.expr.Evaluate(x);
+      bool logical = ind.op == RelOp::kGe ? lhs >= ind.rhs - 1e-9
+                                          : lhs <= ind.rhs + 1e-9;
+      auto row = m.model.CompileIndicator(i);
+      ASSERT_TRUE(row.ok());
+      double row_lhs = row->expr.Evaluate(x);
+      bool row_held = row->op == RelOp::kGe ? row_lhs >= row->rhs - 1e-7
+                                            : row_lhs <= row->rhs + 1e-7;
+      EXPECT_EQ(row_held, logical)
+          << "at the active value the big-M surrogate must coincide with "
+             "the indicator inequality";
+    }
+  }
+}
+
+// IndicatorRowViolation agrees in sign with direct row evaluation.
+TEST_P(MilpCompilePropertyTest, ViolationSignsConsistent) {
+  Rng rng(GetParam() + 9000);
+  RandomIndicatorModel m = Build(rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> x = RandomPoint(rng, m, rng.NextDouble());
+    for (size_t i = 0; i < m.model.indicators().size(); ++i) {
+      auto row = m.model.CompileIndicator(i);
+      ASSERT_TRUE(row.ok());
+      auto v = m.model.IndicatorRowViolation(i, x);
+      ASSERT_TRUE(v.ok());
+      double lhs = row->expr.Evaluate(x);
+      double direct = row->op == RelOp::kGe ? row->rhs - lhs
+                                            : lhs - row->rhs;
+      EXPECT_NEAR(*v, direct, 1e-7);
+    }
+  }
+}
+
+// IsFeasible on the MILP (logical semantics) equals bounds + rows +
+// integrality + LogicallySatisfied, for random points.
+TEST_P(MilpCompilePropertyTest, IsFeasibleMatchesLogicalSemantics) {
+  Rng rng(GetParam() + 13000);
+  RandomIndicatorModel m = Build(rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    double b = rng.NextInt(0, 2) == 2 ? rng.NextDouble()  // fractional
+                                      : static_cast<double>(rng.NextInt(0, 1));
+    std::vector<double> x = RandomPoint(rng, m, b);
+    bool integral = std::abs(b) < 1e-9 || std::abs(b - 1.0) < 1e-9;
+    bool expected = integral && LogicallySatisfied(m.model, x);
+    EXPECT_EQ(m.model.IsFeasible(x, 1e-6), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpCompilePropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace rankhow

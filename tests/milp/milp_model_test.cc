@@ -1,0 +1,84 @@
+#include "milp/milp_model.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+
+namespace rankhow {
+namespace {
+
+TEST(MilpModelTest, BinaryVariablesHaveUnitBounds) {
+  MilpModel m;
+  int b = m.AddBinaryVariable("b");
+  EXPECT_DOUBLE_EQ(m.lp().variable(b).lower, 0.0);
+  EXPECT_DOUBLE_EQ(m.lp().variable(b).upper, 1.0);
+  ASSERT_EQ(m.binary_vars().size(), 1u);
+  EXPECT_EQ(m.binary_vars()[0], b);
+}
+
+TEST(MilpModelTest, RelaxationEnforcesIndicatorAtActiveValue) {
+  // x in [0,10]; delta=1 => x >= 7; delta=0 => x <= 2.
+  MilpModel m;
+  int x = m.lp().AddVariable(0, 10, "x");
+  int d = m.AddBinaryVariable("d");
+  m.AddIndicator({d, true, LinearExpr::Term(x, 1), RelOp::kGe, 7.0, -1});
+  m.AddIndicator({d, false, LinearExpr::Term(x, 1), RelOp::kLe, 2.0, -1});
+
+  auto relaxed = m.BuildRelaxation();
+  ASSERT_TRUE(relaxed.ok());
+
+  // Fix delta = 1: min x should be 7.
+  LpModel at_one = *relaxed;
+  at_one.mutable_variable(d).lower = 1.0;
+  at_one.SetObjective(LinearExpr::Term(x, 1), ObjectiveSense::kMinimize);
+  auto sol1 = SimplexSolver().Solve(at_one);
+  ASSERT_TRUE(sol1.ok());
+  EXPECT_NEAR(sol1->values[x], 7.0, 1e-6);
+
+  // Fix delta = 0: max x should be 2.
+  LpModel at_zero = *relaxed;
+  at_zero.mutable_variable(d).upper = 0.0;
+  at_zero.SetObjective(LinearExpr::Term(x, 1), ObjectiveSense::kMaximize);
+  auto sol0 = SimplexSolver().Solve(at_zero);
+  ASSERT_TRUE(sol0.ok());
+  EXPECT_NEAR(sol0->values[x], 2.0, 1e-6);
+}
+
+TEST(MilpModelTest, ExplicitBigMIsUsed) {
+  MilpModel m;
+  int x = m.lp().AddVariable(0, 10, "x");
+  int d = m.AddBinaryVariable("d");
+  // Explicit big-M = 100 (valid; auto would derive ~8).
+  m.AddIndicator({d, true, LinearExpr::Term(x, 1), RelOp::kGe, 7.0, 100.0});
+  auto relaxed = m.BuildRelaxation();
+  ASSERT_TRUE(relaxed.ok());
+  // At delta = 0 the row must be inactive: x = 0 feasible.
+  std::vector<double> x0 = {0.0, 0.0};
+  EXPECT_TRUE(relaxed->IsFeasible(x0, 1e-9));
+  // At delta = 1, x = 0 must violate.
+  std::vector<double> x1 = {0.0, 1.0};
+  EXPECT_FALSE(relaxed->IsFeasible(x1, 1e-9));
+}
+
+TEST(MilpModelTest, AutoBigMFailsOnUnboundedExpression) {
+  MilpModel m;
+  int x = m.lp().AddVariable(0, kInfinity, "x");
+  int d = m.AddBinaryVariable("d");
+  m.AddIndicator({d, true, LinearExpr::Term(x, 1), RelOp::kLe, 7.0, -1});
+  EXPECT_FALSE(m.BuildRelaxation().ok());
+}
+
+TEST(MilpModelTest, IsFeasibleChecksIndicatorLogic) {
+  MilpModel m;
+  int x = m.lp().AddVariable(0, 10, "x");
+  int d = m.AddBinaryVariable("d");
+  m.AddIndicator({d, true, LinearExpr::Term(x, 1), RelOp::kGe, 7.0, -1});
+
+  EXPECT_TRUE(m.IsFeasible({8.0, 1.0}));
+  EXPECT_FALSE(m.IsFeasible({3.0, 1.0}));  // indicator violated
+  EXPECT_TRUE(m.IsFeasible({3.0, 0.0}));   // inactive indicator
+  EXPECT_FALSE(m.IsFeasible({3.0, 0.5}));  // fractional binary
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,94 @@
+#include "ranking/error_measures.h"
+
+#include <gtest/gtest.h>
+
+#include "ranking/score_ranking.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+TEST(KendallTauDistanceTest, PerfectOrderIsZero) {
+  Ranking given = MustCreate({1, 2, 3, 4});
+  EXPECT_EQ(KendallTauDistance(given, {1, 2, 3, 4}), 0);
+}
+
+TEST(KendallTauDistanceTest, FullReversal) {
+  Ranking given = MustCreate({1, 2, 3, 4});
+  EXPECT_EQ(KendallTauDistance(given, {4, 3, 2, 1}), 6);  // C(4,2)
+  EXPECT_DOUBLE_EQ(KendallTauCoefficient(given, {4, 3, 2, 1}), -1.0);
+}
+
+TEST(KendallTauDistanceTest, SingleSwap) {
+  Ranking given = MustCreate({1, 2, 3, 4});
+  EXPECT_EQ(KendallTauDistance(given, {2, 1, 3, 4}), 1);
+}
+
+TEST(KendallTauDistanceTest, TiesAreNeutral) {
+  // Tie in the given ranking: that pair never counts.
+  Ranking given = MustCreate({1, 1, 3});
+  EXPECT_EQ(KendallTauDistance(given, {2, 1, 3}), 0);
+  // Tie in the approx ranking: not an inversion either.
+  Ranking strict = MustCreate({1, 2, 3});
+  EXPECT_EQ(KendallTauDistance(strict, {1, 1, 3}), 0);
+}
+
+TEST(KendallTauDistanceTest, IgnoresUnrankedTuples) {
+  Ranking given = MustCreate({1, 2, kUnranked, kUnranked});
+  // The ⊥ tuples' relative order is irrelevant.
+  EXPECT_EQ(KendallTauDistance(given, {1, 2, 9, 3}), 0);
+}
+
+TEST(TopWeightedInversionTest, HeadMistakesCostMore) {
+  Ranking given = MustCreate({1, 2, 3, 4});
+  // Swap positions 1 and 2 vs swap positions 3 and 4.
+  double head_swap = TopWeightedInversionError(given, {2, 1, 3, 4});
+  double tail_swap = TopWeightedInversionError(given, {1, 2, 4, 3});
+  EXPECT_DOUBLE_EQ(head_swap, 1.0);        // weight 1/1
+  EXPECT_DOUBLE_EQ(tail_swap, 1.0 / 3.0);  // weight 1/3
+  EXPECT_GT(head_swap, tail_swap);
+}
+
+TEST(KendallTauCoefficientTest, SingleTupleIsPerfect) {
+  Ranking given = MustCreate({1, kUnranked});
+  EXPECT_DOUBLE_EQ(KendallTauCoefficient(given, {1, 5}), 1.0);
+}
+
+// Property: tau distance is symmetric in complementary swaps and bounded by
+// the pair count.
+class KendallPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KendallPropertyTest, BoundsAndConsistency) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(rng.NextInt(2, 25));
+  std::vector<double> s1(n);
+  std::vector<double> s2(n);
+  for (int i = 0; i < n; ++i) {
+    s1[i] = rng.NextDouble();
+    s2[i] = rng.NextDouble();
+  }
+  Ranking given = Ranking::FromScores(s1, n);
+  auto approx = ScoreRankPositions(s2, 0.0);
+  long d = KendallTauDistance(given, approx);
+  long max_pairs = static_cast<long>(n) * (n - 1) / 2;
+  EXPECT_GE(d, 0);
+  EXPECT_LE(d, max_pairs);
+  double tau = KendallTauCoefficient(given, approx);
+  EXPECT_GE(tau, -1.0 - 1e-12);
+  EXPECT_LE(tau, 1.0 + 1e-12);
+  // Weighted error is bounded by distance (weights <= 1).
+  EXPECT_LE(TopWeightedInversionError(given, approx),
+            static_cast<double>(d) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace rankhow

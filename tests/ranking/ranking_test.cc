@@ -1,0 +1,168 @@
+#include "ranking/ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace rankhow {
+namespace {
+
+TEST(RankingTest, AcceptsValidRankingWithBottom) {
+  auto r = Ranking::Create({1, 2, 3, 4, kUnranked, kUnranked});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->k(), 4);
+  EXPECT_EQ(r->num_tuples(), 6);
+  EXPECT_TRUE(r->IsRanked(0));
+  EXPECT_FALSE(r->IsRanked(4));
+}
+
+TEST(RankingTest, AcceptsTies) {
+  // [1, 1, 3, 3, ⊥, ⊥] from the paper's Sec. II.
+  auto r = Ranking::Create({1, 1, 3, 3, kUnranked, kUnranked});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->k(), 4);
+  EXPECT_EQ(r->position(0), 1);
+  EXPECT_EQ(r->position(2), 3);
+}
+
+TEST(RankingTest, RejectsNotStartingAtOne) {
+  // [2, 3, 4, 5, ⊥, ⊥] is invalid (paper Sec. II).
+  auto r = Ranking::Create({2, 3, 4, 5, kUnranked, kUnranked});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RankingTest, RejectsExcessiveGap) {
+  // [1, 1, 4, 4, ⊥, ⊥] is invalid: position 4 has only 2 tuples above.
+  auto r = Ranking::Create({1, 1, 4, 4, kUnranked, kUnranked});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RankingTest, AcceptsCompetitionStyleTieGaps) {
+  // 1,1,3 is the correct competition ranking after a tie at 1.
+  auto r = Ranking::Create({1, 1, 3});
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(RankingTest, RejectsNonPositivePositions) {
+  EXPECT_FALSE(Ranking::Create({0, 1}).ok());
+  EXPECT_FALSE(Ranking::Create({-3, 1}).ok());
+}
+
+TEST(RankingTest, RejectsAllBottom) {
+  EXPECT_FALSE(Ranking::Create({kUnranked, kUnranked}).ok());
+}
+
+TEST(RankingTest, RankedTuplesOrderedByPosition) {
+  auto r = Ranking::Create({3, 1, kUnranked, 1, 4});
+  ASSERT_TRUE(r.ok());
+  // Positions: t1=1, t3=1 (tie, id order), t0=3, t4=4.
+  EXPECT_EQ(r->ranked_tuples(), (std::vector<int>{1, 3, 0, 4}));
+}
+
+TEST(RankingFromScoresTest, BasicDescendingOrder) {
+  Ranking r = Ranking::FromScores({0.5, 2.0, 1.0, 0.1}, 3);
+  EXPECT_EQ(r.position(1), 1);
+  EXPECT_EQ(r.position(2), 2);
+  EXPECT_EQ(r.position(0), 3);
+  EXPECT_EQ(r.position(3), kUnranked);
+}
+
+TEST(RankingFromScoresTest, TieEpsilonGroupsScores) {
+  // Paper example: scores [2.2, 2.1, 2.0, 1.5] with eps 0.3 -> [1,1,1,4].
+  Ranking r = Ranking::FromScores({2.2, 2.1, 2.0, 1.5}, 4, 0.3);
+  EXPECT_EQ(r.position(0), 1);
+  EXPECT_EQ(r.position(1), 1);
+  EXPECT_EQ(r.position(2), 1);
+  EXPECT_EQ(r.position(3), 4);
+}
+
+TEST(RankingFromScoresTest, TopKClosedUnderTies) {
+  // k=2 but positions 2..3 tie: the tied tuple slips in.
+  Ranking r = Ranking::FromScores({5.0, 3.0, 3.0, 1.0}, 2);
+  EXPECT_EQ(r.position(0), 1);
+  EXPECT_EQ(r.position(1), 2);
+  EXPECT_EQ(r.position(2), 2);
+  EXPECT_EQ(r.position(3), kUnranked);
+  EXPECT_EQ(r.k(), 3);
+}
+
+TEST(RankingFromScoresTest, ExactTiesWithZeroEps) {
+  Ranking r = Ranking::FromScores({9, 6, 6, 5}, 4);
+  // Paper Sec. II: ranks 1, 2, 2, 4.
+  EXPECT_EQ(r.position(0), 1);
+  EXPECT_EQ(r.position(1), 2);
+  EXPECT_EQ(r.position(2), 2);
+  EXPECT_EQ(r.position(3), 4);
+}
+
+TEST(RankingWindowTest, ExtractsMiddleSliceKeepingPositions) {
+  auto r = Ranking::Create({1, 2, 3, 4, 5, kUnranked});
+  ASSERT_TRUE(r.ok());
+  // Window keeps ORIGINAL positions (Sec. I: the scoring function should
+  // place the slice tuples where the given ranking did).
+  auto w = r->Window(3, 5);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->position(2), 3);
+  EXPECT_EQ(w->position(3), 4);
+  EXPECT_EQ(w->position(4), 5);
+  EXPECT_EQ(w->position(0), kUnranked);
+  EXPECT_EQ(w->k(), 3);
+}
+
+TEST(RankingWindowTest, RebasedExtractsMiddleSlice) {
+  auto r = Ranking::Create({1, 2, 3, 4, 5, kUnranked});
+  ASSERT_TRUE(r.ok());
+  auto w = r->WindowRebased(3, 5);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->position(2), 1);
+  EXPECT_EQ(w->position(3), 2);
+  EXPECT_EQ(w->position(4), 3);
+  EXPECT_EQ(w->position(0), kUnranked);
+  EXPECT_EQ(w->k(), 3);
+}
+
+TEST(RankingWindowTest, HandlesTieStraddlingWindowEdge) {
+  auto r = Ranking::Create({1, 2, 2, 4, 5});
+  ASSERT_TRUE(r.ok());
+  // Window [3,5]: only tuples at positions 4 and 5 are inside (nothing sits
+  // at position 3 because of the tie at 2). They keep positions 4 and 5 —
+  // an offset ranking whose smallest position exceeds the window's lo.
+  auto w = r->Window(3, 5);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->position(3), 4);
+  EXPECT_EQ(w->position(4), 5);
+  EXPECT_EQ(w->k(), 2);
+}
+
+TEST(RankingWindowTest, RebasedHandlesTieStraddlingWindowEdge) {
+  auto r = Ranking::Create({1, 2, 2, 4, 5});
+  ASSERT_TRUE(r.ok());
+  // Rebased: positions 4 and 5 re-rank to 1 and 2.
+  auto w = r->WindowRebased(3, 5);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->position(3), 1);
+  EXPECT_EQ(w->position(4), 2);
+  EXPECT_EQ(w->k(), 2);
+}
+
+TEST(RankingWindowTest, OffsetValidationCatchesUnachievablePositions) {
+  // Position 5 with only 3 tuples total can never be realized.
+  EXPECT_FALSE(
+      Ranking::Create({5, kUnranked, kUnranked}, RankingValidation::kOffset)
+          .ok());
+  // Position 3 of 3 tuples is fine even though nothing sits at 1 or 2.
+  EXPECT_TRUE(
+      Ranking::Create({3, kUnranked, kUnranked}, RankingValidation::kOffset)
+          .ok());
+  // Strict validation still requires position 1.
+  EXPECT_FALSE(Ranking::Create({3, kUnranked, kUnranked}).ok());
+}
+
+TEST(RankingWindowTest, RejectsBadBounds) {
+  auto r = Ranking::Create({1, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->Window(0, 2).ok());
+  EXPECT_FALSE(r->Window(3, 2).ok());
+  EXPECT_FALSE(r->Window(5, 9).ok());  // empty window
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,122 @@
+#include "ranking/score_ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+TEST(ScoreRankPositionsTest, MatchesDefinitionTwo) {
+  // Scores 9, 6, 6, 5 -> ranks 1, 2, 2, 4 (paper Sec. II).
+  auto pos = ScoreRankPositions({9, 6, 6, 5}, 0.0);
+  EXPECT_EQ(pos, (std::vector<int>{1, 2, 2, 4}));
+}
+
+TEST(ScoreRankPositionsTest, EpsilonTies) {
+  // [2.2, 2.1, 2.0, 1.5] with eps 0.3 -> [1, 1, 1, 4].
+  auto pos = ScoreRankPositions({2.2, 2.1, 2.0, 1.5}, 0.3);
+  EXPECT_EQ(pos, (std::vector<int>{1, 1, 1, 4}));
+}
+
+TEST(ScoreRankPositionsOfTest, MatchesFullComputation) {
+  Rng rng(3);
+  std::vector<double> scores(200);
+  for (double& s : scores) s = rng.NextGaussian();
+  auto all = ScoreRankPositions(scores, 0.01);
+  std::vector<int> subset = {0, 5, 17, 99, 150};
+  auto some = ScoreRankPositionsOf(scores, subset, 0.01);
+  for (size_t i = 0; i < subset.size(); ++i) {
+    EXPECT_EQ(some[i], all[subset[i]]);
+  }
+}
+
+TEST(PositionErrorTest, PerfectRankingHasZeroError) {
+  auto given = Ranking::Create({1, 2, 3, kUnranked});
+  ASSERT_TRUE(given.ok());
+  // Scores that reproduce the ranking exactly.
+  EXPECT_EQ(PositionErrorFromScores({10, 8, 5, 1}, *given, 0.0), 0);
+}
+
+TEST(PositionErrorTest, ExampleTwoFromPaper) {
+  // Paper Example 2: labels [4,3,2,1]; prediction [3,2,4,1] puts r3 on top:
+  // induced ranking [2,3,1,4], total position error 4.
+  auto given = Ranking::Create({1, 2, 3, 4});
+  ASSERT_TRUE(given.ok());
+  EXPECT_EQ(PositionErrorFromScores({3, 2, 4, 1}, *given, 0.0), 4);
+  // The other prediction [8,6,2,0] ranks perfectly.
+  EXPECT_EQ(PositionErrorFromScores({8, 6, 2, 0}, *given, 0.0), 0);
+}
+
+TEST(PositionErrorTest, BottomTuplesBeatingTopCountsAgainstTop) {
+  // Given: r0 first, r1 second, rest ⊥. If both ⊥ tuples outscore r0, its
+  // induced position is 3 => error 2 (+ r1 displaced by 2).
+  auto given = Ranking::Create({1, 2, kUnranked, kUnranked});
+  ASSERT_TRUE(given.ok());
+  EXPECT_EQ(PositionErrorFromScores({5, 4, 9, 8}, *given, 0.0), 4);
+}
+
+TEST(PositionErrorTest, UnrankedTuplesBelowTopKCostNothing) {
+  auto given = Ranking::Create({1, 2, kUnranked, kUnranked});
+  ASSERT_TRUE(given.ok());
+  // ⊥ tuples in any order below the top-2: no error.
+  EXPECT_EQ(PositionErrorFromScores({5, 4, 1, 2}, *given, 0.0), 0);
+  EXPECT_EQ(PositionErrorFromScores({5, 4, 2, 1}, *given, 0.0), 0);
+}
+
+TEST(PositionErrorTest, WorksThroughDatasetInterface) {
+  Dataset data({"A", "B"}, 3);
+  data.set_value(0, 0, 3);
+  data.set_value(0, 1, 0);
+  data.set_value(1, 0, 2);
+  data.set_value(1, 1, 0);
+  data.set_value(2, 0, 1);
+  data.set_value(2, 1, 10);
+  auto given = Ranking::Create({1, 2, 3});
+  ASSERT_TRUE(given.ok());
+  // Weight fully on A: perfect. Weight fully on B: r2 jumps to 1st.
+  EXPECT_EQ(PositionError(data, *given, {1.0, 0.0}, 0.0), 0);
+  EXPECT_GT(PositionError(data, *given, {0.0, 1.0}, 0.0), 0);
+}
+
+TEST(PositionErrorBreakdownTest, PerTupleContributions) {
+  auto given = Ranking::Create({1, 2, 3, 4});
+  ASSERT_TRUE(given.ok());
+  auto breakdown = PositionErrorBreakdown({3, 2, 4, 1}, *given, 0.0);
+  // Induced positions: r0->2, r1->3, r2->1, r3->4.
+  EXPECT_EQ(breakdown, (std::vector<long>{1, 1, 2, 0}));
+}
+
+// Property: PositionErrorFromScores equals the naive O(n^2) Definition-2
+// computation.
+class PositionErrorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PositionErrorPropertyTest, MatchesNaiveComputation) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(rng.NextInt(2, 40));
+  int k = static_cast<int>(rng.NextInt(1, n));
+  double eps = rng.NextBelow(2) ? 0.0 : rng.NextUniform(0, 0.5);
+  std::vector<double> given_scores(n);
+  std::vector<double> approx_scores(n);
+  for (int i = 0; i < n; ++i) {
+    given_scores[i] = rng.NextUniform(0, 3);
+    approx_scores[i] = rng.NextUniform(0, 3);
+  }
+  Ranking given = Ranking::FromScores(given_scores, k, eps);
+
+  long naive = 0;
+  for (int t : given.ranked_tuples()) {
+    int beats = 0;
+    for (int s = 0; s < n; ++s) {
+      if (s != t && approx_scores[s] - approx_scores[t] > eps) ++beats;
+    }
+    naive += std::labs(static_cast<long>(beats + 1) - given.position(t));
+  }
+  EXPECT_EQ(PositionErrorFromScores(approx_scores, given, eps), naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PositionErrorPropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace rankhow

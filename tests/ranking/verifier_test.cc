@@ -1,0 +1,125 @@
+#include "ranking/verifier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ranking/score_ranking.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+Dataset RandomDataset(Rng& rng, int n, int m) {
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextUniform(0, 10));
+  }
+  return d;
+}
+
+TEST(VerifierTest, ConsistentSolutionPasses) {
+  Rng rng(1);
+  Dataset data = RandomDataset(rng, 50, 4);
+  std::vector<double> w = rng.NextSimplexPoint(4);
+  Ranking given = Ranking::FromScores(data.Scores(w), 5);
+  long err = PositionError(data, given, w, 0.0);
+  ASSERT_EQ(err, 0);
+  auto report = VerifySolution(data, given, w, 0.0, 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+  EXPECT_EQ(report->exact_error, 0);
+}
+
+TEST(VerifierTest, DetectsWrongClaim) {
+  Rng rng(2);
+  Dataset data = RandomDataset(rng, 30, 3);
+  std::vector<double> w = rng.NextSimplexPoint(3);
+  Ranking given = Ranking::FromScores(data.Scores(w), 5);
+  auto report = VerifySolution(data, given, w, 0.0, /*claimed_error=*/7);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->consistent);
+  EXPECT_EQ(report->exact_error, 0);
+  EXPECT_EQ(report->claimed_error, 7);
+}
+
+TEST(VerifierTest, ExactTieDetection) {
+  // Two tuples with scores that are exactly equal under w = (0.5, 0.5):
+  // doubles cannot distinguish; exact arithmetic must declare a tie (neither
+  // beats the other at eps = 0).
+  Dataset data({"A", "B"}, 3);
+  data.set_value(0, 0, 2.0);
+  data.set_value(0, 1, 4.0);
+  data.set_value(1, 0, 4.0);
+  data.set_value(1, 1, 2.0);
+  data.set_value(2, 0, 1.0);
+  data.set_value(2, 1, 1.0);
+  auto given = Ranking::Create({1, 1, 3});
+  ASSERT_TRUE(given.ok());
+  std::vector<double> w = {0.5, 0.5};
+  auto report = VerifySolution(data, *given, w, 0.0, 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent) << "exact error " << report->exact_error;
+  EXPECT_EQ(report->exact_positions, (std::vector<int>{1, 1, 3}));
+}
+
+TEST(VerifierTest, CatchesSubEpsilonScoreDifferences) {
+  // Scores differ by less than double rounding noise would suggest: tuple 0
+  // beats tuple 1 by exactly 2^-60 * weight. With eps = 0 exact arithmetic
+  // must count the win; naive double evaluation may tie them.
+  Dataset data({"A"}, 2);
+  data.set_value(0, 0, 1.0 + std::ldexp(1.0, -50));
+  data.set_value(1, 0, 1.0);
+  auto given = Ranking::Create({1, 2});
+  ASSERT_TRUE(given.ok());
+  auto report = VerifySolution(data, *given, {1.0}, 0.0, 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+  EXPECT_EQ(report->exact_positions, (std::vector<int>{1, 2}));
+}
+
+TEST(VerifierTest, RejectsAritySizeMismatch) {
+  Dataset data({"A"}, 2);
+  auto given = Ranking::Create({1, 2});
+  ASSERT_TRUE(given.ok());
+  EXPECT_FALSE(VerifySolution(data, *given, {0.5, 0.5}, 0.0, 0).ok());
+}
+
+// Property: exact positions agree with double positions whenever score gaps
+// are comfortably larger than rounding error.
+class VerifierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerifierPropertyTest, AgreesWithDoubleOnWellSeparatedScores) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(rng.NextInt(5, 60));
+  int m = static_cast<int>(rng.NextInt(1, 6));
+  int k = static_cast<int>(rng.NextInt(1, std::min(n, 10)));
+  Dataset data = RandomDataset(rng, n, m);
+  std::vector<double> w = rng.NextSimplexPoint(m);
+  double eps = 1e-9;  // far above rounding noise for these magnitudes
+  std::vector<double> scores = data.Scores(w);
+  Ranking given = Ranking::FromScores(scores, k, eps);
+
+  auto double_positions =
+      ScoreRankPositionsOf(scores, given.ranked_tuples(), eps);
+  long claimed = 0;
+  const auto& ranked = given.ranked_tuples();
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    claimed += std::labs(static_cast<long>(double_positions[i]) -
+                         given.position(ranked[i]));
+  }
+  auto report = VerifySolution(data, given, w, eps, claimed);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent)
+      << "exact=" << report->exact_error << " claimed=" << claimed;
+  EXPECT_EQ(report->total_comparisons,
+            static_cast<long>(ranked.size()) * (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,49 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace rankhow {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto t = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto t = ParseCsv("name,notes\n\"Doe, John\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][0], "Doe, John");
+  EXPECT_EQ(t->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrLfAndMissingFinalNewline) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[1][1], "4");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto t = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto t = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto t = ParseCsv("a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,99 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+namespace {
+
+/// argv builder that owns its storage.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (std::string& s : strings_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagParserTest, EqualsSyntax) {
+  Argv args({"prog", "--n=42", "--rate=0.5", "--name=abc", "--verbose=true"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetInt("n", 0, ""), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0, ""), 0.5);
+  EXPECT_EQ(flags.GetString("name", "", ""), "abc");
+  EXPECT_TRUE(flags.GetBool("verbose", false, ""));
+  EXPECT_TRUE(flags.Finish());
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  Argv args({"prog", "--n", "7", "--name", "xyz"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetInt("n", 0, ""), 7);
+  EXPECT_EQ(flags.GetString("name", "", ""), "xyz");
+  EXPECT_TRUE(flags.Finish());
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  Argv args({"prog"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetInt("n", 13, ""), 13);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 2.5, ""), 2.5);
+  EXPECT_EQ(flags.GetString("name", "dflt", ""), "dflt");
+  EXPECT_FALSE(flags.GetBool("verbose", false, ""));
+  EXPECT_TRUE(flags.Finish());
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  Argv args({"prog", "--a=1", "--b=false", "--c=True", "--d=0"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_TRUE(flags.GetBool("a", false, ""));
+  EXPECT_FALSE(flags.GetBool("b", true, ""));
+  EXPECT_TRUE(flags.GetBool("c", false, ""));
+  EXPECT_FALSE(flags.GetBool("d", true, ""));
+  EXPECT_TRUE(flags.Finish());
+}
+
+TEST(FlagParserTest, BareBoolFlagMeansTrue) {
+  Argv args({"prog", "--verbose"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_TRUE(flags.GetBool("verbose", false, ""));
+  EXPECT_TRUE(flags.Finish());
+}
+
+TEST(FlagParserTest, HelpRequestsExit) {
+  Argv args({"prog", "--help"});
+  FlagParser flags(args.argc(), args.argv());
+  flags.GetInt("n", 1, "a number");
+  ::testing::internal::CaptureStderr();
+  bool proceed = flags.Finish();
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(proceed);
+  EXPECT_NE(out.find("--n"), std::string::npos);
+  EXPECT_NE(out.find("a number"), std::string::npos);
+}
+
+TEST(FlagParserDeathTest, UnknownFlagExitsWithDiagnostic) {
+  // Typo safety is deliberately fatal in the harness flag parser.
+  Argv args({"prog", "--typo=3"});
+  FlagParser flags(args.argc(), args.argv());
+  flags.GetInt("n", 1, "");
+  EXPECT_EXIT(flags.Finish(), ::testing::ExitedWithCode(2), "typo");
+}
+
+TEST(FlagParserTest, NegativeNumbersParse) {
+  Argv args({"prog", "--offset=-5", "--shift=-0.25"});
+  FlagParser flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetInt("offset", 0, ""), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("shift", 0, ""), -0.25);
+  EXPECT_TRUE(flags.Finish());
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -1,0 +1,97 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace rankhow {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowIsUniformish) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - 1000);
+    EXPECT_LT(c, kDraws / 10 + 1000);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0;
+  double sum2 = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.02);
+}
+
+TEST(RngTest, SimplexPointSumsToOne) {
+  Rng rng(5);
+  for (int m : {1, 2, 5, 27}) {
+    auto w = rng.NextSimplexPoint(m);
+    ASSERT_EQ(static_cast<int>(w.size()), m);
+    double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (double wi : w) EXPECT_GE(wi, 0.0);
+  }
+}
+
+TEST(RngTest, NextIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -2;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(123);
+  Rng forked = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(123);
+  b.Next();  // advance to match the fork call
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += forked.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace rankhow

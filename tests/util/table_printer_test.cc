@@ -1,0 +1,33 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace rankhow {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"k", "error"});
+  t.AddRow({"2", "0.5"});
+  t.AddRow({"10", "12.25"});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("k   error"), std::string::npos);
+  EXPECT_NE(text.find("10  12.25"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCharacters) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowFormats) {
+  TablePrinter t({"a", "b"});
+  t.AddNumericRow({1.0, 0.333333333});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToCsv().find("0.3333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rankhow

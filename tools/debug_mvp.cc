@@ -1,0 +1,95 @@
+// Developer repro tool for the MVP-instance LP-unbounded failure.
+#include <iostream>
+
+#include "core/opt_model_builder.h"
+#include "core/rankhow.h"
+#include "baselines/sampling.h"
+#include "data/nba.h"
+#include "lp/simplex.h"
+#include "util/string_util.h"
+
+using namespace rankhow;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  int n = static_cast<int>(flags.GetInt("n", 3000, "tuples"));
+  uint64_t seed = flags.GetInt("seed", 22, "seed");
+  bool solve_bnb = flags.GetBool("bnb", false, "run full B&B");
+  if (!flags.Finish()) return 0;
+
+  NbaData nba = GenerateNba({.num_tuples = n, .seed = seed});
+  MvpVoteResult mvp = SimulateMvpVote(nba, 100, seed + 1);
+  Dataset voted = mvp.voted_table;
+  voted.NormalizeMinMax();
+  std::cout << "voted=" << voted.num_tuples() << " k=" << mvp.ranking.k()
+            << "\n";
+
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-5;
+  eps.eps1 = 1e-4;
+  eps.eps2 = 0.0;
+
+  OptProblem problem;
+  problem.data = &voted;
+  problem.given = &mvp.ranking;
+  problem.eps = eps;
+  auto model = BuildOptModel(problem, WeightBox::FullSimplex(8));
+  if (!model.ok()) {
+    std::cout << "build: " << model.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "free=" << model->num_free_indicators
+            << " fixed=" << model->num_fixed_indicators
+            << " vars=" << model->milp.lp().num_variables()
+            << " rows=" << model->milp.lp().num_constraints() << "\n";
+
+  auto relaxation = model->milp.BuildRelaxation();
+  if (!relaxation.ok()) {
+    std::cout << "relax: " << relaxation.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "relaxation rows=" << relaxation->num_constraints() << "\n";
+  auto sol = SimplexSolver().Solve(*relaxation);
+  if (!sol.ok()) {
+    std::cout << "root LP: " << sol.status().ToString() << "\n";
+  } else {
+    std::cout << "root LP obj=" << sol->objective
+              << " iters=" << sol->iterations << "\n";
+  }
+
+  if (solve_bnb) {
+    for (double e1 : {1e-4, 1e-6}) {
+      RankHowOptions options;
+      options.eps.eps1 = e1;
+      options.eps.tie_eps = e1 / 2;
+      options.eps.eps2 = 0.0;
+      options.time_limit_seconds = 60;
+      RankHow solver(voted, mvp.ranking, options);
+      auto result = solver.Solve();
+      if (!result.ok()) {
+        std::cout << "bnb(e1=" << e1 << "): " << result.status().ToString()
+                  << "\n";
+      } else {
+        std::cout << "bnb(e1=" << e1 << ") error=" << result->error
+                  << " claimed=" << result->claimed_error
+                  << " optimal=" << result->proven_optimal
+                  << " nodes=" << result->stats.nodes_explored
+                  << " secs=" << result->seconds << "\n";
+      }
+      // Cross-check: sampled weight vectors evaluated BOTH ways.
+      SamplingOptions sampling;
+      sampling.time_budget_seconds = 2;
+      sampling.tie_eps = options.eps.tie_eps;
+      sampling.seed = 5;
+      auto smp = RunSampling(voted, mvp.ranking, sampling);
+      if (smp.ok()) {
+        auto milp_err = solver.MilpConsistentError(smp->weights);
+        std::cout << "  sampling best true_err=" << smp->error
+                  << " milp_err="
+                  << (milp_err ? std::to_string(*milp_err) : "gap")
+                  << " (from " << smp->samples_drawn << " samples)\n";
+      }
+    }
+  }
+  return 0;
+}

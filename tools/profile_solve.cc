@@ -1,0 +1,86 @@
+// Times the phases of one RankHow solve (model build, presolve, search,
+// verification) on an NBA-simulator instance. Used to chase time-budget
+// overruns; kept as a repo tool because it is the quickest way to see where
+// a configuration's wall clock goes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/opt_model_builder.h"
+#include "core/presolve.h"
+#include "core/rankhow.h"
+#include "data/nba.h"
+#include "util/timer.h"
+
+using namespace rankhow;
+
+int main(int argc, char** argv) {
+  bool mvp = argc > 1 && std::strcmp(argv[1], "mvp") == 0;
+  int n = argc > 1 && !mvp ? std::atoi(argv[1]) : 1200;
+  int m = argc > 2 ? std::atoi(argv[2]) : 8;
+  int k = argc > 3 ? std::atoi(argv[3]) : 6;
+  double budget = argc > 4 ? std::atof(argv[4]) : 10;
+
+  Dataset data;
+  Ranking given;
+  if (mvp) {
+    NbaData nba = GenerateNba({.num_tuples = 6000, .seed = 22});
+    MvpVoteResult vote = SimulateMvpVote(nba, 100, 22);
+    data = vote.voted_table;
+    data.NormalizeMinMax();
+    given = vote.ranking;
+    std::printf("mvp instance: %d voted players, m=%d, k=%d\n",
+                data.num_tuples(), data.num_attributes(), given.k());
+  } else {
+    NbaData nba = GenerateNba({.num_tuples = n, .seed = 1});
+    data = nba.table;
+    std::vector<int> attrs;
+    for (int a = 0; a < m; ++a) attrs.push_back(a);
+    data = data.SelectAttributes(attrs);
+    data.NormalizeMinMax();
+    given = Ranking::FromScores(nba.mp_times_per, k, 0.0);
+  }
+  m = data.num_attributes();
+
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-5;
+  eps.eps1 = 1e-4;
+  eps.eps2 = 0.0;
+
+  OptProblem problem;
+  problem.data = &data;
+  problem.given = &given;
+  problem.eps = eps;
+
+  WallTimer t;
+  auto model = BuildOptModel(problem, WeightBox::FullSimplex(m), true, true);
+  std::printf("build model: %.2fs (free=%ld fixed=%ld)\n", t.ElapsedSeconds(),
+              model->num_free_indicators, model->num_fixed_indicators);
+
+  t.Restart();
+  auto pre = PresolveIncumbent(problem, WeightBox::FullSimplex(m));
+  std::printf("presolve: %.2fs (error=%ld evals=%d)\n", t.ElapsedSeconds(),
+              pre->error, pre->evaluated);
+
+  RankHowOptions options;
+  options.eps = eps;
+  options.time_limit_seconds = budget;
+  if (argc > 5) {
+    options.strategy = std::strcmp(argv[5], "spatial") == 0
+                           ? SolveStrategy::kSpatial
+                           : SolveStrategy::kIndicatorMilp;
+  }
+  RankHow solver(data, given, options);
+  t.Restart();
+  auto result = solver.Solve();
+  std::printf(
+      "solve: %.2fs (error=%ld bound=%ld optimal=%d nodes=%lld lp_iters=%lld "
+      "lazy=%lld incumbents=%lld)\n",
+      t.ElapsedSeconds(), result->error, result->bound,
+      result->proven_optimal,
+      static_cast<long long>(result->stats.nodes_explored),
+      static_cast<long long>(result->stats.lp_iterations),
+      static_cast<long long>(result->stats.lazy_rounds),
+      static_cast<long long>(result->stats.incumbent_updates));
+  return 0;
+}

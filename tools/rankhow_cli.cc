@@ -1,0 +1,220 @@
+// rankhow_cli — synthesize a linear scoring function for a ranked CSV.
+//
+// The end-user entry point to the library: point it at any CSV whose rows
+// are ranked (either by a rank column or by file order) and it prints the
+// most accurate simple linear scoring function, its verified position
+// error, and a before/after table of the ranked tuples. Supports the
+// paper's constraint exploration (weight floors/ceilings, pairwise order),
+// the three objectives, all exact strategies, and SYM-GD for large inputs.
+//
+// Examples:
+//   tool_rankhow_cli --data=players.csv --id=PLR --rank=mvp_rank
+//   tool_rankhow_cli --data=players.csv --id=PLR --k=10 \
+//       --attrs=PTS,REB,AST,STL,BLK --min-weight=PTS:0.1 \
+//       --order="Jokic>Tatum" --strategy=milp --time-limit=30
+//   tool_rankhow_cli --data=big.csv --k=25 --sym-gd --cell=0.01
+
+#include <iostream>
+
+#include "app/cli_driver.h"
+#include "core/seeding.h"
+#include "core/sym_gd.h"
+#include "ranking/score_ranking.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace rankhow;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+/// Prints the ranked tuples' given vs. synthesized positions.
+void PrintComparison(const CliProblem& problem,
+                     const std::vector<double>& weights, double tie_eps) {
+  const Ranking& given = problem.given;
+  std::vector<double> scores = problem.data.Scores(weights);
+  std::vector<int> positions =
+      ScoreRankPositionsOf(scores, given.ranked_tuples(), tie_eps);
+  TablePrinter table({"label", "given", "synthesized", "score"});
+  for (size_t i = 0; i < given.ranked_tuples().size(); ++i) {
+    int t = given.ranked_tuples()[i];
+    table.AddRow({problem.labels[t], std::to_string(given.position(t)),
+                  std::to_string(positions[i]),
+                  FormatDouble(scores[t], 4)});
+  }
+  std::cout << table.ToText();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  std::string data_path =
+      flags.GetString("data", "", "CSV file with the ranked relation");
+  std::string id_column =
+      flags.GetString("id", "", "label column (not used for scoring)");
+  std::string rank_column = flags.GetString(
+      "rank", "", "column with given positions (blank/-/na = unranked)");
+  int k = static_cast<int>(flags.GetInt(
+      "k", 10, "ranking length when --rank is absent (file order ranks)"));
+  std::string attrs = flags.GetString(
+      "attrs", "", "comma-separated ranking attributes (default: all)");
+  std::string negate = flags.GetString(
+      "negate", "", "attributes where lower is better (negated)");
+  bool normalize =
+      flags.GetBool("normalize", true, "min-max rescale attributes to [0,1]");
+  bool offset = flags.GetBool(
+      "offset-ranking", false,
+      "accept rankings that start above position 1 (mid-ranking windows)");
+  bool drop_duplicates = flags.GetBool(
+      "drop-duplicates", false, "keep one of identically-valued tuples");
+  std::string min_weights = flags.GetString(
+      "min-weight", "", "weight floors, e.g. PTS:0.1,AST:0.05");
+  std::string max_weights =
+      flags.GetString("max-weight", "", "weight ceilings, e.g. BLK:0.3");
+  std::string orders = flags.GetString(
+      "order", "", "pairwise orders by label, e.g. 'Jokic>Tatum'");
+  std::string objective_name = flags.GetString(
+      "objective", "position", "position | topheavy | inversions");
+  std::string strategy_name =
+      flags.GetString("strategy", "auto", "auto | milp | spatial | sat");
+  double tie_eps = flags.GetDouble("eps", 5e-5, "tie tolerance ε (Def. 2)");
+  double eps1 = flags.GetDouble("eps1", 1e-4, "beats threshold ε₁ (Eq. 2)");
+  double eps2 = flags.GetDouble("eps2", 0.0, "tie threshold ε₂ (Eq. 2)");
+  double time_limit =
+      flags.GetDouble("time-limit", 60, "solve budget in seconds (0 = none)");
+  bool use_sym_gd = flags.GetBool(
+      "sym-gd", false, "approximate with symbolic gradient descent (Sec. IV)");
+  double cell = flags.GetDouble("cell", 0.01, "SYM-GD cell size c");
+  bool adaptive = flags.GetBool(
+      "adaptive", true, "SYM-GD Algorithm 2 (double the cell when stuck)");
+  bool show_table =
+      flags.GetBool("show-table", true, "print given vs synthesized table");
+  if (!flags.Finish()) return 0;
+
+  if (data_path.empty()) {
+    std::cerr << "error: --data is required (try --help)\n";
+    return 1;
+  }
+
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) return Fail(csv.status());
+
+  CliDataSpec spec;
+  if (!attrs.empty()) {
+    for (const std::string& a : Split(attrs, ',')) {
+      spec.attributes.emplace_back(Trim(a));
+    }
+  }
+  if (!negate.empty()) {
+    for (const std::string& a : Split(negate, ',')) {
+      spec.negate.emplace_back(Trim(a));
+    }
+  }
+  spec.id_column = id_column;
+  spec.rank_column = rank_column;
+  spec.k = k;
+  spec.normalize = normalize;
+  spec.offset_ranking = offset;
+  spec.drop_duplicates = drop_duplicates;
+
+  auto problem = AssembleCliProblem(*csv, spec);
+  if (!problem.ok()) return Fail(problem.status());
+
+  auto strategy = ParseStrategy(strategy_name);
+  if (!strategy.ok()) return Fail(strategy.status());
+  auto objective = ParseObjectiveSpec(objective_name, problem->given.k());
+  if (!objective.ok()) return Fail(objective.status());
+
+  RankHowOptions options;
+  options.eps.tie_eps = tie_eps;
+  options.eps.eps1 = eps1;
+  options.eps.eps2 = eps2;
+  options.strategy = *strategy;
+  options.time_limit_seconds = time_limit;
+  if (!options.eps.Valid()) {
+    std::cerr << "error: epsilons must satisfy eps2 <= eps < eps1\n";
+    return 1;
+  }
+
+  std::cout << "rankhow: " << problem->data.num_tuples() << " tuples, "
+            << problem->data.num_attributes() << " attributes, k="
+            << problem->given.k() << "\n";
+
+  ScoringFunction function;
+  long error = 0;
+  std::string summary;
+  if (use_sym_gd) {
+    SymGdOptions sym_options;
+    sym_options.cell_size = cell;
+    sym_options.adaptive = adaptive;
+    sym_options.time_budget_seconds = time_limit;
+    sym_options.solver = options;
+    sym_options.solver.strategy = SolveStrategy::kAuto;
+    SymGd symgd(problem->data, problem->given, sym_options);
+    symgd.problem().objective = *objective;
+    Status st = ApplyWeightBounds(problem->data, min_weights, true,
+                                  &symgd.problem().constraints);
+    if (st.ok()) {
+      st = ApplyWeightBounds(problem->data, max_weights, false,
+                             &symgd.problem().constraints);
+    }
+    if (st.ok()) {
+      st = ApplyOrderConstraints(problem->labels, orders,
+                                 &symgd.problem().order_constraints);
+    }
+    if (!st.ok()) return Fail(st);
+    auto seed =
+        OrdinalRegressionSeed(problem->data, problem->given, eps1);
+    if (!seed.ok()) return Fail(seed.status());
+    auto result = symgd.Run(*seed);
+    if (!result.ok()) return Fail(result.status());
+    function = std::move(result->function);
+    error = result->error;
+    summary = StrFormat("sym-gd: %d cells, final cell %.4g, %.2fs",
+                        result->iterations, result->final_cell_size,
+                        result->seconds);
+  } else {
+    RankHow solver(problem->data, problem->given, options);
+    solver.problem().objective = *objective;
+    Status st = ApplyWeightBounds(problem->data, min_weights, true,
+                                  &solver.problem().constraints);
+    if (st.ok()) {
+      st = ApplyWeightBounds(problem->data, max_weights, false,
+                             &solver.problem().constraints);
+    }
+    if (st.ok()) {
+      st = ApplyOrderConstraints(problem->labels, orders,
+                                 &solver.problem().order_constraints);
+    }
+    if (!st.ok()) return Fail(st);
+    auto result = solver.Solve();
+    if (!result.ok()) return Fail(result.status());
+    function = std::move(result->function);
+    error = result->error;
+    summary = StrFormat(
+        "%s: %s, bound %ld, %lld nodes, %.2fs",
+        SolveStrategyName(result->strategy_used),
+        result->proven_optimal ? "proven optimal" : "best incumbent",
+        result->bound, static_cast<long long>(result->stats.nodes_explored),
+        result->seconds);
+    if (result->verification && !result->verification->consistent) {
+      summary += "  [NUMERICALLY INCONSISTENT — raise --eps1]";
+    }
+  }
+
+  std::cout << "\nscoring function:  " << function.ToString(3) << "\n";
+  std::cout << "verified " << ObjectiveKindName(objective->kind)
+            << " error: " << error;
+  if (problem->given.k() > 0) {
+    std::cout << StrFormat("  (%.3f per ranked tuple)",
+                           static_cast<double>(error) / problem->given.k());
+  }
+  std::cout << "\n" << summary << "\n\n";
+  if (show_table) PrintComparison(*problem, function.weights, tie_eps);
+  return 0;
+}
