@@ -8,8 +8,16 @@
 // (laptop scale; use --n=1000000 for the paper's size) — the shape (low
 // error, time growing mildly with k, correlated easiest) is preserved.
 //
+// With --compare=1 (default) every configuration also runs with the legacy
+// cold-start node LPs, and the table reports total simplex pivots for both
+// engines plus the cold/warm ratio — the acceptance metric for the
+// warm-started incremental LP subsystem (DESIGN.md "Incremental LP
+// architecture"). Pivot counts are zero for configurations the auto
+// strategy routes to the spatial search with no general P rows (no LP runs
+// at all there).
+//
 // Flags: --n, --m, --seed, --datasets (replicas per distribution; the paper
-// averages 3).
+// averages 3), --budget, --compare.
 
 #include "bench/harness_include.h"
 
@@ -26,6 +34,9 @@ int main(int argc, char** argv) {
   uint64_t seed = flags.GetInt("seed", 31, "generation seed");
   double budget = flags.GetDouble("budget", 20,
                                   "SYM-GD budget per run (s); paper <1h");
+  bool compare = flags.GetInt("compare", 1,
+                              "also run cold-start node LPs and report "
+                              "the pivot ratio") != 0;
   if (!flags.Finish()) return 0;
 
   std::cout << "=== Fig 3j/3k/3l: Sym-GD scalability (n=" << n
@@ -33,7 +44,11 @@ int main(int argc, char** argv) {
   EpsilonConfig eps = SyntheticEps();
 
   TablePrinter table({"distribution", "k", "error_per_tuple", "seconds",
-                      "cells"});
+                      "cells", "warm_pivots", "cold_pivots", "pivot_ratio"});
+  long total_warm_pivots = 0;
+  long total_cold_pivots = 0;
+  double total_warm_secs = 0;
+  double total_cold_secs = 0;
   for (auto dist : {SyntheticDistribution::kUniform,
                     SyntheticDistribution::kCorrelated,
                     SyntheticDistribution::kAntiCorrelated}) {
@@ -41,7 +56,10 @@ int main(int argc, char** argv) {
       double error_sum = 0;
       double time_sum = 0;
       long cells = 0;
+      long warm_pivots = 0;
+      long cold_pivots = 0;
       int ok_count = 0;
+      bool have_cold = false;
       for (int rep = 0; rep < replicas; ++rep) {
         SyntheticSpec spec;
         spec.num_tuples = n;
@@ -50,31 +68,70 @@ int main(int argc, char** argv) {
         spec.seed = seed + 1000 * rep;
         Dataset data = GenerateSynthetic(spec);
         Ranking given = PowerSumRanking(data, 3, k);
+        SymGdResult raw;
         MethodRow row = RunSymGd(data, given, eps, /*cell=*/0.01,
-                                 budget, /*adaptive=*/true);
+                                 budget, /*adaptive=*/true, "Sym-GD",
+                                 /*warm_lp=*/true, &raw);
         if (row.error >= 0) {
           error_sum += row.error / std::max(1, given.k());
           time_sum += row.seconds;
+          cells += raw.iterations;
+          warm_pivots += raw.total_lp_pivots;
+          total_warm_secs += row.seconds;
           ++ok_count;
         }
-        (void)cells;
+        if (compare) {
+          SymGdResult cold_raw;
+          MethodRow cold_row = RunSymGd(data, given, eps, /*cell=*/0.01,
+                                        budget, /*adaptive=*/true,
+                                        "Sym-GD-cold", /*warm_lp=*/false,
+                                        &cold_raw);
+          if (cold_row.error >= 0) {
+            cold_pivots += cold_raw.total_lp_pivots;
+            total_cold_secs += cold_row.seconds;
+            have_cold = true;
+          }
+        }
       }
       if (ok_count == 0) {
         table.AddRow({SyntheticDistributionName(dist), std::to_string(k),
-                      "fail", "-", "-"});
+                      "fail", "-", "-", "-", "-", "-"});
         continue;
       }
+      total_warm_pivots += warm_pivots;
+      total_cold_pivots += cold_pivots;
+      std::string ratio =
+          have_cold && warm_pivots > 0
+              ? FormatDouble(static_cast<double>(cold_pivots) / warm_pivots,
+                             2)
+              : "-";
       table.AddRow({SyntheticDistributionName(dist), std::to_string(k),
                     FormatDouble(error_sum / ok_count, 4),
-                    FormatDouble(time_sum / ok_count, 2), ""});
+                    FormatDouble(time_sum / ok_count, 2),
+                    std::to_string(cells), std::to_string(warm_pivots),
+                    have_cold ? std::to_string(cold_pivots) : "-", ratio});
       std::cout << "  " << SyntheticDistributionName(dist) << " k=" << k
                 << ": " << FormatDouble(error_sum / ok_count, 3)
                 << "/tuple in " << FormatDouble(time_sum / ok_count, 1)
-                << "s\n";
+                << "s, " << warm_pivots << " warm pivots"
+                << (have_cold
+                        ? " vs " + std::to_string(cold_pivots) + " cold"
+                        : "")
+                << "\n";
     }
   }
 
   Emit("fig3jkl_scalability", table);
+  if (compare && total_warm_pivots > 0) {
+    std::cout << "Warm-start totals: " << total_warm_pivots
+              << " pivots (" << FormatDouble(total_warm_secs, 1)
+              << "s) vs cold " << total_cold_pivots << " pivots ("
+              << FormatDouble(total_cold_secs, 1) << "s) -> pivot ratio "
+              << FormatDouble(static_cast<double>(total_cold_pivots) /
+                                  total_warm_pivots,
+                              2)
+              << "x\n";
+  }
   std::cout << "Paper shape: error <= ~1.5 per tuple across k and "
                "distributions; runtime grows mildly with k and stays within "
                "budget.\n";

@@ -1,17 +1,26 @@
 // Microbenchmarks (google-benchmark): throughput of the substrates the
 // paper-scale experiments lean on — the simplex solver, indicator interval
 // fixing, double/exact score ranking, and the exact arithmetic itself.
+//
+// Also runs (before the google-benchmark suite) a cold-start vs. warm-start
+// node-resolve comparison mirroring what branch-and-bound does per node —
+// fix/unfix a variable, re-solve — and writes the result as machine-readable
+// BENCH_lp_warmstart.json so future PRs can track the perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/indicator_fixing.h"
 #include "data/synthetic.h"
+#include "lp/incremental.h"
 #include "lp/simplex.h"
 #include "math/dyadic.h"
 #include "math/rational.h"
 #include "ranking/score_ranking.h"
 #include "ranking/verifier.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace rankhow {
 namespace {
@@ -23,6 +32,188 @@ Dataset MakeData(int n, int m, uint64_t seed) {
   spec.seed = seed;
   return GenerateSynthetic(spec);
 }
+
+// ---------------------------------------------------------------------------
+// Cold vs. warm node resolves.
+//
+// The model mimics a branch-and-bound node LP: binary-like [0,1] variables
+// plus nonnegative "error" variables under random rows, minimized over
+// positive error costs. Each step fixes or unfixes one binary — exactly the
+// parent→child delta of the MILP search — and re-solves.
+
+struct NodeResolveModel {
+  LpModel lp;
+  std::vector<int> binaries;
+};
+
+NodeResolveModel BuildNodeResolveModel(int num_binaries, int num_errors,
+                                       int rows, uint64_t seed) {
+  Rng rng(seed);
+  NodeResolveModel m;
+  LinearExpr objective;
+  for (int i = 0; i < num_binaries; ++i) {
+    m.binaries.push_back(m.lp.AddVariable(0, 1));
+  }
+  std::vector<int> errors;
+  for (int i = 0; i < num_errors; ++i) {
+    int e = m.lp.AddVariable(0, kInfinity);
+    errors.push_back(e);
+    objective += LinearExpr::Term(e, rng.NextUniform(1, 5));
+  }
+  for (int r = 0; r < rows; ++r) {
+    LinearExpr row;
+    for (int b : m.binaries) {
+      if (rng.NextDouble() < 0.5) {
+        row += LinearExpr::Term(b, rng.NextGaussian());
+      }
+    }
+    // Every row is relaxed by one error variable, like the Equation-(2)
+    // big-M rows relax into the per-tuple error terms.
+    row -= LinearExpr::Term(errors[r % num_errors], 1.0);
+    m.lp.AddConstraint(row, RelOp::kLe, rng.NextUniform(0.0, 0.5));
+  }
+  m.lp.SetObjective(objective, ObjectiveSense::kMinimize);
+  return m;
+}
+
+/// One deterministic trajectory of `steps` fix/unfix bound flips. Returns
+/// the visited fixing values so cold and warm replay identical work.
+std::vector<std::pair<int, double>> FlipTrajectory(
+    const NodeResolveModel& m, int steps, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int, double>> flips;
+  for (int s = 0; s < steps; ++s) {
+    int var = m.binaries[rng.NextBelow(m.binaries.size())];
+    double roll = rng.NextDouble();
+    flips.emplace_back(var, roll < 0.4 ? 0.0 : roll < 0.8 ? 1.0 : -1.0);
+  }
+  return flips;  // -1 = unfix back to [0,1]
+}
+
+struct NodeResolveCost {
+  double seconds = 0;
+  int64_t pivots = 0;
+  int64_t solves = 0;
+};
+
+NodeResolveCost RunNodeResolveCold(NodeResolveModel m,
+                                   const std::vector<std::pair<int, double>>&
+                                       flips) {
+  SimplexSolver solver;
+  NodeResolveCost cost;
+  WallTimer timer;
+  for (const auto& [var, value] : flips) {
+    LpVariable& v = m.lp.mutable_variable(var);
+    if (value < 0) {
+      v.lower = 0;
+      v.upper = 1;
+    } else {
+      v.lower = v.upper = value;
+    }
+    auto sol = solver.Solve(m.lp);
+    ++cost.solves;
+    if (sol.ok()) cost.pivots += sol->iterations;
+  }
+  cost.seconds = timer.ElapsedSeconds();
+  return cost;
+}
+
+NodeResolveCost RunNodeResolveWarm(const NodeResolveModel& m,
+                                   const std::vector<std::pair<int, double>>&
+                                       flips,
+                                   IncrementalLpStats* stats_out) {
+  IncrementalLp inc(m.lp);
+  NodeResolveCost cost;
+  WallTimer timer;
+  for (const auto& [var, value] : flips) {
+    if (value < 0) {
+      inc.SetVariableBounds(var, 0, 1);
+    } else {
+      inc.SetVariableBounds(var, value, value);
+    }
+    auto sol = inc.Solve();
+    ++cost.solves;
+    if (sol.ok()) cost.pivots += sol->iterations;
+  }
+  cost.seconds = timer.ElapsedSeconds();
+  if (stats_out != nullptr) *stats_out = inc.stats();
+  return cost;
+}
+
+/// Runs the comparison and writes BENCH_lp_warmstart.json next to the
+/// binary. Returns true on success.
+bool EmitWarmstartJson() {
+  constexpr int kBinaries = 40;
+  constexpr int kErrors = 12;
+  constexpr int kRows = 80;
+  constexpr int kSteps = 250;
+  NodeResolveModel model =
+      BuildNodeResolveModel(kBinaries, kErrors, kRows, /*seed=*/17);
+  std::vector<std::pair<int, double>> flips =
+      FlipTrajectory(model, kSteps, /*seed=*/23);
+
+  NodeResolveCost cold = RunNodeResolveCold(model, flips);
+  IncrementalLpStats warm_stats;
+  NodeResolveCost warm = RunNodeResolveWarm(model, flips, &warm_stats);
+
+  const double speedup = warm.seconds > 0 ? cold.seconds / warm.seconds : 0;
+  const double pivot_ratio =
+      warm.pivots > 0 ? static_cast<double>(cold.pivots) / warm.pivots : 0;
+  std::printf(
+      "[lp_warmstart] %d resolves on %d rows: cold %.3fs/%lld pivots, warm "
+      "%.3fs/%lld pivots -> speedup %.2fx, pivot ratio %.2fx\n",
+      kSteps, kRows, cold.seconds, (long long)cold.pivots, warm.seconds,
+      (long long)warm.pivots, speedup, pivot_ratio);
+
+  std::FILE* f = std::fopen("BENCH_lp_warmstart.json", "w");
+  if (f == nullptr) return false;
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"lp_warmstart\",\n"
+      "  \"config\": {\"binaries\": %d, \"errors\": %d, \"rows\": %d, "
+      "\"resolves\": %d},\n"
+      "  \"cold\": {\"seconds\": %.6f, \"pivots\": %lld},\n"
+      "  \"warm\": {\"seconds\": %.6f, \"pivots\": %lld, "
+      "\"warm_solves\": %lld, \"cold_solves\": %lld, "
+      "\"primal_pivots\": %lld, \"dual_pivots\": %lld, "
+      "\"repair_pivots\": %lld, \"bound_flips\": %lld, "
+      "\"rebuilds\": %lld},\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"pivot_ratio\": %.3f\n"
+      "}\n",
+      kBinaries, kErrors, kRows, kSteps, cold.seconds,
+      (long long)cold.pivots, warm.seconds, (long long)warm.pivots,
+      (long long)warm_stats.warm_solves, (long long)warm_stats.cold_solves,
+      (long long)warm_stats.primal_pivots, (long long)warm_stats.dual_pivots,
+      (long long)warm_stats.repair_pivots, (long long)warm_stats.bound_flips,
+      (long long)warm_stats.rebuilds, speedup, pivot_ratio);
+  std::fclose(f);
+  std::printf("(written to BENCH_lp_warmstart.json)\n");
+  return true;
+}
+
+void BM_NodeResolveCold(benchmark::State& state) {
+  NodeResolveModel model = BuildNodeResolveModel(40, 12, 80, 17);
+  std::vector<std::pair<int, double>> flips = FlipTrajectory(model, 25, 23);
+  for (auto _ : state) {
+    auto cost = RunNodeResolveCold(model, flips);
+    benchmark::DoNotOptimize(cost);
+  }
+  state.SetItemsProcessed(state.iterations() * flips.size());
+}
+BENCHMARK(BM_NodeResolveCold);
+
+void BM_NodeResolveWarm(benchmark::State& state) {
+  NodeResolveModel model = BuildNodeResolveModel(40, 12, 80, 17);
+  std::vector<std::pair<int, double>> flips = FlipTrajectory(model, 25, 23);
+  for (auto _ : state) {
+    auto cost = RunNodeResolveWarm(model, flips, nullptr);
+    benchmark::DoNotOptimize(cost);
+  }
+  state.SetItemsProcessed(state.iterations() * flips.size());
+}
+BENCHMARK(BM_NodeResolveWarm);
 
 void BM_SimplexSolve(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
@@ -152,4 +343,15 @@ BENCHMARK(BM_ScoreRanking)->Arg(10000)->Arg(100000);
 }  // namespace
 }  // namespace rankhow
 
-BENCHMARK_MAIN();
+// Custom main: the warm-start comparison + JSON emission run once up front,
+// then the registered google-benchmark suite as usual.
+int main(int argc, char** argv) {
+  if (!rankhow::EmitWarmstartJson()) {
+    std::fprintf(stderr, "failed to write BENCH_lp_warmstart.json\n");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -139,7 +139,9 @@ inline MethodRow RunSamplingBaseline(const Dataset& data,
 inline MethodRow RunSymGd(const Dataset& data, const Ranking& given,
                           EpsilonConfig eps, double cell_size,
                           double time_budget, bool adaptive,
-                          const std::string& label = "Sym-GD") {
+                          const std::string& label = "Sym-GD",
+                          bool warm_lp = true,
+                          SymGdResult* raw_out = nullptr) {
   auto seed = OrdinalRegressionSeed(data, given, eps.eps1);
   if (!seed.ok()) return Failed(label, seed.status());
   SymGdOptions options;
@@ -147,15 +149,18 @@ inline MethodRow RunSymGd(const Dataset& data, const Ranking& given,
   options.adaptive = adaptive;
   options.time_budget_seconds = time_budget;
   options.solver.eps = eps;
+  options.solver.use_warm_start = warm_lp;
   options.solver.time_limit_seconds =
       time_budget > 0 ? time_budget : 0;
   SymGd symgd(data, given, options);
   WallTimer timer;
   auto result = symgd.Run(*seed);
   if (!result.ok()) return Failed(label, result.status());
-  return MethodRow{label, static_cast<double>(result->error),
-                   timer.ElapsedSeconds(), false,
-                   StrFormat("%d cells", result->iterations)};
+  MethodRow row{label, static_cast<double>(result->error),
+                timer.ElapsedSeconds(), false,
+                StrFormat("%d cells", result->iterations)};
+  if (raw_out != nullptr) *raw_out = *result;
+  return row;
 }
 
 /// Formats error as per-tuple error (the paper's y axis).

@@ -242,8 +242,20 @@ Result<RankHowResult> RankHow::SolveSpatial(const WeightBox& box,
   spatial_options.time_limit_seconds =
       deadline.HasBudget() ? deadline.RemainingSeconds() : 0;
   spatial_options.max_boxes = options_.max_nodes;
+  spatial_options.use_warm_start = options_.use_warm_start;
   spatial_options.initial_weights = warm;
   SpatialBnb spatial(problem_, spatial_options);
+  if (options_.use_warm_start) {
+    // One warm P-feasibility oracle across every spatial solve this RankHow
+    // (and its SYM-GD copies) issues; see box_oracle_slot_.
+    BoxOracleSlot& slot = *box_oracle_slot_;
+    if (slot.oracle == nullptr ||
+        slot.oracle->num_constraints() != problem_.constraints.size()) {
+      slot.oracle = std::make_unique<BoxFeasibilityOracle>(
+          data_.num_attributes(), problem_.constraints);
+    }
+    spatial.SetOracle(slot.oracle.get());
+  }
   RH_ASSIGN_OR_RETURN(SpatialBnbResult sres, spatial.Solve(box));
 
   RankHowResult result;
@@ -254,6 +266,9 @@ Result<RankHowResult> RankHow::SolveSpatial(const WeightBox& box,
   result.proven_optimal = sres.proven_optimal;
   result.stats.nodes_explored = sres.stats.boxes_explored;
   result.stats.incumbent_updates = sres.stats.incumbent_updates;
+  result.stats.lp_iterations = sres.stats.lp_pivots;
+  result.stats.lp_warm_solves = sres.stats.lp_warm_solves;
+  result.stats.lp_cold_solves = sres.stats.lp_cold_solves;
   result.stats.seconds = sres.stats.seconds;
 
   // Indicator accounting at the root box, for parity with the MILP path
@@ -309,6 +324,7 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
     bnb_options.max_nodes = options_.max_nodes;
     bnb_options.objective_is_integral = true;
     bnb_options.lazy_separation = options_.use_lazy_separation;
+    bnb_options.use_warm_start = options_.use_warm_start;
     bnb_options.lp_options = options_.lp_options;
     BranchAndBound solver(bnb_options);
     if (options_.use_primal_heuristic) {
@@ -429,6 +445,7 @@ Result<RankHowResult> RankHow::SolveModel(
   bnb_options.max_nodes = options_.max_nodes;
   bnb_options.objective_is_integral = true;
   bnb_options.lazy_separation = options_.use_lazy_separation;
+  bnb_options.use_warm_start = options_.use_warm_start;
   bnb_options.lp_options = options_.lp_options;
 
   // Warm start from caller-provided weights (SYM-GD passes the previous

@@ -15,6 +15,7 @@
 ///   auto result = solver.Solve();
 ///   std::cout << result->function.ToString() << "  error=" << result->error;
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -77,6 +78,12 @@ struct RankHowOptions {
   /// Lazy row generation in the MILP branch-and-bound (see BnbOptions).
   /// Disabling is the full-relaxation ablation.
   bool use_lazy_separation = true;
+  /// Warm-started incremental node LPs (see BnbOptions::use_warm_start and
+  /// lp/incremental.h): branch-and-bound resolves each node from its
+  /// parent's basis on one shared tableau, and the spatial strategy reuses
+  /// one box-feasibility LP across boxes/cells. Disabling restores the
+  /// cold-start engines (the equivalence oracle).
+  bool use_warm_start = true;
   /// Tight per-pair big-M from the simplex-box support function (default).
   /// Disabling lets the relaxation auto-derive loose Ms from variable
   /// bounds — the textbook formulation the paper implicitly improves on.
@@ -153,6 +160,16 @@ class RankHow {
   const Ranking& given_;
   OptProblem problem_;
   RankHowOptions options_;
+  /// Lazily-built warm P-feasibility oracle for the spatial strategy. Held
+  /// through a shared slot so the copies SYM-GD makes per cell (to re-budget
+  /// time limits) keep feeding one oracle: adjacent cells then resolve their
+  /// box-feasibility LPs from each other's bases. Rebuilt if the caller
+  /// grows problem().constraints between solves.
+  struct BoxOracleSlot {
+    std::unique_ptr<BoxFeasibilityOracle> oracle;
+  };
+  std::shared_ptr<BoxOracleSlot> box_oracle_slot_ =
+      std::make_shared<BoxOracleSlot>();
 };
 
 }  // namespace rankhow

@@ -44,6 +44,38 @@ struct BoxBound {
 
 }  // namespace
 
+namespace {
+
+LpModel BuildFeasibilityModel(int m, const WeightConstraintSet& constraints) {
+  LpModel lp;
+  std::vector<int> weight_vars(m);
+  LinearExpr sum;
+  for (int a = 0; a < m; ++a) {
+    weight_vars[a] = lp.AddVariable(0.0, 1.0, "w");
+    sum += LinearExpr::Term(weight_vars[a], 1.0);
+  }
+  lp.AddConstraint(std::move(sum), RelOp::kEq, 1.0, "simplex");
+  constraints.AppendTo(&lp, weight_vars);
+  return lp;
+}
+
+}  // namespace
+
+BoxFeasibilityOracle::BoxFeasibilityOracle(
+    int num_attributes, const WeightConstraintSet& constraints)
+    : num_attributes_(num_attributes),
+      num_constraints_(constraints.size()),
+      lp_(BuildFeasibilityModel(num_attributes, constraints)) {}
+
+Result<std::vector<double>> BoxFeasibilityOracle::FeasiblePoint(
+    const WeightBox& box) {
+  for (int a = 0; a < num_attributes_; ++a) {
+    lp_.SetVariableBounds(a, box.lo[a], box.hi[a]);
+  }
+  RH_ASSIGN_OR_RETURN(LpSolution sol, lp_.Solve());
+  return std::move(sol.values);
+}
+
 Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
   RH_RETURN_NOT_OK(problem_.Validate());
   if (problem_.objective.kind == ObjectiveKind::kInversions) {
@@ -82,7 +114,41 @@ Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
     }
     return false;
   }();
-  SimplexSolver lp_solver;  // only used for general-row feasibility checks
+  SimplexSolver lp_solver;  // cold path for general-row feasibility checks
+
+  // Warm path: adjacent boxes differ only in variable bounds, so one
+  // compiled oracle (injected by RankHow to span a whole cell sweep, or
+  // local to this call) resolves each query from the previous basis.
+  std::unique_ptr<BoxFeasibilityOracle> local_oracle;
+  BoxFeasibilityOracle* oracle = external_oracle_;
+  if (has_general_rows && options_.use_warm_start && oracle == nullptr) {
+    local_oracle = std::make_unique<BoxFeasibilityOracle>(
+        m, problem_.constraints);
+    oracle = local_oracle.get();
+  }
+  const int64_t oracle_solves0 = oracle ? oracle->stats().solves : 0;
+  const int64_t oracle_pivots0 = oracle ? oracle->stats().total_pivots() : 0;
+  const int64_t oracle_warm0 = oracle ? oracle->stats().warm_solves : 0;
+  const int64_t oracle_cold0 = oracle ? oracle->stats().cold_solves : 0;
+  int64_t cold_lp_solves = 0;
+  int64_t cold_lp_pivots = 0;
+
+  // Per-box cold query: the same model the oracle compiles, rebuilt and
+  // solved from scratch (the legacy path, and the per-query fallback when
+  // the shared oracle hits numerical trouble).
+  auto cold_feasible_point =
+      [&](const WeightBox& box) -> Result<std::vector<double>> {
+    LpModel lp = BuildFeasibilityModel(m, problem_.constraints);
+    for (int a = 0; a < m; ++a) {
+      lp.mutable_variable(a).lower = box.lo[a];
+      lp.mutable_variable(a).upper = box.hi[a];
+    }
+    auto sol = lp_solver.Solve(lp);
+    ++cold_lp_solves;
+    if (!sol.ok()) return sol.status();
+    cold_lp_pivots += sol->iterations;
+    return std::move(sol->values);
+  };
 
   // Feasibility of box ∩ simplex ∩ P(general rows); returns a point inside
   // when one is needed (for incumbent evaluation), or empty when the caller
@@ -90,16 +156,15 @@ Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
   auto feasible_point =
       [&](const WeightBox& box) -> Result<std::vector<double>> {
     if (!has_general_rows) return AnyPointOnSimplexBox(box);
-    LpModel lp;
-    std::vector<int> weight_vars(m);
-    LinearExpr sum;
-    for (int a = 0; a < m; ++a) {
-      weight_vars[a] = lp.AddVariable(box.lo[a], box.hi[a], "w");
-      sum += LinearExpr::Term(weight_vars[a], 1.0);
+    if (oracle != nullptr) {
+      auto point = oracle->FeasiblePoint(box);
+      if (point.ok() || point.status().code() == StatusCode::kInfeasible) {
+        return point;
+      }
+      // Numerical trouble in the shared tableau: answer this query cold
+      // instead of aborting the whole subdivision.
     }
-    lp.AddConstraint(std::move(sum), RelOp::kEq, 1.0, "simplex");
-    problem_.constraints.AppendTo(&lp, weight_vars);
-    return lp_solver.FindFeasiblePoint(lp);
+    return cold_feasible_point(box);
   };
 
   // Bounds a box. Also prunes via order constraints and position brackets.
@@ -256,6 +321,15 @@ Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
   }
 
   stats.seconds = timer.ElapsedSeconds();
+  if (oracle != nullptr) {
+    stats.lp_solves = oracle->stats().solves - oracle_solves0;
+    stats.lp_pivots = oracle->stats().total_pivots() - oracle_pivots0;
+    stats.lp_warm_solves = oracle->stats().warm_solves - oracle_warm0;
+    stats.lp_cold_solves = oracle->stats().cold_solves - oracle_cold0;
+  }
+  stats.lp_solves += cold_lp_solves;
+  stats.lp_pivots += cold_lp_pivots;
+  stats.lp_cold_solves += cold_lp_solves;
   if (incumbent == std::numeric_limits<long>::max()) {
     if (limits_hit) {
       return Status::ResourceExhausted(

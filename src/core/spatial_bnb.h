@@ -30,13 +30,41 @@
 /// arithmetic.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/opt_problem.h"
+#include "lp/incremental.h"
 #include "math/simplex_box.h"
 #include "util/status.h"
 
 namespace rankhow {
+
+/// Warm-started feasibility oracle for box ∩ simplex ∩ P queries. The LP's
+/// *structure* (weight variables, the Σw = 1 row, the predicate-P rows) is
+/// box-independent — only the variable bounds change between queries — so
+/// one compiled IncrementalLp serves every box of a subdivision, and every
+/// cell of a SYM-GD sweep, resolving each adjacent query from the previous
+/// basis in a few dual pivots. See DESIGN.md "Incremental LP architecture".
+class BoxFeasibilityOracle {
+ public:
+  BoxFeasibilityOracle(int num_attributes,
+                       const WeightConstraintSet& constraints);
+
+  /// A point of box ∩ simplex ∩ P, kInfeasible when that region is empty,
+  /// or another LP error.
+  Result<std::vector<double>> FeasiblePoint(const WeightBox& box);
+
+  /// The constraint count the oracle was compiled for (cache validity
+  /// check: WeightConstraintSet only ever grows).
+  size_t num_constraints() const { return num_constraints_; }
+  const IncrementalLpStats& stats() const { return lp_.stats(); }
+
+ private:
+  int num_attributes_;
+  size_t num_constraints_;
+  IncrementalLp lp_;
+};
 
 struct SpatialBnbOptions {
   /// Wall-clock budget; 0 = unlimited.
@@ -48,6 +76,9 @@ struct SpatialBnbOptions {
   /// within floating-point noise of an indicator hyperplane — exactly the
   /// region the paper's ε-gap machinery excludes from solutions anyway.
   double min_box_width = 1e-9;
+  /// Per-box P-feasibility LPs through a warm-started BoxFeasibilityOracle
+  /// (default) instead of building + cold-solving an LpModel per box.
+  bool use_warm_start = true;
   /// Warm-start incumbent (e.g. from presolve); empty = none.
   std::vector<double> initial_weights;
 };
@@ -60,6 +91,15 @@ struct SpatialBnbStats {
   /// Boxes that hit min_box_width with bound < evaluation — the only source
   /// of proof loss (see proven_optimal).
   int64_t floor_misses = 0;
+  /// P-feasibility LP queries and the simplex pivots they cost (zero when P
+  /// has no general rows — pure box/simplex feasibility needs no LP at
+  /// all). lp_warm_solves counts oracle resolves from a persisted basis;
+  /// lp_cold_solves counts fresh factorizations (the oracle's first solve,
+  /// its rebuilds, and every per-box cold SimplexSolver query).
+  int64_t lp_solves = 0;
+  int64_t lp_pivots = 0;
+  int64_t lp_warm_solves = 0;
+  int64_t lp_cold_solves = 0;
   double seconds = 0;
 };
 
@@ -84,12 +124,18 @@ class SpatialBnb {
   SpatialBnb(const OptProblem& problem, SpatialBnbOptions options)
       : problem_(problem), options_(std::move(options)) {}
 
+  /// Injects a shared feasibility oracle (non-owning; must outlive Solve).
+  /// RankHow passes one oracle across a whole SYM-GD cell sweep so adjacent
+  /// cells warm-start each other; without it Solve builds its own per call.
+  void SetOracle(BoxFeasibilityOracle* oracle) { external_oracle_ = oracle; }
+
   /// Solves over `box` ∩ simplex ∩ P. kInfeasible when that region is empty.
   Result<SpatialBnbResult> Solve(const WeightBox& box) const;
 
  private:
   const OptProblem& problem_;
   SpatialBnbOptions options_;
+  BoxFeasibilityOracle* external_oracle_ = nullptr;
 };
 
 }  // namespace rankhow

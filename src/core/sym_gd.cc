@@ -70,6 +70,9 @@ Result<SymGdResult> SymGd::Run(const std::vector<double>& seed) const {
       result.error_trajectory.push_back(step->error);
       result.total_nodes += step->stats.nodes_explored;
       result.total_free_indicators += step->num_free_indicators;
+      result.total_lp_pivots += step->stats.lp_iterations;
+      result.total_lp_warm_solves += step->stats.lp_warm_solves;
+      result.total_lp_cold_solves += step->stats.lp_cold_solves;
 
       bool improved = current_error < 0 || step->error < current_error;
       if (current_error < 0 || step->error <= current_error) {

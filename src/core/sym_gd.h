@@ -45,6 +45,12 @@ struct SymGdResult {
   /// Aggregate MILP statistics across all cell solves.
   long total_nodes = 0;
   long total_free_indicators = 0;
+  /// Aggregate LP effort across all cell solves: total simplex pivots and
+  /// the warm/cold solve split (see BnbStats) — the figures bench_fig3jkl
+  /// uses to quantify the warm-start win.
+  long total_lp_pivots = 0;
+  long total_lp_warm_solves = 0;
+  long total_lp_cold_solves = 0;
 };
 
 /// The SYM-GD optimizer over a fixed problem instance.

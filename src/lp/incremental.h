@@ -1,0 +1,179 @@
+#ifndef RANKHOW_LP_INCREMENTAL_H_
+#define RANKHOW_LP_INCREMENTAL_H_
+
+/// \file incremental.h
+/// Warm-started incremental LP solving. One `IncrementalLp` owns a compiled
+/// bounded-variable simplex instance for the lifetime of a branch-and-bound
+/// tree (or a SYM-GD cell sweep) and supports the three mutations those
+/// searches actually perform between solves:
+///
+///   * `SetVariableBounds` — indicator fixings / box moves (bound flips),
+///   * `AddRow` + `SetRowActive` — lazy row separation with cheap undo
+///     (deactivating a row frees its slack instead of shrinking the tableau),
+///   * `Solve(warm_basis)` — re-optimization from the previous (or an
+///     imported parent) basis.
+///
+/// Unlike SimplexSolver (lp/simplex.h), which compiles every finite upper
+/// bound into an extra row and cold-starts two-phase primal simplex per
+/// call, this engine treats variable bounds natively (nonbasic variables sit
+/// at either bound) and persists the dense `B⁻¹A` tableau between calls, so
+/// a child node whose parent basis became primal-infeasible after a bound
+/// flip is repaired by a few *dual* simplex pivots instead of a full
+/// Phase-1/Phase-2 restart. SimplexSolver stays as the cold-start fallback
+/// and cross-check oracle (see DESIGN.md "Incremental LP architecture").
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+/// A simplex basis snapshot: which column is basic in each row, and which
+/// nonbasic columns sit at their upper bound. Exported after a node solve
+/// and threaded to the node's children as their warm start. Snapshots stay
+/// valid as the instance grows: rows/columns added later simply keep their
+/// own (slack-basic / at-bound) state on import.
+struct LpBasis {
+  std::vector<int> basic;         ///< row -> basic column
+  std::vector<uint8_t> at_upper;  ///< per column: nonbasic at upper bound
+};
+
+/// Cumulative counters over the life of one IncrementalLp.
+struct IncrementalLpStats {
+  int64_t solves = 0;
+  /// Solves that reused a persisted/imported basis.
+  int64_t warm_solves = 0;
+  /// Solves from the all-slack basis (first solve + numerical rebuilds).
+  int64_t cold_solves = 0;
+  int64_t primal_pivots = 0;
+  int64_t dual_pivots = 0;
+  /// Zero-cost dual pivots restoring primal feasibility on cold starts.
+  int64_t repair_pivots = 0;
+  /// Pivots spent steering the tableau toward an imported basis.
+  int64_t import_pivots = 0;
+  /// Nonbasic bound-to-bound moves (cheap: no elimination).
+  int64_t bound_flips = 0;
+  /// Full tableau rebuilds after a failed post-solve check or to confirm an
+  /// infeasibility verdict reached from a warm basis.
+  int64_t rebuilds = 0;
+
+  int64_t total_pivots() const {
+    return primal_pivots + dual_pivots + repair_pivots + import_pivots;
+  }
+};
+
+/// A mutable, warm-startable LP instance. Not thread-safe; one instance per
+/// search tree.
+///
+/// Error codes from Solve: kInfeasible, kUnbounded, kResourceExhausted
+/// (iteration/deadline caps), kNumerical (post-solve check failed even
+/// after a rebuild — callers should fall back to SimplexSolver).
+class IncrementalLp {
+ public:
+  /// Compiles `base`: its variables (with bounds), rows, and objective.
+  /// Row ids returned by AddRow continue the base row numbering.
+  explicit IncrementalLp(const LpModel& base,
+                         SimplexOptions options = SimplexOptions());
+
+  int num_variables() const { return num_structural_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Replaces the bounds of a base-model variable. Cheap: the factorized
+  /// state is kept; the next Solve repairs primal feasibility dually.
+  void SetVariableBounds(int var, double lower, double upper);
+  double variable_lower(int var) const { return lower_[var]; }
+  double variable_upper(int var) const { return upper_[var]; }
+
+  /// Appends a row (active). Returns its id. The expression's constant is
+  /// folded into the rhs. The tableau grows by one row + one slack column;
+  /// the current basis is extended with the new slack, so a subsequent warm
+  /// Solve repairs the (possibly violated) new row dually.
+  int AddRow(const LinearExpr& expr, RelOp op, double rhs);
+
+  /// Enables/disables a row without touching the tableau shape: a disabled
+  /// row's slack becomes free, which is equivalent to deleting the row.
+  void SetRowActive(int row, bool active);
+  bool row_active(int row) const { return rows_[row].active; }
+
+  /// Re-optimizes from the persisted state. `warm` (optional) steers the
+  /// basis toward a snapshot exported from a related solve first; pass
+  /// nullptr to reuse the current basis. `deadline_seconds` <= 0 means no
+  /// deadline (the options' own deadline, if any, still applies per call).
+  Result<LpSolution> Solve(const LpBasis* warm = nullptr,
+                           double deadline_seconds = 0);
+
+  /// Snapshot of the current basis (after a successful Solve).
+  LpBasis ExportBasis() const;
+
+  /// When true (default), an infeasibility verdict reached from a warm
+  /// tableau is re-confirmed on a freshly rebuilt one before being returned,
+  /// so accumulated elimination error cannot prune a feasible subproblem.
+  void set_verify_infeasible(bool v) { verify_infeasible_ = v; }
+
+  const IncrementalLpStats& stats() const { return stats_; }
+
+ private:
+  enum ColStatus : int8_t { kAtLower, kAtUpper, kBasic, kFreeAtZero };
+
+  struct RowData {
+    std::vector<std::pair<int, double>> terms;  // structural columns only
+    RelOp op = RelOp::kLe;
+    double rhs = 0.0;  // jittered, constant folded
+    bool active = true;
+  };
+
+  double Value(int col) const;
+  void SlackBounds(const RowData& row, double* lo, double* up) const;
+  void ApplyColumnBoundsStatus(int col);
+  /// Builds the tableau from the original row data with the all-slack basis.
+  void Factorize();
+  /// Gauss–Jordan pivot on (row, col): tableau, rhs column, reduced costs.
+  void PivotTab(int row, int col);
+  /// Nonbasic placement for a column leaving the basis (finite bound
+  /// preferred; honors an at-upper hint when given).
+  void PlaceLeavingColumn(int col, bool prefer_upper);
+  /// Recomputes basic values / reduced costs from the tableau (cheap:
+  /// O(rows·cols); removes drift accumulated by bound edits between solves).
+  void RefreshBeta();
+  void RefreshCosts();
+  bool PrimalFeasible() const;
+  bool DualFeasible() const;
+  void ImportBasis(const LpBasis& basis, int* iterations);
+  Status RunPrimal(const Deadline& deadline, int* iterations);
+  /// `repair_mode`: treat all costs as zero (pure feasibility restoration).
+  Status RunDual(const Deadline& deadline, int* iterations, bool repair_mode);
+  Status OptimizeFromCurrentBasis(const Deadline& deadline, int* iterations);
+  /// Checks the solution against original rows/bounds (magnitude-aware).
+  bool SolutionConsistent(const std::vector<double>& values) const;
+
+  SimplexOptions options_;
+  bool verify_infeasible_ = true;
+
+  int num_structural_ = 0;
+  LinearExpr objective_;          // original, for reporting
+  std::vector<double> cost_;      // minimization costs, structural columns
+  std::vector<double> lower_, upper_;  // per column (structural + slack)
+  std::vector<RowData> rows_;
+
+  // Factorized state (valid once factorized_ is set).
+  bool factorized_ = false;
+  std::vector<std::vector<double>> tab_;  // rows × columns, B⁻¹A
+  std::vector<double> rhs0_;              // B⁻¹b
+  std::vector<int> basic_;                // row -> column
+  std::vector<int8_t> status_;            // per column
+  std::vector<double> beta_;              // basic variable values
+  std::vector<double> d_;                 // reduced costs
+  /// Pivots since the last clean factorization — the drift proxy gating
+  /// whether an infeasibility verdict needs re-confirmation on a rebuild.
+  int64_t pivots_since_factorize_ = 0;
+
+  IncrementalLpStats stats_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_LP_INCREMENTAL_H_

@@ -56,16 +56,26 @@ class Tableau {
   }
 
   /// Gauss–Jordan pivot on (row, col), updating both objective rows.
-  void Pivot(int row, int col) {
-    double inv = 1.0 / At(row, col);
-    for (int c = 0; c <= cols_; ++c) At(row, c) *= inv;
-    At(row, col) = 1.0;  // exact
+  /// `drop_tol`: rows whose pivot-column factor is at most this magnitude
+  /// are not eliminated at all — the entry is zeroed directly, trading a
+  /// sub-tolerance perturbation (already treated as zero by every
+  /// pricing/ratio test) for skipping an O(cols) row update.
+  void Pivot(int row, int col, double drop_tol = 0.0) {
+    double* prow = RowPtr(row);
+    double inv = 1.0 / prow[col];
+    for (int c = 0; c <= cols_; ++c) prow[c] *= inv;
+    prow[col] = 1.0;  // exact
     for (int r = 0; r < rows_ + 2; ++r) {
       if (r == row || !RowRelevant(r)) continue;
-      double factor = At(r, col);
+      double* rrow = RowPtr(r);
+      double factor = rrow[col];
       if (factor == 0.0) continue;
-      for (int c = 0; c <= cols_; ++c) At(r, c) -= factor * At(row, c);
-      At(r, col) = 0.0;  // exact
+      if (std::abs(factor) <= drop_tol) {
+        rrow[col] = 0.0;
+        continue;
+      }
+      for (int c = 0; c <= cols_; ++c) rrow[c] -= factor * prow[c];
+      rrow[col] = 0.0;  // exact
     }
     basis_[row] = col;
   }
@@ -73,6 +83,9 @@ class Tableau {
  private:
   bool RowRelevant(int r) const {
     return r >= rows_ || active_[r];
+  }
+  double* RowPtr(int r) {
+    return data_.data() + static_cast<size_t>(r) * (cols_ + 1);
   }
 
   int rows_;
@@ -339,7 +352,7 @@ Status RunSimplex(Tableau& tab, int obj_row, int usable_cols,
     }
     if (leave < 0) return Status::Unbounded("LP objective unbounded");
 
-    tab.Pivot(leave, enter);
+    tab.Pivot(leave, enter, opt.pivot_tol);
     ++*iterations;
 
     // Invariant: Rhs(obj_row) == -z, so minimizing z drives the corner up.
@@ -395,7 +408,7 @@ Result<LpSolution> SimplexSolver::Solve(const LpModel& model) const {
         }
       }
       if (pivot_col >= 0) {
-        tab.Pivot(r, pivot_col);
+        tab.Pivot(r, pivot_col, options_.pivot_tol);
         ++iterations;
       } else {
         tab.Deactivate(r);  // redundant row

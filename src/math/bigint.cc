@@ -53,29 +53,27 @@ int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
   return 0;
 }
 
-std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  std::vector<uint32_t> out;
-  out.reserve(std::max(a.size(), b.size()) + 1);
+void BigInt::AddMagnitudeInPlace(std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  // &a == &b (x += x) needs no resize; otherwise growing first keeps the
+  // loop branch-free on the write side.
+  if (a.size() < n) a.resize(n, 0);
   uint64_t carry = 0;
-  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
-    uint64_t sum = carry;
-    if (i < a.size()) sum += a[i];
-    if (i < b.size()) sum += b[i];
-    out.push_back(static_cast<uint32_t>(sum & 0xFFFFFFFFu));
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry + a[i] + (i < b.size() ? b[i] : 0);
+    a[i] = static_cast<uint32_t>(sum & 0xFFFFFFFFu);
     carry = sum >> 32;
   }
-  if (carry != 0) out.push_back(static_cast<uint32_t>(carry));
-  return out;
+  if (carry != 0) a.push_back(static_cast<uint32_t>(carry));
 }
 
-std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
+void BigInt::SubMagnitudeInPlace(std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b) {
   RH_DCHECK(CompareMagnitude(a, b) >= 0);
-  std::vector<uint32_t> out;
-  out.reserve(a.size());
   int64_t borrow = 0;
   for (size_t i = 0; i < a.size(); ++i) {
+    if (borrow == 0 && i >= b.size()) break;  // nothing left to subtract
     int64_t diff = static_cast<int64_t>(a[i]) - borrow -
                    (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
     if (diff < 0) {
@@ -84,11 +82,96 @@ std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
     } else {
       borrow = 0;
     }
-    out.push_back(static_cast<uint32_t>(diff));
+    a[i] = static_cast<uint32_t>(diff);
   }
   RH_DCHECK(borrow == 0);
-  while (!out.empty() && out.back() == 0) out.pop_back();
-  return out;
+}
+
+void BigInt::SubFromMagnitudeInPlace(std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  RH_DCHECK(CompareMagnitude(b, a) >= 0);
+  a.resize(b.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(b[i]) - borrow -
+                   static_cast<int64_t>(a[i]);
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<uint32_t>(diff);
+  }
+  RH_DCHECK(borrow == 0);
+}
+
+BigInt& BigInt::AccumulateSigned(const BigInt& other, bool other_negative) {
+  if (other.limbs_.empty()) return *this;
+  if (limbs_.empty()) {
+    limbs_ = other.limbs_;
+    negative_ = other_negative;
+    return *this;
+  }
+  if (negative_ == other_negative) {
+    AddMagnitudeInPlace(limbs_, other.limbs_);
+  } else {
+    const int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+      return *this;
+    }
+    if (cmp > 0) {
+      SubMagnitudeInPlace(limbs_, other.limbs_);
+    } else {
+      SubFromMagnitudeInPlace(limbs_, other.limbs_);
+      negative_ = other_negative;
+    }
+  }
+  Trim();
+  return *this;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  return AccumulateSigned(other, other.negative_);
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  return AccumulateSigned(other, !other.negative_);
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  if (is_zero() || other.is_zero()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  // Schoolbook multiplication cannot reuse the accumulator limb-for-limb
+  // (each output limb mixes many input limbs), so compute the product
+  // magnitude into one scratch vector and swap it in.
+  std::vector<uint32_t> out(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out[i + j] +
+                     static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] +
+                     carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    size_t pos = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out[pos] + carry;
+      out[pos] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++pos;
+    }
+  }
+  negative_ = negative_ != other.negative_;
+  limbs_.swap(out);
+  Trim();
+  return *this;
 }
 
 BigInt BigInt::operator-() const {
@@ -98,52 +181,20 @@ BigInt BigInt::operator-() const {
 }
 
 BigInt BigInt::operator+(const BigInt& other) const {
-  BigInt out;
-  if (negative_ == other.negative_) {
-    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
-    out.negative_ = negative_;
-  } else {
-    int cmp = CompareMagnitude(limbs_, other.limbs_);
-    if (cmp == 0) return BigInt();
-    if (cmp > 0) {
-      out.limbs_ = SubMagnitude(limbs_, other.limbs_);
-      out.negative_ = negative_;
-    } else {
-      out.limbs_ = SubMagnitude(other.limbs_, limbs_);
-      out.negative_ = other.negative_;
-    }
-  }
-  out.Trim();
+  BigInt out = *this;
+  out += other;
   return out;
 }
 
 BigInt BigInt::operator-(const BigInt& other) const {
-  return *this + (-other);
+  BigInt out = *this;
+  out -= other;
+  return out;
 }
 
 BigInt BigInt::operator*(const BigInt& other) const {
-  if (is_zero() || other.is_zero()) return BigInt();
-  BigInt out;
-  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
-  for (size_t i = 0; i < limbs_.size(); ++i) {
-    uint64_t carry = 0;
-    for (size_t j = 0; j < other.limbs_.size(); ++j) {
-      uint64_t cur = out.limbs_[i + j] +
-                     static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] +
-                     carry;
-      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
-      carry = cur >> 32;
-    }
-    size_t pos = i + other.limbs_.size();
-    while (carry != 0) {
-      uint64_t cur = out.limbs_[pos] + carry;
-      out.limbs_[pos] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
-      carry = cur >> 32;
-      ++pos;
-    }
-  }
-  out.negative_ = negative_ != other.negative_;
-  out.Trim();
+  BigInt out = *this;
+  out *= other;
   return out;
 }
 

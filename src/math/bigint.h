@@ -37,9 +37,13 @@ class BigInt {
   BigInt operator-(const BigInt& other) const;
   BigInt operator*(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  /// In-place compound arithmetic. += and -= mutate the limb vector
+  /// directly (no allocation when the accumulator's capacity suffices —
+  /// the exact verifier's accumulation loops hit this path every term);
+  /// *= computes into one scratch vector and swaps.
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
 
   /// Truncated division (quotient rounds toward zero, like C++ int division).
   /// Requires a non-zero divisor. remainder has the dividend's sign.
@@ -88,13 +92,19 @@ class BigInt {
   bool negative_ = false;
 
   void Trim();
+  /// Signed in-place accumulation: *this += (other with the given sign).
+  /// The core of operator+=/-=; alias-safe (x += x works).
+  BigInt& AccumulateSigned(const BigInt& other, bool other_negative);
   static int CompareMagnitude(const std::vector<uint32_t>& a,
                               const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  // Requires |a| >= |b|.
-  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
+  // In-place magnitude arithmetic: a += b / a -= b (requires |a| >= |b|) /
+  // a = b - a (requires |b| >= |a|).
+  static void AddMagnitudeInPlace(std::vector<uint32_t>& a,
+                                  const std::vector<uint32_t>& b);
+  static void SubMagnitudeInPlace(std::vector<uint32_t>& a,
+                                  const std::vector<uint32_t>& b);
+  static void SubFromMagnitudeInPlace(std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
 };
 
 struct BigInt::DivModResult {

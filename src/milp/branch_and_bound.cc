@@ -13,10 +13,14 @@ namespace {
 
 /// A subproblem: bound fixings applied on top of the root core LP, plus the
 /// set of indicator big-M rows its ancestors found binding (lazily grown —
-/// children start from the parent's set instead of rediscovering it).
+/// children start from the parent's set instead of rediscovering it), plus
+/// the basis its parent's LP ended on (the warm start that lets the shared
+/// IncrementalLp *resolve* this node in a few dual pivots instead of
+/// re-solving it from scratch).
 struct Node {
   std::vector<std::pair<int, double>> fixings;  // (binary var, 0.0 or 1.0)
-  std::shared_ptr<const std::vector<int>> active_rows;
+  std::shared_ptr<const std::vector<int>> active_rows;  // sorted pool ids
+  std::shared_ptr<const LpBasis> warm_basis;
   double bound;                                 // parent LP bound (lower)
   int depth = 0;
 };
@@ -54,13 +58,14 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
   for (const MilpModel::CompiledRow& cut : model.lazy_cuts()) {
     compiled.push_back(cut);
   }
-  // Binary upper bounds, also enforced lazily: the dense-tableau simplex
-  // compiles every finite upper bound into a row, so thousands of mostly
-  // slack "δ <= 1" rows would dominate node LP cost. Node assembly relaxes
-  // unfixed binaries to [0, ∞) and these pool rows pull the bound back in
-  // only where the LP actually pushes past it. Intermediate LP values stay
-  // valid lower bounds (the feasible set only grows), and "clean" points
-  // satisfy every bound by construction.
+  // Binary upper bounds. The legacy cold path relaxes unfixed binaries to
+  // [0, ∞) — the dense-tableau SimplexSolver compiles every finite upper
+  // bound into a row, so thousands of mostly slack "δ <= 1" rows would
+  // dominate node LP cost — and these pool rows pull the bound back in only
+  // where the LP pushes past it. The warm engine's bounded-variable simplex
+  // enforces bounds natively, so under it the binaries keep their [0, 1]
+  // bounds and these rows simply never separate. Either way intermediate LP
+  // values stay valid lower bounds and "clean" points satisfy every bound.
   for (int var : model.binary_vars()) {
     compiled.push_back(
         MilpModel::CompiledRow{LinearExpr::Term(var, 1.0), RelOp::kLe, 1.0});
@@ -81,6 +86,31 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
     return options_.objective_is_integral ? std::ceil(bound - 1e-6) : bound;
   };
 
+  // The warm engine (one per tree): a persistent compiled instance holding
+  // the core rows plus every pool row ever separated. Nodes are expressed
+  // as deltas against it — bound fixings and the active subset of
+  // materialized pool rows (deactivated rows keep their tableau slot with a
+  // freed slack, so undo is O(1) per row).
+  std::unique_ptr<IncrementalLp> inc;
+  std::vector<int> pool_to_row;   // pool idx -> engine row id (-1 = absent)
+  std::vector<int> inc_active;    // sorted pool ids active in the engine
+  std::vector<std::pair<int, double>> applied_fixings;
+  if (options_.use_warm_start) {
+    inc = std::make_unique<IncrementalLp>(core, options_.lp_options);
+    pool_to_row.assign(num_rows, -1);
+  }
+  int64_t fallback_solves = 0;
+
+  // Activates pool row `idx` in the engine, materializing it on first use.
+  auto engine_enable_row = [&](int idx) {
+    if (pool_to_row[idx] < 0) {
+      pool_to_row[idx] =
+          inc->AddRow(compiled[idx].expr, compiled[idx].op, compiled[idx].rhs);
+    } else {
+      inc->SetRowActive(pool_to_row[idx], true);
+    }
+  };
+
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
   {
     auto root_active = std::make_shared<std::vector<int>>();
@@ -89,22 +119,25 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
       root_active->resize(num_rows);
       for (size_t i = 0; i < num_rows; ++i) (*root_active)[i] = i;
     }
-    open.push(Node{{}, std::move(root_active), -kInfinity, 0});
+    open.push(Node{{}, std::move(root_active), nullptr, -kInfinity, 0});
   }
   // The global lower bound is the smallest bound among unexplored subtrees
   // (the queue is ordered by bound, so that is open.top()).
   double global_bound = kInfinity;  // +inf once the tree is exhausted
   bool limits_hit = false;
 
-  // Branches both ways on `var` from `node`, carrying `bound` and `active`.
+  // Branches both ways on `var` from `node`, carrying `bound`, `active`,
+  // and the basis this node's LP ended on (both children resolve from it).
   auto branch = [&](const Node& node, int var, double first_value,
                     double bound,
-                    std::shared_ptr<const std::vector<int>> active) {
+                    std::shared_ptr<const std::vector<int>> active,
+                    std::shared_ptr<const LpBasis> basis) {
     for (double value : {first_value, 1.0 - first_value}) {
       Node child;
       child.fixings = node.fixings;
       child.fixings.emplace_back(var, value);
       child.active_rows = active;
+      child.warm_basis = basis;
       child.bound = bound;
       child.depth = node.depth + 1;
       open.push(std::move(child));
@@ -130,21 +163,59 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
     }
     ++stats.nodes_explored;
 
-    // Assemble the node LP: core + fixings + inherited lazy rows. Unfixed
-    // binaries get an open upper bound (see the bound rows in the pool).
-    LpModel relaxation = core;
-    for (int var : binaries) {
-      relaxation.mutable_variable(var).upper = kInfinity;
-    }
-    for (const auto& [var, value] : node.fixings) {
-      LpVariable& v = relaxation.mutable_variable(var);
-      v.lower = value;
-      v.upper = value;
-    }
     std::shared_ptr<const std::vector<int>> active = node.active_rows;
-    for (int idx : *active) {
-      relaxation.AddConstraint(LinearExpr(compiled[idx].expr),
-                               compiled[idx].op, compiled[idx].rhs, "lazy");
+    bool node_warm = inc != nullptr;
+    LpModel relaxation;  // cold path / fallback only
+
+    // Assembles the legacy per-node LP copy: core + fixings + active rows,
+    // unfixed binaries relaxed to an open upper bound (see the pool above).
+    auto assemble_cold = [&]() {
+      relaxation = core;
+      for (int var : binaries) {
+        relaxation.mutable_variable(var).upper = kInfinity;
+      }
+      for (const auto& [var, value] : node.fixings) {
+        LpVariable& v = relaxation.mutable_variable(var);
+        v.lower = value;
+        v.upper = value;
+      }
+      for (int idx : *active) {
+        relaxation.AddConstraint(LinearExpr(compiled[idx].expr),
+                                 compiled[idx].op, compiled[idx].rhs, "lazy");
+      }
+    };
+
+    if (node_warm) {
+      // Express this node as a delta against the engine: undo the previous
+      // node's fixings, apply ours, and sync the active-row subset (both
+      // sides sorted; rows missing from the engine are materialized).
+      for (const auto& [var, value] : applied_fixings) {
+        (void)value;
+        const LpVariable& v = core.variable(var);
+        inc->SetVariableBounds(var, v.lower, v.upper);
+      }
+      for (const auto& [var, value] : node.fixings) {
+        inc->SetVariableBounds(var, value, value);
+      }
+      applied_fixings = node.fixings;
+      const std::vector<int>& want = *active;
+      size_t a = 0, b = 0;
+      while (a < inc_active.size() || b < want.size()) {
+        if (b >= want.size() ||
+            (a < inc_active.size() && inc_active[a] < want[b])) {
+          inc->SetRowActive(pool_to_row[inc_active[a]], false);
+          ++a;
+        } else if (a >= inc_active.size() || inc_active[a] > want[b]) {
+          engine_enable_row(want[b]);
+          ++b;
+        } else {
+          ++a;
+          ++b;
+        }
+      }
+      inc_active = want;
+    } else {
+      assemble_cold();
     }
 
     // Lazy separation loop: solve, add violated indicator rows, re-solve.
@@ -164,16 +235,38 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
         out_of_time = true;
         break;
       }
-      SimplexOptions lp_options = options_.lp_options;
-      if (deadline.HasBudget()) {
-        double remaining = deadline.RemainingSeconds();
-        lp_options.deadline_seconds =
-            lp_options.deadline_seconds > 0
-                ? std::min(lp_options.deadline_seconds, remaining)
-                : remaining;
+      const double remaining =
+          deadline.HasBudget() ? deadline.RemainingSeconds() : 0;
+      if (node_warm) {
+        // First round resolves from the parent's basis; later rounds reuse
+        // the basis the previous round ended on (ideal after row adds).
+        const LpBasis* hint =
+            round == 0 && node.warm_basis ? node.warm_basis.get() : nullptr;
+        lp = inc->Solve(hint, remaining);
+        const bool recoverable =
+            !lp.ok() && lp.status().code() != StatusCode::kInfeasible &&
+            !(lp.status().code() == StatusCode::kResourceExhausted &&
+              deadline.Expired());
+        if (recoverable) {
+          // Numerical trouble in the warm engine: reroute this node to the
+          // cold oracle (the engine itself stays consistent for the next
+          // node — its tableau is rebuilt from original rows on demand).
+          ++fallback_solves;
+          node_warm = false;
+          assemble_cold();
+        }
       }
-      SimplexSolver lp_solver(lp_options);
-      lp = lp_solver.Solve(relaxation);
+      if (!node_warm) {
+        SimplexOptions lp_options = options_.lp_options;
+        if (deadline.HasBudget()) {
+          lp_options.deadline_seconds =
+              lp_options.deadline_seconds > 0
+                  ? std::min(lp_options.deadline_seconds, remaining)
+                  : remaining;
+        }
+        SimplexSolver lp_solver(lp_options);
+        lp = lp_solver.Solve(relaxation);
+      }
       if (!lp.ok()) {
         lp_failed = true;
         break;
@@ -195,15 +288,36 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
         clean = true;
         break;
       }
+      // A row can be *active yet re-reported here: the violation scan uses
+      // an absolute tolerance while the LP certifies rows magnitude-aware.
+      // Dedupe — the active-row sets must stay strictly sorted-unique for
+      // the engine's two-pointer delta sync.
       auto grown = std::make_shared<std::vector<int>>(*active);
-      for (int idx : violated) {
-        grown->push_back(idx);
-        relaxation.AddConstraint(LinearExpr(compiled[idx].expr),
-                                 compiled[idx].op, compiled[idx].rhs, "lazy");
+      grown->insert(grown->end(), violated.begin(), violated.end());
+      std::sort(grown->begin(), grown->end());
+      grown->erase(std::unique(grown->begin(), grown->end()), grown->end());
+      if (node_warm) {
+        for (int idx : violated) engine_enable_row(idx);
+        inc_active = *grown;
+      } else {
+        for (int idx : violated) {
+          relaxation.AddConstraint(LinearExpr(compiled[idx].expr),
+                                   compiled[idx].op, compiled[idx].rhs,
+                                   "lazy");
+        }
       }
       active = std::move(grown);
       ++stats.lazy_rounds;
     }
+
+    // The basis this node's LP ended on — the children's warm start. On the
+    // cold/fallback path the parent's basis is passed through unchanged.
+    auto export_basis = [&]() -> std::shared_ptr<const LpBasis> {
+      if (node_warm && lp.ok()) {
+        return std::make_shared<const LpBasis>(inc->ExportBasis());
+      }
+      return node.warm_basis;
+    };
 
     if (out_of_time) {
       // Global budget ran out between separation rounds: the node is not
@@ -251,7 +365,7 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
                         << lp.status().ToString();
         continue;
       }
-      branch(node, branch_var, 0.0, node.bound, active);
+      branch(node, branch_var, 0.0, node.bound, active, node.warm_basis);
       continue;
     }
 
@@ -320,13 +434,24 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
     }
 
     // Branch. Explore the side the LP leans toward first (slightly better
-    // bounds in practice); both children inherit this node's bound and
-    // lazily-grown row set.
+    // bounds in practice); both children inherit this node's bound, its
+    // lazily-grown row set, and the basis its LP ended on.
     double leaning = lp->values[branch_var] >= 0.5 ? 1.0 : 0.0;
-    branch(node, branch_var, leaning, bound, active);
+    branch(node, branch_var, leaning, bound, active, export_basis());
   }
 
   stats.seconds = timer.ElapsedSeconds();
+  if (inc != nullptr) {
+    const IncrementalLpStats& ls = inc->stats();
+    stats.lp_warm_solves = ls.warm_solves;
+    stats.lp_cold_solves = ls.cold_solves;
+    stats.lp_primal_pivots = ls.primal_pivots;
+    stats.lp_dual_pivots = ls.dual_pivots;
+    stats.lp_repair_pivots = ls.repair_pivots;
+    stats.lp_import_pivots = ls.import_pivots;
+    stats.lp_rebuilds = ls.rebuilds;
+  }
+  stats.lp_fallback_solves = fallback_solves;
   if (limits_hit) {
     // Unexplored subtrees remain; the weakest of their bounds limits what we
     // can claim.

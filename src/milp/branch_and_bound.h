@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "lp/incremental.h"
 #include "lp/simplex.h"
 #include "milp/milp_model.h"
 #include "util/status.h"
@@ -58,11 +59,22 @@ struct BnbOptions {
   double initial_incumbent = kInfinity;
   /// Assignment matching initial_incumbent (may be empty).
   std::vector<double> initial_values;
+  /// Node LPs via one shared IncrementalLp per tree (default): per-node
+  /// deltas (bound flips + active lazy-row set) are applied to a persistent
+  /// tableau and re-optimized dually from the parent basis, instead of
+  /// copying the core LpModel and cold-starting two-phase simplex at every
+  /// node. Disabling restores the legacy cold path (the cross-check oracle;
+  /// also the per-node fallback after numerical trouble).
+  bool use_warm_start = true;
   SimplexOptions lp_options;
 };
 
 struct BnbStats {
   int64_t nodes_explored = 0;
+  /// Total simplex pivots across all node LP solves (both engines). This is
+  /// the figure of merit for the warm-start machinery: with use_warm_start,
+  /// bench_fig3jkl_scalability and bench_micro compare it against the
+  /// cold-start path.
   int64_t lp_iterations = 0;
   int64_t incumbent_updates = 0;
   /// Lazy-separation rounds that added violated indicator rows (see
@@ -71,6 +83,21 @@ struct BnbStats {
   /// Fully-fixed nodes dropped after unrecoverable LP failures; any drop
   /// downgrades proven_optimal (see branch_and_bound.cc).
   int64_t numerical_drops = 0;
+  // ---- warm-start accounting (zero when use_warm_start is off) ----
+  /// Node LP solves that reused the persistent tableau / a parent basis.
+  int64_t lp_warm_solves = 0;
+  /// Solves from a fresh factorization (first node + numerical rebuilds).
+  int64_t lp_cold_solves = 0;
+  /// Pivot breakdown of lp_iterations on the warm engine.
+  int64_t lp_primal_pivots = 0;
+  int64_t lp_dual_pivots = 0;
+  int64_t lp_repair_pivots = 0;
+  int64_t lp_import_pivots = 0;
+  /// Tableau rebuilds forced by post-solve checks / infeasibility re-checks.
+  int64_t lp_rebuilds = 0;
+  /// Nodes rerouted to the legacy SimplexSolver path after the warm engine
+  /// reported numerical trouble.
+  int64_t lp_fallback_solves = 0;
   double seconds = 0;
 };
 

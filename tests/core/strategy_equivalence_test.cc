@@ -282,6 +282,59 @@ TEST_P(ConstrainedEquivalenceTest, MilpAndSatAgreeUnderConstraints) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ConstrainedEquivalenceTest,
                          ::testing::Range<uint64_t>(0, 15));
 
+// Warm-started incremental node LPs must not change what the exact search
+// proves: for every strategy, solving with use_warm_start on and off must
+// reach identical objectives, bounds, and optimality claims (the search
+// *trajectories* may differ — warm LPs are tighter — but the proven answer
+// may not). This is the incremental-LP engine's end-to-end equivalence
+// check, complementing tests/lp/incremental_test.cc's per-solve oracle.
+class WarmStartEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WarmStartEquivalenceTest, WarmAndColdProveSameOptimum) {
+  Rng rng(GetParam() * 131 + 7);
+  const int n = static_cast<int>(rng.NextInt(5, 14));
+  const int m = static_cast<int>(rng.NextInt(2, 4));
+  const int k = static_cast<int>(rng.NextInt(1, std::min(n, 5)));
+  Dataset d = RandomDataset(rng, n, m);
+  std::vector<double> scores(n);
+  for (int t = 0; t < n; ++t) {
+    scores[t] = std::pow(d.value(t, 0), 2) +
+                (m > 1 ? 0.5 * d.value(t, 1) : 0.0);
+  }
+  Ranking given = Ranking::FromScores(scores, k, 0.0);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  for (SolveStrategy strategy :
+       {SolveStrategy::kIndicatorMilp, SolveStrategy::kSpatial,
+        SolveStrategy::kSatBinarySearch}) {
+    options.strategy = strategy;
+    long errors[2];
+    long bounds[2];
+    int i = 0;
+    for (bool warm : {false, true}) {
+      options.use_warm_start = warm;
+      RankHow solver(d, given, options);
+      auto result = solver.Solve();
+      ASSERT_TRUE(result.ok())
+          << SolveStrategyName(strategy) << " warm=" << warm << ": "
+          << result.status().ToString();
+      EXPECT_TRUE(result->proven_optimal)
+          << SolveStrategyName(strategy) << " warm=" << warm;
+      errors[i] = result->error;
+      bounds[i] = result->bound;
+      ++i;
+    }
+    EXPECT_EQ(errors[0], errors[1])
+        << SolveStrategyName(strategy) << ": warm starts changed the optimum";
+    EXPECT_EQ(bounds[0], bounds[1])
+        << SolveStrategyName(strategy) << ": warm starts changed the bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmStartEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
 // DESIGN.md's determinism promise, checked at the solver level: repeated
 // solves of the same instance produce bit-identical results (weights,
 // error, node counts) for every strategy.

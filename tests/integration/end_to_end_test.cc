@@ -60,7 +60,14 @@ TEST(EndToEndTest, MvpCaseStudyPipeline) {
   ASSERT_TRUE(constrained_result.ok())
       << constrained_result.status().ToString();
   EXPECT_GE(constrained_result->function.weights[pts], 0.1 - 1e-6);
-  EXPECT_GE(constrained_result->error, result->error);
+  // Adding a constraint can only worsen the *optimum*. Within a time budget
+  // both solves return heuristic incumbents, so the clean inequality is only
+  // guaranteed between proven optima; the always-sound relation is against
+  // the unconstrained proven lower bound.
+  EXPECT_GE(constrained_result->error, result->bound);
+  if (result->proven_optimal && constrained_result->proven_optimal) {
+    EXPECT_GE(constrained_result->error, result->error);
+  }
 }
 
 TEST(EndToEndTest, SymGdWithOrdinalSeedOnCsRankings) {

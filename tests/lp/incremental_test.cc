@@ -1,0 +1,284 @@
+// Warm-vs-cold equivalence for the incremental LP engine: after any
+// sequence of bound flips, row additions, and row (de)activations, a
+// warm-started IncrementalLp::Solve must reach the same objective as a
+// cold SimplexSolver solve of the equivalent LpModel. SimplexSolver is the
+// oracle here (see DESIGN.md "Incremental LP architecture").
+
+#include "lp/incremental.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+constexpr double kObjTol = 1e-5;
+
+// A mirrored instance: the IncrementalLp under test plus the plain LpModel
+// data needed to rebuild the equivalent cold model at any point.
+struct Mirror {
+  LpModel base;                    // variables + objective (bounds mutable)
+  std::vector<LpConstraint> rows;  // all rows ever added
+  std::vector<bool> active;
+};
+
+LpModel BuildCold(const Mirror& m) {
+  LpModel cold;
+  for (int j = 0; j < m.base.num_variables(); ++j) {
+    const LpVariable& v = m.base.variable(j);
+    cold.AddVariable(v.lower, v.upper, v.name);
+  }
+  cold.SetObjective(m.base.objective(), m.base.sense());
+  for (size_t i = 0; i < m.rows.size(); ++i) {
+    if (m.active[i]) {
+      cold.AddConstraint(m.rows[i].expr, m.rows[i].op, m.rows[i].rhs);
+    }
+  }
+  return cold;
+}
+
+// Compares a warm incremental solve against the cold oracle on the current
+// mirrored state. Both must agree on feasibility; objectives must match.
+void ExpectAgreement(IncrementalLp& inc, const Mirror& m,
+                     const std::string& context) {
+  auto warm = inc.Solve();
+  auto cold = SimplexSolver().Solve(BuildCold(m));
+  if (cold.ok()) {
+    ASSERT_TRUE(warm.ok()) << context
+                           << ": warm failed: " << warm.status().ToString()
+                           << " but cold found " << cold->objective;
+    EXPECT_NEAR(warm->objective, cold->objective, kObjTol) << context;
+  } else if (cold.status().code() == StatusCode::kInfeasible) {
+    ASSERT_FALSE(warm.ok()) << context << ": warm found " << warm->objective
+                            << " but cold is infeasible";
+    EXPECT_EQ(warm.status().code(), StatusCode::kInfeasible) << context;
+  } else if (cold.status().code() == StatusCode::kUnbounded) {
+    ASSERT_FALSE(warm.ok()) << context << ": warm found " << warm->objective
+                            << " but cold is unbounded";
+    EXPECT_EQ(warm.status().code(), StatusCode::kUnbounded) << context;
+  }
+  // Other oracle outcomes (numerical, iteration caps) make no claim.
+}
+
+TEST(IncrementalLpTest, MatchesColdOnTextbookInstance) {
+  // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 -> 36 at (2, 6).
+  LpModel m;
+  int x = m.AddVariable(0, kInfinity, "x");
+  int y = m.AddVariable(0, kInfinity, "y");
+  m.AddConstraint(LinearExpr::Term(x, 1), RelOp::kLe, 4);
+  m.AddConstraint(LinearExpr::Term(y, 2), RelOp::kLe, 12);
+  m.AddConstraint(LinearExpr::Term(x, 3) + LinearExpr::Term(y, 2),
+                  RelOp::kLe, 18);
+  m.SetObjective(LinearExpr::Term(x, 3) + LinearExpr::Term(y, 5),
+                 ObjectiveSense::kMaximize);
+  IncrementalLp inc(m);
+  auto sol = inc.Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 36.0, 1e-6);
+  EXPECT_NEAR(sol->values[x], 2.0, 1e-6);
+  EXPECT_NEAR(sol->values[y], 6.0, 1e-6);
+}
+
+TEST(IncrementalLpTest, BoundFlipResolvesDually) {
+  // Fix a variable the optimum uses, re-solve warm, then un-fix: both
+  // resolves must agree with cold solves, and the warm path must not
+  // restart from scratch (second solve is counted warm).
+  LpModel m;
+  int x = m.AddVariable(0, 10, "x");
+  int y = m.AddVariable(0, 10, "y");
+  m.AddConstraint(LinearExpr::Term(x, 1) + LinearExpr::Term(y, 1),
+                  RelOp::kLe, 12);
+  m.SetObjective(LinearExpr::Term(x, -2) + LinearExpr::Term(y, -1));
+  IncrementalLp inc(m);
+  auto first = inc.Solve();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_NEAR(first->objective, -22.0, 1e-6);  // x=10, y=2
+
+  inc.SetVariableBounds(x, 3, 3);
+  auto fixed = inc.Solve();
+  ASSERT_TRUE(fixed.ok()) << fixed.status().ToString();
+  EXPECT_NEAR(fixed->objective, -15.0, 1e-6);  // x=3, y=9
+
+  inc.SetVariableBounds(x, 0, 10);
+  auto relaxed = inc.Solve();
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+  EXPECT_NEAR(relaxed->objective, -22.0, 1e-6);
+  EXPECT_EQ(inc.stats().cold_solves, 1);
+  EXPECT_EQ(inc.stats().warm_solves, 2);
+}
+
+TEST(IncrementalLpTest, RowAdditionAndDeactivation) {
+  LpModel m;
+  int x = m.AddVariable(0, kInfinity, "x");
+  int y = m.AddVariable(0, kInfinity, "y");
+  m.AddConstraint(LinearExpr::Term(x, 1) + LinearExpr::Term(y, 1),
+                  RelOp::kLe, 10);
+  m.SetObjective(LinearExpr::Term(x, -1) + LinearExpr::Term(y, -1));
+  IncrementalLp inc(m);
+  auto base = inc.Solve();
+  ASSERT_TRUE(base.ok());
+  EXPECT_NEAR(base->objective, -10.0, 1e-6);
+
+  int cut = inc.AddRow(LinearExpr::Term(x, 1), RelOp::kLe, 2.0);
+  auto cut_sol = inc.Solve();
+  ASSERT_TRUE(cut_sol.ok());
+  EXPECT_NEAR(cut_sol->objective, -10.0, 1e-6);  // y picks up the slack
+  EXPECT_LE(cut_sol->values[x], 2.0 + 1e-6);
+
+  int cut2 = inc.AddRow(LinearExpr::Term(y, 1), RelOp::kLe, 3.0);
+  auto both = inc.Solve();
+  ASSERT_TRUE(both.ok());
+  EXPECT_NEAR(both->objective, -5.0, 1e-6);
+
+  inc.SetRowActive(cut, false);
+  auto reopened = inc.Solve();
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_NEAR(reopened->objective, -10.0, 1e-6);
+
+  inc.SetRowActive(cut, true);
+  inc.SetRowActive(cut2, false);
+  auto swapped = inc.Solve();
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_NEAR(swapped->objective, -10.0, 1e-6);
+}
+
+TEST(IncrementalLpTest, DetectsInfeasibilityAfterTightening) {
+  LpModel m;
+  int x = m.AddVariable(0, kInfinity, "x");
+  m.AddConstraint(LinearExpr::Term(x, 1), RelOp::kGe, 5);
+  m.SetObjective(LinearExpr::Term(x, 1));
+  IncrementalLp inc(m);
+  auto ok = inc.Solve();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NEAR(ok->objective, 5.0, 1e-6);
+
+  inc.SetVariableBounds(x, 0, 3);
+  auto bad = inc.Solve();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInfeasible);
+
+  inc.SetVariableBounds(x, 0, kInfinity);
+  auto again = inc.Solve();
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_NEAR(again->objective, 5.0, 1e-6);
+}
+
+TEST(IncrementalLpTest, BasisExportImportRoundTrips) {
+  LpModel m;
+  int x = m.AddVariable(0, 4, "x");
+  int y = m.AddVariable(0, 4, "y");
+  m.AddConstraint(LinearExpr::Term(x, 1) + LinearExpr::Term(y, 2),
+                  RelOp::kLe, 6);
+  m.SetObjective(LinearExpr::Term(x, -3) + LinearExpr::Term(y, -2));
+  IncrementalLp inc(m);
+  auto sol = inc.Solve();
+  ASSERT_TRUE(sol.ok());
+  LpBasis basis = inc.ExportBasis();
+
+  // Perturb the instance away from that basis, then restore and re-import:
+  // the solve from the imported basis must match the original optimum.
+  inc.SetVariableBounds(x, 0, 0);
+  ASSERT_TRUE(inc.Solve().ok());
+  inc.SetVariableBounds(x, 0, 4);
+  auto back = inc.Solve(&basis);
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(back->objective, sol->objective, 1e-6);
+}
+
+// The core randomized property: 100+ random models, each mutated through a
+// random trajectory of bound flips / fixings / row additions /
+// deactivations, warm-resolved at every step and checked against a cold
+// SimplexSolver solve of the equivalent model.
+class IncrementalEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IncrementalEquivalenceTest, WarmMatchesColdThroughMutations) {
+  Rng rng(GetParam() * 7919 + 17);
+  const int n = static_cast<int>(rng.NextInt(2, 8));
+  const int base_rows = static_cast<int>(rng.NextInt(1, 10));
+
+  Mirror mirror;
+  std::vector<int> vars(n);
+  for (int j = 0; j < n; ++j) {
+    double lo = rng.NextUniform(-2, 1);
+    double hi = lo + rng.NextUniform(0.1, 4);
+    if (rng.NextDouble() < 0.15) lo = -kInfinity;  // one-sided
+    vars[j] = mirror.base.AddVariable(lo, hi);
+  }
+  LinearExpr obj;
+  for (int j = 0; j < n; ++j) {
+    obj += LinearExpr::Term(vars[j], rng.NextGaussian());
+  }
+  const bool maximize = rng.NextDouble() < 0.5;
+  mirror.base.SetObjective(obj, maximize ? ObjectiveSense::kMaximize
+                                         : ObjectiveSense::kMinimize);
+
+  auto random_row = [&]() {
+    LpConstraint c;
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextDouble() < 0.7) {
+        c.expr += LinearExpr::Term(vars[j], rng.NextGaussian());
+      }
+    }
+    double roll = rng.NextDouble();
+    c.op = roll < 0.45 ? RelOp::kLe : roll < 0.9 ? RelOp::kGe : RelOp::kEq;
+    c.rhs = rng.NextGaussian();
+    return c;
+  };
+  for (int i = 0; i < base_rows; ++i) {
+    mirror.rows.push_back(random_row());
+    mirror.active.push_back(true);
+  }
+
+  LpModel seed = BuildCold(mirror);
+  IncrementalLp inc(seed);
+  ExpectAgreement(inc, mirror, "initial solve");
+
+  const int steps = static_cast<int>(rng.NextInt(4, 10));
+  for (int s = 0; s < steps; ++s) {
+    double roll = rng.NextDouble();
+    std::string context = "step " + std::to_string(s);
+    if (roll < 0.40) {
+      // Bound mutation: tighten, relax, or fix a variable.
+      int j = static_cast<int>(rng.NextBelow(n));
+      double kind = rng.NextDouble();
+      double lo, hi;
+      if (kind < 0.3) {
+        lo = hi = rng.NextUniform(-1, 1);  // fix (a B&B branching decision)
+      } else {
+        lo = rng.NextUniform(-3, 1);
+        hi = lo + rng.NextUniform(0.1, 5);
+      }
+      mirror.base.mutable_variable(vars[j]).lower = lo;
+      mirror.base.mutable_variable(vars[j]).upper = hi;
+      inc.SetVariableBounds(vars[j], lo, hi);
+      context += " (bounds)";
+    } else if (roll < 0.70) {
+      // Lazy separation: a new row arrives.
+      LpConstraint c = random_row();
+      mirror.rows.push_back(c);
+      mirror.active.push_back(true);
+      inc.AddRow(c.expr, c.op, c.rhs);
+      context += " (add row)";
+    } else {
+      // Toggle one row's activation (node-to-node delta undo/redo).
+      size_t i = rng.NextBelow(mirror.rows.size());
+      mirror.active[i] = !mirror.active[i];
+      inc.SetRowActive(static_cast<int>(i), mirror.active[i]);
+      context += " (toggle row)";
+    }
+    ExpectAgreement(inc, mirror, context);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 120));
+
+}  // namespace
+}  // namespace rankhow

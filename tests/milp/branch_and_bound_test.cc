@@ -253,5 +253,43 @@ TEST_P(BnbIndicatorPropertyTest, MatchesEnumeration) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BnbIndicatorPropertyTest,
                          ::testing::Range<uint64_t>(0, 60));
 
+// BnbResult equivalence of the two node-LP engines: the shared warm-started
+// IncrementalLp (default) and the legacy per-node cold SimplexSolver must
+// prove identical objectives and bounds on random knapsacks.
+class WarmColdBnbTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WarmColdBnbTest, ObjectivesUnchangedByWarmStarts) {
+  Rng rng(GetParam() + 500);
+  const int n = static_cast<int>(rng.NextInt(4, 10));
+  Knapsack k;
+  for (int i = 0; i < n; ++i) {
+    k.values.push_back(rng.NextUniform(1, 20));
+    k.weights.push_back(rng.NextUniform(1, 10));
+  }
+  k.capacity = rng.NextUniform(5, 25);
+  MilpModel m = BuildKnapsack(k);
+
+  double objectives[2];
+  double bounds[2];
+  int i = 0;
+  for (bool warm : {false, true}) {
+    BnbOptions options;
+    options.use_warm_start = warm;
+    auto result = BranchAndBound(options).Solve(m);
+    ASSERT_TRUE(result.ok()) << "warm=" << warm << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->proven_optimal) << "warm=" << warm;
+    objectives[i] = result->objective;
+    bounds[i] = result->best_bound;
+    ++i;
+  }
+  EXPECT_NEAR(objectives[0], objectives[1], 1e-6);
+  EXPECT_NEAR(bounds[0], bounds[1], 1e-6);
+  EXPECT_NEAR(objectives[0], -BruteForceKnapsack(k), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmColdBnbTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
 }  // namespace
 }  // namespace rankhow
