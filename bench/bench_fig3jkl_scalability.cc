@@ -16,13 +16,142 @@
 // strategy routes to the spatial search with no general P rows (no LP runs
 // at all there).
 //
+// A second section measures the *parallel search engine*: the n=10000
+// exact solve (auto strategy) at 1/2/4/8 worker threads, asserting the
+// proven objective is thread-count invariant and recording wall-clock
+// speedups to BENCH_parallel_scaling.json (the acceptance artifact for the
+// thread-pooled branch-and-bound; meaningful speedups need >= 8 hardware
+// threads — the file records hardware_concurrency so readers can tell).
+//
 // Flags: --n, --m, --seed, --datasets (replicas per distribution; the paper
-// averages 3), --budget, --compare.
+// averages 3), --budget, --compare, --table, --scaling, --scaling-n,
+// --scaling-budget, --threads-max.
+
+#include <cstdio>
+#include <thread>
 
 #include "bench/harness_include.h"
 
 using namespace rankhow;
 using namespace rankhow::bench;
+
+namespace {
+
+/// One thread-count measurement of the exact solve.
+struct ScalingRun {
+  int threads = 0;
+  double seconds = 0;
+  long error = -1;
+  long bound = -1;
+  bool proven = false;
+  int64_t nodes = 0;
+};
+
+int RunParallelScaling(int scaling_n, int m, uint64_t seed,
+                       double per_solve_budget, int threads_max) {
+  std::cout << "\n=== Parallel scaling: exact solve at n=" << scaling_n
+            << " (threads 1.." << threads_max << ") ===\n";
+  SyntheticSpec spec;
+  spec.num_tuples = scaling_n;
+  spec.num_attributes = m;
+  spec.distribution = SyntheticDistribution::kUniform;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 3, 10);
+  EpsilonConfig eps = SyntheticEps();
+
+  std::vector<ScalingRun> runs;
+  TablePrinter table({"threads", "seconds", "error", "bound", "proven",
+                      "nodes", "speedup"});
+  for (int threads = 1; threads <= threads_max; threads *= 2) {
+    RankHowOptions options;
+    options.eps = eps;
+    options.time_limit_seconds = per_solve_budget;
+    options.num_threads = threads;
+    RankHow solver(data, given, options);
+    auto result = solver.Solve();
+    ScalingRun run;
+    run.threads = threads;
+    if (result.ok()) {
+      run.seconds = result->seconds;
+      run.error = result->error;
+      run.bound = result->bound;
+      run.proven = result->proven_optimal;
+      run.nodes = result->stats.nodes_explored;
+    } else {
+      std::cout << "  threads=" << threads
+                << " FAILED: " << result.status().ToString() << "\n";
+    }
+    double speedup =
+        !runs.empty() && runs.front().seconds > 0 && run.seconds > 0
+            ? runs.front().seconds / run.seconds
+            : 1.0;
+    table.AddRow({std::to_string(threads), FormatDouble(run.seconds, 2),
+                  std::to_string(run.error), std::to_string(run.bound),
+                  run.proven ? "yes" : "no",
+                  std::to_string(static_cast<long>(run.nodes)),
+                  FormatDouble(speedup, 2)});
+    std::cout << "  threads=" << threads << ": "
+              << FormatDouble(run.seconds, 2) << "s, error=" << run.error
+              << (run.proven ? " (proven)" : " (budget-limited)")
+              << ", speedup " << FormatDouble(speedup, 2) << "x\n";
+    runs.push_back(run);
+  }
+  std::cout << table.ToText();
+
+  // Cross-thread-count invariant: every *proven* run must agree.
+  long proven_error = -1;
+  bool consistent = true;
+  for (const ScalingRun& run : runs) {
+    if (!run.proven) continue;
+    if (proven_error < 0) {
+      proven_error = run.error;
+    } else if (run.error != proven_error) {
+      consistent = false;
+    }
+  }
+  if (!consistent) {
+    std::cout << "ERROR: proven objectives disagree across thread counts\n";
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::FILE* f = std::fopen("BENCH_parallel_scaling.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to write BENCH_parallel_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"parallel_scaling\",\n"
+               "  \"workload\": \"exact solve, uniform synthetic, "
+               "ranking sum(A^3), k=10\",\n"
+               "  \"n\": %d,\n  \"m\": %d,\n  \"seed\": %llu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"objectives_consistent\": %s,\n  \"runs\": [\n",
+               scaling_n, m, static_cast<unsigned long long>(seed), hw,
+               consistent ? "true" : "false");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ScalingRun& run = runs[i];
+    double speedup = runs.front().seconds > 0 && run.seconds > 0
+                         ? runs.front().seconds / run.seconds
+                         : 1.0;
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.4f, \"error\": %ld, "
+                 "\"bound\": %ld, \"proven\": %s, \"nodes\": %lld, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 run.threads, run.seconds, run.error, run.bound,
+                 run.proven ? "true" : "false",
+                 static_cast<long long>(run.nodes), speedup,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::cout << "(written to BENCH_parallel_scaling.json; hardware threads: "
+            << hw << ")\n";
+  return consistent ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
@@ -37,7 +166,23 @@ int main(int argc, char** argv) {
   bool compare = flags.GetInt("compare", 1,
                               "also run cold-start node LPs and report "
                               "the pivot ratio") != 0;
+  bool run_table = flags.GetInt("table", 1,
+                                "run the Fig 3j/3k/3l SYM-GD table") != 0;
+  bool run_scaling = flags.GetInt("scaling", 1,
+                                  "run the parallel-scaling section") != 0;
+  int scaling_n = static_cast<int>(flags.GetInt(
+      "scaling-n", 10000, "tuples for the parallel-scaling exact solve"));
+  double scaling_budget = flags.GetDouble(
+      "scaling-budget", 120, "per-thread-count solve budget (s)");
+  int threads_max = static_cast<int>(flags.GetInt(
+      "threads-max", 8, "largest thread count measured (doubling from 1)"));
   if (!flags.Finish()) return 0;
+
+  if (!run_table) {
+    return run_scaling ? RunParallelScaling(scaling_n, m, seed,
+                                            scaling_budget, threads_max)
+                       : 0;
+  }
 
   std::cout << "=== Fig 3j/3k/3l: Sym-GD scalability (n=" << n
             << ", ranking sum(A^3)) ===\n";
@@ -135,5 +280,9 @@ int main(int argc, char** argv) {
   std::cout << "Paper shape: error <= ~1.5 per tuple across k and "
                "distributions; runtime grows mildly with k and stays within "
                "budget.\n";
+  if (run_scaling) {
+    return RunParallelScaling(scaling_n, m, seed, scaling_budget,
+                              threads_max);
+  }
   return 0;
 }

@@ -225,6 +225,18 @@ Result<SolveStrategy> ParseStrategy(const std::string& name) {
                          "' (auto|milp|spatial|sat)");
 }
 
+Result<int> ParseThreadCount(const std::string& value) {
+  std::string v = ToLower(Trim(value));
+  if (v == "all" || v == "auto") return 0;
+  bool numeric = !v.empty() && v.size() <= 5;  // bounds std::stoi too
+  for (char c : v) numeric = numeric && c >= '0' && c <= '9';
+  if (!numeric) {
+    return Status::Invalid("bad --threads value '" + value +
+                           "' (a non-negative integer, or 'all')");
+  }
+  return std::stoi(v);
+}
+
 Result<RankingObjectiveSpec> ParseObjectiveSpec(const std::string& name,
                                                 int k) {
   std::string v = ToLower(Trim(name));

@@ -78,6 +78,11 @@ Status ApplyOrderConstraints(const std::vector<std::string>& labels,
 /// "auto" | "milp" | "spatial" | "sat".
 Result<SolveStrategy> ParseStrategy(const std::string& name);
 
+/// "--threads" values: a non-negative integer, or "all" for every hardware
+/// thread (the RankHowOptions::num_threads convention: 0 = all, 1 =
+/// serial, n = exactly n).
+Result<int> ParseThreadCount(const std::string& value);
+
 /// "position" | "topheavy" | "inversions"; `k` sizes the top-heavy penalty
 /// ladder.
 Result<RankingObjectiveSpec> ParseObjectiveSpec(const std::string& name,

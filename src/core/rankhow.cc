@@ -5,6 +5,7 @@
 
 #include "core/indicator_fixing.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rankhow {
@@ -239,15 +240,17 @@ Result<RankHowResult> RankHow::SolveSpatial(const WeightBox& box,
                                             const std::vector<double>& warm,
                                             const Deadline& deadline) const {
   SpatialBnbOptions spatial_options;
-  spatial_options.time_limit_seconds =
-      deadline.HasBudget() ? deadline.RemainingSeconds() : 0;
+  spatial_options.time_limit_seconds = deadline.RemainingOrZero();
   spatial_options.max_boxes = options_.max_nodes;
   spatial_options.use_warm_start = options_.use_warm_start;
+  spatial_options.num_threads = options_.num_threads;
   spatial_options.initial_weights = warm;
   SpatialBnb spatial(problem_, spatial_options);
-  if (options_.use_warm_start) {
+  if (options_.use_warm_start &&
+      ThreadPool::ResolveThreadCount(options_.num_threads) == 1) {
     // One warm P-feasibility oracle across every spatial solve this RankHow
-    // (and its SYM-GD copies) issues; see box_oracle_slot_.
+    // (and its SYM-GD copies) issues; see box_oracle_slot_. Parallel
+    // solves skip the shared slot — each worker compiles its own oracle.
     BoxOracleSlot& slot = *box_oracle_slot_;
     if (slot.oracle == nullptr ||
         slot.oracle->num_constraints() != problem_.constraints.size()) {
@@ -319,12 +322,12 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
                                static_cast<double>(*budget), "sat_budget");
     }
     BnbOptions bnb_options;
-    bnb_options.time_limit_seconds =
-        deadline.HasBudget() ? deadline.RemainingSeconds() : 0;
+    bnb_options.time_limit_seconds = deadline.RemainingOrZero();
     bnb_options.max_nodes = options_.max_nodes;
     bnb_options.objective_is_integral = true;
     bnb_options.lazy_separation = options_.use_lazy_separation;
     bnb_options.use_warm_start = options_.use_warm_start;
+    bnb_options.num_threads = options_.num_threads;
     bnb_options.lp_options = options_.lp_options;
     BranchAndBound solver(bnb_options);
     if (options_.use_primal_heuristic) {
@@ -440,12 +443,12 @@ Result<RankHowResult> RankHow::SolveModel(
     const OptModel& model, const std::vector<double>* initial_weights,
     const Deadline& deadline) const {
   BnbOptions bnb_options;
-  bnb_options.time_limit_seconds =
-      deadline.HasBudget() ? deadline.RemainingSeconds() : 0;
+  bnb_options.time_limit_seconds = deadline.RemainingOrZero();
   bnb_options.max_nodes = options_.max_nodes;
   bnb_options.objective_is_integral = true;
   bnb_options.lazy_separation = options_.use_lazy_separation;
   bnb_options.use_warm_start = options_.use_warm_start;
+  bnb_options.num_threads = options_.num_threads;
   bnb_options.lp_options = options_.lp_options;
 
   // Warm start from caller-provided weights (SYM-GD passes the previous

@@ -90,6 +90,12 @@ struct RankHowOptions {
   bool use_tight_big_m = true;
   /// Re-compute the final error in exact arithmetic (Sec. V-A).
   bool verify = true;
+  /// Worker threads for the exact searches (both the indicator MILP and
+  /// the spatial subdivision) and for the SYM-GD seed portfolio: 1 =
+  /// serial (default), 0 = all hardware threads, n = exactly n. Thread
+  /// count never changes which optimum is *proven* — only how fast — but
+  /// node/pivot counts and unproven incumbents under a budget can differ.
+  int num_threads = 1;
   SimplexOptions lp_options;
 };
 

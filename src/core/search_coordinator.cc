@@ -1,0 +1,35 @@
+#include "core/search_coordinator.h"
+
+namespace rankhow {
+
+bool SearchCoordinator::OfferIncumbent(double objective,
+                                       const std::vector<double>& values) {
+  if (objective >= best_objective() - improvement_tol_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objective >=
+      best_objective_.load(std::memory_order_relaxed) - improvement_tol_) {
+    return false;
+  }
+  best_objective_.store(objective, std::memory_order_release);
+  best_values_ = values;
+  incumbent_updates_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<double> SearchCoordinator::incumbent_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_values_;
+}
+
+void SearchCoordinator::ReportError(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) first_error_ = status;
+  error_stop_.store(true, std::memory_order_release);
+}
+
+Status SearchCoordinator::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+}  // namespace rankhow

@@ -1,6 +1,7 @@
 #include "core/seeding.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "baselines/linear_regression.h"
@@ -139,6 +140,59 @@ Result<std::vector<double>> GridLowerBoundSeed(const Dataset& data,
 std::vector<double> RandomSeed(int num_attributes, uint64_t seed) {
   Rng rng(seed ^ 0x53454544ULL);
   return rng.NextSimplexPoint(num_attributes);
+}
+
+std::vector<double> RandomSeed(int num_attributes, Rng* rng) {
+  return rng->NextSimplexPoint(num_attributes);
+}
+
+std::vector<PortfolioSeed> BuildPortfolioSeeds(const Dataset& data,
+                                               const Ranking& given,
+                                               double eps1, int count,
+                                               uint64_t stream_seed) {
+  const int m = data.num_attributes();
+  std::vector<PortfolioSeed> seeds;
+  if (count <= 0) return seeds;
+  seeds.reserve(count);
+
+  auto near_duplicate = [&](const std::vector<double>& w) {
+    for (const PortfolioSeed& s : seeds) {
+      double dist = 0;
+      for (int a = 0; a < m; ++a) {
+        dist = std::max(dist, std::abs(s.weights[a] - w[a]));
+      }
+      if (dist < 1e-9) return true;
+    }
+    return false;
+  };
+  auto try_add = [&](const char* name, Result<std::vector<double>> w) {
+    if (static_cast<int>(seeds.size()) >= count) return;
+    if (!w.ok() || near_duplicate(*w)) return;  // random draw fills the slot
+    seeds.push_back(PortfolioSeed{name, *std::move(w)});
+  };
+
+  try_add("ordinal", OrdinalRegressionSeed(data, given, eps1));
+  try_add("linear", LinearRegressionSeed(data, given));
+  GridSeedOptions grid_options;
+  grid_options.eps1 = eps1;
+  try_add("grid", GridLowerBoundSeed(data, given, grid_options));
+  // Random tail: stream i is disjoint from every other by construction,
+  // and tied to its slot index — dropping a failed deterministic seed
+  // never reshuffles which random points the survivors get. Duplicate
+  // draws are astronomically unlikely for m >= 2, but for m == 1 the
+  // simplex is the single point {1}, so after a bounded number of
+  // rejections the draw is accepted anyway — exactly `count` seeds always
+  // come back, never an infinite loop.
+  Rng base(stream_seed ^ 0x504F5254ULL);
+  int rejected = 0;
+  for (int i = 0; static_cast<int>(seeds.size()) < count; ++i) {
+    Rng stream = base.SplitStream(i);
+    std::vector<double> w = RandomSeed(m, &stream);
+    if (near_duplicate(w) && ++rejected <= 2 * count + 8) continue;
+    seeds.push_back(
+        PortfolioSeed{"random-" + std::to_string(i), std::move(w)});
+  }
+  return seeds;
 }
 
 }  // namespace rankhow

@@ -9,11 +9,13 @@
 /// plain random draws.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
 #include "math/simplex_box.h"
 #include "ranking/ranking.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace rankhow {
@@ -53,6 +55,30 @@ Result<std::vector<double>> GridLowerBoundSeed(
 
 /// Uniform random simplex point.
 std::vector<double> RandomSeed(int num_attributes, uint64_t seed);
+
+/// Uniform random simplex point drawn from a caller-owned stream — the
+/// parallel-friendly variant: hand each worker `base.SplitStream(i)` and
+/// every draw is deterministic and disjoint across workers.
+std::vector<double> RandomSeed(int num_attributes, Rng* rng);
+
+/// A named member of a SYM-GD portfolio (Sec. IV seed strategies).
+struct PortfolioSeed {
+  std::string name;
+  std::vector<double> weights;
+};
+
+/// Builds `count` diverse seeds for the SYM-GD portfolio, in fixed order:
+/// ordinal regression (the paper's default), linear regression, the grid
+/// lower-bound search, then uniform random draws — each random draw from
+/// its own disjoint `Rng(stream_seed).SplitStream(i)` stream, so the set
+/// is a pure function of (data, given, count, stream_seed) regardless of
+/// which worker later runs which seed. Deterministic generators that fail
+/// (singular fits, budget exhaustion) or duplicate an earlier seed are
+/// replaced by random draws, so exactly `count` seeds come back.
+std::vector<PortfolioSeed> BuildPortfolioSeeds(const Dataset& data,
+                                               const Ranking& given,
+                                               double eps1, int count,
+                                               uint64_t stream_seed);
 
 }  // namespace rankhow
 

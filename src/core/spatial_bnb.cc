@@ -1,13 +1,15 @@
 #include "core/spatial_bnb.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <queue>
 
 #include "core/indicator_fixing.h"
 #include "core/presolve.h"
+#include "core/search_coordinator.h"
 #include "lp/simplex.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rankhow {
@@ -20,6 +22,9 @@ struct Node {
   WeightBox box;
   long lb;
   int depth;
+
+  /// Exact for every reachable error value (longs far below 2^53).
+  double frontier_bound() const { return static_cast<double>(lb); }
 };
 
 struct NodeOrder {
@@ -42,10 +47,6 @@ struct BoxBound {
   bool all_fixed = true;  // every indicator constant over the box
 };
 
-}  // namespace
-
-namespace {
-
 LpModel BuildFeasibilityModel(int m, const WeightConstraintSet& constraints) {
   LpModel lp;
   std::vector<int> weight_vars(m);
@@ -57,6 +58,268 @@ LpModel BuildFeasibilityModel(int m, const WeightConstraintSet& constraints) {
   lp.AddConstraint(std::move(sum), RelOp::kEq, 1.0, "simplex");
   constraints.AppendTo(&lp, weight_vars);
   return lp;
+}
+
+/// Search-global state for one (possibly parallel) subdivision.
+struct SearchShared {
+  const OptProblem& problem;
+  const SpatialBnbOptions& options;
+  const Dataset& data;
+  const Ranking& given;
+  int m;
+  double tie_eps;
+  double fix_one_at;
+  double fix_zero_at;
+  const std::vector<int>& tuples;
+  bool has_general_rows;
+  int num_workers;
+  SearchCoordinator coordinator;
+  ShardedFrontier<Node, NodeOrder> frontier;
+  /// Global box counter (max_boxes enforcement + final stats).
+  std::atomic<int64_t> boxes_explored{0};
+  /// Serial-sweep oracle injected by RankHow (num_workers == 1 only).
+  BoxFeasibilityOracle* external_oracle = nullptr;
+};
+
+/// One worker's mutable state: its private warm oracle (or the injected
+/// serial-sweep one), the legacy cold solver, scratch, and private partial
+/// stats merged after the join.
+struct WorkerState {
+  BoxFeasibilityOracle* oracle = nullptr;  // may alias local_oracle
+  std::unique_ptr<BoxFeasibilityOracle> local_oracle;
+  SimplexSolver cold_solver;
+  std::vector<double> diff;  // scratch for order-constraint ranges
+  int64_t pruned_bound = 0;
+  int64_t pruned_infeasible = 0;
+  int64_t cold_lp_solves = 0;
+  int64_t cold_lp_pivots = 0;
+  int64_t floor_misses = 0;
+  long floor_lb_min = std::numeric_limits<long>::max();
+  // Oracle counter baselines (nonzero only for the injected shared oracle,
+  // which carries counts from earlier cells of a SYM-GD sweep).
+  int64_t oracle_solves0 = 0;
+  int64_t oracle_pivots0 = 0;
+  int64_t oracle_warm0 = 0;
+  int64_t oracle_cold0 = 0;
+};
+
+/// Bounds a box. Also prunes via order constraints and position brackets.
+Result<BoxBound> BoundBox(const SearchShared& sh, WorkerState& ws,
+                          const WeightBox& box) {
+  BoxBound out;
+  for (const PairwiseOrderConstraint& oc : sh.problem.order_constraints) {
+    for (int a = 0; a < sh.m; ++a) {
+      ws.diff[a] = sh.data.value(oc.above, a) - sh.data.value(oc.below, a);
+    }
+    RH_ASSIGN_OR_RETURN(DotRange range, DotRangeOnSimplexBox(ws.diff, box));
+    if (range.max <= sh.tie_eps) {  // can never rank `above` higher here
+      out.feasible = false;
+      return out;
+    }
+    // Satisfied at some points but not all: the box must keep splitting
+    // even when every indicator is fixed, or a single rejected evaluation
+    // would wrongly discard the satisfying part.
+    if (range.min < sh.fix_one_at) out.all_fixed = false;
+  }
+  RH_ASSIGN_OR_RETURN(FixingSummary fixing,
+                      ComputeIndicatorFixing(sh.data, sh.tuples, box,
+                                             sh.fix_one_at, sh.fix_zero_at));
+  for (const TupleFixing& group : fixing.groups) {
+    const long beats_min = group.fixed_one;
+    const long beats_max =
+        group.fixed_one + static_cast<long>(group.free.size());
+    if (!group.free.empty()) out.all_fixed = false;
+    for (const PositionConstraint& pc : sh.problem.position_constraints) {
+      if (pc.tuple != group.tuple) continue;
+      if (beats_min + 1 > pc.max_position ||
+          beats_max + 1 < pc.min_position) {
+        out.feasible = false;
+        return out;
+      }
+    }
+    if (!sh.given.IsRanked(group.tuple)) continue;
+    const long target = sh.given.position(group.tuple) - 1;
+    const long penalty =
+        sh.problem.objective.PenaltyAt(sh.given.position(group.tuple));
+    if (target < beats_min) {
+      out.lb += penalty * (beats_min - target);
+    } else if (target > beats_max) {
+      out.lb += penalty * (target - beats_max);
+    }
+  }
+  return out;
+}
+
+/// Feasibility of box ∩ simplex ∩ P(general rows); returns a point inside
+/// when one is needed (for incumbent evaluation).
+Result<std::vector<double>> FeasiblePoint(const SearchShared& sh,
+                                          WorkerState& ws,
+                                          const WeightBox& box) {
+  if (!sh.has_general_rows) return AnyPointOnSimplexBox(box);
+  if (ws.oracle != nullptr) {
+    auto point = ws.oracle->FeasiblePoint(box);
+    if (point.ok() || point.status().code() == StatusCode::kInfeasible) {
+      return point;
+    }
+    // Numerical trouble in the worker's tableau: answer this query cold
+    // instead of aborting the whole subdivision.
+  }
+  // Per-box cold query: the same model the oracle compiles, rebuilt and
+  // solved from scratch (the legacy path, and the per-query fallback when
+  // the warm oracle hits numerical trouble).
+  LpModel lp = BuildFeasibilityModel(sh.m, sh.problem.constraints);
+  for (int a = 0; a < sh.m; ++a) {
+    lp.mutable_variable(a).lower = box.lo[a];
+    lp.mutable_variable(a).upper = box.hi[a];
+  }
+  auto sol = ws.cold_solver.Solve(lp);
+  ++ws.cold_lp_solves;
+  if (!sol.ok()) return sol.status();
+  ws.cold_lp_pivots += sol->iterations;
+  return std::move(sol->values);
+}
+
+/// Evaluates `w` as a candidate incumbent through the coordinator.
+void OfferIncumbent(SearchShared& sh, const std::vector<double>& w) {
+  auto err = EvaluateTrueError(sh.problem, w);
+  if (err.has_value()) {
+    sh.coordinator.OfferIncumbent(static_cast<double>(*err), w);
+  }
+}
+
+/// Explores one box; pushes surviving children onto the frontier. A hard
+/// error (LP layer, bound computation) is reported to the coordinator and
+/// stops the search.
+void ProcessBox(SearchShared& sh, WorkerState& ws, Node node) {
+  auto bb = BoundBox(sh, ws, node.box);
+  if (!bb.ok()) {
+    sh.coordinator.ReportError(bb.status());
+    sh.frontier.RequestStop();
+    return;
+  }
+  if (!bb->feasible) {
+    ++ws.pruned_infeasible;
+    return;
+  }
+  long lb = std::max(node.lb, bb->lb);
+  if (static_cast<double>(lb) >= sh.coordinator.best_objective()) {
+    ++ws.pruned_bound;
+    return;
+  }
+  // General P rows can empty a box that the interval bounds cannot see.
+  auto point = FeasiblePoint(sh, ws, node.box);
+  if (!point.ok()) {
+    if (point.status().code() == StatusCode::kInfeasible) {
+      ++ws.pruned_infeasible;
+      return;
+    }
+    sh.coordinator.ReportError(point.status());
+    sh.frontier.RequestStop();
+    return;
+  }
+  OfferIncumbent(sh, *point);
+  if (static_cast<double>(lb) >= sh.coordinator.best_objective()) {
+    ++ws.pruned_bound;
+    return;
+  }
+
+  if (bb->all_fixed) {
+    // Every indicator is constant over the box, so the error is constant
+    // and the evaluated point realized it (incumbent updated above) —
+    // unless a position constraint rejected it, which then rejects the
+    // whole box identically (positions are functions of the fixed
+    // indicators; order constraints hold everywhere here by the
+    // all_fixed test; the LP point satisfies P).
+    return;
+  }
+  if (MaxWidth(node.box) <= sh.options.min_box_width) {
+    // Resolution floor: the box straddles a hyperplane within numerical
+    // noise. The evaluation above settled it unless its value is above
+    // the bound — then the proof has a hole we must report. (A stale
+    // incumbent read can only over-report a miss — conservative.)
+    if (sh.coordinator.best_objective() > static_cast<double>(lb)) {
+      ++ws.floor_misses;
+      ws.floor_lb_min = std::min(ws.floor_lb_min, lb);
+    }
+    return;
+  }
+
+  // Split the widest dimension at its midpoint (closed halves: the cover
+  // keeps hyperplane-boundary points in both children).
+  int dim = 0;
+  double widest = -1;
+  for (int i = 0; i < sh.m; ++i) {
+    double w = node.box.hi[i] - node.box.lo[i];
+    if (w > widest) {
+      widest = w;
+      dim = i;
+    }
+  }
+  double mid = 0.5 * (node.box.lo[dim] + node.box.hi[dim]);
+  for (int side = 0; side < 2; ++side) {
+    Node child{node.box, lb, node.depth + 1};
+    (side == 0 ? child.box.hi : child.box.lo)[dim] = mid;
+    if (!child.box.IntersectsSimplex()) continue;
+    sh.frontier.Push(std::move(child));
+  }
+}
+
+/// One worker's subdivision loop (see milp/branch_and_bound.cc for the
+/// protocol; this is the same pop → prune-or-process → repeat shape over
+/// weight-space boxes).
+void RunWorker(SearchShared& sh, WorkerState& ws) {
+  ws.diff.resize(sh.m);
+  // Warm path: adjacent boxes differ only in variable bounds, so one
+  // compiled oracle per worker resolves each query from the previous
+  // basis. Serial solves reuse the oracle RankHow injects to span a whole
+  // SYM-GD cell sweep; parallel workers compile their own.
+  if (sh.has_general_rows && sh.options.use_warm_start) {
+    if (sh.external_oracle != nullptr) {
+      ws.oracle = sh.external_oracle;
+      ws.oracle_solves0 = ws.oracle->stats().solves;
+      ws.oracle_pivots0 = ws.oracle->stats().total_pivots();
+      ws.oracle_warm0 = ws.oracle->stats().warm_solves;
+      ws.oracle_cold0 = ws.oracle->stats().cold_solves;
+    } else {
+      ws.local_oracle = std::make_unique<BoxFeasibilityOracle>(
+          sh.m, sh.problem.constraints);
+      ws.oracle = ws.local_oracle.get();
+    }
+  }
+  while (!sh.coordinator.StopRequested()) {
+    if (sh.coordinator.deadline().Expired()) {
+      sh.coordinator.RequestLimitStop();
+      sh.frontier.RequestStop();
+      break;
+    }
+    std::optional<Node> node = sh.frontier.Pop();
+    if (!node.has_value()) break;  // exhausted or stopped
+    if (sh.options.max_boxes > 0 &&
+        sh.boxes_explored.load(std::memory_order_relaxed) >=
+            sh.options.max_boxes) {
+      sh.frontier.Push(std::move(*node));
+      sh.frontier.Done();
+      sh.coordinator.RequestLimitStop();
+      sh.frontier.RequestStop();
+      break;
+    }
+    if (static_cast<double>(node->lb) >= sh.coordinator.best_objective()) {
+      // Best-first: this subtree cannot improve the incumbent, so discard
+      // it. A single worker just popped the global frontier minimum, so
+      // everything left is equally prunable: the search is over (see
+      // milp/branch_and_bound.cc for why this exit is single-worker-only).
+      ++ws.pruned_bound;
+      sh.frontier.Done();
+      if (sh.num_workers == 1) {
+        sh.frontier.RequestStop();  // completion — not a limit stop
+        break;
+      }
+      continue;
+    }
+    sh.boxes_explored.fetch_add(1, std::memory_order_relaxed);
+    ProcessBox(sh, ws, std::move(*node));
+    sh.frontier.Done();
+  }
 }
 
 }  // namespace
@@ -114,223 +377,76 @@ Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
     }
     return false;
   }();
-  SimplexSolver lp_solver;  // cold path for general-row feasibility checks
 
-  // Warm path: adjacent boxes differ only in variable bounds, so one
-  // compiled oracle (injected by RankHow to span a whole cell sweep, or
-  // local to this call) resolves each query from the previous basis.
-  std::unique_ptr<BoxFeasibilityOracle> local_oracle;
-  BoxFeasibilityOracle* oracle = external_oracle_;
-  if (has_general_rows && options_.use_warm_start && oracle == nullptr) {
-    local_oracle = std::make_unique<BoxFeasibilityOracle>(
-        m, problem_.constraints);
-    oracle = local_oracle.get();
-  }
-  const int64_t oracle_solves0 = oracle ? oracle->stats().solves : 0;
-  const int64_t oracle_pivots0 = oracle ? oracle->stats().total_pivots() : 0;
-  const int64_t oracle_warm0 = oracle ? oracle->stats().warm_solves : 0;
-  const int64_t oracle_cold0 = oracle ? oracle->stats().cold_solves : 0;
-  int64_t cold_lp_solves = 0;
-  int64_t cold_lp_pivots = 0;
-
-  // Per-box cold query: the same model the oracle compiles, rebuilt and
-  // solved from scratch (the legacy path, and the per-query fallback when
-  // the shared oracle hits numerical trouble).
-  auto cold_feasible_point =
-      [&](const WeightBox& box) -> Result<std::vector<double>> {
-    LpModel lp = BuildFeasibilityModel(m, problem_.constraints);
-    for (int a = 0; a < m; ++a) {
-      lp.mutable_variable(a).lower = box.lo[a];
-      lp.mutable_variable(a).upper = box.hi[a];
-    }
-    auto sol = lp_solver.Solve(lp);
-    ++cold_lp_solves;
-    if (!sol.ok()) return sol.status();
-    cold_lp_pivots += sol->iterations;
-    return std::move(sol->values);
-  };
-
-  // Feasibility of box ∩ simplex ∩ P(general rows); returns a point inside
-  // when one is needed (for incumbent evaluation), or empty when the caller
-  // only needs the verdict.
-  auto feasible_point =
-      [&](const WeightBox& box) -> Result<std::vector<double>> {
-    if (!has_general_rows) return AnyPointOnSimplexBox(box);
-    if (oracle != nullptr) {
-      auto point = oracle->FeasiblePoint(box);
-      if (point.ok() || point.status().code() == StatusCode::kInfeasible) {
-        return point;
-      }
-      // Numerical trouble in the shared tableau: answer this query cold
-      // instead of aborting the whole subdivision.
-    }
-    return cold_feasible_point(box);
-  };
-
-  // Bounds a box. Also prunes via order constraints and position brackets.
-  std::vector<double> diff(m);
-  auto bound_box = [&](const WeightBox& box) -> Result<BoxBound> {
-    BoxBound out;
-    for (const PairwiseOrderConstraint& oc : problem_.order_constraints) {
-      for (int a = 0; a < m; ++a) {
-        diff[a] = data.value(oc.above, a) - data.value(oc.below, a);
-      }
-      RH_ASSIGN_OR_RETURN(DotRange range, DotRangeOnSimplexBox(diff, box));
-      if (range.max <= tie_eps) {  // can never rank `above` higher here
-        out.feasible = false;
-        return out;
-      }
-      // Satisfied at some points but not all: the box must keep splitting
-      // even when every indicator is fixed, or a single rejected evaluation
-      // would wrongly discard the satisfying part.
-      if (range.min < fix_one_at) out.all_fixed = false;
-    }
-    RH_ASSIGN_OR_RETURN(
-        FixingSummary fixing,
-        ComputeIndicatorFixing(data, tuples, box, fix_one_at, fix_zero_at));
-    for (const TupleFixing& group : fixing.groups) {
-      const long beats_min = group.fixed_one;
-      const long beats_max =
-          group.fixed_one + static_cast<long>(group.free.size());
-      if (!group.free.empty()) out.all_fixed = false;
-      for (const PositionConstraint& pc : problem_.position_constraints) {
-        if (pc.tuple != group.tuple) continue;
-        if (beats_min + 1 > pc.max_position ||
-            beats_max + 1 < pc.min_position) {
-          out.feasible = false;
-          return out;
-        }
-      }
-      if (!given.IsRanked(group.tuple)) continue;
-      const long target = given.position(group.tuple) - 1;
-      const long penalty =
-          problem_.objective.PenaltyAt(given.position(group.tuple));
-      if (target < beats_min) {
-        out.lb += penalty * (beats_min - target);
-      } else if (target > beats_max) {
-        out.lb += penalty * (target - beats_max);
-      }
-    }
-    return out;
-  };
-
-  Deadline deadline(options_.time_limit_seconds);
+  const int num_workers =
+      ThreadPool::ResolveThreadCount(options_.num_threads);
   WallTimer timer;
+  // improvement_tol 0: errors are integral longs, strict `<` is exact.
+  SearchShared shared{problem_,
+                      options_,
+                      data,
+                      given,
+                      m,
+                      tie_eps,
+                      fix_one_at,
+                      fix_zero_at,
+                      tuples,
+                      has_general_rows,
+                      num_workers,
+                      SearchCoordinator(options_.time_limit_seconds, 0.0),
+                      ShardedFrontier<Node, NodeOrder>(num_workers),
+                      {},
+                      num_workers == 1 ? external_oracle_ : nullptr};
+
+  if (!options_.initial_weights.empty()) {
+    // Same path as a worker's discovery so the update is counted — serial
+    // parity with the old offer_incumbent(initial_weights).
+    OfferIncumbent(shared, options_.initial_weights);
+  }
+  shared.frontier.Push(Node{root, 0, 0});
+
+  std::vector<WorkerState> workers(num_workers);
+  if (num_workers == 1) {
+    RunWorker(shared, workers[0]);
+  } else {
+    ThreadPool pool(num_workers - 1);
+    TaskGroup group(&pool);
+    for (int i = 1; i < num_workers; ++i) {
+      group.Spawn([&shared, &workers, i] { RunWorker(shared, workers[i]); });
+    }
+    RunWorker(shared, workers[0]);
+    group.Wait();
+  }
+
+  if (shared.coordinator.has_error()) {
+    return shared.coordinator.first_error();
+  }
+
   SpatialBnbResult result;
   SpatialBnbStats& stats = result.stats;
-
-  long incumbent = std::numeric_limits<long>::max();
-  std::vector<double> incumbent_weights;
-  auto offer_incumbent = [&](const std::vector<double>& w) {
-    auto err = EvaluateTrueError(problem_, w);
-    if (err.has_value() && *err < incumbent) {
-      incumbent = *err;
-      incumbent_weights = w;
-      ++stats.incumbent_updates;
-    }
-  };
-  if (!options_.initial_weights.empty()) {
-    offer_incumbent(options_.initial_weights);
-  }
-
-  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  open.push(Node{root, 0, 0});
+  stats.boxes_explored = shared.boxes_explored.load();
+  stats.incumbent_updates = shared.coordinator.incumbent_updates();
   long floor_lb_min = std::numeric_limits<long>::max();
-  bool limits_hit = false;
-  long frontier_lb = std::numeric_limits<long>::max();  // once exhausted
-
-  while (!open.empty()) {
-    if (deadline.Expired() ||
-        (options_.max_boxes > 0 && stats.boxes_explored >= options_.max_boxes)) {
-      limits_hit = true;
-      frontier_lb = open.top().lb;
-      break;
+  for (const WorkerState& ws : workers) {
+    stats.boxes_pruned_bound += ws.pruned_bound;
+    stats.boxes_pruned_infeasible += ws.pruned_infeasible;
+    stats.floor_misses += ws.floor_misses;
+    floor_lb_min = std::min(floor_lb_min, ws.floor_lb_min);
+    if (ws.oracle != nullptr) {
+      stats.lp_solves += ws.oracle->stats().solves - ws.oracle_solves0;
+      stats.lp_pivots += ws.oracle->stats().total_pivots() - ws.oracle_pivots0;
+      stats.lp_warm_solves += ws.oracle->stats().warm_solves - ws.oracle_warm0;
+      stats.lp_cold_solves += ws.oracle->stats().cold_solves - ws.oracle_cold0;
     }
-    Node node = open.top();
-    open.pop();
-    if (node.lb >= incumbent) {
-      // Best-first: every remaining box is at least this bad.
-      frontier_lb = node.lb;
-      break;
-    }
-    ++stats.boxes_explored;
-
-    RH_ASSIGN_OR_RETURN(BoxBound bb, bound_box(node.box));
-    if (!bb.feasible) {
-      ++stats.boxes_pruned_infeasible;
-      continue;
-    }
-    long lb = std::max(node.lb, bb.lb);
-    if (lb >= incumbent) {
-      ++stats.boxes_pruned_bound;
-      continue;
-    }
-    // General P rows can empty a box that the interval bounds cannot see.
-    auto point = feasible_point(node.box);
-    if (!point.ok()) {
-      if (point.status().code() == StatusCode::kInfeasible) {
-        ++stats.boxes_pruned_infeasible;
-        continue;
-      }
-      return point.status();
-    }
-    offer_incumbent(*point);
-    if (lb >= incumbent) {
-      ++stats.boxes_pruned_bound;
-      continue;
-    }
-
-    if (bb.all_fixed) {
-      // Every indicator is constant over the box, so the error is constant
-      // and the evaluated point realized it (incumbent updated above) —
-      // unless a position constraint rejected it, which then rejects the
-      // whole box identically (positions are functions of the fixed
-      // indicators; order constraints hold everywhere here by the
-      // all_fixed test; the LP point satisfies P).
-      continue;
-    }
-    if (MaxWidth(node.box) <= options_.min_box_width) {
-      // Resolution floor: the box straddles a hyperplane within numerical
-      // noise. The evaluation above settled it unless its value is above
-      // the bound — then the proof has a hole we must report.
-      if (incumbent > lb) {
-        ++stats.floor_misses;
-        floor_lb_min = std::min(floor_lb_min, lb);
-      }
-      continue;
-    }
-
-    // Split the widest dimension at its midpoint (closed halves: the cover
-    // keeps hyperplane-boundary points in both children).
-    int dim = 0;
-    double widest = -1;
-    for (int i = 0; i < m; ++i) {
-      double w = node.box.hi[i] - node.box.lo[i];
-      if (w > widest) {
-        widest = w;
-        dim = i;
-      }
-    }
-    double mid = 0.5 * (node.box.lo[dim] + node.box.hi[dim]);
-    for (int side = 0; side < 2; ++side) {
-      Node child{node.box, lb, node.depth + 1};
-      (side == 0 ? child.box.hi : child.box.lo)[dim] = mid;
-      if (!child.box.IntersectsSimplex()) continue;
-      open.push(std::move(child));
-    }
+    stats.lp_solves += ws.cold_lp_solves;
+    stats.lp_pivots += ws.cold_lp_pivots;
+    stats.lp_cold_solves += ws.cold_lp_solves;
   }
-
   stats.seconds = timer.ElapsedSeconds();
-  if (oracle != nullptr) {
-    stats.lp_solves = oracle->stats().solves - oracle_solves0;
-    stats.lp_pivots = oracle->stats().total_pivots() - oracle_pivots0;
-    stats.lp_warm_solves = oracle->stats().warm_solves - oracle_warm0;
-    stats.lp_cold_solves = oracle->stats().cold_solves - oracle_cold0;
-  }
-  stats.lp_solves += cold_lp_solves;
-  stats.lp_pivots += cold_lp_pivots;
-  stats.lp_cold_solves += cold_lp_solves;
-  if (incumbent == std::numeric_limits<long>::max()) {
+
+  const bool limits_hit = shared.coordinator.limit_stop();
+  const double best_objective = shared.coordinator.best_objective();
+  if (!std::isfinite(best_objective)) {
     if (limits_hit) {
       return Status::ResourceExhausted(
           "spatial search limits reached before finding a feasible point");
@@ -338,9 +454,17 @@ Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
     return Status::Infeasible(
         "no weight vector satisfies the side constraints in the box");
   }
-  result.weights = std::move(incumbent_weights);
+  const long incumbent = static_cast<long>(best_objective);
+  result.weights = shared.coordinator.incumbent_values();
   result.error = incumbent;
-  long proven = open.empty() && !limits_hit ? incumbent : frontier_lb;
+  // Stopping workers re-push their unfinished boxes, so the frontier holds
+  // every unexplored subtree; its min bound is the proof limit.
+  long frontier_lb = std::numeric_limits<long>::max();
+  if (limits_hit) {
+    double fb = shared.frontier.MinBound();
+    if (std::isfinite(fb)) frontier_lb = static_cast<long>(fb);
+  }
+  long proven = !limits_hit ? incumbent : frontier_lb;
   proven = std::min(proven, floor_lb_min);
   result.bound = std::min(proven, incumbent);
   result.proven_optimal = !limits_hit && result.bound >= incumbent;

@@ -79,6 +79,14 @@ struct SpatialBnbOptions {
   /// Per-box P-feasibility LPs through a warm-started BoxFeasibilityOracle
   /// (default) instead of building + cold-solving an LpModel per box.
   bool use_warm_start = true;
+  /// Parallel subdivision: workers pull boxes from a sharded best-first
+  /// frontier, each owning a private BoxFeasibilityOracle (the oracle's
+  /// tableau is not thread-safe, and adjacent pops on one worker still
+  /// warm-start each other), and publish incumbents through a shared
+  /// SearchCoordinator. 1 = serial (default), 0 = all hardware threads.
+  /// With > 1 worker an injected SetOracle oracle is ignored — cross-cell
+  /// basis sharing is a serial-sweep optimization.
+  int num_threads = 1;
   /// Warm-start incumbent (e.g. from presolve); empty = none.
   std::vector<double> initial_weights;
 };

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/seeding.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rankhow {
@@ -38,6 +40,13 @@ Result<SymGdResult> SymGd::Run(const std::vector<double>& seed) const {
   }
   Deadline deadline(options_.time_budget_seconds);
   WallTimer timer;
+  // The portfolio's kill switch reads like an expired budget: the descent
+  // winds down at the next iteration boundary and keeps its best iterate.
+  auto stopped = [&] {
+    return deadline.Expired() ||
+           (options_.external_stop != nullptr &&
+            options_.external_stop->load(std::memory_order_relaxed));
+  };
 
   SymGdResult result;
   std::vector<double> current = seed;
@@ -50,12 +59,14 @@ Result<SymGdResult> SymGd::Run(const std::vector<double>& seed) const {
     bool converged = false;
     // Inner loop = Algorithm 1: move to the cell optimum until stuck.
     while (result.iterations < options_.max_iterations) {
-      if (deadline.Expired()) break;
+      if (stopped()) break;
       // Budget the inner MILP so one oversized cell cannot eat t_total
       // (Sec. IV-C's motivation for the adaptive variant).
       RankHow inner = solver_;
       if (deadline.HasBudget()) {
-        double remaining = deadline.RemainingSeconds();
+        // RemainingOrZero clamps a live budget away from 0, which every
+        // downstream time_limit field reads as "unlimited".
+        double remaining = deadline.RemainingOrZero();
         double prior = inner.options().time_limit_seconds;
         inner.options().time_limit_seconds =
             prior > 0 ? std::min(prior, remaining) : remaining;
@@ -91,7 +102,7 @@ Result<SymGdResult> SymGd::Run(const std::vector<double>& seed) const {
       }
     }
     (void)converged;
-    if (!options_.adaptive || deadline.Expired() ||
+    if (!options_.adaptive || stopped() ||
         result.iterations >= options_.max_iterations || current_error == 0) {
       break;
     }
@@ -104,6 +115,113 @@ Result<SymGdResult> SymGd::Run(const std::vector<double>& seed) const {
     return Status::ResourceExhausted(
         "SYM-GD budget expired before the first cell solve finished");
   }
+  return result;
+}
+
+Result<SymGdResult> SymGd::RunPortfolio() const {
+  const OptProblem& problem = solver_.problem();
+  const Dataset& data = *problem.data;
+  const Ranking& given = *problem.given;
+  const int num_seeds = std::max(1, options_.num_seeds);
+  std::vector<PortfolioSeed> seeds =
+      BuildPortfolioSeeds(data, given, options_.solver.eps.eps1, num_seeds,
+                          options_.portfolio_seed);
+  RH_CHECK(static_cast<int>(seeds.size()) == num_seeds);
+
+  Deadline deadline(options_.time_budget_seconds);
+  WallTimer timer;
+  std::atomic<bool> stop{false};
+  std::vector<Result<SymGdResult>> outcomes(
+      seeds.size(), Status::ResourceExhausted(
+                        "portfolio budget expired before this seed started"));
+
+  // One independent descent per seed. Each runner is a fresh SymGd (its
+  // RankHow gets a private spatial-oracle slot — the shared slot is a
+  // serial-sweep optimization, and sharing it across racing descents
+  // would race one tableau), seeded with whatever budget remains when the
+  // task actually starts (on a narrow pool, later seeds start later).
+  auto run_seed = [&](int i) {
+    if (stop.load(std::memory_order_relaxed) || deadline.Expired()) return;
+    SymGdOptions run_options = options_;
+    run_options.num_seeds = 1;
+    run_options.external_stop = &stop;
+    // The race already saturates the pool; nested search parallelism
+    // would oversubscribe the hardware.
+    run_options.solver.num_threads = 1;
+    if (deadline.HasBudget()) {
+      // Clamped: an exactly-exhausted budget must not hand this seed an
+      // unlimited (0) one.
+      run_options.time_budget_seconds = deadline.RemainingOrZero();
+    }
+    SymGd runner(data, given, run_options);
+    // Whole-struct copy so every customization the caller made through
+    // problem() — eps included, and any field added later — carries over;
+    // the data/given pointers already reference the same objects.
+    runner.problem() = problem;
+    outcomes[i] = runner.Run(seeds[i].weights);
+    if (outcomes[i].ok() && outcomes[i]->error == 0) {
+      // A perfect function cannot be beaten: wind the other descents down.
+      stop.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  const int race_width =
+      std::min(ThreadPool::ResolveThreadCount(options_.solver.num_threads),
+               static_cast<int>(seeds.size()));
+  if (race_width <= 1) {
+    for (size_t i = 0; i < seeds.size(); ++i) run_seed(static_cast<int>(i));
+  } else {
+    ThreadPool pool(race_width);
+    TaskGroup group(&pool);
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      group.Spawn([&run_seed, i] { run_seed(static_cast<int>(i)); });
+    }
+    group.Wait();
+  }
+
+  // Winner: smallest verified error; ties break to the earlier seed (the
+  // portfolio order is deterministic, so the result is too).
+  SymGdResult result;
+  int winner = -1;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    if (!outcomes[i].ok()) continue;
+    if (winner < 0 || outcomes[i]->error < outcomes[winner]->error) {
+      winner = static_cast<int>(i);
+    }
+  }
+  if (winner < 0) {
+    // Every descent failed; surface the first real failure.
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok()) return outcome.status();
+    }
+    return Status::Internal("empty portfolio");
+  }
+  result = *outcomes[winner];
+  result.winning_seed = winner;
+  result.total_nodes = 0;
+  result.total_free_indicators = 0;
+  result.total_lp_pivots = 0;
+  result.total_lp_warm_solves = 0;
+  result.total_lp_cold_solves = 0;
+  result.portfolio.reserve(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    SeedRun run;
+    run.seed_name = seeds[i].name;
+    run.seed_weights = seeds[i].weights;
+    if (outcomes[i].ok()) {
+      run.error = outcomes[i]->error;
+      run.iterations = outcomes[i]->iterations;
+      run.error_trajectory = outcomes[i]->error_trajectory;
+      run.seconds = outcomes[i]->seconds;
+      result.total_nodes += outcomes[i]->total_nodes;
+      result.total_free_indicators += outcomes[i]->total_free_indicators;
+      result.total_lp_pivots += outcomes[i]->total_lp_pivots;
+      result.total_lp_warm_solves += outcomes[i]->total_lp_warm_solves;
+      result.total_lp_cold_solves += outcomes[i]->total_lp_cold_solves;
+    }
+    result.portfolio.push_back(std::move(run));
+  }
+  result.seconds = timer.ElapsedSeconds();
   return result;
 }
 

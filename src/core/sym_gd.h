@@ -9,7 +9,17 @@
 /// until the error stops improving (Algorithm 1). The adaptive variant
 /// doubles the cell size whenever the search stalls in a local optimum,
 /// until the time budget runs out (Algorithm 2).
+///
+/// SYM-GD is a local search, so the seed decides which basin it descends
+/// into (Section IV's seed-strategy discussion). `RunPortfolio` buys
+/// solution quality with idle cores: it races one descent per seed of a
+/// diverse portfolio (regression fits, the grid lower-bound search, random
+/// draws from disjoint Rng::SplitStream streams) across a thread pool
+/// under one shared wall-clock budget, and returns the best verified
+/// function plus every seed's trajectory.
 
+#include <atomic>
+#include <string>
 #include <vector>
 
 #include "core/rankhow.h"
@@ -27,22 +37,51 @@ struct SymGdOptions {
   bool adaptive = false;
   /// Safety cap on descent steps.
   int max_iterations = 1000;
+  /// Portfolio size for RunPortfolio: how many diverse seeds race. 1 gives
+  /// a single ordinal-regression-seeded descent; Run(seed) ignores this.
+  int num_seeds = 4;
+  /// Base of the deterministic Rng::SplitStream family that supplies the
+  /// random portfolio seeds — portfolio results are a pure function of
+  /// (instance, options), independent of thread schedule.
+  uint64_t portfolio_seed = 17;
+  /// Optional cooperative kill switch: when non-null and set, the descent
+  /// stops at the next iteration boundary as if the budget expired (used
+  /// by the portfolio to wind down losers after a perfect seed wins).
+  const std::atomic<bool>* external_stop = nullptr;
   /// Inner exact-solver configuration (epsilons, verification, limits).
+  /// `solver.num_threads` is also the portfolio's race width; each racing
+  /// descent then runs its inner solves serially (the portfolio already
+  /// saturates the pool — nested parallelism would oversubscribe).
   RankHowOptions solver;
+};
+
+/// One portfolio member's outcome (also useful for convergence plots:
+/// which basin each seed descended into, and how fast).
+struct SeedRun {
+  /// Seed strategy name: "ordinal", "linear", "grid", "random-<i>".
+  std::string seed_name;
+  std::vector<double> seed_weights;
+  /// Verified error the descent reached; -1 when the run failed or the
+  /// budget expired before its first cell solve.
+  long error = -1;
+  int iterations = 0;
+  std::vector<long> error_trajectory;
+  double seconds = 0;
 };
 
 struct SymGdResult {
   ScoringFunction function;
   /// Verified position error of the returned function.
   long error = 0;
-  /// Descent steps taken (cell solves).
+  /// Descent steps taken (cell solves; portfolio: the winning seed's).
   int iterations = 0;
-  /// error after each solve, for convergence plots.
+  /// error after each solve, for convergence plots (portfolio: winner's).
   std::vector<long> error_trajectory;
   /// Final cell size (grows under Algorithm 2).
   double final_cell_size = 0;
   double seconds = 0;
-  /// Aggregate MILP statistics across all cell solves.
+  /// Aggregate MILP statistics across all cell solves (portfolio: summed
+  /// over every racing descent, not just the winner).
   long total_nodes = 0;
   long total_free_indicators = 0;
   /// Aggregate LP effort across all cell solves: total simplex pivots and
@@ -51,6 +90,11 @@ struct SymGdResult {
   long total_lp_pivots = 0;
   long total_lp_warm_solves = 0;
   long total_lp_cold_solves = 0;
+  /// Per-seed trajectories (RunPortfolio only; index 0 is the winner's
+  /// seed order position, not its rank).
+  std::vector<SeedRun> portfolio;
+  /// Which portfolio member won (index into `portfolio`; -1 for Run).
+  int winning_seed = -1;
 };
 
 /// The SYM-GD optimizer over a fixed problem instance.
@@ -64,6 +108,13 @@ class SymGd {
 
   /// Runs the descent from a seed weight vector (must lie on the simplex).
   Result<SymGdResult> Run(const std::vector<double>& seed) const;
+
+  /// Multi-seed portfolio race (see the file comment): builds
+  /// `options.num_seeds` diverse seeds, runs one descent per seed across
+  /// `options.solver.num_threads` pool workers under the shared
+  /// time_budget_seconds, and returns the best verified function with all
+  /// trajectories attached. Fails only if *every* seed fails.
+  Result<SymGdResult> RunPortfolio() const;
 
  private:
   SymGdOptions options_;

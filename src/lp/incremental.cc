@@ -804,11 +804,18 @@ Result<LpSolution> IncrementalLp::Solve(const LpBasis* warm,
       }
     }
   } else if (st.code() == StatusCode::kInfeasible && warm_start &&
-             verify_infeasible_ && pivots_since_factorize_ > 512) {
-    // Below the pivot threshold the tableau is close to its last clean
-    // factorization and the verdict is as trustworthy as the cold oracle's
-    // own (also float-based) phase-1 verdicts; past it, re-confirm so that
-    // accumulated elimination error cannot prune a feasible subproblem.
+             verify_infeasible_ && pivots_since_factorize_ > 0) {
+    // An infeasibility verdict reached from warm state is never trusted
+    // directly: re-confirm it on a tableau rebuilt from the original rows
+    // (equivalent to a fresh engine on the current bounds). A "pivots since
+    // factorization" drift proxy used to gate this at 512, but false
+    // verdicts were observed well below any such threshold — bound flips
+    // and row (de)activations can leave the warm basis in a state whose
+    // dual ray is an artifact of dropped tableau entries, and in
+    // branch-and-bound a single false prune silently corrupts the "proven"
+    // optimum (caught by tests/concurrency/parallel_search_test.cc's
+    // cross-strategy equivalence). Feasible verdicts need no such guard:
+    // their points are certified against the original rows below.
     st = rebuild();
     if (st.ok()) {
       extract(&values);

@@ -33,7 +33,9 @@ struct PrimalCandidate {
 /// Callback invoked on each node's LP-relaxation solution. Returning a
 /// candidate updates the incumbent when it improves. The candidate's
 /// objective MUST be attainable by a genuinely feasible solution (it is
-/// used to prune).
+/// used to prune). With num_threads > 1 the callback is invoked
+/// concurrently from several workers, so it must be thread-safe (pure
+/// functions of lp_values, like RankHow's true-error evaluation, are).
 using PrimalHeuristic = std::function<std::optional<PrimalCandidate>(
     const std::vector<double>& lp_values)>;
 
@@ -66,6 +68,14 @@ struct BnbOptions {
   /// node. Disabling restores the legacy cold path (the cross-check oracle;
   /// also the per-node fallback after numerical trouble).
   bool use_warm_start = true;
+  /// Parallel tree search: workers pull nodes from a sharded best-first
+  /// frontier, each owning a private warm IncrementalLp (bases are only
+  /// reused by the worker that exported them — tableaus materialize lazy
+  /// rows in first-use order, so row ids are engine-local), and publish
+  /// incumbents through a shared SearchCoordinator. 1 = the classic serial
+  /// search (and bit-identical to it), 0 = all hardware threads. The proven
+  /// optimum is thread-count independent; node/pivot counts are not.
+  int num_threads = 1;
   SimplexOptions lp_options;
 };
 

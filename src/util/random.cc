@@ -100,4 +100,38 @@ std::vector<double> Rng::NextSimplexPoint(int m) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
 
+void Rng::Jump() {
+  // The xoshiro256++ jump polynomial (Blackman & Vigna): equivalent to
+  // 2^128 Next() calls.
+  static constexpr uint64_t kJump[] = {0x180EC6D33CFD0ABAULL,
+                                       0xD5A61266F0C9392CULL,
+                                       0xA9582618E03FC9AAULL,
+                                       0x39ABDC4529B1661CULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t mask : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (mask & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+  have_cached_gaussian_ = false;
+}
+
+Rng Rng::SplitStream(int worker_id) const {
+  RH_DCHECK(worker_id >= 0);
+  Rng stream = *this;
+  stream.have_cached_gaussian_ = false;
+  for (int i = 0; i <= worker_id; ++i) stream.Jump();
+  return stream;
+}
+
 }  // namespace rankhow

@@ -62,8 +62,24 @@ class Rng {
     }
   }
 
-  /// Derives an independent generator (for parallel sub-streams).
+  /// Derives an independent generator (for parallel sub-streams). Unlike
+  /// SplitStream, this consumes one draw from *this, so the parent's
+  /// subsequent output changes.
   Rng Fork();
+
+  /// Advances this generator by 2^128 steps (the canonical xoshiro256++
+  /// jump polynomial): the state lands where 2^128 Next() calls would have
+  /// left it, so streams separated by jumps never overlap in practice.
+  void Jump();
+
+  /// The `worker_id`-th member of a disjoint deterministic stream family:
+  /// a copy of *this advanced by (worker_id + 1) jumps. The parent is not
+  /// consumed, every worker's stream is disjoint from the parent's next
+  /// 2^128 draws and from every sibling's, and the mapping is a pure
+  /// function of (parent state, worker_id) — the property the SYM-GD
+  /// portfolio and any per-worker randomness rely on for bit-reproducible
+  /// parallel runs.
+  Rng SplitStream(int worker_id) const;
 
  private:
   uint64_t s_[4];

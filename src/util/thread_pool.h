@@ -1,0 +1,93 @@
+#ifndef RANKHOW_UTIL_THREAD_POOL_H_
+#define RANKHOW_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A fixed-size worker pool plus cancellable task groups — the execution
+/// substrate of the parallel search engine (see DESIGN.md "Parallel search
+/// architecture"). Deliberately minimal: tasks are plain closures, there is
+/// no futures machinery, and cancellation is cooperative (a task group
+/// exposes a flag that long-running tasks poll). The exact searches build
+/// their own higher-level structure (worker contexts, sharded frontiers,
+/// incumbent coordination) in core/search_coordinator.h on top of this.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rankhow {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue. Threads
+/// are started in the constructor and joined in the destructor; submitting
+/// after shutdown began is a programming error (checked).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (must be >= 1; use ResolveThreadCount to
+  /// map a user-facing "0 = all cores" request to a concrete count).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task. Tasks must not block waiting for tasks queued after
+  /// them (the pool has a fixed number of threads and no work stealing).
+  void Submit(std::function<void()> task);
+
+  /// Maps the user-facing thread-count convention onto a concrete worker
+  /// count: 0 (or negative) = std::thread::hardware_concurrency (at least
+  /// 1), anything else is taken literally.
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// A batch of related tasks submitted to one pool: tracks completion so the
+/// owner can block until every task finished, and carries a shared
+/// cancellation flag that cooperative tasks poll via `cancelled()`. The
+/// destructor cancels and waits, so a group never outlives its tasks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() {
+    Cancel();
+    Wait();
+  }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits `fn` to the pool and counts it as pending until it returns.
+  void Spawn(std::function<void()> fn);
+
+  /// Requests cooperative cancellation: `cancelled()` flips to true; tasks
+  /// already running keep running until they poll it.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Blocks until every spawned task returned (regardless of cancellation).
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<bool> cancelled_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pending_ = 0;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_UTIL_THREAD_POOL_H_

@@ -4,7 +4,9 @@
 /// \file timer.h
 /// Wall-clock timing and deadline helpers used by the solvers' time budgets.
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 
 namespace rankhow {
 
@@ -35,10 +37,23 @@ class Deadline {
   bool Expired() const {
     return HasBudget() && timer_.ElapsedSeconds() >= budget_;
   }
-  double RemainingSeconds() const {
-    if (!HasBudget()) return 1e18;
+  /// Remaining budget, or nullopt for an unlimited deadline. "No deadline"
+  /// used to be a 1e18 sentinel that callers had to remember never to feed
+  /// into budget arithmetic; the optional makes forgetting a type error.
+  std::optional<double> Remaining() const {
+    if (!HasBudget()) return std::nullopt;
     double rem = budget_ - timer_.ElapsedSeconds();
     return rem > 0 ? rem : 0;
+  }
+  /// Remaining budget under the solver convention "0 = no deadline" (what
+  /// SimplexOptions::deadline_seconds and IncrementalLp::Solve expect).
+  /// A LIVE deadline never maps to the 0 sentinel: an exactly-exhausted
+  /// budget comes back as a microsecond, so the downstream solver returns
+  /// kResourceExhausted promptly instead of running unlimited — the exact
+  /// confusion this type replaced the old 1e18 sentinel to prevent.
+  double RemainingOrZero() const {
+    if (!HasBudget()) return 0;
+    return std::max(*Remaining(), 1e-6);
   }
   double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
 

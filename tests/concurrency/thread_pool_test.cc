@@ -1,0 +1,190 @@
+// The execution substrate of the parallel search engine: fixed-size pool,
+// task-group completion tracking, cooperative cancellation, and the
+// coordinator/frontier primitives the searches share. This binary carries
+// the ctest label `tsan` — run it under -DRANKHOW_SANITIZE=thread (preset
+// `tsan`) to gate on data races.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/search_coordinator.h"
+
+namespace rankhow {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Spawn([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilSlowTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 6; ++i) {
+    group.Spawn([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 6);
+}
+
+TEST(ThreadPoolTest, CancellationIsVisibleToTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> observed_cancel{0};
+  TaskGroup group(&pool);
+  group.Cancel();
+  for (int i = 0; i < 8; ++i) {
+    group.Spawn([&group, &observed_cancel] {
+      if (group.cancelled()) observed_cancel.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(observed_cancel.load(), 8);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(-3), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+}
+
+TEST(SearchCoordinatorTest, InstallsOnlyImprovements) {
+  SearchCoordinator coordinator(/*time_limit_seconds=*/0,
+                                /*improvement_tol=*/0.0);
+  EXPECT_FALSE(std::isfinite(coordinator.best_objective()));
+  EXPECT_TRUE(coordinator.OfferIncumbent(5.0, {5.0}));
+  EXPECT_FALSE(coordinator.OfferIncumbent(5.0, {5.5}));  // equal: rejected
+  EXPECT_FALSE(coordinator.OfferIncumbent(7.0, {7.0}));
+  EXPECT_TRUE(coordinator.OfferIncumbent(3.0, {3.0}));
+  EXPECT_EQ(coordinator.best_objective(), 3.0);
+  EXPECT_EQ(coordinator.incumbent_values(), std::vector<double>{3.0});
+  EXPECT_EQ(coordinator.incumbent_updates(), 2);
+}
+
+TEST(SearchCoordinatorTest, ConcurrentOffersKeepTheMinimum) {
+  SearchCoordinator coordinator(0, 0.0);
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int t = 0; t < 4; ++t) {
+    group.Spawn([&coordinator, t] {
+      for (int i = 100; i >= 1; --i) {
+        double objective = static_cast<double>(i * 4 + t);
+        coordinator.OfferIncumbent(objective,
+                                   {objective});
+      }
+    });
+  }
+  group.Wait();
+  // The global minimum across all threads' sequences is 1*4+0 = 4.
+  EXPECT_EQ(coordinator.best_objective(), 4.0);
+  EXPECT_EQ(coordinator.incumbent_values(), std::vector<double>{4.0});
+}
+
+TEST(SearchCoordinatorTest, FirstErrorWins) {
+  SearchCoordinator coordinator(0, 0.0);
+  EXPECT_FALSE(coordinator.StopRequested());
+  coordinator.ReportError(Status::Invalid("first"));
+  coordinator.ReportError(Status::Internal("second"));
+  EXPECT_TRUE(coordinator.StopRequested());
+  EXPECT_TRUE(coordinator.has_error());
+  EXPECT_EQ(coordinator.first_error().code(), StatusCode::kInvalidArgument);
+}
+
+struct TestNode {
+  double bound = 0;
+  double frontier_bound() const { return bound; }
+};
+struct TestNodeOrder {
+  bool operator()(const TestNode& a, const TestNode& b) const {
+    return a.bound > b.bound;
+  }
+};
+
+TEST(ShardedFrontierTest, DrainsEverythingAcrossWorkers) {
+  ShardedFrontier<TestNode, TestNodeOrder> frontier(4);
+  constexpr int kNodes = 500;
+  for (int i = 0; i < kNodes; ++i) {
+    frontier.Push(TestNode{static_cast<double>(i)});
+  }
+  std::atomic<int> popped{0};
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int t = 0; t < 4; ++t) {
+    group.Spawn([&frontier, &popped] {
+      while (auto node = frontier.Pop()) {
+        popped.fetch_add(1);
+        frontier.Done();
+      }
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(popped.load(), kNodes);
+  EXPECT_TRUE(frontier.Empty());
+}
+
+TEST(ShardedFrontierTest, BusyWorkerCanRepopulateAnEmptyFrontier) {
+  // One worker holds the only node and spawns children after a delay; the
+  // waiting workers must not conclude "exhausted" while it is busy.
+  ShardedFrontier<TestNode, TestNodeOrder> frontier(2);
+  frontier.Push(TestNode{0});
+  std::atomic<int> popped{0};
+  ThreadPool pool(3);
+  TaskGroup group(&pool);
+  for (int t = 0; t < 3; ++t) {
+    group.Spawn([&frontier, &popped] {
+      while (auto node = frontier.Pop()) {
+        int n = popped.fetch_add(1);
+        if (n == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          frontier.Push(TestNode{1});
+          frontier.Push(TestNode{2});
+        }
+        frontier.Done();
+      }
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(popped.load(), 3);
+}
+
+TEST(ShardedFrontierTest, StopShortCircuitsPops) {
+  ShardedFrontier<TestNode, TestNodeOrder> frontier(2);
+  frontier.Push(TestNode{1});
+  frontier.RequestStop();
+  EXPECT_FALSE(frontier.Pop().has_value());
+  // Pushes after stop stay visible to the bound accounting.
+  frontier.Push(TestNode{0.5});
+  EXPECT_EQ(frontier.MinBound(), 0.5);
+}
+
+TEST(ShardedFrontierTest, SingleShardPopsInBestFirstOrder) {
+  ShardedFrontier<TestNode, TestNodeOrder> frontier(1);
+  for (double b : {3.0, 1.0, 2.0, 0.5}) frontier.Push(TestNode{b});
+  std::vector<double> order;
+  while (auto node = frontier.Pop()) {
+    order.push_back(node->bound);
+    frontier.Done();
+  }
+  EXPECT_EQ(order, (std::vector<double>{0.5, 1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace rankhow

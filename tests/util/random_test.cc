@@ -82,6 +82,52 @@ TEST(RngTest, NextIntCoversRangeInclusive) {
   EXPECT_TRUE(saw_hi);
 }
 
+TEST(RngTest, JumpIsDeterministicAndMovesTheStream) {
+  Rng a(77);
+  Rng b(77);
+  a.Jump();
+  b.Jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  // A jumped stream does not replay the unjumped one.
+  Rng c(77);
+  Rng d(77);
+  c.Jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c.Next() == d.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, JumpDoesNotConsumeParentDraws) {
+  Rng a(31);
+  Rng b(31);
+  (void)a.SplitStream(5);  // const: must leave the parent untouched
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SplitStreamsAreDisjointAndDeterministic) {
+  Rng base(2024);
+  // Deterministic: same parent state + id -> same stream.
+  Rng s2a = base.SplitStream(2);
+  Rng s2b = base.SplitStream(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s2a.Next(), s2b.Next());
+  // Pairwise disjoint-looking across workers and vs the parent.
+  constexpr int kWorkers = 4;
+  constexpr int kDraws = 256;
+  std::vector<std::vector<uint64_t>> draws(kWorkers + 1);
+  for (int w = 0; w < kWorkers; ++w) {
+    Rng s = base.SplitStream(w);
+    for (int i = 0; i < kDraws; ++i) draws[w].push_back(s.Next());
+  }
+  for (int i = 0; i < kDraws; ++i) draws[kWorkers].push_back(base.Next());
+  for (int x = 0; x <= kWorkers; ++x) {
+    for (int y = x + 1; y <= kWorkers; ++y) {
+      int same = 0;
+      for (int i = 0; i < kDraws; ++i) same += draws[x][i] == draws[y][i];
+      EXPECT_LT(same, 3) << "streams " << x << " and " << y << " overlap";
+    }
+  }
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng a(123);
   Rng forked = a.Fork();

@@ -87,11 +87,19 @@ int main(int argc, char** argv) {
   double eps2 = flags.GetDouble("eps2", 0.0, "tie threshold ε₂ (Eq. 2)");
   double time_limit =
       flags.GetDouble("time-limit", 60, "solve budget in seconds (0 = none)");
+  std::string threads_spec = flags.GetString(
+      "threads", "1",
+      "search worker threads: 1 = serial, 'all' (or 0) = every hardware "
+      "thread, n = exactly n");
   bool use_sym_gd = flags.GetBool(
       "sym-gd", false, "approximate with symbolic gradient descent (Sec. IV)");
   double cell = flags.GetDouble("cell", 0.01, "SYM-GD cell size c");
   bool adaptive = flags.GetBool(
       "adaptive", true, "SYM-GD Algorithm 2 (double the cell when stuck)");
+  int seeds = static_cast<int>(flags.GetInt(
+      "seeds", 1,
+      "SYM-GD portfolio size: race this many diverse seeds across the "
+      "thread pool and keep the best (requires --sym-gd)"));
   bool show_table =
       flags.GetBool("show-table", true, "print given vs synthesized table");
   if (!flags.Finish()) return 0;
@@ -130,12 +138,16 @@ int main(int argc, char** argv) {
   auto objective = ParseObjectiveSpec(objective_name, problem->given.k());
   if (!objective.ok()) return Fail(objective.status());
 
+  auto threads = ParseThreadCount(threads_spec);
+  if (!threads.ok()) return Fail(threads.status());
+
   RankHowOptions options;
   options.eps.tie_eps = tie_eps;
   options.eps.eps1 = eps1;
   options.eps.eps2 = eps2;
   options.strategy = *strategy;
   options.time_limit_seconds = time_limit;
+  options.num_threads = *threads;
   if (!options.eps.Valid()) {
     std::cerr << "error: epsilons must satisfy eps2 <= eps < eps1\n";
     return 1;
@@ -153,6 +165,7 @@ int main(int argc, char** argv) {
     sym_options.cell_size = cell;
     sym_options.adaptive = adaptive;
     sym_options.time_budget_seconds = time_limit;
+    sym_options.num_seeds = seeds;
     sym_options.solver = options;
     sym_options.solver.strategy = SolveStrategy::kAuto;
     SymGd symgd(problem->data, problem->given, sym_options);
@@ -168,16 +181,31 @@ int main(int argc, char** argv) {
                                  &symgd.problem().order_constraints);
     }
     if (!st.ok()) return Fail(st);
-    auto seed =
-        OrdinalRegressionSeed(problem->data, problem->given, eps1);
-    if (!seed.ok()) return Fail(seed.status());
-    auto result = symgd.Run(*seed);
+    Result<SymGdResult> result = Status::Internal("unset");
+    if (seeds > 1) {
+      result = symgd.RunPortfolio();
+    } else {
+      auto seed = OrdinalRegressionSeed(problem->data, problem->given, eps1);
+      if (!seed.ok()) return Fail(seed.status());
+      result = symgd.Run(*seed);
+    }
     if (!result.ok()) return Fail(result.status());
     function = std::move(result->function);
     error = result->error;
     summary = StrFormat("sym-gd: %d cells, final cell %.4g, %.2fs",
                         result->iterations, result->final_cell_size,
                         result->seconds);
+    if (!result->portfolio.empty()) {
+      summary += StrFormat("\nportfolio (%d seeds, winner %s):",
+                           static_cast<int>(result->portfolio.size()),
+                           result->portfolio[result->winning_seed]
+                               .seed_name.c_str());
+      for (const SeedRun& run : result->portfolio) {
+        summary += StrFormat("\n  %-10s error %ld in %d cells (%.2fs)",
+                             run.seed_name.c_str(), run.error,
+                             run.iterations, run.seconds);
+      }
+    }
   } else {
     RankHow solver(problem->data, problem->given, options);
     solver.problem().objective = *objective;
