@@ -120,9 +120,13 @@ int RunParallelScaling(int scaling_n, int m, uint64_t seed,
     std::fprintf(stderr, "failed to write BENCH_parallel_scaling.json\n");
     return 1;
   }
+  std::fprintf(f, "{\n  \"bench\": \"parallel_scaling\",\n");
+  int max_threads = 1;
+  for (const ScalingRun& run : runs) {
+    max_threads = std::max(max_threads, run.threads);
+  }
+  WriteBenchMetadataJson(f, max_threads, BenchTimestampUtc());
   std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"parallel_scaling\",\n"
                "  \"workload\": \"exact solve, uniform synthetic, "
                "ranking sum(A^3), k=10\",\n"
                "  \"n\": %d,\n  \"m\": %d,\n  \"seed\": %llu,\n"

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "core/indicator_fixing.h"
 #include "data/synthetic.h"
 #include "lp/incremental.h"
@@ -167,10 +168,11 @@ bool EmitWarmstartJson() {
 
   std::FILE* f = std::fopen("BENCH_lp_warmstart.json", "w");
   if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"lp_warmstart\",\n");
+  rankhow::bench::WriteBenchMetadataJson(
+      f, /*threads_used=*/1, rankhow::bench::BenchTimestampUtc());
   std::fprintf(
       f,
-      "{\n"
-      "  \"bench\": \"lp_warmstart\",\n"
       "  \"config\": {\"binaries\": %d, \"errors\": %d, \"rows\": %d, "
       "\"resolves\": %d},\n"
       "  \"cold\": {\"seconds\": %.6f, \"pivots\": %lld},\n"

@@ -7,9 +7,12 @@
 /// the series of the corresponding paper figure/table and writes the same
 /// rows as CSV next to the binary.
 
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/adarank.h"
@@ -167,6 +170,32 @@ inline MethodRow RunSymGd(const Dataset& data, const Ranking& given,
 inline std::string PerTuple(double error, int k) {
   if (error < 0) return "fail";
   return FormatDouble(error / std::max(1, k), 4);
+}
+
+/// ISO-8601 UTC "now" — the conventional value harnesses pass to
+/// WriteBenchMetadataJson's timestamp field.
+inline std::string BenchTimestampUtc() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+/// The shared self-description block every BENCH_*.json artifact carries:
+/// the hardware the numbers were measured on, the worker-thread count the
+/// harness ran with, and a timestamp the harness passes in (usually
+/// BenchTimestampUtc()). Emitted as a `"metadata": {...},` member — call it
+/// right after the opening brace so single-core runs (like the PR 2 scaling
+/// numbers recorded on a 1-core container) are self-describing.
+inline void WriteBenchMetadataJson(std::FILE* f, int threads_used,
+                                   const std::string& timestamp) {
+  std::fprintf(f,
+               "  \"metadata\": {\"hardware_concurrency\": %u, "
+               "\"threads\": %d, \"timestamp\": \"%s\"},\n",
+               std::thread::hardware_concurrency(), threads_used,
+               timestamp.c_str());
 }
 
 /// Prints and saves a table. The csv lands next to the binary.

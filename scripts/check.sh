@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# One-command CI gate: the tier-1 configure/build/ctest line from ROADMAP.md
+# plus the ThreadSanitizer concurrency suite (`ctest -L tsan` under the tsan
+# preset from CMakePresets.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: default build + full ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== tsan: thread-sanitized build + ctest -L tsan =="
+cmake --preset tsan
+cmake --build --preset tsan -j
+ctest --preset tsan
+
+echo "check.sh: all gates passed"

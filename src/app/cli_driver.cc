@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <limits>
 
 #include "util/string_util.h"
 
@@ -166,7 +168,8 @@ Status ApplyWeightBounds(const Dataset& data, const std::string& spec,
     std::string name(Trim(parts[0]));
     RH_ASSIGN_OR_RETURN(int attr, data.AttributeIndex(name));
     RH_ASSIGN_OR_RETURN(double bound, ParseDouble(Trim(parts[1])));
-    if (bound < 0 || bound > 1) {
+    // !( >= && <= ) rather than ( < || > ): NaN must fail the range check.
+    if (!(bound >= 0 && bound <= 1)) {
       return Status::Invalid(StrFormat(
           "weight bound for %s must lie in [0,1], got %g", name.c_str(),
           bound));
@@ -245,6 +248,183 @@ Result<RankingObjectiveSpec> ParseObjectiveSpec(const std::string& name,
   if (v == "inversions") return RankingObjectiveSpec::Inversions();
   return Status::Invalid("unknown objective '" + name +
                          "' (position|topheavy|inversions)");
+}
+
+Result<int> ParsePositiveCount(const std::string& flag,
+                               const std::string& value) {
+  auto parsed = ParseInt(Trim(value));
+  if (!parsed.ok() || *parsed < 1 ||
+      *parsed > std::numeric_limits<int>::max()) {
+    return Status::Invalid("bad --" + flag + " value '" + value +
+                           "' (a positive integer)");
+  }
+  return static_cast<int>(*parsed);
+}
+
+Result<double> ParseTimeLimit(const std::string& value) {
+  auto parsed = ParseDouble(Trim(value));
+  if (!parsed.ok() || !std::isfinite(*parsed) || *parsed < 0) {
+    return Status::Invalid("bad --time-limit value '" + value +
+                           "' (seconds >= 0; 0 = unlimited)");
+  }
+  return *parsed;
+}
+
+Result<std::vector<SessionCommand>> ParseSessionScript(
+    const std::string& text) {
+  std::vector<SessionCommand> script;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line(Trim(raw));
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line = std::string(Trim(line.substr(0, hash)));
+    }
+    if (line.empty()) continue;
+
+    // Tokenize on whitespace (the order argument carries no spaces).
+    for (char& ch : line) {
+      if (ch == '\t') ch = ' ';
+    }
+    std::vector<std::string> tokens;
+    for (const std::string& t : Split(line, ' ')) {
+      if (!Trim(t).empty()) tokens.emplace_back(Trim(t));
+    }
+    SessionCommand cmd;
+    cmd.line = line_no;
+    const std::string op = ToLower(tokens[0]);
+    auto need_args = [&](size_t n) -> Status {
+      if (tokens.size() != n + 1) {
+        return Status::Invalid(StrFormat(
+            "session script line %d: '%s' takes %d argument(s)", line_no,
+            op.c_str(), static_cast<int>(n)));
+      }
+      return Status();
+    };
+    if (op == "solve") {
+      RH_RETURN_NOT_OK(need_args(0));
+      cmd.kind = SessionCommand::Kind::kSolve;
+    } else if (op == "min-weight" || op == "max-weight") {
+      RH_RETURN_NOT_OK(need_args(2));
+      cmd.kind = op == "min-weight" ? SessionCommand::Kind::kMinWeight
+                                    : SessionCommand::Kind::kMaxWeight;
+      cmd.arg = tokens[1];
+      auto v = ParseDouble(tokens[2]);
+      // !( >= && <= ) rather than ( < || > ): NaN must fail the range check.
+      if (!v.ok() || !(*v >= 0 && *v <= 1)) {
+        return Status::Invalid(StrFormat(
+            "session script line %d: weight bound must lie in [0,1], got "
+            "'%s'",
+            line_no, tokens[2].c_str()));
+      }
+      cmd.value = *v;
+    } else if (op == "drop") {
+      RH_RETURN_NOT_OK(need_args(1));
+      cmd.kind = SessionCommand::Kind::kDrop;
+      cmd.arg = tokens[1];
+    } else if (op == "order") {
+      RH_RETURN_NOT_OK(need_args(1));
+      cmd.kind = SessionCommand::Kind::kOrder;
+      cmd.arg = tokens[1];
+      if (Split(cmd.arg, '>').size() != 2) {
+        return Status::Invalid(StrFormat(
+            "session script line %d: order needs LABEL_A>LABEL_B", line_no));
+      }
+    } else if (op == "eps" || op == "eps1" || op == "eps2") {
+      RH_RETURN_NOT_OK(need_args(1));
+      cmd.kind = op == "eps" ? SessionCommand::Kind::kEps
+                 : op == "eps1" ? SessionCommand::Kind::kEps1
+                                : SessionCommand::Kind::kEps2;
+      auto v = ParseDouble(tokens[1]);
+      if (!v.ok()) {
+        return Status::Invalid(StrFormat(
+            "session script line %d: bad %s value '%s'", line_no, op.c_str(),
+            tokens[1].c_str()));
+      }
+      cmd.value = *v;
+    } else if (op == "objective") {
+      RH_RETURN_NOT_OK(need_args(1));
+      cmd.kind = SessionCommand::Kind::kObjective;
+      cmd.arg = tokens[1];
+    } else {
+      return Status::Invalid(StrFormat(
+          "session script line %d: unknown command '%s'", line_no,
+          op.c_str()));
+    }
+    script.push_back(std::move(cmd));
+  }
+  return script;
+}
+
+Result<std::vector<SessionStepOutcome>> RunSessionScript(
+    SolveSession* session, const std::vector<SessionCommand>& script,
+    const std::vector<std::string>& labels) {
+  std::vector<SessionStepOutcome> outcomes;
+  outcomes.reserve(script.size());
+  for (const SessionCommand& cmd : script) {
+    auto fail = [&cmd](const Status& status) {
+      return Status(status.code(),
+                    StrFormat("session script line %d: %s", cmd.line,
+                              status.message().c_str()));
+    };
+    Status edit;
+    switch (cmd.kind) {
+      case SessionCommand::Kind::kSolve:
+        break;
+      case SessionCommand::Kind::kMinWeight:
+      case SessionCommand::Kind::kMaxWeight: {
+        auto attr = session->data().AttributeIndex(cmd.arg);
+        if (!attr.ok()) return fail(attr.status());
+        const bool is_min = cmd.kind == SessionCommand::Kind::kMinWeight;
+        WeightConstraint c;
+        c.terms = {{*attr, 1.0}};
+        c.op = is_min ? RelOp::kGe : RelOp::kLe;
+        c.rhs = cmd.value;
+        c.name = (is_min ? "min_" : "max_") + cmd.arg;
+        edit = session->AddWeightConstraint(std::move(c));
+        break;
+      }
+      case SessionCommand::Kind::kDrop:
+        edit = session->RemoveWeightConstraint(cmd.arg);
+        break;
+      case SessionCommand::Kind::kOrder: {
+        std::vector<PairwiseOrderConstraint> parsed;
+        edit = ApplyOrderConstraints(labels, cmd.arg, &parsed);
+        if (edit.ok()) {
+          for (const PairwiseOrderConstraint& oc : parsed) {
+            edit = session->AddOrderConstraint(oc.above, oc.below);
+            if (!edit.ok()) break;
+          }
+        }
+        break;
+      }
+      case SessionCommand::Kind::kEps:
+      case SessionCommand::Kind::kEps1:
+      case SessionCommand::Kind::kEps2: {
+        EpsilonConfig eps = session->problem().eps;
+        if (cmd.kind == SessionCommand::Kind::kEps) {
+          eps.tie_eps = cmd.value;
+        } else if (cmd.kind == SessionCommand::Kind::kEps1) {
+          eps.eps1 = cmd.value;
+        } else {
+          eps.eps2 = cmd.value;
+        }
+        edit = session->SetEpsilon(eps);
+        break;
+      }
+      case SessionCommand::Kind::kObjective: {
+        auto spec = ParseObjectiveSpec(cmd.arg, session->given().k());
+        if (!spec.ok()) return fail(spec.status());
+        edit = session->SetObjective(*spec);
+        break;
+      }
+    }
+    if (!edit.ok()) return fail(edit);
+    auto result = session->Solve();
+    if (!result.ok()) return fail(result.status());
+    outcomes.push_back(SessionStepOutcome{cmd, *std::move(result)});
+  }
+  return outcomes;
 }
 
 }  // namespace rankhow

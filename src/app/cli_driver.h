@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/rankhow.h"
+#include "core/solve_session.h"
 #include "data/dataset.h"
 #include "ranking/objective.h"
 #include "ranking/ranking.h"
@@ -87,6 +88,69 @@ Result<int> ParseThreadCount(const std::string& value);
 /// ladder.
 Result<RankingObjectiveSpec> ParseObjectiveSpec(const std::string& name,
                                                 int k);
+
+/// Strict validation for count-like flags ("--seeds"): a positive integer,
+/// rejected (not clamped) on anything else. `flag` names the flag in the
+/// error message.
+Result<int> ParsePositiveCount(const std::string& flag,
+                               const std::string& value);
+
+/// "--time-limit": a finite number of seconds >= 0 (0 = unlimited).
+Result<double> ParseTimeLimit(const std::string& value);
+
+// ---------------------------------------------------------------------------
+// Scripted session mode (`--session edits.txt`): one edit+solve per line.
+//
+// Script grammar (one command per line; '#' starts a comment):
+//   solve                     re-solve with no edit (the cold baseline line)
+//   min-weight ATTR VALUE     add the weight floor w_ATTR >= VALUE
+//   max-weight ATTR VALUE     add the weight ceiling w_ATTR <= VALUE
+//   drop NAME                 remove the constraint named NAME (the names
+//                             min-weight/max-weight assign are min_ATTR /
+//                             max_ATTR)
+//   order LABEL_A>LABEL_B     add "A must outscore B"
+//   eps VALUE                 set the tie tolerance ε
+//   eps1 VALUE | eps2 VALUE   set the Equation-(2) thresholds
+//   objective NAME            position | topheavy | inversions
+// Every line (including the edit ones) triggers one SolveSession::Solve.
+
+/// One parsed script line.
+struct SessionCommand {
+  enum class Kind {
+    kSolve,
+    kMinWeight,
+    kMaxWeight,
+    kDrop,
+    kOrder,
+    kEps,
+    kEps1,
+    kEps2,
+    kObjective,
+  };
+  Kind kind = Kind::kSolve;
+  /// Attribute name (min/max-weight), constraint name (drop), "A>B" label
+  /// pair (order), or objective name.
+  std::string arg;
+  double value = 0;  // min/max-weight bound or ε value
+  int line = 0;      // 1-based source line for error messages
+};
+
+/// Parses a session script. Errors: kInvalidArgument with the line number.
+Result<std::vector<SessionCommand>> ParseSessionScript(
+    const std::string& text);
+
+/// One executed script line: the command and what its solve proved.
+struct SessionStepOutcome {
+  SessionCommand command;
+  RankHowResult result;
+};
+
+/// Applies the script to a session, one edit+solve per line. Labels resolve
+/// `order` commands (pass the CliProblem's labels). Stops at the first
+/// failing edit or solve, with the line number in the error.
+Result<std::vector<SessionStepOutcome>> RunSessionScript(
+    SolveSession* session, const std::vector<SessionCommand>& script,
+    const std::vector<std::string>& labels);
 
 }  // namespace rankhow
 

@@ -23,6 +23,27 @@ std::vector<double> OptModel::ExtractWeights(
   return w;
 }
 
+void AppendWeightConstraintRow(const WeightConstraint& constraint,
+                               OptModel* model) {
+  AppendWeightConstraintTo(constraint, &model->milp.lp(),
+                           model->weight_vars);
+}
+
+void AppendOrderConstraintRow(const OptProblem& problem,
+                              const PairwiseOrderConstraint& oc,
+                              OptModel* model) {
+  const Dataset& data = *problem.data;
+  LinearExpr expr;
+  for (int a = 0; a < data.num_attributes(); ++a) {
+    expr += LinearExpr::Term(
+        model->weight_vars[a],
+        data.value(oc.above, a) - data.value(oc.below, a));
+  }
+  model->milp.lp().AddConstraint(
+      std::move(expr), RelOp::kGe, problem.eps.eps1,
+      StrFormat("order_%d_above_%d", oc.above, oc.below));
+}
+
 Result<OptModel> BuildOptModel(const OptProblem& problem,
                                const WeightBox& box, bool enable_fixing,
                                bool enable_cuts, bool tight_big_m) {

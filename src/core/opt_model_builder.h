@@ -66,6 +66,24 @@ Result<OptModel> BuildOptModel(const OptProblem& problem,
                                bool enable_cuts = true,
                                bool tight_big_m = true);
 
+/// Delta-aware rebuild (the SolveSession fast path): appends the single LP
+/// row for a weight constraint that was added to the problem *after* `model`
+/// was compiled, leaving every existing variable and row id untouched — so
+/// warm bases exported against the model stay valid. The cached model keeps
+/// the indicator fixing and big-M values it was built with; both were
+/// derived over a superset of the new feasible box, which is sound (fixing
+/// and M tightness affect solve speed, never the optimum). A from-scratch
+/// BuildOptModel over the shrunk box may fix more indicators; the session
+/// trades that tightness for skipping the full recompile.
+void AppendWeightConstraintRow(const WeightConstraint& constraint,
+                               OptModel* model);
+
+/// Same contract for a pairwise order constraint added after compilation:
+/// appends the pure weight row w·d(above, below) >= ε₁.
+void AppendOrderConstraintRow(const OptProblem& problem,
+                              const PairwiseOrderConstraint& oc,
+                              OptModel* model);
+
 }  // namespace rankhow
 
 #endif  // RANKHOW_CORE_OPT_MODEL_BUILDER_H_

@@ -122,6 +122,48 @@ void RefineCandidate(const OptProblem& problem, const WeightBox& box,
 
 }  // namespace
 
+Result<PresolveResult> RevalidateIncumbents(
+    const OptProblem& problem, const WeightBox& box,
+    const std::vector<std::vector<double>>& pool,
+    const PresolveOptions& options) {
+  RH_RETURN_NOT_OK(problem.Validate());
+  const int m = problem.data->num_attributes();
+  RH_CHECK(box.dim() == m);
+  WeightBox tight = problem.constraints.TightenBox(box);
+  if (!tight.IntersectsSimplex()) {
+    return Status::Infeasible("presolve box ∩ simplex ∩ P bounds is empty");
+  }
+
+  WallTimer timer;
+  Deadline deadline(options.time_budget_seconds);
+  PresolveResult result;
+  Candidate best;
+  best.error = -1;
+  for (const std::vector<double>& w : pool) {
+    if (static_cast<int>(w.size()) != m) continue;
+    auto err = EvaluateTrueError(problem, w);
+    ++result.evaluated;
+    if (err.has_value() && (best.error < 0 || *err < best.error)) {
+      best.weights = w;
+      best.error = *err;
+    }
+    if (deadline.Expired()) break;
+  }
+  if (best.error < 0) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;  // found() == false: pool fully invalidated by the edit
+  }
+  if (best.error > 0) {
+    Rng rng(options.seed);
+    RefineCandidate(problem, tight, options.refine_rounds, &rng, deadline,
+                    &best, &result.evaluated);
+  }
+  result.weights = std::move(best.weights);
+  result.error = best.error;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
 Result<PresolveResult> PresolveIncumbent(const OptProblem& problem,
                                          const WeightBox& box,
                                          const PresolveOptions& options) {

@@ -66,6 +66,19 @@ Result<PresolveResult> PresolveIncumbent(const OptProblem& problem,
                                          const WeightBox& box,
                                          const PresolveOptions& options = {});
 
+/// The SolveSession reuse path: instead of multi-starting cold, re-evaluate
+/// a pool of previously found weight vectors against the (edited) problem —
+/// a tightening edit keeps many of them feasible, a relaxing edit keeps all
+/// of them — and give the best survivor a short local-search refinement
+/// (the edit may have moved the optimum a small mass transfer away).
+/// Entries that became infeasible are skipped, not errors. found() is false
+/// when nothing in the pool survives; the caller then falls back to
+/// PresolveIncumbent.
+Result<PresolveResult> RevalidateIncumbents(
+    const OptProblem& problem, const WeightBox& box,
+    const std::vector<std::vector<double>>& pool,
+    const PresolveOptions& options = {});
+
 }  // namespace rankhow
 
 #endif  // RANKHOW_CORE_PRESOLVE_H_

@@ -173,18 +173,46 @@ Result<RankHowResult> RankHow::Solve(
                     initial_weights);
 }
 
-SolveStrategy RankHow::ResolveStrategy(const WeightBox& box) const {
-  if (options_.strategy != SolveStrategy::kAuto) return options_.strategy;
+PresolveOptions ClampedPresolveOptions(const RankHowOptions& options,
+                                       const Deadline& deadline) {
+  PresolveOptions presolve = options.presolve;
+  if (deadline.HasBudget()) {
+    presolve.time_budget_seconds =
+        std::min(presolve.time_budget_seconds,
+                 0.25 * options.time_limit_seconds);
+  }
+  return presolve;
+}
+
+BoxFeasibilityOracle* EnsureWarmBoxOracle(
+    const OptProblem& problem, const RankHowOptions& options,
+    std::unique_ptr<BoxFeasibilityOracle>* slot) {
+  if (!options.use_warm_start ||
+      ThreadPool::ResolveThreadCount(options.num_threads) != 1) {
+    return nullptr;  // parallel workers compile their own oracles
+  }
+  if (*slot == nullptr ||
+      (*slot)->constraints_revision() != problem.constraints.revision()) {
+    *slot = std::make_unique<BoxFeasibilityOracle>(
+        problem.data->num_attributes(), problem.constraints);
+  }
+  return slot->get();
+}
+
+SolveStrategy ResolveSolveStrategy(const OptProblem& problem,
+                                   const RankHowOptions& options,
+                                   const WeightBox& box) {
+  if (options.strategy != SolveStrategy::kAuto) return options.strategy;
   (void)box;
   // The spatial bound covers position-error objectives only.
-  if (problem_.objective.kind == ObjectiveKind::kInversions) {
+  if (problem.objective.kind == ObjectiveKind::kInversions) {
     return SolveStrategy::kIndicatorMilp;
   }
-  const int m = data_.num_attributes();
+  const int m = problem.data->num_attributes();
   // Spatial subdivision scales with the weight-space dimension; the MILP
   // scales with the indicator count. Crossover measured in bench_ablations.
-  const long pairs = static_cast<long>(given_.ranked_tuples().size()) *
-                     std::max(1, data_.num_tuples() - 1);
+  const long pairs = static_cast<long>(problem.given->ranked_tuples().size()) *
+                     std::max(1, problem.data->num_tuples() - 1);
   if (m <= 5 && pairs <= 100000) return SolveStrategy::kSpatial;
   return SolveStrategy::kIndicatorMilp;
 }
@@ -200,21 +228,23 @@ Result<RankHowResult> RankHow::SolveInBox(
   if (initial_weights != nullptr) {
     warm = *initial_weights;
   } else if (options_.use_presolve) {
-    PresolveOptions presolve = options_.presolve;
-    if (deadline.HasBudget()) {
-      presolve.time_budget_seconds =
-          std::min(presolve.time_budget_seconds,
-                   0.25 * options_.time_limit_seconds);
-    }
-    auto pre = PresolveIncumbent(problem_, box, presolve);
+    auto pre = PresolveIncumbent(problem_, box,
+                                 ClampedPresolveOptions(options_, deadline));
     if (pre.ok() && pre->found()) warm = std::move(pre->weights);
     // Presolve failure is non-fatal: the exact search runs cold.
   }
 
-  SolveStrategy strategy = ResolveStrategy(box);
+  SolveStrategy strategy = ResolveSolveStrategy(problem_, options_, box);
+  ExactSolveSeed seed;
+  seed.warm_weights = std::move(warm);
   RankHowResult result;
   if (strategy == SolveStrategy::kSpatial) {
-    RH_ASSIGN_OR_RETURN(result, SolveSpatial(box, warm, deadline));
+    // One warm P-feasibility oracle across every spatial solve this RankHow
+    // (and its SYM-GD copies) issues; see box_oracle_slot_.
+    seed.box_oracle =
+        EnsureWarmBoxOracle(problem_, options_, &box_oracle_slot_->oracle);
+    RH_ASSIGN_OR_RETURN(
+        result, SolveOptSpatial(problem_, options_, box, seed, deadline));
   } else {
     RH_ASSIGN_OR_RETURN(
         OptModel model,
@@ -223,12 +253,11 @@ Result<RankHowResult> RankHow::SolveInBox(
                       options_.use_tight_big_m));
     if (strategy == SolveStrategy::kSatBinarySearch) {
       RH_ASSIGN_OR_RETURN(
-          result, SolveSatBinarySearch(model, warm.empty() ? nullptr : &warm,
-                                       deadline));
+          result, SolveOptModelSat(problem_, options_, model, seed, deadline));
     } else {
-      RH_ASSIGN_OR_RETURN(result,
-                          SolveModel(model, warm.empty() ? nullptr : &warm,
-                                     deadline));
+      RH_ASSIGN_OR_RETURN(
+          result, SolveOptModelMilp(problem_, options_, model, seed,
+                                    deadline));
     }
   }
   result.strategy_used = strategy;
@@ -236,33 +265,25 @@ Result<RankHowResult> RankHow::SolveInBox(
   return result;
 }
 
-Result<RankHowResult> RankHow::SolveSpatial(const WeightBox& box,
-                                            const std::vector<double>& warm,
-                                            const Deadline& deadline) const {
+Result<RankHowResult> SolveOptSpatial(const OptProblem& problem,
+                                      const RankHowOptions& options,
+                                      const WeightBox& box,
+                                      const ExactSolveSeed& seed,
+                                      const Deadline& deadline) {
   SpatialBnbOptions spatial_options;
   spatial_options.time_limit_seconds = deadline.RemainingOrZero();
-  spatial_options.max_boxes = options_.max_nodes;
-  spatial_options.use_warm_start = options_.use_warm_start;
-  spatial_options.num_threads = options_.num_threads;
-  spatial_options.initial_weights = warm;
-  SpatialBnb spatial(problem_, spatial_options);
-  if (options_.use_warm_start &&
-      ThreadPool::ResolveThreadCount(options_.num_threads) == 1) {
-    // One warm P-feasibility oracle across every spatial solve this RankHow
-    // (and its SYM-GD copies) issues; see box_oracle_slot_. Parallel
-    // solves skip the shared slot — each worker compiles its own oracle.
-    BoxOracleSlot& slot = *box_oracle_slot_;
-    if (slot.oracle == nullptr ||
-        slot.oracle->num_constraints() != problem_.constraints.size()) {
-      slot.oracle = std::make_unique<BoxFeasibilityOracle>(
-          data_.num_attributes(), problem_.constraints);
-    }
-    spatial.SetOracle(slot.oracle.get());
-  }
+  spatial_options.max_boxes = options.max_nodes;
+  spatial_options.use_warm_start = options.use_warm_start;
+  spatial_options.num_threads = options.num_threads;
+  spatial_options.initial_weights = seed.warm_weights;
+  spatial_options.external_lower_bound = std::max(0L, seed.lower_bound);
+  SpatialBnb spatial(problem, spatial_options);
+  if (seed.box_oracle != nullptr) spatial.SetOracle(seed.box_oracle);
   RH_ASSIGN_OR_RETURN(SpatialBnbResult sres, spatial.Solve(box));
 
   RankHowResult result;
-  result.function = ScoringFunction::FromWeights(data_, sres.weights);
+  result.function =
+      ScoringFunction::FromWeights(*problem.data, sres.weights);
   result.claimed_error = sres.error;
   result.error = sres.error;
   result.bound = sres.bound;
@@ -276,31 +297,34 @@ Result<RankHowResult> RankHow::SolveSpatial(const WeightBox& box,
 
   // Indicator accounting at the root box, for parity with the MILP path
   // (SYM-GD sums these across iterations).
-  auto fixing = ComputeIndicatorFixing(data_, given_.ranked_tuples(),
-                                       problem_.constraints.TightenBox(box),
-                                       problem_.eps.eps1, problem_.eps.eps2);
+  auto fixing =
+      ComputeIndicatorFixing(*problem.data, problem.given->ranked_tuples(),
+                             problem.constraints.TightenBox(box),
+                             problem.eps.eps1, problem.eps.eps2);
   if (fixing.ok()) {
     result.num_free_indicators = fixing->total_free;
     result.num_fixed_indicators =
         fixing->total_fixed_one + fixing->total_fixed_zero;
   }
 
-  if (options_.verify) {
+  if (options.verify) {
     RH_ASSIGN_OR_RETURN(
         VerificationReport report,
-        VerifySolutionObjective(*problem_.data, *problem_.given,
+        VerifySolutionObjective(*problem.data, *problem.given,
                                 result.function.weights,
-                                problem_.eps.tie_eps, result.claimed_error,
-                                problem_.objective));
+                                problem.eps.tie_eps, result.claimed_error,
+                                problem.objective));
     result.error = report.exact_error;
     result.verification = std::move(report);
   }
   return result;
 }
 
-Result<RankHowResult> RankHow::SolveSatBinarySearch(
-    const OptModel& model, const std::vector<double>* initial_weights,
-    const Deadline& deadline) const {
+Result<RankHowResult> SolveOptModelSat(const OptProblem& problem,
+                                       const RankHowOptions& options,
+                                       const OptModel& model,
+                                       const ExactSolveSeed& seed,
+                                       const Deadline& deadline) {
   // Equation (2)'s objective expression, reused as a budget row
   // `objective <= E` inside each satisfiability probe (Sec. III-A: "convert
   // the optimization problem to a series of satisfiability problems,
@@ -323,15 +347,14 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
     }
     BnbOptions bnb_options;
     bnb_options.time_limit_seconds = deadline.RemainingOrZero();
-    bnb_options.max_nodes = options_.max_nodes;
+    bnb_options.max_nodes = options.max_nodes;
     bnb_options.objective_is_integral = true;
-    bnb_options.lazy_separation = options_.use_lazy_separation;
-    bnb_options.use_warm_start = options_.use_warm_start;
-    bnb_options.num_threads = options_.num_threads;
-    bnb_options.lp_options = options_.lp_options;
+    bnb_options.lazy_separation = options.use_lazy_separation;
+    bnb_options.use_warm_start = options.use_warm_start;
+    bnb_options.num_threads = options.num_threads;
+    bnb_options.lp_options = options.lp_options;
     BranchAndBound solver(bnb_options);
-    if (options_.use_primal_heuristic) {
-      const OptProblem& problem = problem_;
+    if (options.use_primal_heuristic) {
       solver.SetPrimalHeuristic(
           [&problem, &model, &objective, budget](
               const std::vector<double>& lp_values)
@@ -363,7 +386,7 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
     result.stats.lazy_rounds += bnb.stats.lazy_rounds;
     std::vector<double> w = model.ExtractWeights(bnb.values);
     std::vector<double> values;
-    auto err = EvaluateOnModel(problem_, model, w, &values);
+    auto err = EvaluateOnModel(problem, model, w, &values);
     long achieved;
     if (err.has_value()) {
       achieved = *err;
@@ -382,10 +405,11 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
     }
   };
 
-  // Upper bound from the warm start (presolve winner or SYM-GD iterate).
-  if (initial_weights != nullptr) {
+  // Upper bound from the warm start (presolve winner, SYM-GD iterate, or a
+  // session's revalidated pool incumbent).
+  if (!seed.warm_weights.empty()) {
     std::vector<double> values;
-    auto err = EvaluateOnModel(problem_, model, *initial_weights, &values);
+    auto err = EvaluateOnModel(problem, model, seed.warm_weights, &values);
     if (err.has_value()) {
       hi = *err;
       best_values = std::move(values);
@@ -399,7 +423,9 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
     absorb(bnb, std::nullopt);
   }
 
-  long lo = 0;
+  // An externally proven lower bound (session reuse) skips the probes that
+  // would re-establish it; lo == hi closes the search without any probe.
+  long lo = std::max(0L, seed.lower_bound);
   bool undecided = false;
   while (lo < hi && !deadline.Expired()) {
     const long mid = lo + (hi - lo) / 2;
@@ -418,7 +444,7 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
   }
 
   result.function = ScoringFunction::FromWeights(
-      *problem_.data, model.ExtractWeights(best_values));
+      *problem.data, model.ExtractWeights(best_values));
   result.claimed_error = hi;
   result.error = hi;
   result.bound = std::min(lo, hi);
@@ -426,36 +452,42 @@ Result<RankHowResult> RankHow::SolveSatBinarySearch(
   result.num_free_indicators = model.num_free_indicators;
   result.num_fixed_indicators = model.num_fixed_indicators;
 
-  if (options_.verify) {
+  if (options.verify) {
     RH_ASSIGN_OR_RETURN(
         VerificationReport report,
-        VerifySolutionObjective(*problem_.data, *problem_.given,
+        VerifySolutionObjective(*problem.data, *problem.given,
                                 result.function.weights,
-                                problem_.eps.tie_eps, result.claimed_error,
-                                problem_.objective));
+                                problem.eps.tie_eps, result.claimed_error,
+                                problem.objective));
     result.error = report.exact_error;
     result.verification = std::move(report);
   }
   return result;
 }
 
-Result<RankHowResult> RankHow::SolveModel(
-    const OptModel& model, const std::vector<double>* initial_weights,
-    const Deadline& deadline) const {
+Result<RankHowResult> SolveOptModelMilp(const OptProblem& problem,
+                                        const RankHowOptions& options,
+                                        const OptModel& model,
+                                        const ExactSolveSeed& seed,
+                                        const Deadline& deadline) {
   BnbOptions bnb_options;
   bnb_options.time_limit_seconds = deadline.RemainingOrZero();
-  bnb_options.max_nodes = options_.max_nodes;
+  bnb_options.max_nodes = options.max_nodes;
   bnb_options.objective_is_integral = true;
-  bnb_options.lazy_separation = options_.use_lazy_separation;
-  bnb_options.use_warm_start = options_.use_warm_start;
-  bnb_options.num_threads = options_.num_threads;
-  bnb_options.lp_options = options_.lp_options;
+  bnb_options.lazy_separation = options.use_lazy_separation;
+  bnb_options.use_warm_start = options.use_warm_start;
+  bnb_options.num_threads = options.num_threads;
+  bnb_options.lp_options = options.lp_options;
+  if (seed.lower_bound >= 0) {
+    bnb_options.external_lower_bound = static_cast<double>(seed.lower_bound);
+  }
 
   // Warm start from caller-provided weights (SYM-GD passes the previous
-  // iterate; benches can pass a regression seed).
-  if (initial_weights != nullptr) {
+  // iterate; a session passes its best revalidated pool incumbent; benches
+  // can pass a regression seed).
+  if (!seed.warm_weights.empty()) {
     std::vector<double> values;
-    auto err = EvaluateOnModel(problem_, model, *initial_weights, &values);
+    auto err = EvaluateOnModel(problem, model, seed.warm_weights, &values);
     if (err.has_value()) {
       bnb_options.initial_incumbent = static_cast<double>(*err);
       bnb_options.initial_values = std::move(values);
@@ -463,8 +495,7 @@ Result<RankHowResult> RankHow::SolveModel(
   }
 
   BranchAndBound solver(bnb_options);
-  if (options_.use_primal_heuristic) {
-    const OptProblem& problem = problem_;
+  if (options.use_primal_heuristic) {
     solver.SetPrimalHeuristic(
         [&problem, &model](const std::vector<double>& lp_values)
             -> std::optional<PrimalCandidate> {
@@ -481,7 +512,7 @@ Result<RankHowResult> RankHow::SolveModel(
 
   RankHowResult result;
   result.function =
-      ScoringFunction::FromWeights(*problem_.data,
+      ScoringFunction::FromWeights(*problem.data,
                                    model.ExtractWeights(bnb.values));
   result.claimed_error = std::llround(bnb.objective);
   result.error = result.claimed_error;
@@ -492,13 +523,13 @@ Result<RankHowResult> RankHow::SolveModel(
   result.num_free_indicators = model.num_free_indicators;
   result.num_fixed_indicators = model.num_fixed_indicators;
 
-  if (options_.verify) {
+  if (options.verify) {
     RH_ASSIGN_OR_RETURN(
         VerificationReport report,
-        VerifySolutionObjective(*problem_.data, *problem_.given,
+        VerifySolutionObjective(*problem.data, *problem.given,
                                 result.function.weights,
-                                problem_.eps.tie_eps, result.claimed_error,
-                                problem_.objective));
+                                problem.eps.tie_eps, result.claimed_error,
+                                problem.objective));
     result.error = report.exact_error;
     result.verification = std::move(report);
   }

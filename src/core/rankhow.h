@@ -123,8 +123,65 @@ struct RankHowResult {
   double seconds = 0;
 };
 
+/// Warm state threaded into one exact solve — how SolveSession (and RankHow
+/// itself) passes cross-query knowledge into the per-strategy drivers.
+struct ExactSolveSeed {
+  /// Warm incumbent weights (empty = none): the presolve winner, a SYM-GD
+  /// iterate, or the best revalidated pool incumbent of a session.
+  std::vector<double> warm_weights;
+  /// Externally proven lower bound on the current problem's optimum under
+  /// the target strategy's semantics; -1 = none. Sound after a
+  /// constraints-only tightening edit of a proven solve (see
+  /// BnbOptions::external_lower_bound).
+  long lower_bound = -1;
+  /// Shared warm box-feasibility oracle for serial spatial solves
+  /// (non-owning; nullptr = the search compiles its own).
+  BoxFeasibilityOracle* box_oracle = nullptr;
+};
+
+/// Presolve options clamped to the solve's time budget: both façades cap
+/// warm-start discovery (multi-start presolve, session pool revalidation)
+/// at a quarter of the time limit so the exact search keeps the lion's
+/// share.
+PresolveOptions ClampedPresolveOptions(const RankHowOptions& options,
+                                       const Deadline& deadline);
+
+/// Rebuilds (on constraint-set revision mismatch) and returns the
+/// cross-query warm box-feasibility oracle serial spatial solves thread
+/// through ExactSolveSeed::box_oracle, or nullptr when the solve is
+/// parallel or cold-start (each worker then compiles its own).
+BoxFeasibilityOracle* EnsureWarmBoxOracle(
+    const OptProblem& problem, const RankHowOptions& options,
+    std::unique_ptr<BoxFeasibilityOracle>* slot);
+
+/// Per-strategy exact drivers shared by the one-shot RankHow façade and the
+/// persistent SolveSession. Each runs one search over the already-prepared
+/// inputs — no presolve, no strategy resolution — and post-processes the
+/// result (verification, indicator accounting) identically.
+SolveStrategy ResolveSolveStrategy(const OptProblem& problem,
+                                   const RankHowOptions& options,
+                                   const WeightBox& box);
+Result<RankHowResult> SolveOptModelMilp(const OptProblem& problem,
+                                        const RankHowOptions& options,
+                                        const OptModel& model,
+                                        const ExactSolveSeed& seed,
+                                        const Deadline& deadline);
+Result<RankHowResult> SolveOptModelSat(const OptProblem& problem,
+                                       const RankHowOptions& options,
+                                       const OptModel& model,
+                                       const ExactSolveSeed& seed,
+                                       const Deadline& deadline);
+Result<RankHowResult> SolveOptSpatial(const OptProblem& problem,
+                                      const RankHowOptions& options,
+                                      const WeightBox& box,
+                                      const ExactSolveSeed& seed,
+                                      const Deadline& deadline);
+
 /// The exact OPT solver. Holds a mutable OptProblem so callers can layer
 /// constraints between solves (the Example-1 exploration workflow).
+/// One-shot façade over the drivers above: every Solve() rebuilds the model
+/// and presolves from scratch. For interactive edit-and-re-solve traffic use
+/// SolveSession (core/solve_session.h), which reuses all of that work.
 class RankHow {
  public:
   RankHow(const Dataset& data, const Ranking& given,
@@ -151,17 +208,6 @@ class RankHow {
       const std::vector<double>& weights) const;
 
  private:
-  SolveStrategy ResolveStrategy(const WeightBox& box) const;
-  Result<RankHowResult> SolveModel(const OptModel& model,
-                                   const std::vector<double>* initial_weights,
-                                   const Deadline& deadline) const;
-  Result<RankHowResult> SolveSpatial(const WeightBox& box,
-                                     const std::vector<double>& warm,
-                                     const Deadline& deadline) const;
-  Result<RankHowResult> SolveSatBinarySearch(
-      const OptModel& model, const std::vector<double>* initial_weights,
-      const Deadline& deadline) const;
-
   const Dataset& data_;
   const Ranking& given_;
   OptProblem problem_;

@@ -1,0 +1,245 @@
+#include "core/solve_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/presolve.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace rankhow {
+
+SolveSession::SolveSession(Dataset data, Ranking given,
+                           RankHowOptions options)
+    : data_(std::move(data)),
+      given_(std::move(given)),
+      options_(std::move(options)) {
+  problem_.data = &data_;
+  problem_.given = &given_;
+  problem_.eps = options_.eps;
+}
+
+void SolveSession::NoteEdit(SessionDeltaKind kind) {
+  switch (kind) {
+    case SessionDeltaKind::kTighten:
+      // Feasible set shrank, objective unchanged: the previous proven
+      // optimum stays a valid lower bound (bound_valid_ untouched).
+      break;
+    case SessionDeltaKind::kRelax:
+    case SessionDeltaKind::kStructural:
+      bound_valid_ = false;
+      model_dirty_ = true;
+      pending_weight_rows_.clear();
+      pending_order_rows_.clear();
+      break;
+  }
+}
+
+Status SolveSession::AddWeightConstraint(WeightConstraint constraint) {
+  if (constraint.terms.empty()) {
+    return Status::Invalid("weight constraint has no terms");
+  }
+  for (const auto& [attr, coeff] : constraint.terms) {
+    (void)coeff;
+    if (attr < 0 || attr >= data_.num_attributes()) {
+      return Status::Invalid(
+          StrFormat("weight constraint references unknown attribute %d",
+                    attr));
+    }
+  }
+  problem_.constraints.Add(constraint);
+  if (!model_dirty_) pending_weight_rows_.push_back(std::move(constraint));
+  NoteEdit(SessionDeltaKind::kTighten);
+  return Status();
+}
+
+Status SolveSession::RemoveWeightConstraint(const std::string& name) {
+  if (problem_.constraints.RemoveByName(name) == 0) {
+    return Status::NotFound("no weight constraint named " + name);
+  }
+  NoteEdit(SessionDeltaKind::kRelax);
+  return Status();
+}
+
+Status SolveSession::AddOrderConstraint(int above, int below) {
+  if (above < 0 || above >= data_.num_tuples() || below < 0 ||
+      below >= data_.num_tuples() || above == below) {
+    return Status::Invalid(
+        StrFormat("bad order constraint %d > %d", above, below));
+  }
+  problem_.order_constraints.push_back({above, below});
+  if (!model_dirty_) pending_order_rows_.push_back({above, below});
+  NoteEdit(SessionDeltaKind::kTighten);
+  return Status();
+}
+
+Status SolveSession::AddPositionConstraint(PositionConstraint constraint) {
+  if (constraint.tuple < 0 || constraint.tuple >= data_.num_tuples()) {
+    return Status::Invalid(
+        StrFormat("position constraint on unknown tuple %d",
+                  constraint.tuple));
+  }
+  if (constraint.min_position < 1 ||
+      constraint.min_position > constraint.max_position) {
+    return Status::Invalid("position constraint range is empty");
+  }
+  problem_.position_constraints.push_back(constraint);
+  // Semantically a tightening (the objective is untouched, so the bound
+  // survives), but the compiled model lowers position ranges onto the
+  // group's indicator variables — and an unranked tuple may need a whole
+  // new group — so the model recompiles either way.
+  model_dirty_ = true;
+  pending_weight_rows_.clear();
+  pending_order_rows_.clear();
+  NoteEdit(SessionDeltaKind::kTighten);
+  return Status();
+}
+
+Status SolveSession::SetEpsilon(const EpsilonConfig& eps) {
+  if (!eps.Valid()) {
+    return Status::Invalid("epsilons must satisfy eps2 <= eps < eps1");
+  }
+  problem_.eps = eps;
+  options_.eps = eps;
+  NoteEdit(SessionDeltaKind::kStructural);
+  return Status();
+}
+
+Status SolveSession::SetObjective(const RankingObjectiveSpec& objective) {
+  problem_.objective = objective;
+  NoteEdit(SessionDeltaKind::kStructural);
+  return Status();
+}
+
+Status SolveSession::AppendTuple(const std::vector<double>& values,
+                                 int* id_out) {
+  if (static_cast<int>(values.size()) != data_.num_attributes()) {
+    return Status::Invalid(
+        StrFormat("tuple has %d values, dataset has %d attributes",
+                  static_cast<int>(values.size()), data_.num_attributes()));
+  }
+  std::vector<int> positions = given_.positions();
+  positions.push_back(kUnranked);
+  RH_ASSIGN_OR_RETURN(Ranking grown, Ranking::Create(std::move(positions)));
+  int id = data_.AppendTuple(values);
+  given_ = std::move(grown);  // problem_.given points at given_; stays wired
+  if (id_out != nullptr) *id_out = id;
+  NoteEdit(SessionDeltaKind::kStructural);
+  return Status();
+}
+
+Result<const OptModel*> SolveSession::EnsureModel() {
+  if (!model_dirty_ && model_ != nullptr) {
+    for (const WeightConstraint& c : pending_weight_rows_) {
+      AppendWeightConstraintRow(c, model_.get());
+      ++stats_.model_patches;
+    }
+    for (const PairwiseOrderConstraint& oc : pending_order_rows_) {
+      AppendOrderConstraintRow(problem_, oc, model_.get());
+      ++stats_.model_patches;
+    }
+    pending_weight_rows_.clear();
+    pending_order_rows_.clear();
+    return model_.get();
+  }
+  RH_ASSIGN_OR_RETURN(
+      OptModel built,
+      BuildOptModel(problem_, WeightBox::FullSimplex(data_.num_attributes()),
+                    options_.use_indicator_fixing,
+                    options_.use_strengthening_cuts,
+                    options_.use_tight_big_m));
+  model_ = std::make_unique<OptModel>(std::move(built));
+  model_dirty_ = false;
+  pending_weight_rows_.clear();
+  pending_order_rows_.clear();
+  ++stats_.model_builds;
+  return model_.get();
+}
+
+Result<RankHowResult> SolveSession::Solve() {
+  WallTimer timer;
+  Deadline deadline(options_.time_limit_seconds);
+  ++stats_.solves;
+  const WeightBox box = WeightBox::FullSimplex(data_.num_attributes());
+  const SolveStrategy strategy =
+      ResolveSolveStrategy(problem_, options_, box);
+
+  ExactSolveSeed seed;
+  // Warm incumbent: revalidate the pool against the edited problem; fall
+  // back to the cold multi-start only when nothing in the pool survives.
+  // Both passes run under the clamped presolve budget so warm-start
+  // discovery cannot eat the exact search's share of a tight time limit.
+  const PresolveOptions presolve = ClampedPresolveOptions(options_, deadline);
+  bool pool_warm = false;
+  if (!pool_.empty()) {
+    auto re = RevalidateIncumbents(problem_, box, pool_, presolve);
+    if (re.ok() && re->found()) {
+      seed.warm_weights = std::move(re->weights);
+      pool_warm = true;
+      ++stats_.pool_hits;
+    }
+  }
+  if (!pool_warm && options_.use_presolve) {
+    auto pre = PresolveIncumbent(problem_, box, presolve);
+    ++stats_.presolve_runs;
+    if (pre.ok() && pre->found()) seed.warm_weights = std::move(pre->weights);
+    // Presolve failure is non-fatal: the exact search runs cold.
+  }
+
+  // Bound reuse: valid only across constraints-only tightening edits, and
+  // only comparing like semantics with like — the spatial strategy's true
+  // ε-tie optimum never exceeds the MILP/SAT (ε₂, ε₁)-gap optimum, so a
+  // spatial bound also seeds a gap re-solve but not vice versa.
+  const bool gap_semantics = strategy != SolveStrategy::kSpatial;
+  if (have_proven_ && bound_valid_ && proven_optimum_ >= 0 &&
+      (proven_true_semantics_ || gap_semantics)) {
+    seed.lower_bound = proven_optimum_;
+    ++stats_.bound_seeds;
+  }
+
+  RankHowResult result;
+  if (strategy == SolveStrategy::kSpatial) {
+    // One warm P-feasibility oracle across the whole query sequence.
+    seed.box_oracle = EnsureWarmBoxOracle(problem_, options_, &box_oracle_);
+    RH_ASSIGN_OR_RETURN(
+        result, SolveOptSpatial(problem_, options_, box, seed, deadline));
+  } else {
+    RH_ASSIGN_OR_RETURN(const OptModel* model, EnsureModel());
+    if (strategy == SolveStrategy::kSatBinarySearch) {
+      RH_ASSIGN_OR_RETURN(result, SolveOptModelSat(problem_, options_,
+                                                   *model, seed, deadline));
+    } else {
+      RH_ASSIGN_OR_RETURN(result, SolveOptModelMilp(problem_, options_,
+                                                    *model, seed, deadline));
+    }
+  }
+  result.strategy_used = strategy;
+  result.seconds = timer.ElapsedSeconds();
+
+  // Pool maintenance: the solve's winner first, then the warm seed that fed
+  // it (they differ when the search improved on the seed). Dedup by
+  // near-equality, cap at kPoolCap most-recent.
+  auto remember = [this](const std::vector<double>& w) {
+    if (w.empty()) return;
+    for (const std::vector<double>& have : pool_) {
+      if (have.size() != w.size()) continue;
+      double dist = 0;
+      for (size_t i = 0; i < w.size(); ++i) {
+        dist = std::max(dist, std::abs(have[i] - w[i]));
+      }
+      if (dist < 1e-12) return;
+    }
+    pool_.insert(pool_.begin(), w);
+    if (pool_.size() > kPoolCap) pool_.resize(kPoolCap);
+  };
+  remember(result.function.weights);
+  remember(seed.warm_weights);
+
+  have_proven_ = result.proven_optimal;
+  proven_optimum_ = result.claimed_error;
+  proven_true_semantics_ = strategy == SolveStrategy::kSpatial;
+  bound_valid_ = true;
+  return result;
+}
+
+}  // namespace rankhow

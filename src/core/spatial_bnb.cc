@@ -327,7 +327,7 @@ void RunWorker(SearchShared& sh, WorkerState& ws) {
 BoxFeasibilityOracle::BoxFeasibilityOracle(
     int num_attributes, const WeightConstraintSet& constraints)
     : num_attributes_(num_attributes),
-      num_constraints_(constraints.size()),
+      constraints_revision_(constraints.revision()),
       lp_(BuildFeasibilityModel(num_attributes, constraints)) {}
 
 Result<std::vector<double>> BoxFeasibilityOracle::FeasiblePoint(
@@ -403,7 +403,9 @@ Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
     // parity with the old offer_incumbent(initial_weights).
     OfferIncumbent(shared, options_.initial_weights);
   }
-  shared.frontier.Push(Node{root, 0, 0});
+  // Children inherit max(parent lb, box bound), so the externally proven
+  // bound (if any) lifts the whole subdivision.
+  shared.frontier.Push(Node{root, std::max(0L, options_.external_lower_bound), 0});
 
   std::vector<WorkerState> workers(num_workers);
   if (num_workers == 1) {

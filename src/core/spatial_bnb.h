@@ -55,14 +55,15 @@ class BoxFeasibilityOracle {
   /// or another LP error.
   Result<std::vector<double>> FeasiblePoint(const WeightBox& box);
 
-  /// The constraint count the oracle was compiled for (cache validity
-  /// check: WeightConstraintSet only ever grows).
-  size_t num_constraints() const { return num_constraints_; }
+  /// The constraint-set revision the oracle was compiled at (cache validity
+  /// check: any Add/Remove on the set bumps the revision, so holders rebuild
+  /// on mismatch — see WeightConstraintSet::revision).
+  uint64_t constraints_revision() const { return constraints_revision_; }
   const IncrementalLpStats& stats() const { return lp_.stats(); }
 
  private:
   int num_attributes_;
-  size_t num_constraints_;
+  uint64_t constraints_revision_;
   IncrementalLp lp_;
 };
 
@@ -89,6 +90,13 @@ struct SpatialBnbOptions {
   int num_threads = 1;
   /// Warm-start incumbent (e.g. from presolve); empty = none.
   std::vector<double> initial_weights;
+  /// Externally proven lower bound on the true ε-tie optimum over the root
+  /// box (errors are non-negative, so 0 is the no-op default). Seeds the
+  /// root's bound the same way BnbOptions::external_lower_bound does for the
+  /// indicator MILP: a session re-solve after a tightening edit closes at
+  /// the root when a pooled incumbent already meets the old proven optimum.
+  /// Soundness is the caller's obligation.
+  long external_lower_bound = 0;
 };
 
 struct SpatialBnbStats {

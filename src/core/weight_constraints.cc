@@ -28,19 +28,40 @@ void WeightConstraintSet::AddGroupBound(const std::vector<int>& attrs,
 void WeightConstraintSet::Add(WeightConstraint constraint) {
   RH_CHECK(!constraint.terms.empty()) << "empty weight constraint";
   constraints_.push_back(std::move(constraint));
+  ++revision_;
+}
+
+size_t WeightConstraintSet::RemoveByName(const std::string& name) {
+  if (name.empty()) return 0;
+  size_t before = constraints_.size();
+  constraints_.erase(
+      std::remove_if(constraints_.begin(), constraints_.end(),
+                     [&name](const WeightConstraint& c) {
+                       return c.name == name;
+                     }),
+      constraints_.end());
+  size_t removed = before - constraints_.size();
+  if (removed > 0) ++revision_;
+  return removed;
+}
+
+void AppendWeightConstraintTo(const WeightConstraint& constraint,
+                              LpModel* model,
+                              const std::vector<int>& weight_vars) {
+  LinearExpr expr;
+  for (const auto& [attr, coeff] : constraint.terms) {
+    RH_CHECK(attr >= 0 && attr < static_cast<int>(weight_vars.size()))
+        << "weight constraint references unknown attribute " << attr;
+    expr += LinearExpr::Term(weight_vars[attr], coeff);
+  }
+  model->AddConstraint(std::move(expr), constraint.op, constraint.rhs,
+                       constraint.name.empty() ? "P" : constraint.name);
 }
 
 void WeightConstraintSet::AppendTo(LpModel* model,
                                    const std::vector<int>& weight_vars) const {
   for (const WeightConstraint& c : constraints_) {
-    LinearExpr expr;
-    for (const auto& [attr, coeff] : c.terms) {
-      RH_CHECK(attr >= 0 && attr < static_cast<int>(weight_vars.size()))
-          << "weight constraint references unknown attribute " << attr;
-      expr += LinearExpr::Term(weight_vars[attr], coeff);
-    }
-    model->AddConstraint(std::move(expr), c.op, c.rhs,
-                         c.name.empty() ? "P" : c.name);
+    AppendWeightConstraintTo(c, model, weight_vars);
   }
 }
 

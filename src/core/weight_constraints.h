@@ -25,6 +25,15 @@ struct WeightConstraint {
   std::string name;
 };
 
+/// Appends one constraint as a row of `model` (weight_vars maps attribute
+/// index -> model variable id; unnamed constraints get row name "P"). The
+/// shared body of WeightConstraintSet::AppendTo and the session delta-patch
+/// path (opt_model_builder's AppendWeightConstraintRow) — one place owns
+/// the row-naming convention and the attribute-range check.
+void AppendWeightConstraintTo(const WeightConstraint& constraint,
+                              LpModel* model,
+                              const std::vector<int>& weight_vars);
+
 /// A conjunction of weight constraints with convenience builders.
 class WeightConstraintSet {
  public:
@@ -39,11 +48,23 @@ class WeightConstraintSet {
   /// General Σ αᵢwᵢ (op) α₀.
   void Add(WeightConstraint constraint);
 
+  /// Removes every constraint carrying `name` (a relaxing session edit).
+  /// Returns the number removed (0 = unknown name; callers decide whether
+  /// that is an error). Unnamed constraints can never be removed this way.
+  size_t RemoveByName(const std::string& name);
+
   const std::vector<WeightConstraint>& constraints() const {
     return constraints_;
   }
   bool empty() const { return constraints_.empty(); }
   size_t size() const { return constraints_.size(); }
+
+  /// Monotonic edit counter, bumped by every Add*/RemoveByName. Compiled
+  /// artifacts (BoxFeasibilityOracle tableaus, cached OptModels) record the
+  /// revision they were built at and rebuild on mismatch — a size()
+  /// comparison is not enough once removal exists (remove + add restores
+  /// the count with different content).
+  uint64_t revision() const { return revision_; }
 
   /// Appends the constraints as rows of `model` (weight_vars maps attribute
   /// index -> model variable id).
@@ -59,6 +80,7 @@ class WeightConstraintSet {
 
  private:
   std::vector<WeightConstraint> constraints_;
+  uint64_t revision_ = 0;
 };
 
 }  // namespace rankhow

@@ -32,6 +32,15 @@ int Dataset::AddColumn(std::string name, std::vector<double> values) {
   return num_attributes() - 1;
 }
 
+int Dataset::AppendTuple(const std::vector<double>& values) {
+  RH_CHECK(static_cast<int>(values.size()) == num_attributes())
+      << "tuple size mismatch";
+  for (int a = 0; a < num_attributes(); ++a) {
+    columns_[a].push_back(values[a]);
+  }
+  return num_tuples_++;
+}
+
 double Dataset::ScoreOf(int tuple, const std::vector<double>& weights) const {
   RH_DCHECK(static_cast<int>(weights.size()) == num_attributes());
   double score = 0;

@@ -36,6 +36,11 @@ class Dataset {
   /// Appends a column; must match num_tuples. Returns its index.
   int AddColumn(std::string name, std::vector<double> values);
 
+  /// Appends a tuple (one value per attribute, in column order) and returns
+  /// its id. The SolveSession append-tuples delta; cheap because the storage
+  /// is column-major.
+  int AppendTuple(const std::vector<double>& values);
+
   /// f_W(r) = Σ wᵢ·Aᵢ(r) for one tuple.
   double ScoreOf(int tuple, const std::vector<double>& weights) const;
   /// Scores for all tuples.

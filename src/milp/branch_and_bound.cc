@@ -570,7 +570,9 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
     }
     Node root;
     root.active_rows = std::move(root_active);
-    root.bound = -kInfinity;
+    // Children inherit max(parent bound, LP bound), so seeding the root
+    // propagates the external bound to the entire tree.
+    root.bound = options_.external_lower_bound;
     shared.frontier.Push(std::move(root));
   }
 

@@ -61,6 +61,15 @@ struct BnbOptions {
   double initial_incumbent = kInfinity;
   /// Assignment matching initial_incumbent (may be empty).
   std::vector<double> initial_values;
+  /// Externally proven lower bound on the optimum; -inf = none. Seeds the
+  /// root node's bound, so every node bound is lifted to at least this
+  /// value — when the initial incumbent already meets it, the tree closes
+  /// at the root with zero nodes explored. SolveSession passes the previous
+  /// solve's proven optimum here after a constraints-only tightening edit
+  /// (the feasible set shrank and the objective is unchanged, so the old
+  /// optimum cannot be undercut). Soundness is the caller's obligation: a
+  /// value above the true optimum makes the search "prove" a wrong bound.
+  double external_lower_bound = -kInfinity;
   /// Node LPs via one shared IncrementalLp per tree (default): per-node
   /// deltas (bound flips + active lazy-row set) are applied to a persistent
   /// tableau and re-optimized dually from the parent basis, instead of

@@ -277,6 +277,104 @@ TEST(ParseObjectiveSpecTest, AllKinds) {
   EXPECT_FALSE(ParseObjectiveSpec("ndcg", 5).ok());
 }
 
+TEST(StrictFlagValidationTest, PositiveCountAndTimeLimit) {
+  EXPECT_EQ(*ParsePositiveCount("seeds", "8"), 8);
+  EXPECT_EQ(*ParsePositiveCount("seeds", " 1 "), 1);
+  EXPECT_FALSE(ParsePositiveCount("seeds", "0").ok());
+  EXPECT_FALSE(ParsePositiveCount("seeds", "-3").ok());
+  EXPECT_FALSE(ParsePositiveCount("seeds", "banana").ok());
+  EXPECT_FALSE(ParsePositiveCount("seeds", "3.5").ok());
+  EXPECT_FALSE(ParsePositiveCount("seeds", "").ok());
+
+  EXPECT_EQ(*ParseTimeLimit("30"), 30.0);
+  EXPECT_EQ(*ParseTimeLimit("0"), 0.0);
+  EXPECT_EQ(*ParseTimeLimit("1.5"), 1.5);
+  EXPECT_FALSE(ParseTimeLimit("-5").ok());
+  EXPECT_FALSE(ParseTimeLimit("inf").ok());
+  EXPECT_FALSE(ParseTimeLimit("abc").ok());
+  EXPECT_FALSE(ParseTimeLimit("").ok());
+}
+
+TEST(SessionScriptTest, ParsesEveryCommandKind) {
+  auto script = ParseSessionScript(
+      "# comment\n"
+      "\n"
+      "solve\n"
+      "min-weight PTS 0.1   # trailing comment\n"
+      "max-weight REB 0.4\n"
+      "drop min_PTS\n"
+      "order Jokic>Tatum\n"
+      "eps 5e-5\n"
+      "eps1 1e-4\n"
+      "eps2 0\n"
+      "objective topheavy\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->size(), 9u);
+  EXPECT_EQ((*script)[0].kind, SessionCommand::Kind::kSolve);
+  EXPECT_EQ((*script)[0].line, 3);
+  EXPECT_EQ((*script)[1].kind, SessionCommand::Kind::kMinWeight);
+  EXPECT_EQ((*script)[1].arg, "PTS");
+  EXPECT_DOUBLE_EQ((*script)[1].value, 0.1);
+  EXPECT_EQ((*script)[2].kind, SessionCommand::Kind::kMaxWeight);
+  EXPECT_EQ((*script)[3].kind, SessionCommand::Kind::kDrop);
+  EXPECT_EQ((*script)[3].arg, "min_PTS");
+  EXPECT_EQ((*script)[4].kind, SessionCommand::Kind::kOrder);
+  EXPECT_EQ((*script)[4].arg, "Jokic>Tatum");
+  EXPECT_EQ((*script)[5].kind, SessionCommand::Kind::kEps);
+  EXPECT_EQ((*script)[6].kind, SessionCommand::Kind::kEps1);
+  EXPECT_EQ((*script)[7].kind, SessionCommand::Kind::kEps2);
+  EXPECT_EQ((*script)[8].kind, SessionCommand::Kind::kObjective);
+  EXPECT_EQ((*script)[8].arg, "topheavy");
+}
+
+TEST(SessionScriptTest, RejectsBadLinesWithLineNumbers) {
+  auto unknown = ParseSessionScript("solve\nfrobnicate X\n");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseSessionScript("min-weight PTS\n").ok());       // arity
+  EXPECT_FALSE(ParseSessionScript("min-weight PTS 1.5\n").ok());   // range
+  EXPECT_FALSE(ParseSessionScript("order Jokic\n").ok());          // no '>'
+  EXPECT_FALSE(ParseSessionScript("eps1 huge\n").ok());            // number
+  EXPECT_FALSE(ParseSessionScript("solve now\n").ok());            // arity
+}
+
+TEST(SessionScriptTest, RunsAgainstASession) {
+  CliDataSpec spec;
+  spec.id_column = "name";
+  spec.rank_column = "rank";
+  auto problem = AssembleCliProblem(MiniCsv(), spec);
+  ASSERT_TRUE(problem.ok());
+
+  RankHowOptions options;
+  options.eps.tie_eps = 5e-5;
+  options.eps.eps1 = 1e-4;
+  options.eps.eps2 = 0.0;
+  SolveSession session(problem->data, problem->given, options);
+
+  auto script = ParseSessionScript(
+      "solve\n"
+      "min-weight PTS 0.2\n"
+      "order Jokic>Tatum\n"
+      "drop min_PTS\n");
+  ASSERT_TRUE(script.ok());
+  auto outcomes = RunSessionScript(&session, *script, problem->labels);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), 4u);
+  for (const SessionStepOutcome& step : *outcomes) {
+    EXPECT_TRUE(step.result.proven_optimal);
+  }
+  EXPECT_EQ(session.stats().solves, 4);
+  EXPECT_EQ(session.problem().constraints.size(), 0u);  // dropped again
+  EXPECT_EQ(session.problem().order_constraints.size(), 1u);
+
+  // Unknown labels/constraints surface the script line.
+  auto bad = ParseSessionScript("drop nothing_here\n");
+  ASSERT_TRUE(bad.ok());
+  auto fail = RunSessionScript(&session, *bad, problem->labels);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_NE(fail.status().message().find("line 1"), std::string::npos);
+}
+
 // End-to-end: assemble from CSV and solve, mirroring the tool's main path.
 TEST(CliDriverIntegrationTest, AssembleAndSolve) {
   CliDataSpec spec;

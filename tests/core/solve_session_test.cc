@@ -1,0 +1,316 @@
+// Randomized session-vs-cold equivalence suite for SolveSession: apply a
+// random sequence of constraint/ε edits and assert that the session's
+// proven optimum equals a cold RankHow::Solve() of the identical problem at
+// every step, at 1 and 4 workers.
+//
+// Semantics note (mirrors tests/concurrency/parallel_search_test.cc): the
+// exact-equality assertion runs on the spatial strategy (its true ε-tie
+// optimum is fully invariant) and on the pure indicator MILP (heuristic and
+// presolve off — but the session's *pool* can still inject true-error warm
+// incumbents, which may legitimately beat the (ε₂, ε₁)-gap optimum). The
+// MILP-path test therefore asserts the sound band: spatial optimum <=
+// session claimed <= pure-MILP optimum, with exact equality whenever the
+// band is a single point (which, at these ε, it almost always is).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rankhow.h"
+#include "core/solve_session.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+Dataset RandomDataset(Rng& rng, int n, int m) {
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  return d;
+}
+
+Ranking RandomRanking(Rng& rng, int n, int k) {
+  std::vector<int> tuples(n);
+  for (int t = 0; t < n; ++t) tuples[t] = t;
+  rng.Shuffle(&tuples);
+  std::vector<int> positions(n, kUnranked);
+  for (int p = 0; p < k; ++p) positions[tuples[p]] = p + 1;
+  return MustCreate(std::move(positions));
+}
+
+/// A cold solver over exactly the session's current problem state.
+Result<RankHowResult> ColdSolve(const SolveSession& session,
+                                const RankHowOptions& options) {
+  RankHow cold(session.data(), session.given(), options);
+  cold.problem() = session.problem();
+  cold.problem().data = &session.data();
+  cold.problem().given = &session.given();
+  return cold.Solve();
+}
+
+/// Applies one random edit to the session; returns a description. Edits are
+/// chosen to keep the instance feasible: weight floors stay small, ceilings
+/// stay above 1/m, removals target previously added names.
+std::string RandomEdit(Rng& rng, SolveSession* session, int m,
+                       std::vector<std::string>* added, int* name_counter) {
+  const int kind = static_cast<int>(rng.NextBelow(10));
+  if (kind < 5 || added->empty()) {
+    // Add a weight floor/ceiling.
+    const int attr = static_cast<int>(rng.NextBelow(m));
+    const bool is_min = rng.NextBelow(2) == 0;
+    const double bound = is_min ? rng.NextUniform(0.0, 0.12)
+                                : rng.NextUniform(0.5, 1.0);
+    WeightConstraint c;
+    c.terms = {{attr, 1.0}};
+    c.op = is_min ? RelOp::kGe : RelOp::kLe;
+    c.rhs = bound;
+    c.name = "edit" + std::to_string((*name_counter)++);
+    (*added).push_back(c.name);
+    EXPECT_TRUE(session->AddWeightConstraint(c).ok());
+    return (is_min ? "min w" : "max w") + std::to_string(attr);
+  }
+  if (kind < 7) {
+    // Remove a previously added constraint (relaxing edit).
+    const size_t i = rng.NextBelow(added->size());
+    std::string name = (*added)[i];
+    added->erase(added->begin() + i);
+    EXPECT_TRUE(session->RemoveWeightConstraint(name).ok());
+    return "drop " + name;
+  }
+  if (kind < 9) {
+    // Scale ε₁ (structural edit). tie_eps stays between eps2 and eps1.
+    EpsilonConfig eps = session->problem().eps;
+    eps.eps1 = rng.NextBelow(2) == 0 ? 2e-6 : 1e-6;
+    EXPECT_TRUE(session->SetEpsilon(eps).ok());
+    return "eps1";
+  }
+  // Append an unranked tuple (structural edit).
+  std::vector<double> values(m);
+  for (int a = 0; a < m; ++a) values[a] = rng.NextUniform(0, 1);
+  EXPECT_TRUE(session->AppendTuple(values).ok());
+  return "append";
+}
+
+TEST(SolveSessionTest, SpatialEqualsColdUnderRandomEdits) {
+  // The headline equivalence: full-featured spatial solves, session vs
+  // cold, at 1 and 4 workers, over randomized edit sequences.
+  for (int threads : {1, 4}) {
+    for (uint64_t seed : {41u, 42u, 43u}) {
+      Rng rng(seed);
+      Dataset data = RandomDataset(rng, 13, 3);
+      Ranking given = RandomRanking(rng, 13, 6);
+
+      RankHowOptions options;
+      options.eps = TestEps();
+      options.strategy = SolveStrategy::kSpatial;
+      options.num_threads = threads;
+
+      SolveSession session(data, given, options);
+      std::vector<std::string> added;
+      int name_counter = 0;
+      for (int step = 0; step < 7; ++step) {
+        std::string desc = step == 0
+                               ? "cold"
+                               : RandomEdit(rng, &session, 3, &added,
+                                            &name_counter);
+        auto sres = session.Solve();
+        auto cres = ColdSolve(session, options);
+        ASSERT_TRUE(sres.ok()) << "seed=" << seed << " step=" << step
+                               << " (" << desc
+                               << "): " << sres.status().ToString();
+        ASSERT_TRUE(cres.ok()) << "seed=" << seed << " step=" << step
+                               << " (" << desc
+                               << "): " << cres.status().ToString();
+        EXPECT_TRUE(sres->proven_optimal)
+            << "seed=" << seed << " step=" << step << " (" << desc << ")";
+        EXPECT_TRUE(cres->proven_optimal)
+            << "seed=" << seed << " step=" << step << " (" << desc << ")";
+        EXPECT_EQ(sres->error, cres->error)
+            << "seed=" << seed << " threads=" << threads << " step=" << step
+            << " (" << desc << "): session and cold disagree";
+      }
+      EXPECT_EQ(session.stats().solves, 7);
+      EXPECT_GT(session.stats().pool_hits, 0);
+    }
+  }
+}
+
+TEST(SolveSessionTest, MilpStaysInSoundBandUnderRandomEdits) {
+  // Pure-MILP session vs cold: the session's pool may inject true-error
+  // incumbents the cold pure run has no access to, so assert the sound band
+  // [spatial true optimum, pure MILP optimum] instead of blind equality.
+  RankHowOptions pure;
+  pure.eps = TestEps();
+  pure.strategy = SolveStrategy::kIndicatorMilp;
+  pure.use_primal_heuristic = false;
+  pure.use_presolve = false;
+
+  RankHowOptions spatial = pure;
+  spatial.strategy = SolveStrategy::kSpatial;
+
+  for (uint64_t seed : {51u, 52u}) {
+    Rng rng(seed);
+    Dataset data = RandomDataset(rng, 12, 3);
+    Ranking given = RandomRanking(rng, 12, 6);
+
+    SolveSession session(data, given, pure);
+    std::vector<std::string> added;
+    int name_counter = 0;
+    for (int step = 0; step < 5; ++step) {
+      if (step > 0) RandomEdit(rng, &session, 3, &added, &name_counter);
+      auto sres = session.Solve();
+      auto milp = ColdSolve(session, pure);
+      auto spat = ColdSolve(session, spatial);
+      ASSERT_TRUE(sres.ok()) << sres.status().ToString();
+      ASSERT_TRUE(milp.ok()) << milp.status().ToString();
+      ASSERT_TRUE(spat.ok()) << spat.status().ToString();
+      EXPECT_TRUE(sres->proven_optimal) << "seed=" << seed
+                                        << " step=" << step;
+      EXPECT_GE(sres->claimed_error, spat->claimed_error)
+          << "seed=" << seed << " step=" << step
+          << ": session claimed below the true optimum (unsound)";
+      EXPECT_LE(sres->claimed_error, milp->claimed_error)
+          << "seed=" << seed << " step=" << step
+          << ": session claimed above the pure MILP optimum (lost "
+             "incumbent)";
+    }
+  }
+}
+
+TEST(SolveSessionTest, ConstraintAddsPatchTheCachedModel) {
+  Rng rng(61);
+  Dataset data = RandomDataset(rng, 12, 4);
+  Ranking given = RandomRanking(rng, 12, 6);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kIndicatorMilp;
+
+  SolveSession session(data, given, options);
+  ASSERT_TRUE(session.Solve().ok());
+  EXPECT_EQ(session.stats().model_builds, 1);
+
+  WeightConstraint c;
+  c.terms = {{0, 1.0}};
+  c.op = RelOp::kGe;
+  c.rhs = 0.05;
+  c.name = "floor0";
+  ASSERT_TRUE(session.AddWeightConstraint(c).ok());
+  ASSERT_TRUE(session.AddOrderConstraint(given.ranked_tuples()[0],
+                                         given.ranked_tuples()[1])
+                  .ok());
+  auto r = session.Solve();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Both edits were row appends on the cached model — no recompile.
+  EXPECT_EQ(session.stats().model_builds, 1);
+  EXPECT_EQ(session.stats().model_patches, 2);
+
+  // A removal is structural for the model: next solve recompiles.
+  ASSERT_TRUE(session.RemoveWeightConstraint("floor0").ok());
+  ASSERT_TRUE(session.Solve().ok());
+  EXPECT_EQ(session.stats().model_builds, 2);
+}
+
+TEST(SolveSessionTest, RedundantTighteningClosesAtTheRoot) {
+  // A tightening edit that does not change the optimum: the pooled
+  // incumbent still meets the seeded bound, so the re-solve must close at
+  // the root without exploring a single node/box.
+  Rng rng(62);
+  Dataset data = RandomDataset(rng, 13, 3);
+  Ranking given = RandomRanking(rng, 13, 6);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSpatial;
+
+  SolveSession session(data, given, options);
+  auto first = session.Solve();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->proven_optimal);
+
+  WeightConstraint noop;  // w0 >= 0 holds everywhere on the simplex
+  noop.terms = {{0, 1.0}};
+  noop.op = RelOp::kGe;
+  noop.rhs = 0.0;
+  noop.name = "noop";
+  ASSERT_TRUE(session.AddWeightConstraint(noop).ok());
+  auto second = session.Solve();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->proven_optimal);
+  EXPECT_EQ(second->error, first->error);
+  EXPECT_EQ(second->stats.nodes_explored, 0)
+      << "bound seed + pool incumbent should close the search at the root";
+  EXPECT_GT(session.stats().bound_seeds, 0);
+}
+
+TEST(SolveSessionTest, EditValidation) {
+  Rng rng(63);
+  Dataset data = RandomDataset(rng, 10, 3);
+  Ranking given = RandomRanking(rng, 10, 5);
+  SolveSession session(data, given, RankHowOptions{});
+
+  EXPECT_EQ(session.RemoveWeightConstraint("nope").code(),
+            StatusCode::kNotFound);
+  WeightConstraint bad;
+  bad.terms = {{7, 1.0}};
+  EXPECT_EQ(session.AddWeightConstraint(bad).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.AddOrderConstraint(0, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.AppendTuple({1.0}).code(),
+            StatusCode::kInvalidArgument);
+  EpsilonConfig bad_eps;
+  bad_eps.eps1 = 0;
+  bad_eps.tie_eps = 1;
+  EXPECT_EQ(session.SetEpsilon(bad_eps).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolveSessionTest, AppendTupleMatchesColdSolve) {
+  Rng rng(64);
+  Dataset data = RandomDataset(rng, 12, 3);
+  Ranking given = RandomRanking(rng, 12, 6);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSpatial;
+
+  SolveSession session(data, given, options);
+  ASSERT_TRUE(session.Solve().ok());
+  for (int i = 0; i < 2; ++i) {
+    std::vector<double> values(3);
+    for (double& v : values) v = rng.NextUniform(0, 1);
+    int id = -1;
+    ASSERT_TRUE(session.AppendTuple(values, &id).ok());
+    EXPECT_EQ(id, 12 + i);
+    auto sres = session.Solve();
+    auto cres = ColdSolve(session, options);
+    ASSERT_TRUE(sres.ok());
+    ASSERT_TRUE(cres.ok());
+    EXPECT_TRUE(sres->proven_optimal);
+    EXPECT_EQ(sres->error, cres->error);
+  }
+  EXPECT_EQ(session.data().num_tuples(), 14);
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -14,14 +14,19 @@
 //       --order="Jokic>Tatum" --strategy=milp --time-limit=30
 //   tool_rankhow_cli --data=big.csv --k=25 --sym-gd --cell=0.01
 
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
 #include "app/cli_driver.h"
 #include "core/seeding.h"
+#include "core/solve_session.h"
 #include "core/sym_gd.h"
 #include "ranking/score_ranking.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 using namespace rankhow;
 
@@ -47,6 +52,81 @@ void PrintComparison(const CliProblem& problem,
                   FormatDouble(scores[t], 4)});
   }
   std::cout << table.ToText();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open session script: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Renders one script's outcomes: per-line proven error/bound plus the
+/// session's reuse counters.
+void PrintSessionOutcomes(const std::string& script_name,
+                          const std::vector<SessionStepOutcome>& outcomes,
+                          const SolveSessionStats& stats) {
+  std::cout << "session " << script_name << ":\n";
+  TablePrinter table({"line", "command", "error", "bound", "proven",
+                      "seconds"});
+  for (const SessionStepOutcome& step : outcomes) {
+    const char* kind = "solve";
+    switch (step.command.kind) {
+      case SessionCommand::Kind::kSolve: kind = "solve"; break;
+      case SessionCommand::Kind::kMinWeight: kind = "min-weight"; break;
+      case SessionCommand::Kind::kMaxWeight: kind = "max-weight"; break;
+      case SessionCommand::Kind::kDrop: kind = "drop"; break;
+      case SessionCommand::Kind::kOrder: kind = "order"; break;
+      case SessionCommand::Kind::kEps: kind = "eps"; break;
+      case SessionCommand::Kind::kEps1: kind = "eps1"; break;
+      case SessionCommand::Kind::kEps2: kind = "eps2"; break;
+      case SessionCommand::Kind::kObjective: kind = "objective"; break;
+    }
+    std::string command = kind;
+    if (!step.command.arg.empty()) command += " " + step.command.arg;
+    table.AddRow({std::to_string(step.command.line), command,
+                  std::to_string(step.result.error),
+                  std::to_string(step.result.bound),
+                  step.result.proven_optimal ? "yes" : "no",
+                  FormatDouble(step.result.seconds, 3)});
+  }
+  std::cout << table.ToText();
+  std::cout << StrFormat(
+      "  (model builds %lld, patches %lld, presolves %lld, pool hits %lld, "
+      "bound seeds %lld)\n\n",
+      static_cast<long long>(stats.model_builds),
+      static_cast<long long>(stats.model_patches),
+      static_cast<long long>(stats.presolve_runs),
+      static_cast<long long>(stats.pool_hits),
+      static_cast<long long>(stats.bound_seeds));
+}
+
+/// Builds a fresh session over the assembled problem and applies the
+/// flag-level constraints through the session edit API (they are part of
+/// the base problem every script line edits against).
+Result<std::unique_ptr<SolveSession>> MakeSession(
+    const CliProblem& problem, const RankHowOptions& options,
+    const RankingObjectiveSpec& objective, const std::string& min_weights,
+    const std::string& max_weights, const std::string& orders) {
+  auto session =
+      std::make_unique<SolveSession>(problem.data, problem.given, options);
+  RH_RETURN_NOT_OK(session->SetObjective(objective));
+  WeightConstraintSet base;
+  RH_RETURN_NOT_OK(
+      ApplyWeightBounds(session->data(), min_weights, true, &base));
+  RH_RETURN_NOT_OK(
+      ApplyWeightBounds(session->data(), max_weights, false, &base));
+  for (const WeightConstraint& c : base.constraints()) {
+    RH_RETURN_NOT_OK(session->AddWeightConstraint(c));
+  }
+  std::vector<PairwiseOrderConstraint> base_orders;
+  RH_RETURN_NOT_OK(ApplyOrderConstraints(problem.labels, orders,
+                                         &base_orders));
+  for (const PairwiseOrderConstraint& oc : base_orders) {
+    RH_RETURN_NOT_OK(session->AddOrderConstraint(oc.above, oc.below));
+  }
+  return session;
 }
 
 }  // namespace
@@ -85,21 +165,26 @@ int main(int argc, char** argv) {
   double tie_eps = flags.GetDouble("eps", 5e-5, "tie tolerance ε (Def. 2)");
   double eps1 = flags.GetDouble("eps1", 1e-4, "beats threshold ε₁ (Eq. 2)");
   double eps2 = flags.GetDouble("eps2", 0.0, "tie threshold ε₂ (Eq. 2)");
-  double time_limit =
-      flags.GetDouble("time-limit", 60, "solve budget in seconds (0 = none)");
+  std::string time_limit_spec = flags.GetString(
+      "time-limit", "60", "solve budget in seconds (0 = none)");
   std::string threads_spec = flags.GetString(
       "threads", "1",
       "search worker threads: 1 = serial, 'all' (or 0) = every hardware "
       "thread, n = exactly n");
+  std::string session_spec = flags.GetString(
+      "session", "",
+      "scripted session mode: an edit script (one edit+solve per line; see "
+      "README), or a comma-separated list of scripts fanned out as "
+      "independent sessions across the thread pool");
   bool use_sym_gd = flags.GetBool(
       "sym-gd", false, "approximate with symbolic gradient descent (Sec. IV)");
   double cell = flags.GetDouble("cell", 0.01, "SYM-GD cell size c");
   bool adaptive = flags.GetBool(
       "adaptive", true, "SYM-GD Algorithm 2 (double the cell when stuck)");
-  int seeds = static_cast<int>(flags.GetInt(
-      "seeds", 1,
+  std::string seeds_spec = flags.GetString(
+      "seeds", "1",
       "SYM-GD portfolio size: race this many diverse seeds across the "
-      "thread pool and keep the best (requires --sym-gd)"));
+      "thread pool and keep the best (requires --sym-gd)");
   bool show_table =
       flags.GetBool("show-table", true, "print given vs synthesized table");
   if (!flags.Finish()) return 0;
@@ -140,6 +225,12 @@ int main(int argc, char** argv) {
 
   auto threads = ParseThreadCount(threads_spec);
   if (!threads.ok()) return Fail(threads.status());
+  auto time_limit_parsed = ParseTimeLimit(time_limit_spec);
+  if (!time_limit_parsed.ok()) return Fail(time_limit_parsed.status());
+  const double time_limit = *time_limit_parsed;
+  auto seeds_parsed = ParsePositiveCount("seeds", seeds_spec);
+  if (!seeds_parsed.ok()) return Fail(seeds_parsed.status());
+  const int seeds = *seeds_parsed;
 
   RankHowOptions options;
   options.eps.tie_eps = tie_eps;
@@ -156,6 +247,93 @@ int main(int argc, char** argv) {
   std::cout << "rankhow: " << problem->data.num_tuples() << " tuples, "
             << problem->data.num_attributes() << " attributes, k="
             << problem->given.k() << "\n";
+
+  if (!session_spec.empty()) {
+    if (use_sym_gd) {
+      std::cerr << "error: --session drives the exact solver; drop "
+                   "--sym-gd\n";
+      return 1;
+    }
+    // Parse every script up front so a typo on script 3 fails before
+    // script 1 burns its solve budget.
+    std::vector<std::string> paths;
+    std::vector<std::vector<SessionCommand>> scripts;
+    for (const std::string& p : Split(session_spec, ',')) {
+      std::string path(Trim(p));
+      if (path.empty()) continue;
+      auto text = ReadTextFile(path);
+      if (!text.ok()) return Fail(text.status());
+      auto script = ParseSessionScript(*text);
+      if (!script.ok()) return Fail(script.status());
+      if (script->empty()) {
+        std::cerr << "error: session script is empty: " << path << "\n";
+        return 1;
+      }
+      paths.push_back(std::move(path));
+      scripts.push_back(*std::move(script));
+    }
+    if (paths.empty()) {
+      std::cerr << "error: --session lists no script files\n";
+      return 1;
+    }
+
+    if (paths.size() == 1) {
+      // Single scripted session; inner solves use the --threads workers.
+      auto session = MakeSession(*problem, options, *objective, min_weights,
+                                 max_weights, orders);
+      if (!session.ok()) return Fail(session.status());
+      auto outcomes =
+          RunSessionScript(session->get(), scripts[0], problem->labels);
+      if (!outcomes.ok()) return Fail(outcomes.status());
+      PrintSessionOutcomes(paths[0], *outcomes, (*session)->stats());
+      return 0;
+    }
+
+    // Batch mode: independent sessions fanned across the thread pool, each
+    // solving serially (the pool supplies the parallelism).
+    RankHowOptions batch_options = options;
+    batch_options.num_threads = 1;
+    struct BatchRun {
+      Status status;
+      std::vector<SessionStepOutcome> outcomes;
+      SolveSessionStats stats;
+    };
+    std::vector<BatchRun> runs(paths.size());
+    {
+      ThreadPool pool(ThreadPool::ResolveThreadCount(*threads));
+      TaskGroup group(&pool);
+      for (size_t i = 0; i < paths.size(); ++i) {
+        group.Spawn([&, i] {
+          auto session = MakeSession(*problem, batch_options, *objective,
+                                     min_weights, max_weights, orders);
+          if (!session.ok()) {
+            runs[i].status = session.status();
+            return;
+          }
+          auto outcomes =
+              RunSessionScript(session->get(), scripts[i], problem->labels);
+          if (!outcomes.ok()) {
+            runs[i].status = outcomes.status();
+            return;
+          }
+          runs[i].outcomes = *std::move(outcomes);
+          runs[i].stats = (*session)->stats();
+        });
+      }
+      group.Wait();
+    }
+    int exit_code = 0;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      if (!runs[i].status.ok()) {
+        std::cerr << "session " << paths[i]
+                  << " failed: " << runs[i].status.ToString() << "\n";
+        exit_code = 1;
+        continue;
+      }
+      PrintSessionOutcomes(paths[i], runs[i].outcomes, runs[i].stats);
+    }
+    return exit_code;
+  }
 
   ScoringFunction function;
   long error = 0;
