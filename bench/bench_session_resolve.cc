@@ -11,13 +11,23 @@
 // it doubles as a smoke check), and the per-step/total latencies land in
 // BENCH_session_resolve.json.
 //
-// Flags: --nba-n, --cs-n, --k, --budget (per solve), --seed.
+// A second section measures the session *server* (PR 4): N scripted
+// clients streaming the same edit script through a SessionRegistry over
+// one copy-on-write dataset snapshot, at 1/4/16 simulated clients —
+// queries/sec, wall seconds, and the resident-copy count (must stay 1: the
+// script has no structural edits) land in BENCH_server_throughput.json.
+//
+// Flags: --nba-n, --cs-n, --k, --budget (per solve), --seed, --serve-n
+// (server-section dataset size), --serve-budget.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/harness_include.h"
 #include "core/solve_session.h"
+#include "server/session_registry.h"
+#include "server/wire.h"
 
 using namespace rankhow;
 using namespace rankhow::bench;
@@ -225,6 +235,134 @@ void EmitJson(const std::vector<ScriptRun>& runs, bool all_ok) {
   std::printf("(written to BENCH_session_resolve.json)\n");
 }
 
+// ---------------------------------------------------------------------------
+// Multi-client server throughput.
+
+struct ThroughputLevel {
+  int clients = 0;
+  int commands = 0;        // total across clients
+  double seconds = 0;
+  double queries_per_second = 0;
+  int resident_copies = 0;
+  bool optima_consistent = true;  // all clients proved identical optima
+  bool ok = true;
+};
+
+SessionCommand MakeCommand(SessionCommand::Kind kind, std::string arg,
+                           double value, int line) {
+  SessionCommand cmd;
+  cmd.kind = kind;
+  cmd.arg = std::move(arg);
+  cmd.value = value;
+  cmd.line = line;
+  return cmd;
+}
+
+/// The per-client wire script: one cold solve, then warm constraint edits
+/// (no structural edits, so the COW snapshot must never fork).
+std::vector<SessionCommand> ThroughputScript(const Dataset& data) {
+  using K = SessionCommand::Kind;
+  const std::string a0 = data.attribute_name(0);
+  const std::string a1 = data.attribute_name(1);
+  std::vector<SessionCommand> script;
+  script.push_back(MakeCommand(K::kSolve, "", 0, 1));
+  script.push_back(MakeCommand(K::kMinWeight, a0, 0.02, 2));
+  script.push_back(MakeCommand(K::kMaxWeight, a1, 0.5, 3));
+  script.push_back(MakeCommand(K::kDrop, "min_" + a0, 0, 4));
+  script.push_back(MakeCommand(K::kMinWeight, a1, 0.03, 5));
+  script.push_back(MakeCommand(K::kSolve, "", 0, 6));
+  return script;
+}
+
+ThroughputLevel RunThroughputLevel(const Dataset& data, const Ranking& given,
+                                   EpsilonConfig eps, double budget,
+                                   int clients) {
+  ThroughputLevel level;
+  level.clients = clients;
+
+  RankHowOptions solver;
+  solver.eps = eps;
+  solver.time_limit_seconds = budget;
+
+  ServerOptions server_options;
+  server_options.solver = solver;
+  server_options.num_workers = 0;  // all hardware threads
+  server_options.max_clients = clients;
+  SessionRegistry registry(SharedDataset(Dataset(data)), Ranking(given),
+                           /*labels=*/{}, server_options);
+
+  std::vector<std::vector<SessionCommand>> scripts = {
+      ThroughputScript(data)};
+  WallTimer timer;
+  auto runs = RunScriptedClients(&registry, scripts, clients);
+  level.seconds = timer.ElapsedSeconds();
+  if (!runs.ok()) {
+    std::printf("  %2d clients: FAILED: %s\n", clients,
+                runs.status().ToString().c_str());
+    level.ok = false;
+    return level;
+  }
+  for (const ScriptedClientRun& run : *runs) {
+    level.commands += static_cast<int>(run.outcomes.size());
+    if (!run.status.ok()) level.ok = false;
+    // Identical scripts over one immutable snapshot: per-step proven
+    // optima must agree across clients (the throughput run doubles as a
+    // consistency smoke check). Failed steps are absent from outcomes, so
+    // compare only the common prefix.
+    const size_t steps =
+        std::min(run.outcomes.size(), (*runs)[0].outcomes.size());
+    for (size_t s = 0; s < steps; ++s) {
+      const RankHowResult& mine = run.outcomes[s].result;
+      const RankHowResult& c0 = (*runs)[0].outcomes[s].result;
+      if (mine.proven_optimal && c0.proven_optimal &&
+          mine.error != c0.error) {
+        level.optima_consistent = false;
+        level.ok = false;
+      }
+    }
+  }
+  level.queries_per_second =
+      level.seconds > 0 ? level.commands / level.seconds : 0;
+  level.resident_copies = registry.Stats().resident_dataset_copies;
+  if (level.resident_copies != 1) level.ok = false;  // COW regression
+  std::printf("  %2d clients: %3d commands in %7.3fs = %7.2f q/s  "
+              "(resident copies %d%s)\n",
+              clients, level.commands, level.seconds,
+              level.queries_per_second, level.resident_copies,
+              level.optima_consistent ? "" : ", OPTIMA MISMATCH");
+  return level;
+}
+
+void EmitThroughputJson(const std::vector<ThroughputLevel>& levels, int n,
+                        int m, int k, bool all_ok) {
+  std::FILE* f = std::fopen("BENCH_server_throughput.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to write BENCH_server_throughput.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"server_throughput\",\n");
+  WriteBenchMetadataJson(f, /*threads_used=*/0, BenchTimestampUtc());
+  std::fprintf(f,
+               "  \"dataset\": {\"name\": \"nba\", \"n\": %d, \"m\": %d, "
+               "\"k\": %d},\n  \"ok\": %s,\n  \"levels\": [\n",
+               n, m, k, all_ok ? "true" : "false");
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const ThroughputLevel& level = levels[i];
+    std::fprintf(f,
+                 "    {\"clients\": %d, \"commands\": %d, \"seconds\": "
+                 "%.4f, \"queries_per_second\": %.3f, "
+                 "\"resident_dataset_copies\": %d, \"optima_consistent\": "
+                 "%s}%s\n",
+                 level.clients, level.commands, level.seconds,
+                 level.queries_per_second, level.resident_copies,
+                 level.optima_consistent ? "true" : "false",
+                 i + 1 < levels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(written to BENCH_server_throughput.json)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +377,11 @@ int main(int argc, char** argv) {
   int k = static_cast<int>(flags.GetInt("k", 6, "given-ranking length"));
   double budget = flags.GetDouble("budget", 15, "per-solve cap (s)");
   uint64_t seed = flags.GetInt("seed", 1, "simulation seed");
+  int serve_n = static_cast<int>(flags.GetInt(
+      "serve-n", 200, "NBA tuples for the server-throughput section"));
+  double serve_budget =
+      flags.GetDouble("serve-budget", 5, "per-solve cap in the server "
+                                         "section (s)");
   if (!flags.Finish()) return 0;
 
   std::vector<ScriptRun> runs;
@@ -266,6 +409,25 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (const ScriptRun& run : runs) all_ok = all_ok && run.ok;
   EmitJson(runs, all_ok);
+
+  // Multi-client server throughput at 1/4/16 simulated clients over one
+  // shared NBA snapshot (smaller n: the section measures serving overhead
+  // and COW sharing, not solve depth).
+  std::printf("=== session server throughput: NBA (n=%d, m=5, k=%d) ===\n",
+              serve_n, k);
+  NbaData serve_nba = GenerateNba({.num_tuples = serve_n, .seed = seed});
+  Dataset serve_data = serve_nba.table.SelectAttributes({0, 1, 2, 3, 4});
+  Ranking serve_given = NbaPerRanking(serve_nba, k);
+  std::vector<ThroughputLevel> levels;
+  bool serve_ok = true;
+  for (int clients : {1, 4, 16}) {
+    levels.push_back(RunThroughputLevel(serve_data, serve_given, NbaEps(),
+                                        serve_budget, clients));
+    serve_ok = serve_ok && levels.back().ok;
+  }
+  EmitThroughputJson(levels, serve_n, 5, k, serve_ok);
+  all_ok = all_ok && serve_ok;
+
   if (!all_ok) {
     std::printf("ERROR: session and cold solves disagree (or a solve "
                 "failed); see table above\n");

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-command CI gate: the tier-1 configure/build/ctest line from ROADMAP.md
-# plus the ThreadSanitizer concurrency suite (`ctest -L tsan` under the tsan
-# preset from CMakePresets.json).
+# plus the sanitizer suites from CMakePresets.json — `ctest -L tsan` under
+# the tsan preset (data races in the parallel search + session server) and
+# the full ctest run under the asan preset (heap errors/leaks, notably the
+# COW snapshot lifecycle).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +16,10 @@ echo "== tsan: thread-sanitized build + ctest -L tsan =="
 cmake --preset tsan
 cmake --build --preset tsan -j
 ctest --preset tsan
+
+echo "== asan: address-sanitized build + full ctest =="
+cmake --preset asan
+cmake --build --preset asan -j
+ctest --preset asan
 
 echo "check.sh: all gates passed"

@@ -346,6 +346,23 @@ Result<std::vector<SessionCommand>> ParseSessionScript(
       RH_RETURN_NOT_OK(need_args(1));
       cmd.kind = SessionCommand::Kind::kObjective;
       cmd.arg = tokens[1];
+    } else if (op == "append") {
+      if (tokens.size() < 2) {
+        return Status::Invalid(StrFormat(
+            "session script line %d: 'append' needs one value per ranking "
+            "attribute",
+            line_no));
+      }
+      cmd.kind = SessionCommand::Kind::kAppend;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        if (!ParseDouble(tokens[i]).ok()) {
+          return Status::Invalid(StrFormat(
+              "session script line %d: bad append value '%s'", line_no,
+              tokens[i].c_str()));
+        }
+        if (i > 1) cmd.arg += ' ';
+        cmd.arg += tokens[i];
+      }
     } else {
       return Status::Invalid(StrFormat(
           "session script line %d: unknown command '%s'", line_no,
@@ -356,73 +373,113 @@ Result<std::vector<SessionCommand>> ParseSessionScript(
   return script;
 }
 
+Status ApplySessionCommand(SolveSession* session, const SessionCommand& cmd,
+                           const std::vector<std::string>& labels) {
+  auto fail = [&cmd](const Status& status) {
+    return Status(status.code(),
+                  StrFormat("session script line %d: %s", cmd.line,
+                            status.message().c_str()));
+  };
+  Status edit;
+  switch (cmd.kind) {
+    case SessionCommand::Kind::kSolve:
+      break;
+    case SessionCommand::Kind::kMinWeight:
+    case SessionCommand::Kind::kMaxWeight: {
+      auto attr = session->data().AttributeIndex(cmd.arg);
+      if (!attr.ok()) return fail(attr.status());
+      const bool is_min = cmd.kind == SessionCommand::Kind::kMinWeight;
+      WeightConstraint c;
+      c.terms = {{*attr, 1.0}};
+      c.op = is_min ? RelOp::kGe : RelOp::kLe;
+      c.rhs = cmd.value;
+      c.name = (is_min ? "min_" : "max_") + cmd.arg;
+      // Script/wire traffic must drop before re-adding a name: silently
+      // stacking constraints under one name would make the later `drop`
+      // remove *both*, which no interactive client ever means.
+      if (session->problem().constraints.ContainsName(c.name)) {
+        edit = Status::AlreadyExists("constraint " + c.name +
+                                     " already exists (drop it first)");
+      } else {
+        edit = session->AddWeightConstraint(std::move(c));
+      }
+      break;
+    }
+    case SessionCommand::Kind::kDrop:
+      edit = session->RemoveWeightConstraint(cmd.arg);
+      break;
+    case SessionCommand::Kind::kOrder: {
+      std::vector<PairwiseOrderConstraint> parsed;
+      edit = ApplyOrderConstraints(labels, cmd.arg, &parsed);
+      if (edit.ok()) {
+        for (const PairwiseOrderConstraint& oc : parsed) {
+          edit = session->AddOrderConstraint(oc.above, oc.below);
+          if (!edit.ok()) break;
+        }
+      }
+      break;
+    }
+    case SessionCommand::Kind::kEps:
+    case SessionCommand::Kind::kEps1:
+    case SessionCommand::Kind::kEps2: {
+      EpsilonConfig eps = session->problem().eps;
+      if (cmd.kind == SessionCommand::Kind::kEps) {
+        eps.tie_eps = cmd.value;
+      } else if (cmd.kind == SessionCommand::Kind::kEps1) {
+        eps.eps1 = cmd.value;
+      } else {
+        eps.eps2 = cmd.value;
+      }
+      edit = session->SetEpsilon(eps);
+      break;
+    }
+    case SessionCommand::Kind::kObjective: {
+      auto spec = ParseObjectiveSpec(cmd.arg, session->given().k());
+      if (!spec.ok()) return fail(spec.status());
+      edit = session->SetObjective(*spec);
+      break;
+    }
+    case SessionCommand::Kind::kAppend: {
+      std::vector<double> values;
+      for (const std::string& tok : Split(cmd.arg, ' ')) {
+        auto v = ParseDouble(tok);
+        if (!v.ok()) return fail(v.status());
+        values.push_back(*v);
+      }
+      edit = session->AppendTuple(values);
+      break;
+    }
+  }
+  return edit.ok() ? edit : fail(edit);
+}
+
+Result<SessionStepOutcome> ExecuteSessionCommand(
+    SolveSession* session, const SessionCommand& cmd,
+    const std::vector<std::string>& labels) {
+  RH_RETURN_NOT_OK(ApplySessionCommand(session, cmd, labels));
+  auto result = session->Solve();
+  if (!result.ok()) {
+    // Edit failures above leave the session untouched; a *solve* failure
+    // arrives after the edit stuck. Say so — a wire client must be able to
+    // tell applied-but-unsolved from rejected (it reverses the former with
+    // an explicit drop/eps/objective edit).
+    return Status(result.status().code(),
+                  StrFormat("session script line %d: solve failed after "
+                            "edit applied: %s",
+                            cmd.line, result.status().message().c_str()));
+  }
+  return SessionStepOutcome{cmd, *std::move(result)};
+}
+
 Result<std::vector<SessionStepOutcome>> RunSessionScript(
     SolveSession* session, const std::vector<SessionCommand>& script,
     const std::vector<std::string>& labels) {
   std::vector<SessionStepOutcome> outcomes;
   outcomes.reserve(script.size());
   for (const SessionCommand& cmd : script) {
-    auto fail = [&cmd](const Status& status) {
-      return Status(status.code(),
-                    StrFormat("session script line %d: %s", cmd.line,
-                              status.message().c_str()));
-    };
-    Status edit;
-    switch (cmd.kind) {
-      case SessionCommand::Kind::kSolve:
-        break;
-      case SessionCommand::Kind::kMinWeight:
-      case SessionCommand::Kind::kMaxWeight: {
-        auto attr = session->data().AttributeIndex(cmd.arg);
-        if (!attr.ok()) return fail(attr.status());
-        const bool is_min = cmd.kind == SessionCommand::Kind::kMinWeight;
-        WeightConstraint c;
-        c.terms = {{*attr, 1.0}};
-        c.op = is_min ? RelOp::kGe : RelOp::kLe;
-        c.rhs = cmd.value;
-        c.name = (is_min ? "min_" : "max_") + cmd.arg;
-        edit = session->AddWeightConstraint(std::move(c));
-        break;
-      }
-      case SessionCommand::Kind::kDrop:
-        edit = session->RemoveWeightConstraint(cmd.arg);
-        break;
-      case SessionCommand::Kind::kOrder: {
-        std::vector<PairwiseOrderConstraint> parsed;
-        edit = ApplyOrderConstraints(labels, cmd.arg, &parsed);
-        if (edit.ok()) {
-          for (const PairwiseOrderConstraint& oc : parsed) {
-            edit = session->AddOrderConstraint(oc.above, oc.below);
-            if (!edit.ok()) break;
-          }
-        }
-        break;
-      }
-      case SessionCommand::Kind::kEps:
-      case SessionCommand::Kind::kEps1:
-      case SessionCommand::Kind::kEps2: {
-        EpsilonConfig eps = session->problem().eps;
-        if (cmd.kind == SessionCommand::Kind::kEps) {
-          eps.tie_eps = cmd.value;
-        } else if (cmd.kind == SessionCommand::Kind::kEps1) {
-          eps.eps1 = cmd.value;
-        } else {
-          eps.eps2 = cmd.value;
-        }
-        edit = session->SetEpsilon(eps);
-        break;
-      }
-      case SessionCommand::Kind::kObjective: {
-        auto spec = ParseObjectiveSpec(cmd.arg, session->given().k());
-        if (!spec.ok()) return fail(spec.status());
-        edit = session->SetObjective(*spec);
-        break;
-      }
-    }
-    if (!edit.ok()) return fail(edit);
-    auto result = session->Solve();
-    if (!result.ok()) return fail(result.status());
-    outcomes.push_back(SessionStepOutcome{cmd, *std::move(result)});
+    RH_ASSIGN_OR_RETURN(SessionStepOutcome outcome,
+                        ExecuteSessionCommand(session, cmd, labels));
+    outcomes.push_back(std::move(outcome));
   }
   return outcomes;
 }

@@ -112,7 +112,15 @@ Result<double> ParseTimeLimit(const std::string& value);
 //   eps VALUE                 set the tie tolerance ε
 //   eps1 VALUE | eps2 VALUE   set the Equation-(2) thresholds
 //   objective NAME            position | topheavy | inversions
+//   append V1 V2 ... Vm       append an unranked tuple (one value per
+//                             ranking attribute; the session server's
+//                             structural edit — forks a COW snapshot when
+//                             the dataset is shared)
 // Every line (including the edit ones) triggers one SolveSession::Solve.
+// Re-adding a constraint name that is still present (min-weight PTS twice
+// without a drop between) is rejected with kAlreadyExists — scripts and
+// wire clients must drop first, so a typo cannot silently stack
+// constraints under one name.
 
 /// One parsed script line.
 struct SessionCommand {
@@ -126,10 +134,12 @@ struct SessionCommand {
     kEps1,
     kEps2,
     kObjective,
+    kAppend,
   };
   Kind kind = Kind::kSolve;
   /// Attribute name (min/max-weight), constraint name (drop), "A>B" label
-  /// pair (order), or objective name.
+  /// pair (order), objective name, or the space-joined tuple values
+  /// (append — validated against the dataset width at execution time).
   std::string arg;
   double value = 0;  // min/max-weight bound or ε value
   int line = 0;      // 1-based source line for error messages
@@ -144,6 +154,23 @@ struct SessionStepOutcome {
   SessionCommand command;
   RankHowResult result;
 };
+
+/// Applies one command's *edit* to the session (no solve). Labels resolve
+/// `order` commands. Failed edits leave the session untouched (every edit
+/// validates before mutating): kInvalidArgument for malformed arguments,
+/// kAlreadyExists for a duplicate min/max-weight name, kNotFound for an
+/// unknown drop name — all tagged with the command's line number.
+Status ApplySessionCommand(SolveSession* session, const SessionCommand& cmd,
+                           const std::vector<std::string>& labels);
+
+/// One script step, exactly as the session server executes it: apply the
+/// edit, then solve. A failed edit returns its status (session intact, no
+/// solve); a failed solve propagates. The multi-client equivalence harness
+/// replays scripts through this same function, so server strands and serial
+/// replays execute identical code.
+Result<SessionStepOutcome> ExecuteSessionCommand(
+    SolveSession* session, const SessionCommand& cmd,
+    const std::vector<std::string>& labels);
 
 /// Applies the script to a session, one edit+solve per line. Labels resolve
 /// `order` commands (pass the CliProblem's labels). Stops at the first

@@ -277,6 +277,7 @@ Result<RankHowResult> SolveOptSpatial(const OptProblem& problem,
   spatial_options.num_threads = options.num_threads;
   spatial_options.initial_weights = seed.warm_weights;
   spatial_options.external_lower_bound = std::max(0L, seed.lower_bound);
+  spatial_options.cancel = options.cancel;
   SpatialBnb spatial(problem, spatial_options);
   if (seed.box_oracle != nullptr) spatial.SetOracle(seed.box_oracle);
   RH_ASSIGN_OR_RETURN(SpatialBnbResult sres, spatial.Solve(box));
@@ -352,6 +353,7 @@ Result<RankHowResult> SolveOptModelSat(const OptProblem& problem,
     bnb_options.lazy_separation = options.use_lazy_separation;
     bnb_options.use_warm_start = options.use_warm_start;
     bnb_options.num_threads = options.num_threads;
+    bnb_options.cancel = options.cancel;
     bnb_options.lp_options = options.lp_options;
     BranchAndBound solver(bnb_options);
     if (options.use_primal_heuristic) {
@@ -427,7 +429,9 @@ Result<RankHowResult> SolveOptModelSat(const OptProblem& problem,
   // would re-establish it; lo == hi closes the search without any probe.
   long lo = std::max(0L, seed.lower_bound);
   bool undecided = false;
-  while (lo < hi && !deadline.Expired()) {
+  while (lo < hi && !deadline.Expired() &&
+         !(options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed))) {
     const long mid = lo + (hi - lo) / 2;
     Result<BnbResult> bnb = run_probe(mid);
     ++result.sat_probes;
@@ -477,6 +481,7 @@ Result<RankHowResult> SolveOptModelMilp(const OptProblem& problem,
   bnb_options.lazy_separation = options.use_lazy_separation;
   bnb_options.use_warm_start = options.use_warm_start;
   bnb_options.num_threads = options.num_threads;
+  bnb_options.cancel = options.cancel;
   bnb_options.lp_options = options.lp_options;
   if (seed.lower_bound >= 0) {
     bnb_options.external_lower_bound = static_cast<double>(seed.lower_bound);

@@ -15,6 +15,7 @@
 ///   auto result = solver.Solve();
 ///   std::cout << result->function.ToString() << "  error=" << result->error;
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -96,6 +97,20 @@ struct RankHowOptions {
   /// count never changes which optimum is *proven* — only how fast — but
   /// node/pivot counts and unproven incumbents under a budget can differ.
   int num_threads = 1;
+  /// Cooperative cancellation: when non-null, the exact searches poll this
+  /// flag at node/box/probe granularity (through SearchCoordinator) and
+  /// wind down exactly like a deadline expiry — a budget-limited result,
+  /// never an error. The session server points this at the per-client
+  /// cancel flag so cancelling one client aborts its in-flight solve
+  /// without touching siblings on the same pool. The flag must outlive the
+  /// solve. The multi-start presolve does not poll it (its own clamped
+  /// time budget bounds the latency instead).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Capacity of SolveSession's cross-query incumbent pool. Overflow does
+  /// dominated-entry eviction rather than pure recency (see DESIGN.md
+  /// "Session architecture"), so long tighten runs keep low-error anchors
+  /// warm for later relax edits.
+  int incumbent_pool_cap = 8;
   SimplexOptions lp_options;
 };
 
@@ -188,6 +203,11 @@ class RankHow {
           RankHowOptions options = RankHowOptions());
 
   /// The problem instance; add weight/position/order constraints here.
+  /// Edit `problem().constraints` in place (Add/RemoveByName) rather than
+  /// assigning a whole new WeightConstraintSet over it: the cached spatial
+  /// feasibility oracle is revalidated by the set's monotonic revision()
+  /// counter, and wholesale replacement can smuggle in a different set at
+  /// a coincidentally equal revision, silently reusing a stale oracle.
   OptProblem& problem() { return problem_; }
   const OptProblem& problem() const { return problem_; }
   RankHowOptions& options() { return options_; }

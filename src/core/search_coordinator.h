@@ -45,11 +45,27 @@ class SearchCoordinator {
   /// `improvement_tol`: a candidate is installed iff its objective is
   /// strictly below best − improvement_tol at install time (the MILP path
   /// passes its abs_gap; the spatial path passes 0 — its objectives are
-  /// integral longs, so strict `<` is exact).
-  SearchCoordinator(double time_limit_seconds, double improvement_tol)
-      : deadline_(time_limit_seconds), improvement_tol_(improvement_tol) {}
+  /// integral longs, so strict `<` is exact). `external_cancel`, when
+  /// non-null, is an owner-held cooperative cancel flag (a session server
+  /// client's): workers poll it alongside the deadline and treat a set flag
+  /// exactly like deadline expiry — wind down within one node and report
+  /// the result as budget-limited, never proven. The flag must outlive the
+  /// search.
+  SearchCoordinator(double time_limit_seconds, double improvement_tol,
+                    const std::atomic<bool>* external_cancel = nullptr)
+      : deadline_(time_limit_seconds),
+        improvement_tol_(improvement_tol),
+        external_cancel_(external_cancel) {}
 
   const Deadline& deadline() const { return deadline_; }
+
+  /// True when the owner cancelled the search from outside (relaxed load:
+  /// like a stale incumbent read, a late observation only delays the wind
+  /// down by a node, never soundness).
+  bool ExternalCancelRequested() const {
+    return external_cancel_ != nullptr &&
+           external_cancel_->load(std::memory_order_relaxed);
+  }
 
   /// Lock-free incumbent objective snapshot (+inf = none). May be stale by
   /// one install — stale is always on the conservative (higher) side.
@@ -97,6 +113,7 @@ class SearchCoordinator {
  private:
   Deadline deadline_;
   double improvement_tol_;
+  const std::atomic<bool>* external_cancel_ = nullptr;
   mutable std::mutex mu_;
   std::atomic<double> best_objective_{std::numeric_limits<double>::infinity()};
   std::vector<double> best_values_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 #include "core/presolve.h"
 #include "util/string_util.h"
@@ -11,10 +13,15 @@ namespace rankhow {
 
 SolveSession::SolveSession(Dataset data, Ranking given,
                            RankHowOptions options)
+    : SolveSession(SharedDataset(std::move(data)), std::move(given),
+                   std::move(options)) {}
+
+SolveSession::SolveSession(SharedDataset data, Ranking given,
+                           RankHowOptions options)
     : data_(std::move(data)),
       given_(std::move(given)),
       options_(std::move(options)) {
-  problem_.data = &data_;
+  problem_.data = &data_.get();
   problem_.given = &given_;
   problem_.eps = options_.eps;
 }
@@ -41,7 +48,7 @@ Status SolveSession::AddWeightConstraint(WeightConstraint constraint) {
   }
   for (const auto& [attr, coeff] : constraint.terms) {
     (void)coeff;
-    if (attr < 0 || attr >= data_.num_attributes()) {
+    if (attr < 0 || attr >= data().num_attributes()) {
       return Status::Invalid(
           StrFormat("weight constraint references unknown attribute %d",
                     attr));
@@ -62,8 +69,8 @@ Status SolveSession::RemoveWeightConstraint(const std::string& name) {
 }
 
 Status SolveSession::AddOrderConstraint(int above, int below) {
-  if (above < 0 || above >= data_.num_tuples() || below < 0 ||
-      below >= data_.num_tuples() || above == below) {
+  if (above < 0 || above >= data().num_tuples() || below < 0 ||
+      below >= data().num_tuples() || above == below) {
     return Status::Invalid(
         StrFormat("bad order constraint %d > %d", above, below));
   }
@@ -74,7 +81,7 @@ Status SolveSession::AddOrderConstraint(int above, int below) {
 }
 
 Status SolveSession::AddPositionConstraint(PositionConstraint constraint) {
-  if (constraint.tuple < 0 || constraint.tuple >= data_.num_tuples()) {
+  if (constraint.tuple < 0 || constraint.tuple >= data().num_tuples()) {
     return Status::Invalid(
         StrFormat("position constraint on unknown tuple %d",
                   constraint.tuple));
@@ -113,15 +120,21 @@ Status SolveSession::SetObjective(const RankingObjectiveSpec& objective) {
 
 Status SolveSession::AppendTuple(const std::vector<double>& values,
                                  int* id_out) {
-  if (static_cast<int>(values.size()) != data_.num_attributes()) {
+  if (static_cast<int>(values.size()) != data().num_attributes()) {
     return Status::Invalid(
         StrFormat("tuple has %d values, dataset has %d attributes",
-                  static_cast<int>(values.size()), data_.num_attributes()));
+                  static_cast<int>(values.size()), data().num_attributes()));
   }
   std::vector<int> positions = given_.positions();
   positions.push_back(kUnranked);
   RH_ASSIGN_OR_RETURN(Ranking grown, Ranking::Create(std::move(positions)));
+  const int64_t forks_before = data_.forks();
+  // Copy-on-write: appending forks a private snapshot iff siblings share
+  // this one; either way the handle may re-point, so the problem's dataset
+  // view must be refreshed.
   int id = data_.AppendTuple(values);
+  problem_.data = &data_.get();
+  stats_.dataset_forks += data_.forks() - forks_before;
   given_ = std::move(grown);  // problem_.given points at given_; stays wired
   if (id_out != nullptr) *id_out = id;
   NoteEdit(SessionDeltaKind::kStructural);
@@ -144,7 +157,7 @@ Result<const OptModel*> SolveSession::EnsureModel() {
   }
   RH_ASSIGN_OR_RETURN(
       OptModel built,
-      BuildOptModel(problem_, WeightBox::FullSimplex(data_.num_attributes()),
+      BuildOptModel(problem_, WeightBox::FullSimplex(data().num_attributes()),
                     options_.use_indicator_fixing,
                     options_.use_strengthening_cuts,
                     options_.use_tight_big_m));
@@ -160,7 +173,7 @@ Result<RankHowResult> SolveSession::Solve() {
   WallTimer timer;
   Deadline deadline(options_.time_limit_seconds);
   ++stats_.solves;
-  const WeightBox box = WeightBox::FullSimplex(data_.num_attributes());
+  const WeightBox box = WeightBox::FullSimplex(data().num_attributes());
   const SolveStrategy strategy =
       ResolveSolveStrategy(problem_, options_, box);
 
@@ -172,7 +185,10 @@ Result<RankHowResult> SolveSession::Solve() {
   const PresolveOptions presolve = ClampedPresolveOptions(options_, deadline);
   bool pool_warm = false;
   if (!pool_.empty()) {
-    auto re = RevalidateIncumbents(problem_, box, pool_, presolve);
+    std::vector<std::vector<double>> pooled;
+    pooled.reserve(pool_.size());
+    for (const PoolEntry& entry : pool_) pooled.push_back(entry.weights);
+    auto re = RevalidateIncumbents(problem_, box, pooled, presolve);
     if (re.ok() && re->found()) {
       seed.warm_weights = std::move(re->weights);
       pool_warm = true;
@@ -216,30 +232,130 @@ Result<RankHowResult> SolveSession::Solve() {
   result.strategy_used = strategy;
   result.seconds = timer.ElapsedSeconds();
 
-  // Pool maintenance: the solve's winner first, then the warm seed that fed
-  // it (they differ when the search improved on the seed). Dedup by
-  // near-equality, cap at kPoolCap most-recent.
-  auto remember = [this](const std::vector<double>& w) {
-    if (w.empty()) return;
-    for (const std::vector<double>& have : pool_) {
-      if (have.size() != w.size()) continue;
-      double dist = 0;
-      for (size_t i = 0; i < w.size(); ++i) {
-        dist = std::max(dist, std::abs(have[i] - w[i]));
-      }
-      if (dist < 1e-12) return;
-    }
-    pool_.insert(pool_.begin(), w);
-    if (pool_.size() > kPoolCap) pool_.resize(kPoolCap);
-  };
-  remember(result.function.weights);
-  remember(seed.warm_weights);
+  // Pool maintenance: the solve's winner first (with its verified error),
+  // then the warm seed that fed it (they differ when the search improved
+  // on the seed).
+  Remember(result.function.weights, /*winner=*/true, result.error);
+  Remember(seed.warm_weights, /*winner=*/false, /*known_error=*/-1);
 
   have_proven_ = result.proven_optimal;
   proven_optimum_ = result.claimed_error;
   proven_true_semantics_ = strategy == SolveStrategy::kSpatial;
   bound_valid_ = true;
   return result;
+}
+
+std::vector<long> SolveSession::incumbent_pool_errors() const {
+  std::vector<long> errors;
+  errors.reserve(pool_.size());
+  for (const PoolEntry& entry : pool_) errors.push_back(entry.error);
+  return errors;
+}
+
+void SolveSession::Remember(const std::vector<double>& weights, bool winner,
+                            long known_error) {
+  if (weights.empty()) return;
+  for (PoolEntry& have : pool_) {
+    if (have.weights.size() != weights.size()) continue;
+    double dist = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      dist = std::max(dist, std::abs(have.weights[i] - weights[i]));
+    }
+    if (dist < 1e-12) {
+      // Same vector re-surfaced: upgrade its credentials instead of
+      // duplicating (a winner flag is sticky — once optimal for some past
+      // constraint set, always "a past winner").
+      have.winner = have.winner || winner;
+      if (known_error >= 0) have.error = known_error;
+      return;
+    }
+  }
+  PoolEntry entry;
+  entry.weights = weights;
+  entry.winner = winner;
+  entry.error = known_error >= 0
+                    ? known_error
+                    : EvaluateTrueError(problem_, weights).value_or(-1);
+  pool_.insert(pool_.begin(), std::move(entry));
+  const size_t cap =
+      static_cast<size_t>(std::max(1, options_.incumbent_pool_cap));
+  while (pool_.size() > cap) EvictOne();
+}
+
+void SolveSession::EvictOne() {
+  // Dominated-entry eviction (ROADMAP's "keep only entries optimal for
+  // some past constraint set"). Everything here is a warm-start heuristic:
+  // pool entries are candidates, never bounds, so any policy is sound —
+  // this one is chosen so a long tighten run does not flush the low-error
+  // incumbents a later relax edit warm-starts from.
+  //
+  // Per-entry standing under the *current* problem: cur = the true ε-tie
+  // objective, or nullopt when the entry violates the current constraints.
+  // Objective values also refresh stale recorded errors (ε/objective may
+  // have changed structurally since the entry was recorded).
+  const size_t n = pool_.size();
+  std::vector<std::optional<long>> cur(n);
+  for (size_t i = 0; i < n; ++i) {
+    cur[i] = EvaluateTrueError(problem_, pool_[i].weights);
+    if (cur[i].has_value()) pool_[i].error = *cur[i];
+  }
+  auto evict = [this](size_t victim) {
+    pool_.erase(pool_.begin() + victim);
+    ++stats_.pool_evictions;
+  };
+
+  // 1. Seed echoes first: a non-winner that is currently infeasible, or
+  //    whose objective another entry matches or beats, was never uniquely
+  //    valuable. Stalest such entry goes (index n-1 is oldest).
+  for (size_t i = n; i-- > 0;) {
+    const PoolEntry& x = pool_[i];
+    if (x.winner) continue;
+    bool covered = !cur[i].has_value();
+    for (size_t j = 0; j < n && !covered; ++j) {
+      covered = j != i && cur[j].has_value() &&
+                (!cur[i].has_value() || *cur[j] <= *cur[i]);
+    }
+    if (covered) return evict(i);
+  }
+
+  // 2. Winners: protect (a) the lowest-recorded-error anchor — it re-warms
+  //    the deepest relax edits — and (b) the best currently-feasible entry,
+  //    which is the next solve's warm start. Among the rest, evict the
+  //    entry most redundant in error space: the one whose recorded error
+  //    lies closest to another surviving entry's (its neighbor covers the
+  //    relax depths it served). Ties: higher error, then oldest.
+  size_t anchor = 0, best_feasible = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (pool_[i].error >= 0 &&
+        (pool_[anchor].error < 0 || pool_[i].error < pool_[anchor].error)) {
+      anchor = i;
+    }
+    if (cur[i].has_value() &&
+        (best_feasible == n || *cur[i] < *cur[best_feasible])) {
+      best_feasible = i;
+    }
+  }
+  size_t victim = n;
+  long victim_gap = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == anchor || i == best_feasible) continue;
+    long gap = std::numeric_limits<long>::max();
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || pool_[j].error < 0 || pool_[i].error < 0) continue;
+      gap = std::min(gap, std::abs(pool_[i].error - pool_[j].error));
+    }
+    const bool better =
+        victim == n || gap < victim_gap ||
+        (gap == victim_gap && (pool_[i].error > pool_[victim].error ||
+                               (pool_[i].error == pool_[victim].error &&
+                                i > victim)));
+    if (better) {
+      victim = i;
+      victim_gap = gap;
+    }
+  }
+  // Fallback (everything protected — a 2-entry pool): evict the oldest.
+  evict(victim != n ? victim : n - 1);
 }
 
 }  // namespace rankhow

@@ -62,6 +62,7 @@
 #include "core/opt_problem.h"
 #include "core/rankhow.h"
 #include "data/dataset.h"
+#include "data/shared_dataset.h"
 #include "ranking/ranking.h"
 #include "util/status.h"
 
@@ -80,6 +81,11 @@ struct SolveSessionStats {
   int64_t pool_hits = 0;
   /// Solves entered with a reusable proven lower bound.
   int64_t bound_seeds = 0;
+  /// Pool-overflow evictions (dominated-entry policy; see DESIGN.md).
+  int64_t pool_evictions = 0;
+  /// Copy-on-write dataset forks this session triggered (AppendTuple on a
+  /// snapshot shared with sibling sessions).
+  int64_t dataset_forks = 0;
 };
 
 /// The per-query delta classes (see DESIGN.md "Session architecture").
@@ -95,13 +101,24 @@ enum class SessionDeltaKind {
   kStructural,
 };
 
-/// A long-lived solver session over one dataset + given ranking. Owns
-/// copies of both (append-tuple deltas mutate them); not thread-safe —
-/// run concurrent sessions on separate instances (see rankhow_cli's batch
-/// mode), each solve may still use options.num_threads workers internally.
+/// A long-lived solver session over one dataset + given ranking. The
+/// dataset is held through a copy-on-write SharedDataset handle: sessions
+/// constructed from the same handle read one immutable snapshot, and an
+/// AppendTuple edit forks a private copy only for the appending session
+/// (the server's many-clients-few-datasets shape; see DESIGN.md "Server
+/// architecture"). The ranking is owned per session (it is small and every
+/// append edit grows it). Not thread-safe — run concurrent sessions on
+/// separate instances (see SessionRegistry / rankhow_cli's batch mode);
+/// each solve may still use options.num_threads workers internally.
 class SolveSession {
  public:
+  /// Wraps the dataset into a fresh private snapshot (the pre-server
+  /// single-session constructor; nothing shares until the caller copies
+  /// shared_data()).
   SolveSession(Dataset data, Ranking given,
+               RankHowOptions options = RankHowOptions());
+  /// Shares the handle's snapshot with every other session holding it.
+  SolveSession(SharedDataset data, Ranking given,
                RankHowOptions options = RankHowOptions());
 
   /// Not movable/copyable: problem_ holds pointers into the owned dataset
@@ -111,10 +128,15 @@ class SolveSession {
 
   // ------------------------------------------------------------- queries
   const OptProblem& problem() const { return problem_; }
-  const Dataset& data() const { return data_; }
+  const Dataset& data() const { return data_.get(); }
+  /// The COW handle (copy it to share the snapshot with a new session).
+  const SharedDataset& shared_data() const { return data_; }
   const Ranking& given() const { return given_; }
   const SolveSessionStats& stats() const { return stats_; }
   size_t incumbent_pool_size() const { return pool_.size(); }
+  /// Recorded true errors of the pooled incumbents, most recent first
+  /// (diagnostics; the eviction regression test reads this).
+  std::vector<long> incumbent_pool_errors() const;
 
   // ------------------------------------------------------------- edits
   /// Adds a predicate-P constraint (kTighten; patches the cached model).
@@ -148,7 +170,7 @@ class SolveSession {
   /// The cached-or-rebuilt compiled model for MILP/SAT strategies.
   Result<const OptModel*> EnsureModel();
 
-  Dataset data_;
+  SharedDataset data_;
   Ranking given_;
   RankHowOptions options_;
   OptProblem problem_;
@@ -161,9 +183,25 @@ class SolveSession {
   std::vector<WeightConstraint> pending_weight_rows_;
   std::vector<PairwiseOrderConstraint> pending_order_rows_;
 
-  // Incumbent pool: most recent first, capped at kPoolCap.
-  static constexpr size_t kPoolCap = 8;
-  std::vector<std::vector<double>> pool_;
+  // Incumbent pool: most recent first, capped at
+  // options_.incumbent_pool_cap. Overflow evicts by domination, not
+  // recency: entries that were a solve's winner ("optimal for some past
+  // constraint set", per ROADMAP) outlive seed echoes, the lowest-error
+  // anchor is never evicted (it re-warms deep relax edits), and among
+  // redundant winners the one whose recorded error its neighbors already
+  // cover goes first. See Remember/EvictOne in solve_session.cc.
+  struct PoolEntry {
+    std::vector<double> weights;
+    /// True ε-tie objective when recorded; refreshed from the current
+    /// problem during eviction (stale after structural edits until then).
+    long error = -1;
+    /// This entry was a solve's winning incumbent (vs a warm-seed echo).
+    bool winner = false;
+  };
+  void Remember(const std::vector<double>& weights, bool winner,
+                long known_error);
+  void EvictOne();
+  std::vector<PoolEntry> pool_;
 
   // Previous-solve snapshot for bound reuse.
   bool have_proven_ = false;

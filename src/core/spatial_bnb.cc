@@ -287,7 +287,8 @@ void RunWorker(SearchShared& sh, WorkerState& ws) {
     }
   }
   while (!sh.coordinator.StopRequested()) {
-    if (sh.coordinator.deadline().Expired()) {
+    if (sh.coordinator.deadline().Expired() ||
+        sh.coordinator.ExternalCancelRequested()) {
       sh.coordinator.RequestLimitStop();
       sh.frontier.RequestStop();
       break;
@@ -393,7 +394,8 @@ Result<SpatialBnbResult> SpatialBnb::Solve(const WeightBox& root_box) const {
                       tuples,
                       has_general_rows,
                       num_workers,
-                      SearchCoordinator(options_.time_limit_seconds, 0.0),
+                      SearchCoordinator(options_.time_limit_seconds, 0.0,
+                                        options_.cancel),
                       ShardedFrontier<Node, NodeOrder>(num_workers),
                       {},
                       num_workers == 1 ? external_oracle_ : nullptr};

@@ -29,6 +29,7 @@
 /// therefore be marginally worse. Both are verified by the same exact
 /// arithmetic.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -97,6 +98,11 @@ struct SpatialBnbOptions {
   /// the root when a pooled incumbent already meets the old proven optimum.
   /// Soundness is the caller's obligation.
   long external_lower_bound = 0;
+  /// Cooperative external cancellation (see SearchCoordinator): workers
+  /// poll this alongside the deadline and wind down within one box,
+  /// reporting the result as budget-limited. nullptr = never cancelled.
+  /// The flag must outlive the solve.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SpatialBnbStats {

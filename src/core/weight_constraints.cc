@@ -45,6 +45,14 @@ size_t WeightConstraintSet::RemoveByName(const std::string& name) {
   return removed;
 }
 
+bool WeightConstraintSet::ContainsName(const std::string& name) const {
+  if (name.empty()) return false;
+  for (const WeightConstraint& c : constraints_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
 void AppendWeightConstraintTo(const WeightConstraint& constraint,
                               LpModel* model,
                               const std::vector<int>& weight_vars) {

@@ -53,6 +53,10 @@ class WeightConstraintSet {
   /// that is an error). Unnamed constraints can never be removed this way.
   size_t RemoveByName(const std::string& name);
 
+  /// True iff some constraint carries `name` (the session script layer
+  /// rejects duplicate names before adding; empty names never match).
+  bool ContainsName(const std::string& name) const;
+
   const std::vector<WeightConstraint>& constraints() const {
     return constraints_;
   }

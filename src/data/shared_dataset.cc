@@ -1,0 +1,25 @@
+#include "data/shared_dataset.h"
+
+namespace rankhow {
+
+Dataset* SharedDataset::Mutable() {
+  // use_count > 1: siblings read this snapshot, so appending in place would
+  // mutate shared-immutable state under them. Fork a private copy and
+  // re-point this handle; siblings keep the old snapshot (freed when the
+  // last of them drops). use_count == 1: this handle is the sole owner and
+  // may mutate in place — no observer exists to see intermediate state.
+  // (weak_ptr observers do not count: they must lock() into a strong ref to
+  // read, and a lock() racing a sole-owner mutation would violate the
+  // one-thread-per-handle contract in the header anyway.)
+  if (snapshot_.use_count() > 1) {
+    snapshot_ = std::make_shared<Dataset>(*snapshot_);
+    ++forks_;
+  }
+  return snapshot_.get();
+}
+
+int SharedDataset::AppendTuple(const std::vector<double>& values) {
+  return Mutable()->AppendTuple(values);
+}
+
+}  // namespace rankhow

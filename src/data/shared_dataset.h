@@ -1,0 +1,89 @@
+#ifndef RANKHOW_DATA_SHARED_DATASET_H_
+#define RANKHOW_DATA_SHARED_DATASET_H_
+
+/// \file shared_dataset.h
+/// Copy-on-write dataset sharing for the session server (see DESIGN.md
+/// "Server architecture"). The serving shape is many clients over few
+/// datasets: N concurrent SolveSessions reading one relation should hold
+/// one immutable snapshot, not N private copies — the per-session dataset
+/// copy was the first thing ROADMAP named to shed.
+///
+/// A `SharedDataset` is a cheap handle onto a refcounted, immutable
+/// `Dataset` snapshot. Handles copy in O(1) (one atomic refcount bump).
+/// Read access goes through `get()`; the only mutation the session layer
+/// performs on a live dataset — `AppendTuple` — is copy-on-write: a handle
+/// that is the snapshot's sole owner appends in place, a handle sharing the
+/// snapshot with siblings first forks a private copy, leaving every sibling
+/// untouched (bit-identical results before and after the fork — asserted by
+/// tests/data/shared_dataset_test.cc). When the last handle drops, the
+/// snapshot is freed (shared_ptr refcounting; the asan suite would flag a
+/// leak or a use-after-free).
+///
+/// Thread-safety contract: concurrent *reads* of one snapshot from many
+/// handles/threads are safe (the snapshot is immutable); refcount
+/// operations are atomic. A single handle, however, is not itself
+/// thread-safe — mutating or copying one specific handle concurrently from
+/// two threads is a race, exactly like a shared_ptr. The session server
+/// keeps one handle per client session and serializes each client's edits,
+/// which satisfies the contract by construction.
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rankhow {
+
+class SharedDataset {
+ public:
+  /// An empty handle (no snapshot). get() is invalid until assigned.
+  SharedDataset() = default;
+  /// Wraps a dataset into a fresh snapshot this handle solely owns.
+  explicit SharedDataset(Dataset data)
+      : snapshot_(std::make_shared<Dataset>(std::move(data))) {}
+
+  // Handles copy/move freely: copying shares the snapshot (O(1)).
+
+  /// The current snapshot, read-only. The reference (and address) is stable
+  /// until the next mutating call on *this handle* — a fork re-points the
+  /// handle, so callers caching `&get()` must refresh after AppendTuple.
+  const Dataset& get() const { return *snapshot_; }
+  bool valid() const { return snapshot_ != nullptr; }
+
+  /// Copy-on-write append: appends a tuple (one value per attribute) and
+  /// returns its id. Forks a private copy first iff the snapshot is shared
+  /// with other handles; sole owners append in place.
+  int AppendTuple(const std::vector<double>& values);
+
+  /// True iff a mutation through this handle right now would fork (i.e. the
+  /// snapshot has other owners).
+  bool shared() const { return snapshot_ != nullptr && snapshot_.use_count() > 1; }
+
+  /// Snapshot identity, for counting resident dataset copies across a set
+  /// of handles (SessionRegistry::ResidentDatasetCopies). Two handles with
+  /// equal ids hold the same physical snapshot.
+  const void* snapshot_id() const { return snapshot_.get(); }
+  bool SharesSnapshotWith(const SharedDataset& other) const {
+    return snapshot_ != nullptr && snapshot_ == other.snapshot_;
+  }
+
+  /// The underlying refcounted snapshot — exposed so tests can hold a
+  /// std::weak_ptr and assert the snapshot is freed when the last handle
+  /// drops.
+  std::shared_ptr<const Dataset> snapshot() const { return snapshot_; }
+
+  /// Cumulative forks this handle performed (a fork is one full dataset
+  /// copy — the quantity COW exists to minimize).
+  int64_t forks() const { return forks_; }
+
+ private:
+  /// The snapshot with this handle as its sole owner, forking if needed.
+  Dataset* Mutable();
+
+  std::shared_ptr<Dataset> snapshot_;
+  int64_t forks_ = 0;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_DATA_SHARED_DATASET_H_

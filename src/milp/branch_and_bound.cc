@@ -461,7 +461,8 @@ void RunWorker(SearchShared& sh, WorkerState& ws) {
     ws.pool_to_row.assign(sh.compiled.size(), -1);
   }
   while (!sh.coordinator.StopRequested()) {
-    if (sh.coordinator.deadline().Expired()) {
+    if (sh.coordinator.deadline().Expired() ||
+        sh.coordinator.ExternalCancelRequested()) {
       sh.coordinator.RequestLimitStop();
       sh.frontier.RequestStop();
       break;
@@ -550,7 +551,7 @@ Result<BnbResult> BranchAndBound::Solve(const MilpModel& model) const {
                       heuristic_,
                       num_workers,
                       SearchCoordinator(options_.time_limit_seconds,
-                                        options_.abs_gap),
+                                        options_.abs_gap, options_.cancel),
                       ShardedFrontier<Node, NodeOrder>(num_workers),
                       {},
                       {}};

@@ -11,6 +11,7 @@
 /// fractional weight vector into a true feasible ranking error, which keeps
 /// the incumbent tight from the first node on.
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -85,6 +86,11 @@ struct BnbOptions {
   /// search (and bit-identical to it), 0 = all hardware threads. The proven
   /// optimum is thread-count independent; node/pivot counts are not.
   int num_threads = 1;
+  /// Cooperative external cancellation (see SearchCoordinator): workers
+  /// poll this alongside the deadline and wind down within one node,
+  /// reporting the result as budget-limited. nullptr = never cancelled.
+  /// The flag must outlive the solve.
+  const std::atomic<bool>* cancel = nullptr;
   SimplexOptions lp_options;
 };
 

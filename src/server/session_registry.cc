@@ -1,0 +1,224 @@
+#include "server/session_registry.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rankhow {
+
+namespace {
+
+/// Wire verbs; a client may not take one as its name (see wire.cc).
+bool IsReservedClientName(const std::string& name) {
+  return name == "open" || name == "close" || name == "stats" ||
+         name == "quit";
+}
+
+Status ClosedStatus() {
+  return Status::ResourceExhausted("session closed before the command ran");
+}
+
+}  // namespace
+
+SessionRegistry::SessionRegistry(SharedDataset data, Ranking given,
+                                 std::vector<std::string> labels,
+                                 ServerOptions options)
+    : base_(std::move(data)),
+      given_(std::move(given)),
+      labels_(std::move(labels)),
+      options_(std::move(options)),
+      pool_(ThreadPool::ResolveThreadCount(options_.num_workers)) {
+  // One strand solves serially; the pool supplies the parallelism.
+  options_.solver.num_threads = 1;
+}
+
+SessionRegistry::~SessionRegistry() {
+  // Cancel everything, fail whatever never ran, wait for the strands.
+  std::vector<std::pair<std::string, Callback>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, client] : clients_) {
+      client->closing = true;
+      client->cancel->store(true, std::memory_order_relaxed);
+      if (!client->running) {
+        while (!client->queue.empty()) {
+          dropped.emplace_back(name, std::move(client->queue.front().second));
+          client->queue.pop_front();
+        }
+      }
+    }
+  }
+  for (auto& [name, cb] : dropped) {
+    if (cb) cb(name, ClosedStatus());
+  }
+  Drain();
+  // Sessions are destroyed before pool_ (member order), after all strands
+  // returned — no task can touch a dead session.
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.clear();
+}
+
+Status SessionRegistry::Open(const std::string& client) {
+  if (client.empty() || IsReservedClientName(client)) {
+    return Status::Invalid("bad client name '" + client +
+                           "' (non-empty, not a wire verb)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clients_.count(client) > 0) {
+    return Status::AlreadyExists("client already open: " + client);
+  }
+  if (static_cast<int>(clients_.size()) >= options_.max_clients) {
+    return Status::ResourceExhausted(
+        "registry is at max_clients=" + std::to_string(options_.max_clients));
+  }
+  auto entry = std::make_shared<Client>();
+  entry->cancel = std::make_unique<std::atomic<bool>>(false);
+  RankHowOptions solver = options_.solver;
+  solver.cancel = entry->cancel.get();
+  // SharedDataset copy = one refcount bump: the new session reads the
+  // registry's snapshot until it forks.
+  entry->session = std::make_unique<SolveSession>(SharedDataset(base_),
+                                                  Ranking(given_), solver);
+  RH_RETURN_NOT_OK(entry->session->SetObjective(options_.objective));
+  entry->snapshot_id = entry->session->shared_data().snapshot_id();
+  clients_.emplace(client, std::move(entry));
+  return Status();
+}
+
+Status SessionRegistry::Submit(const std::string& client,
+                               SessionCommand command, Callback done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  if (it == clients_.end() || it->second->closing || it->second->draining) {
+    return Status::NotFound("no open client named " + client);
+  }
+  std::shared_ptr<Client> entry = it->second;
+  entry->queue.emplace_back(std::move(command), std::move(done));
+  if (!entry->running) {
+    entry->running = true;
+    pool_.Submit([this, client, entry] { RunStrand(client, entry); });
+  }
+  return Status();
+}
+
+void SessionRegistry::RunStrand(const std::string& name,
+                                std::shared_ptr<Client> client) {
+  for (;;) {
+    SessionCommand command;
+    Callback done;
+    bool dropped = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (client->queue.empty()) {
+        client->running = false;
+        idle_cv_.notify_all();
+        return;
+      }
+      command = std::move(client->queue.front().first);
+      done = std::move(client->queue.front().second);
+      client->queue.pop_front();
+      dropped = client->closing;
+    }
+    if (dropped) {
+      if (done) done(name, ClosedStatus());
+      continue;
+    }
+    Result<SessionStepOutcome> outcome =
+        ExecuteSessionCommand(client->session.get(), command, labels_);
+    // Consume the cancel flag: it targets the command that was in flight
+    // when Cancel() fired (or, for an idle client, the next one — the one
+    // that just ran), never the commands queued behind it. Clearing after
+    // execution means a Cancel racing the tail of a solve is spent here
+    // rather than poisoning every future solve; that one-command
+    // imprecision is inherent to cooperative cancellation.
+    client->cancel->store(false, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Publish the post-command mirrors so Stats() never touches the
+      // session object itself (the strand mutates it outside mu_).
+      client->snapshot_id = client->session->shared_data().snapshot_id();
+      client->dataset_forks = client->session->stats().dataset_forks;
+      ++commands_executed_;
+    }
+    if (done) done(name, outcome);
+  }
+}
+
+void SessionRegistry::Cancel(const std::string& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  if (it != clients_.end()) {
+    it->second->cancel->store(true, std::memory_order_relaxed);
+  }
+}
+
+Status SessionRegistry::Close(const std::string& client, bool graceful) {
+  std::shared_ptr<Client> entry;
+  std::vector<Callback> dropped;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) {
+      return Status::NotFound("no open client named " + client);
+    }
+    entry = it->second;
+    entry->draining = true;  // no new submits either way
+    if (!graceful) {
+      entry->closing = true;
+      entry->cancel->store(true, std::memory_order_relaxed);
+      if (!entry->running) {
+        // Idle strand: nothing will drain the queue — fail it here.
+        while (!entry->queue.empty()) {
+          dropped.push_back(std::move(entry->queue.front().second));
+          entry->queue.pop_front();
+        }
+      }
+    }
+  }
+  for (Callback& cb : dropped) {
+    if (cb) cb(client, ClosedStatus());
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&entry] {
+    return !entry->running && entry->queue.empty();
+  });
+  // Re-check identity before erasing: a concurrent Close may have finished
+  // first (and a third party may even have re-Opened the name) — erasing
+  // by name alone would destroy the wrong, live client and double-count
+  // the retired forks.
+  auto again = clients_.find(client);
+  if (again != clients_.end() && again->second == entry) {
+    forks_retired_ += entry->dataset_forks;  // keep Stats() cumulative
+    clients_.erase(again);
+  }
+  return Status();
+}
+
+void SessionRegistry::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    for (const auto& [name, client] : clients_) {
+      (void)name;
+      if (client->running || !client->queue.empty()) return false;
+    }
+    return true;
+  });
+}
+
+SessionRegistryStats SessionRegistry::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionRegistryStats stats;
+  stats.open_clients = static_cast<int>(clients_.size());
+  stats.commands_executed = commands_executed_;
+  std::set<const void*> snapshots;
+  snapshots.insert(base_.snapshot_id());
+  stats.dataset_forks = forks_retired_;
+  for (const auto& [name, client] : clients_) {
+    (void)name;
+    if (client->snapshot_id != nullptr) snapshots.insert(client->snapshot_id);
+    stats.dataset_forks += client->dataset_forks;
+  }
+  stats.resident_dataset_copies = static_cast<int>(snapshots.size());
+  return stats;
+}
+
+}  // namespace rankhow

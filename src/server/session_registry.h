@@ -1,0 +1,169 @@
+#ifndef RANKHOW_SERVER_SESSION_REGISTRY_H_
+#define RANKHOW_SERVER_SESSION_REGISTRY_H_
+
+/// \file session_registry.h
+/// The session server's core (see DESIGN.md "Server architecture"): a
+/// registry of named per-client SolveSessions over one shared copy-on-write
+/// dataset, scheduled on the PR 2 thread pool.
+///
+/// Shape: N clients stream edits against few datasets. Each client owns a
+/// private `SolveSession` (solver state — model cache, incumbent pool,
+/// bounds — is per client), while all sessions over one dataset read a
+/// single immutable `SharedDataset` snapshot; a structural `append` edit
+/// forks a private copy for the appending client only.
+///
+/// Scheduling: commands enqueue onto a per-client *strand*. A strand drains
+/// its queue on one pool task at a time, so one client's commands execute
+/// strictly in submission order while different clients' solves run
+/// concurrently (each session solves serially — the pool supplies the
+/// parallelism, exactly like rankhow_cli's batch mode). Completion
+/// callbacks run on pool threads, in submission order per client.
+///
+/// Cancellation/deadlines: every client carries a cancel flag threaded into
+/// its solver options (RankHowOptions::cancel → SearchCoordinator), so
+/// `Cancel` or `Close` makes an in-flight solve wind down within one
+/// node/box — a budget-limited result, never an error — without touching
+/// sibling clients. Per-solve deadlines ride the normal
+/// RankHowOptions::time_limit_seconds in ServerOptions::solver.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/cli_driver.h"
+#include "core/solve_session.h"
+#include "data/shared_dataset.h"
+#include "ranking/objective.h"
+#include "ranking/ranking.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rankhow {
+
+struct ServerOptions {
+  /// Per-client solver configuration. num_threads is forced to 1: each
+  /// session solves serially and the registry pool supplies the
+  /// parallelism (one strand per client). time_limit_seconds is the
+  /// per-solve client deadline.
+  RankHowOptions solver;
+  /// Every client session starts on this ranking objective (clients switch
+  /// per session with the `objective` script command).
+  RankingObjectiveSpec objective;
+  /// Registry pool width (concurrent client strands): 0 = hardware
+  /// concurrency, n = exactly n.
+  int num_workers = 1;
+  /// Open() beyond this fails with kResourceExhausted.
+  int max_clients = 64;
+};
+
+/// Aggregate registry counters (snapshot; see Stats()).
+struct SessionRegistryStats {
+  int open_clients = 0;
+  /// Distinct physical dataset snapshots resident across the registry's
+  /// base handle and every open client — 1 until some client's structural
+  /// edit forks (the acceptance metric for the COW layer).
+  int resident_dataset_copies = 0;
+  /// Commands fully executed (callback delivered), across all clients.
+  int64_t commands_executed = 0;
+  /// Copy-on-write forks performed by clients since the registry opened.
+  int64_t dataset_forks = 0;
+};
+
+class SessionRegistry {
+ public:
+  /// One registry per served dataset+ranking. `labels` resolve the script
+  /// grammar's `order` commands (one per tuple, as in CliProblem).
+  SessionRegistry(SharedDataset data, Ranking given,
+                  std::vector<std::string> labels, ServerOptions options);
+  /// Cancels every client, drains all strands, then frees the sessions.
+  ~SessionRegistry();
+
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  /// Per-command completion: the outcome of one edit+solve, or the edit's
+  /// Status error (the session stays open and intact either way). Runs on
+  /// a pool thread; must not call Close/Drain (deadlock — the strand would
+  /// wait on itself).
+  using Callback =
+      std::function<void(const std::string& client,
+                         const Result<SessionStepOutcome>& outcome)>;
+
+  /// Creates a client session sharing the registry's dataset snapshot.
+  /// kAlreadyExists for a live name, kInvalidArgument for an empty or
+  /// reserved name (the wire verbs), kResourceExhausted at max_clients.
+  Status Open(const std::string& client);
+
+  /// Enqueues one command onto the client's strand. The callback fires
+  /// after the edit+solve completes (or the edit fails). kNotFound for an
+  /// unknown/closing client.
+  Status Submit(const std::string& client, SessionCommand command,
+                Callback done);
+
+  /// Cooperatively cancels the client's in-flight solve (it returns
+  /// budget-limited, incumbent kept); for an idle client the *next*
+  /// command is cancelled instead — the flag is consumed by exactly one
+  /// command, so commands queued behind it run normally. Pair with Close
+  /// to shed the queue. No-op for unknown clients.
+  void Cancel(const std::string& client);
+
+  /// Closes a client and frees its session (and snapshot refcount).
+  /// Abort mode (default): cancels the in-flight solve and fails every
+  /// queued command. Graceful mode (`graceful = true`, what the wire
+  /// protocol's `close` uses — the same stream submitted those commands):
+  /// stops accepting new commands, lets the queue finish, then closes.
+  /// Both block until the strand is idle. kNotFound for unknown clients.
+  /// Do not call from a Callback.
+  Status Close(const std::string& client, bool graceful = false);
+
+  /// Blocks until every strand is idle and every queue empty. Do not call
+  /// from a Callback.
+  void Drain();
+
+  SessionRegistryStats Stats() const;
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  struct Client {
+    /// Outlives the session (the session's solver options point at it).
+    std::unique_ptr<std::atomic<bool>> cancel;
+    std::unique_ptr<SolveSession> session;
+    std::deque<std::pair<SessionCommand, Callback>> queue;
+    bool running = false;  // a pool task is draining this strand
+    bool closing = false;   // abort: strand drops queued commands
+    bool draining = false;  // no new submits; queued commands still run
+    /// Mirrors published under mu_ after each command, so Stats() never
+    /// reads the session while its strand mutates it off-lock.
+    const void* snapshot_id = nullptr;
+    int64_t dataset_forks = 0;
+  };
+
+  /// The strand body: drains `client`'s queue one command at a time.
+  void RunStrand(const std::string& name, std::shared_ptr<Client> client);
+
+  SharedDataset base_;
+  Ranking given_;
+  std::vector<std::string> labels_;
+  ServerOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, std::shared_ptr<Client>> clients_;
+  int64_t commands_executed_ = 0;
+  /// Forks performed by since-closed clients (Stats() adds the open
+  /// clients' live mirrors, keeping dataset_forks cumulative).
+  int64_t forks_retired_ = 0;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_SERVER_SESSION_REGISTRY_H_

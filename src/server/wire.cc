@@ -1,0 +1,192 @@
+#include "server/wire.h"
+
+#include <istream>
+#include <mutex>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+
+namespace {
+
+/// Splits "CLIENT rest-of-line" at the first run of whitespace.
+void SplitHead(const std::string& line, std::string* head,
+               std::string* tail) {
+  size_t sep = line.find_first_of(" \t");
+  if (sep == std::string::npos) {
+    *head = line;
+    tail->clear();
+    return;
+  }
+  *head = line.substr(0, sep);
+  *tail = std::string(Trim(line.substr(sep + 1)));
+}
+
+}  // namespace
+
+Result<WireRequest> ParseWireLine(const std::string& raw) {
+  std::string line(Trim(raw));
+  if (size_t hash = line.find('#'); hash != std::string::npos) {
+    line = std::string(Trim(line.substr(0, hash)));
+  }
+  if (line.empty()) return Status::NotFound("blank line");
+
+  WireRequest request;
+  std::string head, tail;
+  SplitHead(line, &head, &tail);
+  if (head == "quit" || head == "stats") {
+    if (!tail.empty()) {
+      return Status::Invalid("'" + head + "' takes no argument");
+    }
+    request.kind =
+        head == "quit" ? WireRequest::Kind::kQuit : WireRequest::Kind::kStats;
+    return request;
+  }
+  if (head == "open" || head == "close") {
+    if (tail.empty() || tail.find_first_of(" \t") != std::string::npos) {
+      return Status::Invalid("'" + head + "' takes exactly one client name");
+    }
+    request.kind = head == "open" ? WireRequest::Kind::kOpen
+                                  : WireRequest::Kind::kClose;
+    request.client = tail;
+    return request;
+  }
+  // CLIENT <session-script command>: reuse the script parser on the tail so
+  // the wire grammar and --session files can never drift apart.
+  if (tail.empty()) {
+    return Status::Invalid("truncated request: '" + head +
+                           "' (want CLIENT COMMAND..., open/close/stats/"
+                           "quit)");
+  }
+  RH_ASSIGN_OR_RETURN(std::vector<SessionCommand> parsed,
+                      ParseSessionScript(tail));
+  if (parsed.size() != 1) {
+    return Status::Invalid("exactly one command per wire line");
+  }
+  request.kind = WireRequest::Kind::kCommand;
+  request.client = head;
+  request.command = std::move(parsed[0]);
+  return request;
+}
+
+Status ServeStream(SessionRegistry* registry, std::istream& in,
+                   std::ostream& out) {
+  // Whole-line writes under one mutex: strand completions race the serve
+  // loop's own acks, and interleaved half-lines would be unparseable.
+  std::mutex out_mu;
+  auto emit = [&out, &out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << line << "\n" << std::flush;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto request = ParseWireLine(line);
+    if (!request.ok()) {
+      if (request.status().code() == StatusCode::kNotFound) continue;  // blank
+      emit(StrFormat("err - wire line %d: %s", line_no,
+                     request.status().message().c_str()));
+      continue;
+    }
+    switch (request->kind) {
+      case WireRequest::Kind::kQuit:
+        registry->Drain();
+        emit("ok quit");
+        return Status();
+      case WireRequest::Kind::kStats: {
+        SessionRegistryStats stats = registry->Stats();
+        emit(StrFormat("ok stats clients=%d datasets=%d commands=%lld "
+                       "forks=%lld",
+                       stats.open_clients, stats.resident_dataset_copies,
+                       static_cast<long long>(stats.commands_executed),
+                       static_cast<long long>(stats.dataset_forks)));
+        break;
+      }
+      case WireRequest::Kind::kOpen: {
+        Status status = registry->Open(request->client);
+        emit(status.ok() ? "ok open " + request->client
+                         : StrFormat("err %s %s", request->client.c_str(),
+                                     status.message().c_str()));
+        break;
+      }
+      case WireRequest::Kind::kClose: {
+        // Graceful: the stream submitted this client's queued commands
+        // itself, so `close` lets them finish instead of dropping them.
+        Status status = registry->Close(request->client, /*graceful=*/true);
+        emit(status.ok() ? "ok close " + request->client
+                         : StrFormat("err %s %s", request->client.c_str(),
+                                     status.message().c_str()));
+        break;
+      }
+      case WireRequest::Kind::kCommand: {
+        const int request_line = line_no;
+        Status submitted = registry->Submit(
+            request->client, request->command,
+            [emit, request_line](const std::string& client,
+                                 const Result<SessionStepOutcome>& outcome) {
+              if (!outcome.ok()) {
+                emit(StrFormat("err %s line=%d %s", client.c_str(),
+                               request_line,
+                               outcome.status().message().c_str()));
+                return;
+              }
+              const RankHowResult& r = outcome->result;
+              emit(StrFormat(
+                  "ok %s line=%d error=%ld bound=%ld proven=%s "
+                  "seconds=%.3f",
+                  client.c_str(), request_line, r.error, r.bound,
+                  r.proven_optimal ? "yes" : "no", r.seconds));
+            });
+        if (!submitted.ok()) {
+          emit(StrFormat("err %s %s", request->client.c_str(),
+                         submitted.message().c_str()));
+        }
+        break;
+      }
+    }
+  }
+  registry->Drain();
+  return Status();
+}
+
+Result<std::vector<ScriptedClientRun>> RunScriptedClients(
+    SessionRegistry* registry,
+    const std::vector<std::vector<SessionCommand>>& scripts,
+    int num_clients) {
+  if (scripts.empty() || num_clients < 1) {
+    return Status::Invalid("scripted-client mode needs >= 1 script and "
+                           ">= 1 client");
+  }
+  auto runs = std::make_shared<std::vector<ScriptedClientRun>>(num_clients);
+  // Per-run mutation is safe without locks: callbacks of one client run on
+  // its strand, serialized; runs never reallocates.
+  for (int i = 0; i < num_clients; ++i) {
+    ScriptedClientRun& run = (*runs)[i];
+    run.client = "c" + std::to_string(i);
+    RH_RETURN_NOT_OK(registry->Open(run.client));
+  }
+  for (int i = 0; i < num_clients; ++i) {
+    ScriptedClientRun* run = &(*runs)[i];
+    for (const SessionCommand& command :
+         scripts[static_cast<size_t>(i) % scripts.size()]) {
+      RH_RETURN_NOT_OK(registry->Submit(
+          run->client, command,
+          [runs, run](const std::string& client,
+                      const Result<SessionStepOutcome>& outcome) {
+            (void)client;
+            if (outcome.ok()) {
+              run->outcomes.push_back(*outcome);
+            } else if (run->status.ok()) {
+              run->status = outcome.status();
+            }
+          }));
+    }
+  }
+  registry->Drain();
+  return *runs;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,99 @@
+#ifndef RANKHOW_SERVER_WIRE_H_
+#define RANKHOW_SERVER_WIRE_H_
+
+/// \file wire.h
+/// The session server's line protocol (`rankhow_cli --serve`) plus the
+/// deterministic scripted-client runner (`--serve --clients=N`, the
+/// bench/test harness mode that needs no transport at all).
+///
+/// One request per line, over any byte stream (stdin/stdout pipe, socat, a
+/// unix socket bridge — the server only sees an istream/ostream pair):
+///
+///   open CLIENT            create a session for CLIENT (shares the
+///                          server's dataset snapshot copy-on-write)
+///   close CLIENT           cancel + drop CLIENT's session
+///   stats                  registry counters (clients, resident dataset
+///                          copies, commands, forks)
+///   quit                   drain everything and exit the serve loop
+///   CLIENT <command>       one session-script command for CLIENT — the
+///                          exact PR 3 grammar (solve / min-weight /
+///                          max-weight / drop / order / eps* / objective /
+///                          append; see app/cli_driver.h)
+///
+/// One response line per request, tagged with the client so interleaving
+/// stays parseable (solves of different clients complete in pool order;
+/// per client, responses arrive in submission order):
+///
+///   ok open CLIENT
+///   ok CLIENT line=1 error=3 bound=3 proven=yes seconds=0.012
+///   err CLIENT line=4 session script line 1: no weight constraint ...
+///   ok stats clients=2 datasets=1 commands=17 forks=0
+///   ok quit
+///
+/// (`line=` is the wire line of the request; the "script line" inside a
+/// command error message is always 1 — each wire command is a one-line
+/// script.)
+///
+/// A malformed or failing request answers `err ...` and never corrupts or
+/// closes the named session. Parse and *edit* failures leave its state
+/// byte-identical (edits validate before mutating) — asserted by the
+/// fuzz-style negative suite in tests/server/session_server_test.cc. A
+/// *solve* failure is different: the edit already stuck, and the error
+/// message says "solve failed after edit applied" so a client knows to
+/// reverse it explicitly (e.g. `drop NAME`) rather than assume rejection.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "app/cli_driver.h"
+#include "server/session_registry.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+/// One parsed wire line.
+struct WireRequest {
+  enum class Kind { kOpen, kClose, kStats, kQuit, kCommand };
+  Kind kind = Kind::kCommand;
+  std::string client;      // open/close/command
+  SessionCommand command;  // kCommand only
+};
+
+/// Parses one request line (no trailing newline; '#' comments and blank
+/// lines are kNotFound — callers skip those, they get no response).
+/// kInvalidArgument for everything malformed: unknown verbs, missing
+/// client, bad command grammar.
+Result<WireRequest> ParseWireLine(const std::string& line);
+
+/// Serves the line protocol over a stream pair until `quit` or EOF, then
+/// drains the registry. Thread-safe response writing (responses from
+/// concurrent strand completions interleave whole-line). Returns the first
+/// transport-level error; protocol-level errors are `err` responses.
+Status ServeStream(SessionRegistry* registry, std::istream& in,
+                   std::ostream& out);
+
+/// One scripted client's outcome under RunScriptedClients.
+struct ScriptedClientRun {
+  std::string client;
+  /// Per-step outcomes in script order. Steps whose edit failed carry the
+  /// error in `status` below and are absent here.
+  std::vector<SessionStepOutcome> outcomes;
+  /// First failed step's status (the remaining steps still ran — server
+  /// semantics: a failed edit leaves the session intact).
+  Status status;
+};
+
+/// Deterministic multi-client mode: opens `num_clients` clients
+/// ("c0".."cN-1"), client i streaming scripts[i % scripts.size()], all
+/// concurrently on the registry pool, then drains. This is the
+/// transport-free harness the equivalence tests and the throughput bench
+/// drive; per-client results are ordered and complete when it returns.
+Result<std::vector<ScriptedClientRun>> RunScriptedClients(
+    SessionRegistry* registry,
+    const std::vector<std::vector<SessionCommand>>& scripts,
+    int num_clients);
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_SERVER_WIRE_H_

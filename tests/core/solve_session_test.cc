@@ -12,6 +12,8 @@
 // session claimed <= pure-MILP optimum, with exact equality whenever the
 // band is a single point (which, at these ε, it almost always is).
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -283,6 +285,69 @@ TEST(SolveSessionTest, EditValidation) {
   bad_eps.tie_eps = 1;
   EXPECT_EQ(session.SetEpsilon(bad_eps).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(SolveSessionTest, RelaxAfterLongTightenWarmStartsFromDominatedEntry) {
+  // ROADMAP's incumbent-pool diversity item: a long tighten run used to
+  // flush the pool's low-error entries by pure recency, so relaxing back
+  // fell to a cold presolve. Dominated-entry eviction keeps the cold
+  // optimum w0 as the low-error anchor — it is optimal for a *past*
+  // constraint set (the empty one) even while the tighter states dominate
+  // it — and the relax re-solve warm-starts from it.
+  Rng rng(65);
+  Dataset data = RandomDataset(rng, 13, 3);
+  Ranking given = RandomRanking(rng, 13, 6);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSpatial;
+  options.incumbent_pool_cap = 3;  // small cap: overflow after a few edits
+
+  SolveSession session(data, given, options);
+  auto first = session.Solve();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->proven_optimal);
+  const long e0 = first->error;
+
+  // Tighten run: alternate rising floors across attributes so each step's
+  // optimum (and pooled winner) keeps moving.
+  const std::pair<int, double> floors[] = {
+      {0, 0.20}, {1, 0.20}, {2, 0.20}, {0, 0.32}, {1, 0.30}};
+  int added = 0;
+  for (const auto& [attr, floor] : floors) {
+    WeightConstraint c;
+    c.terms = {{attr, 1.0}};
+    c.op = RelOp::kGe;
+    c.rhs = floor;
+    c.name = "tighten" + std::to_string(added++);
+    ASSERT_TRUE(session.AddWeightConstraint(c).ok());
+    auto r = session.Solve();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(r->proven_optimal);
+  }
+  ASSERT_GT(session.stats().pool_evictions, 0)
+      << "the tighten run never overflowed the cap — tighten harder";
+  std::vector<long> pooled = session.incumbent_pool_errors();
+  EXPECT_NE(std::find(pooled.begin(), pooled.end(), e0), pooled.end())
+      << "the dominated low-error anchor was evicted (recency regression)";
+
+  // Relax everything: revalidation must warm-start from the anchor (no
+  // cold presolve fallback on THIS step — mid-tighten fallbacks are legal
+  // when a floor knocks out every pooled entry) and the re-solve re-proves
+  // the original optimum.
+  const int64_t pool_hits = session.stats().pool_hits;
+  const int64_t presolves_before_relax = session.stats().presolve_runs;
+  for (int i = 0; i < added; ++i) {
+    ASSERT_TRUE(
+        session.RemoveWeightConstraint("tighten" + std::to_string(i)).ok());
+  }
+  auto relaxed = session.Solve();
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+  EXPECT_TRUE(relaxed->proven_optimal);
+  EXPECT_EQ(relaxed->error, e0);
+  EXPECT_EQ(session.stats().presolve_runs, presolves_before_relax)
+      << "the relax re-solve fell back to a cold multi-start";
+  EXPECT_GT(session.stats().pool_hits, pool_hits);
 }
 
 TEST(SolveSessionTest, AppendTupleMatchesColdSolve) {

@@ -23,7 +23,10 @@
 #include "core/seeding.h"
 #include "core/solve_session.h"
 #include "core/sym_gd.h"
+#include "data/shared_dataset.h"
 #include "ranking/score_ranking.h"
+#include "server/session_registry.h"
+#include "server/wire.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -62,12 +65,36 @@ Result<std::string> ReadTextFile(const std::string& path) {
   return buf.str();
 }
 
-/// Renders one script's outcomes: per-line proven error/bound plus the
-/// session's reuse counters.
-void PrintSessionOutcomes(const std::string& script_name,
-                          const std::vector<SessionStepOutcome>& outcomes,
-                          const SolveSessionStats& stats) {
-  std::cout << "session " << script_name << ":\n";
+struct ParsedScripts {
+  std::vector<std::string> paths;
+  std::vector<std::vector<SessionCommand>> scripts;
+};
+
+/// Parses every --session script up front so a typo on script 3 fails
+/// before script 1 burns its solve budget.
+Result<ParsedScripts> ParseSessionScripts(const std::string& session_spec) {
+  ParsedScripts out;
+  for (const std::string& p : Split(session_spec, ',')) {
+    std::string path(Trim(p));
+    if (path.empty()) continue;
+    RH_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+    RH_ASSIGN_OR_RETURN(std::vector<SessionCommand> script,
+                        ParseSessionScript(text));
+    if (script.empty()) {
+      return Status::Invalid("session script is empty: " + path);
+    }
+    out.paths.push_back(std::move(path));
+    out.scripts.push_back(std::move(script));
+  }
+  if (out.paths.empty()) {
+    return Status::Invalid("--session lists no script files");
+  }
+  return out;
+}
+
+/// Renders a run's per-line proven error/bound table (sessions and
+/// scripted server clients share the format).
+void PrintOutcomeTable(const std::vector<SessionStepOutcome>& outcomes) {
   TablePrinter table({"line", "command", "error", "bound", "proven",
                       "seconds"});
   for (const SessionStepOutcome& step : outcomes) {
@@ -82,6 +109,7 @@ void PrintSessionOutcomes(const std::string& script_name,
       case SessionCommand::Kind::kEps1: kind = "eps1"; break;
       case SessionCommand::Kind::kEps2: kind = "eps2"; break;
       case SessionCommand::Kind::kObjective: kind = "objective"; break;
+      case SessionCommand::Kind::kAppend: kind = "append"; break;
     }
     std::string command = kind;
     if (!step.command.arg.empty()) command += " " + step.command.arg;
@@ -92,6 +120,14 @@ void PrintSessionOutcomes(const std::string& script_name,
                   FormatDouble(step.result.seconds, 3)});
   }
   std::cout << table.ToText();
+}
+
+/// Renders one script's outcomes plus the session's reuse counters.
+void PrintSessionOutcomes(const std::string& script_name,
+                          const std::vector<SessionStepOutcome>& outcomes,
+                          const SolveSessionStats& stats) {
+  std::cout << "session " << script_name << ":\n";
+  PrintOutcomeTable(outcomes);
   std::cout << StrFormat(
       "  (model builds %lld, patches %lld, presolves %lld, pool hits %lld, "
       "bound seeds %lld)\n\n",
@@ -104,13 +140,16 @@ void PrintSessionOutcomes(const std::string& script_name,
 
 /// Builds a fresh session over the assembled problem and applies the
 /// flag-level constraints through the session edit API (they are part of
-/// the base problem every script line edits against).
+/// the base problem every script line edits against). The session shares
+/// `data`'s snapshot copy-on-write — batch/serve fan-out holds one resident
+/// dataset however many sessions run.
 Result<std::unique_ptr<SolveSession>> MakeSession(
-    const CliProblem& problem, const RankHowOptions& options,
-    const RankingObjectiveSpec& objective, const std::string& min_weights,
-    const std::string& max_weights, const std::string& orders) {
-  auto session =
-      std::make_unique<SolveSession>(problem.data, problem.given, options);
+    const SharedDataset& data, const CliProblem& problem,
+    const RankHowOptions& options, const RankingObjectiveSpec& objective,
+    const std::string& min_weights, const std::string& max_weights,
+    const std::string& orders) {
+  auto session = std::make_unique<SolveSession>(SharedDataset(data),
+                                                problem.given, options);
   RH_RETURN_NOT_OK(session->SetObjective(objective));
   WeightConstraintSet base;
   RH_RETURN_NOT_OK(
@@ -176,6 +215,16 @@ int main(int argc, char** argv) {
       "scripted session mode: an edit script (one edit+solve per line; see "
       "README), or a comma-separated list of scripts fanned out as "
       "independent sessions across the thread pool");
+  bool serve = flags.GetBool(
+      "serve", false,
+      "session server mode: route per-client edit streams (line protocol "
+      "on stdin/stdout; see README) to SolveSessions sharing the dataset "
+      "copy-on-write, scheduled on the --threads pool");
+  int clients = static_cast<int>(flags.GetInt(
+      "clients", 0,
+      "with --serve: run N scripted clients (client i streams the i-th "
+      "--session script, round-robin) instead of reading a transport — "
+      "deterministic multi-client mode for testing and benchmarks"));
   bool use_sym_gd = flags.GetBool(
       "sym-gd", false, "approximate with symbolic gradient descent (Sec. IV)");
   double cell = flags.GetDouble("cell", 0.01, "SYM-GD cell size c");
@@ -244,9 +293,79 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::cout << "rankhow: " << problem->data.num_tuples() << " tuples, "
-            << problem->data.num_attributes() << " attributes, k="
-            << problem->given.k() << "\n";
+  // In wire-serve mode stdout carries ONLY tagged protocol responses; the
+  // banner goes to stderr so strict line parsers never see it.
+  (serve && clients == 0 ? std::cerr : std::cout)
+      << "rankhow: " << problem->data.num_tuples() << " tuples, "
+      << problem->data.num_attributes() << " attributes, k="
+      << problem->given.k() << "\n";
+
+  if (clients != 0 && !serve) {
+    std::cerr << "error: --clients is a --serve mode\n";
+    return 1;
+  }
+  if (serve) {
+    if (use_sym_gd) {
+      std::cerr << "error: --serve drives the exact solver; drop --sym-gd\n";
+      return 1;
+    }
+    if (!min_weights.empty() || !max_weights.empty() || !orders.empty()) {
+      std::cerr << "error: --serve clients own their constraints; drop "
+                   "--min-weight/--max-weight/--order (script them per "
+                   "client)\n";
+      return 1;
+    }
+    if (clients < 0) {
+      std::cerr << "error: --clients wants a positive count\n";
+      return 1;
+    }
+    if (clients == 0 && !session_spec.empty()) {
+      std::cerr << "error: --serve reads the wire protocol from stdin; "
+                   "use --clients=N to stream --session scripts\n";
+      return 1;
+    }
+    ServerOptions server_options;
+    server_options.solver = options;
+    server_options.objective = *objective;
+    server_options.num_workers = *threads;
+    server_options.max_clients = std::max(64, clients);
+    SessionRegistry registry(SharedDataset(problem->data), problem->given,
+                             problem->labels, server_options);
+    if (clients > 0) {
+      // Deterministic scripted-client mode: client i streams the i-th
+      // --session script (round-robin) — no transport, used by tests and
+      // the throughput bench.
+      if (session_spec.empty()) {
+        std::cerr << "error: --serve --clients=N needs --session scripts\n";
+        return 1;
+      }
+      auto parsed = ParseSessionScripts(session_spec);
+      if (!parsed.ok()) return Fail(parsed.status());
+      auto runs = RunScriptedClients(&registry, parsed->scripts, clients);
+      if (!runs.ok()) return Fail(runs.status());
+      int exit_code = 0;
+      for (const ScriptedClientRun& run : *runs) {
+        std::cout << "client " << run.client << ":\n";
+        PrintOutcomeTable(run.outcomes);
+        if (!run.status.ok()) {
+          std::cout << "  first failed step: " << run.status.ToString()
+                    << "\n";
+          exit_code = 1;
+        }
+      }
+      SessionRegistryStats stats = registry.Stats();
+      std::cout << StrFormat(
+          "server: %d clients, %d resident dataset copies, %lld commands, "
+          "%lld COW forks\n",
+          stats.open_clients, stats.resident_dataset_copies,
+          static_cast<long long>(stats.commands_executed),
+          static_cast<long long>(stats.dataset_forks));
+      return exit_code;
+    }
+    Status served = ServeStream(&registry, std::cin, std::cout);
+    if (!served.ok()) return Fail(served);
+    return 0;
+  }
 
   if (!session_spec.empty()) {
     if (use_sym_gd) {
@@ -254,33 +373,16 @@ int main(int argc, char** argv) {
                    "--sym-gd\n";
       return 1;
     }
-    // Parse every script up front so a typo on script 3 fails before
-    // script 1 burns its solve budget.
-    std::vector<std::string> paths;
-    std::vector<std::vector<SessionCommand>> scripts;
-    for (const std::string& p : Split(session_spec, ',')) {
-      std::string path(Trim(p));
-      if (path.empty()) continue;
-      auto text = ReadTextFile(path);
-      if (!text.ok()) return Fail(text.status());
-      auto script = ParseSessionScript(*text);
-      if (!script.ok()) return Fail(script.status());
-      if (script->empty()) {
-        std::cerr << "error: session script is empty: " << path << "\n";
-        return 1;
-      }
-      paths.push_back(std::move(path));
-      scripts.push_back(*std::move(script));
-    }
-    if (paths.empty()) {
-      std::cerr << "error: --session lists no script files\n";
-      return 1;
-    }
+    auto parsed = ParseSessionScripts(session_spec);
+    if (!parsed.ok()) return Fail(parsed.status());
+    std::vector<std::string>& paths = parsed->paths;
+    std::vector<std::vector<SessionCommand>>& scripts = parsed->scripts;
+    SharedDataset shared(problem->data);
 
     if (paths.size() == 1) {
       // Single scripted session; inner solves use the --threads workers.
-      auto session = MakeSession(*problem, options, *objective, min_weights,
-                                 max_weights, orders);
+      auto session = MakeSession(shared, *problem, options, *objective,
+                                 min_weights, max_weights, orders);
       if (!session.ok()) return Fail(session.status());
       auto outcomes =
           RunSessionScript(session->get(), scripts[0], problem->labels);
@@ -304,8 +406,9 @@ int main(int argc, char** argv) {
       TaskGroup group(&pool);
       for (size_t i = 0; i < paths.size(); ++i) {
         group.Spawn([&, i] {
-          auto session = MakeSession(*problem, batch_options, *objective,
-                                     min_weights, max_weights, orders);
+          auto session = MakeSession(shared, *problem, batch_options,
+                                     *objective, min_weights, max_weights,
+                                     orders);
           if (!session.ok()) {
             runs[i].status = session.status();
             return;
