@@ -17,6 +17,13 @@
 // queries/sec, wall seconds, and the resident-copy count (must stay 1: the
 // script has no structural edits) land in BENCH_server_throughput.json.
 //
+// A third section measures cross-client warm seeding (PR 5): client A
+// proves a region, then client B's first solve of the same base problem
+// runs with per-session pools vs the registry-level shared incumbent pool
+// (SharedIncumbentPool) — seconds, explored nodes, and draw counts land in
+// BENCH_server_throughput.json's "cross_client_warm_seed" object, with an
+// errors_match consistency bit (sharing must never move a proven optimum).
+//
 // Flags: --nba-n, --cs-n, --k, --budget (per solve), --seed, --serve-n
 // (server-section dataset size), --serve-budget.
 
@@ -333,8 +340,105 @@ ThroughputLevel RunThroughputLevel(const Dataset& data, const Ranking& given,
   return level;
 }
 
-void EmitThroughputJson(const std::vector<ThroughputLevel>& levels, int n,
-                        int m, int k, bool all_ok) {
+// ---------------------------------------------------------------------------
+// Cross-client warm seeding (registry-level incumbent sharing).
+
+struct WarmSeedRun {
+  bool shared = false;
+  double a_seconds = 0;        // client A's cold first solve (the baseline)
+  double b_seconds = 0;        // client B's first solve over the same region
+  long b_nodes = 0;            // nodes/boxes B explored (0 = closed at root)
+  long a_error = -1, b_error = -1;
+  bool proven = false;
+  int64_t shared_draws = 0;
+  bool ok = true;
+};
+
+/// Client A proves the region (a cold solve, then a tightened re-solve);
+/// client B then opens and issues its first solve of the same base
+/// problem. With sharing on, B's revalidation draws A's published winner
+/// and the search should close at or near the root instead of re-earning
+/// the incumbent cold.
+WarmSeedRun RunWarmSeedVariant(const Dataset& data, const Ranking& given,
+                               EpsilonConfig eps, double budget,
+                               bool shared) {
+  WarmSeedRun run;
+  run.shared = shared;
+
+  RankHowOptions solver;
+  solver.eps = eps;
+  solver.time_limit_seconds = budget;
+
+  ServerOptions server_options;
+  server_options.solver = solver;
+  server_options.num_workers = 1;  // sequential: B solves strictly after A
+  server_options.share_incumbents = shared;
+  SessionRegistry registry(SharedDataset(Dataset(data)), Ranking(given),
+                           /*labels=*/{}, server_options);
+
+  struct Slot {
+    Result<SessionStepOutcome> outcome = Status::Internal("unset");
+  };
+  auto submit = [&registry, &run](const std::string& client,
+                                  SessionCommand cmd, Slot* slot) {
+    Status submitted = registry.Submit(
+        client, std::move(cmd),
+        [slot](const std::string&, const Result<SessionStepOutcome>& out) {
+          slot->outcome = out;
+        });
+    if (!submitted.ok()) run.ok = false;
+  };
+
+  if (!registry.Open("a").ok()) {
+    run.ok = false;
+    return run;
+  }
+  Slot a_cold, a_tight;
+  submit("a", MakeCommand(SessionCommand::Kind::kSolve, "", 0, 1), &a_cold);
+  submit("a",
+         MakeCommand(SessionCommand::Kind::kMinWeight,
+                     data.attribute_name(0), 0.02, 2),
+         &a_tight);
+  registry.Drain();
+  if (!a_cold.outcome.ok() || !a_cold.outcome->result.proven_optimal ||
+      !a_tight.outcome.ok()) {
+    run.ok = false;
+    return run;
+  }
+  run.a_seconds = a_cold.outcome->result.seconds;
+  run.a_error = a_cold.outcome->result.error;
+
+  if (!registry.Open("b").ok()) {
+    run.ok = false;
+    return run;
+  }
+  Slot b_first;
+  submit("b", MakeCommand(SessionCommand::Kind::kSolve, "", 0, 1), &b_first);
+  registry.Drain();
+  if (!b_first.outcome.ok()) {
+    run.ok = false;
+    return run;
+  }
+  run.b_seconds = b_first.outcome->result.seconds;
+  run.b_nodes = b_first.outcome->result.stats.nodes_explored;
+  run.b_error = b_first.outcome->result.error;
+  run.proven = b_first.outcome->result.proven_optimal;
+  run.shared_draws = registry.Stats().shared_draws;
+  // B solves the identical base problem: the optima must agree regardless
+  // of sharing (candidates are revalidated, never trusted as bounds).
+  if (run.proven && run.b_error != run.a_error) run.ok = false;
+
+  std::printf("  %-10s A cold %7.3fs (err %ld)   B first %7.3fs "
+              "(err %ld%s, %ld nodes, %lld draws)\n",
+              shared ? "shared" : "per-session", run.a_seconds, run.a_error,
+              run.b_seconds, run.b_error, run.proven ? "*" : "",
+              run.b_nodes, (long long)run.shared_draws);
+  return run;
+}
+
+void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
+                        const WarmSeedRun& cold, const WarmSeedRun& warm,
+                        int n, int m, int k, bool all_ok) {
   std::FILE* f = std::fopen("BENCH_server_throughput.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "failed to write BENCH_server_throughput.json\n");
@@ -358,7 +462,28 @@ void EmitThroughputJson(const std::vector<ThroughputLevel>& levels, int n,
                  level.optima_consistent ? "true" : "false",
                  i + 1 < levels.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Cross-client warm seeding: client B's first solve after client A
+  // proved the same region, with the registry pool off (cold) and on
+  // (shared). first_solve_speedup is the acceptance number; b_nodes at or
+  // near 0 under "shared" is the closing-at-the-root signature.
+  std::fprintf(
+      f,
+      "  ],\n  \"cross_client_warm_seed\": {\n"
+      "    \"cold\": {\"b_first_solve_seconds\": %.5f, \"b_nodes\": %ld, "
+      "\"b_error\": %ld, \"proven\": %s},\n"
+      "    \"shared\": {\"b_first_solve_seconds\": %.5f, \"b_nodes\": %ld, "
+      "\"b_error\": %ld, \"proven\": %s, \"shared_draws\": %lld},\n"
+      "    \"first_solve_speedup\": %.3f,\n"
+      "    \"node_ratio\": %.3f,\n"
+      "    \"errors_match\": %s\n  }\n}\n",
+      cold.b_seconds, cold.b_nodes, cold.b_error,
+      cold.proven ? "true" : "false", warm.b_seconds, warm.b_nodes,
+      warm.b_error, warm.proven ? "true" : "false",
+      static_cast<long long>(warm.shared_draws),
+      warm.b_seconds > 0 ? cold.b_seconds / warm.b_seconds : 0.0,
+      cold.b_nodes > 0 ? static_cast<double>(warm.b_nodes) / cold.b_nodes
+                       : 0.0,
+      cold.b_error == warm.b_error ? "true" : "false");
   std::fclose(f);
   std::printf("(written to BENCH_server_throughput.json)\n");
 }
@@ -425,7 +550,20 @@ int main(int argc, char** argv) {
                                         serve_budget, clients));
     serve_ok = serve_ok && levels.back().ok;
   }
-  EmitThroughputJson(levels, serve_n, 5, k, serve_ok);
+
+  // Cross-client warm seeding: per-session pools (cold B) vs the
+  // registry-level shared pool (B warm-starts from A's published winner).
+  std::printf("=== cross-client warm seed: NBA (n=%d, m=5, k=%d) ===\n",
+              serve_n, k);
+  WarmSeedRun seed_cold = RunWarmSeedVariant(serve_data, serve_given,
+                                             NbaEps(), serve_budget,
+                                             /*shared=*/false);
+  WarmSeedRun seed_warm = RunWarmSeedVariant(serve_data, serve_given,
+                                             NbaEps(), serve_budget,
+                                             /*shared=*/true);
+  serve_ok = serve_ok && seed_cold.ok && seed_warm.ok;
+
+  EmitThroughputJson(levels, seed_cold, seed_warm, serve_n, 5, k, serve_ok);
   all_ok = all_ok && serve_ok;
 
   if (!all_ok) {

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # One-command CI gate: the tier-1 configure/build/ctest line from ROADMAP.md
 # plus the sanitizer suites from CMakePresets.json — `ctest -L tsan` under
-# the tsan preset (data races in the parallel search + session server) and
-# the full ctest run under the asan preset (heap errors/leaks, notably the
-# COW snapshot lifecycle).
+# the tsan preset (data races in the parallel search + session server +
+# socket transport) and the full ctest run under the asan preset (heap
+# errors/leaks, notably the COW snapshot lifecycle and per-connection
+# stream teardown), with the socket suites re-run explicitly so the
+# network gate is visible in the log. The loopback-TCP smoke drives the
+# real rankhow_cli --listen binary over /dev/tcp.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +14,9 @@ echo "== tier-1: default build + full ctest =="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo "== loopback-TCP smoke: rankhow_cli --listen over /dev/tcp =="
+bash scripts/smoke_listen.sh build
 
 echo "== tsan: thread-sanitized build + ctest -L tsan =="
 cmake --preset tsan
@@ -21,5 +27,8 @@ echo "== asan: address-sanitized build + full ctest =="
 cmake --preset asan
 cmake --build --preset asan -j
 ctest --preset asan
+
+echo "== asan socket gate: net + server suites, explicitly =="
+(cd build-asan && ctest --output-on-failure -R '^(net|server)_tests$')
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Loopback-TCP smoke for the network server (`rankhow_cli --listen`): start
+# the CLI on an ephemeral 127.0.0.1 port fronting TWO datasets, drive the
+# wire protocol over bash's /dev/tcp from two client connections bound to
+# different dataset ids, and assert the tagged responses — the end-to-end
+# walk of ISSUE 5's acceptance line through the real binary. check.sh runs
+# this right after the tier-1 build; it needs only bash + coreutils.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+CLI="$BUILD/rankhow_cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "smoke_listen: $CLI not built" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Two tiny ranked CSVs (file order ranks the first k rows). Identical
+# content is fine: the point is that the ids route to distinct registries.
+cat > "$WORK/alpha.csv" <<'CSV'
+PTS,REB,AST
+9,4,7
+8,6,2
+7,7,5
+5,2,8
+3,9,1
+2,1,3
+CSV
+cp "$WORK/alpha.csv" "$WORK/beta.csv"
+
+"$CLI" --data="$WORK/alpha.csv,$WORK/beta.csv" --k=3 \
+    --listen=127.0.0.1:0 --time-limit=30 2> "$WORK/server.err" &
+SERVER_PID=$!
+
+# The bound port is announced on stderr ("rankhow: listening on HOST:PORT").
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^rankhow: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+         "$WORK/server.err" | head -1)
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "smoke_listen: server exited before listening" >&2
+    cat "$WORK/server.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "smoke_listen: server never announced a port" >&2
+  cat "$WORK/server.err" >&2
+  exit 1
+fi
+
+run_client() {  # $1 = client name, $2 = dataset id
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'open %s %s\n%s solve\n%s min-weight PTS 0.1\nstats\nquit\n' \
+      "$1" "$2" "$1" "$1" >&3
+  timeout 120 cat <&3
+  exec 3<&- 3>&-
+}
+
+OUT1=$(run_client c1 alpha)
+OUT2=$(run_client c2 beta)
+echo "--- client c1 (alpha) ---"; echo "$OUT1"
+echo "--- client c2 (beta) ---"; echo "$OUT2"
+
+fail() { echo "smoke_listen: FAILED - $1" >&2; exit 1; }
+grep -q "^ok open c1 alpha$" <<<"$OUT1" || fail "c1 open ack"
+grep -Eq "^ok c1 line=2 error=[0-9]+ bound=[0-9]+ proven=yes" <<<"$OUT1" \
+    || fail "c1 solve response"
+grep -Eq "^ok c1 line=3 error=[0-9]+" <<<"$OUT1" || fail "c1 edit+solve"
+grep -q "^ok stats registries=" <<<"$OUT1" || fail "c1 stats"
+grep -q "^ok quit$" <<<"$OUT1" || fail "c1 quit"
+grep -q "^ok open c2 beta$" <<<"$OUT2" || fail "c2 open ack (routing)"
+grep -Eq "^ok c2 line=2 error=[0-9]+ bound=[0-9]+ proven=yes" <<<"$OUT2" \
+    || fail "c2 solve response"
+grep -q "^ok quit$" <<<"$OUT2" || fail "c2 quit"
+
+# Acceptance cross-check: the networked results must equal a serial
+# --session replay of the same script through the same binary.
+printf 'solve\nmin-weight PTS 0.1\n' > "$WORK/script.txt"
+SERIAL=$("$CLI" --data="$WORK/alpha.csv" --k=3 --time-limit=30 \
+         --session="$WORK/script.txt" --show-table=0)
+# Table rows: "LINE COMMAND... ERROR BOUND PROVEN SECONDS" (the command may
+# contain spaces, so count from the right); wire responses carry the same
+# value as "error=N".
+serial_errors=$(awk '/^[12][[:space:]]/ {print $(NF-3)}' <<<"$SERIAL")
+wire_errors=$(sed -n 's/^ok c1 line=[23] error=\([0-9]*\).*/\1/p' <<<"$OUT1")
+if [[ -z "$serial_errors" || "$serial_errors" != "$wire_errors" ]]; then
+  echo "--- serial replay ---"; echo "$SERIAL"
+  fail "network results differ from serial --session replay (serial: $(echo \
+$serial_errors | tr '\n' ' ') wire: $(echo $wire_errors | tr '\n' ' '))"
+fi
+
+echo "smoke_listen: OK (port $PORT, 2 clients on 2 dataset ids," \
+     "wire == serial replay)"

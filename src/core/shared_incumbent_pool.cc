@@ -1,0 +1,74 @@
+#include "core/shared_incumbent_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rankhow {
+
+namespace {
+
+bool SameWeights(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) >= 1e-12) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SharedIncumbentPool::SharedIncumbentPool(int capacity)
+    : capacity_(static_cast<size_t>(std::max(1, capacity))) {}
+
+void SharedIncumbentPool::Publish(const void* snapshot_id,
+                                  const void* publisher,
+                                  const std::vector<double>& weights,
+                                  long error) {
+  if (weights.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++published_;
+  for (Entry& have : entries_) {
+    if (have.snapshot == snapshot_id && SameWeights(have.weights, weights)) {
+      // Re-proven vector: refresh credentials in place. The sequence stays
+      // put — siblings that saw it once must not re-validate it per solve.
+      have.error = error;
+      have.publisher = publisher;
+      return;
+    }
+  }
+  Entry entry;
+  entry.snapshot = snapshot_id;
+  entry.publisher = publisher;
+  entry.weights = weights;
+  entry.error = error;
+  entry.seq = next_seq_++;
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > capacity_) entries_.erase(entries_.begin());
+}
+
+size_t SharedIncumbentPool::CollectNew(
+    const void* snapshot_id, const void* drawer, uint64_t* seen_seq,
+    std::vector<std::vector<double>>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t added = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.seq <= *seen_seq) continue;
+    if (entry.snapshot != snapshot_id || entry.publisher == drawer) continue;
+    out->push_back(entry.weights);
+    ++added;
+  }
+  *seen_seq = next_seq_ - 1;
+  drawn_ += static_cast<int64_t>(added);
+  return added;
+}
+
+SharedIncumbentPoolStats SharedIncumbentPool::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SharedIncumbentPoolStats stats;
+  stats.size = static_cast<int>(entries_.size());
+  stats.published = published_;
+  stats.drawn = drawn_;
+  return stats;
+}
+
+}  // namespace rankhow

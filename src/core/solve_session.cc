@@ -184,10 +184,18 @@ Result<RankHowResult> SolveSession::Solve() {
   // discovery cannot eat the exact search's share of a tight time limit.
   const PresolveOptions presolve = ClampedPresolveOptions(options_, deadline);
   bool pool_warm = false;
-  if (!pool_.empty()) {
-    std::vector<std::vector<double>> pooled;
-    pooled.reserve(pool_.size());
-    for (const PoolEntry& entry : pool_) pooled.push_back(entry.weights);
+  std::vector<std::vector<double>> pooled;
+  pooled.reserve(pool_.size());
+  for (const PoolEntry& entry : pool_) pooled.push_back(entry.weights);
+  if (shared_pool_ != nullptr) {
+    // Cross-client candidates: only the entries published since this
+    // session's last draw (revision-checked — see shared_incumbent_pool.h).
+    // They join the session's own pool in the revalidation pass below, so
+    // they are re-evaluated under *this* session's problem before any use.
+    stats_.shared_draws += static_cast<int64_t>(shared_pool_->CollectNew(
+        data_.snapshot_id(), this, &shared_seen_seq_, &pooled));
+  }
+  if (!pooled.empty()) {
     auto re = RevalidateIncumbents(problem_, box, pooled, presolve);
     if (re.ok() && re->found()) {
       seed.warm_weights = std::move(re->weights);
@@ -237,6 +245,16 @@ Result<RankHowResult> SolveSession::Solve() {
   // on the seed).
   Remember(result.function.weights, /*winner=*/true, result.error);
   Remember(seed.warm_weights, /*winner=*/false, /*known_error=*/-1);
+
+  // Cross-client sharing publishes *proven* winners only: unproven
+  // incumbents churn the siblings' revalidation passes for candidates the
+  // publisher itself may discard next solve.
+  if (shared_pool_ != nullptr && result.proven_optimal &&
+      !result.function.weights.empty()) {
+    shared_pool_->Publish(data_.snapshot_id(), this, result.function.weights,
+                          result.claimed_error);
+    ++stats_.shared_publishes;
+  }
 
   have_proven_ = result.proven_optimal;
   proven_optimum_ = result.claimed_error;

@@ -61,6 +61,7 @@
 #include "core/opt_model_builder.h"
 #include "core/opt_problem.h"
 #include "core/rankhow.h"
+#include "core/shared_incumbent_pool.h"
 #include "data/dataset.h"
 #include "data/shared_dataset.h"
 #include "ranking/ranking.h"
@@ -86,6 +87,11 @@ struct SolveSessionStats {
   /// Copy-on-write dataset forks this session triggered (AppendTuple on a
   /// snapshot shared with sibling sessions).
   int64_t dataset_forks = 0;
+  /// Cross-client pool entries drawn from the attached SharedIncumbentPool
+  /// (each is one extra revalidation candidate; see shared_incumbent_pool.h).
+  int64_t shared_draws = 0;
+  /// Proven winners this session published into the shared pool.
+  int64_t shared_publishes = 0;
 };
 
 /// The per-query delta classes (see DESIGN.md "Session architecture").
@@ -137,6 +143,16 @@ class SolveSession {
   /// Recorded true errors of the pooled incumbents, most recent first
   /// (diagnostics; the eviction regression test reads this).
   std::vector<long> incumbent_pool_errors() const;
+
+  /// Attaches the registry-level cross-client incumbent pool (non-owning;
+  /// must outlive the session; nullptr detaches). Every subsequent Solve
+  /// draws the siblings' newly published winners as extra revalidation
+  /// *candidates* — never bounds — and publishes its own proven winner
+  /// back. The pool is internally locked; the session itself stays
+  /// single-threaded.
+  void SetSharedIncumbentPool(SharedIncumbentPool* pool) {
+    shared_pool_ = pool;
+  }
 
   // ------------------------------------------------------------- edits
   /// Adds a predicate-P constraint (kTighten; patches the cached model).
@@ -211,6 +227,12 @@ class SolveSession {
 
   // Serial spatial solves share one warm oracle across queries.
   std::unique_ptr<BoxFeasibilityOracle> box_oracle_;
+
+  // Cross-client sharing (see shared_incumbent_pool.h): draws are
+  // revision-checked through `shared_seen_seq_`, so an unchanged pool costs
+  // one lock per solve and no entry is revalidated twice by one session.
+  SharedIncumbentPool* shared_pool_ = nullptr;
+  uint64_t shared_seen_seq_ = 0;
 };
 
 }  // namespace rankhow

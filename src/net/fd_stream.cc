@@ -1,0 +1,53 @@
+#include "net/fd_stream.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace rankhow {
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_, in_, in_);                      // empty get area
+  setp(out_, out_ + sizeof(out_) - 1);      // room for the overflow char
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::recv(fd_, in_, sizeof(in_), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();  // peer closed / shutdown / error
+  setg(in_, in_, in_ + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::FlushOut() {
+  const char* p = pbase();
+  while (p < pptr()) {
+    ssize_t n;
+    do {
+      // MSG_NOSIGNAL: a vanished peer is a stream error, not SIGPIPE.
+      n = ::send(fd_, p, static_cast<size_t>(pptr() - p), MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    p += n;
+  }
+  setp(out_, out_ + sizeof(out_) - 1);
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);  // the reserved overflow slot
+    pbump(1);
+  }
+  return FlushOut() ? traits_type::not_eof(ch) : traits_type::eof();
+}
+
+int FdStreamBuf::sync() { return FlushOut() ? 0 : -1; }
+
+}  // namespace rankhow

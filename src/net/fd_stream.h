@@ -1,0 +1,73 @@
+#ifndef RANKHOW_NET_FD_STREAM_H_
+#define RANKHOW_NET_FD_STREAM_H_
+
+/// \file fd_stream.h
+/// istream/ostream halves over a connected socket file descriptor, so the
+/// transport-agnostic wire layer (server/wire.h takes istream&/ostream&)
+/// runs over real connections without knowing it.
+///
+/// The two halves are deliberately *separate stream objects over separate
+/// buffers*: the connection's reader thread blocks in `in()` while strand
+/// completions write response lines to `out()` (serialized by the wire
+/// layer's per-stream mutex), and a shared std::iostream would race the
+/// two threads on its state flags. recv and send on one socket from two
+/// threads are independent.
+///
+/// I/O model: buffered both ways (4 KiB each). Reads block in ::recv until
+/// bytes, EOF, or an error; a `shutdown(fd, SHUT_RDWR)` from another
+/// thread (net/socket_server.h's Stop) unblocks a parked reader with EOF.
+/// Writes flush on sync()/std::flush — the wire layer flushes per response
+/// line — and use MSG_NOSIGNAL so a peer that vanished surfaces as a
+/// stream error instead of SIGPIPE killing the server.
+///
+/// The connection does NOT own the descriptor (the accept loop owns the
+/// connection record and closes it after the handler returns).
+
+#include <istream>
+#include <ostream>
+#include <streambuf>
+
+namespace rankhow {
+
+/// One direction of socket buffering. Instantiated twice per connection;
+/// each instance is only ever used for its direction.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;           // read side
+  int_type overflow(int_type ch) override;  // write side
+  int sync() override;
+
+ private:
+  /// Writes the pending output buffer to the fd; false on error.
+  bool FlushOut();
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+/// The stream pair for one accepted connection.
+class FdConnection {
+ public:
+  explicit FdConnection(int fd)
+      : read_buf_(fd), write_buf_(fd), in_(&read_buf_), out_(&write_buf_),
+        fd_(fd) {}
+
+  std::istream& in() { return in_; }
+  std::ostream& out() { return out_; }
+  int fd() const { return fd_; }
+
+ private:
+  FdStreamBuf read_buf_;
+  FdStreamBuf write_buf_;
+  std::istream in_;
+  std::ostream out_;
+  int fd_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_NET_FD_STREAM_H_

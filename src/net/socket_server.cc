@@ -1,0 +1,275 @@
+#include "net/socket_server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "net/fd_stream.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+
+Result<ListenAddress> ParseListenSpec(const std::string& raw) {
+  std::string spec(Trim(raw));
+  ListenAddress address;
+  if (StartsWith(spec, "unix:")) {
+    address.kind = ListenAddress::Kind::kUnix;
+    address.path = spec.substr(5);
+    if (address.path.empty()) {
+      return Status::Invalid("--listen=unix: needs a socket path");
+    }
+    return address;
+  }
+  std::string rest = spec;
+  if (StartsWith(rest, "tcp:")) {
+    rest = rest.substr(4);
+  } else if (spec.find('/') != std::string::npos) {
+    // A bare filesystem path serves over a Unix-domain socket.
+    address.kind = ListenAddress::Kind::kUnix;
+    address.path = spec;
+    return address;
+  }
+  const size_t colon = rest.rfind(':');
+  if (rest.empty() || colon == std::string::npos) {
+    return Status::Invalid(
+        "bad --listen spec '" + raw +
+        "' (want unix:PATH, a path containing '/', or HOST:PORT)");
+  }
+  auto port = ParseInt(rest.substr(colon + 1));
+  if (!port.ok() || *port < 0 || *port > 65535) {
+    return Status::Invalid("bad --listen port in '" + raw +
+                           "' (0..65535; 0 = ephemeral)");
+  }
+  address.kind = ListenAddress::Kind::kTcp;
+  address.host = rest.substr(0, colon);
+  address.port = static_cast<int>(*port);
+  return address;
+}
+
+std::string ListenSpecString(const ListenAddress& address) {
+  if (address.kind == ListenAddress::Kind::kUnix) {
+    return "unix:" + address.path;
+  }
+  return address.host + ":" + std::to_string(address.port);
+}
+
+SocketServer::SocketServer(ConnectionHandler handler)
+    : handler_(std::move(handler)) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start(const ListenAddress& address) {
+  if (listen_fd_ >= 0) return Status::Invalid("server already started");
+  // Belt next to MSG_NOSIGNAL's suspenders: nothing in this process wants
+  // SIGPIPE semantics.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  int fd = -1;
+  bound_ = address;
+  if (address.kind == ListenAddress::Kind::kUnix) {
+    sockaddr_un sun;
+    std::memset(&sun, 0, sizeof(sun));
+    sun.sun_family = AF_UNIX;
+    if (address.path.size() >= sizeof(sun.sun_path)) {
+      return Status::Invalid(StrFormat(
+          "unix socket path longer than %d bytes: %s",
+          static_cast<int>(sizeof(sun.sun_path) - 1), address.path.c_str()));
+    }
+    std::memcpy(sun.sun_path, address.path.c_str(), address.path.size() + 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unimplemented("unix sockets unavailable: " +
+                                   std::string(std::strerror(errno)));
+    }
+    ::unlink(address.path.c_str());  // stale path from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+      Status status = Status::IoError("bind(" + address.path +
+                                      "): " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    unlink_path_ = address.path;
+  } else {
+    sockaddr_in sin;
+    std::memset(&sin, 0, sizeof(sin));
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<uint16_t>(address.port));
+    const std::string& host = address.host;
+    if (host.empty() || host == "*" || host == "0.0.0.0") {
+      sin.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (host == "localhost") {
+      sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+      return Status::Invalid("bad --listen host '" + host +
+                             "' (IPv4 dotted quad, localhost, or empty)");
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IoError("socket(AF_INET): " +
+                             std::string(std::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      Status status = Status::IoError("bind(" + ListenSpecString(address) +
+                                      "): " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    // Report the kernel's choices (ephemeral port, concrete ANY address).
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      char text[INET_ADDRSTRLEN] = {0};
+      ::inet_ntop(AF_INET, &actual.sin_addr, text, sizeof(text));
+      bound_.host = text;
+      bound_.port = ntohs(actual.sin_port);
+    }
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status =
+        Status::IoError("listen: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status();
+}
+
+void SocketServer::ReapFinishedLocked(std::vector<std::thread>* out) {
+  for (int id : finished_) {
+    auto it = conn_threads_.find(id);
+    if (it != conn_threads_.end()) {
+      out->push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+  }
+  finished_.clear();
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    // Join connection threads that announced completion — without this a
+    // long-lived server would hoard one dead joinable thread per served
+    // connection. The ids land in finished_ as the threads' last locked
+    // action, so these joins return (near-)immediately.
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ReapFinishedLocked(&done);
+    }
+    for (std::thread& t : done) t.join();
+
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      const int err = errno;  // the lock below may clobber errno
+      bool stopping;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping = stopping_;
+      }
+      if (stopping) return;
+      // Transient accept failures (the peer aborted the handshake, fd
+      // pressure from many live connections) must not kill the server —
+      // a listener that exits 0 on EMFILE drops every live client. Back
+      // off briefly on resource exhaustion and keep accepting; only an
+      // unexpected fatal errno ends the loop.
+      if (err == EINTR || err == ECONNABORTED || err == EPROTO ||
+          err == EAGAIN || err == EWOULDBLOCK) {
+        continue;
+      }
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return;  // listener closed / fatal accept error
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(conn);
+      return;
+    }
+    const int id = ++next_conn_id_;
+    live_fds_.emplace(id, conn);
+    conn_threads_.emplace(id, std::thread([this, id, conn] {
+      {
+        FdConnection stream(conn);
+        handler_(id, stream.in(), stream.out());
+      }
+      // The connection record owns the fd: close it under the same lock
+      // Stop() uses for shutdown, so the descriptor can never be recycled
+      // between Stop's map read and its shutdown call. Announcing the id
+      // in finished_ (last, under the same lock) hands the thread object
+      // to the accept loop's reaper.
+      std::lock_guard<std::mutex> lock(mu_);
+      ::close(conn);
+      live_fds_.erase(id);
+      finished_.push_back(id);
+    }));
+  }
+}
+
+int SocketServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_conn_id_;
+}
+
+void SocketServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void SocketServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && listen_fd_ < 0) return;
+    stopping_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown unblocks the parked accept; the fd itself stays open until
+    // the accept thread joined, so the descriptor cannot be recycled under
+    // an in-flight accept call.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  Wait();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, fd] : live_fds_) {
+      (void)id;
+      ::shutdown(fd, SHUT_RDWR);  // reader threads see EOF and wind down
+    }
+  }
+  // Joining outside mu_: the threads' own cleanup takes it.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, t] : conn_threads_) {
+      (void)id;
+      threads.push_back(std::move(t));
+    }
+    conn_threads_.clear();
+    finished_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+}  // namespace rankhow

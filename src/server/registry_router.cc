@@ -1,0 +1,311 @@
+#include "server/registry_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rankhow {
+
+RegistryRouter::RegistryRouter(RouterOptions options)
+    : options_(std::move(options)),
+      default_dataset_(options_.default_dataset) {}
+
+RegistryRouter::~RegistryRouter() {
+  // Registries drain themselves in their destructors; detach them under
+  // the lock, destroy outside (a strand callback may be calling Submit —
+  // it holds a shared_ptr, so the last release happens off our lock).
+  std::vector<std::shared_ptr<SessionRegistry>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, entry] : catalog_) {
+      (void)id;
+      if (entry.registry != nullptr) doomed.push_back(std::move(entry.registry));
+    }
+    catalog_.clear();
+    routes_.clear();
+  }
+  doomed.clear();
+}
+
+Status RegistryRouter::RegisterDataset(const std::string& id, Loader loader) {
+  if (id.empty()) return Status::Invalid("dataset id must be non-empty");
+  if (loader == nullptr) {
+    return Status::Invalid("dataset " + id + " has no loader");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_.count(id) > 0) {
+    return Status::AlreadyExists("dataset already registered: " + id);
+  }
+  CatalogEntry entry;
+  entry.loader = std::move(loader);
+  catalog_.emplace(id, std::move(entry));
+  if (default_dataset_.empty()) default_dataset_ = id;
+  return Status();
+}
+
+void RegistryRouter::EvictIdleSessionsLocked(
+    std::unique_lock<std::mutex>& lock) {
+  // Pick LRU idle victims until one slot frees up (the caller is opening
+  // exactly one session). Busy-ness is a best-effort peek: a command
+  // racing the eviction fails with the same "session closed" status an
+  // explicit Close produces.
+  while (static_cast<int>(routes_.size()) >= options_.max_open_sessions) {
+    std::string victim;
+    uint64_t oldest = 0;
+    std::shared_ptr<SessionRegistry> registry;
+    for (const auto& [name, route] : routes_) {
+      auto it = catalog_.find(route.dataset);
+      if (it == catalog_.end() || it->second.registry == nullptr) continue;
+      if (it->second.registry->ClientBusy(name)) continue;
+      if (victim.empty() || route.last_used < oldest) {
+        victim = name;
+        oldest = route.last_used;
+        registry = it->second.registry;
+      }
+    }
+    if (victim.empty()) return;  // everything is busy; the caller fails
+    routes_.erase(victim);
+    ++sessions_evicted_;
+    lock.unlock();
+    // Abort mode: the victim was idle (queue empty), so this just frees
+    // the session. kNotFound (a concurrent Close won) is fine.
+    (void)registry->Close(victim, /*graceful=*/false);
+    lock.lock();
+  }
+}
+
+Status RegistryRouter::Open(const std::string& client,
+                            const std::string& dataset_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::string dataset =
+      dataset_id.empty() ? default_dataset_ : dataset_id;
+  if (dataset.empty()) return Status::NotFound("router has no datasets");
+  auto it = catalog_.find(dataset);
+  if (it == catalog_.end()) {
+    return Status::NotFound("unknown dataset id: " + dataset);
+  }
+  if (routes_.count(client) > 0) {
+    return Status::AlreadyExists("client already open: " + client);
+  }
+
+  if (it->second.registry == nullptr) {
+    // Lazy load, off the lock (CSV parsing + registry construction can be
+    // slow). Tolerate the benign race where a concurrent Open loads the
+    // same dataset first: the loser's bundle is dropped.
+    Loader loader = it->second.loader;
+    lock.unlock();
+    Result<DatasetBundle> bundle = loader();
+    std::shared_ptr<SessionRegistry> fresh;
+    if (bundle.ok()) {
+      fresh = std::make_shared<SessionRegistry>(
+          std::move(bundle->data), std::move(bundle->given),
+          std::move(bundle->labels), options_.server);
+    }
+    lock.lock();
+    if (!bundle.ok()) {
+      return Status(bundle.status().code(),
+                    "loading dataset " + dataset + ": " +
+                        bundle.status().message());
+    }
+    it = catalog_.find(dataset);
+    if (it == catalog_.end()) {
+      return Status::NotFound("dataset evicted while loading: " + dataset);
+    }
+    if (it->second.registry == nullptr) {
+      it->second.registry = std::move(fresh);
+      ++datasets_loaded_;
+      // Enforce the resident budget: LRU-evict an idle zero-client
+      // registry (never the one just installed); if every other resident
+      // registry still has clients, roll back this load and fail.
+      std::vector<std::shared_ptr<SessionRegistry>> doomed;
+      auto resident = [this] {
+        int count = 0;
+        for (const auto& [id, entry] : catalog_) {
+          (void)id;
+          if (entry.registry != nullptr) ++count;
+        }
+        return count;
+      };
+      while (resident() > options_.max_resident_registries) {
+        std::map<std::string, CatalogEntry>::iterator victim = catalog_.end();
+        for (auto cit = catalog_.begin(); cit != catalog_.end(); ++cit) {
+          if (cit->second.registry == nullptr || cit->first == dataset) {
+            continue;
+          }
+          if (cit->second.registry->Stats().open_clients > 0 ||
+              cit->second.registry->Busy()) {
+            continue;
+          }
+          if (victim == catalog_.end() ||
+              cit->second.last_used < victim->second.last_used) {
+            victim = cit;
+          }
+        }
+        if (victim == catalog_.end()) {
+          // Roll the load back (datasets_loaded_ keeps counting the loader
+          // invocation — it is the lazy-load cost metric, not residency).
+          doomed.push_back(std::move(it->second.registry));
+          it->second.registry = nullptr;
+          lock.unlock();
+          doomed.clear();
+          return Status::ResourceExhausted(
+              "router is at max_resident_registries=" +
+              std::to_string(options_.max_resident_registries) +
+              " and every resident dataset has open clients");
+        }
+        SessionRegistryStats retired = victim->second.registry->Stats();
+        commands_retired_ += retired.commands_executed;
+        forks_retired_ += retired.dataset_forks;
+        shared_publishes_retired_ += retired.shared_publishes;
+        shared_draws_retired_ += retired.shared_draws;
+        ++registries_evicted_;
+        doomed.push_back(std::move(victim->second.registry));
+        victim->second.registry = nullptr;
+      }
+      if (!doomed.empty()) {
+        // Destroy outside the lock: a registry destructor drains strands.
+        lock.unlock();
+        doomed.clear();
+        lock.lock();
+        it = catalog_.find(dataset);
+        if (it == catalog_.end() || it->second.registry == nullptr) {
+          return Status::NotFound("dataset evicted while loading: " +
+                                  dataset);
+        }
+      }
+    }
+    // else: a concurrent Open won the load; `fresh` (if any) dies with
+    // this scope, after we release the lock below.
+    if (routes_.count(client) > 0) {
+      return Status::AlreadyExists("client already open: " + client);
+    }
+  }
+
+  // Session budget, enforced at the point of commitment: the lock may
+  // have been dropped above (lazy load, registry eviction), so a check
+  // any earlier can go stale while a concurrent Open fills the budget.
+  if (static_cast<int>(routes_.size()) >= options_.max_open_sessions) {
+    EvictIdleSessionsLocked(lock);
+    // Re-resolve everything: eviction drops the lock, so the world moved
+    // (a concurrent Open may even have evicted this zero-client registry).
+    it = catalog_.find(dataset);
+    if (it == catalog_.end() || it->second.registry == nullptr) {
+      return Status::NotFound("dataset evicted while opening: " + dataset);
+    }
+    if (routes_.count(client) > 0) {
+      return Status::AlreadyExists("client already open: " + client);
+    }
+    if (static_cast<int>(routes_.size()) >= options_.max_open_sessions) {
+      return Status::ResourceExhausted(
+          "router is at max_open_sessions=" +
+          std::to_string(options_.max_open_sessions) +
+          " and every session is busy");
+    }
+  }
+
+  std::shared_ptr<SessionRegistry> registry = it->second.registry;
+  RH_RETURN_NOT_OK(registry->Open(client));
+  ++clock_;
+  routes_[client] = Route{dataset, clock_};
+  it->second.last_used = clock_;
+  return Status();
+}
+
+std::shared_ptr<SessionRegistry> RegistryRouter::RouteLocked(
+    const std::string& client) {
+  auto route = routes_.find(client);
+  if (route == routes_.end()) return nullptr;
+  auto entry = catalog_.find(route->second.dataset);
+  if (entry == catalog_.end() || entry->second.registry == nullptr) {
+    return nullptr;
+  }
+  ++clock_;
+  route->second.last_used = clock_;
+  entry->second.last_used = clock_;
+  return entry->second.registry;
+}
+
+Status RegistryRouter::Submit(const std::string& client,
+                              SessionCommand command, SessionCallback done) {
+  std::shared_ptr<SessionRegistry> registry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry = RouteLocked(client);
+  }
+  if (registry == nullptr) {
+    return Status::NotFound("no open client named " + client);
+  }
+  return registry->Submit(client, std::move(command), std::move(done));
+}
+
+void RegistryRouter::Cancel(const std::string& client) {
+  std::shared_ptr<SessionRegistry> registry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry = RouteLocked(client);
+  }
+  if (registry != nullptr) registry->Cancel(client);
+}
+
+Status RegistryRouter::Close(const std::string& client, bool graceful) {
+  std::shared_ptr<SessionRegistry> registry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto route = routes_.find(client);
+    if (route == routes_.end()) {
+      return Status::NotFound("no open client named " + client);
+    }
+    auto entry = catalog_.find(route->second.dataset);
+    if (entry != catalog_.end()) registry = entry->second.registry;
+    routes_.erase(route);
+  }
+  if (registry == nullptr) {
+    return Status::NotFound("no open client named " + client);
+  }
+  return registry->Close(client, graceful);
+}
+
+void RegistryRouter::Drain() {
+  std::vector<std::shared_ptr<SessionRegistry>> registries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, entry] : catalog_) {
+      (void)id;
+      if (entry.registry != nullptr) registries.push_back(entry.registry);
+    }
+  }
+  for (const auto& registry : registries) registry->Drain();
+}
+
+RegistryRouterStats RegistryRouter::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistryRouterStats stats;
+  stats.registered_datasets = static_cast<int>(catalog_.size());
+  stats.commands_executed = commands_retired_;
+  stats.dataset_forks = forks_retired_;
+  stats.shared_publishes = shared_publishes_retired_;
+  stats.shared_draws = shared_draws_retired_;
+  stats.datasets_loaded = datasets_loaded_;
+  stats.registries_evicted = registries_evicted_;
+  stats.sessions_evicted = sessions_evicted_;
+  for (const auto& [id, entry] : catalog_) {
+    (void)id;
+    if (entry.registry == nullptr) continue;
+    ++stats.resident_registries;
+    SessionRegistryStats r = entry.registry->Stats();
+    stats.open_clients += r.open_clients;
+    stats.resident_dataset_copies += r.resident_dataset_copies;
+    stats.commands_executed += r.commands_executed;
+    stats.dataset_forks += r.dataset_forks;
+    stats.shared_publishes += r.shared_publishes;
+    stats.shared_draws += r.shared_draws;
+  }
+  return stats;
+}
+
+std::string RegistryRouter::ClientDataset(const std::string& client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto route = routes_.find(client);
+  return route == routes_.end() ? std::string() : route->second.dataset;
+}
+
+}  // namespace rankhow

@@ -1,0 +1,177 @@
+#ifndef RANKHOW_SERVER_REGISTRY_ROUTER_H_
+#define RANKHOW_SERVER_REGISTRY_ROUTER_H_
+
+/// \file registry_router.h
+/// The multi-dataset routing layer over SessionRegistry (see DESIGN.md
+/// "Network transport & routing"): one SessionRegistry serves exactly one
+/// dataset+ranking, so a server that fronts several datasets needs a layer
+/// that (a) routes each client to its dataset's registry, (b) materializes
+/// registries lazily — a catalog maps dataset ids to loader callbacks, and
+/// a dataset costs nothing until the first `open` names it — and (c) keeps
+/// the resident set bounded: idle *sessions* are LRU-closed under a total
+/// session budget, and whole idle *registries* (zero clients) are
+/// LRU-evicted when loading a new dataset would exceed the registry budget.
+///
+/// Client names are router-global (the wire protocol routes `CLIENT cmd`
+/// lines by client name alone, so one name cannot live in two registries).
+/// `Open(client, dataset_id)` binds the name to a dataset for its lifetime;
+/// an empty dataset id means the router's default (the first registered).
+///
+/// Eviction contract: eviction only ever touches *idle* state — a session
+/// with no running or queued command, a registry with no open clients — so
+/// a busy sibling is never cancelled to make room. An evicted session is
+/// indistinguishable from a closed one to its client (the next command
+/// answers kNotFound; re-open and rebuild — the wire protocol documents
+/// this in docs/PROTOCOL.md). When nothing is evictable the Open fails with
+/// kResourceExhausted rather than blocking.
+///
+/// Thread-safety: fully internally locked, like SessionRegistry. Slow
+/// operations (dataset loading, registry destruction, graceful close)
+/// run off the router lock; the map handed to concurrent callers holds
+/// shared_ptr registries so an eviction never pulls a registry out from
+/// under an in-flight Submit.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/session_registry.h"
+#include "util/status.h"
+
+namespace rankhow {
+
+struct RouterOptions {
+  /// Per-registry configuration (solver, objective, strand pool width,
+  /// per-registry max_clients, incumbent sharing). Every registry the
+  /// router materializes gets a copy. Note each registry owns its own
+  /// strand pool of `server.num_workers` threads.
+  ServerOptions server;
+  /// Resident-registry budget: loading a dataset beyond this LRU-evicts an
+  /// idle zero-client registry, or fails with kResourceExhausted when every
+  /// resident registry still has clients.
+  int max_resident_registries = 4;
+  /// Total open sessions across all registries: opening beyond this
+  /// LRU-closes idle sessions first, then fails with kResourceExhausted.
+  int max_open_sessions = 64;
+  /// Dataset served by `open CLIENT` without an id. Empty = the first
+  /// RegisterDataset call.
+  std::string default_dataset;
+};
+
+/// Router-level aggregate of every resident registry's Stats() plus the
+/// retired totals of evicted ones (commands/forks stay cumulative across
+/// evictions, mirroring SessionRegistry's own retired-fork accounting).
+struct RegistryRouterStats {
+  int registered_datasets = 0;
+  int resident_registries = 0;
+  int open_clients = 0;
+  int resident_dataset_copies = 0;
+  int64_t commands_executed = 0;
+  int64_t dataset_forks = 0;
+  int64_t datasets_loaded = 0;      // loader invocations (lazy-load metric)
+  int64_t registries_evicted = 0;
+  int64_t sessions_evicted = 0;
+  int64_t shared_publishes = 0;     // summed over resident shared pools
+  int64_t shared_draws = 0;
+};
+
+class RegistryRouter {
+ public:
+  /// What a dataset loader yields: everything a SessionRegistry needs.
+  struct DatasetBundle {
+    SharedDataset data;
+    Ranking given;
+    std::vector<std::string> labels;
+  };
+  /// Invoked (off the router lock) the first time an `open` names the
+  /// dataset, and again after an eviction dropped it. Must be safe to call
+  /// more than once.
+  using Loader = std::function<Result<DatasetBundle>()>;
+
+  explicit RegistryRouter(RouterOptions options);
+  /// Cancels and drains every resident registry.
+  ~RegistryRouter();
+
+  RegistryRouter(const RegistryRouter&) = delete;
+  RegistryRouter& operator=(const RegistryRouter&) = delete;
+
+  /// Registers a dataset id in the catalog (setup time, before serving).
+  /// kAlreadyExists for a duplicate id, kInvalidArgument for an empty one.
+  /// The first registered id becomes the default unless RouterOptions
+  /// named one.
+  Status RegisterDataset(const std::string& id, Loader loader);
+
+  /// Opens `client` against `dataset_id` ("" = default), lazily loading
+  /// the dataset and evicting idle sessions/registries as the budgets
+  /// require. kNotFound for an unknown dataset id, kAlreadyExists for a
+  /// live client name (in any registry), kResourceExhausted when a budget
+  /// is exhausted and nothing idle can be evicted.
+  Status Open(const std::string& client, const std::string& dataset_id);
+
+  /// Routes one command to the client's registry strand. kNotFound for
+  /// unknown (or evicted) clients.
+  Status Submit(const std::string& client, SessionCommand command,
+                SessionCallback done);
+
+  /// Cooperatively cancels the client's in-flight solve (see
+  /// SessionRegistry::Cancel). No-op for unknown clients.
+  void Cancel(const std::string& client);
+
+  /// Closes a client (graceful lets its queued commands finish). kNotFound
+  /// for unknown clients. Do not call from a SessionCallback.
+  Status Close(const std::string& client, bool graceful = false);
+
+  /// Blocks until every resident registry is idle. Do not call from a
+  /// SessionCallback.
+  void Drain();
+
+  RegistryRouterStats Stats() const;
+
+  /// The dataset id a client is bound to (empty when unknown) — the wire
+  /// layer's `open` ack echoes it.
+  std::string ClientDataset(const std::string& client) const;
+
+ private:
+  struct CatalogEntry {
+    Loader loader;
+    std::shared_ptr<SessionRegistry> registry;  // null until first open
+    uint64_t last_used = 0;                     // logical LRU clock
+  };
+  struct Route {
+    std::string dataset;
+    uint64_t last_used = 0;
+  };
+
+  /// Returns the client's registry, touching LRU stamps. Must be called
+  /// under mu_.
+  std::shared_ptr<SessionRegistry> RouteLocked(const std::string& client);
+
+  /// Evicts LRU idle sessions until the open-session count drops below the
+  /// budget (or nothing idle remains). Called with mu_ held; releases and
+  /// re-acquires it around the blocking closes.
+  void EvictIdleSessionsLocked(std::unique_lock<std::mutex>& lock);
+
+  RouterOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, CatalogEntry> catalog_;
+  std::map<std::string, Route> routes_;
+  std::string default_dataset_;
+  uint64_t clock_ = 0;
+  int64_t datasets_loaded_ = 0;
+  int64_t registries_evicted_ = 0;
+  int64_t sessions_evicted_ = 0;
+  /// Stats of evicted registries, folded in so totals stay cumulative.
+  int64_t commands_retired_ = 0;
+  int64_t forks_retired_ = 0;
+  int64_t shared_publishes_retired_ = 0;
+  int64_t shared_draws_retired_ = 0;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_SERVER_REGISTRY_ROUTER_H_

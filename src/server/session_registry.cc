@@ -29,6 +29,10 @@ SessionRegistry::SessionRegistry(SharedDataset data, Ranking given,
       pool_(ThreadPool::ResolveThreadCount(options_.num_workers)) {
   // One strand solves serially; the pool supplies the parallelism.
   options_.solver.num_threads = 1;
+  if (options_.share_incumbents) {
+    shared_pool_ =
+        std::make_unique<SharedIncumbentPool>(options_.shared_pool_capacity);
+  }
 }
 
 SessionRegistry::~SessionRegistry() {
@@ -79,6 +83,9 @@ Status SessionRegistry::Open(const std::string& client) {
   entry->session = std::make_unique<SolveSession>(SharedDataset(base_),
                                                   Ranking(given_), solver);
   RH_RETURN_NOT_OK(entry->session->SetObjective(options_.objective));
+  if (shared_pool_ != nullptr) {
+    entry->session->SetSharedIncumbentPool(shared_pool_.get());
+  }
   entry->snapshot_id = entry->session->shared_data().snapshot_id();
   clients_.emplace(client, std::move(entry));
   return Status();
@@ -218,7 +225,31 @@ SessionRegistryStats SessionRegistry::Stats() const {
     stats.dataset_forks += client->dataset_forks;
   }
   stats.resident_dataset_copies = static_cast<int>(snapshots.size());
+  if (shared_pool_ != nullptr) {
+    // The pool has its own lock; draw/publish totals come from it rather
+    // than per-session stats so closed clients stay counted.
+    SharedIncumbentPoolStats pool = shared_pool_->Stats();
+    stats.shared_pool_size = pool.size;
+    stats.shared_publishes = pool.published;
+    stats.shared_draws = pool.drawn;
+  }
   return stats;
+}
+
+bool SessionRegistry::Busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, client] : clients_) {
+    (void)name;
+    if (client->running || !client->queue.empty()) return true;
+  }
+  return false;
+}
+
+bool SessionRegistry::ClientBusy(const std::string& client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  return it != clients_.end() &&
+         (it->second->running || !it->second->queue.empty());
 }
 
 }  // namespace rankhow

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "app/cli_driver.h"
+#include "core/shared_incumbent_pool.h"
 #include "core/solve_session.h"
 #include "data/shared_dataset.h"
 #include "ranking/objective.h"
@@ -62,6 +63,17 @@ struct ServerOptions {
   int num_workers = 1;
   /// Open() beyond this fails with kResourceExhausted.
   int max_clients = 64;
+  /// Cross-client incumbent sharing (ROADMAP): the registry owns one
+  /// SharedIncumbentPool and attaches it to every client session, so
+  /// proven winners flow between clients over the shared snapshot (as
+  /// revalidated *candidates*, never bounds — see shared_incumbent_pool.h).
+  /// Sharing keeps every *proven* optimum identical (asserted by
+  /// tests/server/registry_router_test.cc) but can change which of several
+  /// optimal weight vectors a solve reports, timing-dependently — disable
+  /// where bit-identical replays matter (the PR 4 equivalence harness does).
+  bool share_incumbents = true;
+  /// Resident-entry cap of the shared pool (ignored when sharing is off).
+  int shared_pool_capacity = 32;
 };
 
 /// Aggregate registry counters (snapshot; see Stats()).
@@ -75,7 +87,20 @@ struct SessionRegistryStats {
   int64_t commands_executed = 0;
   /// Copy-on-write forks performed by clients since the registry opened.
   int64_t dataset_forks = 0;
+  /// Cross-client shared incumbent pool counters (all 0 when
+  /// ServerOptions::share_incumbents is off).
+  int shared_pool_size = 0;
+  int64_t shared_publishes = 0;
+  int64_t shared_draws = 0;
 };
+
+/// Per-command completion signature shared by SessionRegistry and the
+/// RegistryRouter layered over it (see server/registry_router.h): the
+/// outcome of one edit+solve, or the edit's Status error. Runs on a pool
+/// thread.
+using SessionCallback =
+    std::function<void(const std::string& client,
+                       const Result<SessionStepOutcome>& outcome)>;
 
 class SessionRegistry {
  public:
@@ -93,9 +118,7 @@ class SessionRegistry {
   /// Status error (the session stays open and intact either way). Runs on
   /// a pool thread; must not call Close/Drain (deadlock — the strand would
   /// wait on itself).
-  using Callback =
-      std::function<void(const std::string& client,
-                         const Result<SessionStepOutcome>& outcome)>;
+  using Callback = SessionCallback;
 
   /// Creates a client session sharing the registry's dataset snapshot.
   /// kAlreadyExists for a live name, kInvalidArgument for an empty or
@@ -131,6 +154,14 @@ class SessionRegistry {
   SessionRegistryStats Stats() const;
   const std::vector<std::string>& labels() const { return labels_; }
 
+  /// True iff any client has a command running or queued (a non-blocking
+  /// peek — the answer can be stale by the time the caller acts on it; the
+  /// router's LRU eviction treats it as best-effort).
+  bool Busy() const;
+  /// True iff `client` exists and has a command running or queued. False
+  /// for unknown clients.
+  bool ClientBusy(const std::string& client) const;
+
  private:
   struct Client {
     /// Outlives the session (the session's solver options point at it).
@@ -153,6 +184,10 @@ class SessionRegistry {
   Ranking given_;
   std::vector<std::string> labels_;
   ServerOptions options_;
+  /// Cross-client incumbent pool (null when sharing is off). Declared
+  /// before pool_ and destroyed after the sessions (the destructor clears
+  /// clients_ first), so no strand ever touches a dead pool.
+  std::unique_ptr<SharedIncumbentPool> shared_pool_;
   ThreadPool pool_;
 
   mutable std::mutex mu_;

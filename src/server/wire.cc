@@ -1,6 +1,9 @@
 #include "server/wire.h"
 
+#include <algorithm>
+#include <functional>
 #include <istream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 
@@ -23,61 +26,62 @@ void SplitHead(const std::string& line, std::string* head,
   *tail = std::string(Trim(line.substr(sep + 1)));
 }
 
-}  // namespace
+/// What ServeStream needs from a serving backend. The registry and router
+/// overloads fill this in; the serve loop itself is backend-agnostic, so
+/// the single-dataset and routed servers can never drift on protocol
+/// behavior.
+struct WireBackend {
+  /// Returns the ack suffix after "ok " (e.g. "open alice nba").
+  std::function<Result<std::string>(const std::string& client,
+                                    const std::string& dataset)>
+      open;
+  std::function<Status(const std::string& client, bool graceful)> close;
+  std::function<Status(const std::string& client, SessionCommand,
+                       SessionCallback)>
+      submit;
+  /// The body after "ok stats ".
+  std::function<std::string()> stats_line;
+  /// Blocks until every strand is idle (the PR 4 stdin drain).
+  std::function<void()> drain_all;
+};
 
-Result<WireRequest> ParseWireLine(const std::string& raw) {
-  std::string line(Trim(raw));
-  if (size_t hash = line.find('#'); hash != std::string::npos) {
-    line = std::string(Trim(line.substr(0, hash)));
-  }
-  if (line.empty()) return Status::NotFound("blank line");
-
-  WireRequest request;
-  std::string head, tail;
-  SplitHead(line, &head, &tail);
-  if (head == "quit" || head == "stats") {
-    if (!tail.empty()) {
-      return Status::Invalid("'" + head + "' takes no argument");
-    }
-    request.kind =
-        head == "quit" ? WireRequest::Kind::kQuit : WireRequest::Kind::kStats;
-    return request;
-  }
-  if (head == "open" || head == "close") {
-    if (tail.empty() || tail.find_first_of(" \t") != std::string::npos) {
-      return Status::Invalid("'" + head + "' takes exactly one client name");
-    }
-    request.kind = head == "open" ? WireRequest::Kind::kOpen
-                                  : WireRequest::Kind::kClose;
-    request.client = tail;
-    return request;
-  }
-  // CLIENT <session-script command>: reuse the script parser on the tail so
-  // the wire grammar and --session files can never drift apart.
-  if (tail.empty()) {
-    return Status::Invalid("truncated request: '" + head +
-                           "' (want CLIENT COMMAND..., open/close/stats/"
-                           "quit)");
-  }
-  RH_ASSIGN_OR_RETURN(std::vector<SessionCommand> parsed,
-                      ParseSessionScript(tail));
-  if (parsed.size() != 1) {
-    return Status::Invalid("exactly one command per wire line");
-  }
-  request.kind = WireRequest::Kind::kCommand;
-  request.client = head;
-  request.command = std::move(parsed[0]);
-  return request;
-}
-
-Status ServeStream(SessionRegistry* registry, std::istream& in,
-                   std::ostream& out) {
+Status ServeStreamImpl(const WireBackend& backend, std::istream& in,
+                       std::ostream& out,
+                       const ServeStreamOptions& options) {
   // Whole-line writes under one mutex: strand completions race the serve
-  // loop's own acks, and interleaved half-lines would be unparseable.
-  std::mutex out_mu;
-  auto emit = [&out, &out_mu](const std::string& line) {
-    std::lock_guard<std::mutex> lock(out_mu);
+  // loop's own acks, and interleaved half-lines would be unparseable. The
+  // mutex lives on the heap because solve callbacks of clients this stream
+  // leaves open (non-connection-scoped mode) can outlive this frame.
+  auto out_mu = std::make_shared<std::mutex>();
+  auto emit = [&out, out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(*out_mu);
     out << line << "\n" << std::flush;
+  };
+
+  // The clients this stream opened, in open order — connection-scoped
+  // mode closes them when the stream ends, and only lets the stream
+  // address its own clients: a response callback writes to *this*
+  // connection's stream, so a submit against another connection's client
+  // would outlive this frame when that connection keeps the session busy.
+  std::vector<std::string> owned;
+  auto owns = [&owned](const std::string& client) {
+    return std::find(owned.begin(), owned.end(), client) != owned.end();
+  };
+  auto disown = [&owned](const std::string& client) {
+    owned.erase(std::remove(owned.begin(), owned.end(), client),
+                owned.end());
+  };
+  auto end_stream = [&](bool graceful) {
+    if (options.connection_scoped_clients) {
+      // Graceful (quit / clean EOF): queued commands finish and answer
+      // before the session drops. Abort (transport death): cancel the
+      // in-flight solve, fail the queue — the peer is gone anyway.
+      for (const std::string& client : owned) {
+        (void)backend.close(client, graceful);
+      }
+    } else if (backend.drain_all != nullptr) {
+      backend.drain_all();
+    }
   };
 
   std::string line;
@@ -93,37 +97,47 @@ Status ServeStream(SessionRegistry* registry, std::istream& in,
     }
     switch (request->kind) {
       case WireRequest::Kind::kQuit:
-        registry->Drain();
+        end_stream(/*graceful=*/true);
         emit("ok quit");
         return Status();
-      case WireRequest::Kind::kStats: {
-        SessionRegistryStats stats = registry->Stats();
-        emit(StrFormat("ok stats clients=%d datasets=%d commands=%lld "
-                       "forks=%lld",
-                       stats.open_clients, stats.resident_dataset_copies,
-                       static_cast<long long>(stats.commands_executed),
-                       static_cast<long long>(stats.dataset_forks)));
+      case WireRequest::Kind::kStats:
+        emit("ok stats " + backend.stats_line());
         break;
-      }
       case WireRequest::Kind::kOpen: {
-        Status status = registry->Open(request->client);
-        emit(status.ok() ? "ok open " + request->client
-                         : StrFormat("err %s %s", request->client.c_str(),
-                                     status.message().c_str()));
+        Result<std::string> ack =
+            backend.open(request->client, request->dataset);
+        if (ack.ok()) {
+          owned.push_back(request->client);
+          emit("ok " + *ack);
+        } else {
+          emit(StrFormat("err %s %s", request->client.c_str(),
+                         ack.status().message().c_str()));
+        }
         break;
       }
       case WireRequest::Kind::kClose: {
+        if (options.connection_scoped_clients && !owns(request->client)) {
+          emit(StrFormat("err %s no client named %s on this connection",
+                         request->client.c_str(), request->client.c_str()));
+          break;
+        }
         // Graceful: the stream submitted this client's queued commands
         // itself, so `close` lets them finish instead of dropping them.
-        Status status = registry->Close(request->client, /*graceful=*/true);
+        Status status = backend.close(request->client, /*graceful=*/true);
+        if (status.ok()) disown(request->client);
         emit(status.ok() ? "ok close " + request->client
                          : StrFormat("err %s %s", request->client.c_str(),
                                      status.message().c_str()));
         break;
       }
       case WireRequest::Kind::kCommand: {
+        if (options.connection_scoped_clients && !owns(request->client)) {
+          emit(StrFormat("err %s no client named %s on this connection",
+                         request->client.c_str(), request->client.c_str()));
+          break;
+        }
         const int request_line = line_no;
-        Status submitted = registry->Submit(
+        Status submitted = backend.submit(
             request->client, request->command,
             [emit, request_line](const std::string& client,
                                  const Result<SessionStepOutcome>& outcome) {
@@ -148,8 +162,143 @@ Status ServeStream(SessionRegistry* registry, std::istream& in,
       }
     }
   }
-  registry->Drain();
+  // EOF without quit: the peer is gone (a socket surfaces a clean FIN and
+  // a dead peer identically), so responses are undeliverable — abort the
+  // owned clients (cancel in-flight, fail queued) rather than burn solve
+  // budget nobody will read. A polite client says `quit`, which drains.
+  end_stream(/*graceful=*/false);
   return Status();
+}
+
+}  // namespace
+
+Result<WireRequest> ParseWireLine(const std::string& raw) {
+  std::string line(Trim(raw));
+  if (size_t hash = line.find('#'); hash != std::string::npos) {
+    line = std::string(Trim(line.substr(0, hash)));
+  }
+  if (line.empty()) return Status::NotFound("blank line");
+
+  WireRequest request;
+  std::string head, tail;
+  SplitHead(line, &head, &tail);
+  if (head == "quit" || head == "stats") {
+    if (!tail.empty()) {
+      return Status::Invalid("'" + head + "' takes no argument");
+    }
+    request.kind =
+        head == "quit" ? WireRequest::Kind::kQuit : WireRequest::Kind::kStats;
+    return request;
+  }
+  if (head == "open") {
+    std::string client, dataset;
+    SplitHead(tail, &client, &dataset);
+    if (client.empty() ||
+        dataset.find_first_of(" \t") != std::string::npos) {
+      return Status::Invalid(
+          "'open' takes a client name and an optional dataset id");
+    }
+    request.kind = WireRequest::Kind::kOpen;
+    request.client = std::move(client);
+    request.dataset = std::move(dataset);
+    return request;
+  }
+  if (head == "close") {
+    if (tail.empty() || tail.find_first_of(" \t") != std::string::npos) {
+      return Status::Invalid("'close' takes exactly one client name");
+    }
+    request.kind = WireRequest::Kind::kClose;
+    request.client = tail;
+    return request;
+  }
+  // CLIENT <session-script command>: reuse the script parser on the tail so
+  // the wire grammar and --session files can never drift apart.
+  if (tail.empty()) {
+    return Status::Invalid("truncated request: '" + head +
+                           "' (want CLIENT COMMAND..., open/close/stats/"
+                           "quit)");
+  }
+  RH_ASSIGN_OR_RETURN(std::vector<SessionCommand> parsed,
+                      ParseSessionScript(tail));
+  if (parsed.size() != 1) {
+    return Status::Invalid("exactly one command per wire line");
+  }
+  request.kind = WireRequest::Kind::kCommand;
+  request.client = head;
+  request.command = std::move(parsed[0]);
+  return request;
+}
+
+Status ServeStream(SessionRegistry* registry, std::istream& in,
+                   std::ostream& out, const ServeStreamOptions& options) {
+  WireBackend backend;
+  backend.open = [registry](const std::string& client,
+                            const std::string& dataset)
+      -> Result<std::string> {
+    if (!dataset.empty()) {
+      return Status::Invalid(
+          "this server serves a single dataset (open takes no dataset id)");
+    }
+    RH_RETURN_NOT_OK(registry->Open(client));
+    return "open " + client;
+  };
+  backend.close = [registry](const std::string& client, bool graceful) {
+    return registry->Close(client, graceful);
+  };
+  backend.submit = [registry](const std::string& client, SessionCommand cmd,
+                              SessionCallback done) {
+    return registry->Submit(client, std::move(cmd), std::move(done));
+  };
+  backend.stats_line = [registry] {
+    SessionRegistryStats stats = registry->Stats();
+    return StrFormat(
+        "clients=%d datasets=%d commands=%lld forks=%lld "
+        "shared_published=%lld shared_drawn=%lld",
+        stats.open_clients, stats.resident_dataset_copies,
+        static_cast<long long>(stats.commands_executed),
+        static_cast<long long>(stats.dataset_forks),
+        static_cast<long long>(stats.shared_publishes),
+        static_cast<long long>(stats.shared_draws));
+  };
+  backend.drain_all = [registry] { registry->Drain(); };
+  return ServeStreamImpl(backend, in, out, options);
+}
+
+Status ServeStream(RegistryRouter* router, std::istream& in,
+                   std::ostream& out, const ServeStreamOptions& options) {
+  WireBackend backend;
+  backend.open = [router](const std::string& client,
+                          const std::string& dataset)
+      -> Result<std::string> {
+    RH_RETURN_NOT_OK(router->Open(client, dataset));
+    // Echo the dataset actually bound so `open C` reveals the default.
+    return "open " + client + " " + router->ClientDataset(client);
+  };
+  backend.close = [router](const std::string& client, bool graceful) {
+    return router->Close(client, graceful);
+  };
+  backend.submit = [router](const std::string& client, SessionCommand cmd,
+                            SessionCallback done) {
+    return router->Submit(client, std::move(cmd), std::move(done));
+  };
+  backend.stats_line = [router] {
+    RegistryRouterStats stats = router->Stats();
+    return StrFormat(
+        "registries=%d clients=%d datasets=%d commands=%lld forks=%lld "
+        "loaded=%lld evicted_registries=%lld evicted_sessions=%lld "
+        "shared_published=%lld shared_drawn=%lld",
+        stats.resident_registries, stats.open_clients,
+        stats.resident_dataset_copies,
+        static_cast<long long>(stats.commands_executed),
+        static_cast<long long>(stats.dataset_forks),
+        static_cast<long long>(stats.datasets_loaded),
+        static_cast<long long>(stats.registries_evicted),
+        static_cast<long long>(stats.sessions_evicted),
+        static_cast<long long>(stats.shared_publishes),
+        static_cast<long long>(stats.shared_draws));
+  };
+  backend.drain_all = [router] { router->Drain(); };
+  return ServeStreamImpl(backend, in, out, options);
 }
 
 Result<std::vector<ScriptedClientRun>> RunScriptedClients(

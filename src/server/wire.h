@@ -2,19 +2,23 @@
 #define RANKHOW_SERVER_WIRE_H_
 
 /// \file wire.h
-/// The session server's line protocol (`rankhow_cli --serve`) plus the
+/// The serving wire protocol (`rankhow_cli --serve` / `--listen`) plus the
 /// deterministic scripted-client runner (`--serve --clients=N`, the
 /// bench/test harness mode that needs no transport at all).
 ///
-/// One request per line, over any byte stream (stdin/stdout pipe, socat, a
-/// unix socket bridge — the server only sees an istream/ostream pair):
+/// The complete protocol reference — every verb, response format, error
+/// reply, and a worked multi-client transcript — lives in docs/PROTOCOL.md;
+/// this header keeps only the shape. One request per line, over any byte
+/// stream (stdin/stdout pipe, or a Unix-domain/TCP connection accepted by
+/// net/socket_server.h):
 ///
-///   open CLIENT            create a session for CLIENT (shares the
-///                          server's dataset snapshot copy-on-write)
-///   close CLIENT           cancel + drop CLIENT's session
-///   stats                  registry counters (clients, resident dataset
-///                          copies, commands, forks)
-///   quit                   drain everything and exit the serve loop
+///   open CLIENT [DATASET]  create a session for CLIENT; DATASET selects a
+///                          catalog entry on a router-backed server (the
+///                          default dataset when omitted; single-registry
+///                          servers reject the two-argument form)
+///   close CLIENT           finish CLIENT's queued commands, then drop it
+///   stats                  registry/router counters (see PROTOCOL.md)
+///   quit                   end this command stream
 ///   CLIENT <command>       one session-script command for CLIENT — the
 ///                          exact PR 3 grammar (solve / min-weight /
 ///                          max-weight / drop / order / eps* / objective /
@@ -24,10 +28,10 @@
 /// stays parseable (solves of different clients complete in pool order;
 /// per client, responses arrive in submission order):
 ///
-///   ok open CLIENT
+///   ok open CLIENT [DATASET]
 ///   ok CLIENT line=1 error=3 bound=3 proven=yes seconds=0.012
 ///   err CLIENT line=4 session script line 1: no weight constraint ...
-///   ok stats clients=2 datasets=1 commands=17 forks=0
+///   ok stats clients=2 datasets=1 commands=17 forks=0 ...
 ///   ok quit
 ///
 /// (`line=` is the wire line of the request; the "script line" inside a
@@ -37,16 +41,30 @@
 /// A malformed or failing request answers `err ...` and never corrupts or
 /// closes the named session. Parse and *edit* failures leave its state
 /// byte-identical (edits validate before mutating) — asserted by the
-/// fuzz-style negative suite in tests/server/session_server_test.cc. A
-/// *solve* failure is different: the edit already stuck, and the error
-/// message says "solve failed after edit applied" so a client knows to
-/// reverse it explicitly (e.g. `drop NAME`) rather than assume rejection.
+/// fuzz-style negative suite in tests/server/session_server_test.cc and,
+/// over a real socket, tests/net/socket_server_test.cc. A *solve* failure
+/// is different: the edit already stuck, and the error message says "solve
+/// failed after edit applied" so a client knows to reverse it explicitly
+/// (e.g. `drop NAME`) rather than assume rejection.
+///
+/// Connection scoping: a stream served with
+/// ServeStreamOptions::connection_scoped_clients (every network
+/// connection) owns the clients it opened. `quit` gracefully closes them
+/// (queued commands finish and answer first); EOF without `quit` — a
+/// vanished peer and a clean FIN are indistinguishable on a socket, and
+/// either way nobody reads the responses — abort-closes them (the
+/// in-flight solve is cancelled cooperatively, queued commands fail).
+/// Siblings on other connections are untouched either way. A connection can only address the
+/// clients it opened (responses route to the opening connection's stream).
+/// The PR 4 stdin mode instead drains everything and leaves clients open
+/// (the process exits anyway).
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "app/cli_driver.h"
+#include "server/registry_router.h"
 #include "server/session_registry.h"
 #include "util/status.h"
 
@@ -57,6 +75,7 @@ struct WireRequest {
   enum class Kind { kOpen, kClose, kStats, kQuit, kCommand };
   Kind kind = Kind::kCommand;
   std::string client;      // open/close/command
+  std::string dataset;     // kOpen only; "" = the server's default
   SessionCommand command;  // kCommand only
 };
 
@@ -66,12 +85,27 @@ struct WireRequest {
 /// client, bad command grammar.
 Result<WireRequest> ParseWireLine(const std::string& line);
 
-/// Serves the line protocol over a stream pair until `quit` or EOF, then
-/// drains the registry. Thread-safe response writing (responses from
-/// concurrent strand completions interleave whole-line). Returns the first
-/// transport-level error; protocol-level errors are `err` responses.
+struct ServeStreamOptions {
+  /// Network semantics: the stream owns the clients it opened — `quit`
+  /// gracefully closes them, EOF without `quit` abort-closes them, and
+  /// the registry is NOT drained when the stream ends (sibling connections
+  /// keep solving). Off = the PR 4 stdin semantics (drain everything at
+  /// quit/EOF, leave clients open).
+  bool connection_scoped_clients = false;
+};
+
+/// Serves the line protocol over a stream pair until `quit` or EOF.
+/// Thread-safe response writing (responses from concurrent strand
+/// completions interleave whole-line). Returns the first transport-level
+/// error; protocol-level errors are `err` responses. The registry overload
+/// rejects the dataset form of `open` (one registry = one dataset); the
+/// router overload routes it.
 Status ServeStream(SessionRegistry* registry, std::istream& in,
-                   std::ostream& out);
+                   std::ostream& out,
+                   const ServeStreamOptions& options = ServeStreamOptions());
+Status ServeStream(RegistryRouter* router, std::istream& in,
+                   std::ostream& out,
+                   const ServeStreamOptions& options = ServeStreamOptions());
 
 /// One scripted client's outcome under RunScriptedClients.
 struct ScriptedClientRun {

@@ -1,0 +1,489 @@
+// Socket transport suite (tsan-labelled like the other server suites):
+//
+//  * ParseListenSpec unit coverage (unix:/tcp:/bare forms, bad ports).
+//  * The acceptance walk over real loopback TCP: two concurrent
+//    connections open sessions against *different dataset ids* on one
+//    router-backed server and replay scripted edits; every proven result
+//    must equal a serial single-session replay of the same script.
+//  * A Unix-domain round-trip of the complete documented verb set — every
+//    verb in docs/PROTOCOL.md answers the documented ok/err shape over a
+//    real socket (the doc's round-trip guarantee).
+//  * Wire fuzz over a real socket: a truncated line mid-verb (no trailing
+//    newline, then close) and a connection dropped mid-solve must leave
+//    sibling connections and their sessions fully intact, and free the
+//    dropped connection's client names.
+//
+// Tests skip cleanly (GTEST_SKIP) where the socket family is unavailable.
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "app/cli_driver.h"
+#include "core/solve_session.h"
+#include "net/socket_server.h"
+#include "server/registry_router.h"
+#include "server/wire.h"
+#include "util/random.h"
+
+namespace rankhow {
+namespace {
+
+EpsilonConfig TestEps() {
+  EpsilonConfig eps;
+  eps.tie_eps = 5e-7;
+  eps.eps1 = 1e-6;
+  eps.eps2 = 0.0;
+  return eps;
+}
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+Dataset RandomDataset(Rng& rng, int n, int m) {
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextUniform(0, 1));
+  }
+  return d;
+}
+
+Ranking RandomRanking(Rng& rng, int n, int k) {
+  std::vector<int> tuples(n);
+  for (int t = 0; t < n; ++t) tuples[t] = t;
+  rng.Shuffle(&tuples);
+  std::vector<int> positions(n, kUnranked);
+  for (int p = 0; p < k; ++p) positions[tuples[p]] = p + 1;
+  return MustCreate(std::move(positions));
+}
+
+std::vector<std::string> TupleLabels(int n) {
+  std::vector<std::string> labels;
+  for (int t = 0; t < n; ++t) labels.push_back("t" + std::to_string(t));
+  return labels;
+}
+
+RankHowOptions SpatialOptions() {
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSpatial;
+  options.num_threads = 1;
+  return options;
+}
+
+/// A blocking line-oriented test client over one socket, with a receive
+/// timeout so a server bug can never hang the suite.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { Close(); }
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  WireClient(WireClient&& other) noexcept { *this = std::move(other); }
+  WireClient& operator=(WireClient&& other) noexcept {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+    return *this;
+  }
+
+  bool ConnectTcp(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in sin;
+    std::memset(&sin, 0, sizeof(sin));
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      return false;
+    }
+    return SetTimeout();
+  }
+
+  bool ConnectUnix(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un sun;
+    std::memset(&sun, 0, sizeof(sun));
+    sun.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sun.sun_path)) return false;
+    std::memcpy(sun.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+      return false;
+    }
+    return SetTimeout();
+  }
+
+  bool Send(const std::string& text) {
+    const char* p = text.data();
+    size_t left = text.size();
+    while (left > 0) {
+      ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// One response line (without the newline); nullopt on EOF/timeout.
+  std::optional<std::string> ReadLine() {
+    for (;;) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[1024];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool SetTimeout() {
+    timeval tv;
+    tv.tv_sec = 60;  // generous: solves on a loaded 1-core box are slow
+    tv.tv_usec = 0;
+    return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// A two-dataset router-backed handler stack for the socket tests.
+struct ServerFixture {
+  std::vector<Dataset> datasets;
+  std::vector<Ranking> rankings;
+  std::unique_ptr<RegistryRouter> router;
+  std::unique_ptr<SocketServer> server;
+
+  explicit ServerFixture(uint64_t seed = 301, int n = 10, int k = 4) {
+    Rng rng(seed);
+    for (int i = 0; i < 2; ++i) {
+      datasets.push_back(RandomDataset(rng, n, 3));
+      rankings.push_back(RandomRanking(rng, n, k));
+    }
+    RouterOptions options;
+    options.server.solver = SpatialOptions();
+    options.server.num_workers = 2;
+    router = std::make_unique<RegistryRouter>(options);
+    for (int i = 0; i < 2; ++i) {
+      const Dataset& data = datasets[i];
+      const Ranking& given = rankings[i];
+      EXPECT_TRUE(router
+                      ->RegisterDataset(
+                          "d" + std::to_string(i),
+                          [data, given]()
+                              -> Result<RegistryRouter::DatasetBundle> {
+                            RegistryRouter::DatasetBundle bundle;
+                            bundle.data = SharedDataset(Dataset(data));
+                            bundle.given = Ranking(given);
+                            bundle.labels =
+                                TupleLabels(data.num_tuples());
+                            return bundle;
+                          })
+                      .ok());
+    }
+    server = std::make_unique<SocketServer>(
+        [this](int conn_id, std::istream& in, std::ostream& out) {
+          (void)conn_id;
+          ServeStreamOptions serve_options;
+          serve_options.connection_scoped_clients = true;
+          (void)ServeStream(router.get(), in, out, serve_options);
+        });
+  }
+
+  ~ServerFixture() {
+    // Stop the transport before the router: reader threads hold raw
+    // router pointers.
+    if (server != nullptr) server->Stop();
+  }
+};
+
+TEST(ParseListenSpecTest, AcceptsTheDocumentedForms) {
+  auto unix_explicit = ParseListenSpec("unix:/tmp/rankhow.sock");
+  ASSERT_TRUE(unix_explicit.ok());
+  EXPECT_EQ(unix_explicit->kind, ListenAddress::Kind::kUnix);
+  EXPECT_EQ(unix_explicit->path, "/tmp/rankhow.sock");
+
+  auto unix_bare = ParseListenSpec("/run/rankhow/api.sock");
+  ASSERT_TRUE(unix_bare.ok());
+  EXPECT_EQ(unix_bare->kind, ListenAddress::Kind::kUnix);
+
+  auto tcp = ParseListenSpec("127.0.0.1:8731");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp->kind, ListenAddress::Kind::kTcp);
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 8731);
+
+  auto ephemeral = ParseListenSpec("tcp:localhost:0");
+  ASSERT_TRUE(ephemeral.ok());
+  EXPECT_EQ(ephemeral->port, 0);
+
+  for (const char* bad :
+       {"", "unix:", "8731", "host:port", "1.2.3.4:99999", "1.2.3.4:-1"}) {
+    EXPECT_FALSE(ParseListenSpec(bad).ok()) << "accepted: " << bad;
+  }
+  EXPECT_EQ(ListenSpecString(*tcp), "127.0.0.1:8731");
+  EXPECT_EQ(ListenSpecString(*unix_explicit), "unix:/tmp/rankhow.sock");
+}
+
+TEST(SocketServerTest, TwoTcpClientsOnDifferentDatasetsMatchSerialReplay) {
+  // The ISSUE acceptance walk: >= 2 concurrent TCP clients, different
+  // dataset ids, scripted edits, results identical to serial replay.
+  ServerFixture fixture;
+  ListenAddress address;
+  address.kind = ListenAddress::Kind::kTcp;
+  address.host = "127.0.0.1";
+  address.port = 0;
+  Status started = fixture.server->Start(address);
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
+  }
+  const int port = fixture.server->bound().port;
+
+  // Both connections open and stream their whole script before either
+  // reads a response — the commands of the two clients are genuinely in
+  // flight together on the strand pool.
+  const std::vector<std::string> script = {
+      "solve", "min-weight A0 0.05", "max-weight A1 0.6", "drop min_A0"};
+  WireClient clients[2];
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_TRUE(clients[c].ConnectTcp("127.0.0.1", port));
+    std::string payload =
+        "open c" + std::to_string(c) + " d" + std::to_string(c) + "\n";
+    for (const std::string& line : script) {
+      payload += "c" + std::to_string(c) + " " + line + "\n";
+    }
+    ASSERT_TRUE(clients[c].Send(payload));
+  }
+
+  for (int c = 0; c < 2; ++c) {
+    const std::string name = "c" + std::to_string(c);
+    auto ack = clients[c].ReadLine();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(*ack, "ok open " + name + " d" + std::to_string(c));
+
+    // Serial ground truth: the same script through ExecuteSessionCommand
+    // on a private session over the same dataset.
+    SolveSession replay(Dataset(fixture.datasets[c]),
+                        Ranking(fixture.rankings[c]), SpatialOptions());
+    auto parsed = ParseSessionScript(
+        script[0] + "\n" + script[1] + "\n" + script[2] + "\n" + script[3]);
+    ASSERT_TRUE(parsed.ok());
+    std::vector<std::string> labels =
+        TupleLabels(fixture.datasets[c].num_tuples());
+    for (size_t s = 0; s < parsed->size(); ++s) {
+      auto want = ExecuteSessionCommand(&replay, (*parsed)[s], labels);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(want->result.proven_optimal);
+      auto line = clients[c].ReadLine();
+      ASSERT_TRUE(line.has_value())
+          << name << " step " << s << ": no response";
+      // "ok cN line=L error=E bound=B proven=yes seconds=..."
+      const std::string expect_prefix =
+          "ok " + name + " line=" + std::to_string(s + 2) +
+          " error=" + std::to_string(want->result.error) + " bound=";
+      EXPECT_EQ(line->rfind(expect_prefix, 0), 0u)
+          << name << " step " << s << ": got '" << *line << "', want prefix '"
+          << expect_prefix << "' (network result differs from serial replay)";
+      EXPECT_NE(line->find("proven=yes"), std::string::npos) << *line;
+    }
+    ASSERT_TRUE(clients[c].Send("quit\n"));
+    auto quit = clients[c].ReadLine();
+    ASSERT_TRUE(quit.has_value());
+    EXPECT_EQ(*quit, "ok quit");
+  }
+  EXPECT_EQ(fixture.server->connections_accepted(), 2);
+  fixture.server->Stop();
+}
+
+TEST(SocketServerTest, EveryDocumentedVerbRoundTripsOverAUnixSocket) {
+  // docs/PROTOCOL.md's round-trip guarantee: every verb it documents is
+  // exercised over a real socket and answers the documented shape.
+  ServerFixture fixture(/*seed=*/302, /*n=*/8, /*k=*/3);
+  ListenAddress address;
+  address.kind = ListenAddress::Kind::kUnix;
+  address.path = testing::TempDir() + "rankhow_verbs.sock";
+  Status started = fixture.server->Start(address);
+  if (!started.ok()) {
+    GTEST_SKIP() << "unix sockets unavailable: " << started.ToString();
+  }
+
+  WireClient client;
+  ASSERT_TRUE(client.ConnectUnix(address.path));
+  auto roundtrip = [&client](const std::string& request)
+      -> std::string {
+    if (!client.Send(request + "\n")) return "<send failed>";
+    auto line = client.ReadLine();
+    return line.has_value() ? *line : "<no response>";
+  };
+
+  // open, both forms (dataset-id routing and default-dataset).
+  EXPECT_EQ(roundtrip("open alice d1"), "ok open alice d1");
+  EXPECT_EQ(roundtrip("open bob"), "ok open bob d0");
+  // The full session-command grammar, one verb per request.
+  EXPECT_EQ(roundtrip("alice solve").rfind("ok alice line=3 error=", 0), 0u);
+  EXPECT_EQ(roundtrip("alice min-weight A0 0.05")
+                .rfind("ok alice line=4 error=", 0),
+            0u);
+  EXPECT_EQ(roundtrip("alice max-weight A1 0.6")
+                .rfind("ok alice line=5 error=", 0),
+            0u);
+  EXPECT_EQ(roundtrip("alice drop min_A0").rfind("ok alice line=6", 0), 0u);
+  EXPECT_EQ(roundtrip("alice order t0>t1").rfind("ok alice line=7", 0), 0u);
+  EXPECT_EQ(roundtrip("alice eps 4e-7").rfind("ok alice line=8", 0), 0u);
+  EXPECT_EQ(roundtrip("alice eps1 2e-6").rfind("ok alice line=9", 0), 0u);
+  EXPECT_EQ(roundtrip("alice eps2 0").rfind("ok alice line=10", 0), 0u);
+  EXPECT_EQ(roundtrip("alice objective topheavy")
+                .rfind("ok alice line=11", 0),
+            0u);
+  EXPECT_EQ(roundtrip("alice append 0.5 0.5 0.5")
+                .rfind("ok alice line=12", 0),
+            0u);
+  // stats: the router aggregate, documented field by field.
+  EXPECT_EQ(roundtrip("stats").rfind(
+                "ok stats registries=2 clients=2 datasets=3 commands=", 0),
+            0u)
+      << "(datasets=3: alice's append forked a private COW copy)";
+  // Documented error replies: unknown verb, unknown client, bad dataset.
+  EXPECT_EQ(roundtrip("alice frobnicate 1").rfind("err - wire line", 0), 0u);
+  EXPECT_EQ(roundtrip("ghost solve"),
+            "err ghost no client named ghost on this connection");
+  EXPECT_EQ(roundtrip("open carol nope"),
+            "err carol unknown dataset id: nope");
+  // close, then quit.
+  EXPECT_EQ(roundtrip("close alice"), "ok close alice");
+  EXPECT_EQ(roundtrip("quit"), "ok quit");
+  client.Close();
+  fixture.server->Stop();
+}
+
+TEST(SocketServerTest, TruncatedLinesAndDropsLeaveSiblingsIntact) {
+  ServerFixture fixture(/*seed=*/303, /*n=*/12, /*k=*/5);
+  ListenAddress address;
+  address.kind = ListenAddress::Kind::kTcp;
+  address.host = "127.0.0.1";
+  address.port = 0;
+  Status started = fixture.server->Start(address);
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
+  }
+  const int port = fixture.server->bound().port;
+
+  // The long-lived sibling whose session must survive everything below.
+  WireClient sibling;
+  ASSERT_TRUE(sibling.ConnectTcp("127.0.0.1", port));
+  ASSERT_TRUE(sibling.Send("open keeper d0\nkeeper min-weight A0 0.05\n"));
+  auto opened = sibling.ReadLine();
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, "ok open keeper d0");
+  auto first = sibling.ReadLine();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->rfind("ok keeper line=2 error=", 0), 0u) << *first;
+  const std::string baseline = *first;
+
+  // Fuzz 1: a connection that dies mid-verb — no trailing newline. The
+  // server must treat the partial line as one (malformed) request at EOF
+  // and wind the connection down without touching anyone else.
+  {
+    WireClient trunc;
+    ASSERT_TRUE(trunc.ConnectTcp("127.0.0.1", port));
+    ASSERT_TRUE(trunc.Send("open doomed d0\n"));
+    auto ack = trunc.ReadLine();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(*ack, "ok open doomed d0");
+    ASSERT_TRUE(trunc.Send("doomed min-wei"));  // mid-verb, then gone
+    trunc.Close();
+  }
+
+  // Fuzz 2: a connection dropped with solves still queued mid-flight.
+  {
+    WireClient dropper;
+    ASSERT_TRUE(dropper.ConnectTcp("127.0.0.1", port));
+    ASSERT_TRUE(dropper.Send("open burst d1\n"));
+    auto ack = dropper.ReadLine();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(*ack, "ok open burst d1");
+    // Queue several solves and vanish without reading a single response.
+    ASSERT_TRUE(
+        dropper.Send("burst solve\nburst solve\nburst solve\nburst solve\n"));
+    dropper.Close();
+  }
+
+  // The sibling's session state survived both incidents bit-identically:
+  // the same re-solve proves the same optimum.
+  ASSERT_TRUE(sibling.Send("keeper solve\n"));
+  auto again = sibling.ReadLine();
+  ASSERT_TRUE(again.has_value());
+  // Identical problem, identical session → identical error (the line
+  // number differs, so compare the tail from "error=").
+  const std::string want_tail = baseline.substr(baseline.find("error="));
+  EXPECT_NE(again->find(want_tail.substr(0, want_tail.find(" seconds="))),
+            std::string::npos)
+      << "sibling state corrupted: baseline '" << baseline << "' vs '"
+      << *again << "'";
+
+  // The dropped connections' client names were abort-closed and are free
+  // again (EOF without quit closes owned clients). The close runs on the
+  // dead connection's reader thread, so retry briefly until it lands.
+  WireClient reuser;
+  ASSERT_TRUE(reuser.ConnectTcp("127.0.0.1", port));
+  auto open_with_retry = [&reuser](const std::string& name,
+                                   const std::string& dataset) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (!reuser.Send("open " + name + " " + dataset + "\n")) return false;
+      auto line = reuser.ReadLine();
+      if (!line.has_value()) return false;
+      if (line->rfind("ok open " + name, 0) == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  };
+  EXPECT_TRUE(open_with_retry("doomed", "d0"))
+      << "truncated connection's client never freed — abort-close leaked";
+  EXPECT_TRUE(open_with_retry("burst", "d1"))
+      << "dropped connection's client never freed — abort-close leaked";
+  ASSERT_TRUE(reuser.Send("quit\n"));
+  auto reuser_quit = reuser.ReadLine();
+  ASSERT_TRUE(reuser_quit.has_value());
+  EXPECT_EQ(*reuser_quit, "ok quit");
+
+  ASSERT_TRUE(sibling.Send("quit\n"));
+  auto quit = sibling.ReadLine();
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(*quit, "ok quit");
+  fixture.server->Stop();
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -164,6 +164,12 @@ TEST(SessionServerTest, ConcurrentClientsMatchSerialReplay) {
     ServerOptions server_options;
     server_options.solver = SpatialOptions();
     server_options.num_workers = workers;
+    // This harness asserts *bit-identical* weights against a serial
+    // replay; cross-client sharing keeps every proven error identical but
+    // may surface a different optimal weight vector depending on sibling
+    // timing, so it stays off here (registry_router_test covers the
+    // shared-pool equivalence property on proven optima).
+    server_options.share_incumbents = false;
     SessionRegistry registry(SharedDataset(Dataset(data)), Ranking(given),
                              labels, server_options);
     auto runs = RunScriptedClients(&registry, scripts, kClients);
@@ -212,6 +218,9 @@ TEST(SessionServerTest, ResidentCopiesStayAtOneUntilAForkAndSiblingsHold) {
   ServerOptions server_options;
   server_options.solver = SpatialOptions();
   server_options.num_workers = 4;
+  // Off for the same reason as the equivalence harness: this test asserts
+  // weight identity across a sibling's fork.
+  server_options.share_incumbents = false;
   SessionRegistry registry(SharedDataset(std::move(data)), std::move(given),
                            labels, server_options);
 
@@ -292,8 +301,9 @@ TEST(SessionServerTest, WireGrammarRejectsMalformedLines) {
             StatusCode::kNotFound);
   for (const char* bad : {
            "open",                      // truncated: no client
-           "open a b",                  // too many args
+           "open a b c",                // too many args
            "close",                     // truncated
+           "close a b",                 // close never takes a dataset
            "stats now",                 // arity
            "quit now",                  // arity
            "c0",                        // truncated: client without command
@@ -317,6 +327,15 @@ TEST(SessionServerTest, WireGrammarRejectsMalformedLines) {
   EXPECT_EQ(ok->kind, WireRequest::Kind::kCommand);
   EXPECT_EQ(ok->client, "c0");
   EXPECT_EQ(ok->command.kind, SessionCommand::Kind::kMinWeight);
+  // The dataset form of open (routed servers; PROTOCOL.md).
+  auto routed = ParseWireLine("open alice nba");
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->kind, WireRequest::Kind::kOpen);
+  EXPECT_EQ(routed->client, "alice");
+  EXPECT_EQ(routed->dataset, "nba");
+  auto plain = ParseWireLine("open alice");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->dataset.empty());
 }
 
 TEST(SessionServerTest, BadCommandsErrorAndLeaveTheSessionIntact) {
@@ -520,6 +539,7 @@ TEST(SessionServerTest, ServeStreamSpeaksTheLineProtocol) {
       "alice frobnicate 1\n"
       "open alice\n"
       "close bob\n"
+      "open carol nba\n"
       "quit\n"
       "alice solve\n");  // after quit: never read
   std::ostringstream out;
@@ -533,6 +553,10 @@ TEST(SessionServerTest, ServeStreamSpeaksTheLineProtocol) {
   EXPECT_NE(output.find("err alice client already open"), std::string::npos)
       << output;
   EXPECT_NE(output.find("err bob"), std::string::npos) << output;
+  // A single-registry server rejects the dataset form of open.
+  EXPECT_NE(output.find("err carol this server serves a single dataset"),
+            std::string::npos)
+      << output;
   // quit drains before acking, so it is the last line.
   EXPECT_EQ(output.rfind("ok quit\n"), output.size() - 8) << output;
 }

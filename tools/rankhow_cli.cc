@@ -24,7 +24,9 @@
 #include "core/solve_session.h"
 #include "core/sym_gd.h"
 #include "data/shared_dataset.h"
+#include "net/socket_server.h"
 #include "ranking/score_ranking.h"
+#include "server/registry_router.h"
 #include "server/session_registry.h"
 #include "server/wire.h"
 #include "util/string_util.h"
@@ -168,6 +170,72 @@ Result<std::unique_ptr<SolveSession>> MakeSession(
   return session;
 }
 
+/// "path/to/players.csv" -> "players": the dataset id a catalog entry
+/// serves under (`open CLIENT players`).
+std::string DatasetIdFromPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return base;
+}
+
+/// `--listen` mode: a Unix-domain/TCP socket server routing the wire
+/// protocol across a lazily-loaded multi-dataset catalog (`--data` takes a
+/// comma-separated CSV list; dataset ids are the file basenames; the first
+/// is the default). Runs until the process is terminated.
+int RunListenServer(const std::string& listen_spec,
+                    const std::string& data_paths, const CliDataSpec& spec,
+                    const RouterOptions& router_options) {
+  auto address = ParseListenSpec(listen_spec);
+  if (!address.ok()) return Fail(address.status());
+
+  RegistryRouter router(router_options);
+  std::vector<std::string> ids;
+  for (const std::string& p : Split(data_paths, ',')) {
+    const std::string path(Trim(p));
+    if (path.empty()) continue;
+    const std::string id = DatasetIdFromPath(path);
+    // Lazy loader: the CSV is parsed on the first `open` that names the
+    // dataset (and again if the registry was LRU-evicted meanwhile).
+    Status registered = router.RegisterDataset(
+        id, [path, spec]() -> Result<RegistryRouter::DatasetBundle> {
+          RH_ASSIGN_OR_RETURN(CsvTable csv, ReadCsvFile(path));
+          RH_ASSIGN_OR_RETURN(CliProblem problem,
+                              AssembleCliProblem(csv, spec));
+          RegistryRouter::DatasetBundle bundle;
+          bundle.data = SharedDataset(std::move(problem.data));
+          bundle.given = std::move(problem.given);
+          bundle.labels = std::move(problem.labels);
+          return bundle;
+        });
+    if (!registered.ok()) return Fail(registered);
+    ids.push_back(id);
+  }
+  if (ids.empty()) {
+    std::cerr << "error: --listen needs --data=a.csv[,b.csv...]\n";
+    return 1;
+  }
+
+  SocketServer server([&router](int conn_id, std::istream& in,
+                                std::ostream& out) {
+    (void)conn_id;
+    ServeStreamOptions serve_options;
+    // Network semantics: this connection owns the clients it opens, and
+    // its end (quit/EOF/drop) closes them without draining siblings.
+    serve_options.connection_scoped_clients = true;
+    (void)ServeStream(&router, in, out, serve_options);
+  });
+  Status started = server.Start(*address);
+  if (!started.ok()) return Fail(started);
+  std::cerr << "rankhow: listening on " << server.bound_spec() << " ("
+            << ids.size() << " dataset" << (ids.size() == 1 ? "" : "s")
+            << ": " << Join(ids, ", ") << "; default " << ids[0] << ")\n";
+  server.Wait();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +293,26 @@ int main(int argc, char** argv) {
       "with --serve: run N scripted clients (client i streams the i-th "
       "--session script, round-robin) instead of reading a transport — "
       "deterministic multi-client mode for testing and benchmarks"));
+  std::string listen_spec = flags.GetString(
+      "listen", "",
+      "network session server: serve the wire protocol on unix:PATH (or a "
+      "bare path containing '/') or HOST:PORT (port 0 = ephemeral, "
+      "printed on stderr); --data may list several CSVs — dataset ids are "
+      "the file basenames, selected per client via 'open CLIENT DATASET' "
+      "(see docs/PROTOCOL.md and docs/OPERATIONS.md)");
+  int max_registries = static_cast<int>(flags.GetInt(
+      "max-registries", 4,
+      "with --listen: resident dataset registries; loading beyond this "
+      "LRU-evicts an idle zero-client registry"));
+  int max_sessions = static_cast<int>(flags.GetInt(
+      "max-sessions", 64,
+      "with --listen: total open client sessions across all datasets; "
+      "opening beyond this LRU-closes idle sessions"));
+  bool share_incumbents = flags.GetBool(
+      "share-incumbents", true,
+      "with --serve/--listen: registry-level cross-client incumbent "
+      "sharing — clients over one snapshot warm-start from each other's "
+      "proven winners (candidates only, revalidated per client)");
   bool use_sym_gd = flags.GetBool(
       "sym-gd", false, "approximate with symbolic gradient descent (Sec. IV)");
   double cell = flags.GetDouble("cell", 0.01, "SYM-GD cell size c");
@@ -242,9 +330,6 @@ int main(int argc, char** argv) {
     std::cerr << "error: --data is required (try --help)\n";
     return 1;
   }
-
-  auto csv = ReadCsvFile(data_path);
-  if (!csv.ok()) return Fail(csv.status());
 
   CliDataSpec spec;
   if (!attrs.empty()) {
@@ -264,14 +349,8 @@ int main(int argc, char** argv) {
   spec.offset_ranking = offset;
   spec.drop_duplicates = drop_duplicates;
 
-  auto problem = AssembleCliProblem(*csv, spec);
-  if (!problem.ok()) return Fail(problem.status());
-
   auto strategy = ParseStrategy(strategy_name);
   if (!strategy.ok()) return Fail(strategy.status());
-  auto objective = ParseObjectiveSpec(objective_name, problem->given.k());
-  if (!objective.ok()) return Fail(objective.status());
-
   auto threads = ParseThreadCount(threads_spec);
   if (!threads.ok()) return Fail(threads.status());
   auto time_limit_parsed = ParseTimeLimit(time_limit_spec);
@@ -292,6 +371,47 @@ int main(int argc, char** argv) {
     std::cerr << "error: epsilons must satisfy eps2 <= eps < eps1\n";
     return 1;
   }
+
+  if (!listen_spec.empty()) {
+    // Network serving loads its datasets lazily (first `open` per id), so
+    // this mode never touches the CSVs up front.
+    if (serve || clients != 0 || !session_spec.empty() || use_sym_gd ||
+        !min_weights.empty() || !max_weights.empty() || !orders.empty()) {
+      std::cerr << "error: --listen is a standalone server mode; drop "
+                   "--serve/--clients/--session/--sym-gd and the "
+                   "constraint flags (clients script their own "
+                   "constraints)\n";
+      return 1;
+    }
+    // The default objective for every client session; `objective` edits
+    // re-derive per-dataset ladders from each session's own ranking, so
+    // the --k flag only sizes the default spec here.
+    auto objective = ParseObjectiveSpec(objective_name, k);
+    if (!objective.ok()) return Fail(objective.status());
+    RouterOptions router_options;
+    router_options.server.solver = options;
+    router_options.server.objective = *objective;
+    router_options.server.num_workers = *threads;
+    router_options.server.share_incumbents = share_incumbents;
+    router_options.max_resident_registries = max_registries;
+    router_options.max_open_sessions = max_sessions;
+    if (max_registries < 1 || max_sessions < 1) {
+      std::cerr << "error: --max-registries/--max-sessions want positive "
+                   "counts\n";
+      return 1;
+    }
+    router_options.server.max_clients = max_sessions;
+    return RunListenServer(listen_spec, data_path, spec, router_options);
+  }
+
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) return Fail(csv.status());
+
+  auto problem = AssembleCliProblem(*csv, spec);
+  if (!problem.ok()) return Fail(problem.status());
+
+  auto objective = ParseObjectiveSpec(objective_name, problem->given.k());
+  if (!objective.ok()) return Fail(objective.status());
 
   // In wire-serve mode stdout carries ONLY tagged protocol responses; the
   // banner goes to stderr so strict line parsers never see it.
@@ -329,6 +449,7 @@ int main(int argc, char** argv) {
     server_options.objective = *objective;
     server_options.num_workers = *threads;
     server_options.max_clients = std::max(64, clients);
+    server_options.share_incumbents = share_incumbents;
     SessionRegistry registry(SharedDataset(problem->data), problem->given,
                              problem->labels, server_options);
     if (clients > 0) {
