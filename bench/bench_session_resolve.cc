@@ -24,6 +24,13 @@
 // BENCH_server_throughput.json's "cross_client_warm_seed" object, with an
 // errors_match consistency bit (sharing must never move a proven optimum).
 //
+// A fourth section measures write-ahead journal overhead (the durability
+// PR): the same scripted-client workload with the journal off, batched
+// (the fsync_every=32 default), and fsync-every-record — wall seconds and
+// the overhead percentages land in BENCH_server_throughput.json's
+// "journal_overhead" object. The acceptance number: batched overhead
+// under 10%.
+//
 // Flags: --nba-n, --cs-n, --k, --budget (per solve), --seed, --serve-n
 // (server-section dataset size), --serve-budget.
 
@@ -31,8 +38,12 @@
 #include <cstdio>
 #include <vector>
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include "bench/harness_include.h"
 #include "core/solve_session.h"
+#include "server/journal.h"
 #include "server/session_registry.h"
 #include "server/wire.h"
 
@@ -436,8 +447,96 @@ WarmSeedRun RunWarmSeedVariant(const Dataset& data, const Ranking& given,
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// Write-ahead journal overhead.
+
+struct JournalOverheadRun {
+  std::string mode;      // "off" | "batched" | "fsync_every_record"
+  int fsync_every = -1;  // -1 = journal off
+  double seconds = 0;
+  int commands = 0;
+  double queries_per_second = 0;
+  int64_t records = 0;
+  int64_t fsyncs = 0;
+  bool ok = true;
+};
+
+/// The throughput workload (4 clients, the standard edit script) with the
+/// registry journaling into a scratch directory at one fsync policy.
+/// Everything but the journal pointer matches RunThroughputLevel, so the
+/// seconds are comparable run-to-run and the delta prices the journal.
+JournalOverheadRun RunJournalOverhead(const Dataset& data,
+                                      const Ranking& given, EpsilonConfig eps,
+                                      double budget, const std::string& mode,
+                                      int fsync_every,
+                                      const std::string& dir) {
+  constexpr int kClients = 4;
+  JournalOverheadRun run;
+  run.mode = mode;
+  run.fsync_every = fsync_every;
+
+  RankHowOptions solver;
+  solver.eps = eps;
+  solver.time_limit_seconds = budget;
+
+  ServerOptions server_options;
+  server_options.solver = solver;
+  server_options.num_workers = 0;  // all hardware threads
+  server_options.max_clients = kClients;
+
+  std::unique_ptr<SessionJournal> journal;
+  if (fsync_every >= 0) {
+    JournalOptions jopts;
+    jopts.fsync_every = fsync_every;
+    auto opened =
+        SessionJournal::Open(dir + "/" + mode + ".journal", "bench",
+                             DatasetFingerprint(data, given), jopts);
+    if (!opened.ok()) {
+      std::printf("  %-18s journal open failed: %s\n", mode.c_str(),
+                  opened.status().ToString().c_str());
+      run.ok = false;
+      return run;
+    }
+    journal = std::move(*opened);
+    server_options.journal = journal.get();
+  }
+
+  SessionRegistry registry(SharedDataset(Dataset(data)), Ranking(given),
+                           /*labels=*/{}, server_options);
+  std::vector<std::vector<SessionCommand>> scripts = {
+      ThroughputScript(data)};
+  WallTimer timer;
+  auto runs = RunScriptedClients(&registry, scripts, kClients);
+  run.seconds = timer.ElapsedSeconds();
+  if (!runs.ok()) {
+    std::printf("  %-18s FAILED: %s\n", mode.c_str(),
+                runs.status().ToString().c_str());
+    run.ok = false;
+    return run;
+  }
+  for (const ScriptedClientRun& client : *runs) {
+    run.commands += static_cast<int>(client.outcomes.size());
+    if (!client.status.ok()) run.ok = false;
+  }
+  run.queries_per_second =
+      run.seconds > 0 ? run.commands / run.seconds : 0;
+  if (journal != nullptr) {
+    JournalStats js = journal->Stats();
+    run.records = js.records_appended;
+    run.fsyncs = js.fsyncs;
+    if (js.degraded || js.records_appended == 0) run.ok = false;
+  }
+  std::printf("  %-18s %3d commands in %7.3fs = %7.2f q/s  "
+              "(%lld records, %lld fsyncs)\n",
+              mode.c_str(), run.commands, run.seconds,
+              run.queries_per_second, (long long)run.records,
+              (long long)run.fsyncs);
+  return run;
+}
+
 void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
                         const WarmSeedRun& cold, const WarmSeedRun& warm,
+                        const std::vector<JournalOverheadRun>& jruns,
                         int n, int m, int k, bool all_ok) {
   std::FILE* f = std::fopen("BENCH_server_throughput.json", "w");
   if (f == nullptr) {
@@ -475,7 +574,7 @@ void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
       "\"b_error\": %ld, \"proven\": %s, \"shared_draws\": %lld},\n"
       "    \"first_solve_speedup\": %.3f,\n"
       "    \"node_ratio\": %.3f,\n"
-      "    \"errors_match\": %s\n  }\n}\n",
+      "    \"errors_match\": %s\n  },\n",
       cold.b_seconds, cold.b_nodes, cold.b_error,
       cold.proven ? "true" : "false", warm.b_seconds, warm.b_nodes,
       warm.b_error, warm.proven ? "true" : "false",
@@ -484,6 +583,31 @@ void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
       cold.b_nodes > 0 ? static_cast<double>(warm.b_nodes) / cold.b_nodes
                        : 0.0,
       cold.b_error == warm.b_error ? "true" : "false");
+  // Journal overhead: the same workload at each fsync policy, with
+  // overhead_pct relative to the journal-off baseline. The acceptance
+  // number is "batched" (the fsync_every=32 default) under 10%.
+  std::fprintf(f, "  \"journal_overhead\": {\n    \"modes\": [\n");
+  double off_seconds = 0;
+  for (const JournalOverheadRun& jr : jruns) {
+    if (jr.mode == "off") off_seconds = jr.seconds;
+  }
+  for (size_t i = 0; i < jruns.size(); ++i) {
+    const JournalOverheadRun& jr = jruns[i];
+    double overhead_pct =
+        off_seconds > 0 ? (jr.seconds - off_seconds) / off_seconds * 100.0
+                        : 0.0;
+    std::fprintf(f,
+                 "      {\"mode\": \"%s\", \"fsync_every\": %d, "
+                 "\"seconds\": %.4f, \"queries_per_second\": %.3f, "
+                 "\"records\": %lld, \"fsyncs\": %lld, "
+                 "\"overhead_pct\": %.2f, \"ok\": %s}%s\n",
+                 jr.mode.c_str(), jr.fsync_every, jr.seconds,
+                 jr.queries_per_second, (long long)jr.records,
+                 (long long)jr.fsyncs, overhead_pct,
+                 jr.ok ? "true" : "false",
+                 i + 1 < jruns.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("(written to BENCH_server_throughput.json)\n");
 }
@@ -563,7 +687,40 @@ int main(int argc, char** argv) {
                                              /*shared=*/true);
   serve_ok = serve_ok && seed_cold.ok && seed_warm.ok;
 
-  EmitThroughputJson(levels, seed_cold, seed_warm, serve_n, 5, k, serve_ok);
+  // Write-ahead journal overhead: the throughput workload with the journal
+  // off, at the batched default, and fsyncing every record, into a scratch
+  // directory cleaned up afterwards.
+  std::printf("=== journal overhead: NBA (n=%d, m=5, k=%d) ===\n", serve_n,
+              k);
+  std::vector<JournalOverheadRun> jruns;
+  char jdir_template[] = "/tmp/rankhow_bench_journal_XXXXXX";
+  char* jdir = mkdtemp(jdir_template);
+  if (jdir == nullptr) {
+    std::printf("  mkdtemp failed: skipping journal-overhead section\n");
+    serve_ok = false;
+  } else {
+    jruns.push_back(RunJournalOverhead(serve_data, serve_given, NbaEps(),
+                                       serve_budget, "off", -1, jdir));
+    jruns.push_back(RunJournalOverhead(serve_data, serve_given, NbaEps(),
+                                       serve_budget, "batched", 32, jdir));
+    jruns.push_back(RunJournalOverhead(serve_data, serve_given, NbaEps(),
+                                       serve_budget, "fsync_every_record",
+                                       1, jdir));
+    for (const JournalOverheadRun& jr : jruns) {
+      serve_ok = serve_ok && jr.ok;
+      std::remove((std::string(jdir) + "/" + jr.mode + ".journal").c_str());
+    }
+    rmdir(jdir);
+    if (jruns[0].seconds > 0) {
+      double batched_pct =
+          (jruns[1].seconds - jruns[0].seconds) / jruns[0].seconds * 100.0;
+      std::printf("  batched overhead vs off: %+.2f%%%s\n", batched_pct,
+                  batched_pct < 10.0 ? "" : "  (over the 10%% target)");
+    }
+  }
+
+  EmitThroughputJson(levels, seed_cold, seed_warm, jruns, serve_n, 5, k,
+                     serve_ok);
   all_ok = all_ok && serve_ok;
 
   if (!all_ok) {

@@ -7,6 +7,13 @@
 # stream teardown), with the socket suites re-run explicitly so the
 # network gate is visible in the log. The loopback-TCP smoke drives the
 # real rankhow_cli --listen binary over /dev/tcp.
+#
+# The chaos suite rides both sanitizer gates: `ctest --preset tsan` picks
+# up chaos_tests_nokill (fault injection, journal recovery, shedding —
+# the subprocess-free subset; SIGKILLing children under tsan is noise),
+# and the asan preset's full ctest includes the kill/crash tests that
+# SIGKILL a real --listen server mid-session. The explicit `-L chaos` run
+# below makes the durability gate visible in the log like the socket one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,5 +37,8 @@ ctest --preset asan
 
 echo "== asan socket gate: net + server suites, explicitly =="
 (cd build-asan && ctest --output-on-failure -R '^(net|server)_tests$')
+
+echo "== asan chaos gate: journal recovery + SIGKILL/crash tests =="
+(cd build-asan && ctest --output-on-failure -L chaos)
 
 echo "check.sh: all gates passed"

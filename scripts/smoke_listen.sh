@@ -17,7 +17,18 @@ fi
 WORK="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
-  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  # TERM, give the server a moment to exit, then KILL, and always reap —
+  # an unreaped child holds the listening socket as a zombie until the
+  # harness itself exits, which makes back-to-back runs flaky.
+  if [[ -n "$SERVER_PID" ]]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    for _ in $(seq 1 20); do
+      kill -0 "$SERVER_PID" 2>/dev/null || break
+      sleep 0.05
+    done
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -56,6 +67,14 @@ if [[ -z "$PORT" ]]; then
   echo "smoke_listen: server never announced a port" >&2
   cat "$WORK/server.err" >&2
   exit 1
+fi
+
+# /dev/tcp is a bash compile-time feature (--enable-net-redirections);
+# some distros build without it. Probe once and skip cleanly rather than
+# failing the whole gate on an environment limitation.
+if ! (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+  echo "smoke_listen: SKIP - bash lacks /dev/tcp support on this host" >&2
+  exit 0
 fi
 
 run_client() {  # $1 = client name, $2 = dataset id

@@ -373,6 +373,34 @@ Result<std::vector<SessionCommand>> ParseSessionScript(
   return script;
 }
 
+std::string FormatSessionCommand(const SessionCommand& cmd) {
+  // %.17g renders doubles losslessly, so Parse(Format(cmd)) reproduces the
+  // command bit-for-bit — the journal round-trip tests assert this.
+  switch (cmd.kind) {
+    case SessionCommand::Kind::kSolve:
+      return "solve";
+    case SessionCommand::Kind::kMinWeight:
+      return StrFormat("min-weight %s %.17g", cmd.arg.c_str(), cmd.value);
+    case SessionCommand::Kind::kMaxWeight:
+      return StrFormat("max-weight %s %.17g", cmd.arg.c_str(), cmd.value);
+    case SessionCommand::Kind::kDrop:
+      return "drop " + cmd.arg;
+    case SessionCommand::Kind::kOrder:
+      return "order " + cmd.arg;
+    case SessionCommand::Kind::kEps:
+      return StrFormat("eps %.17g", cmd.value);
+    case SessionCommand::Kind::kEps1:
+      return StrFormat("eps1 %.17g", cmd.value);
+    case SessionCommand::Kind::kEps2:
+      return StrFormat("eps2 %.17g", cmd.value);
+    case SessionCommand::Kind::kObjective:
+      return "objective " + cmd.arg;
+    case SessionCommand::Kind::kAppend:
+      return "append " + cmd.arg;
+  }
+  return "solve";  // unreachable
+}
+
 Status ApplySessionCommand(SolveSession* session, const SessionCommand& cmd,
                            const std::vector<std::string>& labels) {
   auto fail = [&cmd](const Status& status) {
@@ -453,10 +481,45 @@ Status ApplySessionCommand(SolveSession* session, const SessionCommand& cmd,
   return edit.ok() ? edit : fail(edit);
 }
 
+namespace {
+
+/// Restores the session's configured time limit when a per-request
+/// deadline temporarily narrowed it (exception/early-return safe).
+class ScopedTimeLimit {
+ public:
+  ScopedTimeLimit(SolveSession* session, int64_t deadline_ms)
+      : session_(session),
+        configured_(session->time_limit_seconds()),
+        active_(deadline_ms > 0) {
+    if (!active_) return;
+    double effective = static_cast<double>(deadline_ms) / 1000.0;
+    // 0 = unlimited, so only a configured limit can tighten the deadline.
+    if (configured_ > 0) effective = std::min(configured_, effective);
+    session_->set_time_limit_seconds(effective);
+  }
+  ~ScopedTimeLimit() {
+    if (active_) session_->set_time_limit_seconds(configured_);
+  }
+
+ private:
+  SolveSession* session_;
+  double configured_;
+  bool active_;
+};
+
+}  // namespace
+
 Result<SessionStepOutcome> ExecuteSessionCommand(
     SolveSession* session, const SessionCommand& cmd,
-    const std::vector<std::string>& labels) {
+    const std::vector<std::string>& labels, bool* edit_applied) {
+  if (edit_applied != nullptr) *edit_applied = false;
   RH_RETURN_NOT_OK(ApplySessionCommand(session, cmd, labels));
+  // A bare solve edits nothing — recovery rebuilds constraint state, not
+  // solve history, so the journal records only state-changing commands.
+  if (edit_applied != nullptr) {
+    *edit_applied = cmd.kind != SessionCommand::Kind::kSolve;
+  }
+  ScopedTimeLimit deadline(session, cmd.deadline_ms);
   auto result = session->Solve();
   if (!result.ok()) {
     // Edit failures above leave the session untouched; a *solve* failure

@@ -7,6 +7,7 @@
 /// the parsing/assembly rules are unit-testable and reusable by downstream
 /// embedders who have their own flag handling.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -143,11 +144,23 @@ struct SessionCommand {
   std::string arg;
   double value = 0;  // min/max-weight bound or ε value
   int line = 0;      // 1-based source line for error messages
+  /// Per-request wall-clock deadline in milliseconds (0 = none). Not part
+  /// of the script grammar: the wire layer's stream-scoped `deadline MS`
+  /// verb stamps it onto subsequent commands, and ExecuteSessionCommand
+  /// caps the solve's time limit at min(configured, deadline). Not
+  /// journaled either — replay applies edits only, never solves.
+  int64_t deadline_ms = 0;
 };
 
 /// Parses a session script. Errors: kInvalidArgument with the line number.
 Result<std::vector<SessionCommand>> ParseSessionScript(
     const std::string& text);
+
+/// The inverse of ParseSessionScript for one command: renders the exact
+/// script-grammar line that parses back to `cmd` (doubles round-trip via
+/// %.17g). The session journal persists commands in this form, so the
+/// on-disk format and the wire/script grammar can never drift apart.
+std::string FormatSessionCommand(const SessionCommand& cmd);
 
 /// One executed script line: the command and what its solve proved.
 struct SessionStepOutcome {
@@ -168,9 +181,17 @@ Status ApplySessionCommand(SolveSession* session, const SessionCommand& cmd,
 /// solve); a failed solve propagates. The multi-client equivalence harness
 /// replays scripts through this same function, so server strands and serial
 /// replays execute identical code.
+///
+/// `edit_applied` (optional) reports whether the edit mutated the session —
+/// true even when the subsequent solve failed ("solve failed after edit
+/// applied"), which is exactly the bit the write-ahead journal needs: a
+/// command whose edit stuck must be journaled whether or not its solve
+/// finished. A non-zero cmd.deadline_ms caps the solve's wall clock at
+/// min(session time limit, deadline); the configured limit is restored
+/// afterwards.
 Result<SessionStepOutcome> ExecuteSessionCommand(
     SolveSession* session, const SessionCommand& cmd,
-    const std::vector<std::string>& labels);
+    const std::vector<std::string>& labels, bool* edit_applied = nullptr);
 
 /// Applies the script to a session, one edit+solve per line. Labels resolve
 /// `order` commands (pass the CliProblem's labels). Stops at the first

@@ -139,6 +139,14 @@ class SolveSession {
   const SharedDataset& shared_data() const { return data_; }
   const Ranking& given() const { return given_; }
   const SolveSessionStats& stats() const { return stats_; }
+  /// The per-solve wall-clock budget (RankHowOptions::time_limit_seconds;
+  /// 0 = unlimited). Mutable so per-request deadlines (the wire `deadline`
+  /// verb) can narrow one solve and restore the configured limit after —
+  /// a budget knob only, never a cache-invalidating edit.
+  double time_limit_seconds() const { return options_.time_limit_seconds; }
+  void set_time_limit_seconds(double seconds) {
+    options_.time_limit_seconds = seconds;
+  }
   size_t incumbent_pool_size() const { return pool_.size(); }
   /// Recorded true errors of the pooled incumbents, most recent first
   /// (diagnostics; the eviction regression test reads this).

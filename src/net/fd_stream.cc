@@ -7,6 +7,8 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "util/fault.h"
+
 namespace rankhow {
 
 FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
@@ -20,6 +22,10 @@ FdStreamBuf::int_type FdStreamBuf::underflow() {
   do {
     n = ::recv(fd_, in_, sizeof(in_), 0);
   } while (n < 0 && errno == EINTR);
+  // n < 0 covers a recv timeout (EAGAIN under SO_RCVTIMEO — the socket
+  // server's idle-connection deadline) as well as hard errors: either way
+  // the stream ends and the wire layer abort-closes, which is exactly the
+  // vanished-peer semantics the deadline wants.
   if (n <= 0) return traits_type::eof();  // peer closed / shutdown / error
   setg(in_, in_, in_ + n);
   return traits_type::to_int_type(*gptr());
@@ -34,6 +40,14 @@ bool FdStreamBuf::FlushOut() {
       n = ::send(fd_, p, static_cast<size_t>(pptr() - p), MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
     if (n <= 0) return false;
+    // Chaos hook: an armed drop-connection-after-N-bytes budget severs the
+    // transport mid-response, exactly as a dying peer or half-written
+    // segment would.
+    if (FaultInjector::Global().ConsumeBudget(faults::kConnDropAfterBytes,
+                                              n)) {
+      ::shutdown(fd_, SHUT_RDWR);
+      return false;
+    }
     p += n;
   }
   setp(out_, out_ + sizeof(out_) - 1);

@@ -9,6 +9,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -61,8 +62,10 @@ std::string ListenSpecString(const ListenAddress& address) {
   return address.host + ":" + std::to_string(address.port);
 }
 
-SocketServer::SocketServer(ConnectionHandler handler)
-    : handler_(std::move(handler)) {}
+SocketServer::SocketServer(ConnectionHandler handler,
+                           int idle_timeout_seconds)
+    : handler_(std::move(handler)),
+      idle_timeout_seconds_(idle_timeout_seconds) {}
 
 SocketServer::~SocketServer() { Stop(); }
 
@@ -193,6 +196,17 @@ void SocketServer::AcceptLoop() {
         continue;
       }
       return;  // listener closed / fatal accept error
+    }
+    if (idle_timeout_seconds_ > 0) {
+      // Idle-connection deadline: a peer that goes silent past the budget
+      // surfaces as recv timing out (EAGAIN), which FdStreamBuf reads as
+      // EOF — the reader thread then winds the connection down through the
+      // normal abort path. Best-effort: a socket without SO_RCVTIMEO just
+      // keeps the old never-time-out behavior.
+      timeval tv;
+      tv.tv_sec = idle_timeout_seconds_;
+      tv.tv_usec = 0;
+      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     }
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {

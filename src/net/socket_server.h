@@ -66,7 +66,13 @@ class SocketServer {
   using ConnectionHandler =
       std::function<void(int conn_id, std::istream& in, std::ostream& out)>;
 
-  explicit SocketServer(ConnectionHandler handler);
+  /// `idle_timeout_seconds > 0` arms a per-connection idle deadline
+  /// (SO_RCVTIMEO): a connection that sends nothing for that long reads as
+  /// EOF on its reader thread, which abort-closes its sessions exactly
+  /// like a vanished peer — a crashed client can't pin its sessions (and
+  /// their snapshot refcounts) forever. 0 = never time out.
+  explicit SocketServer(ConnectionHandler handler,
+                        int idle_timeout_seconds = 0);
   /// Stop()s if still running.
   ~SocketServer();
 
@@ -101,6 +107,7 @@ class SocketServer {
   void ReapFinishedLocked(std::vector<std::thread>* out);
 
   ConnectionHandler handler_;
+  int idle_timeout_seconds_ = 0;
   int listen_fd_ = -1;
   ListenAddress bound_;
   std::string unlink_path_;  // bound Unix path to remove on Stop

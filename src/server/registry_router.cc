@@ -1,5 +1,7 @@
 #include "server/registry_router.h"
 
+#include <cstdio>
+
 #include <algorithm>
 #include <utility>
 
@@ -13,17 +15,28 @@ RegistryRouter::~RegistryRouter() {
   // Registries drain themselves in their destructors; detach them under
   // the lock, destroy outside (a strand callback may be calling Submit —
   // it holds a shared_ptr, so the last release happens off our lock).
+  // Journals detach too but die strictly AFTER the registries: a draining
+  // strand may still be appending through its ServerOptions::journal.
   std::vector<std::shared_ptr<SessionRegistry>> doomed;
+  std::vector<std::unique_ptr<SessionJournal>> doomed_journals;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [id, entry] : catalog_) {
       (void)id;
       if (entry.registry != nullptr) doomed.push_back(std::move(entry.registry));
+      if (entry.journal != nullptr) {
+        doomed_journals.push_back(std::move(entry.journal));
+      }
     }
     catalog_.clear();
     routes_.clear();
   }
   doomed.clear();
+  doomed_journals.clear();
+}
+
+std::string RegistryRouter::JournalPath(const std::string& id) const {
+  return options_.journal_dir + "/" + id + ".journal";
 }
 
 Status RegistryRouter::RegisterDataset(const std::string& id, Loader loader) {
@@ -74,8 +87,31 @@ void RegistryRouter::EvictIdleSessionsLocked(
 }
 
 Status RegistryRouter::Open(const std::string& client,
-                            const std::string& dataset_id) {
+                            const std::string& dataset_id, bool* adopted) {
+  if (adopted != nullptr) *adopted = false;
   std::unique_lock<std::mutex> lock(mu_);
+  {
+    auto route = routes_.find(client);
+    if (route != routes_.end()) {
+      // The name is live. If it names a journal-recovered session no
+      // connection has claimed yet, this open *adopts* it — constraint
+      // state intact — provided the caller didn't name a different
+      // dataset ("" adopts the recovered binding).
+      auto owner = catalog_.find(route->second.dataset);
+      std::shared_ptr<SessionRegistry> registry =
+          owner != catalog_.end() ? owner->second.registry : nullptr;
+      if (registry != nullptr &&
+          (dataset_id.empty() || dataset_id == route->second.dataset) &&
+          registry->Adopt(client)) {
+        ++clock_;
+        route->second.last_used = clock_;
+        owner->second.last_used = clock_;
+        if (adopted != nullptr) *adopted = true;
+        return Status();
+      }
+      return Status::AlreadyExists("client already open: " + client);
+    }
+  }
   const std::string dataset =
       dataset_id.empty() ? default_dataset_ : dataset_id;
   if (dataset.empty()) return Status::NotFound("router has no datasets");
@@ -88,30 +124,55 @@ Status RegistryRouter::Open(const std::string& client,
   }
 
   if (it->second.registry == nullptr) {
-    // Lazy load, off the lock (CSV parsing + registry construction can be
+    // Lazy load, off the lock (CSV parsing and fingerprinting can be
     // slow). Tolerate the benign race where a concurrent Open loads the
     // same dataset first: the loser's bundle is dropped.
     Loader loader = it->second.loader;
     lock.unlock();
     Result<DatasetBundle> bundle = loader();
-    std::shared_ptr<SessionRegistry> fresh;
-    if (bundle.ok()) {
-      fresh = std::make_shared<SessionRegistry>(
-          std::move(bundle->data), std::move(bundle->given),
-          std::move(bundle->labels), options_.server);
+    std::unique_ptr<SessionJournal> fresh_journal;
+    if (bundle.ok() && !options_.journal_dir.empty()) {
+      const uint64_t fp = DatasetFingerprint(bundle->data.get(),
+                                             bundle->given);
+      Result<std::unique_ptr<SessionJournal>> journal = SessionJournal::Open(
+          JournalPath(dataset), dataset, fp, options_.journal);
+      if (journal.ok()) {
+        fresh_journal = std::move(*journal);
+      } else {
+        // Durability is best-effort by design: serve without it, loudly.
+        std::fprintf(stderr,
+                     "rankhow: journal open failed for dataset %s: %s "
+                     "(serving without durability)\n",
+                     dataset.c_str(), journal.status().message().c_str());
+      }
     }
     lock.lock();
     if (!bundle.ok()) {
-      return Status(bundle.status().code(),
-                    "loading dataset " + dataset + ": " +
-                        bundle.status().message());
+      // A failed load answers a clean, documented kNotFound, and the
+      // catalog entry stays retryable — the loader runs again on the next
+      // open naming this dataset (a fixed CSV serves without a restart).
+      return Status::NotFound("dataset " + dataset +
+                              " unavailable (load failed: " +
+                              bundle.status().message() + ")");
     }
     it = catalog_.find(dataset);
     if (it == catalog_.end()) {
       return Status::NotFound("dataset evicted while loading: " + dataset);
     }
     if (it->second.registry == nullptr) {
-      it->second.registry = std::move(fresh);
+      // The journal survives registry evictions (and recovery may have
+      // opened it first) — only install ours if the entry has none.
+      if (it->second.journal == nullptr) {
+        it->second.journal = std::move(fresh_journal);
+      }
+      ServerOptions server = options_.server;
+      server.journal = it->second.journal.get();
+      // Constructed under the lock (unlike the load): the registry must
+      // bind whichever journal the catalog entry owns, and that is only
+      // knowable here.
+      it->second.registry = std::make_shared<SessionRegistry>(
+          std::move(bundle->data), std::move(bundle->given),
+          std::move(bundle->labels), server);
       ++datasets_loaded_;
       // Enforce the resident budget: LRU-evict an idle zero-client
       // registry (never the one just installed); if every other resident
@@ -157,6 +218,9 @@ Status RegistryRouter::Open(const std::string& client,
         forks_retired_ += retired.dataset_forks;
         shared_publishes_retired_ += retired.shared_publishes;
         shared_draws_retired_ += retired.shared_draws;
+        shed_retired_ += retired.commands_shed;
+        closes_graceful_retired_ += retired.closes_graceful;
+        closes_aborted_retired_ += retired.closes_aborted;
         ++registries_evicted_;
         doomed.push_back(std::move(victim->second.registry));
         victim->second.registry = nullptr;
@@ -173,8 +237,9 @@ Status RegistryRouter::Open(const std::string& client,
         }
       }
     }
-    // else: a concurrent Open won the load; `fresh` (if any) dies with
-    // this scope, after we release the lock below.
+    // else: a concurrent Open won the load; this bundle (and
+    // fresh_journal, if one was opened) dies with this scope — neither
+    // ever wrote anything.
     if (routes_.count(client) > 0) {
       return Status::AlreadyExists("client already open: " + client);
     }
@@ -208,6 +273,161 @@ Status RegistryRouter::Open(const std::string& client,
   routes_[client] = Route{dataset, clock_};
   it->second.last_used = clock_;
   return Status();
+}
+
+Result<RecoverReport> RegistryRouter::RecoverFromJournals() {
+  RecoverReport report;
+  if (options_.journal_dir.empty()) return report;
+  // Recovery runs once, at startup, before any connection is served —
+  // everything below is effectively single-threaded; the lock dances are
+  // only for discipline.
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, entry] : catalog_) {
+      (void)entry;
+      ids.push_back(id);
+    }
+  }
+  for (const std::string& id : ids) {
+    const std::string path = JournalPath(id);
+    Result<JournalReadback> readback = SessionJournal::Read(path);
+    if (!readback.ok()) {
+      std::fprintf(stderr, "rankhow: journal %s unreadable: %s (skipped)\n",
+                   path.c_str(), readback.status().message().c_str());
+      continue;
+    }
+    report.replayed += readback->replayed;
+    report.truncated += readback->truncated;
+    report.skipped += readback->skipped;
+    // Fold the record stream into the set of sessions live at the crash:
+    // an open (re)creates, a close erases (a duplicate close is a no-op),
+    // a command appends to its client's edit script.
+    struct LiveSession {
+      uint64_t fingerprint = 0;
+      std::vector<std::string> commands;
+    };
+    std::map<std::string, LiveSession> live;
+    for (const JournalRecord& record : readback->records) {
+      switch (record.kind) {
+        case JournalRecord::Kind::kOpen:
+          live[record.client] = LiveSession{record.fingerprint, {}};
+          break;
+        case JournalRecord::Kind::kClose:
+          live.erase(record.client);
+          break;
+        case JournalRecord::Kind::kCommand: {
+          auto session = live.find(record.client);
+          if (session != live.end()) {
+            session->second.commands.push_back(record.command);
+          }
+          break;
+        }
+      }
+    }
+    if (live.empty()) continue;  // history, but nothing to rebuild
+
+    Loader loader;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto entry = catalog_.find(id);
+      if (entry == catalog_.end()) continue;
+      if (entry->second.registry != nullptr) continue;  // already resident
+      loader = entry->second.loader;
+    }
+    Result<DatasetBundle> bundle = loader();
+    if (!bundle.ok()) {
+      std::fprintf(stderr,
+                   "rankhow: dataset %s failed to load during recovery: %s "
+                   "(%d session(s) not rebuilt)\n",
+                   id.c_str(), bundle.status().message().c_str(),
+                   static_cast<int>(live.size()));
+      report.replay_failures += static_cast<int64_t>(live.size());
+      continue;
+    }
+    const uint64_t fingerprint =
+        DatasetFingerprint(bundle->data.get(), bundle->given);
+
+    // Materialize journal + registry for this dataset now, with recording
+    // off so the replayed opens/edits don't re-append records the log
+    // already holds.
+    SessionJournal* journal = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto entry = catalog_.find(id);
+      if (entry == catalog_.end() || entry->second.registry != nullptr) {
+        continue;
+      }
+      if (entry->second.journal == nullptr) {
+        Result<std::unique_ptr<SessionJournal>> opened = SessionJournal::Open(
+            path, id, fingerprint, options_.journal);
+        if (opened.ok()) {
+          entry->second.journal = std::move(*opened);
+        } else {
+          std::fprintf(stderr,
+                       "rankhow: journal open failed for dataset %s: %s "
+                       "(recovering without durability)\n",
+                       id.c_str(), opened.status().message().c_str());
+        }
+      }
+      journal = entry->second.journal.get();
+      if (journal != nullptr) journal->set_recording(false);
+      ServerOptions server = options_.server;
+      server.journal = journal;
+      entry->second.registry = std::make_shared<SessionRegistry>(
+          std::move(bundle->data), std::move(bundle->given),
+          std::move(bundle->labels), server);
+      entry->second.last_used = ++clock_;
+      ++datasets_loaded_;
+    }
+    std::shared_ptr<SessionRegistry> registry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      registry = catalog_.find(id)->second.registry;
+    }
+    ++report.datasets;
+
+    for (auto& [client, state] : live) {
+      if (state.fingerprint != fingerprint) {
+        // The CSV changed under the journal: replaying these edits would
+        // target the wrong tuples. Refuse the session, keep the rest.
+        ++report.fingerprint_mismatches;
+        continue;
+      }
+      Status opened = registry->OpenRecovered(client);
+      if (!opened.ok()) {
+        ++report.replay_failures;
+        continue;
+      }
+      bool replay_ok = true;
+      for (const std::string& line : state.commands) {
+        Result<std::vector<SessionCommand>> parsed = ParseSessionScript(line);
+        if (!parsed.ok() || parsed->size() != 1) {
+          replay_ok = false;
+          break;
+        }
+        if (!registry->ReplayEdit(client, parsed->front()).ok()) {
+          replay_ok = false;
+          break;
+        }
+      }
+      if (!replay_ok) {
+        // Divergent state is worse than a lost session: drop it. The
+        // journal's recording gate is off, so this close writes nothing —
+        // the next recovery retries (and fails identically, harmlessly).
+        ++report.replay_failures;
+        (void)registry->Close(client, /*graceful=*/false);
+        continue;
+      }
+      ++report.sessions;
+      std::lock_guard<std::mutex> lock(mu_);
+      routes_[client] = Route{id, ++clock_};
+    }
+    if (journal != nullptr) journal->set_recording(true);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  recovered_ = report;
+  return report;
 }
 
 std::shared_ptr<SessionRegistry> RegistryRouter::RouteLocked(
@@ -287,8 +507,19 @@ RegistryRouterStats RegistryRouter::Stats() const {
   stats.datasets_loaded = datasets_loaded_;
   stats.registries_evicted = registries_evicted_;
   stats.sessions_evicted = sessions_evicted_;
+  stats.commands_shed = shed_retired_;
+  stats.closes_graceful = closes_graceful_retired_;
+  stats.closes_aborted = closes_aborted_retired_;
+  stats.recovered = recovered_;
   for (const auto& [id, entry] : catalog_) {
     (void)id;
+    if (entry.journal != nullptr) {
+      JournalStats j = entry.journal->Stats();
+      stats.journal_records += j.records_appended;
+      stats.journal_fsyncs += j.fsyncs;
+      stats.journal_fsync_failures += j.fsync_failures;
+      if (j.degraded) ++stats.journal_degraded;
+    }
     if (entry.registry == nullptr) continue;
     ++stats.resident_registries;
     SessionRegistryStats r = entry.registry->Stats();
@@ -298,6 +529,10 @@ RegistryRouterStats RegistryRouter::Stats() const {
     stats.dataset_forks += r.dataset_forks;
     stats.shared_publishes += r.shared_publishes;
     stats.shared_draws += r.shared_draws;
+    stats.pending_commands += r.pending_commands;
+    stats.commands_shed += r.commands_shed;
+    stats.closes_graceful += r.closes_graceful;
+    stats.closes_aborted += r.closes_aborted;
   }
   return stats;
 }

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "server/journal.h"
 #include "server/session_registry.h"
 #include "util/status.h"
 
@@ -60,6 +61,29 @@ struct RouterOptions {
   /// Dataset served by `open CLIENT` without an id. Empty = the first
   /// RegisterDataset call.
   std::string default_dataset;
+  /// Durability (see docs/OPERATIONS.md "Durability & recovery"): when
+  /// non-empty, every materialized registry writes a write-ahead session
+  /// journal to `<journal_dir>/<dataset-id>.journal`, and
+  /// RecoverFromJournals() rebuilds journaled sessions on startup. Empty =
+  /// journaling off. The directory must exist.
+  std::string journal_dir;
+  /// Per-journal write policy (fsync batching, rotation, backoff).
+  JournalOptions journal;
+};
+
+/// What RecoverFromJournals() rebuilt (the `recover` stats section).
+struct RecoverReport {
+  int64_t replayed = 0;      // intact journal records read back
+  int64_t truncated = 0;     // torn trailing records dropped
+  int64_t skipped = 0;       // CRC/framing-corrupt records dropped
+  int datasets = 0;          // registries materialized for recovery
+  int sessions = 0;          // sessions rebuilt (recovered-unadopted)
+  /// Sessions refused because their journaled open fingerprint disagrees
+  /// with the freshly loaded dataset (the CSV changed under the journal).
+  int64_t fingerprint_mismatches = 0;
+  /// Sessions dropped because a journaled edit failed to re-apply (should
+  /// not happen — it succeeded live — but divergence is worse than loss).
+  int64_t replay_failures = 0;
 };
 
 /// Router-level aggregate of every resident registry's Stats() plus the
@@ -77,6 +101,19 @@ struct RegistryRouterStats {
   int64_t sessions_evicted = 0;
   int64_t shared_publishes = 0;     // summed over resident shared pools
   int64_t shared_draws = 0;
+  /// Load-shedding / close accounting, summed like the counters above.
+  int pending_commands = 0;
+  int64_t commands_shed = 0;
+  int64_t closes_graceful = 0;
+  int64_t closes_aborted = 0;
+  /// Journal writer totals over every open journal (all 0 when
+  /// RouterOptions::journal_dir is empty).
+  int64_t journal_records = 0;
+  int64_t journal_fsyncs = 0;
+  int64_t journal_fsync_failures = 0;
+  int journal_degraded = 0;  // journals that fell to journal-off mode
+  /// The startup RecoverFromJournals() report (zeros when never run).
+  RecoverReport recovered;
 };
 
 class RegistryRouter {
@@ -107,10 +144,27 @@ class RegistryRouter {
 
   /// Opens `client` against `dataset_id` ("" = default), lazily loading
   /// the dataset and evicting idle sessions/registries as the budgets
-  /// require. kNotFound for an unknown dataset id, kAlreadyExists for a
-  /// live client name (in any registry), kResourceExhausted when a budget
-  /// is exhausted and nothing idle can be evicted.
-  Status Open(const std::string& client, const std::string& dataset_id);
+  /// require. kNotFound for an unknown dataset id or a dataset whose load
+  /// failed (the catalog entry stays retryable — a fixed CSV serves the
+  /// next open), kAlreadyExists for a live client name (in any registry),
+  /// kResourceExhausted when a budget is exhausted and nothing idle can be
+  /// evicted.
+  ///
+  /// Adoption: when `client` names a journal-recovered session no
+  /// connection has claimed yet, the open *adopts* it — constraint state
+  /// intact — instead of failing kAlreadyExists, and `*adopted` (when
+  /// non-null) reports it. An explicit dataset_id must match the session's
+  /// recovered binding; "" adopts whatever it was bound to.
+  Status Open(const std::string& client, const std::string& dataset_id,
+              bool* adopted = nullptr);
+
+  /// Rebuilds every live journaled session from
+  /// `<journal_dir>/<id>.journal` (see docs/OPERATIONS.md). Call once at
+  /// startup, before serving — replay is single-threaded and runs the
+  /// edits through the same ApplySessionCommand path the live server used;
+  /// no solves re-run. No-op when journal_dir is empty or no journals
+  /// exist. The report is also surfaced through Stats().recovered.
+  Result<RecoverReport> RecoverFromJournals();
 
   /// Routes one command to the client's registry strand. kNotFound for
   /// unknown (or evicted) clients.
@@ -139,6 +193,11 @@ class RegistryRouter {
   struct CatalogEntry {
     Loader loader;
     std::shared_ptr<SessionRegistry> registry;  // null until first open
+    /// The dataset's write-ahead journal (null when journaling is off or
+    /// the journal failed to open). Created at first materialization and
+    /// kept across registry evictions — it must outlive every registry
+    /// that points at it (ServerOptions::journal is non-owning).
+    std::unique_ptr<SessionJournal> journal;
     uint64_t last_used = 0;                     // logical LRU clock
   };
   struct Route {
@@ -155,6 +214,9 @@ class RegistryRouter {
   /// re-acquires it around the blocking closes.
   void EvictIdleSessionsLocked(std::unique_lock<std::mutex>& lock);
 
+  /// `<journal_dir>/<id>.journal` (journal_dir is known non-empty).
+  std::string JournalPath(const std::string& id) const;
+
   RouterOptions options_;
 
   mutable std::mutex mu_;
@@ -170,6 +232,10 @@ class RegistryRouter {
   int64_t forks_retired_ = 0;
   int64_t shared_publishes_retired_ = 0;
   int64_t shared_draws_retired_ = 0;
+  int64_t shed_retired_ = 0;
+  int64_t closes_graceful_retired_ = 0;
+  int64_t closes_aborted_retired_ = 0;
+  RecoverReport recovered_;
 };
 
 }  // namespace rankhow

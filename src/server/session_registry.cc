@@ -1,7 +1,12 @@
 #include "server/session_registry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
+
+#include "util/fault.h"
+#include "util/string_util.h"
 
 namespace rankhow {
 
@@ -10,7 +15,7 @@ namespace {
 /// Wire verbs; a client may not take one as its name (see wire.cc).
 bool IsReservedClientName(const std::string& name) {
   return name == "open" || name == "close" || name == "stats" ||
-         name == "quit";
+         name == "quit" || name == "deadline";
 }
 
 Status ClosedStatus() {
@@ -47,6 +52,7 @@ SessionRegistry::~SessionRegistry() {
         while (!client->queue.empty()) {
           dropped.emplace_back(name, std::move(client->queue.front().second));
           client->queue.pop_front();
+          --pending_commands_;
         }
       }
     }
@@ -62,32 +68,77 @@ SessionRegistry::~SessionRegistry() {
 }
 
 Status SessionRegistry::Open(const std::string& client) {
+  return OpenInternal(client, /*recovered=*/false);
+}
+
+Status SessionRegistry::OpenRecovered(const std::string& client) {
+  return OpenInternal(client, /*recovered=*/true);
+}
+
+Status SessionRegistry::OpenInternal(const std::string& client,
+                                     bool recovered) {
   if (client.empty() || IsReservedClientName(client)) {
     return Status::Invalid("bad client name '" + client +
                            "' (non-empty, not a wire verb)");
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (clients_.count(client) > 0) {
+      return Status::AlreadyExists("client already open: " + client);
+    }
+    if (static_cast<int>(clients_.size()) >= options_.max_clients) {
+      return Status::ResourceExhausted(
+          "registry is at max_clients=" +
+          std::to_string(options_.max_clients));
+    }
+    auto entry = std::make_shared<Client>();
+    entry->cancel = std::make_unique<std::atomic<bool>>(false);
+    entry->recovered = recovered;
+    RankHowOptions solver = options_.solver;
+    solver.cancel = entry->cancel.get();
+    // SharedDataset copy = one refcount bump: the new session reads the
+    // registry's snapshot until it forks.
+    entry->session = std::make_unique<SolveSession>(SharedDataset(base_),
+                                                    Ranking(given_), solver);
+    RH_RETURN_NOT_OK(entry->session->SetObjective(options_.objective));
+    if (shared_pool_ != nullptr) {
+      entry->session->SetSharedIncumbentPool(shared_pool_.get());
+    }
+    entry->snapshot_id = entry->session->shared_data().snapshot_id();
+    clients_.emplace(client, std::move(entry));
+  }
+  // Journal off-lock: the append may fsync (with backoff), and nothing
+  // here needs mu_ — the journal has its own lock. During recovery the
+  // journal's recording gate is off, so replayed opens don't re-journal.
+  if (options_.journal != nullptr) options_.journal->LogOpen(client);
+  return Status();
+}
+
+bool SessionRegistry::Adopt(const std::string& client) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (clients_.count(client) > 0) {
-    return Status::AlreadyExists("client already open: " + client);
+  auto it = clients_.find(client);
+  if (it == clients_.end() || !it->second->recovered) return false;
+  it->second->recovered = false;
+  return true;
+}
+
+Status SessionRegistry::ReplayEdit(const std::string& client,
+                                   const SessionCommand& cmd) {
+  std::shared_ptr<Client> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) {
+      return Status::NotFound("no open client named " + client);
+    }
+    entry = it->second;
   }
-  if (static_cast<int>(clients_.size()) >= options_.max_clients) {
-    return Status::ResourceExhausted(
-        "registry is at max_clients=" + std::to_string(options_.max_clients));
-  }
-  auto entry = std::make_shared<Client>();
-  entry->cancel = std::make_unique<std::atomic<bool>>(false);
-  RankHowOptions solver = options_.solver;
-  solver.cancel = entry->cancel.get();
-  // SharedDataset copy = one refcount bump: the new session reads the
-  // registry's snapshot until it forks.
-  entry->session = std::make_unique<SolveSession>(SharedDataset(base_),
-                                                  Ranking(given_), solver);
-  RH_RETURN_NOT_OK(entry->session->SetObjective(options_.objective));
-  if (shared_pool_ != nullptr) {
-    entry->session->SetSharedIncumbentPool(shared_pool_.get());
-  }
+  // Single-threaded recovery: no strand is running, so touching the
+  // session off-lock is safe (mirrors are refreshed below for Stats()).
+  RH_RETURN_NOT_OK(ApplySessionCommand(entry->session.get(), cmd, labels_));
+  std::lock_guard<std::mutex> lock(mu_);
   entry->snapshot_id = entry->session->shared_data().snapshot_id();
-  clients_.emplace(client, std::move(entry));
+  entry->dataset_forks = entry->session->stats().dataset_forks;
   return Status();
 }
 
@@ -98,8 +149,19 @@ Status SessionRegistry::Submit(const std::string& client,
   if (it == clients_.end() || it->second->closing || it->second->draining) {
     return Status::NotFound("no open client named " + client);
   }
+  // Overload shedding: reject *new* work at the watermark with a retry
+  // hint, before it ever queues — commands already accepted always run.
+  if (options_.max_pending_commands > 0 &&
+      pending_commands_ >= options_.max_pending_commands) {
+    ++commands_shed_;
+    return Status::ResourceExhausted(
+        "server overloaded (" + std::to_string(pending_commands_) +
+        " pending commands) RETRY-AFTER=" +
+        std::to_string(options_.shed_retry_after_ms) + "ms");
+  }
   std::shared_ptr<Client> entry = it->second;
   entry->queue.emplace_back(std::move(command), std::move(done));
+  ++pending_commands_;
   if (!entry->running) {
     entry->running = true;
     pool_.Submit([this, client, entry] { RunStrand(client, entry); });
@@ -124,13 +186,31 @@ void SessionRegistry::RunStrand(const std::string& name,
       done = std::move(client->queue.front().second);
       client->queue.pop_front();
       dropped = client->closing;
+      if (dropped) --pending_commands_;
     }
     if (dropped) {
       if (done) done(name, ClosedStatus());
       continue;
     }
-    Result<SessionStepOutcome> outcome =
-        ExecuteSessionCommand(client->session.get(), command, labels_);
+    // Chaos hook: an armed strand-delay widens the window between dequeue
+    // and execution so tests can race kills/cancels deterministically.
+    {
+      FaultInjector& faults = FaultInjector::Global();
+      if (faults.Hit(faults::kStrandDelayMs)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(faults.Param(faults::kStrandDelayMs)));
+      }
+    }
+    bool edit_applied = false;
+    Result<SessionStepOutcome> outcome = ExecuteSessionCommand(
+        client->session.get(), command, labels_, &edit_applied);
+    // Acked ⊆ journaled: the edit's journal record lands (and, per the
+    // fsync policy, syncs) before the completion callback can observe
+    // success — a crash after the ack never loses an acked edit beyond
+    // the configured batching window.
+    if (edit_applied && options_.journal != nullptr) {
+      options_.journal->LogCommand(name, command);
+    }
     // Consume the cancel flag: it targets the command that was in flight
     // when Cancel() fired (or, for an idle client, the next one — the one
     // that just ran), never the commands queued behind it. Clearing after
@@ -145,6 +225,7 @@ void SessionRegistry::RunStrand(const std::string& name,
       client->snapshot_id = client->session->shared_data().snapshot_id();
       client->dataset_forks = client->session->stats().dataset_forks;
       ++commands_executed_;
+      --pending_commands_;
     }
     if (done) done(name, outcome);
   }
@@ -177,6 +258,7 @@ Status SessionRegistry::Close(const std::string& client, bool graceful) {
         while (!entry->queue.empty()) {
           dropped.push_back(std::move(entry->queue.front().second));
           entry->queue.pop_front();
+          --pending_commands_;
         }
       }
     }
@@ -193,10 +275,19 @@ Status SessionRegistry::Close(const std::string& client, bool graceful) {
   // by name alone would destroy the wrong, live client and double-count
   // the retired forks.
   auto again = clients_.find(client);
+  bool erased = false;
   if (again != clients_.end() && again->second == entry) {
     forks_retired_ += entry->dataset_forks;  // keep Stats() cumulative
     clients_.erase(again);
+    erased = true;
+    if (graceful) {
+      ++closes_graceful_;
+    } else {
+      ++closes_aborted_;
+    }
   }
+  lock.unlock();
+  if (erased && options_.journal != nullptr) options_.journal->LogClose(client);
   return Status();
 }
 
@@ -225,6 +316,10 @@ SessionRegistryStats SessionRegistry::Stats() const {
     stats.dataset_forks += client->dataset_forks;
   }
   stats.resident_dataset_copies = static_cast<int>(snapshots.size());
+  stats.pending_commands = pending_commands_;
+  stats.commands_shed = commands_shed_;
+  stats.closes_graceful = closes_graceful_;
+  stats.closes_aborted = closes_aborted_;
   if (shared_pool_ != nullptr) {
     // The pool has its own lock; draw/publish totals come from it rather
     // than per-session stats so closed clients stay counted.

@@ -44,6 +44,7 @@
 #include "data/shared_dataset.h"
 #include "ranking/objective.h"
 #include "ranking/ranking.h"
+#include "server/journal.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -74,6 +75,19 @@ struct ServerOptions {
   bool share_incumbents = true;
   /// Resident-entry cap of the shared pool (ignored when sharing is off).
   int shared_pool_capacity = 32;
+  /// Write-ahead journal for this registry's session traffic (non-owning;
+  /// null = journaling off; must outlive the registry — the router owns
+  /// both and destroys the registry first). Every accepted edit plus
+  /// open/close appends a record *before* the completion callback fires,
+  /// so an acked command is always recoverable.
+  SessionJournal* journal = nullptr;
+  /// Overload-shedding admission watermark: when the registry-wide count
+  /// of queued + in-flight commands reaches this, *new* Submits fail with
+  /// kResourceExhausted (carrying a RETRY-AFTER hint) instead of queueing —
+  /// already-queued commands always finish. 0 = off.
+  int max_pending_commands = 0;
+  /// The RETRY-AFTER hint (milliseconds) embedded in shed responses.
+  int shed_retry_after_ms = 250;
 };
 
 /// Aggregate registry counters (snapshot; see Stats()).
@@ -92,6 +106,15 @@ struct SessionRegistryStats {
   int shared_pool_size = 0;
   int64_t shared_publishes = 0;
   int64_t shared_draws = 0;
+  /// Commands queued or in flight right now (the shedding watermark input).
+  int pending_commands = 0;
+  /// Submits rejected by the overload-shedding admission gate.
+  int64_t commands_shed = 0;
+  /// Close accounting: graceful (wire `close` / quit — the queue finished
+  /// first) vs aborted (EOF without quit, eviction, cancel-style Close).
+  /// Distinct so chaos tests can assert a vanished peer was *aborted*.
+  int64_t closes_graceful = 0;
+  int64_t closes_aborted = 0;
 };
 
 /// Per-command completion signature shared by SessionRegistry and the
@@ -124,6 +147,23 @@ class SessionRegistry {
   /// kAlreadyExists for a live name, kInvalidArgument for an empty or
   /// reserved name (the wire verbs), kResourceExhausted at max_clients.
   Status Open(const std::string& client);
+
+  // ---------------------------------------------------- crash recovery
+  /// Open() plus the recovered-unadopted mark: the session was rebuilt
+  /// from the journal and no live connection owns it yet. The next wire
+  /// `open` of the same name *adopts* it (state intact) instead of
+  /// failing kAlreadyExists. Used only by RegistryRouter's journal replay.
+  Status OpenRecovered(const std::string& client);
+  /// Claims a recovered-unadopted client: clears the mark and returns
+  /// true. False when the client is unknown or was opened normally (the
+  /// caller then reports the usual kAlreadyExists).
+  bool Adopt(const std::string& client);
+  /// Applies one journaled command's *edit* to the client's session — no
+  /// solve, no journaling, no strand (recovery runs before serving
+  /// starts, single-threaded). Replaying the same edits through the same
+  /// ApplySessionCommand path the live server used reproduces the exact
+  /// constraint state; incumbents return lazily via SharedIncumbentPool.
+  Status ReplayEdit(const std::string& client, const SessionCommand& cmd);
 
   /// Enqueues one command onto the client's strand. The callback fires
   /// after the edit+solve completes (or the edit fails). kNotFound for an
@@ -171,6 +211,9 @@ class SessionRegistry {
     bool running = false;  // a pool task is draining this strand
     bool closing = false;   // abort: strand drops queued commands
     bool draining = false;  // no new submits; queued commands still run
+    /// Rebuilt from the journal, not yet claimed by a connection (see
+    /// OpenRecovered/Adopt).
+    bool recovered = false;
     /// Mirrors published under mu_ after each command, so Stats() never
     /// reads the session while its strand mutates it off-lock.
     const void* snapshot_id = nullptr;
@@ -179,6 +222,8 @@ class SessionRegistry {
 
   /// The strand body: drains `client`'s queue one command at a time.
   void RunStrand(const std::string& name, std::shared_ptr<Client> client);
+  /// Open with or without the recovered mark (shared implementation).
+  Status OpenInternal(const std::string& client, bool recovered);
 
   SharedDataset base_;
   Ranking given_;
@@ -197,6 +242,11 @@ class SessionRegistry {
   /// Forks performed by since-closed clients (Stats() adds the open
   /// clients' live mirrors, keeping dataset_forks cumulative).
   int64_t forks_retired_ = 0;
+  /// Queued + in-flight commands across all clients (shedding input).
+  int pending_commands_ = 0;
+  int64_t commands_shed_ = 0;
+  int64_t closes_graceful_ = 0;
+  int64_t closes_aborted_ = 0;
 };
 
 }  // namespace rankhow

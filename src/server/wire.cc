@@ -86,6 +86,9 @@ Status ServeStreamImpl(const WireBackend& backend, std::istream& in,
 
   std::string line;
   int line_no = 0;
+  // Stream-scoped per-request deadline (the `deadline` verb): stamped onto
+  // every subsequent command, capping that solve's wall-clock budget.
+  int64_t deadline_ms = 0;
   while (std::getline(in, line)) {
     ++line_no;
     auto request = ParseWireLine(line);
@@ -102,6 +105,11 @@ Status ServeStreamImpl(const WireBackend& backend, std::istream& in,
         return Status();
       case WireRequest::Kind::kStats:
         emit("ok stats " + backend.stats_line());
+        break;
+      case WireRequest::Kind::kDeadline:
+        deadline_ms = request->deadline_ms;
+        emit(StrFormat("ok deadline %lld",
+                       static_cast<long long>(deadline_ms)));
         break;
       case WireRequest::Kind::kOpen: {
         Result<std::string> ack =
@@ -137,6 +145,7 @@ Status ServeStreamImpl(const WireBackend& backend, std::istream& in,
           break;
         }
         const int request_line = line_no;
+        request->command.deadline_ms = deadline_ms;
         Status submitted = backend.submit(
             request->client, request->command,
             [emit, request_line](const std::string& client,
@@ -203,6 +212,17 @@ Result<WireRequest> ParseWireLine(const std::string& raw) {
     request.dataset = std::move(dataset);
     return request;
   }
+  if (head == "deadline") {
+    Result<int64_t> ms = ParseInt(tail);
+    if (tail.empty() || !ms.ok() || *ms < 0) {
+      return Status::Invalid(
+          "'deadline' takes one non-negative millisecond count (0 restores "
+          "the server default)");
+    }
+    request.kind = WireRequest::Kind::kDeadline;
+    request.deadline_ms = *ms;
+    return request;
+  }
   if (head == "close") {
     if (tail.empty() || tail.find_first_of(" \t") != std::string::npos) {
       return Status::Invalid("'close' takes exactly one client name");
@@ -253,12 +273,16 @@ Status ServeStream(SessionRegistry* registry, std::istream& in,
     SessionRegistryStats stats = registry->Stats();
     return StrFormat(
         "clients=%d datasets=%d commands=%lld forks=%lld "
-        "shared_published=%lld shared_drawn=%lld",
+        "shared_published=%lld shared_drawn=%lld pending=%d shed=%lld "
+        "closed_graceful=%lld closed_aborted=%lld",
         stats.open_clients, stats.resident_dataset_copies,
         static_cast<long long>(stats.commands_executed),
         static_cast<long long>(stats.dataset_forks),
         static_cast<long long>(stats.shared_publishes),
-        static_cast<long long>(stats.shared_draws));
+        static_cast<long long>(stats.shared_draws), stats.pending_commands,
+        static_cast<long long>(stats.commands_shed),
+        static_cast<long long>(stats.closes_graceful),
+        static_cast<long long>(stats.closes_aborted));
   };
   backend.drain_all = [registry] { registry->Drain(); };
   return ServeStreamImpl(backend, in, out, options);
@@ -270,9 +294,13 @@ Status ServeStream(RegistryRouter* router, std::istream& in,
   backend.open = [router](const std::string& client,
                           const std::string& dataset)
       -> Result<std::string> {
-    RH_RETURN_NOT_OK(router->Open(client, dataset));
-    // Echo the dataset actually bound so `open C` reveals the default.
-    return "open " + client + " " + router->ClientDataset(client);
+    bool adopted = false;
+    RH_RETURN_NOT_OK(router->Open(client, dataset, &adopted));
+    // Echo the dataset actually bound so `open C` reveals the default;
+    // "recovered" tells a reconnecting client it adopted its journal-
+    // rebuilt session, constraint state intact (see docs/PROTOCOL.md).
+    return "open " + client + " " + router->ClientDataset(client) +
+           (adopted ? " recovered" : "");
   };
   backend.close = [router](const std::string& client, bool graceful) {
     return router->Close(client, graceful);
@@ -286,7 +314,11 @@ Status ServeStream(RegistryRouter* router, std::istream& in,
     return StrFormat(
         "registries=%d clients=%d datasets=%d commands=%lld forks=%lld "
         "loaded=%lld evicted_registries=%lld evicted_sessions=%lld "
-        "shared_published=%lld shared_drawn=%lld",
+        "shared_published=%lld shared_drawn=%lld pending=%d shed=%lld "
+        "closed_graceful=%lld closed_aborted=%lld journal_records=%lld "
+        "journal_fsyncs=%lld journal_fsync_failures=%lld "
+        "journal_degraded=%d recover_replayed=%lld recover_truncated=%lld "
+        "recover_skipped=%lld recover_sessions=%d",
         stats.resident_registries, stats.open_clients,
         stats.resident_dataset_copies,
         static_cast<long long>(stats.commands_executed),
@@ -295,7 +327,18 @@ Status ServeStream(RegistryRouter* router, std::istream& in,
         static_cast<long long>(stats.registries_evicted),
         static_cast<long long>(stats.sessions_evicted),
         static_cast<long long>(stats.shared_publishes),
-        static_cast<long long>(stats.shared_draws));
+        static_cast<long long>(stats.shared_draws), stats.pending_commands,
+        static_cast<long long>(stats.commands_shed),
+        static_cast<long long>(stats.closes_graceful),
+        static_cast<long long>(stats.closes_aborted),
+        static_cast<long long>(stats.journal_records),
+        static_cast<long long>(stats.journal_fsyncs),
+        static_cast<long long>(stats.journal_fsync_failures),
+        stats.journal_degraded,
+        static_cast<long long>(stats.recovered.replayed),
+        static_cast<long long>(stats.recovered.truncated),
+        static_cast<long long>(stats.recovered.skipped),
+        stats.recovered.sessions);
   };
   backend.drain_all = [router] { router->Drain(); };
   return ServeStreamImpl(backend, in, out, options);

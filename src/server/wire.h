@@ -18,6 +18,10 @@
 ///                          servers reject the two-argument form)
 ///   close CLIENT           finish CLIENT's queued commands, then drop it
 ///   stats                  registry/router counters (see PROTOCOL.md)
+///   deadline MS            per-request deadline for this stream's later
+///                          commands: each solve's wall-clock budget is
+///                          capped at MS milliseconds (0 restores the
+///                          server default). Stream-scoped, not journaled.
 ///   quit                   end this command stream
 ///   CLIENT <command>       one session-script command for CLIENT — the
 ///                          exact PR 3 grammar (solve / min-weight /
@@ -72,11 +76,12 @@ namespace rankhow {
 
 /// One parsed wire line.
 struct WireRequest {
-  enum class Kind { kOpen, kClose, kStats, kQuit, kCommand };
+  enum class Kind { kOpen, kClose, kStats, kQuit, kCommand, kDeadline };
   Kind kind = Kind::kCommand;
   std::string client;      // open/close/command
   std::string dataset;     // kOpen only; "" = the server's default
   SessionCommand command;  // kCommand only
+  int64_t deadline_ms = 0;  // kDeadline only; 0 = restore the default
 };
 
 /// Parses one request line (no trailing newline; '#' comments and blank

@@ -19,6 +19,8 @@
 #include <memory>
 #include <sstream>
 
+#include <sys/stat.h>
+
 #include "app/cli_driver.h"
 #include "core/seeding.h"
 #include "core/solve_session.h"
@@ -187,7 +189,8 @@ std::string DatasetIdFromPath(const std::string& path) {
 /// is the default). Runs until the process is terminated.
 int RunListenServer(const std::string& listen_spec,
                     const std::string& data_paths, const CliDataSpec& spec,
-                    const RouterOptions& router_options) {
+                    const RouterOptions& router_options,
+                    int idle_timeout_seconds) {
   auto address = ParseListenSpec(listen_spec);
   if (!address.ok()) return Fail(address.status());
 
@@ -218,15 +221,34 @@ int RunListenServer(const std::string& listen_spec,
     return 1;
   }
 
-  SocketServer server([&router](int conn_id, std::istream& in,
-                                std::ostream& out) {
-    (void)conn_id;
-    ServeStreamOptions serve_options;
-    // Network semantics: this connection owns the clients it opens, and
-    // its end (quit/EOF/drop) closes them without draining siblings.
-    serve_options.connection_scoped_clients = true;
-    (void)ServeStream(&router, in, out, serve_options);
-  });
+  if (!router_options.journal_dir.empty()) {
+    // Crash recovery before serving: rebuild every journaled session's
+    // constraint state through the serial replay path (no solves re-run —
+    // incumbents come back lazily), then report the `recover` accounting.
+    auto recovered = router.RecoverFromJournals();
+    if (!recovered.ok()) return Fail(recovered.status());
+    std::cerr << StrFormat(
+        "rankhow: recover replayed=%lld truncated=%lld skipped=%lld "
+        "datasets=%d sessions=%d fingerprint_mismatches=%lld "
+        "replay_failures=%lld\n",
+        static_cast<long long>(recovered->replayed),
+        static_cast<long long>(recovered->truncated),
+        static_cast<long long>(recovered->skipped), recovered->datasets,
+        recovered->sessions,
+        static_cast<long long>(recovered->fingerprint_mismatches),
+        static_cast<long long>(recovered->replay_failures));
+  }
+
+  SocketServer server(
+      [&router](int conn_id, std::istream& in, std::ostream& out) {
+        (void)conn_id;
+        ServeStreamOptions serve_options;
+        // Network semantics: this connection owns the clients it opens, and
+        // its end (quit/EOF/drop) closes them without draining siblings.
+        serve_options.connection_scoped_clients = true;
+        (void)ServeStream(&router, in, out, serve_options);
+      },
+      idle_timeout_seconds);
   Status started = server.Start(*address);
   if (!started.ok()) return Fail(started);
   std::cerr << "rankhow: listening on " << server.bound_spec() << " ("
@@ -308,6 +330,24 @@ int main(int argc, char** argv) {
       "max-sessions", 64,
       "with --listen: total open client sessions across all datasets; "
       "opening beyond this LRU-closes idle sessions"));
+  std::string journal_dir = flags.GetString(
+      "journal-dir", "",
+      "with --listen: write-ahead session journals (one per dataset) in "
+      "this directory, and recover journaled sessions on startup (see "
+      "docs/OPERATIONS.md 'Durability & recovery'); empty = no journal");
+  int journal_fsync = static_cast<int>(flags.GetInt(
+      "journal-fsync", 32,
+      "with --journal-dir: fsync the journal after every N records (1 = "
+      "every record, 0 = let the OS flush)"));
+  int idle_timeout = static_cast<int>(flags.GetInt(
+      "idle-timeout", 0,
+      "with --listen: drop connections silent for this many seconds (their "
+      "sessions abort-close like a vanished peer); 0 = never"));
+  int max_pending = static_cast<int>(flags.GetInt(
+      "max-pending", 256,
+      "with --listen: per-dataset overload watermark — queued + in-flight "
+      "commands beyond this shed new submits with a RETRY-AFTER hint; "
+      "0 = never shed"));
   bool share_incumbents = flags.GetBool(
       "share-incumbents", true,
       "with --serve/--listen: registry-level cross-client incumbent "
@@ -400,8 +440,23 @@ int main(int argc, char** argv) {
                    "counts\n";
       return 1;
     }
+    if (journal_fsync < 0 || max_pending < 0 || idle_timeout < 0) {
+      std::cerr << "error: --journal-fsync/--max-pending/--idle-timeout "
+                   "want non-negative counts\n";
+      return 1;
+    }
     router_options.server.max_clients = max_sessions;
-    return RunListenServer(listen_spec, data_path, spec, router_options);
+    router_options.server.max_pending_commands = max_pending;
+    if (!journal_dir.empty()) {
+      // Best-effort create; an unusable directory degrades per dataset
+      // (the router serves without durability, loudly) rather than
+      // refusing to start.
+      ::mkdir(journal_dir.c_str(), 0755);
+      router_options.journal_dir = journal_dir;
+      router_options.journal.fsync_every = journal_fsync;
+    }
+    return RunListenServer(listen_spec, data_path, spec, router_options,
+                           idle_timeout);
   }
 
   auto csv = ReadCsvFile(data_path);
