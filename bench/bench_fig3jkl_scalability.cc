@@ -31,6 +31,9 @@
 #include <thread>
 
 #include "bench/harness_include.h"
+#include "data/kernels.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace rankhow;
 using namespace rankhow::bench;
@@ -47,8 +50,60 @@ struct ScalingRun {
   int64_t nodes = 0;
 };
 
+/// The n=10^6 synthetic point the batched-kernel layer exists for: generate
+/// a million-tuple dataset, score it, and run the exact fused verification
+/// end-to-end. Returns the JSON fragment recorded under
+/// "million_tuple_kernel_point" in BENCH_parallel_scaling.json.
+struct KernelPoint {
+  int n = 0;
+  double generate_seconds = 0;
+  double batch_scores_seconds = 0;
+  double fused_verify_seconds = 0;
+  long exact_comparisons = 0;
+  long total_comparisons = 0;
+  bool verified = false;
+};
+
+KernelPoint RunMillionTupleKernelPoint(int kernel_n, int m, uint64_t seed) {
+  std::cout << "\n=== Million-tuple kernel point: n=" << kernel_n << " ===\n";
+  KernelPoint point;
+  point.n = kernel_n;
+
+  WallTimer gen_timer;
+  SyntheticSpec spec;
+  spec.num_tuples = kernel_n;
+  spec.num_attributes = m;
+  spec.distribution = SyntheticDistribution::kUniform;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Ranking given = PowerSumRanking(data, 3, 100);
+  point.generate_seconds = gen_timer.ElapsedSeconds();
+
+  std::vector<double> w(m, 1.0 / m);
+  std::vector<double> scores(kernel_n);
+  WallTimer score_timer;
+  kernels::BatchScores(data, w, scores.data());
+  point.batch_scores_seconds = score_timer.ElapsedSeconds();
+
+  WallTimer verify_timer;
+  std::vector<int> positions = ExactScoreRankPositionsOf(
+      data, w, given.ranked_tuples(), SyntheticEps().tie_eps,
+      &point.exact_comparisons, &point.total_comparisons);
+  point.fused_verify_seconds = verify_timer.ElapsedSeconds();
+  point.verified = static_cast<int>(positions.size()) == given.k();
+
+  std::cout << "  generate " << FormatDouble(point.generate_seconds, 2)
+            << "s, batch-scores " << FormatDouble(point.batch_scores_seconds, 4)
+            << "s, fused exact verification of k=" << given.k() << " pivots "
+            << FormatDouble(point.fused_verify_seconds, 3) << "s ("
+            << point.exact_comparisons << "/" << point.total_comparisons
+            << " comparisons needed exact arithmetic)\n";
+  return point;
+}
+
 int RunParallelScaling(int scaling_n, int m, uint64_t seed,
-                       double per_solve_budget, int threads_max) {
+                       double per_solve_budget, int threads_max,
+                       int kernel_n) {
   std::cout << "\n=== Parallel scaling: exact solve at n=" << scaling_n
             << " (threads 1.." << threads_max << ") ===\n";
   SyntheticSpec spec;
@@ -114,6 +169,11 @@ int RunParallelScaling(int scaling_n, int m, uint64_t seed,
     std::cout << "ERROR: proven objectives disagree across thread counts\n";
   }
 
+  KernelPoint kernel_point;
+  if (kernel_n > 0) {
+    kernel_point = RunMillionTupleKernelPoint(kernel_n, m, seed);
+  }
+
   const unsigned hw = std::thread::hardware_concurrency();
   std::FILE* f = std::fopen("BENCH_parallel_scaling.json", "w");
   if (f == nullptr) {
@@ -148,7 +208,20 @@ int RunParallelScaling(int scaling_n, int m, uint64_t seed,
                  static_cast<long long>(run.nodes), speedup,
                  i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  if (kernel_point.n > 0) {
+    std::fprintf(
+        f,
+        ",\n  \"million_tuple_kernel_point\": {\"n\": %d, "
+        "\"generate_seconds\": %.4f, \"batch_scores_seconds\": %.6f, "
+        "\"fused_verify_seconds\": %.4f, \"exact_comparisons\": %ld, "
+        "\"total_comparisons\": %ld, \"verified\": %s}",
+        kernel_point.n, kernel_point.generate_seconds,
+        kernel_point.batch_scores_seconds, kernel_point.fused_verify_seconds,
+        kernel_point.exact_comparisons, kernel_point.total_comparisons,
+        kernel_point.verified ? "true" : "false");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::cout << "(written to BENCH_parallel_scaling.json; hardware threads: "
             << hw << ")\n";
@@ -180,11 +253,16 @@ int main(int argc, char** argv) {
       "scaling-budget", 120, "per-thread-count solve budget (s)");
   int threads_max = static_cast<int>(flags.GetInt(
       "threads-max", 8, "largest thread count measured (doubling from 1)"));
+  int kernel_n = static_cast<int>(flags.GetInt(
+      "kernel-n", 1000000,
+      "tuples for the batched-kernel point recorded with --scaling "
+      "(0 disables)"));
   if (!flags.Finish()) return 0;
 
   if (!run_table) {
     return run_scaling ? RunParallelScaling(scaling_n, m, seed,
-                                            scaling_budget, threads_max)
+                                            scaling_budget, threads_max,
+                                            kernel_n)
                        : 0;
   }
 
@@ -286,7 +364,7 @@ int main(int argc, char** argv) {
                "budget.\n";
   if (run_scaling) {
     return RunParallelScaling(scaling_n, m, seed, scaling_budget,
-                              threads_max);
+                              threads_max, kernel_n);
   }
   return 0;
 }

@@ -9,11 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "bench/harness.h"
 #include "core/indicator_fixing.h"
+#include "data/kernels.h"
 #include "data/synthetic.h"
+#include "util/thread_pool.h"
 #include "lp/incremental.h"
 #include "lp/simplex.h"
 #include "math/dyadic.h"
@@ -195,6 +199,230 @@ bool EmitWarmstartJson() {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Scoring kernels: scalar vs batched vs batched+parallel.
+//
+// The scalar baseline below is the pre-kernel hot path kept verbatim —
+// row-at-a-time value() scoring with the certified error band, then one
+// O(n) pivot scan per ranked tuple — exactly what ranking/verifier.cc did
+// before it was rewired onto kernels::FusedExactRankPositions.
+
+/// Pre-kernel scalar verification: scores + error bounds via value(), then
+/// per-pivot linear scans with exact fallback inside the band.
+std::vector<int> ScalarFusedVerifyBaseline(const Dataset& data,
+                                           const std::vector<double>& w,
+                                           const std::vector<int>& tuples,
+                                           double tie_eps) {
+  const int n = data.num_tuples();
+  const int m = data.num_attributes();
+  const double u = std::ldexp(1.0, -53);
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> err(n, 0.0);
+  for (int t = 0; t < n; ++t) {
+    double sum = 0;
+    double abs_sum = 0;
+    for (int a = 0; a < m; ++a) {
+      double term = w[a] * data.value(t, a);
+      sum += term;
+      abs_sum += std::abs(term);
+    }
+    scores[t] = sum;
+    err[t] = (m + 3) * u * abs_sum;
+  }
+  std::vector<int> positions;
+  positions.reserve(tuples.size());
+  for (int r : tuples) {
+    int beats = 0;
+    for (int s = 0; s < n; ++s) {
+      if (s == r) continue;
+      double diff = scores[s] - scores[r];
+      double band = err[s] + err[r];
+      if (diff - tie_eps > band) {
+        ++beats;
+      } else if (diff - tie_eps < -band) {
+        // certainly does not beat
+      } else if (ExactScoreDiffSign(data, w, s, r, tie_eps) > 0) {
+        ++beats;
+      }
+    }
+    positions.push_back(beats + 1);
+  }
+  return positions;
+}
+
+/// Best-of-`reps` wall time of `fn` in seconds.
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// Runs the scalar/batched/parallel comparison at n = 10^4..10^6 and writes
+/// BENCH_scoring_kernels.json next to the binary. Returns true on success.
+bool EmitScoringKernelsJson() {
+  constexpr int kAttrs = 5;
+  constexpr int kPivots = 100;
+  constexpr double kTieEps = 1e-6;
+  const int threads = ThreadPool::ResolveThreadCount(0);
+  ThreadPool pool(threads);
+
+  struct SizeResult {
+    int n;
+    double scalar_fused;
+    double batched_fused;
+    double parallel_fused;
+    double scalar_scores;
+    double batched_scores;
+    double parallel_scores;
+  };
+  std::vector<SizeResult> results;
+  double fused_speedup_at_1e5 = 0;
+
+  for (int n : {10000, 100000, 1000000}) {
+    Dataset data = MakeData(n, kAttrs, /*seed=*/29);
+    std::vector<double> w = {0.25, 0.25, 0.2, 0.15, 0.15};
+    std::vector<int> tuples;
+    for (int i = 0; i < kPivots; ++i) tuples.push_back((i * 131) % n);
+    const int reps = n >= 1000000 ? 2 : 3;
+
+    // Plain w·A scoring, the innermost primitive.
+    std::vector<double> scores(n);
+    double scalar_scores = BestOf(reps, [&] {
+      for (int t = 0; t < n; ++t) scores[t] = data.ScoreOf(t, w);
+    });
+    double batched_scores =
+        BestOf(reps, [&] { kernels::BatchScores(data, w, scores.data()); });
+    double parallel_scores = BestOf(
+        reps, [&] { kernels::BatchScores(data, w, scores.data(), &pool); });
+
+    // Fused score + exact-rank verification, the acceptance-criterion
+    // kernel.
+    auto exact_sign = [&](int s, int r) {
+      return ExactScoreDiffSign(data, w, s, r, kTieEps);
+    };
+    std::vector<int> scalar_pos;
+    double scalar_fused = BestOf(reps, [&] {
+      scalar_pos = ScalarFusedVerifyBaseline(data, w, tuples, kTieEps);
+    });
+    kernels::ExactRankScratch scratch;
+    std::vector<int> batched_pos;
+    double batched_fused = BestOf(reps, [&] {
+      kernels::FusedExactRankPositions(data, w, tuples, kTieEps, exact_sign,
+                                       &scratch, &batched_pos);
+    });
+    std::vector<int> parallel_pos;
+    double parallel_fused = BestOf(reps, [&] {
+      kernels::FusedExactRankPositions(data, w, tuples, kTieEps, exact_sign,
+                                       &scratch, &parallel_pos, nullptr,
+                                       nullptr, &pool);
+    });
+    if (scalar_pos != batched_pos || scalar_pos != parallel_pos) {
+      std::fprintf(stderr,
+                   "[scoring_kernels] VERDICT MISMATCH at n=%d — refusing to "
+                   "report timings for wrong answers\n",
+                   n);
+      return false;
+    }
+
+    results.push_back({n, scalar_fused, batched_fused, parallel_fused,
+                       scalar_scores, batched_scores, parallel_scores});
+    if (n == 100000 && batched_fused > 0) {
+      fused_speedup_at_1e5 = scalar_fused / batched_fused;
+    }
+    std::printf(
+        "[scoring_kernels] n=%d k=%d: fused scalar %.4fs, batched %.4fs "
+        "(%.1fx), parallel %.4fs; scores scalar %.4fs, batched %.4fs\n",
+        n, kPivots, scalar_fused, batched_fused,
+        batched_fused > 0 ? scalar_fused / batched_fused : 0, parallel_fused,
+        scalar_scores, batched_scores);
+  }
+
+  std::FILE* f = std::fopen("BENCH_scoring_kernels.json", "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"scoring_kernels\",\n");
+  rankhow::bench::WriteBenchMetadataJson(
+      f, /*threads_used=*/threads, rankhow::bench::BenchTimestampUtc());
+  std::fprintf(f,
+               "  \"config\": {\"attributes\": %d, \"pivots\": %d, "
+               "\"tie_eps\": %g},\n  \"sizes\": [\n",
+               kAttrs, kPivots, kTieEps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"n\": %d,\n"
+        "     \"fused_verification\": {\"scalar_seconds\": %.6f, "
+        "\"batched_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+        "\"batched_speedup\": %.3f, \"parallel_speedup\": %.3f},\n"
+        "     \"batch_scores\": {\"scalar_seconds\": %.6f, "
+        "\"batched_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+        "\"batched_speedup\": %.3f}}%s\n",
+        r.n, r.scalar_fused, r.batched_fused, r.parallel_fused,
+        r.batched_fused > 0 ? r.scalar_fused / r.batched_fused : 0,
+        r.parallel_fused > 0 ? r.scalar_fused / r.parallel_fused : 0,
+        r.scalar_scores, r.batched_scores, r.parallel_scores,
+        r.batched_scores > 0 ? r.scalar_scores / r.batched_scores : 0,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"fused_batched_speedup_at_1e5\": %.3f\n}\n",
+               fused_speedup_at_1e5);
+  std::fclose(f);
+  std::printf("(written to BENCH_scoring_kernels.json)\n");
+  return true;
+}
+
+void BM_BatchScores(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 3);
+  std::vector<double> w = {0.2, 0.2, 0.2, 0.2, 0.2};
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    kernels::BatchScores(data, w, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BatchScores)->Arg(10000)->Arg(100000);
+
+void BM_ScalarScores(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 3);
+  std::vector<double> w = {0.2, 0.2, 0.2, 0.2, 0.2};
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (int t = 0; t < n; ++t) out[t] = data.ScoreOf(t, w);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScalarScores)->Arg(10000)->Arg(100000);
+
+void BM_FusedExactRankPositions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = MakeData(n, 5, 7);
+  std::vector<double> w = {0.25, 0.25, 0.2, 0.15, 0.15};
+  std::vector<int> tuples;
+  for (int i = 0; i < 100; ++i) tuples.push_back((i * 131) % n);
+  auto exact_sign = [&](int s, int r) {
+    return ExactScoreDiffSign(data, w, s, r, 1e-6);
+  };
+  kernels::ExactRankScratch scratch;
+  std::vector<int> positions;
+  for (auto _ : state) {
+    kernels::FusedExactRankPositions(data, w, tuples, 1e-6, exact_sign,
+                                     &scratch, &positions);
+    benchmark::DoNotOptimize(positions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size() * n);
+}
+BENCHMARK(BM_FusedExactRankPositions)->Arg(10000)->Arg(100000);
+
 void BM_NodeResolveCold(benchmark::State& state) {
   NodeResolveModel model = BuildNodeResolveModel(40, 12, 80, 17);
   std::vector<std::pair<int, double>> flips = FlipTrajectory(model, 25, 23);
@@ -350,6 +578,9 @@ BENCHMARK(BM_ScoreRanking)->Arg(10000)->Arg(100000);
 int main(int argc, char** argv) {
   if (!rankhow::EmitWarmstartJson()) {
     std::fprintf(stderr, "failed to write BENCH_lp_warmstart.json\n");
+  }
+  if (!rankhow::EmitScoringKernelsJson()) {
+    std::fprintf(stderr, "failed to write BENCH_scoring_kernels.json\n");
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -41,4 +41,13 @@ echo "== asan socket gate: net + server suites, explicitly =="
 echo "== asan chaos gate: journal recovery + SIGKILL/crash tests =="
 (cd build-asan && ctest --output-on-failure -L chaos)
 
+echo "== ubsan: UB-sanitized build + ctest -L kernels =="
+# The batched scoring kernels (src/data/kernels.cc) lean on blocked FP
+# accumulation and branch-free integer masks; the ubsan preset runs the
+# kernel equivalence suite to catch signed overflow / bad shifts / invalid
+# casts that -Wall cannot see.
+cmake --preset ubsan
+cmake --build --preset ubsan -j
+ctest --preset ubsan
+
 echo "check.sh: all gates passed"

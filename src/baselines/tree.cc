@@ -52,9 +52,12 @@ Result<TreeResult> RunTreeBaseline(const Dataset& data, const Ranking& given,
     for (size_t g = 0; g < fixing.groups.size(); ++g) {
       fixed_beats[g] = fixing.groups[g].fixed_one;
       for (const FreePair& fp : fixing.groups[g].free) {
-        pairs.push_back(
-            {fp.s, fixing.groups[g].tuple, static_cast<int>(g),
-             data.DiffVector(fp.s, fixing.groups[g].tuple)});
+        PairInfo& info = pairs.emplace_back();
+        info.s = fp.s;
+        info.r = fixing.groups[g].tuple;
+        info.group = static_cast<int>(g);
+        info.diff.resize(m);
+        data.DiffVectorInto(info.s, info.r, info.diff.data());
       }
     }
   } else {
@@ -62,7 +65,12 @@ Result<TreeResult> RunTreeBaseline(const Dataset& data, const Ranking& given,
       int r = ranked[g];
       for (int s = 0; s < data.num_tuples(); ++s) {
         if (s == r) continue;
-        pairs.push_back({s, r, static_cast<int>(g), data.DiffVector(s, r)});
+        PairInfo& info = pairs.emplace_back();
+        info.s = s;
+        info.r = r;
+        info.group = static_cast<int>(g);
+        info.diff.resize(m);
+        data.DiffVectorInto(s, r, info.diff.data());
       }
     }
   }

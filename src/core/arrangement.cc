@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "data/kernels.h"
+#include "ranking/objective.h"
 #include "util/string_util.h"
 
 namespace rankhow {
@@ -37,7 +39,8 @@ Result<std::vector<SimplexSegment>> TieBoundarySegments(
     for (size_t j = i + 1; j < tuples.size(); ++j) {
       const int s = tuples[i];
       const int r = tuples[j];
-      const std::vector<double> d = data.DiffVector(s, r);
+      std::array<double, 3> d;
+      data.DiffVectorInto(s, r, d.data());
 
       // Intersect {w·d = level} with the three simplex edges. On the edge
       // from vertex u to vertex v, w(t) = t·u + (1−t)·v has
@@ -109,15 +112,20 @@ Result<std::vector<ErrorSample>> ErrorField(const Dataset& data,
   }
   std::vector<ErrorSample> samples;
   samples.reserve(static_cast<size_t>(resolution + 1) * (resolution + 2) / 2);
+  // One scores buffer and one weight vector reused across the whole grid:
+  // the O(resolution^2) sweep scores through the batched kernel instead of
+  // allocating a fresh vector per sample.
+  std::vector<double> scores(data.num_tuples());
+  std::vector<double> w(3);
   for (int i = 0; i <= resolution; ++i) {
     for (int j = 0; j <= resolution - i; ++j) {
       ErrorSample sample;
       sample.w = {static_cast<double>(i) / resolution,
                   static_cast<double>(j) / resolution,
                   static_cast<double>(resolution - i - j) / resolution};
-      sample.error = ObjectiveOf(
-          data, given, {sample.w[0], sample.w[1], sample.w[2]}, tie_eps,
-          spec);
+      w.assign(sample.w.begin(), sample.w.end());
+      kernels::BatchScores(data, w, scores.data());
+      sample.error = ObjectiveOfScores(data, given, scores, tie_eps, spec);
       samples.push_back(sample);
     }
   }

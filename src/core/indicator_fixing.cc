@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "data/kernels.h"
 #include "util/logging.h"
 
 namespace rankhow {
@@ -32,31 +33,35 @@ Result<FixingSummary> ComputeIndicatorFixing(const Dataset& data,
   const int m = data.num_attributes();
   const bool full_box = IsFullBox(box);
 
-  // Pre-sort coordinates by (hi - lo) availability only matters inside
-  // DotRangeOnSimplexBox; for the hot loop we inline the two greedy passes
-  // with a reusable index ordering per pair.
   FixingSummary summary;
   summary.groups.reserve(tuples.size());
   std::vector<double> d(m);
+  // Full-box ranges come from the batched kernel: one column-at-a-time
+  // DiffRangeAgainst sweep per pivot instead of an n·m loop of value()
+  // calls. Buffers are thread-local so root-grid refixing allocates nothing.
+  static thread_local std::vector<double> lo_buf;
+  static thread_local std::vector<double> hi_buf;
+  if (full_box) {
+    lo_buf.resize(n);
+    hi_buf.resize(n);
+  }
 
   for (int r : tuples) {
     TupleFixing group;
     group.tuple = r;
+    if (full_box) {
+      // Range of w·d over the simplex = [min dᵢ, max dᵢ].
+      kernels::DiffRangeAgainst(data, r, lo_buf.data(), hi_buf.data());
+    }
     for (int s = 0; s < n; ++s) {
       if (s == r) continue;
       double lo;
       double hi;
       if (full_box) {
-        // Range of w·d over the simplex = [min dᵢ, max dᵢ].
-        lo = data.value(s, 0) - data.value(r, 0);
-        hi = lo;
-        for (int a = 1; a < m; ++a) {
-          double v = data.value(s, a) - data.value(r, a);
-          lo = std::min(lo, v);
-          hi = std::max(hi, v);
-        }
+        lo = lo_buf[s];
+        hi = hi_buf[s];
       } else {
-        for (int a = 0; a < m; ++a) d[a] = data.value(s, a) - data.value(r, a);
+        data.DiffVectorInto(s, r, d.data());
         auto range = DotRangeOnSimplexBox(d, box);
         if (!range.ok()) return range.status();
         lo = range->min;

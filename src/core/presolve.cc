@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "ranking/objective.h"
 #include "core/seeding.h"
+#include "data/kernels.h"
+#include "ranking/objective.h"
 #include "ranking/score_ranking.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -19,29 +20,31 @@ std::optional<long> EvaluateTrueError(const OptProblem& problem,
   const double tie_eps = problem.eps.tie_eps;
   if (!problem.constraints.IsSatisfied(w, 1e-7)) return std::nullopt;
 
-  std::vector<double> scores = data.Scores(w);
+  // This is the evaluation choke point of the whole solver — presolve,
+  // incumbent revalidation, spatial B&B offers, and SYM-GD cell sweeps all
+  // score through here, often millions of times. Batched kernel scoring
+  // into thread-local buffers + one sort per weight vector keeps the steady
+  // state allocation-free.
+  static thread_local std::vector<double> scores;
+  scores.resize(data.num_tuples());
+  kernels::BatchScores(data, w, scores.data());
   for (const PairwiseOrderConstraint& oc : problem.order_constraints) {
     if (scores[oc.above] - scores[oc.below] <= tie_eps) return std::nullopt;
   }
 
-  // Ranked tuples first, then position-constrained extras (their positions
-  // are checked but contribute no objective term — Eq. (2) only sums over
-  // R_π(k)).
-  std::vector<int> tuples = given.ranked_tuples();
-  for (const PositionConstraint& pc : problem.position_constraints) {
-    if (!given.IsRanked(pc.tuple)) tuples.push_back(pc.tuple);
-  }
-  std::vector<int> positions = ScoreRankPositionsOf(scores, tuples, tie_eps);
+  static thread_local std::vector<double> sorted_desc;
+  SortScoresDescending(scores, &sorted_desc);
 
+  // Position constraints may cover unranked tuples (their positions are
+  // checked but contribute no objective term — Eq. (2) only sums over
+  // R_π(k)).
   for (const PositionConstraint& pc : problem.position_constraints) {
-    for (size_t i = 0; i < tuples.size(); ++i) {
-      if (tuples[i] != pc.tuple) continue;
-      if (positions[i] < pc.min_position || positions[i] > pc.max_position) {
-        return std::nullopt;
-      }
-    }
+    const int rho =
+        ScoreRankPositionFromSorted(sorted_desc, scores[pc.tuple], tie_eps);
+    if (rho < pc.min_position || rho > pc.max_position) return std::nullopt;
   }
-  return ObjectiveOfScores(data, given, scores, tie_eps, problem.objective);
+  return ObjectiveOfScoresSorted(data, given, scores, sorted_desc, tie_eps,
+                                 problem.objective);
 }
 
 namespace {

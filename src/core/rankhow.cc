@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/indicator_fixing.h"
+#include "data/kernels.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -36,7 +37,12 @@ std::optional<long> EvaluateOnModel(const OptProblem& problem,
     values_out->assign(model.milp.lp().num_variables(), 0.0);
     for (int a = 0; a < m; ++a) (*values_out)[model.weight_vars[a]] = w[a];
   }
-  std::vector<double> scores = data.Scores(w);
+  // Batched kernel scoring into a thread-local buffer: this evaluator runs
+  // once per LP vertex / sweep candidate, so the steady state should not
+  // allocate.
+  static thread_local std::vector<double> scores;
+  scores.resize(data.num_tuples());
+  kernels::BatchScores(data, w, scores.data());
   // Order constraints are hard: reject weights that break them (allow LP
   // rounding slack).
   for (const PairwiseOrderConstraint& oc : problem.order_constraints) {

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "data/kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -12,7 +13,11 @@ namespace rankhow {
 
 Dataset::Dataset(std::vector<std::string> attribute_names, int num_tuples)
     : names_(std::move(attribute_names)), num_tuples_(num_tuples) {
-  columns_.assign(names_.size(), std::vector<double>(num_tuples, 0.0));
+  columns_.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    columns_.push_back(
+        std::make_shared<std::vector<double>>(num_tuples, 0.0));
+  }
 }
 
 Result<int> Dataset::AttributeIndex(const std::string& name) const {
@@ -28,7 +33,7 @@ int Dataset::AddColumn(std::string name, std::vector<double> values) {
       << "column size mismatch";
   if (num_attributes() == 0) num_tuples_ = static_cast<int>(values.size());
   names_.push_back(std::move(name));
-  columns_.push_back(std::move(values));
+  columns_.push_back(std::make_shared<std::vector<double>>(std::move(values)));
   return num_attributes() - 1;
 }
 
@@ -36,7 +41,7 @@ int Dataset::AppendTuple(const std::vector<double>& values) {
   RH_CHECK(static_cast<int>(values.size()) == num_attributes())
       << "tuple size mismatch";
   for (int a = 0; a < num_attributes(); ++a) {
-    columns_[a].push_back(values[a]);
+    MutableColumn(a).push_back(values[a]);
   }
   return num_tuples_++;
 }
@@ -45,7 +50,7 @@ double Dataset::ScoreOf(int tuple, const std::vector<double>& weights) const {
   RH_DCHECK(static_cast<int>(weights.size()) == num_attributes());
   double score = 0;
   for (int a = 0; a < num_attributes(); ++a) {
-    score += weights[a] * columns_[a][tuple];
+    score += weights[a] * (*columns_[a])[tuple];
   }
   return score;
 }
@@ -53,28 +58,28 @@ double Dataset::ScoreOf(int tuple, const std::vector<double>& weights) const {
 std::vector<double> Dataset::Scores(const std::vector<double>& weights) const {
   RH_DCHECK(static_cast<int>(weights.size()) == num_attributes());
   std::vector<double> scores(num_tuples_, 0.0);
-  for (int a = 0; a < num_attributes(); ++a) {
-    double w = weights[a];
-    if (w == 0.0) continue;
-    const std::vector<double>& col = columns_[a];
-    for (int t = 0; t < num_tuples_; ++t) scores[t] += w * col[t];
-  }
+  kernels::BatchScores(*this, weights, scores.data());
   return scores;
 }
 
 std::vector<double> Dataset::DiffVector(int s, int r) const {
   std::vector<double> d(num_attributes());
-  for (int a = 0; a < num_attributes(); ++a) {
-    d[a] = columns_[a][s] - columns_[a][r];
-  }
+  DiffVectorInto(s, r, d.data());
   return d;
+}
+
+void Dataset::DiffVectorInto(int s, int r, double* out) const {
+  for (int a = 0; a < num_attributes(); ++a) {
+    const std::vector<double>& col = *columns_[a];
+    out[a] = col[s] - col[r];
+  }
 }
 
 bool Dataset::Dominates(int s, int r) const {
   bool strict = false;
   for (int a = 0; a < num_attributes(); ++a) {
-    double vs = columns_[a][s];
-    double vr = columns_[a][r];
+    double vs = (*columns_[a])[s];
+    double vr = (*columns_[a])[r];
     if (vs < vr) return false;
     if (vs > vr) strict = true;
   }
@@ -82,13 +87,14 @@ bool Dataset::Dominates(int s, int r) const {
 }
 
 void Dataset::NegateColumn(int attr) {
-  for (double& v : columns_[attr]) v = -v;
+  for (double& v : MutableColumn(attr)) v = -v;
 }
 
 std::vector<std::pair<double, double>> Dataset::NormalizeMinMax() {
   std::vector<std::pair<double, double>> ranges;
   ranges.reserve(num_attributes());
-  for (auto& col : columns_) {
+  for (int a = 0; a < num_attributes(); ++a) {
+    std::vector<double>& col = MutableColumn(a);
     double lo = col.empty() ? 0 : col[0];
     double hi = lo;
     for (double v : col) {
@@ -105,8 +111,10 @@ std::vector<std::pair<double, double>> Dataset::NormalizeMinMax() {
 Dataset Dataset::SelectTuples(const std::vector<int>& tuples) const {
   Dataset out(names_, static_cast<int>(tuples.size()));
   for (int a = 0; a < num_attributes(); ++a) {
+    const std::vector<double>& src = *columns_[a];
+    std::vector<double>& dst = out.MutableColumn(a);
     for (size_t i = 0; i < tuples.size(); ++i) {
-      out.columns_[a][i] = columns_[a][tuples[i]];
+      dst[i] = src[tuples[i]];
     }
   }
   return out;
@@ -118,7 +126,7 @@ Dataset Dataset::SelectAttributes(const std::vector<int>& attrs) const {
   for (int a : attrs) {
     RH_CHECK(a >= 0 && a < num_attributes());
     out.names_.push_back(names_[a]);
-    out.columns_.push_back(columns_[a]);
+    out.columns_.push_back(columns_[a]);  // shared buffer, COW on mutation
   }
   return out;
 }
@@ -130,7 +138,7 @@ std::vector<int> Dataset::DropDuplicateTuples() {
   keep.reserve(num_tuples_);
   auto row_equal = [&](int a, int b) {
     for (int c = 0; c < num_attributes(); ++c) {
-      if (columns_[c][a] != columns_[c][b]) return false;
+      if ((*columns_[c])[a] != (*columns_[c])[b]) return false;
     }
     return true;
   };
@@ -138,7 +146,7 @@ std::vector<int> Dataset::DropDuplicateTuples() {
     size_t h = 0xcbf29ce484222325ULL;
     for (int c = 0; c < num_attributes(); ++c) {
       uint64_t bits;
-      double v = columns_[c][t];
+      double v = (*columns_[c])[t];
       std::memcpy(&bits, &v, sizeof(bits));
       h = (h ^ bits) * 0x100000001b3ULL;
     }
@@ -163,15 +171,16 @@ std::vector<int> Dataset::DropDuplicateTuples() {
 
 Result<Dataset> Dataset::FromCsv(const CsvTable& csv) {
   Dataset out(csv.header, static_cast<int>(csv.rows.size()));
-  for (size_t r = 0; r < csv.rows.size(); ++r) {
-    for (size_t c = 0; c < csv.header.size(); ++c) {
+  for (size_t c = 0; c < csv.header.size(); ++c) {
+    std::vector<double>& col = out.MutableColumn(static_cast<int>(c));
+    for (size_t r = 0; r < csv.rows.size(); ++r) {
       auto v = ParseDouble(csv.rows[r][c]);
       if (!v.ok()) {
         return Status::Invalid(StrFormat(
             "non-numeric cell at row %zu column '%s'", r,
             csv.header[c].c_str()));
       }
-      out.set_value(static_cast<int>(r), static_cast<int>(c), *v);
+      col[r] = *v;
     }
   }
   return out;

@@ -12,6 +12,9 @@ Dataset* SharedDataset::Mutable() {
   // read, and a lock() racing a sole-owner mutation would violate the
   // one-thread-per-handle contract in the header anyway.)
   if (snapshot_.use_count() > 1) {
+    // Shallow since Dataset columns are themselves refcounted: this copies
+    // names + column pointers (O(m)); the actual buffers unshare one by one
+    // as the subsequent mutation touches them.
     snapshot_ = std::make_shared<Dataset>(*snapshot_);
     ++forks_;
   }
@@ -21,5 +24,7 @@ Dataset* SharedDataset::Mutable() {
 int SharedDataset::AppendTuple(const std::vector<double>& values) {
   return Mutable()->AppendTuple(values);
 }
+
+void SharedDataset::NegateColumn(int attr) { Mutable()->NegateColumn(attr); }
 
 }  // namespace rankhow

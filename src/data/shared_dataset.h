@@ -10,14 +10,21 @@
 ///
 /// A `SharedDataset` is a cheap handle onto a refcounted, immutable
 /// `Dataset` snapshot. Handles copy in O(1) (one atomic refcount bump).
-/// Read access goes through `get()`; the only mutation the session layer
-/// performs on a live dataset — `AppendTuple` — is copy-on-write: a handle
-/// that is the snapshot's sole owner appends in place, a handle sharing the
-/// snapshot with siblings first forks a private copy, leaving every sibling
-/// untouched (bit-identical results before and after the fork — asserted by
-/// tests/data/shared_dataset_test.cc). When the last handle drops, the
-/// snapshot is freed (shared_ptr refcounting; the asan suite would flag a
-/// leak or a use-after-free).
+/// Read access goes through `get()`; the mutations the session layer
+/// performs on a live dataset — `AppendTuple`, `NegateColumn` — are
+/// copy-on-write: a handle that is the snapshot's sole owner mutates in
+/// place, a handle sharing the snapshot with siblings first forks a private
+/// copy, leaving every sibling untouched (bit-identical results before and
+/// after the fork — asserted by tests/data/shared_dataset_test.cc). When
+/// the last handle drops, the snapshot is freed (shared_ptr refcounting;
+/// the asan suite would flag a leak or a use-after-free).
+///
+/// COW is two-level since Dataset went per-column refcounted: a snapshot
+/// fork copies only the Dataset shell (names + column *pointers*, O(m)),
+/// and the column buffers themselves unshare lazily — the mutation then
+/// deep-copies just the columns it touches (all of them for AppendTuple,
+/// exactly one for NegateColumn). Forked siblings keep sharing every
+/// untouched column buffer (asserted via Dataset::column_id in the tests).
 ///
 /// Thread-safety contract: concurrent *reads* of one snapshot from many
 /// handles/threads are safe (the snapshot is immutable); refcount
@@ -54,6 +61,11 @@ class SharedDataset {
   /// returns its id. Forks a private copy first iff the snapshot is shared
   /// with other handles; sole owners append in place.
   int AppendTuple(const std::vector<double>& values);
+
+  /// Copy-on-write column negation (flipping an undesirable attribute, per
+  /// Sec. I of the paper). The fork is O(m); only the negated column's
+  /// buffer is deep-copied.
+  void NegateColumn(int attr);
 
   /// True iff a mutation through this handle right now would fork (i.e. the
   /// snapshot has other owners).

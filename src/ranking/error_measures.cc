@@ -6,19 +6,38 @@ namespace rankhow {
 
 namespace {
 
-/// Applies `fn(a, b)` to every ordered pair of ranked tuples with
-/// π(a) < π(b) strictly.
+/// Flat, contiguous copies of the π positions and approximate positions of
+/// the ranked tuples. The O(k²) pair loops below then stream two k-sized
+/// arrays instead of doing scattered n-sized `approx_positions[tuple]`
+/// lookups per pair — the same hoist-to-flat-arrays idiom as the scoring
+/// kernels (see DESIGN.md "Dataset layout & kernel contracts").
+struct RankedPairView {
+  std::vector<int> given_pos;
+  std::vector<int> approx_pos;
+
+  RankedPairView(const Ranking& given,
+                 const std::vector<int>& approx_positions) {
+    const std::vector<int>& ranked = given.ranked_tuples();
+    given_pos.reserve(ranked.size());
+    approx_pos.reserve(ranked.size());
+    for (int t : ranked) {
+      given_pos.push_back(given.position(t));
+      approx_pos.push_back(approx_positions[t]);
+    }
+  }
+};
+
+/// Applies `fn(above, below)` (indices into the view's flat arrays) to every
+/// pair of ranked tuples whose π positions are strictly ordered.
 template <typename Fn>
-void ForEachStrictGivenPair(const Ranking& given, Fn&& fn) {
-  const std::vector<int>& ranked = given.ranked_tuples();
-  for (size_t i = 0; i < ranked.size(); ++i) {
-    for (size_t j = i + 1; j < ranked.size(); ++j) {
-      int a = ranked[i];
-      int b = ranked[j];
-      if (given.position(a) < given.position(b)) {
-        fn(a, b);
-      } else if (given.position(b) < given.position(a)) {
-        fn(b, a);
+void ForEachStrictGivenPair(const RankedPairView& view, Fn&& fn) {
+  const size_t k = view.given_pos.size();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (view.given_pos[i] < view.given_pos[j]) {
+        fn(i, j);
+      } else if (view.given_pos[j] < view.given_pos[i]) {
+        fn(j, i);
       }
       // Tied pairs are neutral.
     }
@@ -30,9 +49,10 @@ void ForEachStrictGivenPair(const Ranking& given, Fn&& fn) {
 long KendallTauDistance(const Ranking& given,
                         const std::vector<int>& approx_positions) {
   RH_CHECK(static_cast<int>(approx_positions.size()) == given.num_tuples());
+  RankedPairView view(given, approx_positions);
   long inversions = 0;
-  ForEachStrictGivenPair(given, [&](int above, int below) {
-    if (approx_positions[above] > approx_positions[below]) ++inversions;
+  ForEachStrictGivenPair(view, [&](size_t above, size_t below) {
+    if (view.approx_pos[above] > view.approx_pos[below]) ++inversions;
   });
   return inversions;
 }
@@ -40,10 +60,11 @@ long KendallTauDistance(const Ranking& given,
 double TopWeightedInversionError(const Ranking& given,
                                  const std::vector<int>& approx_positions) {
   RH_CHECK(static_cast<int>(approx_positions.size()) == given.num_tuples());
+  RankedPairView view(given, approx_positions);
   double error = 0;
-  ForEachStrictGivenPair(given, [&](int above, int below) {
-    if (approx_positions[above] > approx_positions[below]) {
-      error += 1.0 / static_cast<double>(given.position(above));
+  ForEachStrictGivenPair(view, [&](size_t above, size_t below) {
+    if (view.approx_pos[above] > view.approx_pos[below]) {
+      error += 1.0 / static_cast<double>(view.given_pos[above]);
     }
   });
   return error;
@@ -52,12 +73,13 @@ double TopWeightedInversionError(const Ranking& given,
 double KendallTauCoefficient(const Ranking& given,
                              const std::vector<int>& approx_positions) {
   RH_CHECK(static_cast<int>(approx_positions.size()) == given.num_tuples());
+  RankedPairView view(given, approx_positions);
   long concordant = 0;
   long discordant = 0;
-  ForEachStrictGivenPair(given, [&](int above, int below) {
-    if (approx_positions[above] < approx_positions[below]) {
+  ForEachStrictGivenPair(view, [&](size_t above, size_t below) {
+    if (view.approx_pos[above] < view.approx_pos[below]) {
       ++concordant;
-    } else if (approx_positions[above] > approx_positions[below]) {
+    } else if (view.approx_pos[above] > view.approx_pos[below]) {
       ++discordant;
     }
   });

@@ -36,6 +36,19 @@ RankingObjectiveSpec RankingObjectiveSpec::Inversions() {
 long ObjectiveOfScores(const Dataset& data, const Ranking& given,
                        const std::vector<double>& scores, double tie_eps,
                        const RankingObjectiveSpec& spec) {
+  if (spec.kind == ObjectiveKind::kInversions) {
+    return ObjectiveOfScoresSorted(data, given, scores, {}, tie_eps, spec);
+  }
+  std::vector<double> sorted_desc;
+  SortScoresDescending(scores, &sorted_desc);
+  return ObjectiveOfScoresSorted(data, given, scores, sorted_desc, tie_eps,
+                                 spec);
+}
+
+long ObjectiveOfScoresSorted(const Dataset& data, const Ranking& given,
+                             const std::vector<double>& scores,
+                             const std::vector<double>& sorted_desc,
+                             double tie_eps, const RankingObjectiveSpec& spec) {
   RH_CHECK(static_cast<int>(scores.size()) == data.num_tuples());
   const std::vector<int>& ranked = given.ranked_tuples();
   if (spec.kind == ObjectiveKind::kInversions) {
@@ -54,12 +67,13 @@ long ObjectiveOfScores(const Dataset& data, const Ranking& given,
     }
     return inversions;
   }
-  std::vector<int> positions = ScoreRankPositionsOf(scores, ranked, tie_eps);
+  RH_CHECK(sorted_desc.size() == scores.size());
   long total = 0;
-  for (size_t i = 0; i < ranked.size(); ++i) {
-    int given_pos = given.position(ranked[i]);
+  for (int t : ranked) {
+    int given_pos = given.position(t);
+    int rho = ScoreRankPositionFromSorted(sorted_desc, scores[t], tie_eps);
     total += spec.PenaltyAt(given_pos) *
-             std::labs(static_cast<long>(positions[i]) - given_pos);
+             std::labs(static_cast<long>(rho) - given_pos);
   }
   return total;
 }

@@ -69,6 +69,15 @@ long ObjectiveOfScores(const Dataset& data, const Ranking& given,
                        const std::vector<double>& scores, double tie_eps,
                        const RankingObjectiveSpec& spec);
 
+/// Same, additionally reusing a precomputed descending copy of `scores`
+/// (from SortScoresDescending) so the O(n log n) sort is paid once per
+/// weight vector even when positions are needed for constraints AND the
+/// objective. `sorted_desc` is ignored for the inversions objective.
+long ObjectiveOfScoresSorted(const Dataset& data, const Ranking& given,
+                             const std::vector<double>& scores,
+                             const std::vector<double>& sorted_desc,
+                             double tie_eps, const RankingObjectiveSpec& spec);
+
 }  // namespace rankhow
 
 #endif  // RANKHOW_RANKING_OBJECTIVE_H_

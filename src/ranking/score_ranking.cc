@@ -55,19 +55,44 @@ std::vector<int> ScoreRankPositionsOf(const std::vector<double>& scores,
                                       double tie_eps) {
   std::vector<double> sorted = SortedDescending(scores);
   std::vector<int> positions;
-  positions.reserve(tuples.size());
-  for (int t : tuples) {
-    positions.push_back(CountBeating(sorted, scores[t], tie_eps) + 1);
-  }
+  ScoreRankPositionsOfSorted(scores, sorted, tuples, tie_eps, &positions);
   return positions;
+}
+
+void SortScoresDescending(const std::vector<double>& scores,
+                          std::vector<double>* sorted_desc) {
+  sorted_desc->assign(scores.begin(), scores.end());
+  std::sort(sorted_desc->begin(), sorted_desc->end(), std::greater<double>());
+}
+
+int ScoreRankPositionFromSorted(const std::vector<double>& sorted_desc,
+                                double value, double tie_eps) {
+  return CountBeating(sorted_desc, value, tie_eps) + 1;
+}
+
+void ScoreRankPositionsOfSorted(const std::vector<double>& scores,
+                                const std::vector<double>& sorted_desc,
+                                const std::vector<int>& tuples, double tie_eps,
+                                std::vector<int>* positions_out) {
+  positions_out->resize(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    (*positions_out)[i] =
+        CountBeating(sorted_desc, scores[tuples[i]], tie_eps) + 1;
+  }
 }
 
 long PositionErrorFromScores(const std::vector<double>& scores,
                              const Ranking& given, double tie_eps) {
   std::vector<double> sorted = SortedDescending(scores);
+  return PositionErrorFromSorted(scores, sorted, given, tie_eps);
+}
+
+long PositionErrorFromSorted(const std::vector<double>& scores,
+                             const std::vector<double>& sorted_desc,
+                             const Ranking& given, double tie_eps) {
   long error = 0;
   for (int t : given.ranked_tuples()) {
-    int rho = CountBeating(sorted, scores[t], tie_eps) + 1;
+    int rho = CountBeating(sorted_desc, scores[t], tie_eps) + 1;
     error += std::labs(static_cast<long>(rho) - given.position(t));
   }
   return error;

@@ -24,6 +24,30 @@ std::vector<int> ScoreRankPositionsOf(const std::vector<double>& scores,
                                       const std::vector<int>& tuples,
                                       double tie_eps);
 
+/// Fills `sorted_desc` with a descending copy of `scores`, reusing the
+/// buffer's capacity. The sort is the O(n log n) part of every position
+/// query below; hot evaluators (presolve, SYM-GD sweeps) pay it once per
+/// weight vector and reuse the result.
+void SortScoresDescending(const std::vector<double>& scores,
+                          std::vector<double>* sorted_desc);
+
+/// ρ position of one score value against a precomputed descending array:
+/// 1 + #{s : sorted[s] > value + eps}, by binary search.
+int ScoreRankPositionFromSorted(const std::vector<double>& sorted_desc,
+                                double value, double tie_eps);
+
+/// Positions of selected tuples against a precomputed descending array,
+/// written into a caller-owned buffer (resized to tuples.size()).
+void ScoreRankPositionsOfSorted(const std::vector<double>& scores,
+                                const std::vector<double>& sorted_desc,
+                                const std::vector<int>& tuples, double tie_eps,
+                                std::vector<int>* positions_out);
+
+/// Position-based error against a precomputed descending array.
+long PositionErrorFromSorted(const std::vector<double>& scores,
+                             const std::vector<double>& sorted_desc,
+                             const Ranking& given, double tie_eps);
+
 /// Position-based error (Definition 3) of the score-based ranking induced by
 /// `weights` against the given ranking π: Σ_{r ranked} |ρ_W(r) − π(r)|.
 long PositionError(const Dataset& data, const Ranking& given,

@@ -2,16 +2,14 @@
 
 #include <cmath>
 
+#include "data/kernels.h"
 #include "math/dyadic.h"
 #include "util/logging.h"
 
 namespace rankhow {
 
-namespace {
-
-/// Exact sign of f_W(s) − f_W(r) − ε computed with dyadic rationals.
-int ExactDiffSign(const Dataset& data, const std::vector<double>& weights,
-                  int s, int r, double tie_eps) {
+int ExactScoreDiffSign(const Dataset& data, const std::vector<double>& weights,
+                       int s, int r, double tie_eps) {
   Dyadic diff;
   for (int a = 0; a < data.num_attributes(); ++a) {
     if (weights[a] == 0.0) continue;
@@ -24,62 +22,24 @@ int ExactDiffSign(const Dataset& data, const std::vector<double>& weights,
   return diff.sign();
 }
 
-}  // namespace
-
 std::vector<int> ExactScoreRankPositionsOf(const Dataset& data,
                                            const std::vector<double>& weights,
                                            const std::vector<int>& tuples,
                                            double tie_eps,
                                            long* exact_comparisons,
-                                           long* total_comparisons) {
+                                           long* total_comparisons,
+                                           ThreadPool* pool) {
   RH_CHECK(static_cast<int>(weights.size()) == data.num_attributes());
-  const int n = data.num_tuples();
-  const int m = data.num_attributes();
-  long exact_used = 0;
-  long total = 0;
-
-  // Double scores with a certified forward error bound. Each score is a sum
-  // of m products; the rounding error of a dot product is bounded by
-  // (m+2)·u·Σ|wᵢAᵢ| with unit roundoff u = 2^-53. A score DIFFERENCE then
-  // carries at most err(s) + err(r) + u·|f(s)−f(r)| of error; we fold the
-  // last term into a slightly inflated constant.
-  std::vector<double> scores(n, 0.0);
-  std::vector<double> score_err(n, 0.0);
-  const double u = std::ldexp(1.0, -53);
-  for (int t = 0; t < n; ++t) {
-    double sum = 0;
-    double abs_sum = 0;
-    for (int a = 0; a < m; ++a) {
-      double term = weights[a] * data.value(t, a);
-      sum += term;
-      abs_sum += std::abs(term);
-    }
-    scores[t] = sum;
-    score_err[t] = (m + 3) * u * abs_sum;
-  }
-
+  // Scratch persists per thread so repeated verification (presolve
+  // revalidation, SYM-GD sweeps) allocates nothing in steady state.
+  static thread_local kernels::ExactRankScratch scratch;
   std::vector<int> positions;
-  positions.reserve(tuples.size());
-  for (int r : tuples) {
-    int beats = 0;
-    for (int s = 0; s < n; ++s) {
-      if (s == r) continue;
-      ++total;
-      double diff = scores[s] - scores[r];
-      double band = score_err[s] + score_err[r];
-      if (diff - tie_eps > band) {
-        ++beats;  // certainly beats
-      } else if (diff - tie_eps < -band) {
-        // certainly does not beat
-      } else {
-        ++exact_used;
-        if (ExactDiffSign(data, weights, s, r, tie_eps) > 0) ++beats;
-      }
-    }
-    positions.push_back(beats + 1);
-  }
-  if (exact_comparisons != nullptr) *exact_comparisons = exact_used;
-  if (total_comparisons != nullptr) *total_comparisons = total;
+  kernels::FusedExactRankPositions(
+      data, weights, tuples, tie_eps,
+      [&](int s, int r) {
+        return ExactScoreDiffSign(data, weights, s, r, tie_eps);
+      },
+      &scratch, &positions, exact_comparisons, total_comparisons, pool);
   return positions;
 }
 
@@ -109,8 +69,17 @@ Result<VerificationReport> VerifySolutionObjective(
   const std::vector<int>& ranked = given.ranked_tuples();
   long error = 0;
   if (spec.kind == ObjectiveKind::kInversions) {
-    // Pairwise exact comparisons: for an ordered pair (a above b in π) the
-    // discordance test is sign(f(b) − f(a) − ε) > 0.
+    // Pairwise comparisons: for an ordered pair (a above b in π) the
+    // discordance test is sign(f(b) − f(a) − ε) > 0. Certified doubles
+    // decide pairs outside the uncertainty band; only ambiguous pairs pay
+    // for exact dyadic arithmetic.
+    const int n = data.num_tuples();
+    static thread_local std::vector<double> scores_buf;
+    static thread_local std::vector<double> err_buf;
+    scores_buf.resize(n);
+    err_buf.resize(n);
+    kernels::BatchScoresWithErrorBound(data, weights, scores_buf.data(),
+                                       err_buf.data());
     for (size_t i = 0; i < ranked.size(); ++i) {
       for (size_t j = i + 1; j < ranked.size(); ++j) {
         int a = ranked[i];
@@ -118,8 +87,16 @@ Result<VerificationReport> VerifySolutionObjective(
         if (given.position(a) == given.position(b)) continue;
         if (given.position(a) > given.position(b)) std::swap(a, b);
         ++report.total_comparisons;
-        ++report.exact_comparisons;
-        if (ExactDiffSign(data, weights, b, a, tie_eps) > 0) ++error;
+        const double x = (scores_buf[b] - scores_buf[a]) - tie_eps;
+        const double band = err_buf[b] + err_buf[a];
+        if (x > band) {
+          ++error;
+        } else if (x < -band) {
+          // certainly concordant
+        } else {
+          ++report.exact_comparisons;
+          if (ExactScoreDiffSign(data, weights, b, a, tie_eps) > 0) ++error;
+        }
       }
     }
   } else {

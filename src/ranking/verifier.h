@@ -24,6 +24,8 @@
 
 namespace rankhow {
 
+class ThreadPool;
+
 struct VerificationReport {
   /// True when the claimed error matches the exact recomputation.
   bool consistent = false;
@@ -57,13 +59,24 @@ Result<VerificationReport> VerifySolutionObjective(
     const RankingObjectiveSpec& spec);
 
 /// Exact ρ_W positions of the given tuples (1 + #{s : f(s) − f(r) > ε},
-/// decided in exact arithmetic).
+/// decided in exact arithmetic). Runs on the fused batched kernel
+/// (kernels::FusedExactRankPositions): certified double scores first, exact
+/// dyadic fallback only inside the uncertainty band. An optional ThreadPool
+/// parallelizes the pivot scans; verdicts and comparison counters are
+/// identical regardless of pool size.
 std::vector<int> ExactScoreRankPositionsOf(const Dataset& data,
                                            const std::vector<double>& weights,
                                            const std::vector<int>& tuples,
                                            double tie_eps,
                                            long* exact_comparisons = nullptr,
-                                           long* total_comparisons = nullptr);
+                                           long* total_comparisons = nullptr,
+                                           ThreadPool* pool = nullptr);
+
+/// Exact sign of f_W(s) − f_W(r) − ε computed with dyadic rationals — the
+/// arbiter every certified-double path falls back to inside its uncertainty
+/// band (also the reference comparator for kernel equivalence tests).
+int ExactScoreDiffSign(const Dataset& data, const std::vector<double>& weights,
+                       int s, int r, double tie_eps);
 
 }  // namespace rankhow
 

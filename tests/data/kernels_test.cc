@@ -1,0 +1,365 @@
+// Kernel-vs-scalar equivalence for the batched scoring layer (data/kernels.h).
+// The kernels' contract is not "close": scores must be BIT-identical to the
+// scalar per-tuple loops (same per-tuple accumulation order over attributes),
+// rank positions and dominance verdicts must match exactly — including at
+// block boundaries and for ties sitting right at tie_eps — and the parallel
+// path must produce the same bits at any worker count (1/2/8; the tsan label
+// on data_tests races this under the sanitizer).
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/kernels.h"
+#include "ranking/verifier.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace rankhow {
+namespace {
+
+/// Random dataset with deliberate tie structure: blocks of duplicated rows
+/// (score difference exactly 0) and, when the weight vector is known,
+/// rows nudged on one attribute by tie_eps / w[a] — putting the score
+/// difference AT the tie tolerance up to rounding, i.e. inside the
+/// certified uncertainty band, so the fused kernel's exact-fallback path is
+/// exercised and not just the certain fast path.
+Dataset TieHeavyDataset(int n, int m, uint64_t seed, double tie_eps,
+                        const std::vector<double>* w = nullptr) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (int a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  Dataset d(names, n);
+  for (int t = 0; t < n; ++t) {
+    if (t > 0 && rng.NextDouble() < 0.25) {
+      int src = static_cast<int>(rng.Next() % t);
+      for (int a = 0; a < m; ++a) d.set_value(t, a, d.value(src, a));
+      if (rng.NextDouble() < 0.5) {
+        int a = static_cast<int>(rng.Next() % m);
+        const double unit = w != nullptr ? tie_eps / (*w)[a] : tie_eps;
+        // Mostly dead-on ε (ambiguous under rounding); sometimes scaled off
+        // it, creating certain pairs right next to the band.
+        const double factor =
+            rng.NextDouble() < 0.7 ? 1.0 : rng.NextUniform(0.0, 2.0);
+        d.set_value(t, a, d.value(t, a) + unit * factor);
+      }
+    } else {
+      for (int a = 0; a < m; ++a) d.set_value(t, a, rng.NextDouble());
+    }
+  }
+  return d;
+}
+
+std::vector<double> RandomSimplexWeights(int m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(m);
+  double sum = 0;
+  for (double& v : w) {
+    v = rng.NextDouble();
+    sum += v;
+  }
+  for (double& v : w) v /= sum;
+  return w;
+}
+
+/// The pre-kernel scalar reference: per-tuple attribute-order accumulation
+/// (exactly Dataset::ScoreOf) with the certified (m+3)·u·Σ|term| bound.
+void ScalarScoresWithErr(const Dataset& data, const std::vector<double>& w,
+                         std::vector<double>* scores,
+                         std::vector<double>* err) {
+  const int n = data.num_tuples();
+  const int m = data.num_attributes();
+  const double u = std::ldexp(1.0, -53);
+  scores->assign(n, 0.0);
+  err->assign(n, 0.0);
+  for (int t = 0; t < n; ++t) {
+    double sum = 0;
+    double abs_sum = 0;
+    for (int a = 0; a < m; ++a) {
+      double term = w[a] * data.value(t, a);
+      sum += term;
+      abs_sum += std::abs(term);
+    }
+    (*scores)[t] = sum;
+    (*err)[t] = (m + 3) * u * abs_sum;
+  }
+}
+
+/// The pre-kernel scalar verifier loop, kept verbatim as the reference the
+/// fused kernel must reproduce pair for pair.
+std::vector<int> ScalarExactPositions(const Dataset& data,
+                                      const std::vector<double>& w,
+                                      const std::vector<int>& tuples,
+                                      double tie_eps, long* exact_used_out,
+                                      long* total_out) {
+  std::vector<double> scores;
+  std::vector<double> err;
+  ScalarScoresWithErr(data, w, &scores, &err);
+  const int n = data.num_tuples();
+  long exact_used = 0;
+  long total = 0;
+  std::vector<int> positions;
+  for (int r : tuples) {
+    int beats = 0;
+    for (int s = 0; s < n; ++s) {
+      if (s == r) continue;
+      ++total;
+      double diff = scores[s] - scores[r];
+      double band = err[s] + err[r];
+      if (diff - tie_eps > band) {
+        ++beats;
+      } else if (diff - tie_eps < -band) {
+        // certainly does not beat
+      } else {
+        ++exact_used;
+        if (ExactScoreDiffSign(data, w, s, r, tie_eps) > 0) ++beats;
+      }
+    }
+    positions.push_back(beats + 1);
+  }
+  if (exact_used_out != nullptr) *exact_used_out = exact_used;
+  if (total_out != nullptr) *total_out = total;
+  return positions;
+}
+
+// Sizes chosen to straddle the kernel block size (2048): partial single
+// block, exact block, one element over, and a couple of full blocks plus
+// spill.
+const int kBoundarySizes[] = {1, 2, 7, 2047, 2048, 2049, 4097};
+
+TEST(KernelsTest, BatchScoresBitIdenticalToScoreOf) {
+  for (int n : kBoundarySizes) {
+    Dataset d = TieHeavyDataset(n, 4, /*seed=*/n, /*tie_eps=*/1e-9);
+    std::vector<double> w = RandomSimplexWeights(4, /*seed=*/n + 1);
+    std::vector<double> batched(n);
+    kernels::BatchScores(d, w, batched.data());
+    for (int t = 0; t < n; ++t) {
+      // EXPECT_EQ, not NEAR: the accumulation order per tuple is identical,
+      // so the bits must be.
+      EXPECT_EQ(batched[t], d.ScoreOf(t, w)) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(KernelsTest, BatchScoresSkipsZeroWeightColumnsWithoutChangingBits) {
+  const int n = 4097;
+  Dataset d = TieHeavyDataset(n, 5, /*seed=*/7, /*tie_eps=*/1e-9);
+  std::vector<double> w = RandomSimplexWeights(5, /*seed=*/8);
+  w[1] = 0.0;
+  w[3] = 0.0;
+  std::vector<double> batched(n);
+  kernels::BatchScores(d, w, batched.data());
+  for (int t = 0; t < n; ++t) {
+    EXPECT_EQ(batched[t], d.ScoreOf(t, w)) << "t=" << t;
+  }
+}
+
+TEST(KernelsTest, BatchScoresWithErrorBoundMatchesScalarReference) {
+  for (int n : kBoundarySizes) {
+    Dataset d = TieHeavyDataset(n, 3, /*seed=*/100 + n, /*tie_eps=*/1e-9);
+    std::vector<double> w = RandomSimplexWeights(3, /*seed=*/n);
+    std::vector<double> ref_scores;
+    std::vector<double> ref_err;
+    ScalarScoresWithErr(d, w, &ref_scores, &ref_err);
+    std::vector<double> scores(n);
+    std::vector<double> err(n);
+    kernels::BatchScoresWithErrorBound(d, w, scores.data(), err.data());
+    for (int t = 0; t < n; ++t) {
+      EXPECT_EQ(scores[t], ref_scores[t]) << "n=" << n << " t=" << t;
+      EXPECT_EQ(err[t], ref_err[t]) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(KernelsTest, BatchDiffAgainstMatchesDiffVector) {
+  const int n = 2049;
+  const int m = 4;
+  Dataset d = TieHeavyDataset(n, m, /*seed=*/21, /*tie_eps=*/1e-9);
+  const int pivot = 1234;
+  std::vector<double> out(static_cast<size_t>(n) * m);
+  kernels::BatchDiffAgainst(d, pivot, out.data());
+  std::vector<double> ref(m);
+  for (int s = 0; s < n; ++s) {
+    d.DiffVectorInto(s, pivot, ref.data());
+    for (int a = 0; a < m; ++a) {
+      EXPECT_EQ(out[static_cast<size_t>(s) * m + a], ref[a])
+          << "s=" << s << " a=" << a;
+    }
+  }
+}
+
+TEST(KernelsTest, DiffVectorIntoMatchesDiffVector) {
+  Dataset d = TieHeavyDataset(64, 5, /*seed=*/3, /*tie_eps=*/1e-9);
+  std::vector<double> buf(5);
+  for (int s = 0; s < 64; s += 7) {
+    for (int r = 0; r < 64; r += 11) {
+      d.DiffVectorInto(s, r, buf.data());
+      EXPECT_EQ(buf, d.DiffVector(s, r)) << "s=" << s << " r=" << r;
+    }
+  }
+}
+
+TEST(KernelsTest, DiffRangeAgainstMatchesScalarMinMax) {
+  for (int n : kBoundarySizes) {
+    const int m = 4;
+    Dataset d = TieHeavyDataset(n, m, /*seed=*/300 + n, /*tie_eps=*/1e-9);
+    const int pivot = n / 2;
+    std::vector<double> lo(n);
+    std::vector<double> hi(n);
+    kernels::DiffRangeAgainst(d, pivot, lo.data(), hi.data());
+    for (int s = 0; s < n; ++s) {
+      double rlo = d.value(s, 0) - d.value(pivot, 0);
+      double rhi = rlo;
+      for (int a = 1; a < m; ++a) {
+        double v = d.value(s, a) - d.value(pivot, a);
+        rlo = std::min(rlo, v);
+        rhi = std::max(rhi, v);
+      }
+      EXPECT_EQ(lo[s], rlo) << "n=" << n << " s=" << s;
+      EXPECT_EQ(hi[s], rhi) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(KernelsTest, DominanceScanMatchesDominates) {
+  for (int n : kBoundarySizes) {
+    Dataset d = TieHeavyDataset(n, 3, /*seed=*/500 + n, /*tie_eps=*/1e-9);
+    const int pivot = n - 1;
+    std::vector<unsigned char> out(n);
+    kernels::DominanceScan(d, pivot, out.data());
+    for (int s = 0; s < n; ++s) {
+      const bool expected = s == pivot ? false : d.Dominates(s, pivot);
+      EXPECT_EQ(out[s] != 0, expected) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(KernelsTest, FusedExactRankPositionsMatchesScalarVerifierExactly) {
+  // tie_eps = 0 makes every exact-duplicate pair ambiguous (x = 0 inside
+  // the band); tie_eps = 1e-9 relies on the weight-aware nudges that park
+  // score differences at ε up to rounding.
+  for (double tie_eps : {0.0, 1e-9}) {
+  for (int n : kBoundarySizes) {
+    std::vector<double> w = RandomSimplexWeights(4, /*seed=*/n * 3 + 1);
+    Dataset d = TieHeavyDataset(n, 4, /*seed=*/900 + n, tie_eps, &w);
+    // Two pivot-set sizes: small k (linear path) and large k (sorted path).
+    for (int k : {1, std::min(n, 3), n}) {
+      std::vector<int> tuples;
+      for (int i = 0; i < k; ++i) tuples.push_back((i * 13) % n);
+      long ref_exact = 0;
+      long ref_total = 0;
+      std::vector<int> ref =
+          ScalarExactPositions(d, w, tuples, tie_eps, &ref_exact, &ref_total);
+      kernels::ExactRankScratch scratch;
+      std::vector<int> got;
+      long got_exact = 0;
+      long got_total = 0;
+      kernels::FusedExactRankPositions(
+          d, w, tuples, tie_eps,
+          [&](int s, int r) { return ExactScoreDiffSign(d, w, s, r, tie_eps); },
+          &scratch, &got, &got_exact, &got_total);
+      EXPECT_EQ(got, ref) << "n=" << n << " k=" << k;
+      EXPECT_EQ(got_exact, ref_exact) << "n=" << n << " k=" << k;
+      EXPECT_EQ(got_total, ref_total) << "n=" << n << " k=" << k;
+      if (n >= 2047 && k == n) {
+        EXPECT_GT(got_exact, 0)
+            << "tie-heavy data must exercise the exact fallback (n=" << n
+            << " k=" << k << " eps=" << tie_eps << ")";
+      }
+    }
+  }
+  }
+}
+
+TEST(KernelsTest, VerifierWrapperUsesTheFusedKernel) {
+  const double tie_eps = 1e-9;
+  Dataset d = TieHeavyDataset(2049, 3, /*seed=*/77, tie_eps);
+  std::vector<double> w = RandomSimplexWeights(3, /*seed=*/78);
+  std::vector<int> tuples = {0, 17, 2048, 1024, 33};
+  long ref_exact = 0;
+  long ref_total = 0;
+  std::vector<int> ref =
+      ScalarExactPositions(d, w, tuples, tie_eps, &ref_exact, &ref_total);
+  long got_exact = 0;
+  long got_total = 0;
+  std::vector<int> got = ExactScoreRankPositionsOf(d, w, tuples, tie_eps,
+                                                   &got_exact, &got_total);
+  EXPECT_EQ(got, ref);
+  EXPECT_EQ(got_exact, ref_exact);
+  EXPECT_EQ(got_total, ref_total);
+}
+
+// Parallel path: bit-identical results at every worker count. n is above
+// kParallelMinTuples so the pool actually engages; the tsan label on
+// data_tests runs this under the race detector.
+TEST(KernelsTest, ParallelKernelsBitIdenticalAcrossWorkerCounts) {
+  const int n = kernels::kParallelMinTuples + 4097;  // > threshold, odd spill
+  const int m = 4;
+  const double tie_eps = 1e-9;
+  Dataset d = TieHeavyDataset(n, m, /*seed=*/42, tie_eps);
+  std::vector<double> w = RandomSimplexWeights(m, /*seed=*/43);
+
+  std::vector<double> serial_scores(n);
+  std::vector<double> serial_err(n);
+  kernels::BatchScoresWithErrorBound(d, w, serial_scores.data(),
+                                     serial_err.data());
+  std::vector<double> serial_lo(n);
+  std::vector<double> serial_hi(n);
+  kernels::DiffRangeAgainst(d, 5, serial_lo.data(), serial_hi.data());
+  std::vector<unsigned char> serial_dom(n);
+  kernels::DominanceScan(d, 5, serial_dom.data());
+
+  std::vector<int> tuples;
+  for (int i = 0; i < 64; ++i) tuples.push_back((i * 511) % n);
+  kernels::ExactRankScratch scratch;
+  std::vector<int> serial_pos;
+  long serial_exact = 0;
+  auto exact_sign = [&](int s, int r) {
+    return ExactScoreDiffSign(d, w, s, r, tie_eps);
+  };
+  kernels::FusedExactRankPositions(d, w, tuples, tie_eps, exact_sign, &scratch,
+                                   &serial_pos, &serial_exact, nullptr);
+
+  for (int workers : {1, 2, 8}) {
+    ThreadPool pool(workers);
+    std::vector<double> scores(n);
+    std::vector<double> err(n);
+    kernels::BatchScoresWithErrorBound(d, w, scores.data(), err.data(), &pool);
+    EXPECT_EQ(std::memcmp(scores.data(), serial_scores.data(),
+                          n * sizeof(double)),
+              0)
+        << "workers=" << workers;
+    EXPECT_EQ(std::memcmp(err.data(), serial_err.data(), n * sizeof(double)),
+              0)
+        << "workers=" << workers;
+
+    std::vector<double> lo(n);
+    std::vector<double> hi(n);
+    kernels::DiffRangeAgainst(d, 5, lo.data(), hi.data(), &pool);
+    EXPECT_EQ(
+        std::memcmp(lo.data(), serial_lo.data(), n * sizeof(double)), 0)
+        << "workers=" << workers;
+    EXPECT_EQ(
+        std::memcmp(hi.data(), serial_hi.data(), n * sizeof(double)), 0)
+        << "workers=" << workers;
+
+    std::vector<unsigned char> dom(n);
+    kernels::DominanceScan(d, 5, dom.data(), &pool);
+    EXPECT_EQ(std::memcmp(dom.data(), serial_dom.data(), n), 0)
+        << "workers=" << workers;
+
+    kernels::ExactRankScratch pscratch;
+    std::vector<int> pos;
+    long exact = 0;
+    kernels::FusedExactRankPositions(d, w, tuples, tie_eps, exact_sign,
+                                     &pscratch, &pos, &exact, nullptr, &pool);
+    EXPECT_EQ(pos, serial_pos) << "workers=" << workers;
+    EXPECT_EQ(exact, serial_exact) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace rankhow

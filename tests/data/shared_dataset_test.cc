@@ -82,6 +82,84 @@ TEST(SharedDatasetTest, RefcountDropFreesTheSnapshot) {
       << "last handle dropped; the snapshot must be freed";
 }
 
+// --- Per-column COW (Dataset columns are themselves refcounted) ---
+
+TEST(SharedDatasetTest, NegateColumnForksOnlyTheTouchedColumn) {
+  SharedDataset a(SmallDataset());
+  SharedDataset b = a;
+  const void* col0_before = a.get().column_id(0);
+  const void* col1_before = a.get().column_id(1);
+
+  a.NegateColumn(1);
+
+  // The snapshot forked (shallow O(m) shell copy)…
+  EXPECT_EQ(a.forks(), 1);
+  EXPECT_FALSE(a.SharesSnapshotWith(b));
+  // …but only the negated column's buffer was deep-copied; column 0 is
+  // still physically shared with the sibling.
+  EXPECT_EQ(a.get().column_id(0), col0_before);
+  EXPECT_EQ(b.get().column_id(0), col0_before);
+  EXPECT_NE(a.get().column_id(1), col1_before);
+  EXPECT_EQ(b.get().column_id(1), col1_before);
+
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(a.get().value(t, 1), -b.get().value(t, 1));
+    EXPECT_EQ(a.get().value(t, 0), b.get().value(t, 0));
+  }
+}
+
+TEST(SharedDatasetTest, AppendForkUnsharesEveryColumnItTouches) {
+  SharedDataset a(SmallDataset());
+  SharedDataset b = a;
+  std::vector<double> b_col0_before = b.get().column(0);
+  std::vector<double> b_col1_before = b.get().column(1);
+
+  a.AppendTuple({3.0, 30.0});
+
+  // AppendTuple writes every column, so the fork unshares them all.
+  EXPECT_NE(a.get().column_id(0), b.get().column_id(0));
+  EXPECT_NE(a.get().column_id(1), b.get().column_id(1));
+  // The sibling's buffers are bit-identical to their pre-fork state.
+  EXPECT_EQ(b.get().column(0), b_col0_before);
+  EXPECT_EQ(b.get().column(1), b_col1_before);
+  EXPECT_EQ(a.get().num_tuples(), 4);
+  EXPECT_EQ(b.get().num_tuples(), 3);
+}
+
+TEST(SharedDatasetTest, ColumnBufferFreedWhenLastSharerDrops) {
+  std::weak_ptr<const std::vector<double>> col0;
+  std::weak_ptr<const std::vector<double>> col1;
+  {
+    SharedDataset a(SmallDataset());
+    col0 = a.get().column_handle(0);
+    col1 = a.get().column_handle(1);
+    {
+      SharedDataset b = a;
+      a.NegateColumn(1);
+      // a re-pointed column 1 to a fresh buffer; b still holds the
+      // original, so it stays alive.
+      EXPECT_FALSE(col1.expired());
+    }
+    // b dropped: the pre-negation column-1 buffer has no owner left, while
+    // column 0 is still shared into a's snapshot.
+    EXPECT_TRUE(col1.expired());
+    EXPECT_FALSE(col0.expired());
+  }
+  EXPECT_TRUE(col0.expired())
+      << "last handle dropped; every column buffer must be freed";
+}
+
+TEST(SharedDatasetTest, SelectAttributesSharesColumnBuffers) {
+  Dataset d = SmallDataset();
+  const void* col1 = d.column_id(1);
+  Dataset proj = d.SelectAttributes({1});
+  EXPECT_EQ(proj.column_id(0), col1) << "projection must not copy buffers";
+  // Mutating the projection unshares its column; the original is untouched.
+  proj.set_value(0, 0, 99.0);
+  EXPECT_NE(proj.column_id(0), col1);
+  EXPECT_EQ(d.value(0, 1), 0.0);
+}
+
 TEST(SharedDatasetTest, ForkDropsTheOldSnapshotWhenSiblingsVanish) {
   SharedDataset a(SmallDataset());
   std::weak_ptr<const Dataset> original = a.snapshot();
