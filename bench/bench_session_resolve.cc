@@ -31,21 +31,41 @@
 // "journal_overhead" object. The acceptance number: batched overhead
 // under 10%.
 //
+// A fifth section measures the epoll reactor transport (the
+// connection-scaling PR): >= 1000 mostly-idle loopback TCP connections
+// multiplexed by one in-process ReactorServer while an active client works
+// through the crowd — per-verb p50/p99 latencies from the `metrics` verb
+// land in BENCH_server_throughput.json's "connection_scaling" object, and
+// a text-vs-binary framing throughput ladder at 1/16/256 pipelined clients
+// lands in "framing_throughput". The metadata records the transport mode
+// and reactor event-loop count.
+//
 // Flags: --nba-n, --cs-n, --k, --budget (per solve), --seed, --serve-n
-// (server-section dataset size), --serve-budget.
+// (server-section dataset size), --serve-budget, --idle-conns,
+// --frame-pings.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <stdlib.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "bench/harness_include.h"
 #include "core/solve_session.h"
+#include "net/frame.h"
+#include "net/reactor.h"
+#include "net/socket_server.h"
 #include "server/journal.h"
 #include "server/session_registry.h"
 #include "server/wire.h"
+#include "util/histogram.h"
 
 using namespace rankhow;
 using namespace rankhow::bench;
@@ -534,9 +554,344 @@ JournalOverheadRun RunJournalOverhead(const Dataset& data,
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// Connection scaling + framing throughput over the epoll reactor.
+
+/// A minimal blocking loopback client speaking both framings (the test
+/// suite's WireClient, reduced to what the bench needs).
+class BenchClient {
+ public:
+  BenchClient() = default;
+  ~BenchClient() { Close(); }
+  BenchClient(const BenchClient&) = delete;
+  BenchClient& operator=(const BenchClient&) = delete;
+  BenchClient(BenchClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in sin;
+    std::memset(&sin, 0, sizeof(sin));
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<uint16_t>(port));
+    sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&sin),
+                     sizeof(sin)) == 0;
+  }
+
+  bool Send(const std::string& bytes) {
+    const char* p = bytes.data();
+    size_t left = bytes.size();
+    while (left > 0) {
+      ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<std::string> ReadLine() {
+    for (;;) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      if (!Fill()) return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ReadFrame() {
+    while (buffer_.size() < 4) {
+      if (!Fill()) return std::nullopt;
+    }
+    const auto* b = reinterpret_cast<const unsigned char*>(buffer_.data());
+    const size_t len = (static_cast<size_t>(b[0]) << 24) |
+                       (static_cast<size_t>(b[1]) << 16) |
+                       (static_cast<size_t>(b[2]) << 8) |
+                       static_cast<size_t>(b[3]);
+    if (len > kMaxFrameBytes) return std::nullopt;
+    while (buffer_.size() < 4 + len) {
+      if (!Fill()) return std::nullopt;
+    }
+    std::string payload = buffer_.substr(4, len);
+    buffer_.erase(0, 4 + len);
+    return payload;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct ConnectionScalingRun {
+  int idle_connections = 0;
+  double connect_seconds = 0;     // wall time to park the whole crowd
+  int pings = 0;                  // active client's stats round-trips
+  double ping_seconds = 0;
+  double pings_per_second = 0;
+  int solves = 0;
+  /// The raw `ok metrics ...` key=value fields (per-verb p50/p99 etc.),
+  /// re-emitted verbatim as a JSON object.
+  std::vector<std::pair<std::string, std::string>> metrics_fields;
+  int reactor_loops = 0;
+  bool ok = true;
+};
+
+struct FramingLevel {
+  std::string mode;  // "text" | "binary"
+  int clients = 0;
+  int requests = 0;  // total pipelined stats round-trips
+  double seconds = 0;
+  double requests_per_second = 0;
+  bool ok = true;
+};
+
+/// The serving stack for the transport sections: one SessionRegistry
+/// behind an in-process ReactorServer on an ephemeral loopback port.
+/// Member order is destruction order in reverse (metrics and registry must
+/// outlive the server's teardown callbacks).
+struct ReactorBenchServer {
+  ServerMetrics metrics;
+  std::unique_ptr<SessionRegistry> registry;
+  std::unique_ptr<ReactorServer> server;
+  int port = 0;
+
+  bool Start(const Dataset& data, const Ranking& given, EpsilonConfig eps,
+             double budget, int max_clients) {
+    RankHowOptions solver;
+    solver.eps = eps;
+    solver.time_limit_seconds = budget;
+    ServerOptions server_options;
+    server_options.solver = solver;
+    server_options.num_workers = 0;
+    server_options.max_clients = max_clients;
+    registry = std::make_unique<SessionRegistry>(
+        SharedDataset(Dataset(data)), Ranking(given), /*labels=*/
+        std::vector<std::string>(), server_options);
+    ServeStreamOptions serve_options;
+    serve_options.metrics = &metrics;
+    ReactorOptions reactor_options;
+    reactor_options.metrics = &metrics;
+    server = std::make_unique<ReactorServer>(
+        MakeWireReactorCallbacks(registry.get(), serve_options),
+        reactor_options);
+    ListenAddress address;
+    address.kind = ListenAddress::Kind::kTcp;
+    address.host = "127.0.0.1";
+    address.port = 0;
+    Status started = server->Start(address);
+    if (!started.ok()) {
+      std::printf("  loopback TCP unavailable: %s\n",
+                  started.ToString().c_str());
+      return false;
+    }
+    port = server->bound().port;
+    return true;
+  }
+
+  ~ReactorBenchServer() {
+    if (server != nullptr) server->Stop();
+  }
+};
+
+/// >= 1000 parked connections on one process while an active client pings
+/// and solves through the crowd; per-verb latency histograms come back
+/// over the wire via the `metrics` verb.
+ConnectionScalingRun RunConnectionScaling(const Dataset& data,
+                                          const Ranking& given,
+                                          EpsilonConfig eps, double budget,
+                                          int idle_conns) {
+  ConnectionScalingRun run;
+  run.idle_connections = idle_conns;
+
+  ReactorBenchServer stack;
+  if (!stack.Start(data, given, eps, budget, /*max_clients=*/4)) {
+    run.ok = false;
+    return run;
+  }
+  run.reactor_loops = stack.server->num_loops();
+
+  std::vector<BenchClient> idle(static_cast<size_t>(idle_conns));
+  WallTimer connect_timer;
+  for (int i = 0; i < idle_conns; ++i) {
+    if (!idle[i].Connect(stack.port)) {
+      std::printf("  connect %d/%d failed: %s\n", i, idle_conns,
+                  std::strerror(errno));
+      run.ok = false;
+      return run;
+    }
+  }
+  run.connect_seconds = connect_timer.ElapsedSeconds();
+
+  // The active client works through the crowd: open, a stats-ping burst
+  // (sequential round-trips — this measures wire latency with 1000
+  // registered-but-silent fds in every epoll set), two solves, metrics.
+  BenchClient active;
+  if (!active.Connect(stack.port)) {
+    run.ok = false;
+    return run;
+  }
+  auto roundtrip = [&active](const std::string& verb)
+      -> std::optional<std::string> {
+    if (!active.Send(verb + "\n")) return std::nullopt;
+    return active.ReadLine();
+  };
+  auto opened = roundtrip("open bench");
+  if (!opened.has_value() || opened->rfind("ok open bench", 0) != 0) {
+    run.ok = false;
+    return run;
+  }
+
+  constexpr int kPings = 200;
+  WallTimer ping_timer;
+  for (int i = 0; i < kPings; ++i) {
+    auto pong = roundtrip("stats");
+    if (!pong.has_value() || pong->rfind("ok stats", 0) != 0) {
+      run.ok = false;
+      return run;
+    }
+  }
+  run.ping_seconds = ping_timer.ElapsedSeconds();
+  run.pings = kPings;
+  run.pings_per_second =
+      run.ping_seconds > 0 ? kPings / run.ping_seconds : 0;
+
+  for (int s = 0; s < 2; ++s) {
+    auto solved = roundtrip("bench solve");
+    if (!solved.has_value() || solved->rfind("ok bench", 0) != 0) {
+      run.ok = false;
+      return run;
+    }
+    ++run.solves;
+  }
+
+  // Every idle connection is still live; sample a spread of them.
+  for (int i = 0; i < idle_conns; i += 97) {
+    if (!idle[i].Send("stats\n") || !idle[i].ReadLine().has_value()) {
+      std::printf("  idle connection %d died under load\n", i);
+      run.ok = false;
+      return run;
+    }
+  }
+
+  auto metrics_line = roundtrip("metrics");
+  if (!metrics_line.has_value() ||
+      metrics_line->rfind("ok metrics ", 0) != 0) {
+    run.ok = false;
+    return run;
+  }
+  // "ok metrics k=v k=v ..." → field list, re-emitted as JSON.
+  size_t pos = std::strlen("ok metrics ");
+  while (pos < metrics_line->size()) {
+    size_t space = metrics_line->find(' ', pos);
+    if (space == std::string::npos) space = metrics_line->size();
+    std::string token = metrics_line->substr(pos, space - pos);
+    size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      run.metrics_fields.emplace_back(token.substr(0, eq),
+                                      token.substr(eq + 1));
+    }
+    pos = space + 1;
+  }
+
+  std::printf("  %d idle conns parked in %.3fs on %d loop(s); %d pings at "
+              "%7.0f/s through the crowd; %d solves; %zu metric fields\n",
+              idle_conns, run.connect_seconds, run.reactor_loops, kPings,
+              run.pings_per_second, run.solves,
+              run.metrics_fields.size());
+  (void)roundtrip("quit");
+  return run;
+}
+
+/// One framing-throughput cell: `clients` pipelined connections each
+/// firing `pings` stats requests in `mode` framing, then draining the
+/// responses — wall time over the whole burst.
+FramingLevel RunFramingLevel(int port, const std::string& mode, int clients,
+                             int pings) {
+  FramingLevel level;
+  level.mode = mode;
+  level.clients = clients;
+  const bool binary = mode == "binary";
+
+  std::vector<BenchClient> conns(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    if (!conns[c].Connect(port)) {
+      level.ok = false;
+      return level;
+    }
+    if (binary) {
+      if (!conns[c].Send("frame binary\n")) {
+        level.ok = false;
+        return level;
+      }
+      auto ack = conns[c].ReadLine();
+      if (!ack.has_value() || *ack != "ok frame binary") {
+        level.ok = false;
+        return level;
+      }
+    }
+  }
+
+  std::string burst;
+  if (binary) {
+    for (int i = 0; i < pings; ++i) EncodeFrame(FrameMode::kBinary, "stats",
+                                                &burst);
+  } else {
+    for (int i = 0; i < pings; ++i) burst += "stats\n";
+  }
+
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    if (!conns[c].Send(burst)) {
+      level.ok = false;
+      return level;
+    }
+  }
+  for (int c = 0; c < clients; ++c) {
+    for (int i = 0; i < pings; ++i) {
+      auto pong = binary ? conns[c].ReadFrame() : conns[c].ReadLine();
+      if (!pong.has_value() || pong->rfind("ok stats", 0) != 0) {
+        level.ok = false;
+        return level;
+      }
+    }
+  }
+  level.seconds = timer.ElapsedSeconds();
+  level.requests = clients * pings;
+  level.requests_per_second =
+      level.seconds > 0 ? level.requests / level.seconds : 0;
+  std::printf("  %-6s %3d clients: %6d requests in %7.3fs = %8.0f req/s\n",
+              mode.c_str(), clients, level.requests, level.seconds,
+              level.requests_per_second);
+  return level;
+}
+
 void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
                         const WarmSeedRun& cold, const WarmSeedRun& warm,
                         const std::vector<JournalOverheadRun>& jruns,
+                        const ConnectionScalingRun& scaling,
+                        const std::vector<FramingLevel>& framing,
                         int n, int m, int k, bool all_ok) {
   std::FILE* f = std::fopen("BENCH_server_throughput.json", "w");
   if (f == nullptr) {
@@ -545,6 +900,14 @@ void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
   }
   std::fprintf(f, "{\n  \"bench\": \"server_throughput\",\n");
   WriteBenchMetadataJson(f, /*threads_used=*/0, BenchTimestampUtc());
+  // Which transport the serving sections measured: the epoll reactor with
+  // its event-loop count (the scripted-client levels above bypass the
+  // transport entirely — that is what "in_process" marks).
+  std::fprintf(f,
+               "  \"transport\": {\"mode\": \"epoll_reactor\", "
+               "\"reactor_loops\": %d, \"scripted_levels\": "
+               "\"in_process\"},\n",
+               scaling.reactor_loops);
   std::fprintf(f,
                "  \"dataset\": {\"name\": \"nba\", \"n\": %d, \"m\": %d, "
                "\"k\": %d},\n  \"ok\": %s,\n  \"levels\": [\n",
@@ -607,7 +970,38 @@ void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
                  jr.ok ? "true" : "false",
                  i + 1 < jruns.size() ? "," : "");
   }
-  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fprintf(f, "    ]\n  },\n");
+  // Connection scaling: the >= 1000-idle-connection walk, with the
+  // server's own per-verb latency histograms (the `metrics` verb fields,
+  // verbatim — *_p50_us/*_p99_us are the acceptance numbers).
+  std::fprintf(f,
+               "  \"connection_scaling\": {\n"
+               "    \"idle_connections\": %d, \"connect_seconds\": %.4f,\n"
+               "    \"pings\": %d, \"ping_seconds\": %.4f, "
+               "\"pings_per_second\": %.1f, \"solves\": %d,\n"
+               "    \"ok\": %s,\n    \"verb_latencies\": {",
+               scaling.idle_connections, scaling.connect_seconds,
+               scaling.pings, scaling.ping_seconds, scaling.pings_per_second,
+               scaling.solves, scaling.ok ? "true" : "false");
+  for (size_t i = 0; i < scaling.metrics_fields.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                 scaling.metrics_fields[i].first.c_str(),
+                 scaling.metrics_fields[i].second.c_str());
+  }
+  std::fprintf(f, "}\n  },\n");
+  // Framing throughput: text vs binary stats-ping bursts per client count.
+  std::fprintf(f, "  \"framing_throughput\": [\n");
+  for (size_t i = 0; i < framing.size(); ++i) {
+    const FramingLevel& fl = framing[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"clients\": %d, \"requests\": %d, "
+                 "\"seconds\": %.4f, \"requests_per_second\": %.1f, "
+                 "\"ok\": %s}%s\n",
+                 fl.mode.c_str(), fl.clients, fl.requests, fl.seconds,
+                 fl.requests_per_second, fl.ok ? "true" : "false",
+                 i + 1 < framing.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("(written to BENCH_server_throughput.json)\n");
 }
@@ -631,6 +1025,12 @@ int main(int argc, char** argv) {
   double serve_budget =
       flags.GetDouble("serve-budget", 5, "per-solve cap in the server "
                                          "section (s)");
+  int idle_conns = static_cast<int>(flags.GetInt(
+      "idle-conns", 1000,
+      "parked connections in the connection-scaling section"));
+  int frame_pings = static_cast<int>(flags.GetInt(
+      "frame-pings", 50,
+      "pipelined stats requests per client in the framing ladder"));
   if (!flags.Finish()) return 0;
 
   std::vector<ScriptRun> runs;
@@ -719,8 +1119,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  EmitThroughputJson(levels, seed_cold, seed_warm, jruns, serve_n, 5, k,
-                     serve_ok);
+  // Connection scaling over the epoll reactor: >= 1000 parked loopback
+  // connections while one active client pings and solves, per-verb
+  // latencies read back via the `metrics` verb.
+  std::printf("=== connection scaling: %d idle conns, epoll reactor ===\n",
+              idle_conns);
+  ConnectionScalingRun scaling = RunConnectionScaling(
+      serve_data, serve_given, NbaEps(), serve_budget, idle_conns);
+  serve_ok = serve_ok && scaling.ok;
+
+  // Framing throughput: text vs binary stats-ping bursts at 1/16/256
+  // pipelined clients, on a fresh server per mode so gauges stay clean.
+  std::printf("=== framing throughput: text vs binary ===\n");
+  std::vector<FramingLevel> framing;
+  for (const char* mode : {"text", "binary"}) {
+    ReactorBenchServer stack;
+    if (!stack.Start(serve_data, serve_given, NbaEps(), serve_budget,
+                     /*max_clients=*/4)) {
+      serve_ok = false;
+      break;
+    }
+    for (int clients : {1, 16, 256}) {
+      framing.push_back(
+          RunFramingLevel(stack.port, mode, clients, frame_pings));
+      serve_ok = serve_ok && framing.back().ok;
+    }
+  }
+
+  EmitThroughputJson(levels, seed_cold, seed_warm, jruns, scaling, framing,
+                     serve_n, 5, k, serve_ok);
   all_ok = all_ok && serve_ok;
 
   if (!all_ok) {

@@ -2,11 +2,12 @@
 # One-command CI gate: the tier-1 configure/build/ctest line from ROADMAP.md
 # plus the sanitizer suites from CMakePresets.json — `ctest -L tsan` under
 # the tsan preset (data races in the parallel search + session server +
-# socket transport) and the full ctest run under the asan preset (heap
-# errors/leaks, notably the COW snapshot lifecycle and per-connection
-# stream teardown), with the socket suites re-run explicitly so the
-# network gate is visible in the log. The loopback-TCP smoke drives the
-# real rankhow_cli --listen binary over /dev/tcp.
+# epoll reactor transport) and the full ctest run under the asan preset
+# (heap errors/leaks, notably the COW snapshot lifecycle and per-connection
+# teardown through the reactor's ops thread), with the reactor/socket
+# suites re-run explicitly so the network gates are visible in the log.
+# The loopback-TCP smoke drives the real rankhow_cli --listen binary over
+# /dev/tcp in both text and binary framing.
 #
 # The chaos suite rides both sanitizer gates: `ctest --preset tsan` picks
 # up chaos_tests_nokill (fault injection, journal recovery, shedding —
@@ -29,6 +30,12 @@ echo "== tsan: thread-sanitized build + ctest -L tsan =="
 cmake --preset tsan
 cmake --build --preset tsan -j
 ctest --preset tsan
+
+echo "== tsan reactor gate: net suite, explicitly =="
+# The epoll reactor is the most thread-dense subsystem (event loops + ops
+# thread + accept thread + strand completions all touching per-connection
+# state); the explicit -L net run makes its race gate visible in the log.
+(cd build-tsan && ctest --output-on-failure -L net)
 
 echo "== asan: address-sanitized build + full ctest =="
 cmake --preset asan

@@ -79,7 +79,7 @@ fi
 
 run_client() {  # $1 = client name, $2 = dataset id
   exec 3<>"/dev/tcp/127.0.0.1/$PORT"
-  printf 'open %s %s\n%s solve\n%s min-weight PTS 0.1\nstats\nquit\n' \
+  printf 'open %s %s\n%s solve\n%s min-weight PTS 0.1\nstats\nmetrics\nquit\n' \
       "$1" "$2" "$1" "$1" >&3
   timeout 120 cat <&3
   exec 3<&- 3>&-
@@ -96,6 +96,7 @@ grep -Eq "^ok c1 line=2 error=[0-9]+ bound=[0-9]+ proven=yes" <<<"$OUT1" \
     || fail "c1 solve response"
 grep -Eq "^ok c1 line=3 error=[0-9]+" <<<"$OUT1" || fail "c1 edit+solve"
 grep -q "^ok stats registries=" <<<"$OUT1" || fail "c1 stats"
+grep -q "^ok metrics connections=" <<<"$OUT1" || fail "c1 metrics"
 grep -q "^ok quit$" <<<"$OUT1" || fail "c1 quit"
 grep -q "^ok open c2 beta$" <<<"$OUT2" || fail "c2 open ack (routing)"
 grep -Eq "^ok c2 line=2 error=[0-9]+ bound=[0-9]+ proven=yes" <<<"$OUT2" \
@@ -118,5 +119,46 @@ if [[ -z "$serial_errors" || "$serial_errors" != "$wire_errors" ]]; then
 $serial_errors | tr '\n' ' ') wire: $(echo $wire_errors | tr '\n' ' '))"
 fi
 
+# Binary-framing client: the same script over `frame binary` must produce
+# the same error values — framing changes the envelope, never the result.
+# The negotiation ack arrives as a plain text line (the old framing);
+# everything after it is 4-byte big-endian length-prefixed frames, encoded
+# with printf octal escapes and decoded with od+awk.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+{
+  printf 'frame binary\n'
+  for req in 'open c3 alpha' 'c3 solve' 'c3 min-weight PTS 0.1' 'quit'; do
+    len=${#req}  # all under 256 bytes, so the prefix is \0\0\0\LEN
+    printf '\000\000\000'
+    printf "\\$(printf '%03o' "$len")"
+    printf '%s' "$req"
+  done
+} >&3
+BIN_OUT=$(timeout 120 cat <&3 | od -An -v -tu1 | awk '
+  { for (i = 1; i <= NF; i++) b[n++] = $i }
+  END {
+    i = 0
+    line = ""  # the text-mode negotiation ack, up to the newline
+    while (i < n && b[i] != 10) line = line sprintf("%c", b[i++])
+    print line; i++
+    while (i + 4 <= n) {
+      len = b[i]*16777216 + b[i+1]*65536 + b[i+2]*256 + b[i+3]; i += 4
+      line = ""
+      for (j = 0; j < len && i < n; j++) line = line sprintf("%c", b[i++])
+      print line
+    }
+  }')
+exec 3<&- 3>&-
+echo "--- client c3 (alpha, binary framing) ---"; echo "$BIN_OUT"
+grep -q "^ok frame binary$" <<<"$BIN_OUT" || fail "c3 frame negotiation ack"
+grep -q "^ok open c3 alpha$" <<<"$BIN_OUT" || fail "c3 open ack (binary)"
+grep -q "^ok quit$" <<<"$BIN_OUT" || fail "c3 quit (binary)"
+# `frame binary` was wire line 1, so the solve/edit sit on lines 3 and 4.
+bin_errors=$(sed -n 's/^ok c3 line=[34] error=\([0-9]*\).*/\1/p' <<<"$BIN_OUT")
+if [[ -z "$bin_errors" || "$bin_errors" != "$wire_errors" ]]; then
+  fail "binary-framed results differ from text framing (text: $(echo \
+$wire_errors | tr '\n' ' ') binary: $(echo $bin_errors | tr '\n' ' '))"
+fi
+
 echo "smoke_listen: OK (port $PORT, 2 clients on 2 dataset ids," \
-     "wire == serial replay)"
+     "wire == serial replay, binary framing == text)"

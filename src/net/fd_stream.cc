@@ -1,8 +1,10 @@
 #include "net/fd_stream.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -10,6 +12,19 @@
 #include "util/fault.h"
 
 namespace rankhow {
+
+namespace {
+
+/// Process-wide count of send() calls that had to be retried or resumed
+/// (EINTR, EAGAIN waits, short writes). The serving stats verb folds this
+/// into its writes_retried gauge at read time.
+std::atomic<uint64_t> g_writes_retried{0};
+
+}  // namespace
+
+uint64_t FdStreamBuf::TotalWritesRetried() {
+  return g_writes_retried.load(std::memory_order_relaxed);
+}
 
 FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
   setg(in_, in_, in_);                      // empty get area
@@ -34,11 +49,26 @@ FdStreamBuf::int_type FdStreamBuf::underflow() {
 bool FdStreamBuf::FlushOut() {
   const char* p = pbase();
   while (p < pptr()) {
-    ssize_t n;
-    do {
-      // MSG_NOSIGNAL: a vanished peer is a stream error, not SIGPIPE.
-      n = ::send(fd_, p, static_cast<size_t>(pptr() - p), MSG_NOSIGNAL);
-    } while (n < 0 && errno == EINTR);
+    // MSG_NOSIGNAL: a vanished peer is a stream error, not SIGPIPE.
+    ssize_t n =
+        ::send(fd_, p, static_cast<size_t>(pptr() - p), MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      g_writes_retried.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // A full socket buffer on a non-blocking fd (or a send timeout
+      // tick) is a deferred write, not an error — dropping the rest of
+      // the buffer here would corrupt the message stream. Park until
+      // writable and resume.
+      g_writes_retried.fetch_add(1, std::memory_order_relaxed);
+      pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      if (::poll(&pfd, 1, 60000) <= 0) return false;
+      continue;
+    }
     if (n <= 0) return false;
     // Chaos hook: an armed drop-connection-after-N-bytes budget severs the
     // transport mid-response, exactly as a dying peer or half-written
@@ -47,6 +77,11 @@ bool FdStreamBuf::FlushOut() {
                                               n)) {
       ::shutdown(fd_, SHUT_RDWR);
       return false;
+    }
+    if (p + n < pptr()) {
+      // Short write: the kernel took part of the buffer; the loop resumes
+      // the rest.
+      g_writes_retried.fetch_add(1, std::memory_order_relaxed);
     }
     p += n;
   }

@@ -23,6 +23,7 @@
 /// The connection does NOT own the descriptor (the accept loop owns the
 /// connection record and closes it after the handler returns).
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <streambuf>
@@ -34,6 +35,11 @@ namespace rankhow {
 class FdStreamBuf final : public std::streambuf {
  public:
   explicit FdStreamBuf(int fd);
+
+  /// Process-wide count of writes that were retried or resumed instead of
+  /// failed (EINTR, EAGAIN park-and-retry, short send() continuations).
+  /// The stats verb folds this into its writes_retried field.
+  static uint64_t TotalWritesRetried();
 
  protected:
   int_type underflow() override;           // read side

@@ -1,0 +1,77 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace rankhow {
+
+void EncodeFrame(FrameMode mode, const std::string& payload,
+                 std::string* out) {
+  if (mode == FrameMode::kText) {
+    out->append(payload);
+    out->push_back('\n');
+    return;
+  }
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>((n >> 24) & 0xff),
+                    static_cast<char>((n >> 16) & 0xff),
+                    static_cast<char>((n >> 8) & 0xff),
+                    static_cast<char>(n & 0xff)};
+  out->append(prefix, 4);
+  out->append(payload);
+}
+
+void FrameDecoder::Feed(const char* data, size_t len) {
+  if (failed_) return;
+  buffer_.append(data, len);
+}
+
+FrameDecoder::Next FrameDecoder::Fail(std::string cause) {
+  failed_ = true;
+  error_ = std::move(cause);
+  buffer_.clear();
+  return Next::kError;
+}
+
+FrameDecoder::Next FrameDecoder::Pop(std::string* payload) {
+  if (failed_) return Next::kError;
+  if (mode_ == FrameMode::kText) {
+    size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) {
+      // A "line" that never terminates is indistinguishable from garbage;
+      // bound it like a frame so a newline-free flood cannot grow the
+      // buffer forever.
+      if (buffer_.size() > kMaxFrameBytes) {
+        return Fail("text line exceeds " +
+                    std::to_string(kMaxFrameBytes) + " bytes");
+      }
+      return Next::kNeedMore;
+    }
+    size_t end = nl;
+    if (end > 0 && buffer_[end - 1] == '\r') --end;  // telnet-style CRLF
+    payload->assign(buffer_, 0, end);
+    buffer_.erase(0, nl + 1);
+    return Next::kMessage;
+  }
+  // Binary: 4-byte big-endian length prefix.
+  if (buffer_.size() < 4) return Next::kNeedMore;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data());
+  const uint32_t n = (static_cast<uint32_t>(p[0]) << 24) |
+                     (static_cast<uint32_t>(p[1]) << 16) |
+                     (static_cast<uint32_t>(p[2]) << 8) |
+                     static_cast<uint32_t>(p[3]);
+  if (n > kMaxFrameBytes) {
+    // A corrupt/hostile prefix; the stream cannot be resynchronized. The
+    // classic accident this catches is a *text* client that forgot to
+    // negotiate — "open ..." reads as the length 0x6f70656e ≈ 1.8 GB.
+    return Fail("binary frame length " + std::to_string(n) + " exceeds " +
+                std::to_string(kMaxFrameBytes) +
+                " bytes (text bytes on a binary connection?)");
+  }
+  if (buffer_.size() < 4 + static_cast<size_t>(n)) return Next::kNeedMore;
+  payload->assign(buffer_, 4, n);
+  buffer_.erase(0, 4 + static_cast<size_t>(n));
+  return Next::kMessage;
+}
+
+}  // namespace rankhow

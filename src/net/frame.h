@@ -1,0 +1,86 @@
+#ifndef RANKHOW_NET_FRAME_H_
+#define RANKHOW_NET_FRAME_H_
+
+/// \file frame.h
+/// Message framing for the wire protocol (docs/PROTOCOL.md "Binary
+/// framing"). Two modes over one connection:
+///
+///   * kText (the default, and the debug/compat mode): one message per
+///     newline-terminated line, exactly the PR 4 protocol. A bare '\r'
+///     before the newline is stripped so telnet-style clients work.
+///   * kBinary (negotiated with the `frame binary` verb): each message is
+///     a 4-byte big-endian payload length followed by that many payload
+///     bytes. The payload is the same request/response text a line would
+///     carry, without the newline — framing changes the envelope, never
+///     the grammar, which is what keeps text and binary sessions
+///     byte-identical in the equivalence suites.
+///
+/// The decoder is incremental (feed bytes as they arrive, pull complete
+/// messages) and strict: a length above kMaxFrameBytes or an overlong text
+/// line is a fatal framing error — there is no way to resynchronize a
+/// length-prefixed stream after a corrupt prefix, so the connection must
+/// abort-close (siblings are untouched; the fuzz suite in tests/net/
+/// proves it). A frame truncated by EOF is reported by the caller (the
+/// decoder just never completes it).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rankhow {
+
+enum class FrameMode { kText, kBinary };
+
+/// Hard per-message cap, both modes (a request is a one-line command and a
+/// response is a one-line result; 1 MiB is three orders of magnitude of
+/// headroom). Doubles as the input-buffer bound: a peer cannot make the
+/// server buffer unbounded garbage by never sending a terminator.
+constexpr size_t kMaxFrameBytes = 1u << 20;
+
+/// Appends `payload` framed for `mode` to `*out` (newline-terminated line,
+/// or 4-byte big-endian length + payload).
+void EncodeFrame(FrameMode mode, const std::string& payload,
+                 std::string* out);
+
+/// Incremental decoder for one connection's input byte stream.
+class FrameDecoder {
+ public:
+  enum class Next {
+    kMessage,   ///< *payload holds one complete message
+    kNeedMore,  ///< no complete message buffered; Feed() more bytes
+    kError,     ///< fatal framing error; abort-close the connection
+  };
+
+  /// Appends received bytes to the internal buffer.
+  void Feed(const char* data, size_t len);
+
+  /// Extracts the next complete message, if any. After kError the decoder
+  /// stays in the error state (the stream is unrecoverable).
+  Next Pop(std::string* payload);
+
+  /// Switches decoding of all not-yet-popped and future bytes. Call
+  /// exactly when the protocol layer acks the negotiation, before popping
+  /// further messages — buffered bytes after the `frame binary` request
+  /// are already binary frames.
+  void set_mode(FrameMode mode) { mode_ = mode; }
+  FrameMode mode() const { return mode_; }
+
+  /// Human-readable cause after kError.
+  const std::string& error() const { return error_; }
+
+  /// True when a partial message sits in the buffer (EOF now = truncated
+  /// frame / line-without-newline).
+  bool MidMessage() const { return !buffer_.empty(); }
+
+ private:
+  Next Fail(std::string cause);
+
+  FrameMode mode_ = FrameMode::kText;
+  std::string buffer_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_NET_FRAME_H_

@@ -1,19 +1,15 @@
 #include "net/socket_server.h"
 
 #include <cerrno>
-#include <chrono>
 #include <csignal>
 #include <cstring>
-#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include "net/fd_stream.h"
 #include "util/string_util.h"
 
 namespace rankhow {
@@ -62,21 +58,16 @@ std::string ListenSpecString(const ListenAddress& address) {
   return address.host + ":" + std::to_string(address.port);
 }
 
-SocketServer::SocketServer(ConnectionHandler handler,
-                           int idle_timeout_seconds)
-    : handler_(std::move(handler)),
-      idle_timeout_seconds_(idle_timeout_seconds) {}
-
-SocketServer::~SocketServer() { Stop(); }
-
-Status SocketServer::Start(const ListenAddress& address) {
-  if (listen_fd_ >= 0) return Status::Invalid("server already started");
+Result<int> OpenListenSocket(const ListenAddress& address,
+                             ListenAddress* bound,
+                             std::string* unlink_path) {
   // Belt next to MSG_NOSIGNAL's suspenders: nothing in this process wants
   // SIGPIPE semantics.
   std::signal(SIGPIPE, SIG_IGN);
 
   int fd = -1;
-  bound_ = address;
+  *bound = address;
+  unlink_path->clear();
   if (address.kind == ListenAddress::Kind::kUnix) {
     sockaddr_un sun;
     std::memset(&sun, 0, sizeof(sun));
@@ -99,7 +90,7 @@ Status SocketServer::Start(const ListenAddress& address) {
       ::close(fd);
       return status;
     }
-    unlink_path_ = address.path;
+    *unlink_path = address.path;
   } else {
     sockaddr_in sin;
     std::memset(&sin, 0, sizeof(sin));
@@ -133,157 +124,23 @@ Status SocketServer::Start(const ListenAddress& address) {
     if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
       char text[INET_ADDRSTRLEN] = {0};
       ::inet_ntop(AF_INET, &actual.sin_addr, text, sizeof(text));
-      bound_.host = text;
-      bound_.port = ntohs(actual.sin_port);
+      bound->host = text;
+      bound->port = ntohs(actual.sin_port);
     }
   }
-  if (::listen(fd, 64) != 0) {
+  // Backlog sized for connection-storm benches (a thousand clients dialing
+  // at once must not see ECONNREFUSED); the kernel clamps to somaxconn.
+  if (::listen(fd, 1024) != 0) {
     Status status =
         Status::IoError("listen: " + std::string(std::strerror(errno)));
     ::close(fd);
+    if (!unlink_path->empty()) {
+      ::unlink(unlink_path->c_str());
+      unlink_path->clear();
+    }
     return status;
   }
-  listen_fd_ = fd;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status();
-}
-
-void SocketServer::ReapFinishedLocked(std::vector<std::thread>* out) {
-  for (int id : finished_) {
-    auto it = conn_threads_.find(id);
-    if (it != conn_threads_.end()) {
-      out->push_back(std::move(it->second));
-      conn_threads_.erase(it);
-    }
-  }
-  finished_.clear();
-}
-
-void SocketServer::AcceptLoop() {
-  for (;;) {
-    // Join connection threads that announced completion — without this a
-    // long-lived server would hoard one dead joinable thread per served
-    // connection. The ids land in finished_ as the threads' last locked
-    // action, so these joins return (near-)immediately.
-    std::vector<std::thread> done;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ReapFinishedLocked(&done);
-    }
-    for (std::thread& t : done) t.join();
-
-    int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      const int err = errno;  // the lock below may clobber errno
-      bool stopping;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        stopping = stopping_;
-      }
-      if (stopping) return;
-      // Transient accept failures (the peer aborted the handshake, fd
-      // pressure from many live connections) must not kill the server —
-      // a listener that exits 0 on EMFILE drops every live client. Back
-      // off briefly on resource exhaustion and keep accepting; only an
-      // unexpected fatal errno ends the loop.
-      if (err == EINTR || err == ECONNABORTED || err == EPROTO ||
-          err == EAGAIN || err == EWOULDBLOCK) {
-        continue;
-      }
-      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
-          err == ENOMEM) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        continue;
-      }
-      return;  // listener closed / fatal accept error
-    }
-    if (idle_timeout_seconds_ > 0) {
-      // Idle-connection deadline: a peer that goes silent past the budget
-      // surfaces as recv timing out (EAGAIN), which FdStreamBuf reads as
-      // EOF — the reader thread then winds the connection down through the
-      // normal abort path. Best-effort: a socket without SO_RCVTIMEO just
-      // keeps the old never-time-out behavior.
-      timeval tv;
-      tv.tv_sec = idle_timeout_seconds_;
-      tv.tv_usec = 0;
-      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      ::close(conn);
-      return;
-    }
-    const int id = ++next_conn_id_;
-    live_fds_.emplace(id, conn);
-    conn_threads_.emplace(id, std::thread([this, id, conn] {
-      {
-        FdConnection stream(conn);
-        handler_(id, stream.in(), stream.out());
-      }
-      // The connection record owns the fd: close it under the same lock
-      // Stop() uses for shutdown, so the descriptor can never be recycled
-      // between Stop's map read and its shutdown call. Announcing the id
-      // in finished_ (last, under the same lock) hands the thread object
-      // to the accept loop's reaper.
-      std::lock_guard<std::mutex> lock(mu_);
-      ::close(conn);
-      live_fds_.erase(id);
-      finished_.push_back(id);
-    }));
-  }
-}
-
-int SocketServer::connections_accepted() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_conn_id_;
-}
-
-void SocketServer::Wait() {
-  if (accept_thread_.joinable()) accept_thread_.join();
-}
-
-void SocketServer::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && listen_fd_ < 0) return;
-    stopping_ = true;
-  }
-  if (listen_fd_ >= 0) {
-    // shutdown unblocks the parked accept; the fd itself stays open until
-    // the accept thread joined, so the descriptor cannot be recycled under
-    // an in-flight accept call.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  Wait();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [id, fd] : live_fds_) {
-      (void)id;
-      ::shutdown(fd, SHUT_RDWR);  // reader threads see EOF and wind down
-    }
-  }
-  // Joining outside mu_: the threads' own cleanup takes it.
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [id, t] : conn_threads_) {
-      (void)id;
-      threads.push_back(std::move(t));
-    }
-    conn_threads_.clear();
-    finished_.clear();
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  if (!unlink_path_.empty()) {
-    ::unlink(unlink_path_.c_str());
-    unlink_path_.clear();
-  }
+  return fd;
 }
 
 }  // namespace rankhow

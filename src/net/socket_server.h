@@ -2,41 +2,26 @@
 #define RANKHOW_NET_SOCKET_SERVER_H_
 
 /// \file socket_server.h
-/// The network transport (`rankhow_cli --listen=PATH|HOST:PORT`; see
-/// DESIGN.md "Network transport & routing"): a Unix-domain or TCP listener
-/// that accepts connections and runs one reader thread per connection,
-/// handing each a stream pair (net/fd_stream.h) for the transport-agnostic
-/// wire layer. The listener knows nothing about the protocol — the handler
-/// (typically a lambda around ServeStream with connection-scoped client
-/// semantics) owns all of that — so the scheduling and session layers are
-/// untouched by the transport, exactly as ROADMAP promised.
+/// Listener addressing for the network transport (`rankhow_cli
+/// --listen=PATH|HOST:PORT`): the `--listen` spec grammar and the
+/// bind/listen plumbing shared by the serving reactor (net/reactor.h) and
+/// any test that wants a raw listening socket.
 ///
-/// Threading: one accept thread plus one thread per live connection.
-/// Connection threads end on their own when the peer disconnects or the
-/// handler returns; Stop() shuts every socket down (unblocking parked
-/// recv/accept calls), then joins all threads. The per-connection thread
-/// model matches the serving shape: connections are long-lived interactive
-/// sessions (the expensive work runs on the registry's strand pool, not
-/// the reader), so a thread parked in recv per client is the simple and
-/// sufficient choice at the targeted scale; an epoll reactor slots in
-/// behind the same handler signature if thousands of mostly-idle
-/// connections ever matter.
+/// The connection-serving machinery itself lives in net/reactor.h — an
+/// epoll event loop replaced the original thread-per-connection
+/// SocketServer once thousands of mostly-idle connections became a target
+/// (see DESIGN.md "Network transport & routing"). This header keeps only
+/// what is transport-policy-free: parsing, rendering, and opening the
+/// listening descriptor.
 ///
 /// Availability: Unix-domain sockets need a filesystem path shorter than
 /// sockaddr_un::sun_path and a platform that supports AF_UNIX; callers
 /// (and the test suite) should treat a kUnimplemented/kIoError from
-/// Start() as "skip", not "fail". IPv4 only; HOST accepts a dotted quad,
-/// "localhost", or "" / "*" / "0.0.0.0" for INADDR_ANY, and PORT 0 binds
-/// an ephemeral port reported by bound_spec().
+/// OpenListenSocket as "skip", not "fail". IPv4 only; HOST accepts a
+/// dotted quad, "localhost", or "" / "*" / "0.0.0.0" for INADDR_ANY, and
+/// PORT 0 binds an ephemeral port reported via *bound.
 
-#include <cstdint>
-#include <functional>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "util/status.h"
 
@@ -59,67 +44,16 @@ Result<ListenAddress> ParseListenSpec(const std::string& spec);
 /// Renders an address back to spec form ("127.0.0.1:8731", "unix:/run/x").
 std::string ListenSpecString(const ListenAddress& address);
 
-class SocketServer {
- public:
-  /// Runs on the connection's reader thread. `conn_id` is unique per
-  /// accepted connection (1-based). Returning ends the connection.
-  using ConnectionHandler =
-      std::function<void(int conn_id, std::istream& in, std::ostream& out)>;
-
-  /// `idle_timeout_seconds > 0` arms a per-connection idle deadline
-  /// (SO_RCVTIMEO): a connection that sends nothing for that long reads as
-  /// EOF on its reader thread, which abort-closes its sessions exactly
-  /// like a vanished peer — a crashed client can't pin its sessions (and
-  /// their snapshot refcounts) forever. 0 = never time out.
-  explicit SocketServer(ConnectionHandler handler,
-                        int idle_timeout_seconds = 0);
-  /// Stop()s if still running.
-  ~SocketServer();
-
-  SocketServer(const SocketServer&) = delete;
-  SocketServer& operator=(const SocketServer&) = delete;
-
-  /// Binds, listens, and starts the accept thread. For TCP with port 0 the
-  /// kernel-chosen port is available from bound()/bound_spec() when this
-  /// returns. A stale Unix socket path is unlinked before binding (the
-  /// standard daemon idiom — a bound AF_UNIX path persists after exit).
-  Status Start(const ListenAddress& address);
-
-  /// The address actually bound (ephemeral TCP port resolved).
-  const ListenAddress& bound() const { return bound_; }
-  std::string bound_spec() const { return ListenSpecString(bound_); }
-
-  /// Total connections accepted so far.
-  int connections_accepted() const;
-
-  /// Blocks until the accept loop exits (i.e. until Stop()).
-  void Wait();
-
-  /// Shuts down the listener and every live connection (parked reads see
-  /// EOF), then joins all threads. Idempotent.
-  void Stop();
-
- private:
-  void AcceptLoop();
-  /// Moves the threads whose connections announced completion into *out
-  /// for joining off the lock (the accept loop's per-iteration reaper —
-  /// keeps a long-lived server from hoarding dead joinable threads).
-  void ReapFinishedLocked(std::vector<std::thread>* out);
-
-  ConnectionHandler handler_;
-  int idle_timeout_seconds_ = 0;
-  int listen_fd_ = -1;
-  ListenAddress bound_;
-  std::string unlink_path_;  // bound Unix path to remove on Stop
-  std::thread accept_thread_;
-
-  mutable std::mutex mu_;
-  bool stopping_ = false;
-  int next_conn_id_ = 0;
-  std::map<int, int> live_fds_;        // conn_id -> fd (closed under mu_)
-  std::map<int, std::thread> conn_threads_;  // conn_id -> reader thread
-  std::vector<int> finished_;          // conn ids ready for reaping
-};
+/// Binds and listens on `address`, returning the listening descriptor.
+/// Also ignores SIGPIPE process-wide (nothing in a server wants SIGPIPE
+/// semantics). On success `*bound` holds the address actually bound
+/// (ephemeral TCP port resolved via getsockname) and `*unlink_path` the
+/// Unix socket path the caller must unlink after closing, or "" for TCP.
+/// A stale Unix path is unlinked before binding (the standard daemon idiom
+/// — a bound AF_UNIX path persists after exit).
+Result<int> OpenListenSocket(const ListenAddress& address,
+                             ListenAddress* bound,
+                             std::string* unlink_path);
 
 }  // namespace rankhow
 

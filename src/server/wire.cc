@@ -1,12 +1,15 @@
 #include "server/wire.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <istream>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <utility>
 
+#include "net/fd_stream.h"
 #include "util/string_util.h"
 
 namespace rankhow {
@@ -26,157 +29,25 @@ void SplitHead(const std::string& line, std::string* head,
   *tail = std::string(Trim(line.substr(sep + 1)));
 }
 
-/// What ServeStream needs from a serving backend. The registry and router
-/// overloads fill this in; the serve loop itself is backend-agnostic, so
-/// the single-dataset and routed servers can never drift on protocol
-/// behavior.
-struct WireBackend {
-  /// Returns the ack suffix after "ok " (e.g. "open alice nba").
-  std::function<Result<std::string>(const std::string& client,
-                                    const std::string& dataset)>
-      open;
-  std::function<Status(const std::string& client, bool graceful)> close;
-  std::function<Status(const std::string& client, SessionCommand,
-                       SessionCallback)>
-      submit;
-  /// The body after "ok stats ".
-  std::function<std::string()> stats_line;
-  /// Blocks until every strand is idle (the PR 4 stdin drain).
-  std::function<void()> drain_all;
-};
-
-Status ServeStreamImpl(const WireBackend& backend, std::istream& in,
-                       std::ostream& out,
-                       const ServeStreamOptions& options) {
-  // Whole-line writes under one mutex: strand completions race the serve
-  // loop's own acks, and interleaved half-lines would be unparseable. The
-  // mutex lives on the heap because solve callbacks of clients this stream
-  // leaves open (non-connection-scoped mode) can outlive this frame.
-  auto out_mu = std::make_shared<std::mutex>();
-  auto emit = [&out, out_mu](const std::string& line) {
-    std::lock_guard<std::mutex> lock(*out_mu);
-    out << line << "\n" << std::flush;
-  };
-
-  // The clients this stream opened, in open order — connection-scoped
-  // mode closes them when the stream ends, and only lets the stream
-  // address its own clients: a response callback writes to *this*
-  // connection's stream, so a submit against another connection's client
-  // would outlive this frame when that connection keeps the session busy.
-  std::vector<std::string> owned;
-  auto owns = [&owned](const std::string& client) {
-    return std::find(owned.begin(), owned.end(), client) != owned.end();
-  };
-  auto disown = [&owned](const std::string& client) {
-    owned.erase(std::remove(owned.begin(), owned.end(), client),
-                owned.end());
-  };
-  auto end_stream = [&](bool graceful) {
-    if (options.connection_scoped_clients) {
-      // Graceful (quit / clean EOF): queued commands finish and answer
-      // before the session drops. Abort (transport death): cancel the
-      // in-flight solve, fail the queue — the peer is gone anyway.
-      for (const std::string& client : owned) {
-        (void)backend.close(client, graceful);
-      }
-    } else if (backend.drain_all != nullptr) {
-      backend.drain_all();
-    }
-  };
-
-  std::string line;
-  int line_no = 0;
-  // Stream-scoped per-request deadline (the `deadline` verb): stamped onto
-  // every subsequent command, capping that solve's wall-clock budget.
-  int64_t deadline_ms = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    auto request = ParseWireLine(line);
-    if (!request.ok()) {
-      if (request.status().code() == StatusCode::kNotFound) continue;  // blank
-      emit(StrFormat("err - wire line %d: %s", line_no,
-                     request.status().message().c_str()));
-      continue;
-    }
-    switch (request->kind) {
-      case WireRequest::Kind::kQuit:
-        end_stream(/*graceful=*/true);
-        emit("ok quit");
-        return Status();
-      case WireRequest::Kind::kStats:
-        emit("ok stats " + backend.stats_line());
-        break;
-      case WireRequest::Kind::kDeadline:
-        deadline_ms = request->deadline_ms;
-        emit(StrFormat("ok deadline %lld",
-                       static_cast<long long>(deadline_ms)));
-        break;
-      case WireRequest::Kind::kOpen: {
-        Result<std::string> ack =
-            backend.open(request->client, request->dataset);
-        if (ack.ok()) {
-          owned.push_back(request->client);
-          emit("ok " + *ack);
-        } else {
-          emit(StrFormat("err %s %s", request->client.c_str(),
-                         ack.status().message().c_str()));
-        }
-        break;
-      }
-      case WireRequest::Kind::kClose: {
-        if (options.connection_scoped_clients && !owns(request->client)) {
-          emit(StrFormat("err %s no client named %s on this connection",
-                         request->client.c_str(), request->client.c_str()));
-          break;
-        }
-        // Graceful: the stream submitted this client's queued commands
-        // itself, so `close` lets them finish instead of dropping them.
-        Status status = backend.close(request->client, /*graceful=*/true);
-        if (status.ok()) disown(request->client);
-        emit(status.ok() ? "ok close " + request->client
-                         : StrFormat("err %s %s", request->client.c_str(),
-                                     status.message().c_str()));
-        break;
-      }
-      case WireRequest::Kind::kCommand: {
-        if (options.connection_scoped_clients && !owns(request->client)) {
-          emit(StrFormat("err %s no client named %s on this connection",
-                         request->client.c_str(), request->client.c_str()));
-          break;
-        }
-        const int request_line = line_no;
-        request->command.deadline_ms = deadline_ms;
-        Status submitted = backend.submit(
-            request->client, request->command,
-            [emit, request_line](const std::string& client,
-                                 const Result<SessionStepOutcome>& outcome) {
-              if (!outcome.ok()) {
-                emit(StrFormat("err %s line=%d %s", client.c_str(),
-                               request_line,
-                               outcome.status().message().c_str()));
-                return;
-              }
-              const RankHowResult& r = outcome->result;
-              emit(StrFormat(
-                  "ok %s line=%d error=%ld bound=%ld proven=%s "
-                  "seconds=%.3f",
-                  client.c_str(), request_line, r.error, r.bound,
-                  r.proven_optimal ? "yes" : "no", r.seconds));
-            });
-        if (!submitted.ok()) {
-          emit(StrFormat("err %s %s", request->client.c_str(),
-                         submitted.message().c_str()));
-        }
-        break;
-      }
-    }
+/// Folds FdStreamBuf's process-wide retry counter into the shared gauge
+/// (delta since the last fold), so `stats`/`metrics` report one
+/// writes_retried number covering both the reactor's partial sends and
+/// the buffered-stream helpers.
+void FoldStreamRetries(ServerMetrics* metrics) {
+  static std::atomic<uint64_t> folded{0};
+  const uint64_t total = FdStreamBuf::TotalWritesRetried();
+  uint64_t prev = folded.exchange(total, std::memory_order_relaxed);
+  if (total > prev) {
+    metrics->writes_retried.fetch_add(static_cast<int64_t>(total - prev),
+                                      std::memory_order_relaxed);
   }
-  // EOF without quit: the peer is gone (a socket surfaces a clean FIN and
-  // a dead peer identically), so responses are undeliverable — abort the
-  // owned clients (cancel in-flight, fail queued) rather than burn solve
-  // budget nobody will read. A polite client says `quit`, which drains.
-  end_stream(/*graceful=*/false);
-  return Status();
+}
+
+uint64_t ElapsedUsec(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 }  // namespace
@@ -191,12 +62,13 @@ Result<WireRequest> ParseWireLine(const std::string& raw) {
   WireRequest request;
   std::string head, tail;
   SplitHead(line, &head, &tail);
-  if (head == "quit" || head == "stats") {
+  if (head == "quit" || head == "stats" || head == "metrics") {
     if (!tail.empty()) {
       return Status::Invalid("'" + head + "' takes no argument");
     }
-    request.kind =
-        head == "quit" ? WireRequest::Kind::kQuit : WireRequest::Kind::kStats;
+    request.kind = head == "quit"    ? WireRequest::Kind::kQuit
+                   : head == "stats" ? WireRequest::Kind::kStats
+                                     : WireRequest::Kind::kMetrics;
     return request;
   }
   if (head == "open") {
@@ -223,6 +95,14 @@ Result<WireRequest> ParseWireLine(const std::string& raw) {
     request.deadline_ms = *ms;
     return request;
   }
+  if (head == "frame") {
+    if (tail != "binary" && tail != "text") {
+      return Status::Invalid("'frame' takes 'binary' or 'text'");
+    }
+    request.kind = WireRequest::Kind::kFrame;
+    request.frame_binary = tail == "binary";
+    return request;
+  }
   if (head == "close") {
     if (tail.empty() || tail.find_first_of(" \t") != std::string::npos) {
       return Status::Invalid("'close' takes exactly one client name");
@@ -236,7 +116,7 @@ Result<WireRequest> ParseWireLine(const std::string& raw) {
   if (tail.empty()) {
     return Status::Invalid("truncated request: '" + head +
                            "' (want CLIENT COMMAND..., open/close/stats/"
-                           "quit)");
+                           "metrics/deadline/frame/quit)");
   }
   RH_ASSIGN_OR_RETURN(std::vector<SessionCommand> parsed,
                       ParseSessionScript(tail));
@@ -249,8 +129,11 @@ Result<WireRequest> ParseWireLine(const std::string& raw) {
   return request;
 }
 
-Status ServeStream(SessionRegistry* registry, std::istream& in,
-                   std::ostream& out, const ServeStreamOptions& options) {
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+WireBackend MakeWireBackend(SessionRegistry* registry) {
   WireBackend backend;
   backend.open = [registry](const std::string& client,
                             const std::string& dataset)
@@ -285,11 +168,10 @@ Status ServeStream(SessionRegistry* registry, std::istream& in,
         static_cast<long long>(stats.closes_aborted));
   };
   backend.drain_all = [registry] { registry->Drain(); };
-  return ServeStreamImpl(backend, in, out, options);
+  return backend;
 }
 
-Status ServeStream(RegistryRouter* router, std::istream& in,
-                   std::ostream& out, const ServeStreamOptions& options) {
+WireBackend MakeWireBackend(RegistryRouter* router) {
   WireBackend backend;
   backend.open = [router](const std::string& client,
                           const std::string& dataset)
@@ -341,7 +223,356 @@ Status ServeStream(RegistryRouter* router, std::istream& in,
         stats.recovered.sessions);
   };
   backend.drain_all = [router] { router->Drain(); };
-  return ServeStreamImpl(backend, in, out, options);
+  return backend;
+}
+
+// ---------------------------------------------------------------------------
+// WireConnection
+// ---------------------------------------------------------------------------
+
+WireConnection::WireConnection(std::shared_ptr<const WireBackend> backend,
+                               const ServeStreamOptions& options,
+                               WireConnectionHooks hooks)
+    : backend_(std::move(backend)),
+      options_(options),
+      hooks_(std::move(hooks)) {}
+
+void WireConnection::Emit(const std::string& message) {
+  hooks_.emit(message);
+}
+
+void WireConnection::RecordVerb(WireVerb verb,
+                                std::chrono::steady_clock::time_point start) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->RecordVerb(verb, ElapsedUsec(start));
+  }
+}
+
+bool WireConnection::Owns(const std::string& client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::find(owned_.begin(), owned_.end(), client) != owned_.end();
+}
+
+bool WireConnection::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+void WireConnection::DoOpen(const WireRequest& request) {
+  Result<std::string> ack = backend_->open(request.client, request.dataset);
+  if (ack.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      owned_.push_back(request.client);
+    }
+    Emit("ok " + *ack);
+  } else {
+    Emit(StrFormat("err %s %s", request.client.c_str(),
+                   ack.status().message().c_str()));
+  }
+}
+
+void WireConnection::DoClose(const WireRequest& request) {
+  // Graceful: the stream submitted this client's queued commands itself,
+  // so `close` lets them finish instead of dropping them.
+  Status status = backend_->close(request.client, /*graceful=*/true);
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    owned_.erase(std::remove(owned_.begin(), owned_.end(), request.client),
+                 owned_.end());
+  }
+  Emit(status.ok() ? "ok close " + request.client
+                   : StrFormat("err %s %s", request.client.c_str(),
+                               status.message().c_str()));
+}
+
+void WireConnection::DoQuit() {
+  EndStream(/*graceful=*/true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+  }
+  // "ok quit" is the stream's last word: the owned clients' final
+  // responses were emitted inside EndStream's graceful closes, which
+  // block until each strand drained.
+  Emit("ok quit");
+  if (hooks_.request_close) hooks_.request_close();
+}
+
+void WireConnection::EndStream(bool graceful) {
+  std::vector<std::string> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ended_) return;
+    ended_ = true;
+    owned.swap(owned_);
+  }
+  if (options_.connection_scoped_clients) {
+    // Graceful (quit): queued commands finish and answer before the
+    // session drops. Abort (transport death): cancel the in-flight solve,
+    // fail the queue — the peer is gone anyway.
+    for (const std::string& client : owned) {
+      (void)backend_->close(client, graceful);
+    }
+  } else if (backend_->drain_all != nullptr) {
+    backend_->drain_all();
+  }
+}
+
+void WireConnection::HandleMessage(const std::string& payload) {
+  const auto start = std::chrono::steady_clock::now();
+  int line_no;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ended_) return;  // late pipelined input after quit
+    line_no = ++line_no_;
+  }
+  auto request = ParseWireLine(payload);
+  if (!request.ok()) {
+    if (request.status().code() == StatusCode::kNotFound) return;  // blank
+    Emit(StrFormat("err - wire line %d: %s", line_no,
+                   request.status().message().c_str()));
+    return;
+  }
+  switch (request->kind) {
+    case WireRequest::Kind::kQuit: {
+      auto work = [this, start] {
+        DoQuit();
+        RecordVerb(WireVerb::kQuit, start);
+      };
+      if (hooks_.defer) {
+        hooks_.defer(std::move(work));
+      } else {
+        work();
+      }
+      break;
+    }
+    case WireRequest::Kind::kStats: {
+      if (options_.metrics != nullptr) {
+        FoldStreamRetries(options_.metrics);
+        Emit("ok stats " + backend_->stats_line() + " " +
+             options_.metrics->RenderStatsFields());
+      } else {
+        Emit("ok stats " + backend_->stats_line());
+      }
+      RecordVerb(WireVerb::kStats, start);
+      break;
+    }
+    case WireRequest::Kind::kMetrics: {
+      if (options_.metrics == nullptr) {
+        Emit("err - metrics unavailable on this server");
+        break;
+      }
+      FoldStreamRetries(options_.metrics);
+      Emit("ok metrics " + options_.metrics->RenderWireLine());
+      RecordVerb(WireVerb::kMetrics, start);
+      break;
+    }
+    case WireRequest::Kind::kDeadline: {
+      int64_t ms = request->deadline_ms;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        deadline_ms_ = ms;
+      }
+      Emit(StrFormat("ok deadline %lld", static_cast<long long>(ms)));
+      RecordVerb(WireVerb::kDeadline, start);
+      break;
+    }
+    case WireRequest::Kind::kFrame: {
+      if (!hooks_.switch_mode) {
+        Emit("err - frame negotiation requires the socket transport");
+        break;
+      }
+      // The ack travels in the OLD framing (a text-mode client reads a
+      // plain "ok frame binary" line and only then starts length-prefix
+      // parsing); everything queued after switch_mode is framed anew.
+      Emit(StrFormat("ok frame %s",
+                     request->frame_binary ? "binary" : "text"));
+      hooks_.switch_mode(request->frame_binary ? FrameMode::kBinary
+                                               : FrameMode::kText);
+      RecordVerb(WireVerb::kFrame, start);
+      break;
+    }
+    case WireRequest::Kind::kOpen: {
+      auto work = [this, request = *request, start] {
+        DoOpen(request);
+        RecordVerb(WireVerb::kOpen, start);
+      };
+      if (hooks_.defer) {
+        hooks_.defer(std::move(work));
+      } else {
+        work();
+      }
+      break;
+    }
+    case WireRequest::Kind::kClose: {
+      if (options_.connection_scoped_clients && !Owns(request->client)) {
+        Emit(StrFormat("err %s no client named %s on this connection",
+                       request->client.c_str(), request->client.c_str()));
+        break;
+      }
+      auto work = [this, request = *request, start] {
+        DoClose(request);
+        RecordVerb(WireVerb::kClose, start);
+      };
+      if (hooks_.defer) {
+        hooks_.defer(std::move(work));
+      } else {
+        work();
+      }
+      break;
+    }
+    case WireRequest::Kind::kCommand: {
+      if (options_.connection_scoped_clients && !Owns(request->client)) {
+        Emit(StrFormat("err %s no client named %s on this connection",
+                       request->client.c_str(), request->client.c_str()));
+        break;
+      }
+      const int request_line = line_no;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        request->command.deadline_ms = deadline_ms_;
+      }
+      const WireVerb verb = request->command.kind == SessionCommand::Kind::kSolve
+                                ? WireVerb::kSolve
+                                : WireVerb::kEdit;
+      Status submitted = backend_->submit(
+          request->client, request->command,
+          [this, request_line, verb, start](
+              const std::string& client,
+              const Result<SessionStepOutcome>& outcome) {
+            if (!outcome.ok()) {
+              Emit(StrFormat("err %s line=%d %s", client.c_str(),
+                             request_line,
+                             outcome.status().message().c_str()));
+            } else {
+              const RankHowResult& r = outcome->result;
+              Emit(StrFormat(
+                  "ok %s line=%d error=%ld bound=%ld proven=%s "
+                  "seconds=%.3f",
+                  client.c_str(), request_line, r.error, r.bound,
+                  r.proven_optimal ? "yes" : "no", r.seconds));
+            }
+            RecordVerb(verb, start);
+          });
+      if (!submitted.ok()) {
+        Emit(StrFormat("err %s %s", request->client.c_str(),
+                       submitted.message().c_str()));
+        RecordVerb(verb, start);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor glue
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ReactorCallbacks MakeReactorCallbacksImpl(
+    std::shared_ptr<const WireBackend> backend, ServeStreamOptions options) {
+  // Every network connection owns its clients; PR 4's drain-the-world
+  // stream semantics belong to stdin only.
+  options.connection_scoped_clients = true;
+  ReactorCallbacks callbacks;
+  callbacks.on_open = [backend, options](ReactorConn& conn) -> void* {
+    ReactorConn* c = &conn;
+    WireConnectionHooks hooks;
+    hooks.emit = [c](const std::string& message) { (void)c->Send(message); };
+    hooks.switch_mode = [c](FrameMode mode) { c->SwitchMode(mode); };
+    hooks.defer = [c](std::function<void()> fn) { c->Defer(std::move(fn)); };
+    hooks.request_close = [c] { c->Close(); };
+    return new WireConnection(backend, options, std::move(hooks));
+  };
+  callbacks.on_message = [](ReactorConn& conn, const std::string& payload) {
+    static_cast<WireConnection*>(conn.user())->HandleMessage(payload);
+  };
+  callbacks.on_protocol_error = [](ReactorConn& conn,
+                                   const std::string& error) {
+    // Best-effort last word before the abort-close; a length-prefixed
+    // stream cannot resync, so no recovery is offered.
+    (void)conn.Send("err - " + error);
+  };
+  callbacks.on_close = [](ReactorConn& conn, CloseReason reason) {
+    auto* wire = static_cast<WireConnection*>(conn.user());
+    if (wire == nullptr) return;
+    // kLocalClose follows a quit whose handler already ended the stream
+    // gracefully (EndStream is idempotent). Everything else is the
+    // vanished-peer abort path.
+    wire->EndStream(/*graceful=*/reason == CloseReason::kLocalClose);
+    delete wire;
+  };
+  return callbacks;
+}
+
+}  // namespace
+
+ReactorCallbacks MakeWireReactorCallbacks(SessionRegistry* registry,
+                                          ServeStreamOptions options) {
+  return MakeReactorCallbacksImpl(
+      std::make_shared<const WireBackend>(MakeWireBackend(registry)),
+      options);
+}
+
+ReactorCallbacks MakeWireReactorCallbacks(RegistryRouter* router,
+                                          ServeStreamOptions options) {
+  return MakeReactorCallbacksImpl(
+      std::make_shared<const WireBackend>(MakeWireBackend(router)),
+      options);
+}
+
+// ---------------------------------------------------------------------------
+// Stream transport (stdin mode, stringstream tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status ServeStreamImpl(std::shared_ptr<const WireBackend> backend,
+                       std::istream& in, std::ostream& out,
+                       const ServeStreamOptions& options) {
+  // Whole-line writes under one mutex: strand completions race the serve
+  // loop's own acks, and interleaved half-lines would be unparseable. The
+  // mutex lives on the heap because solve callbacks of clients this stream
+  // leaves open (non-connection-scoped mode) can outlive this frame.
+  auto out_mu = std::make_shared<std::mutex>();
+  std::ostream* outp = &out;
+  WireConnectionHooks hooks;
+  hooks.emit = [outp, out_mu](const std::string& message) {
+    std::lock_guard<std::mutex> lock(*out_mu);
+    *outp << message << "\n" << std::flush;
+  };
+  // No switch_mode (frame answers err), no defer (this loop may block),
+  // no request_close (returning ends the stream).
+  WireConnection conn(std::move(backend), options, std::move(hooks));
+  std::string line;
+  while (std::getline(in, line)) {
+    conn.HandleMessage(line);
+    if (conn.finished()) return Status();
+  }
+  // EOF without quit: the peer is gone (a socket surfaces a clean FIN and
+  // a dead peer identically), so responses are undeliverable — abort the
+  // owned clients (cancel in-flight, fail queued) rather than burn solve
+  // budget nobody will read. A polite client says `quit`, which drains.
+  conn.EndStream(/*graceful=*/false);
+  return Status();
+}
+
+}  // namespace
+
+Status ServeStream(SessionRegistry* registry, std::istream& in,
+                   std::ostream& out, const ServeStreamOptions& options) {
+  return ServeStreamImpl(
+      std::make_shared<const WireBackend>(MakeWireBackend(registry)), in,
+      out, options);
+}
+
+Status ServeStream(RegistryRouter* router, std::istream& in,
+                   std::ostream& out, const ServeStreamOptions& options) {
+  return ServeStreamImpl(
+      std::make_shared<const WireBackend>(MakeWireBackend(router)), in, out,
+      options);
 }
 
 Result<std::vector<ScriptedClientRun>> RunScriptedClients(

@@ -1,0 +1,190 @@
+// FrameDecoder unit fuzz (docs/PROTOCOL.md "Binary framing"): round-trips
+// in both modes under adversarial byte-stream slicing, plus the negative
+// space — truncated length prefixes, oversized lengths, mid-frame EOF,
+// unterminated text floods, and the text/binary mode switch with bytes
+// already buffered. The decoder's contract is strict: framing errors are
+// sticky (a length-prefixed stream cannot resynchronize), partial messages
+// are visible via MidMessage() so the transport can report a truncated-at-
+// EOF frame, and nothing ever reads past a message boundary.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+
+namespace rankhow {
+namespace {
+
+/// Feeds `bytes` one byte at a time — the worst segmentation TCP can
+/// deliver — popping every complete message.
+std::vector<std::string> DecodeByteAtATime(FrameDecoder* decoder,
+                                           const std::string& bytes) {
+  std::vector<std::string> messages;
+  for (char c : bytes) {
+    decoder->Feed(&c, 1);
+    std::string payload;
+    while (decoder->Pop(&payload) == FrameDecoder::Next::kMessage) {
+      messages.push_back(payload);
+    }
+  }
+  return messages;
+}
+
+TEST(FrameTest, TextRoundTripSurvivesArbitrarySegmentation) {
+  std::string bytes;
+  EncodeFrame(FrameMode::kText, "open alice d0", &bytes);
+  EncodeFrame(FrameMode::kText, "", &bytes);
+  EncodeFrame(FrameMode::kText, "alice solve", &bytes);
+
+  FrameDecoder decoder;
+  auto messages = DecodeByteAtATime(&decoder, bytes);
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(messages[0], "open alice d0");
+  EXPECT_EQ(messages[1], "");
+  EXPECT_EQ(messages[2], "alice solve");
+  EXPECT_FALSE(decoder.MidMessage());
+}
+
+TEST(FrameTest, TextStripsCarriageReturnForTelnetClients) {
+  FrameDecoder decoder;
+  const std::string bytes = "stats\r\nquit\r\n";
+  decoder.Feed(bytes.data(), bytes.size());
+  std::string payload;
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kMessage);
+  EXPECT_EQ(payload, "stats");
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kMessage);
+  EXPECT_EQ(payload, "quit");
+}
+
+TEST(FrameTest, BinaryRoundTripSurvivesArbitrarySegmentation) {
+  std::string bytes;
+  EncodeFrame(FrameMode::kBinary, "open alice d0", &bytes);
+  EncodeFrame(FrameMode::kBinary, "", &bytes);  // zero-length is legal
+  // A payload with embedded newlines and NULs — binary framing must not
+  // care about content.
+  EncodeFrame(FrameMode::kBinary, std::string("a\nb\0c", 5), &bytes);
+
+  FrameDecoder decoder;
+  decoder.set_mode(FrameMode::kBinary);
+  auto messages = DecodeByteAtATime(&decoder, bytes);
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(messages[0], "open alice d0");
+  EXPECT_EQ(messages[1], "");
+  EXPECT_EQ(messages[2], std::string("a\nb\0c", 5));
+  EXPECT_FALSE(decoder.MidMessage());
+}
+
+TEST(FrameTest, TruncatedLengthPrefixIsNeedMoreNotError) {
+  // 2 of the 4 prefix bytes: the decoder must wait, and MidMessage tells
+  // the transport an EOF here is a truncated frame.
+  FrameDecoder decoder;
+  decoder.set_mode(FrameMode::kBinary);
+  decoder.Feed("\x00\x00", 2);
+  std::string payload;
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kNeedMore);
+  EXPECT_TRUE(decoder.MidMessage());
+}
+
+TEST(FrameTest, TruncatedPayloadIsNeedMoreNotError) {
+  std::string bytes;
+  EncodeFrame(FrameMode::kBinary, "alice solve", &bytes);
+  FrameDecoder decoder;
+  decoder.set_mode(FrameMode::kBinary);
+  decoder.Feed(bytes.data(), bytes.size() - 3);  // lose the tail
+  std::string payload;
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kNeedMore);
+  EXPECT_TRUE(decoder.MidMessage());
+  // The missing bytes arrive after all — the message completes.
+  decoder.Feed(bytes.data() + bytes.size() - 3, 3);
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kMessage);
+  EXPECT_EQ(payload, "alice solve");
+}
+
+TEST(FrameTest, OversizedLengthIsAStickyFatalError) {
+  FrameDecoder decoder;
+  decoder.set_mode(FrameMode::kBinary);
+  decoder.Feed("\x7f\xff\xff\xff", 4);
+  std::string payload;
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+  EXPECT_NE(decoder.error().find("exceeds"), std::string::npos)
+      << decoder.error();
+  // Sticky: more (even well-formed) bytes cannot revive the stream.
+  std::string good;
+  EncodeFrame(FrameMode::kBinary, "stats", &good);
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+}
+
+TEST(FrameTest, TextBytesOnABinaryConnectionAreAFatalError) {
+  // The classic corruption: a client negotiates binary, then keeps
+  // sending text. "open" decodes as the length 0x6f70656e ≈ 1.8 GB.
+  FrameDecoder decoder;
+  decoder.set_mode(FrameMode::kBinary);
+  const std::string text = "open alice d0\n";
+  decoder.Feed(text.data(), text.size());
+  std::string payload;
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+  EXPECT_NE(decoder.error().find("text bytes on a binary connection"),
+            std::string::npos)
+      << decoder.error();
+}
+
+TEST(FrameTest, ModeSwitchAppliesToAlreadyBufferedBytes) {
+  // The negotiation case: "frame binary\n" and the first binary frame
+  // arrive in ONE read. The protocol layer pops the text line, acks, and
+  // switches the decoder — the buffered remainder must decode as binary.
+  std::string bytes = "frame binary\n";
+  EncodeFrame(FrameMode::kBinary, "open alice d0", &bytes);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  std::string payload;
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kMessage);
+  EXPECT_EQ(payload, "frame binary");
+  decoder.set_mode(FrameMode::kBinary);
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kMessage);
+  EXPECT_EQ(payload, "open alice d0");
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kNeedMore);
+
+  // And back: binary-framed bytes already buffered decode as text after
+  // switching to text mode — mid-stream switches cut both ways.
+  std::string back;
+  EncodeFrame(FrameMode::kText, "quit", &back);
+  decoder.Feed(back.data(), back.size());
+  decoder.set_mode(FrameMode::kText);
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kMessage);
+  EXPECT_EQ(payload, "quit");
+}
+
+TEST(FrameTest, UnterminatedTextFloodIsBounded) {
+  // A newline-free flood must not grow the buffer forever: one byte past
+  // the frame cap is a fatal framing error.
+  FrameDecoder decoder;
+  const std::string chunk(64 * 1024, 'x');
+  std::string payload;
+  FrameDecoder::Next next = FrameDecoder::Next::kNeedMore;
+  for (int i = 0; i < 20 && next == FrameDecoder::Next::kNeedMore; ++i) {
+    decoder.Feed(chunk.data(), chunk.size());
+    next = decoder.Pop(&payload);
+  }
+  EXPECT_EQ(next, FrameDecoder::Next::kError);
+  EXPECT_NE(decoder.error().find("text line exceeds"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(FrameTest, MaxSizedFrameRoundTrips) {
+  // Exactly at the cap is legal; the error fires strictly above it.
+  const std::string big(kMaxFrameBytes, 'y');
+  std::string bytes;
+  EncodeFrame(FrameMode::kBinary, big, &bytes);
+  FrameDecoder decoder;
+  decoder.set_mode(FrameMode::kBinary);
+  decoder.Feed(bytes.data(), bytes.size());
+  std::string payload;
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kMessage);
+  EXPECT_EQ(payload.size(), kMaxFrameBytes);
+}
+
+}  // namespace
+}  // namespace rankhow

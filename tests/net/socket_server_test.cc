@@ -1,4 +1,4 @@
-// Socket transport suite (tsan-labelled like the other server suites):
+// Reactor transport suite (tsan/net-labelled; see CMakeLists.txt):
 //
 //  * ParseListenSpec unit coverage (unix:/tcp:/bare forms, bad ports).
 //  * The acceptance walk over real loopback TCP: two concurrent
@@ -6,18 +6,30 @@
 //    router-backed server and replay scripted edits; every proven result
 //    must equal a serial single-session replay of the same script.
 //  * A Unix-domain round-trip of the complete documented verb set — every
-//    verb in docs/PROTOCOL.md answers the documented ok/err shape over a
-//    real socket (the doc's round-trip guarantee).
-//  * Wire fuzz over a real socket: a truncated line mid-verb (no trailing
-//    newline, then close) and a connection dropped mid-solve must leave
-//    sibling connections and their sessions fully intact, and free the
-//    dropped connection's client names.
+//    verb in docs/PROTOCOL.md (including metrics, deadline, and frame)
+//    answers the documented ok/err shape over a real socket.
+//  * Binary-framing equivalence: the same script over a `frame binary`
+//    connection produces results byte-identical to serial replay (framing
+//    changes the envelope, never the grammar).
+//  * Wire + frame fuzz over real sockets: truncated text lines, truncated
+//    binary length prefixes, text bytes on a binary connection (the
+//    mode-switch-mid-stream corruption), and connections dropped mid-solve
+//    must each abort-close exactly one connection, leaving sibling
+//    sessions intact and freeing the victim's client names.
+//  * Backpressure chaos: a deliberately stalled reader (tiny SO_SNDBUF +
+//    tiny --max-conn-buffer) is abort-closed when its write queue
+//    overflows, without delaying a sibling's solve.
+//  * A many-idle-connections smoke proving one process multiplexes
+//    hundreds of parked connections over a fixed thread set.
 //
 // Tests skip cleanly (GTEST_SKIP) where the socket family is unavailable.
 
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,9 +45,12 @@
 
 #include "app/cli_driver.h"
 #include "core/solve_session.h"
+#include "net/frame.h"
+#include "net/reactor.h"
 #include "net/socket_server.h"
 #include "server/registry_router.h"
 #include "server/wire.h"
+#include "util/histogram.h"
 #include "util/random.h"
 
 namespace rankhow {
@@ -88,8 +103,8 @@ RankHowOptions SpatialOptions() {
   return options;
 }
 
-/// A blocking line-oriented test client over one socket, with a receive
-/// timeout so a server bug can never hang the suite.
+/// A blocking test client over one socket speaking both framings, with a
+/// receive timeout so a server bug can never hang the suite.
 class WireClient {
  public:
   WireClient() = default;
@@ -105,9 +120,15 @@ class WireClient {
     return *this;
   }
 
-  bool ConnectTcp(const std::string& host, int port) {
+  /// rcvbuf > 0 pins SO_RCVBUF before connect (disables autotuning — the
+  /// backpressure test needs a client that genuinely cannot absorb data).
+  bool ConnectTcp(const std::string& host, int port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
+    if (rcvbuf > 0) {
+      (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                         sizeof(rcvbuf));
+    }
     sockaddr_in sin;
     std::memset(&sin, 0, sizeof(sin));
     sin.sin_family = AF_INET;
@@ -145,6 +166,13 @@ class WireClient {
     return true;
   }
 
+  /// One binary frame: 4-byte big-endian length + payload.
+  bool SendFrame(const std::string& payload) {
+    std::string framed;
+    EncodeFrame(FrameMode::kBinary, payload, &framed);
+    return Send(framed);
+  }
+
   /// One response line (without the newline); nullopt on EOF/timeout.
   std::optional<std::string> ReadLine() {
     for (;;) {
@@ -154,11 +182,27 @@ class WireClient {
         buffer_.erase(0, nl + 1);
         return line;
       }
-      char chunk[1024];
-      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return std::nullopt;
-      buffer_.append(chunk, static_cast<size_t>(n));
+      if (!Fill()) return std::nullopt;
     }
+  }
+
+  /// One binary frame's payload; nullopt on EOF/timeout/oversized length.
+  std::optional<std::string> ReadFrame() {
+    while (buffer_.size() < 4) {
+      if (!Fill()) return std::nullopt;
+    }
+    const auto* b = reinterpret_cast<const unsigned char*>(buffer_.data());
+    const size_t len = (static_cast<size_t>(b[0]) << 24) |
+                       (static_cast<size_t>(b[1]) << 16) |
+                       (static_cast<size_t>(b[2]) << 8) |
+                       static_cast<size_t>(b[3]);
+    if (len > kMaxFrameBytes) return std::nullopt;
+    while (buffer_.size() < 4 + len) {
+      if (!Fill()) return std::nullopt;
+    }
+    std::string payload = buffer_.substr(4, len);
+    buffer_.erase(0, 4 + len);
+    return payload;
   }
 
   void Close() {
@@ -168,6 +212,14 @@ class WireClient {
   bool connected() const { return fd_ >= 0; }
 
  private:
+  bool Fill() {
+    char chunk[1024];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
   bool SetTimeout() {
     timeval tv;
     tv.tv_sec = 60;  // generous: solves on a loaded 1-core box are slow
@@ -179,14 +231,19 @@ class WireClient {
   std::string buffer_;
 };
 
-/// A two-dataset router-backed handler stack for the socket tests.
+/// A two-dataset router-backed reactor stack for the transport tests.
+/// Member order is destruction order in reverse: metrics outlives the
+/// router, which outlives the server — teardown callbacks running inside
+/// ReactorServer::Stop touch both.
 struct ServerFixture {
   std::vector<Dataset> datasets;
   std::vector<Ranking> rankings;
+  ServerMetrics metrics;
   std::unique_ptr<RegistryRouter> router;
-  std::unique_ptr<SocketServer> server;
+  std::unique_ptr<ReactorServer> server;
 
-  explicit ServerFixture(uint64_t seed = 301, int n = 10, int k = 4) {
+  explicit ServerFixture(uint64_t seed = 301, int n = 10, int k = 4,
+                         ReactorOptions reactor_options = ReactorOptions()) {
     Rng rng(seed);
     for (int i = 0; i < 2; ++i) {
       datasets.push_back(RandomDataset(rng, n, 3));
@@ -213,21 +270,54 @@ struct ServerFixture {
                           })
                       .ok());
     }
-    server = std::make_unique<SocketServer>(
-        [this](int conn_id, std::istream& in, std::ostream& out) {
-          (void)conn_id;
-          ServeStreamOptions serve_options;
-          serve_options.connection_scoped_clients = true;
-          (void)ServeStream(router.get(), in, out, serve_options);
-        });
+    ServeStreamOptions serve_options;
+    serve_options.connection_scoped_clients = true;
+    serve_options.metrics = &metrics;
+    reactor_options.metrics = &metrics;
+    if (reactor_options.num_loops == 0) {
+      // Two loops even on a 1-core CI box, so cross-loop paths (the
+      // round-robin accept handoff, per-loop deadline sweeps) get
+      // exercised everywhere.
+      reactor_options.num_loops = 2;
+    }
+    server = std::make_unique<ReactorServer>(
+        MakeWireReactorCallbacks(router.get(), serve_options),
+        reactor_options);
   }
 
   ~ServerFixture() {
-    // Stop the transport before the router: reader threads hold raw
+    // Stop the transport before the router: connection teardowns hold raw
     // router pointers.
     if (server != nullptr) server->Stop();
   }
+
+  Status StartTcp(int* port) {
+    ListenAddress address;
+    address.kind = ListenAddress::Kind::kTcp;
+    address.host = "127.0.0.1";
+    address.port = 0;
+    Status started = server->Start(address);
+    if (started.ok()) *port = server->bound().port;
+    return started;
+  }
 };
+
+/// Polls a predicate over fresh `stats` connections until it holds or the
+/// deadline lapses — connection teardown runs on the reactor's ops thread,
+/// so gauges update asynchronously to client-side observations.
+bool PollStats(int port,
+               const std::function<bool(const std::string&)>& pred,
+               int attempts = 200) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    WireClient probe;
+    if (!probe.ConnectTcp("127.0.0.1", port)) return false;
+    if (!probe.Send("stats\nquit\n")) return false;
+    auto line = probe.ReadLine();
+    if (line.has_value() && pred(*line)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
 
 TEST(ParseListenSpecTest, AcceptsTheDocumentedForms) {
   auto unix_explicit = ParseListenSpec("unix:/tmp/rankhow.sock");
@@ -257,19 +347,16 @@ TEST(ParseListenSpecTest, AcceptsTheDocumentedForms) {
   EXPECT_EQ(ListenSpecString(*unix_explicit), "unix:/tmp/rankhow.sock");
 }
 
-TEST(SocketServerTest, TwoTcpClientsOnDifferentDatasetsMatchSerialReplay) {
-  // The ISSUE acceptance walk: >= 2 concurrent TCP clients, different
-  // dataset ids, scripted edits, results identical to serial replay.
+TEST(ReactorServerTest, TwoTcpClientsOnDifferentDatasetsMatchSerialReplay) {
+  // The PR 5 acceptance walk, now over the reactor: >= 2 concurrent TCP
+  // clients, different dataset ids, scripted edits, results identical to
+  // serial replay.
   ServerFixture fixture;
-  ListenAddress address;
-  address.kind = ListenAddress::Kind::kTcp;
-  address.host = "127.0.0.1";
-  address.port = 0;
-  Status started = fixture.server->Start(address);
+  int port = 0;
+  Status started = fixture.StartTcp(&port);
   if (!started.ok()) {
     GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
   }
-  const int port = fixture.server->bound().port;
 
   // Both connections open and stream their whole script before either
   // reads a response — the commands of the two clients are genuinely in
@@ -327,7 +414,7 @@ TEST(SocketServerTest, TwoTcpClientsOnDifferentDatasetsMatchSerialReplay) {
   fixture.server->Stop();
 }
 
-TEST(SocketServerTest, EveryDocumentedVerbRoundTripsOverAUnixSocket) {
+TEST(ReactorServerTest, EveryDocumentedVerbRoundTripsOverAUnixSocket) {
   // docs/PROTOCOL.md's round-trip guarantee: every verb it documents is
   // exercised over a real socket and answers the documented shape.
   ServerFixture fixture(/*seed=*/302, /*n=*/8, /*k=*/3);
@@ -370,11 +457,39 @@ TEST(SocketServerTest, EveryDocumentedVerbRoundTripsOverAUnixSocket) {
   EXPECT_EQ(roundtrip("alice append 0.5 0.5 0.5")
                 .rfind("ok alice line=12", 0),
             0u);
-  // stats: the router aggregate, documented field by field.
-  EXPECT_EQ(roundtrip("stats").rfind(
+  // stats: the router aggregate plus the transport fields the metered
+  // server appends, documented field by field.
+  const std::string stats = roundtrip("stats");
+  EXPECT_EQ(stats.rfind(
                 "ok stats registries=2 clients=2 datasets=3 commands=", 0),
             0u)
       << "(datasets=3: alice's append forked a private COW copy)";
+  for (const char* field :
+       {" connections=", " frames_binary=", " backpressure_closes=",
+        " writes_queued_peak=", " writes_retried=", " aborted_idle=",
+        " aborted_backpressure=", " aborted_eof="}) {
+    EXPECT_NE(stats.find(field), std::string::npos)
+        << stats << " missing " << field;
+  }
+  // deadline: stream-scoped solve budget, 0 restores the default.
+  EXPECT_EQ(roundtrip("deadline 30000"), "ok deadline 30000");
+  EXPECT_EQ(roundtrip("deadline 0"), "ok deadline 0");
+  // metrics: gauges plus per-verb latency histograms — by this point the
+  // stream has recorded opens, solves, and edits.
+  const std::string metrics = roundtrip("metrics");
+  EXPECT_EQ(metrics.rfind("ok metrics connections=1 ", 0), 0u) << metrics;
+  // Presence, not exact counts: a verb's latency is recorded just *after*
+  // its response is emitted, so a fast client can land `metrics` before
+  // the previous verb's sample does.
+  for (const char* field :
+       {" open.count=", " solve.count=", " edit.count=",
+        " solve.p50_us=", " solve.p99_us=", " stats.count="}) {
+    EXPECT_NE(metrics.find(field), std::string::npos)
+        << metrics << " missing " << field;
+  }
+  // frame: a text->text "switch" round-trips without disturbing the
+  // stream (the binary path has its own equivalence test below).
+  EXPECT_EQ(roundtrip("frame text"), "ok frame text");
   // Documented error replies: unknown verb, unknown client, bad dataset.
   EXPECT_EQ(roundtrip("alice frobnicate 1").rfind("err - wire line", 0), 0u);
   EXPECT_EQ(roundtrip("ghost solve"),
@@ -388,17 +503,75 @@ TEST(SocketServerTest, EveryDocumentedVerbRoundTripsOverAUnixSocket) {
   fixture.server->Stop();
 }
 
-TEST(SocketServerTest, TruncatedLinesAndDropsLeaveSiblingsIntact) {
-  ServerFixture fixture(/*seed=*/303, /*n=*/12, /*k=*/5);
-  ListenAddress address;
-  address.kind = ListenAddress::Kind::kTcp;
-  address.host = "127.0.0.1";
-  address.port = 0;
-  Status started = fixture.server->Start(address);
+TEST(ReactorServerTest, BinaryFramingMatchesSerialReplay) {
+  // The framing-equivalence acceptance walk: a connection negotiates
+  // `frame binary` (the ack arrives in the old text framing), then runs
+  // the same script as the text acceptance test entirely in binary
+  // frames. Every result must equal serial replay — the envelope changed,
+  // the session semantics must not.
+  ServerFixture fixture;
+  int port = 0;
+  Status started = fixture.StartTcp(&port);
   if (!started.ok()) {
     GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
   }
-  const int port = fixture.server->bound().port;
+
+  WireClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", port));
+  ASSERT_TRUE(client.Send("frame binary\n"));
+  auto ack = client.ReadLine();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, "ok frame binary");
+
+  ASSERT_TRUE(client.SendFrame("open c0 d0"));
+  auto opened = client.ReadFrame();
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, "ok open c0 d0");
+
+  const std::vector<std::string> script = {
+      "solve", "min-weight A0 0.05", "max-weight A1 0.6", "drop min_A0"};
+  SolveSession replay(Dataset(fixture.datasets[0]),
+                      Ranking(fixture.rankings[0]), SpatialOptions());
+  auto parsed = ParseSessionScript(
+      script[0] + "\n" + script[1] + "\n" + script[2] + "\n" + script[3]);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<std::string> labels =
+      TupleLabels(fixture.datasets[0].num_tuples());
+  for (size_t s = 0; s < parsed->size(); ++s) {
+    ASSERT_TRUE(client.SendFrame("c0 " + script[s]));
+    auto want = ExecuteSessionCommand(&replay, (*parsed)[s], labels);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    auto frame = client.ReadFrame();
+    ASSERT_TRUE(frame.has_value()) << "step " << s << ": no frame";
+    const std::string expect_prefix =
+        "ok c0 line=" + std::to_string(s + 3) +
+        " error=" + std::to_string(want->result.error) + " bound=";
+    EXPECT_EQ(frame->rfind(expect_prefix, 0), 0u)
+        << "step " << s << ": got '" << *frame << "', want prefix '"
+        << expect_prefix << "' (binary framing diverged from serial replay)";
+  }
+
+  // The frames_binary gauge counted each decoded request frame.
+  ASSERT_TRUE(client.SendFrame("stats"));
+  auto stats = client.ReadFrame();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find(" frames_binary="), std::string::npos) << *stats;
+  EXPECT_EQ(stats->find(" frames_binary=0 "), std::string::npos) << *stats;
+
+  ASSERT_TRUE(client.SendFrame("quit"));
+  auto quit = client.ReadFrame();
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(*quit, "ok quit");
+  fixture.server->Stop();
+}
+
+TEST(ReactorServerTest, TruncatedLinesAndDropsLeaveSiblingsIntact) {
+  ServerFixture fixture(/*seed=*/303, /*n=*/12, /*k=*/5);
+  int port = 0;
+  Status started = fixture.StartTcp(&port);
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
+  }
 
   // The long-lived sibling whose session must survive everything below.
   WireClient sibling;
@@ -413,8 +586,8 @@ TEST(SocketServerTest, TruncatedLinesAndDropsLeaveSiblingsIntact) {
   const std::string baseline = *first;
 
   // Fuzz 1: a connection that dies mid-verb — no trailing newline. The
-  // server must treat the partial line as one (malformed) request at EOF
-  // and wind the connection down without touching anyone else.
+  // reactor sees EOF with a partial line buffered and winds the
+  // connection down without touching anyone else.
   {
     WireClient trunc;
     ASSERT_TRUE(trunc.ConnectTcp("127.0.0.1", port));
@@ -440,7 +613,58 @@ TEST(SocketServerTest, TruncatedLinesAndDropsLeaveSiblingsIntact) {
     dropper.Close();
   }
 
-  // The sibling's session state survived both incidents bit-identically:
+  // Fuzz 3: binary-mode corruption. A connection negotiates binary and
+  // then sends plain text — the decoder reads "open" as a ~1.9 GB length
+  // prefix, a fatal framing error. The server's last word is a framed
+  // `err`, then an abort-close; nobody else notices.
+  {
+    WireClient corrupt;
+    ASSERT_TRUE(corrupt.ConnectTcp("127.0.0.1", port));
+    // One write carrying the negotiation AND stale text after it: the
+    // worst case, because the text bytes are already buffered when the
+    // mode switches.
+    ASSERT_TRUE(corrupt.Send("frame binary\nopen late d0\n"));
+    auto ack = corrupt.ReadLine();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(*ack, "ok frame binary");
+    auto last_word = corrupt.ReadFrame();
+    if (last_word.has_value()) {  // best-effort: may lose the race to close
+      EXPECT_EQ(last_word->rfind("err - ", 0), 0u) << *last_word;
+    }
+    EXPECT_FALSE(corrupt.ReadFrame().has_value()) << "connection not closed";
+    corrupt.Close();
+  }
+
+  // Fuzz 4: a binary frame truncated mid-length-prefix, then EOF.
+  {
+    WireClient half;
+    ASSERT_TRUE(half.ConnectTcp("127.0.0.1", port));
+    ASSERT_TRUE(half.Send("frame binary\n"));
+    auto ack = half.ReadLine();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(*ack, "ok frame binary");
+    ASSERT_TRUE(half.Send(std::string("\x00\x00", 2)));  // 2 of 4 bytes
+    half.Close();
+  }
+
+  // Fuzz 5: an oversized binary length prefix (0x7fffffff >> 1 MiB cap).
+  {
+    WireClient huge;
+    ASSERT_TRUE(huge.ConnectTcp("127.0.0.1", port));
+    ASSERT_TRUE(huge.Send("frame binary\n"));
+    auto ack = huge.ReadLine();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(*ack, "ok frame binary");
+    ASSERT_TRUE(huge.Send(std::string("\x7f\xff\xff\xff", 4)));
+    auto last_word = huge.ReadFrame();
+    if (last_word.has_value()) {
+      EXPECT_EQ(last_word->rfind("err - ", 0), 0u) << *last_word;
+    }
+    EXPECT_FALSE(huge.ReadFrame().has_value()) << "connection not closed";
+    huge.Close();
+  }
+
+  // The sibling's session state survived every incident bit-identically:
   // the same re-solve proves the same optimum.
   ASSERT_TRUE(sibling.Send("keeper solve\n"));
   auto again = sibling.ReadLine();
@@ -454,8 +678,8 @@ TEST(SocketServerTest, TruncatedLinesAndDropsLeaveSiblingsIntact) {
       << *again << "'";
 
   // The dropped connections' client names were abort-closed and are free
-  // again (EOF without quit closes owned clients). The close runs on the
-  // dead connection's reader thread, so retry briefly until it lands.
+  // again (EOF without quit closes owned clients). Teardown runs on the
+  // ops thread, so retry briefly until it lands.
   WireClient reuser;
   ASSERT_TRUE(reuser.ConnectTcp("127.0.0.1", port));
   auto open_with_retry = [&reuser](const std::string& name,
@@ -482,6 +706,164 @@ TEST(SocketServerTest, TruncatedLinesAndDropsLeaveSiblingsIntact) {
   auto quit = sibling.ReadLine();
   ASSERT_TRUE(quit.has_value());
   EXPECT_EQ(*quit, "ok quit");
+
+  // The framing victims were counted: protocol_errors >= 2 (fuzz 3 and
+  // 5), and the EOF-abort gauge caught the vanished peers.
+  EXPECT_TRUE(PollStats(port, [](const std::string& line) {
+    return line.find(" aborted_eof=") != std::string::npos &&
+           line.find(" aborted_eof=0") == std::string::npos;
+  })) << "EOF abort-closes never reached the stats gauges";
+  fixture.server->Stop();
+}
+
+TEST(ReactorServerTest, StalledReaderBackpressureAbortsOnlyThatConnection) {
+  // The backpressure chaos walk: a peer that stops reading while the
+  // server keeps answering must be abort-closed when its write queue hits
+  // --max-conn-buffer, without delaying anyone else's solve. Tiny
+  // SO_SNDBUF (server) + pinned tiny SO_RCVBUF (client) make the kernel
+  // absorb almost nothing, so the queue fills fast.
+  ReactorOptions reactor_options;
+  reactor_options.sndbuf_bytes = 4096;
+  reactor_options.max_conn_buffer = 16 * 1024;
+  ServerFixture fixture(/*seed=*/304, /*n=*/10, /*k=*/4, reactor_options);
+  int port = 0;
+  Status started = fixture.StartTcp(&port);
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
+  }
+
+  WireClient sibling;
+  ASSERT_TRUE(sibling.ConnectTcp("127.0.0.1", port));
+  ASSERT_TRUE(sibling.Send("open keeper d0\n"));
+  auto opened = sibling.ReadLine();
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, "ok open keeper d0");
+
+  // The staller: floods stats requests (each answer is a few hundred
+  // bytes) and never reads a byte back.
+  WireClient staller;
+  ASSERT_TRUE(staller.ConnectTcp("127.0.0.1", port, /*rcvbuf=*/4096));
+  std::string flood;
+  for (int i = 0; i < 2000; ++i) flood += "stats\n";
+  // The send may fail partway once the server abort-closes — that IS the
+  // expected outcome, so the return value is deliberately ignored.
+  (void)staller.Send(flood);
+
+  // While the staller is being strangled, the sibling's solve completes
+  // normally (the acceptance criterion: one stalled reader costs one
+  // connection, never a strand or an event loop).
+  ASSERT_TRUE(sibling.Send("keeper solve\n"));
+  auto solved = sibling.ReadLine();
+  ASSERT_TRUE(solved.has_value()) << "sibling starved by a stalled reader";
+  EXPECT_EQ(solved->rfind("ok keeper line=2 error=", 0), 0u) << *solved;
+
+  // The backpressure abort-close lands and is attributed in the gauges.
+  EXPECT_TRUE(PollStats(port, [](const std::string& line) {
+    return line.find(" aborted_backpressure=") != std::string::npos &&
+           line.find(" aborted_backpressure=0") == std::string::npos;
+  })) << "stalled reader never abort-closed (backpressure gauge still 0)";
+
+  // The staller's socket really is dead: reads drain whatever was in
+  // flight, then hit EOF/reset rather than blocking forever.
+  while (staller.ReadLine().has_value()) {
+  }
+  staller.Close();
+
+  ASSERT_TRUE(sibling.Send("quit\n"));
+  auto quit = sibling.ReadLine();
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(*quit, "ok quit");
+  fixture.server->Stop();
+}
+
+TEST(ReactorServerTest, IdleTimeoutSweepAbortsSilentConnections) {
+  // --idle-timeout now rides the reactor's once-per-second deadline sweep
+  // (the old transport used SO_RCVTIMEO): a silent connection is
+  // abort-closed and attributed to the idle gauge; an active sibling
+  // keeps its session.
+  ReactorOptions reactor_options;
+  reactor_options.idle_timeout_seconds = 1;
+  ServerFixture fixture(/*seed=*/305, /*n=*/8, /*k=*/3, reactor_options);
+  int port = 0;
+  Status started = fixture.StartTcp(&port);
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
+  }
+
+  WireClient idler;
+  ASSERT_TRUE(idler.ConnectTcp("127.0.0.1", port));
+  ASSERT_TRUE(idler.Send("open sleepy d0\n"));
+  auto ack = idler.ReadLine();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, "ok open sleepy d0");
+
+  // ... then silence. The sweep should cut the connection within ~2-3s;
+  // the blocking read returns EOF when it does.
+  EXPECT_FALSE(idler.ReadLine().has_value())
+      << "idle connection outlived the timeout sweep";
+  idler.Close();
+
+  EXPECT_TRUE(PollStats(port, [](const std::string& line) {
+    return line.find(" aborted_idle=") != std::string::npos &&
+           line.find(" aborted_idle=0") == std::string::npos;
+  })) << "idle abort-close never attributed to the idle gauge";
+  fixture.server->Stop();
+}
+
+TEST(ReactorServerTest, HundredsOfIdleConnectionsOnAFixedThreadSet) {
+  // The multiplexing smoke (the full >= 1000-connection scaling walk
+  // lives in bench_session_resolve's connection_scaling section): a few
+  // hundred parked connections on 2 event loops, while one active client
+  // works normally. Thread-per-connection would need 300 stacks here; the
+  // reactor needs 4 threads total.
+  ServerFixture fixture(/*seed=*/306, /*n=*/8, /*k=*/3);
+  int port = 0;
+  Status started = fixture.StartTcp(&port);
+  if (!started.ok()) {
+    GTEST_SKIP() << "loopback TCP unavailable: " << started.ToString();
+  }
+
+  constexpr int kIdle = 300;
+  std::vector<WireClient> idle(kIdle);
+  for (int i = 0; i < kIdle; ++i) {
+    ASSERT_TRUE(idle[i].ConnectTcp("127.0.0.1", port))
+        << "connect " << i << " failed: " << std::strerror(errno);
+  }
+
+  // One active client does real work through the crowd. Sequential
+  // round-trips: `stats` answers inline on the event loop while a solve
+  // completes on a strand, so pipelining them would race the responses.
+  WireClient active;
+  ASSERT_TRUE(active.ConnectTcp("127.0.0.1", port));
+  ASSERT_TRUE(active.Send("open worker d1\n"));
+  auto ack = active.ReadLine();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, "ok open worker d1");
+  ASSERT_TRUE(active.Send("worker solve\n"));
+  auto solved = active.ReadLine();
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ(solved->rfind("ok worker line=2 error=", 0), 0u) << *solved;
+  ASSERT_TRUE(active.Send("stats\n"));
+  auto stats = active.ReadLine();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find(" connections=" + std::to_string(kIdle + 1)),
+            std::string::npos)
+      << *stats << " (want " << kIdle + 1 << " live connections)";
+
+  // Every parked connection still answers — sample a spread of them.
+  for (int i = 0; i < kIdle; i += 37) {
+    ASSERT_TRUE(idle[i].Send("stats\n"));
+    auto line = idle[i].ReadLine();
+    ASSERT_TRUE(line.has_value()) << "idle connection " << i << " dead";
+    EXPECT_EQ(line->rfind("ok stats ", 0), 0u);
+  }
+
+  ASSERT_TRUE(active.Send("quit\n"));
+  auto quit = active.ReadLine();
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(*quit, "ok quit");
+  EXPECT_EQ(fixture.server->num_loops(), 2);
+  EXPECT_EQ(fixture.server->connections_accepted(), kIdle + 1);
   fixture.server->Stop();
 }
 

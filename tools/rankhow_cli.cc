@@ -26,7 +26,7 @@
 #include "core/solve_session.h"
 #include "core/sym_gd.h"
 #include "data/shared_dataset.h"
-#include "net/socket_server.h"
+#include "net/reactor.h"
 #include "ranking/score_ranking.h"
 #include "server/registry_router.h"
 #include "server/session_registry.h"
@@ -183,17 +183,21 @@ std::string DatasetIdFromPath(const std::string& path) {
   return base;
 }
 
-/// `--listen` mode: a Unix-domain/TCP socket server routing the wire
-/// protocol across a lazily-loaded multi-dataset catalog (`--data` takes a
-/// comma-separated CSV list; dataset ids are the file basenames; the first
-/// is the default). Runs until the process is terminated.
+/// `--listen` mode: the epoll reactor serving the wire protocol over a
+/// Unix-domain/TCP listener, routing across a lazily-loaded multi-dataset
+/// catalog (`--data` takes a comma-separated CSV list; dataset ids are the
+/// file basenames; the first is the default). Runs until the process is
+/// terminated.
 int RunListenServer(const std::string& listen_spec,
                     const std::string& data_paths, const CliDataSpec& spec,
                     const RouterOptions& router_options,
-                    int idle_timeout_seconds) {
+                    const ReactorOptions& reactor_options_in) {
   auto address = ParseListenSpec(listen_spec);
   if (!address.ok()) return Fail(address.status());
 
+  // Declared before the router and the server: teardown callbacks running
+  // inside ReactorServer::Stop touch both, so they must be destroyed last.
+  ServerMetrics metrics;
   RegistryRouter router(router_options);
   std::vector<std::string> ids;
   for (const std::string& p : Split(data_paths, ',')) {
@@ -239,21 +243,22 @@ int RunListenServer(const std::string& listen_spec,
         static_cast<long long>(recovered->replay_failures));
   }
 
-  SocketServer server(
-      [&router](int conn_id, std::istream& in, std::ostream& out) {
-        (void)conn_id;
-        ServeStreamOptions serve_options;
-        // Network semantics: this connection owns the clients it opens, and
-        // its end (quit/EOF/drop) closes them without draining siblings.
-        serve_options.connection_scoped_clients = true;
-        (void)ServeStream(&router, in, out, serve_options);
-      },
-      idle_timeout_seconds);
+  ServeStreamOptions serve_options;
+  // Network semantics: every connection owns the clients it opens, and
+  // its end (quit/EOF/drop) closes them without draining siblings.
+  serve_options.connection_scoped_clients = true;
+  serve_options.metrics = &metrics;
+  ReactorOptions reactor_options = reactor_options_in;
+  reactor_options.metrics = &metrics;
+  ReactorServer server(MakeWireReactorCallbacks(&router, serve_options),
+                       reactor_options);
   Status started = server.Start(*address);
   if (!started.ok()) return Fail(started);
   std::cerr << "rankhow: listening on " << server.bound_spec() << " ("
             << ids.size() << " dataset" << (ids.size() == 1 ? "" : "s")
-            << ": " << Join(ids, ", ") << "; default " << ids[0] << ")\n";
+            << ": " << Join(ids, ", ") << "; default " << ids[0] << "; "
+            << server.num_loops() << " event loop"
+            << (server.num_loops() == 1 ? "" : "s") << ")\n";
   server.Wait();
   return 0;
 }
@@ -343,6 +348,15 @@ int main(int argc, char** argv) {
       "idle-timeout", 0,
       "with --listen: drop connections silent for this many seconds (their "
       "sessions abort-close like a vanished peer); 0 = never"));
+  int loops = static_cast<int>(flags.GetInt(
+      "loops", 0,
+      "with --listen: epoll event-loop threads multiplexing the "
+      "connections; 0 = min(4, hardware threads)"));
+  int64_t max_conn_buffer = flags.GetInt(
+      "max-conn-buffer", 4 << 20,
+      "with --listen: per-connection queued-response byte bound — a peer "
+      "that stops reading past this is abort-closed (backpressure) instead "
+      "of stalling the server");
   int max_pending = static_cast<int>(flags.GetInt(
       "max-pending", 256,
       "with --listen: per-dataset overload watermark — queued + in-flight "
@@ -440,9 +454,11 @@ int main(int argc, char** argv) {
                    "counts\n";
       return 1;
     }
-    if (journal_fsync < 0 || max_pending < 0 || idle_timeout < 0) {
-      std::cerr << "error: --journal-fsync/--max-pending/--idle-timeout "
-                   "want non-negative counts\n";
+    if (journal_fsync < 0 || max_pending < 0 || idle_timeout < 0 ||
+        loops < 0 || max_conn_buffer < 1) {
+      std::cerr << "error: --journal-fsync/--max-pending/--idle-timeout/"
+                   "--loops want non-negative counts and --max-conn-buffer "
+                   "a positive byte count\n";
       return 1;
     }
     router_options.server.max_clients = max_sessions;
@@ -455,8 +471,12 @@ int main(int argc, char** argv) {
       router_options.journal_dir = journal_dir;
       router_options.journal.fsync_every = journal_fsync;
     }
+    ReactorOptions reactor_options;
+    reactor_options.num_loops = loops;
+    reactor_options.idle_timeout_seconds = idle_timeout;
+    reactor_options.max_conn_buffer = static_cast<size_t>(max_conn_buffer);
     return RunListenServer(listen_spec, data_path, spec, router_options,
-                           idle_timeout);
+                           reactor_options);
   }
 
   auto csv = ReadCsvFile(data_path);
@@ -538,7 +558,13 @@ int main(int argc, char** argv) {
           static_cast<long long>(stats.dataset_forks));
       return exit_code;
     }
-    Status served = ServeStream(&registry, std::cin, std::cout);
+    // The stdio stream still gets verb latencies (`metrics` works over a
+    // pipe too); there is no transport, so the gauges stay zero.
+    ServerMetrics metrics;
+    ServeStreamOptions stdio_options;
+    stdio_options.metrics = &metrics;
+    Status served = ServeStream(&registry, std::cin, std::cout,
+                                stdio_options);
     if (!served.ok()) return Fail(served);
     return 0;
   }
