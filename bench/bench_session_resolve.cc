@@ -40,6 +40,16 @@
 // lands in "framing_throughput". The metadata records the transport mode
 // and reactor event-loop count.
 //
+// A sixth section measures restart-warm seeding (the persistent warm-cache
+// PR): a cold first solve publishes its proven winner through a
+// fingerprint-keyed WarmCache, every in-memory structure is destroyed (a
+// simulated process death), and a fresh registry over the reopened cache
+// re-solves the same problem — cold vs warm seconds/nodes land in
+// BENCH_server_throughput.json's "restart_warm_seed" object with an
+// errors_match bit (the cache must never move a proven optimum) and the
+// cache hit/loaded counters that prove the warm solve actually drew the
+// dead process's record.
+//
 // Flags: --nba-n, --cs-n, --k, --budget (per solve), --seed, --serve-n
 // (server-section dataset size), --serve-budget, --idle-conns,
 // --frame-pings.
@@ -59,6 +69,7 @@
 
 #include "bench/harness_include.h"
 #include "core/solve_session.h"
+#include "core/warm_cache.h"
 #include "net/frame.h"
 #include "net/reactor.h"
 #include "net/socket_server.h"
@@ -464,6 +475,116 @@ WarmSeedRun RunWarmSeedVariant(const Dataset& data, const Ranking& given,
               shared ? "shared" : "per-session", run.a_seconds, run.a_error,
               run.b_seconds, run.b_error, run.proven ? "*" : "",
               run.b_nodes, (long long)run.shared_draws);
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Restart-warm seeding (the persistent fingerprint-keyed warm cache).
+
+struct RestartWarmRun {
+  double cold_seconds = 0, warm_seconds = 0;
+  long cold_nodes = -1, warm_nodes = -1;
+  long cold_error = -1, warm_error = -1;
+  bool cold_proven = false, warm_proven = false;
+  int64_t cache_hits = 0, cache_loaded = 0;
+  bool ok = true;
+};
+
+/// One registry lifetime: open a client, run its first solve, tear the
+/// registry down. With `cache` set, the solve draws from / publishes to
+/// the persistent warm cache exactly as a `--warm-cache-dir` server would.
+void RunFirstSolve(const Dataset& data, const Ranking& given,
+                   const RankHowOptions& solver, WarmCache* cache,
+                   double* seconds, long* nodes, long* error, bool* proven,
+                   bool* ok) {
+  ServerOptions server_options;
+  server_options.solver = solver;
+  server_options.num_workers = 1;
+  server_options.warm_cache = cache;
+  SessionRegistry registry(SharedDataset(Dataset(data)), Ranking(given),
+                           /*labels=*/{}, server_options);
+  if (!registry.Open("a").ok()) {
+    *ok = false;
+    return;
+  }
+  struct Slot {
+    Result<SessionStepOutcome> outcome = Status::Internal("unset");
+  } slot;
+  Status submitted = registry.Submit(
+      "a", MakeCommand(SessionCommand::Kind::kSolve, "", 0, 1),
+      [&slot](const std::string&, const Result<SessionStepOutcome>& out) {
+        slot.outcome = out;
+      });
+  if (!submitted.ok()) {
+    *ok = false;
+    return;
+  }
+  registry.Drain();
+  if (!slot.outcome.ok()) {
+    *ok = false;
+    return;
+  }
+  *seconds = slot.outcome->result.seconds;
+  *nodes = slot.outcome->result.stats.nodes_explored;
+  *error = slot.outcome->result.error;
+  *proven = slot.outcome->result.proven_optimal;
+}
+
+/// The restart experiment: a cold first solve publishes its proven winner
+/// through a warm cache in `dir`, then EVERYTHING in memory (registry,
+/// pool, cache object) is destroyed — a simulated process death — and a
+/// fresh registry over a reopened cache re-solves the same problem. The
+/// warm first solve must prove the identical error while drawing the dead
+/// process's record; node_ratio prices the head start.
+RestartWarmRun RunRestartWarm(const Dataset& data, const Ranking& given,
+                              EpsilonConfig eps, double budget,
+                              const std::string& dir) {
+  RestartWarmRun run;
+  RankHowOptions solver;
+  solver.eps = eps;
+  solver.time_limit_seconds = budget;
+  WarmCacheOptions cache_options;
+  // The publish must be on disk before the simulated death below; a real
+  // server gets the same guarantee from the writer thread having a whole
+  // process lifetime to drain (and the chaos suite polls for it).
+  cache_options.synchronous_appends = true;
+
+  {
+    auto cache = WarmCache::Open(dir, cache_options);
+    if (!cache.ok()) {
+      std::printf("  warm cache open failed: %s\n",
+                  cache.status().ToString().c_str());
+      run.ok = false;
+      return run;
+    }
+    RunFirstSolve(data, given, solver, cache->get(), &run.cold_seconds,
+                  &run.cold_nodes, &run.cold_error, &run.cold_proven,
+                  &run.ok);
+    // Scope end: registry and cache both destroyed. Only the file survives.
+  }
+
+  auto cache = WarmCache::Open(dir, cache_options);
+  if (!cache.ok()) {
+    run.ok = false;
+    return run;
+  }
+  RunFirstSolve(data, given, solver, cache->get(), &run.warm_seconds,
+                &run.warm_nodes, &run.warm_error, &run.warm_proven, &run.ok);
+  WarmCacheStats cs = (*cache)->Stats();
+  run.cache_hits = cs.hits;
+  run.cache_loaded = cs.loaded;
+
+  if (!run.cold_proven || !run.warm_proven ||
+      run.cold_error != run.warm_error) {
+    run.ok = false;  // the cache must never move a proven optimum
+  }
+  if (run.cache_loaded < 1 || run.cache_hits < 1) run.ok = false;
+  std::printf("  cold %7.3fs (err %ld, %ld nodes)   restart-warm %7.3fs "
+              "(err %ld, %ld nodes, %lld loaded, %lld hits)%s\n",
+              run.cold_seconds, run.cold_error, run.cold_nodes,
+              run.warm_seconds, run.warm_error, run.warm_nodes,
+              (long long)run.cache_loaded, (long long)run.cache_hits,
+              run.ok ? "" : "  ERROR");
   return run;
 }
 
@@ -889,6 +1010,7 @@ FramingLevel RunFramingLevel(int port, const std::string& mode, int clients,
 
 void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
                         const WarmSeedRun& cold, const WarmSeedRun& warm,
+                        const RestartWarmRun& restart,
                         const std::vector<JournalOverheadRun>& jruns,
                         const ConnectionScalingRun& scaling,
                         const std::vector<FramingLevel>& framing,
@@ -946,6 +1068,36 @@ void EmitThroughputJson(const std::vector<ThroughputLevel>& levels,
       cold.b_nodes > 0 ? static_cast<double>(warm.b_nodes) / cold.b_nodes
                        : 0.0,
       cold.b_error == warm.b_error ? "true" : "false");
+  // Restart-warm seeding: the first solve after a simulated process death,
+  // cache-cold vs over a reopened --warm-cache-dir cache. cache_hits >= 1
+  // and cache_loaded >= 1 prove the warm solve drew the dead process's
+  // persisted record; errors_match must be true (the cache seeds
+  // tighten-only bounds, so it can never move a proven optimum).
+  std::fprintf(
+      f,
+      "  \"restart_warm_seed\": {\n"
+      "    \"cold\": {\"solve_seconds\": %.5f, \"nodes\": %ld, "
+      "\"error\": %ld, \"proven\": %s},\n"
+      "    \"warm\": {\"solve_seconds\": %.5f, \"nodes\": %ld, "
+      "\"error\": %ld, \"proven\": %s, \"cache_hits\": %lld, "
+      "\"cache_loaded\": %lld},\n"
+      "    \"first_solve_speedup\": %.3f,\n"
+      "    \"node_ratio\": %.3f,\n"
+      "    \"errors_match\": %s,\n"
+      "    \"ok\": %s\n  },\n",
+      restart.cold_seconds, restart.cold_nodes, restart.cold_error,
+      restart.cold_proven ? "true" : "false", restart.warm_seconds,
+      restart.warm_nodes, restart.warm_error,
+      restart.warm_proven ? "true" : "false",
+      static_cast<long long>(restart.cache_hits),
+      static_cast<long long>(restart.cache_loaded),
+      restart.warm_seconds > 0 ? restart.cold_seconds / restart.warm_seconds
+                               : 0.0,
+      restart.cold_nodes > 0
+          ? static_cast<double>(restart.warm_nodes) / restart.cold_nodes
+          : 0.0,
+      restart.cold_error == restart.warm_error ? "true" : "false",
+      restart.ok ? "true" : "false");
   // Journal overhead: the same workload at each fsync policy, with
   // overhead_pct relative to the journal-off baseline. The acceptance
   // number is "batched" (the fsync_every=32 default) under 10%.
@@ -1087,6 +1239,24 @@ int main(int argc, char** argv) {
                                              /*shared=*/true);
   serve_ok = serve_ok && seed_cold.ok && seed_warm.ok;
 
+  // Restart-warm seeding: the persistent warm cache across a simulated
+  // process death, into its own scratch directory cleaned up afterwards.
+  std::printf("=== restart-warm seed: NBA (n=%d, m=5, k=%d) ===\n", serve_n,
+              k);
+  RestartWarmRun restart;
+  char wdir_template[] = "/tmp/rankhow_bench_warmcache_XXXXXX";
+  char* wdir = mkdtemp(wdir_template);
+  if (wdir == nullptr) {
+    std::printf("  mkdtemp failed: skipping restart-warm section\n");
+    serve_ok = false;
+  } else {
+    restart = RunRestartWarm(serve_data, serve_given, NbaEps(), serve_budget,
+                             wdir);
+    serve_ok = serve_ok && restart.ok;
+    std::remove((std::string(wdir) + "/warm.cache").c_str());
+    rmdir(wdir);
+  }
+
   // Write-ahead journal overhead: the throughput workload with the journal
   // off, at the batched default, and fsyncing every record, into a scratch
   // directory cleaned up afterwards.
@@ -1146,8 +1316,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  EmitThroughputJson(levels, seed_cold, seed_warm, jruns, scaling, framing,
-                     serve_n, 5, k, serve_ok);
+  EmitThroughputJson(levels, seed_cold, seed_warm, restart, jruns, scaling,
+                     framing, serve_n, 5, k, serve_ok);
   all_ok = all_ok && serve_ok;
 
   if (!all_ok) {

@@ -37,6 +37,13 @@ echo "== tsan reactor gate: net suite, explicitly =="
 # state); the explicit -L net run makes its race gate visible in the log.
 (cd build-tsan && ctest --output-on-failure -L net)
 
+echo "== tsan cache gate: warm-start cache suite, explicitly =="
+# The persistent warm cache runs a background writer thread against
+# concurrent publish/draw traffic from every registry strand; the -L cache
+# run makes its race gate visible in the log (the suite includes a
+# 4-thread publish/draw hammer for exactly this preset).
+(cd build-tsan && ctest --output-on-failure -L cache)
+
 echo "== asan: address-sanitized build + full ctest =="
 cmake --preset asan
 cmake --build --preset asan -j
@@ -47,6 +54,12 @@ echo "== asan socket gate: net + server suites, explicitly =="
 
 echo "== asan chaos gate: journal recovery + SIGKILL/crash tests =="
 (cd build-asan && ctest --output-on-failure -L chaos)
+
+echo "== asan cache gate: warm-start cache suite, explicitly =="
+# The cache's round-trip/corruption tests shuttle heap-backed records
+# through open/close/reopen cycles; asan watches the file-descriptor-
+# adjacent buffers and the writer thread's teardown path.
+(cd build-asan && ctest --output-on-failure -L cache)
 
 echo "== ubsan: UB-sanitized build + ctest -L kernels =="
 # The batched scoring kernels (src/data/kernels.cc) lean on blocked FP

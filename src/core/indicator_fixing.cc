@@ -69,8 +69,10 @@ Result<FixingSummary> ComputeIndicatorFixing(const Dataset& data,
       }
       if (enable_fixing && lo >= eps1) {
         ++group.fixed_one;
+        summary.min_fixed_one_diff = std::min(summary.min_fixed_one_diff, lo);
       } else if (enable_fixing && hi <= eps2) {
         ++group.fixed_zero;
+        summary.max_fixed_zero_diff = std::max(summary.max_fixed_zero_diff, hi);
       } else {
         group.free.push_back(FreePair{s, lo, hi});
       }

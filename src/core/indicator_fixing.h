@@ -15,6 +15,7 @@
 /// Ranges of w·d over box ∩ simplex are computed exactly with the greedy
 /// support function in math/simplex_box.h.
 
+#include <limits>
 #include <vector>
 
 #include "data/dataset.h"
@@ -48,6 +49,14 @@ struct FixingSummary {
   long total_fixed_one = 0;
   long total_fixed_zero = 0;
   long total_free = 0;
+  /// Slack of the fixing decisions against the ε thresholds: the smallest
+  /// diff_min among fixed-one pairs and the largest diff_max among
+  /// fixed-zero pairs. A later ε move keeps every fixing valid exactly when
+  /// eps1' <= min_fixed_one_diff and eps2' >= max_fixed_zero_diff — the
+  /// test that lets SetEpsilon patch a compiled model's rhs in place
+  /// instead of recompiling (±inf when nothing was fixed: always valid).
+  double min_fixed_one_diff = std::numeric_limits<double>::infinity();
+  double max_fixed_zero_diff = -std::numeric_limits<double>::infinity();
 };
 
 /// Computes δ_sr fixing for every group tuple r in `tuples` against all

@@ -10,6 +10,20 @@
 
 namespace rankhow {
 
+namespace {
+
+/// Near-zero big-M values create badly scaled rows that destabilize the
+/// simplex, so M is clamped away from the noise floor (the extra slack
+/// only loosens the relaxation marginally). Shared by the build and the
+/// ε-patch so a patched model is bit-identical to a fresh build.
+constexpr double kMinBigM = 1e-6;
+
+double TightBigM(double slack) {
+  return std::max(slack, kMinBigM) * (1 + 1e-9);
+}
+
+}  // namespace
+
 std::vector<double> OptModel::ExtractWeights(
     const std::vector<double>& values) const {
   std::vector<double> w;
@@ -39,9 +53,26 @@ void AppendOrderConstraintRow(const OptProblem& problem,
         model->weight_vars[a],
         data.value(oc.above, a) - data.value(oc.below, a));
   }
-  model->milp.lp().AddConstraint(
+  model->order_rows.push_back(model->milp.lp().AddConstraint(
       std::move(expr), RelOp::kGe, problem.eps.eps1,
-      StrFormat("order_%d_above_%d", oc.above, oc.below));
+      StrFormat("order_%d_above_%d", oc.above, oc.below)));
+}
+
+bool PatchEpsilonInPlace(const EpsilonConfig& eps, OptModel* model) {
+  if (eps.eps1 > model->min_fixed_one_diff) return false;
+  if (eps.eps2 < model->max_fixed_zero_diff) return false;
+  for (const OptModel::EpsSite& site : model->eps_sites) {
+    IndicatorConstraint& ge = model->milp.mutable_indicator(site.ind_ge);
+    ge.rhs = eps.eps1;
+    if (model->built_tight_big_m) ge.big_m = TightBigM(eps.eps1 - site.diff_min);
+    IndicatorConstraint& le = model->milp.mutable_indicator(site.ind_le);
+    le.rhs = eps.eps2;
+    if (model->built_tight_big_m) le.big_m = TightBigM(site.diff_max - eps.eps2);
+  }
+  for (int row : model->order_rows) {
+    model->milp.lp().mutable_constraint(row).rhs = eps.eps1;
+  }
+  return true;
 }
 
 Result<OptModel> BuildOptModel(const OptProblem& problem,
@@ -82,8 +113,9 @@ Result<OptModel> BuildOptModel(const OptProblem& problem,
           model.weight_vars[a],
           data.value(oc.above, a) - data.value(oc.below, a));
     }
-    lp.AddConstraint(std::move(expr), RelOp::kGe, problem.eps.eps1,
-                     StrFormat("order_%d_above_%d", oc.above, oc.below));
+    model.order_rows.push_back(
+        lp.AddConstraint(std::move(expr), RelOp::kGe, problem.eps.eps1,
+                         StrFormat("order_%d_above_%d", oc.above, oc.below)));
   }
 
   // Group tuples: every ranked tuple, plus position-constrained extras.
@@ -103,6 +135,9 @@ Result<OptModel> BuildOptModel(const OptProblem& problem,
   model.num_free_indicators = fixing.total_free;
   model.num_fixed_indicators =
       fixing.total_fixed_one + fixing.total_fixed_zero;
+  model.min_fixed_one_diff = fixing.min_fixed_one_diff;
+  model.max_fixed_zero_diff = fixing.max_fixed_zero_diff;
+  model.built_tight_big_m = tight_big_m;
 
   // Indicator variables + error variables per group.
   LinearExpr objective;
@@ -129,21 +164,23 @@ Result<OptModel> BuildOptModel(const OptProblem& problem,
       // Tight per-pair big-M from the exact range of w·d over the box:
       //   δ=1 ⇒ diff >= ε₁ needs M >= ε₁ − diff_min,
       //   δ=0 ⇒ diff <= ε₂ needs M >= diff_max − ε₂.
-      // With fixing disabled (ablation) a pair may have m1 <= 0 or m0 <= 0
-      // (a zero M would still be valid), but near-zero M values create
-      // badly scaled rows that destabilize the simplex, so clamp M away
-      // from the noise floor; the extra slack only loosens the relaxation
-      // marginally.
-      constexpr double kMinBigM = 1e-6;
-      double m1 = std::max(problem.eps.eps1 - pair.diff_min, kMinBigM);
-      double m0 = std::max(pair.diff_max - problem.eps.eps2, kMinBigM);
-      if (!tight_big_m) m1 = m0 = -1.0;  // ablation: auto (loose) derivation
+      // With fixing disabled (ablation) a pair may have negative slack (a
+      // zero M would still be valid) — TightBigM clamps it. -1 requests the
+      // solver's loose bounds-derived M (ablation A3).
+      const double m1 =
+          tight_big_m ? TightBigM(problem.eps.eps1 - pair.diff_min) : -1.0;
+      const double m0 =
+          tight_big_m ? TightBigM(pair.diff_max - problem.eps.eps2) : -1.0;
+      OptModel::EpsSite site;
+      site.diff_min = pair.diff_min;
+      site.diff_max = pair.diff_max;
+      site.ind_ge = model.milp.indicators().size();
       model.milp.AddIndicator({delta, true, score_diff, RelOp::kGe,
-                               problem.eps.eps1,
-                               m1 < 0 ? m1 : m1 * (1 + 1e-9)});
+                               problem.eps.eps1, m1});
+      site.ind_le = model.milp.indicators().size();
       model.milp.AddIndicator({delta, false, std::move(score_diff),
-                               RelOp::kLe, problem.eps.eps2,
-                               m0 < 0 ? m0 : m0 * (1 + 1e-9)});
+                               RelOp::kLe, problem.eps.eps2, m0});
+      model.eps_sites.push_back(site);
     }
 
     const bool inversion_objective =

@@ -49,6 +49,30 @@ struct OptModel {
   long num_free_indicators = 0;
   long num_fixed_indicators = 0;
 
+  /// Where ε lives in the compiled model (the PatchEpsilonInPlace map).
+  /// Each free pair owns exactly two indicator constraints whose rhs are
+  /// ε₁/ε₂ and whose tight big-M values are ε-linear in the recorded exact
+  /// w·d range; each order constraint owns one LP row with rhs ε₁.
+  struct EpsSite {
+    size_t ind_ge = 0;  ///< indicator index of δ=1 ⇒ w·d >= ε₁
+    size_t ind_le = 0;  ///< indicator index of δ=0 ⇒ w·d <= ε₂
+    double diff_min = 0;
+    double diff_max = 0;
+  };
+  std::vector<EpsSite> eps_sites;
+  /// LP row ids of the order-constraint rows (rhs = ε₁), including rows
+  /// appended after compilation by AppendOrderConstraintRow.
+  std::vector<int> order_rows;
+  /// Fixing slack copied from the FixingSummary the model was built with:
+  /// an ε move keeps every baked-in fixed indicator (and the inversion
+  /// objective's fixed-pair constants) valid exactly when
+  /// eps1' <= min_fixed_one_diff and eps2' >= max_fixed_zero_diff.
+  double min_fixed_one_diff = 0;
+  double max_fixed_zero_diff = 0;
+  /// Whether the model was compiled with tight per-pair big-M (patching
+  /// recomputes them) or the loose-auto ablation (patching leaves them -1).
+  bool built_tight_big_m = true;
+
   /// Extracts the weight vector from a model-variable assignment.
   std::vector<double> ExtractWeights(const std::vector<double>& values) const;
 };
@@ -83,6 +107,17 @@ void AppendWeightConstraintRow(const WeightConstraint& constraint,
 void AppendOrderConstraintRow(const OptProblem& problem,
                               const PairwiseOrderConstraint& oc,
                               OptModel* model);
+
+/// Moves a compiled model to new ε thresholds without recompiling: rewrites
+/// the indicator rhs (and their tight big-M, which is ε-linear in the
+/// recorded w·d ranges) and the order-row rhs in place. Sound only while
+/// every indicator the build fixed as a constant stays fixed — checked via
+/// the recorded fixing slack — since those constants (δ substitutions, t_r
+/// offsets, inversion-objective pair constants) are baked into rows the
+/// patch cannot reach. Returns false, touching nothing, when the slack test
+/// fails; the caller must rebuild. Variable and row ids never change, so
+/// warm bases exported against the model stay valid.
+bool PatchEpsilonInPlace(const EpsilonConfig& eps, OptModel* model);
 
 }  // namespace rankhow
 

@@ -23,27 +23,51 @@ SharedIncumbentPool::SharedIncumbentPool(int capacity)
 void SharedIncumbentPool::Publish(const void* snapshot_id,
                                   const void* publisher,
                                   const std::vector<double>& weights,
-                                  long error) {
+                                  long error,
+                                  const WarmCache::Entry* durable) {
   if (weights.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++published_;
-  for (Entry& have : entries_) {
-    if (have.snapshot == snapshot_id && SameWeights(have.weights, weights)) {
-      // Re-proven vector: refresh credentials in place. The sequence stays
-      // put — siblings that saw it once must not re-validate it per solve.
-      have.error = error;
-      have.publisher = publisher;
-      return;
+  WarmCache* cache = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache = warm_cache_;
+    ++published_;
+    bool refreshed = false;
+    for (Entry& have : entries_) {
+      if (have.snapshot == snapshot_id && SameWeights(have.weights, weights)) {
+        // Re-proven vector: refresh credentials in place. The sequence
+        // stays put — siblings that saw it once must not re-validate it
+        // per solve.
+        have.error = error;
+        have.publisher = publisher;
+        refreshed = true;
+        break;
+      }
+    }
+    if (!refreshed) {
+      Entry entry;
+      entry.snapshot = snapshot_id;
+      entry.publisher = publisher;
+      entry.weights = weights;
+      entry.error = error;
+      entry.seq = next_seq_++;
+      entries_.push_back(std::move(entry));
+      if (entries_.size() > capacity_) entries_.erase(entries_.begin());
     }
   }
-  Entry entry;
-  entry.snapshot = snapshot_id;
-  entry.publisher = publisher;
-  entry.weights = weights;
-  entry.error = error;
-  entry.seq = next_seq_++;
-  entries_.push_back(std::move(entry));
-  if (entries_.size() > capacity_) entries_.erase(entries_.begin());
+  // Write-through to the persistent cache, outside mu_ (the cache has its
+  // own locks and never calls back). Pool refreshes still reach the cache:
+  // its own dedup decides whether anything new needs persisting.
+  if (cache != nullptr && durable != nullptr) cache->Publish(*durable);
+}
+
+void SharedIncumbentPool::AttachWarmCache(WarmCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  warm_cache_ = cache;
+}
+
+bool SharedIncumbentPool::has_warm_cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warm_cache_ != nullptr;
 }
 
 size_t SharedIncumbentPool::CollectNew(

@@ -39,6 +39,8 @@
 #include <mutex>
 #include <vector>
 
+#include "core/warm_cache.h"
+
 namespace rankhow {
 
 /// Aggregate counters (snapshot; for registry Stats() and the wire `stats`
@@ -65,8 +67,21 @@ class SharedIncumbentPool {
   /// problem. A duplicate weight vector over the same snapshot refreshes
   /// the existing entry in place without bumping its sequence (so sibling
   /// sessions are not woken for a vector they already saw).
+  ///
+  /// `durable`, when non-null and a warm cache is attached, is the
+  /// fingerprint-stamped form of the same winner and is written through to
+  /// the cache (in memory + async disk append) — the pool acting as the
+  /// persistent cache's write-through front. Publishers without a
+  /// fingerprint (no cache configured) pass nullptr and nothing persists.
   void Publish(const void* snapshot_id, const void* publisher,
-               const std::vector<double>& weights, long error);
+               const std::vector<double>& weights, long error,
+               const WarmCache::Entry* durable = nullptr);
+
+  /// Attaches the persistent warm cache this pool fronts (non-owning; must
+  /// outlive the pool; nullptr detaches). The router owns the cache so it
+  /// survives registry — and pool — eviction.
+  void AttachWarmCache(WarmCache* cache);
+  bool has_warm_cache() const;
 
   /// Appends to `*out` every entry over `snapshot_id` published by someone
   /// other than `drawer` with sequence > `*seen_seq`, then advances
@@ -93,6 +108,7 @@ class SharedIncumbentPool {
   size_t capacity_;
   mutable int64_t drawn_ = 0;
   int64_t published_ = 0;
+  WarmCache* warm_cache_ = nullptr;
 };
 
 }  // namespace rankhow

@@ -13,16 +13,21 @@ namespace rankhow {
 
 SolveSession::SolveSession(Dataset data, Ranking given,
                            RankHowOptions options)
-    : SolveSession(SharedDataset(std::move(data)), std::move(given),
-                   std::move(options)) {}
+    : SolveSession(SharedDataset(std::move(data)),
+                   SharedRanking(std::move(given)), std::move(options)) {}
 
 SolveSession::SolveSession(SharedDataset data, Ranking given,
+                           RankHowOptions options)
+    : SolveSession(std::move(data), SharedRanking(std::move(given)),
+                   std::move(options)) {}
+
+SolveSession::SolveSession(SharedDataset data, SharedRanking given,
                            RankHowOptions options)
     : data_(std::move(data)),
       given_(std::move(given)),
       options_(std::move(options)) {
   problem_.data = &data_.get();
-  problem_.given = &given_;
+  problem_.given = &given_.get();
   problem_.eps = options_.eps;
 }
 
@@ -106,9 +111,32 @@ Status SolveSession::SetEpsilon(const EpsilonConfig& eps) {
   if (!eps.Valid()) {
     return Status::Invalid("epsilons must satisfy eps2 <= eps < eps1");
   }
+  const EpsilonConfig old = problem_.eps;
   problem_.eps = eps;
   options_.eps = eps;
-  NoteEdit(SessionDeltaKind::kStructural);
+  // ε only lives in indicator/order-row right-hand sides (and their
+  // ε-linear big-M), so a compiled model moves to the new thresholds by an
+  // in-place rhs patch — no recompile, warm bases and the incumbent pool
+  // untouched. The patch refuses (and we fall back to a full rebuild) when
+  // the move would un-fix an interval-fixed indicator the build baked in
+  // as a constant.
+  if (model_ != nullptr && !model_dirty_ &&
+      PatchEpsilonInPlace(eps, model_.get())) {
+    ++stats_.eps_patches;
+  } else {
+    model_dirty_ = true;
+    pending_weight_rows_.clear();
+    pending_order_rows_.clear();
+  }
+  // Bound validity is a separate question from patchability: raising ε₁
+  // and lowering ε₂ shrinks the (w, δ) feasible set — strict separation
+  // gets harder both ways — so the proven optimum survives as a lower
+  // bound, exactly like a kTighten edit. Any other move (including a
+  // tie_eps change, which rewrites what the objective counts as an error)
+  // relaxes it.
+  const bool tighten = eps.eps1 >= old.eps1 && eps.eps2 <= old.eps2 &&
+                       eps.tie_eps == old.tie_eps;
+  if (!tighten) bound_valid_ = false;
   return Status();
 }
 
@@ -125,17 +153,21 @@ Status SolveSession::AppendTuple(const std::vector<double>& values,
         StrFormat("tuple has %d values, dataset has %d attributes",
                   static_cast<int>(values.size()), data().num_attributes()));
   }
-  std::vector<int> positions = given_.positions();
+  std::vector<int> positions = given_.get().positions();
   positions.push_back(kUnranked);
   RH_ASSIGN_OR_RETURN(Ranking grown, Ranking::Create(std::move(positions)));
   const int64_t forks_before = data_.forks();
+  const int64_t rank_forks_before = given_.forks();
   // Copy-on-write: appending forks a private snapshot iff siblings share
-  // this one; either way the handle may re-point, so the problem's dataset
-  // view must be refreshed.
+  // this one; either way both handles may re-point, so the problem's
+  // dataset and ranking views must be refreshed.
   int id = data_.AppendTuple(values);
   problem_.data = &data_.get();
   stats_.dataset_forks += data_.forks() - forks_before;
-  given_ = std::move(grown);  // problem_.given points at given_; stays wired
+  given_.Reset(std::move(grown));
+  problem_.given = &given_.get();
+  stats_.ranking_forks += given_.forks() - rank_forks_before;
+  have_dataset_fp_ = false;  // instance changed; re-fingerprint lazily
   if (id_out != nullptr) *id_out = id;
   NoteEdit(SessionDeltaKind::kStructural);
   return Status();
@@ -169,6 +201,21 @@ Result<const OptModel*> SolveSession::EnsureModel() {
   return model_.get();
 }
 
+ProblemFingerprint SolveSession::CurrentFingerprint() {
+  if (!have_dataset_fp_) {
+    cached_dataset_fp_ = DatasetFingerprint(data(), given());
+    have_dataset_fp_ = true;
+  }
+  if (!have_constraint_hash_ ||
+      cached_constraint_rev_ != problem_.constraints.revision()) {
+    cached_constraint_hash_ = HashWeightConstraints(problem_.constraints);
+    cached_constraint_rev_ = problem_.constraints.revision();
+    have_constraint_hash_ = true;
+  }
+  return FingerprintProblem(cached_dataset_fp_, cached_constraint_hash_,
+                            problem_);
+}
+
 Result<RankHowResult> SolveSession::Solve() {
   WallTimer timer;
   Deadline deadline(options_.time_limit_seconds);
@@ -176,6 +223,11 @@ Result<RankHowResult> SolveSession::Solve() {
   const WeightBox box = WeightBox::FullSimplex(data().num_attributes());
   const SolveStrategy strategy =
       ResolveSolveStrategy(problem_, options_, box);
+  // The semantics of what this solve will *prove*: the spatial strategy
+  // proves the true ε-tie optimum, MILP/SAT the (ε₂, ε₁)-gap optimum,
+  // which the true optimum never exceeds. Both the session's own bound
+  // reuse and the warm-cache bound eligibility compare like with like.
+  const bool gap_semantics = strategy != SolveStrategy::kSpatial;
 
   ExactSolveSeed seed;
   // Warm incumbent: revalidate the pool against the edited problem; fall
@@ -195,6 +247,39 @@ Result<RankHowResult> SolveSession::Solve() {
     stats_.shared_draws += static_cast<int64_t>(shared_pool_->CollectNew(
         data_.snapshot_id(), this, &shared_seen_seq_, &pooled));
   }
+  ProblemFingerprint fp;
+  if (warm_cache_ != nullptr) {
+    fp = CurrentFingerprint();
+    const uint64_t gen = warm_cache_->generation();
+    // Generation-checked draw: an unchanged cache is not re-drawn for an
+    // unchanged fingerprint + semantics (entries already drawn that proved
+    // useful re-entered through the session pool).
+    if (!cache_drawn_ || fp != cache_drawn_fp_ ||
+        gen != cache_drawn_generation_ ||
+        gap_semantics != cache_drawn_gap_semantics_) {
+      WarmCache::Draw draw = warm_cache_->DrawFor(fp, gap_semantics);
+      if (!draw.exact.empty()) {
+        ++stats_.cache_hits;
+      } else {
+        ++stats_.cache_misses;
+      }
+      stats_.cache_demotions += static_cast<int64_t>(draw.candidates.size());
+      // Exact matches and demoted candidates alike enter as revalidation
+      // candidates (re-evaluated under *this* problem before any use);
+      // only the exact matches' semantics-checked bound survives as is.
+      for (WarmCache::Entry& entry : draw.exact) {
+        pooled.push_back(std::move(entry.weights));
+      }
+      for (std::vector<double>& weights : draw.candidates) {
+        pooled.push_back(std::move(weights));
+      }
+      cache_bound_ = draw.bound;
+      cache_drawn_ = true;
+      cache_drawn_fp_ = fp;
+      cache_drawn_generation_ = gen;
+      cache_drawn_gap_semantics_ = gap_semantics;
+    }
+  }
   if (!pooled.empty()) {
     auto re = RevalidateIncumbents(problem_, box, pooled, presolve);
     if (re.ok() && re->found()) {
@@ -211,14 +296,21 @@ Result<RankHowResult> SolveSession::Solve() {
   }
 
   // Bound reuse: valid only across constraints-only tightening edits, and
-  // only comparing like semantics with like — the spatial strategy's true
-  // ε-tie optimum never exceeds the MILP/SAT (ε₂, ε₁)-gap optimum, so a
-  // spatial bound also seeds a gap re-solve but not vice versa.
-  const bool gap_semantics = strategy != SolveStrategy::kSpatial;
+  // only comparing like semantics with like — a spatial bound also seeds a
+  // gap re-solve but not vice versa (see gap_semantics above).
   if (have_proven_ && bound_valid_ && proven_optimum_ >= 0 &&
       (proven_true_semantics_ || gap_semantics)) {
     seed.lower_bound = proven_optimum_;
     ++stats_.bound_seeds;
+  }
+  // Warm-cache bound: an exact-fingerprint entry proved the optimum of
+  // *this very problem* (semantics-checked in DrawFor), so it seeds the
+  // same tighten-only external bound path. Mismatched entries never reach
+  // here — DrawFor demotes them to candidates with no bound.
+  if (warm_cache_ != nullptr && cache_bound_ >= 0 &&
+      cache_bound_ > seed.lower_bound) {
+    seed.lower_bound = cache_bound_;
+    ++stats_.cache_bound_seeds;
   }
 
   RankHowResult result;
@@ -248,13 +340,29 @@ Result<RankHowResult> SolveSession::Solve() {
 
   // Cross-client sharing publishes *proven* winners only: unproven
   // incumbents churn the siblings' revalidation passes for candidates the
-  // publisher itself may discard next solve.
-  if (shared_pool_ != nullptr && result.proven_optimal &&
-      !result.function.weights.empty()) {
-    shared_pool_->Publish(data_.snapshot_id(), this, result.function.weights,
-                          result.claimed_error);
-    ++stats_.shared_publishes;
+  // publisher itself may discard next solve. The warm cache gets the same
+  // winners, fingerprint-stamped — through the pool's write-through front
+  // when one is attached, directly otherwise.
+  const bool publish = result.proven_optimal && !result.function.weights.empty();
+  WarmCache::Entry durable;
+  if (publish && warm_cache_ != nullptr) {
+    durable.fp = fp;
+    durable.true_semantics = strategy == SolveStrategy::kSpatial;
+    durable.error = result.claimed_error;
+    durable.weights = result.function.weights;
   }
+  if (shared_pool_ != nullptr && publish) {
+    const bool through_pool =
+        warm_cache_ != nullptr && shared_pool_->has_warm_cache();
+    shared_pool_->Publish(data_.snapshot_id(), this, result.function.weights,
+                          result.claimed_error,
+                          through_pool ? &durable : nullptr);
+    ++stats_.shared_publishes;
+    if (warm_cache_ != nullptr && !through_pool) warm_cache_->Publish(durable);
+  } else if (warm_cache_ != nullptr && publish) {
+    warm_cache_->Publish(durable);
+  }
+  if (warm_cache_ != nullptr && publish) ++stats_.cache_publishes;
 
   have_proven_ = result.proven_optimal;
   proven_optimum_ = result.claimed_error;

@@ -62,9 +62,11 @@
 #include "core/opt_problem.h"
 #include "core/rankhow.h"
 #include "core/shared_incumbent_pool.h"
+#include "core/warm_cache.h"
 #include "data/dataset.h"
 #include "data/shared_dataset.h"
 #include "ranking/ranking.h"
+#include "ranking/shared_ranking.h"
 #include "util/status.h"
 
 namespace rankhow {
@@ -92,6 +94,22 @@ struct SolveSessionStats {
   int64_t shared_draws = 0;
   /// Proven winners this session published into the shared pool.
   int64_t shared_publishes = 0;
+  /// Pure-ε edits absorbed as in-place rhs patches on the cached model
+  /// (vs the full recompile they used to force; see PatchEpsilonInPlace).
+  int64_t eps_patches = 0;
+  /// Warm-cache draws that found >= 1 exact-fingerprint entry / none.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// Cache entries demoted to revalidation candidates on fingerprint
+  /// mismatch (never bounds — the warm-cache soundness rule).
+  int64_t cache_demotions = 0;
+  /// Proven winners written through to the persistent warm cache.
+  int64_t cache_publishes = 0;
+  /// Solves whose external lower bound came from an exact-fingerprint
+  /// cache entry (tighten-only; semantics-checked like bound_seeds).
+  int64_t cache_bound_seeds = 0;
+  /// Private ranking copies this session made (Reset on a shared snapshot).
+  int64_t ranking_forks = 0;
 };
 
 /// The per-query delta classes (see DESIGN.md "Session architecture").
@@ -107,15 +125,15 @@ enum class SessionDeltaKind {
   kStructural,
 };
 
-/// A long-lived solver session over one dataset + given ranking. The
-/// dataset is held through a copy-on-write SharedDataset handle: sessions
-/// constructed from the same handle read one immutable snapshot, and an
-/// AppendTuple edit forks a private copy only for the appending session
-/// (the server's many-clients-few-datasets shape; see DESIGN.md "Server
-/// architecture"). The ranking is owned per session (it is small and every
-/// append edit grows it). Not thread-safe — run concurrent sessions on
-/// separate instances (see SessionRegistry / rankhow_cli's batch mode);
-/// each solve may still use options.num_threads workers internally.
+/// A long-lived solver session over one dataset + given ranking. Both are
+/// held through copy-on-write handles: sessions constructed from the same
+/// SharedDataset/SharedRanking handles read one immutable snapshot each,
+/// and the edits that mutate them (AppendTuple) fork private copies only
+/// for the editing session (the server's many-clients-few-datasets shape;
+/// see DESIGN.md "Server architecture"). Not thread-safe — run concurrent
+/// sessions on separate instances (see SessionRegistry / rankhow_cli's
+/// batch mode); each solve may still use options.num_threads workers
+/// internally.
 class SolveSession {
  public:
   /// Wraps the dataset into a fresh private snapshot (the pre-server
@@ -123,8 +141,14 @@ class SolveSession {
   /// shared_data()).
   SolveSession(Dataset data, Ranking given,
                RankHowOptions options = RankHowOptions());
-  /// Shares the handle's snapshot with every other session holding it.
+  /// Shares the dataset handle's snapshot; the ranking gets a fresh
+  /// private snapshot.
   SolveSession(SharedDataset data, Ranking given,
+               RankHowOptions options = RankHowOptions());
+  /// Shares both snapshots with every other session holding the handles
+  /// (the registry path: K sessions on one dataset + one given ranking
+  /// hold one physical copy of each).
+  SolveSession(SharedDataset data, SharedRanking given,
                RankHowOptions options = RankHowOptions());
 
   /// Not movable/copyable: problem_ holds pointers into the owned dataset
@@ -137,7 +161,9 @@ class SolveSession {
   const Dataset& data() const { return data_.get(); }
   /// The COW handle (copy it to share the snapshot with a new session).
   const SharedDataset& shared_data() const { return data_; }
-  const Ranking& given() const { return given_; }
+  const Ranking& given() const { return given_.get(); }
+  /// The COW ranking handle (copy it to share the snapshot).
+  const SharedRanking& shared_given() const { return given_; }
   const SolveSessionStats& stats() const { return stats_; }
   /// The per-solve wall-clock budget (RankHowOptions::time_limit_seconds;
   /// 0 = unlimited). Mutable so per-request deadlines (the wire `deadline`
@@ -161,6 +187,15 @@ class SolveSession {
   void SetSharedIncumbentPool(SharedIncumbentPool* pool) {
     shared_pool_ = pool;
   }
+
+  /// Attaches the persistent warm-start cache (non-owning; must outlive
+  /// the session; nullptr detaches). Every subsequent Solve fingerprints
+  /// its problem and draws matching entries — exact matches join the
+  /// revalidation pool and may seed a tighten-only external bound
+  /// (semantics-checked), mismatches are demoted to candidates — and
+  /// publishes its proven winner back (through the shared pool's
+  /// write-through when one is attached, directly otherwise).
+  void AttachWarmCache(WarmCache* cache) { warm_cache_ = cache; }
 
   // ------------------------------------------------------------- edits
   /// Adds a predicate-P constraint (kTighten; patches the cached model).
@@ -193,9 +228,13 @@ class SolveSession {
   void NoteEdit(SessionDeltaKind kind);
   /// The cached-or-rebuilt compiled model for MILP/SAT strategies.
   Result<const OptModel*> EnsureModel();
+  /// The canonical fingerprint of the current problem, with the expensive
+  /// components cached (dataset hash until the instance changes, the
+  /// constraint hash at WeightConstraintSet::revision() granularity).
+  ProblemFingerprint CurrentFingerprint();
 
   SharedDataset data_;
-  Ranking given_;
+  SharedRanking given_;
   RankHowOptions options_;
   OptProblem problem_;
   SolveSessionStats stats_;
@@ -241,6 +280,24 @@ class SolveSession {
   // one lock per solve and no entry is revalidated twice by one session.
   SharedIncumbentPool* shared_pool_ = nullptr;
   uint64_t shared_seen_seq_ = 0;
+
+  // Persistent warm cache (see core/warm_cache.h). Draws are
+  // generation-checked: an unchanged cache is not re-drawn for an
+  // unchanged fingerprint (entries already drawn re-enter through the
+  // session pool if they proved useful). `cache_bound_` is the external
+  // lower bound drawn with the current fingerprint (-1 = none), valid for
+  // exactly as long as the fingerprint it was drawn under.
+  WarmCache* warm_cache_ = nullptr;
+  uint64_t cached_dataset_fp_ = 0;
+  bool have_dataset_fp_ = false;
+  uint64_t cached_constraint_hash_ = 0;
+  uint64_t cached_constraint_rev_ = 0;
+  bool have_constraint_hash_ = false;
+  bool cache_drawn_ = false;
+  ProblemFingerprint cache_drawn_fp_;
+  uint64_t cache_drawn_generation_ = 0;
+  bool cache_drawn_gap_semantics_ = false;
+  long cache_bound_ = -1;
 };
 
 }  // namespace rankhow

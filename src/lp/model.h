@@ -57,6 +57,7 @@ class LpModel {
   const LpVariable& variable(int id) const { return variables_[id]; }
   LpVariable& mutable_variable(int id) { return variables_[id]; }
   const LpConstraint& constraint(int id) const { return constraints_[id]; }
+  LpConstraint& mutable_constraint(int id) { return constraints_[id]; }
   const LinearExpr& objective() const { return objective_; }
   ObjectiveSense sense() const { return sense_; }
 

@@ -50,6 +50,10 @@ class MilpModel {
   const std::vector<IndicatorConstraint>& indicators() const {
     return indicators_;
   }
+  /// In-place access for rhs/big-M patching (the ε-edit fast path).
+  /// CompileIndicator reads the stored constraint at call time, so a patch
+  /// propagates to every row compiled afterwards.
+  IndicatorConstraint& mutable_indicator(size_t i) { return indicators_[i]; }
 
   /// Produces the LP relaxation: binaries become continuous [0,1] variables
   /// and each indicator becomes one big-M row. Fails if an automatic big-M

@@ -1,0 +1,86 @@
+#ifndef RANKHOW_RANKING_SHARED_RANKING_H_
+#define RANKHOW_RANKING_SHARED_RANKING_H_
+
+/// \file shared_ranking.h
+/// Snapshot sharing for the given ranking — the `SharedDataset` treatment
+/// at ranking granularity (the ROADMAP carry-over "COW at ranking
+/// granularity"). The serving shape is the same many-clients-few-problems
+/// crowd: K sessions opened against one dataset all rank the same π, and
+/// each used to deep-copy its own `Ranking` (one int per tuple — small per
+/// session, real once session budgets reach the thousands).
+///
+/// A `SharedRanking` is a cheap handle onto a refcounted immutable
+/// `Ranking` snapshot; handles copy in O(1). Because `Ranking` itself is
+/// immutable (the only session edit that grows it, AppendTuple, already
+/// builds a fresh Ranking via Ranking::Create), "copy-on-write" degenerates
+/// to snapshot replacement: `Reset` re-points *this handle* at a new
+/// snapshot, leaving every sibling on the old one — which also counts as
+/// the fork it is when the old snapshot was shared. When the last handle
+/// drops, the snapshot is freed (asserted by the weak_ptr lifecycle test in
+/// tests/ranking/, mirroring shared_dataset_test.cc).
+///
+/// Thread-safety contract: same as SharedDataset — concurrent reads of one
+/// snapshot through many handles are safe; one specific handle is not
+/// itself thread-safe (the registry serializes each client's edits).
+
+#include <memory>
+#include <utility>
+
+#include "ranking/ranking.h"
+
+namespace rankhow {
+
+class SharedRanking {
+ public:
+  /// An empty handle (no snapshot). get() is invalid until assigned.
+  SharedRanking() = default;
+  /// Wraps a ranking into a fresh snapshot this handle solely owns.
+  explicit SharedRanking(Ranking given)
+      : snapshot_(std::make_shared<Ranking>(std::move(given))) {}
+
+  // Handles copy/move freely: copying shares the snapshot (O(1)).
+
+  /// The current snapshot, read-only. The reference (and address) is stable
+  /// until the next Reset on *this handle* — callers caching `&get()` must
+  /// refresh after an edit that replaces the ranking.
+  const Ranking& get() const { return *snapshot_; }
+  bool valid() const { return snapshot_ != nullptr; }
+
+  /// Re-points this handle at a new snapshot (the AppendTuple edit path:
+  /// the session builds the grown ranking and installs it here). Siblings
+  /// keep the old snapshot; replacing a *shared* snapshot counts as a fork
+  /// — the per-session copy COW exists to avoid making eagerly.
+  void Reset(Ranking given) {
+    if (shared()) ++forks_;
+    snapshot_ = std::make_shared<Ranking>(std::move(given));
+  }
+
+  /// True iff the snapshot has other owners right now.
+  bool shared() const {
+    return snapshot_ != nullptr && snapshot_.use_count() > 1;
+  }
+
+  /// Snapshot identity: two handles with equal ids hold the same physical
+  /// ranking buffer (SessionRegistry counts resident copies with this).
+  const void* snapshot_id() const { return snapshot_.get(); }
+  bool SharesSnapshotWith(const SharedRanking& other) const {
+    return snapshot_ != nullptr && snapshot_ == other.snapshot_;
+  }
+
+  /// The underlying refcounted snapshot — exposed so tests can hold a
+  /// std::weak_ptr and assert the snapshot is freed when the last handle
+  /// drops.
+  std::shared_ptr<const Ranking> snapshot() const { return snapshot_; }
+
+  /// Cumulative private copies this handle made by replacing a shared
+  /// snapshot.
+  int64_t forks() const { return forks_; }
+
+ private:
+  std::shared_ptr<Ranking> snapshot_;
+  int64_t forks_ = 0;
+};
+
+}  // namespace rankhow
+
+#endif  // RANKHOW_RANKING_SHARED_RANKING_H_

@@ -21,64 +21,12 @@ namespace rankhow {
 
 namespace {
 
-/// The zlib CRC-32 table, built once (polynomial 0xEDB88320).
-const uint32_t* Crc32Table() {
-  static uint32_t table[256];
-  static bool built = [] {
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      table[i] = c;
-    }
-    return true;
-  }();
-  (void)built;
-  return table;
-}
-
-void FnvMix(uint64_t* h, const void* bytes, size_t n) {
-  const unsigned char* p = static_cast<const unsigned char*>(bytes);
-  for (size_t i = 0; i < n; ++i) {
-    *h ^= p[i];
-    *h *= 1099511628211ull;  // FNV-1a prime
-  }
-}
-
 constexpr char kMagic[] = "RHJ1";
 
 }  // namespace
 
 uint32_t JournalCrc32(const std::string& payload) {
-  const uint32_t* table = Crc32Table();
-  uint32_t c = 0xFFFFFFFFu;
-  for (unsigned char ch : payload) {
-    c = table[(c ^ ch) & 0xFF] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
-
-uint64_t DatasetFingerprint(const Dataset& data, const Ranking& given) {
-  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
-  const int64_t n = data.num_tuples();
-  const int64_t m = data.num_attributes();
-  FnvMix(&h, &n, sizeof(n));
-  FnvMix(&h, &m, sizeof(m));
-  for (int a = 0; a < data.num_attributes(); ++a) {
-    const std::string& name = data.attribute_name(a);
-    FnvMix(&h, name.data(), name.size());
-    for (int t = 0; t < data.num_tuples(); ++t) {
-      const double v = data.value(t, a);
-      FnvMix(&h, &v, sizeof(v));  // bit pattern, not rounded text
-    }
-  }
-  for (int t : given.ranked_tuples()) {
-    const int pos = given.position(t);
-    FnvMix(&h, &t, sizeof(t));
-    FnvMix(&h, &pos, sizeof(pos));
-  }
-  return h;
+  return FrameCrc32(payload);
 }
 
 Result<std::unique_ptr<SessionJournal>> SessionJournal::Open(

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "app/cli_driver.h"
+#include "core/warm_cache.h"
 #include "data/dataset.h"
 #include "ranking/ranking.h"
 #include "util/status.h"
@@ -99,15 +100,11 @@ struct JournalReadback {
   int64_t truncated = 0;  // torn trailing records dropped (no newline)
 };
 
-/// CRC-32 (IEEE, zlib-compatible) of the payload bytes.
+/// CRC-32 (IEEE, zlib-compatible) of the payload bytes. Delegates to
+/// FrameCrc32 (core/warm_cache.h) — the journal and the warm cache share
+/// one framing checksum; DatasetFingerprint lives there too so the warm
+/// cache's fingerprints and the journal's open-record stamps agree.
 uint32_t JournalCrc32(const std::string& payload);
-
-/// A cheap identity for "the same dataset the journal was written
-/// against": FNV-1a over the shape, attribute names, every value's bit
-/// pattern, and the given ranking. Recovery refuses to replay a journal
-/// whose open records disagree with the freshly loaded dataset (a swapped
-/// CSV would otherwise replay edits against the wrong tuples).
-uint64_t DatasetFingerprint(const Dataset& data, const Ranking& given);
 
 class SessionJournal {
  public:

@@ -9,7 +9,22 @@ namespace rankhow {
 
 RegistryRouter::RegistryRouter(RouterOptions options)
     : options_(std::move(options)),
-      default_dataset_(options_.default_dataset) {}
+      default_dataset_(options_.default_dataset) {
+  if (!options_.warm_cache_dir.empty()) {
+    Result<std::unique_ptr<WarmCache>> cache =
+        WarmCache::Open(options_.warm_cache_dir, options_.warm_cache);
+    if (cache.ok()) {
+      warm_cache_ = cache.MoveValue();
+    } else {
+      // Warm starts are best-effort by design: serve cache-off, loudly.
+      std::fprintf(stderr,
+                   "rankhow: warm cache open failed in %s: %s "
+                   "(serving cache-off)\n",
+                   options_.warm_cache_dir.c_str(),
+                   cache.status().message().c_str());
+    }
+  }
+}
 
 RegistryRouter::~RegistryRouter() {
   // Registries drain themselves in their destructors; detach them under
@@ -167,6 +182,7 @@ Status RegistryRouter::Open(const std::string& client,
       }
       ServerOptions server = options_.server;
       server.journal = it->second.journal.get();
+      server.warm_cache = warm_cache_.get();
       // Constructed under the lock (unlike the load): the registry must
       // bind whichever journal the catalog entry owns, and that is only
       // knowable here.
@@ -221,6 +237,10 @@ Status RegistryRouter::Open(const std::string& client,
         shed_retired_ += retired.commands_shed;
         closes_graceful_retired_ += retired.closes_graceful;
         closes_aborted_retired_ += retired.closes_aborted;
+        cache_hits_retired_ += retired.cache_hits;
+        cache_misses_retired_ += retired.cache_misses;
+        cache_demotions_retired_ += retired.cache_demotions;
+        cache_publishes_retired_ += retired.cache_publishes;
         ++registries_evicted_;
         doomed.push_back(std::move(victim->second.registry));
         victim->second.registry = nullptr;
@@ -374,6 +394,7 @@ Result<RecoverReport> RegistryRouter::RecoverFromJournals() {
       if (journal != nullptr) journal->set_recording(false);
       ServerOptions server = options_.server;
       server.journal = journal;
+      server.warm_cache = warm_cache_.get();
       entry->second.registry = std::make_shared<SessionRegistry>(
           std::move(bundle->data), std::move(bundle->given),
           std::move(bundle->labels), server);
@@ -510,7 +531,19 @@ RegistryRouterStats RegistryRouter::Stats() const {
   stats.commands_shed = shed_retired_;
   stats.closes_graceful = closes_graceful_retired_;
   stats.closes_aborted = closes_aborted_retired_;
+  stats.cache_hits = cache_hits_retired_;
+  stats.cache_misses = cache_misses_retired_;
+  stats.cache_demotions = cache_demotions_retired_;
+  stats.cache_publishes = cache_publishes_retired_;
   stats.recovered = recovered_;
+  if (warm_cache_ != nullptr) {
+    WarmCacheStats c = warm_cache_->Stats();
+    stats.cache_entries = c.entries;
+    stats.cache_appended = c.appended;
+    stats.cache_loaded = c.loaded;
+    stats.cache_skipped = c.skipped;
+    stats.cache_degraded = c.degraded ? 1 : 0;
+  }
   for (const auto& [id, entry] : catalog_) {
     (void)id;
     if (entry.journal != nullptr) {
@@ -533,6 +566,10 @@ RegistryRouterStats RegistryRouter::Stats() const {
     stats.commands_shed += r.commands_shed;
     stats.closes_graceful += r.closes_graceful;
     stats.closes_aborted += r.closes_aborted;
+    stats.cache_hits += r.cache_hits;
+    stats.cache_misses += r.cache_misses;
+    stats.cache_demotions += r.cache_demotions;
+    stats.cache_publishes += r.cache_publishes;
   }
   return stats;
 }

@@ -69,6 +69,16 @@ struct RouterOptions {
   std::string journal_dir;
   /// Per-journal write policy (fsync batching, rotation, backoff).
   JournalOptions journal;
+  /// Persistent warm-start cache (see core/warm_cache.h and
+  /// docs/OPERATIONS.md "Warm-start cache"): when non-empty, the router
+  /// owns one `<warm_cache_dir>/warm.cache` of fingerprint-keyed proven
+  /// winners shared by every registry it materializes — warm state
+  /// survives registry eviction and process restarts. Empty = cache off.
+  /// The directory must exist. A cache that fails to open serves cache-off,
+  /// loudly.
+  std::string warm_cache_dir;
+  /// Warm-cache policy (per-key caps, fsync batching).
+  WarmCacheOptions warm_cache;
 };
 
 /// What RecoverFromJournals() rebuilt (the `recover` stats section).
@@ -112,6 +122,18 @@ struct RegistryRouterStats {
   int64_t journal_fsyncs = 0;
   int64_t journal_fsync_failures = 0;
   int journal_degraded = 0;  // journals that fell to journal-off mode
+  /// Warm-cache counters (all 0 when RouterOptions::warm_cache_dir is
+  /// empty): session-side draw accounting summed like the counters above,
+  /// plus the cache's own residency/durability state.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_demotions = 0;
+  int64_t cache_publishes = 0;
+  int cache_entries = 0;        // resident entries in the router's cache
+  int64_t cache_appended = 0;   // records persisted to disk
+  int64_t cache_loaded = 0;     // intact records read back at startup
+  int64_t cache_skipped = 0;    // corrupt records dropped at startup
+  int cache_degraded = 0;       // 1 when writes degraded to cache-off
   /// The startup RecoverFromJournals() report (zeros when never run).
   RecoverReport recovered;
 };
@@ -218,6 +240,12 @@ class RegistryRouter {
   std::string JournalPath(const std::string& id) const;
 
   RouterOptions options_;
+  /// The router-owned persistent warm cache (null = off). Registries point
+  /// at it through ServerOptions::warm_cache (non-owning), so it must — and
+  /// does — outlive every registry: the destructor body drains and
+  /// destroys registries before members die, and eviction only releases
+  /// registry pointers.
+  std::unique_ptr<WarmCache> warm_cache_;
 
   mutable std::mutex mu_;
   std::map<std::string, CatalogEntry> catalog_;
@@ -235,6 +263,10 @@ class RegistryRouter {
   int64_t shed_retired_ = 0;
   int64_t closes_graceful_retired_ = 0;
   int64_t closes_aborted_retired_ = 0;
+  int64_t cache_hits_retired_ = 0;
+  int64_t cache_misses_retired_ = 0;
+  int64_t cache_demotions_retired_ = 0;
+  int64_t cache_publishes_retired_ = 0;
   RecoverReport recovered_;
 };
 

@@ -28,15 +28,21 @@ SessionRegistry::SessionRegistry(SharedDataset data, Ranking given,
                                  std::vector<std::string> labels,
                                  ServerOptions options)
     : base_(std::move(data)),
-      given_(std::move(given)),
+      given_(SharedRanking(std::move(given))),
       labels_(std::move(labels)),
       options_(std::move(options)),
       pool_(ThreadPool::ResolveThreadCount(options_.num_workers)) {
   // One strand solves serially; the pool supplies the parallelism.
   options_.solver.num_threads = 1;
-  if (options_.share_incumbents) {
+  // The warm cache publishes through the shared pool (its write-through
+  // front), so a cache-backed registry always has a pool even when
+  // cross-client sharing is off.
+  if (options_.share_incumbents || options_.warm_cache != nullptr) {
     shared_pool_ =
         std::make_unique<SharedIncumbentPool>(options_.shared_pool_capacity);
+    if (options_.warm_cache != nullptr) {
+      shared_pool_->AttachWarmCache(options_.warm_cache);
+    }
   }
 }
 
@@ -96,13 +102,16 @@ Status SessionRegistry::OpenInternal(const std::string& client,
     entry->recovered = recovered;
     RankHowOptions solver = options_.solver;
     solver.cancel = entry->cancel.get();
-    // SharedDataset copy = one refcount bump: the new session reads the
-    // registry's snapshot until it forks.
-    entry->session = std::make_unique<SolveSession>(SharedDataset(base_),
-                                                    Ranking(given_), solver);
+    // Handle copies = one refcount bump each: the new session reads the
+    // registry's dataset and ranking snapshots until it forks.
+    entry->session = std::make_unique<SolveSession>(
+        SharedDataset(base_), SharedRanking(given_), solver);
     RH_RETURN_NOT_OK(entry->session->SetObjective(options_.objective));
     if (shared_pool_ != nullptr) {
       entry->session->SetSharedIncumbentPool(shared_pool_.get());
+    }
+    if (options_.warm_cache != nullptr) {
+      entry->session->AttachWarmCache(options_.warm_cache);
     }
     entry->snapshot_id = entry->session->shared_data().snapshot_id();
     clients_.emplace(client, std::move(entry));
@@ -137,8 +146,13 @@ Status SessionRegistry::ReplayEdit(const std::string& client,
   // session off-lock is safe (mirrors are refreshed below for Stats()).
   RH_RETURN_NOT_OK(ApplySessionCommand(entry->session.get(), cmd, labels_));
   std::lock_guard<std::mutex> lock(mu_);
+  const SolveSessionStats& st = entry->session->stats();
   entry->snapshot_id = entry->session->shared_data().snapshot_id();
-  entry->dataset_forks = entry->session->stats().dataset_forks;
+  entry->dataset_forks = st.dataset_forks;
+  entry->cache_hits = st.cache_hits;
+  entry->cache_misses = st.cache_misses;
+  entry->cache_demotions = st.cache_demotions;
+  entry->cache_publishes = st.cache_publishes;
   return Status();
 }
 
@@ -222,8 +236,13 @@ void SessionRegistry::RunStrand(const std::string& name,
       std::lock_guard<std::mutex> lock(mu_);
       // Publish the post-command mirrors so Stats() never touches the
       // session object itself (the strand mutates it outside mu_).
+      const SolveSessionStats& st = client->session->stats();
       client->snapshot_id = client->session->shared_data().snapshot_id();
-      client->dataset_forks = client->session->stats().dataset_forks;
+      client->dataset_forks = st.dataset_forks;
+      client->cache_hits = st.cache_hits;
+      client->cache_misses = st.cache_misses;
+      client->cache_demotions = st.cache_demotions;
+      client->cache_publishes = st.cache_publishes;
       ++commands_executed_;
       --pending_commands_;
     }
@@ -277,7 +296,12 @@ Status SessionRegistry::Close(const std::string& client, bool graceful) {
   auto again = clients_.find(client);
   bool erased = false;
   if (again != clients_.end() && again->second == entry) {
-    forks_retired_ += entry->dataset_forks;  // keep Stats() cumulative
+    // Keep Stats() cumulative across closed clients.
+    forks_retired_ += entry->dataset_forks;
+    cache_hits_retired_ += entry->cache_hits;
+    cache_misses_retired_ += entry->cache_misses;
+    cache_demotions_retired_ += entry->cache_demotions;
+    cache_publishes_retired_ += entry->cache_publishes;
     clients_.erase(again);
     erased = true;
     if (graceful) {
@@ -310,10 +334,18 @@ SessionRegistryStats SessionRegistry::Stats() const {
   std::set<const void*> snapshots;
   snapshots.insert(base_.snapshot_id());
   stats.dataset_forks = forks_retired_;
+  stats.cache_hits = cache_hits_retired_;
+  stats.cache_misses = cache_misses_retired_;
+  stats.cache_demotions = cache_demotions_retired_;
+  stats.cache_publishes = cache_publishes_retired_;
   for (const auto& [name, client] : clients_) {
     (void)name;
     if (client->snapshot_id != nullptr) snapshots.insert(client->snapshot_id);
     stats.dataset_forks += client->dataset_forks;
+    stats.cache_hits += client->cache_hits;
+    stats.cache_misses += client->cache_misses;
+    stats.cache_demotions += client->cache_demotions;
+    stats.cache_publishes += client->cache_publishes;
   }
   stats.resident_dataset_copies = static_cast<int>(snapshots.size());
   stats.pending_commands = pending_commands_;

@@ -41,9 +41,11 @@
 #include "app/cli_driver.h"
 #include "core/shared_incumbent_pool.h"
 #include "core/solve_session.h"
+#include "core/warm_cache.h"
 #include "data/shared_dataset.h"
 #include "ranking/objective.h"
 #include "ranking/ranking.h"
+#include "ranking/shared_ranking.h"
 #include "server/journal.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -81,6 +83,14 @@ struct ServerOptions {
   /// open/close appends a record *before* the completion callback fires,
   /// so an acked command is always recoverable.
   SessionJournal* journal = nullptr;
+  /// Persistent warm-start cache (non-owning; null = cache off; must
+  /// outlive the registry — the router owns it precisely so warm state
+  /// survives registry eviction). When set, the registry creates the
+  /// shared incumbent pool even with share_incumbents off (the pool is the
+  /// cache's write-through front), attaches the cache to the pool and to
+  /// every client session, and sessions draw/publish fingerprint-keyed
+  /// proven winners across restarts.
+  WarmCache* warm_cache = nullptr;
   /// Overload-shedding admission watermark: when the registry-wide count
   /// of queued + in-flight commands reaches this, *new* Submits fail with
   /// kResourceExhausted (carrying a RETRY-AFTER hint) instead of queueing —
@@ -115,6 +125,14 @@ struct SessionRegistryStats {
   /// Distinct so chaos tests can assert a vanished peer was *aborted*.
   int64_t closes_graceful = 0;
   int64_t closes_aborted = 0;
+  /// Warm-cache counters, summed over this registry's sessions (live +
+  /// closed — all 0 when ServerOptions::warm_cache is null). Hit = a solve
+  /// drew >= 1 exact-fingerprint entry; demotion = a mismatched entry
+  /// handed out as a revalidation candidate, never a bound.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_demotions = 0;
+  int64_t cache_publishes = 0;
 };
 
 /// Per-command completion signature shared by SessionRegistry and the
@@ -218,6 +236,10 @@ class SessionRegistry {
     /// reads the session while its strand mutates it off-lock.
     const void* snapshot_id = nullptr;
     int64_t dataset_forks = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t cache_demotions = 0;
+    int64_t cache_publishes = 0;
   };
 
   /// The strand body: drains `client`'s queue one command at a time.
@@ -226,7 +248,9 @@ class SessionRegistry {
   Status OpenInternal(const std::string& client, bool recovered);
 
   SharedDataset base_;
-  Ranking given_;
+  /// COW handle: every client session shares this one physical ranking
+  /// buffer (the SharedDataset treatment at ranking granularity).
+  SharedRanking given_;
   std::vector<std::string> labels_;
   ServerOptions options_;
   /// Cross-client incumbent pool (null when sharing is off). Declared
@@ -239,9 +263,13 @@ class SessionRegistry {
   std::condition_variable idle_cv_;
   std::map<std::string, std::shared_ptr<Client>> clients_;
   int64_t commands_executed_ = 0;
-  /// Forks performed by since-closed clients (Stats() adds the open
-  /// clients' live mirrors, keeping dataset_forks cumulative).
+  /// Counters retired from since-closed clients (Stats() adds the open
+  /// clients' live mirrors, keeping the totals cumulative).
   int64_t forks_retired_ = 0;
+  int64_t cache_hits_retired_ = 0;
+  int64_t cache_misses_retired_ = 0;
+  int64_t cache_demotions_retired_ = 0;
+  int64_t cache_publishes_retired_ = 0;
   /// Queued + in-flight commands across all clients (shedding input).
   int pending_commands_ = 0;
   int64_t commands_shed_ = 0;

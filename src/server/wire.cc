@@ -157,7 +157,8 @@ WireBackend MakeWireBackend(SessionRegistry* registry) {
     return StrFormat(
         "clients=%d datasets=%d commands=%lld forks=%lld "
         "shared_published=%lld shared_drawn=%lld pending=%d shed=%lld "
-        "closed_graceful=%lld closed_aborted=%lld",
+        "closed_graceful=%lld closed_aborted=%lld cache_hits=%lld "
+        "cache_misses=%lld cache_demotions=%lld cache_publishes=%lld",
         stats.open_clients, stats.resident_dataset_copies,
         static_cast<long long>(stats.commands_executed),
         static_cast<long long>(stats.dataset_forks),
@@ -165,7 +166,11 @@ WireBackend MakeWireBackend(SessionRegistry* registry) {
         static_cast<long long>(stats.shared_draws), stats.pending_commands,
         static_cast<long long>(stats.commands_shed),
         static_cast<long long>(stats.closes_graceful),
-        static_cast<long long>(stats.closes_aborted));
+        static_cast<long long>(stats.closes_aborted),
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.cache_misses),
+        static_cast<long long>(stats.cache_demotions),
+        static_cast<long long>(stats.cache_publishes));
   };
   backend.drain_all = [registry] { registry->Drain(); };
   return backend;
@@ -200,7 +205,10 @@ WireBackend MakeWireBackend(RegistryRouter* router) {
         "closed_graceful=%lld closed_aborted=%lld journal_records=%lld "
         "journal_fsyncs=%lld journal_fsync_failures=%lld "
         "journal_degraded=%d recover_replayed=%lld recover_truncated=%lld "
-        "recover_skipped=%lld recover_sessions=%d",
+        "recover_skipped=%lld recover_sessions=%d cache_hits=%lld "
+        "cache_misses=%lld cache_demotions=%lld cache_publishes=%lld "
+        "cache_entries=%d cache_appended=%lld cache_loaded=%lld "
+        "cache_skipped=%lld cache_degraded=%d",
         stats.resident_registries, stats.open_clients,
         stats.resident_dataset_copies,
         static_cast<long long>(stats.commands_executed),
@@ -220,7 +228,14 @@ WireBackend MakeWireBackend(RegistryRouter* router) {
         static_cast<long long>(stats.recovered.replayed),
         static_cast<long long>(stats.recovered.truncated),
         static_cast<long long>(stats.recovered.skipped),
-        stats.recovered.sessions);
+        stats.recovered.sessions,
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.cache_misses),
+        static_cast<long long>(stats.cache_demotions),
+        static_cast<long long>(stats.cache_publishes), stats.cache_entries,
+        static_cast<long long>(stats.cache_appended),
+        static_cast<long long>(stats.cache_loaded),
+        static_cast<long long>(stats.cache_skipped), stats.cache_degraded);
   };
   backend.drain_all = [router] { router->Drain(); };
   return backend;
@@ -449,9 +464,10 @@ void WireConnection::HandleMessage(const std::string& payload) {
               const RankHowResult& r = outcome->result;
               Emit(StrFormat(
                   "ok %s line=%d error=%ld bound=%ld proven=%s "
-                  "seconds=%.3f",
+                  "seconds=%.3f nodes=%lld",
                   client.c_str(), request_line, r.error, r.bound,
-                  r.proven_optimal ? "yes" : "no", r.seconds));
+                  r.proven_optimal ? "yes" : "no", r.seconds,
+                  static_cast<long long>(r.stats.nodes_explored)));
             }
             RecordVerb(verb, start);
           });

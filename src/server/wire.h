@@ -41,7 +41,7 @@
 /// pool order; per client, responses arrive in submission order):
 ///
 ///   ok open CLIENT [DATASET]
-///   ok CLIENT line=1 error=3 bound=3 proven=yes seconds=0.012
+///   ok CLIENT line=1 error=3 bound=3 proven=yes seconds=0.012 nodes=17
 ///   err CLIENT line=4 session script line 1: no weight constraint ...
 ///   ok stats clients=2 datasets=1 commands=17 forks=0 ...
 ///   ok metrics connections=3 ... solve.p99_us=41820 ...

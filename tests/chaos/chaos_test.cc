@@ -756,6 +756,7 @@ struct KillRig {
   TempDir dir;
   std::string csv_path;
   std::string journal_dir;
+  std::string warm_dir;
   CliDataSpec spec;
   CliProblem problem;
   bool ok = false;
@@ -763,6 +764,7 @@ struct KillRig {
   KillRig() {
     csv_path = dir.File("players.csv");
     journal_dir = dir.Subdir("journal");
+    warm_dir = dir.Subdir("warmcache");
     std::ofstream csv(csv_path);
     // A fixed instance, not a random one: the suite's edits must stay
     // provable in milliseconds (random 10x3 tables occasionally produce
@@ -794,14 +796,20 @@ struct KillRig {
 
   /// Server flags matching ServerSolverOptions() below (the tight test
   /// epsilons keep these 10-tuple solves proven in milliseconds).
-  std::vector<std::string> ServerArgs() const {
-    return {"--listen=127.0.0.1:0", "--data=" + csv_path,
-            "--journal-dir=" + journal_dir, "--journal-fsync=1",
-            "--strategy=spatial",   "--threads=1",
-            "--id=id",              "--k=4",
-            "--eps=5e-7",           "--eps1=1e-6",
-            "--eps2=0"};
+  /// `warm_cache` adds --warm-cache-dir for the restart-warm tests.
+  std::vector<std::string> ServerArgs(bool warm_cache = false) const {
+    std::vector<std::string> args = {
+        "--listen=127.0.0.1:0", "--data=" + csv_path,
+        "--journal-dir=" + journal_dir, "--journal-fsync=1",
+        "--strategy=spatial",   "--threads=1",
+        "--id=id",              "--k=4",
+        "--eps=5e-7",           "--eps1=1e-6",
+        "--eps2=0"};
+    if (warm_cache) args.push_back("--warm-cache-dir=" + warm_dir);
+    return args;
   }
+
+  std::string CacheFile() const { return warm_dir + "/warm.cache"; }
 
   /// The solver configuration the flags above give the server.
   RankHowOptions ServerSolverOptions() const {
@@ -835,14 +843,22 @@ struct KillRig {
   }
 };
 
+/// "... name=V ..." -> V, or -1 when the field is absent/garbled. Works on
+/// solve acks ("error=", "nodes=") and `stats` lines ("cache_hits=") alike.
+long ParseLongField(const std::string& text, const std::string& name) {
+  const std::string needle = " " + name + "=";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return -1;
+  const size_t begin = at + needle.size();
+  const size_t end = text.find(' ', begin);
+  auto value = ParseInt(
+      text.substr(begin, end == std::string::npos ? end : end - begin));
+  return value.ok() ? static_cast<long>(*value) : -1;
+}
+
 /// "ok alice line=N error=E bound=... proven=yes ..." -> E, or -1.
 long ParseErrorField(const std::string& ack) {
-  const size_t at = ack.find("error=");
-  if (at == std::string::npos) return -1;
-  const size_t begin = at + std::strlen("error=");
-  const size_t end = ack.find(' ', begin);
-  auto value = ParseInt(ack.substr(begin, end - begin));
-  return value.ok() ? static_cast<long>(*value) : -1;
+  return ParseLongField(ack, "error");
 }
 
 TEST(ChaosKillTest, SigkilledServerRecoversIdenticalProvenOptima) {
@@ -990,6 +1006,241 @@ TEST(ChaosCrashTest, InjectedCrashInsideJournalAppendReplaysThePrefix) {
             rig.SerialReplayError(
                 {"min-weight A0 0.05", "max-weight A1 0.6"}))
       << "recovered optimum diverged from the serial replay: " << *solved;
+  server.Kill();
+}
+
+// ---------------------------------------------------------------------------
+// Warm-cache restart tests: the persistent fingerprint-keyed cache (see
+// docs/OPERATIONS.md "Warm-start cache") must survive a SIGKILL and make
+// the restarted server's first solve at least as cheap as the cold one —
+// with the SAME proven error — and a vandalized cache file must degrade
+// loudly to cache-off without changing any result.
+// ---------------------------------------------------------------------------
+
+/// Opens a session, applies `edits`, solves, and returns the solve ack.
+/// The caller owns interpretation (error, nodes) and the connection stays
+/// open — killing the server afterwards is a genuine mid-session death.
+std::optional<std::string> OpenEditSolve(WireClient* client,
+                                         const std::vector<std::string>& edits,
+                                         bool expect_recovered) {
+  if (!client->Send("open alice players\n")) return std::nullopt;
+  auto ack = client->ReadLine();
+  if (!ack.has_value()) return std::nullopt;
+  EXPECT_EQ(*ack, expect_recovered ? "ok open alice players recovered"
+                                   : "ok open alice players");
+  for (const std::string& edit : edits) {
+    if (!client->Send("alice " + edit + "\n")) return std::nullopt;
+    auto line = client->ReadLine();
+    if (!line.has_value()) return std::nullopt;
+    EXPECT_EQ(line->rfind("ok alice ", 0), 0u) << *line;
+  }
+  if (!client->Send("alice solve\n")) return std::nullopt;
+  return client->ReadLine();
+}
+
+/// Polls until <warm-dir>/warm.cache is non-empty. The proven winner is
+/// persisted by a background writer thread; a SIGKILL test must wait for
+/// the record to actually land, or it would (correctly!) observe that an
+/// unwritten record does not survive death.
+bool WaitForCacheRecord(const std::string& cache_file,
+                        int timeout_ms = 10000) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    struct stat st;
+    if (::stat(cache_file.c_str(), &st) == 0 && st.st_size > 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST(ChaosKillTest, RestartAfterKillWarmStartsFromCacheWithIdenticalError) {
+  const std::string binary = CliBinaryOrEmpty();
+  if (binary.empty()) {
+    GTEST_SKIP() << "rankhow_cli not found (set RANKHOW_CLI)";
+  }
+  KillRig rig;
+  ASSERT_TRUE(rig.ok);
+  const std::vector<std::string> edits = {"min-weight A0 0.05",
+                                          "max-weight A1 0.6",
+                                          "order t0>t1"};
+
+  // Act 1: the cold run. Edits, one proven solve (published to the cache),
+  // then SIGKILL mid-session — no quit, no destructors, no flushes.
+  long cold_error = -1;
+  long cold_nodes = -1;
+  {
+    ServerProcess server = ServerProcess::Spawn(
+        binary, rig.ServerArgs(/*warm_cache=*/true),
+        rig.dir.File("server1.err"), "");
+    const int port = server.WaitForPort();
+    if (port < 0 && server.pid < 0) {
+      GTEST_SKIP() << "server failed to start: "
+                   << ReadWholeFile(server.stderr_path);
+    }
+    ASSERT_GT(port, 0) << ReadWholeFile(server.stderr_path);
+
+    WireClient client;
+    ASSERT_TRUE(client.ConnectTcp("127.0.0.1", port));
+    auto solved = OpenEditSolve(&client, edits, /*expect_recovered=*/false);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_NE(solved->find("proven=yes"), std::string::npos) << *solved;
+    cold_error = ParseErrorField(*solved);
+    cold_nodes = ParseLongField(*solved, "nodes");
+    ASSERT_GE(cold_error, 0) << *solved;
+    ASSERT_GE(cold_nodes, 0) << *solved;
+
+    ASSERT_TRUE(WaitForCacheRecord(rig.CacheFile()))
+        << "proven winner never reached " << rig.CacheFile();
+    server.Kill();
+  }
+
+  // Act 2: a fresh process on the same journal + cache directories. The
+  // journal rebuilds the session; the cache hands the first solve the
+  // proven winner AND its error as an external bound, so the re-solve
+  // closes at (in fact below) the cold node count with the identical
+  // proven error.
+  ServerProcess server = ServerProcess::Spawn(
+      binary, rig.ServerArgs(/*warm_cache=*/true),
+      rig.dir.File("server2.err"), "");
+  const int port = server.WaitForPort();
+  ASSERT_GT(port, 0) << ReadWholeFile(server.stderr_path);
+  EXPECT_NE(ReadWholeFile(server.stderr_path).find("sessions=1"),
+            std::string::npos)
+      << ReadWholeFile(server.stderr_path);
+
+  WireClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", port));
+  // The replayed journal already holds the edits; re-sending them would
+  // change the constraint set (a second `order t0>t1`) and so the problem
+  // fingerprint. Adopt and solve as-is — the exact cache key of act 1.
+  auto solved = OpenEditSolve(&client, {}, /*expect_recovered=*/true);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_NE(solved->find("proven=yes"), std::string::npos) << *solved;
+  EXPECT_EQ(ParseErrorField(*solved), cold_error)
+      << "warm-started optimum diverged from the cold solve: " << *solved;
+  EXPECT_EQ(ParseErrorField(*solved), rig.SerialReplayError(edits));
+  const long warm_nodes = ParseLongField(*solved, "nodes");
+  ASSERT_GE(warm_nodes, 0) << *solved;
+  EXPECT_LE(warm_nodes, cold_nodes)
+      << "the cache-seeded re-solve explored MORE nodes than cold: "
+      << *solved;
+
+  // The draw is visible in stats: the restarted process loaded the dead
+  // one's record and served it as a hit.
+  ASSERT_TRUE(client.Send("stats\n"));
+  auto stats = client.ReadLine();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->rfind("ok stats ", 0), 0u) << *stats;
+  EXPECT_GE(ParseLongField(*stats, "cache_loaded"), 1) << *stats;
+  EXPECT_GE(ParseLongField(*stats, "cache_hits"), 1) << *stats;
+  EXPECT_EQ(ParseLongField(*stats, "cache_degraded"), 0) << *stats;
+
+  ASSERT_TRUE(client.Send("quit\n"));
+  auto quit = client.ReadLine();
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(*quit, "ok quit");
+  server.Kill();
+}
+
+TEST(ChaosKillTest, CorruptedWarmCacheDegradesLoudlyWithoutChangingResults) {
+  const std::string binary = CliBinaryOrEmpty();
+  if (binary.empty()) {
+    GTEST_SKIP() << "rankhow_cli not found (set RANKHOW_CLI)";
+  }
+  KillRig rig;
+  ASSERT_TRUE(rig.ok);
+  const std::vector<std::string> edits = {"min-weight A0 0.05",
+                                          "max-weight A1 0.6"};
+  const long want_error = rig.SerialReplayError(edits);
+
+  // Act 1: seed the cache with one proven winner, then die by SIGKILL.
+  {
+    ServerProcess server = ServerProcess::Spawn(
+        binary, rig.ServerArgs(/*warm_cache=*/true),
+        rig.dir.File("server1.err"), "");
+    const int port = server.WaitForPort();
+    if (port < 0 && server.pid < 0) {
+      GTEST_SKIP() << "server failed to start: "
+                   << ReadWholeFile(server.stderr_path);
+    }
+    ASSERT_GT(port, 0) << ReadWholeFile(server.stderr_path);
+    WireClient client;
+    ASSERT_TRUE(client.ConnectTcp("127.0.0.1", port));
+    auto solved = OpenEditSolve(&client, edits, /*expect_recovered=*/false);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(ParseErrorField(*solved), want_error) << *solved;
+    ASSERT_TRUE(WaitForCacheRecord(rig.CacheFile()));
+    server.Kill();
+  }
+
+  // Act 2: vandalize the cache CONTENTS (every record garbled). The
+  // restarted server must say so on stderr, serve with zero loaded
+  // entries, and still prove the exact same optimum.
+  {
+    std::ofstream out(rig.CacheFile(), std::ios::binary | std::ios::trunc);
+    out << "total garbage, not a cache record\n";
+    out << "RHW1 00000000 4 win \n";  // framed but CRC-wrong
+  }
+  {
+    ServerProcess server = ServerProcess::Spawn(
+        binary, rig.ServerArgs(/*warm_cache=*/true),
+        rig.dir.File("server2.err"), "");
+    const int port = server.WaitForPort();
+    ASSERT_GT(port, 0) << ReadWholeFile(server.stderr_path);
+    EXPECT_NE(ReadWholeFile(server.stderr_path).find("corrupt"),
+              std::string::npos)
+        << "corruption was swallowed silently: "
+        << ReadWholeFile(server.stderr_path);
+
+    WireClient client;
+    ASSERT_TRUE(client.ConnectTcp("127.0.0.1", port));
+    auto solved = OpenEditSolve(&client, {}, /*expect_recovered=*/true);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_NE(solved->find("proven=yes"), std::string::npos) << *solved;
+    EXPECT_EQ(ParseErrorField(*solved), want_error)
+        << "a corrupt cache changed a RESULT: " << *solved;
+
+    ASSERT_TRUE(client.Send("stats\n"));
+    auto stats = client.ReadLine();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(ParseLongField(*stats, "cache_loaded"), 0) << *stats;
+    EXPECT_GE(ParseLongField(*stats, "cache_skipped"), 2) << *stats;
+    EXPECT_EQ(ParseLongField(*stats, "cache_hits"), 0) << *stats;
+    server.Kill();
+  }
+
+  // Act 3: make the cache file UNOPENABLE (a directory squats on its
+  // path). Open fails entirely; the server must announce cache-off and
+  // keep serving correct results with the cache disabled.
+  ::unlink(rig.CacheFile().c_str());
+  ::mkdir(rig.CacheFile().c_str(), 0755);
+  ServerProcess server = ServerProcess::Spawn(
+      binary, rig.ServerArgs(/*warm_cache=*/true),
+      rig.dir.File("server3.err"), "");
+  const int port = server.WaitForPort();
+  ASSERT_GT(port, 0) << ReadWholeFile(server.stderr_path);
+  EXPECT_NE(ReadWholeFile(server.stderr_path).find("serving cache-off"),
+            std::string::npos)
+      << "open failure was swallowed silently: "
+      << ReadWholeFile(server.stderr_path);
+
+  WireClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", port));
+  auto solved = OpenEditSolve(&client, {}, /*expect_recovered=*/true);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_NE(solved->find("proven=yes"), std::string::npos) << *solved;
+  EXPECT_EQ(ParseErrorField(*solved), want_error)
+      << "cache-off mode changed a RESULT: " << *solved;
+
+  ASSERT_TRUE(client.Send("stats\n"));
+  auto stats = client.ReadLine();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(ParseLongField(*stats, "cache_hits"), 0) << *stats;
+  EXPECT_EQ(ParseLongField(*stats, "cache_entries"), 0) << *stats;
+
+  ASSERT_TRUE(client.Send("quit\n"));
+  auto quit = client.ReadLine();
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(*quit, "ok quit");
   server.Kill();
 }
 

@@ -232,6 +232,88 @@ TEST(SolveSessionTest, ConstraintAddsPatchTheCachedModel) {
   EXPECT_EQ(session.stats().model_builds, 2);
 }
 
+TEST(SolveSessionTest, EpsilonEditsPatchRhsInPlace) {
+  // The ε-edit carry-over bugfix: eps* verbs only move indicator/order-row
+  // right-hand sides, so they must patch the compiled model in place — no
+  // recompile, warm state intact — while still matching a cold solve of the
+  // new thresholds exactly.
+  Rng rng(66);
+  Dataset data = RandomDataset(rng, 12, 3);
+  Ranking given = RandomRanking(rng, 12, 6);
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kIndicatorMilp;
+
+  SolveSession session(data, given, options);
+  ASSERT_TRUE(session.Solve().ok());
+  EXPECT_EQ(session.stats().model_builds, 1);
+  EXPECT_EQ(session.stats().eps_patches, 0);
+
+  // Tighten: ε₁ up, ε₂ down. Dataset diffs are O(0.1), so the fixing slack
+  // dwarfs the new thresholds and the patch must succeed.
+  EpsilonConfig tightened = session.problem().eps;
+  tightened.eps1 = 2e-6;
+  tightened.eps2 = -1e-7;
+  ASSERT_TRUE(session.SetEpsilon(tightened).ok());
+  auto after_tighten = session.Solve();
+  ASSERT_TRUE(after_tighten.ok()) << after_tighten.status().ToString();
+  EXPECT_TRUE(after_tighten->proven_optimal);
+  EXPECT_EQ(session.stats().model_builds, 1)
+      << "an ε-only tighten recompiled the model (patch regression)";
+  EXPECT_EQ(session.stats().eps_patches, 1);
+
+  // Relax back: still rhs-only, still a patch, and the re-solve must agree
+  // with a cold solve at the restored thresholds.
+  ASSERT_TRUE(session.SetEpsilon(TestEps()).ok());
+  auto relaxed = session.Solve();
+  auto cold = ColdSolve(session, options);
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_TRUE(relaxed->proven_optimal);
+  EXPECT_EQ(relaxed->error, cold->error);
+  EXPECT_EQ(session.stats().model_builds, 1);
+  EXPECT_EQ(session.stats().eps_patches, 2);
+
+  // A genuinely structural edit still rebuilds — the patch path must not
+  // have eaten the recompile logic.
+  ASSERT_TRUE(session.AppendTuple({0.5, 0.5, 0.5}).ok());
+  ASSERT_TRUE(session.Solve().ok());
+  EXPECT_EQ(session.stats().model_builds, 2);
+}
+
+TEST(SolveSessionTest, SessionsShareOneRankingBuffer) {
+  // The deep-copy carry-over bugfix: K sessions built from one SharedRanking
+  // handle read one physical π buffer; an AppendTuple re-points only the
+  // editing session (counted as a ranking fork) and frees the shared
+  // snapshot only when the last holder drops it.
+  Rng rng(67);
+  SharedDataset data(RandomDataset(rng, 12, 3));
+  SharedRanking given(RandomRanking(rng, 12, 6));
+  std::weak_ptr<const Ranking> observer = given.snapshot();
+
+  RankHowOptions options;
+  options.eps = TestEps();
+  options.strategy = SolveStrategy::kSpatial;
+
+  {
+    SolveSession a(data, SharedRanking(given), options);
+    SolveSession b(data, SharedRanking(given), options);
+    EXPECT_TRUE(a.shared_given().SharesSnapshotWith(b.shared_given()));
+    EXPECT_EQ(&a.given(), &b.given());
+
+    ASSERT_TRUE(a.AppendTuple({0.5, 0.5, 0.5}).ok());
+    EXPECT_EQ(a.stats().ranking_forks, 1);
+    EXPECT_FALSE(a.shared_given().SharesSnapshotWith(b.shared_given()));
+    EXPECT_EQ(b.given().position(0), given.get().position(0));
+    EXPECT_EQ(b.stats().ranking_forks, 0);
+  }
+  EXPECT_FALSE(observer.expired()) << "the local handle still holds it";
+  given = SharedRanking();
+  EXPECT_TRUE(observer.expired())
+      << "last handle dropped; the shared ranking must be freed";
+}
+
 TEST(SolveSessionTest, RedundantTighteningClosesAtTheRoot) {
   // A tightening edit that does not change the optimum: the pooled
   // incumbent still meets the seeded bound, so the re-solve must close at

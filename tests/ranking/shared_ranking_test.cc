@@ -1,0 +1,91 @@
+// Snapshot-sharing correctness for SharedRanking (the per-session given-
+// ranking handle): handles share one physical snapshot until a Reset
+// replaces it, siblings keep the old snapshot bit-identically, and the
+// snapshot is freed exactly when the last handle drops (asserted through a
+// weak_ptr, mirroring tests/data/shared_dataset_test.cc; the asan preset
+// run in scripts/check.sh would flag a leak or use-after-free on top).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ranking/shared_ranking.h"
+
+namespace rankhow {
+namespace {
+
+Ranking MustCreate(std::vector<int> positions) {
+  auto r = Ranking::Create(std::move(positions));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *std::move(r);
+}
+
+Ranking SmallRanking() { return MustCreate({1, 2, kUnranked, 3}); }
+
+TEST(SharedRankingTest, HandleCopiesShareOneSnapshot) {
+  SharedRanking a(SmallRanking());
+  SharedRanking b = a;
+  SharedRanking c = b;
+  EXPECT_TRUE(a.SharesSnapshotWith(b));
+  EXPECT_TRUE(b.SharesSnapshotWith(c));
+  EXPECT_EQ(a.snapshot_id(), c.snapshot_id());
+  EXPECT_TRUE(a.shared());
+  EXPECT_EQ(&a.get(), &b.get());
+  EXPECT_EQ(a.forks(), 0);
+}
+
+TEST(SharedRankingTest, ResetOnSharedSnapshotForksAndLeavesSiblingsIntact) {
+  SharedRanking a(SmallRanking());
+  SharedRanking b = a;
+  const void* before = b.snapshot_id();
+
+  a.Reset(MustCreate({1, 2, 3, 4}));
+  EXPECT_EQ(a.forks(), 1);
+  EXPECT_FALSE(a.SharesSnapshotWith(b));
+  EXPECT_EQ(a.get().position(2), 3);
+
+  // The sibling still reads the pre-Reset snapshot, physically unmoved.
+  EXPECT_EQ(b.snapshot_id(), before);
+  EXPECT_EQ(b.get().position(2), kUnranked);
+  EXPECT_FALSE(b.shared()) << "b is now sole owner of the old snapshot";
+}
+
+TEST(SharedRankingTest, SoleOwnerResetIsNotAFork) {
+  SharedRanking a(SmallRanking());
+  a.Reset(MustCreate({1, 2, 3, 4}));
+  EXPECT_EQ(a.forks(), 0) << "nobody shared the snapshot; nothing was saved "
+                             "or lost by replacing it";
+  EXPECT_EQ(a.get().k(), 4);
+}
+
+TEST(SharedRankingTest, RefcountDropFreesTheSnapshot) {
+  std::weak_ptr<const Ranking> observer;
+  {
+    SharedRanking a(SmallRanking());
+    observer = a.snapshot();
+    {
+      SharedRanking b = a;
+      EXPECT_FALSE(observer.expired());
+    }
+    EXPECT_FALSE(observer.expired()) << "a still holds the snapshot";
+  }
+  EXPECT_TRUE(observer.expired())
+      << "last handle dropped; the snapshot must be freed";
+}
+
+TEST(SharedRankingTest, ResetDropsTheOldSnapshotWhenSiblingsVanish) {
+  SharedRanking a(SmallRanking());
+  std::weak_ptr<const Ranking> original = a.snapshot();
+  {
+    SharedRanking b = a;
+    a.Reset(MustCreate({1, 2, 3, 4}));  // a re-points; b keeps the original
+    EXPECT_FALSE(original.expired());
+  }
+  // b died; the pre-Reset snapshot had no other owner left.
+  EXPECT_TRUE(original.expired());
+  EXPECT_TRUE(a.valid());
+}
+
+}  // namespace
+}  // namespace rankhow

@@ -344,6 +344,12 @@ int main(int argc, char** argv) {
       "journal-fsync", 32,
       "with --journal-dir: fsync the journal after every N records (1 = "
       "every record, 0 = let the OS flush)"));
+  std::string warm_cache_dir = flags.GetString(
+      "warm-cache-dir", "",
+      "with --listen: persist proven winners to <dir>/warm.cache keyed by "
+      "problem fingerprint, and seed warm starts from it across restarts "
+      "and registry evictions (see docs/OPERATIONS.md 'Warm-start cache'); "
+      "empty = no cache");
   int idle_timeout = static_cast<int>(flags.GetInt(
       "idle-timeout", 0,
       "with --listen: drop connections silent for this many seconds (their "
@@ -470,6 +476,12 @@ int main(int argc, char** argv) {
       ::mkdir(journal_dir.c_str(), 0755);
       router_options.journal_dir = journal_dir;
       router_options.journal.fsync_every = journal_fsync;
+    }
+    if (!warm_cache_dir.empty()) {
+      // Same best-effort contract as the journal: an unusable directory
+      // serves cache-off, loudly, rather than refusing to start.
+      ::mkdir(warm_cache_dir.c_str(), 0755);
+      router_options.warm_cache_dir = warm_cache_dir;
     }
     ReactorOptions reactor_options;
     reactor_options.num_loops = loops;
