@@ -26,6 +26,12 @@ cmake --build build -j
 echo "== loopback-TCP smoke: rankhow_cli --listen over /dev/tcp =="
 bash scripts/smoke_listen.sh build
 
+echo "== coordinator smoke: rankhow_coord fronting 2 workers =="
+# Two real worker processes behind the shard coordinator, two clients on
+# two pinned shards; proven results must equal serial --session replays
+# and the aggregated stats line must carry the coord_* breakdown.
+bash scripts/smoke_coord.sh build
+
 echo "== tsan: thread-sanitized build + ctest -L tsan =="
 cmake --preset tsan
 cmake --build --preset tsan -j
@@ -44,6 +50,13 @@ echo "== tsan cache gate: warm-start cache suite, explicitly =="
 # 4-thread publish/draw hammer for exactly this preset).
 (cd build-tsan && ctest --output-on-failure -L cache)
 
+echo "== tsan coord gate: shard coordinator suite, explicitly =="
+# The coordinator races downstream session threads against upstream reader
+# threads, the health prober, and the failover replay path; the -L coord
+# run makes that gate visible in the log. (Kill-based failover lives in
+# tests/chaos and rides the asan chaos gate below.)
+(cd build-tsan && ctest --output-on-failure -L coord)
+
 echo "== asan: address-sanitized build + full ctest =="
 cmake --preset asan
 cmake --build --preset asan -j
@@ -54,6 +67,11 @@ echo "== asan socket gate: net + server suites, explicitly =="
 
 echo "== asan chaos gate: journal recovery + SIGKILL/crash tests =="
 (cd build-asan && ctest --output-on-failure -L chaos)
+
+echo "== asan coord gate: shard coordinator suite, explicitly =="
+# Failover tears down upstream connections while reader threads and
+# pending proxy entries are still live; asan watches those teardown paths.
+(cd build-asan && ctest --output-on-failure -L coord)
 
 echo "== asan cache gate: warm-start cache suite, explicitly =="
 # The cache's round-trip/corruption tests shuttle heap-backed records

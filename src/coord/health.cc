@@ -1,0 +1,253 @@
+#include "coord/health.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+namespace {
+
+constexpr size_t kControlPoolCap = 2;
+
+/// Control sockets use SO_RCVTIMEO at second granularity; round the
+/// millisecond health timeout up so a 500ms config still gets a bound.
+int TimeoutSeconds(int timeout_ms) {
+  const int seconds = (timeout_ms + 999) / 1000;
+  return seconds < 1 ? 1 : seconds;
+}
+
+}  // namespace
+
+WorkerSupervisor::WorkerSupervisor(std::vector<WorkerSpec> workers,
+                                   HealthOptions options)
+    : options_(options) {
+  states_.reserve(workers.size());
+  for (WorkerSpec& spec : workers) {
+    auto state = std::make_unique<WorkerState>();
+    state->spec = std::move(spec);
+    states_.push_back(std::move(state));
+  }
+}
+
+WorkerSupervisor::~WorkerSupervisor() { Stop(); }
+
+void WorkerSupervisor::Start() {
+  if (probe_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = false;
+  }
+  probe_thread_ = std::thread([this] { ProbeLoop(); });
+}
+
+void WorkerSupervisor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopping_ && !probe_thread_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  for (auto& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->control_pool.clear();
+  }
+}
+
+const WorkerSpec& WorkerSupervisor::worker(int index) const {
+  return states_[static_cast<size_t>(index)]->spec;
+}
+
+bool WorkerSupervisor::IsAlive(int index) const {
+  if (index < 0 || index >= num_workers()) return false;
+  return states_[static_cast<size_t>(index)]->up.load(
+      std::memory_order_acquire);
+}
+
+int WorkerSupervisor::num_up() const {
+  int up = 0;
+  for (const auto& state : states_) {
+    if (state->up.load(std::memory_order_acquire)) ++up;
+  }
+  return up;
+}
+
+WorkerSupervisor::Counters WorkerSupervisor::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+void WorkerSupervisor::ProbeLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stopping_) {
+    lock.unlock();
+    for (int i = 0; i < num_workers(); ++i) {
+      {
+        std::lock_guard<std::mutex> check(stop_mu_);
+        if (stopping_) return;
+      }
+      Probe(i);
+    }
+    lock.lock();
+    stop_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.interval_ms),
+                      [this] { return stopping_; });
+  }
+}
+
+void WorkerSupervisor::Probe(int index) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.probes;
+  }
+  Result<std::string> response = ControlRoundTrip(index, "stats");
+  if (response.ok() && StartsWith((*response), "ok stats ")) {
+    MarkResult(index, true, "");
+    return;
+  }
+  MarkResult(index, false,
+             response.ok() ? "unexpected response: " + (*response)
+                           : response.status().ToString());
+}
+
+void WorkerSupervisor::MarkResult(int index, bool success,
+                                  const std::string& why) {
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  bool transitioned_up = false;
+  bool transitioned_down = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (success) {
+      state.consecutive_failures = 0;
+      if (!state.up.load(std::memory_order_relaxed)) {
+        state.up.store(true, std::memory_order_release);
+        transitioned_up = true;
+      }
+    } else {
+      ++state.consecutive_failures;
+      if (state.consecutive_failures >= options_.failure_threshold &&
+          state.up.load(std::memory_order_relaxed)) {
+        state.up.store(false, std::memory_order_release);
+        transitioned_down = true;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  if (!success) ++counters_.probe_failures;
+  if (transitioned_down) {
+    ++counters_.down_transitions;
+    std::fprintf(stderr, "rankhow_coord: worker %s down (%s)\n",
+                 state.spec.spec.c_str(), why.c_str());
+  }
+  if (transitioned_up) {
+    ++counters_.up_transitions;
+    std::fprintf(stderr, "rankhow_coord: worker %s up\n",
+                 state.spec.spec.c_str());
+  }
+}
+
+void WorkerSupervisor::ReportFailure(int index) {
+  if (index < 0 || index >= num_workers()) return;
+  // Probe with fresh state: a broken session connection often means the
+  // worker is gone, and waiting out `failure_threshold` periodic rounds
+  // would stall failover. An immediate failed round-trip jumps straight
+  // to down; a successful one proves the failure was connection-local.
+  Result<std::string> response = ControlRoundTrip(index, "stats");
+  const bool alive =
+      response.ok() && StartsWith((*response), "ok stats ");
+  if (alive) {
+    MarkResult(index, true, "");
+    return;
+  }
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.consecutive_failures = options_.failure_threshold;
+  }
+  MarkResult(index, false,
+             response.ok() ? "unexpected response: " + (*response)
+                           : response.status().ToString());
+}
+
+void WorkerSupervisor::ReportUnreachable(int index, const std::string& why) {
+  if (index < 0 || index >= num_workers()) return;
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.consecutive_failures = options_.failure_threshold;
+  }
+  MarkResult(index, false, why);
+}
+
+std::unique_ptr<LineClient> WorkerSupervisor::AcquireControl(
+    int index, Status* error) {
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.control_pool.empty()) {
+      std::unique_ptr<LineClient> client =
+          std::move(state.control_pool.back());
+      state.control_pool.pop_back();
+      return client;
+    }
+  }
+  DialOptions dial;
+  dial.timeout_ms = options_.dial_timeout_ms;
+  dial.recv_timeout_s = TimeoutSeconds(options_.timeout_ms);
+  auto client = std::make_unique<LineClient>();
+  Status status = client->Connect(state.spec.address, dial);
+  if (!status.ok()) {
+    if (error != nullptr) *error = status;
+    return nullptr;
+  }
+  return client;
+}
+
+void WorkerSupervisor::ReleaseControl(int index,
+                                      std::unique_ptr<LineClient> client) {
+  if (client == nullptr || !client->connected()) return;
+  WorkerState& state = *states_[static_cast<size_t>(index)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.control_pool.size() < kControlPoolCap) {
+    state.control_pool.push_back(std::move(client));
+  }
+}
+
+Result<std::string> WorkerSupervisor::ControlRoundTrip(
+    int index, const std::string& request) {
+  if (index < 0 || index >= num_workers()) {
+    return Status::Invalid("worker index out of range: " +
+                           std::to_string(index));
+  }
+  Status dial_error = Status::OK();
+  std::unique_ptr<LineClient> client = AcquireControl(index, &dial_error);
+  if (client == nullptr) {
+    return Status::IoError("dial " + worker(index).spec + ": " +
+                               dial_error.message());
+  }
+  // A pooled connection can have gone stale since its last use; retry
+  // once on a fresh dial before declaring the worker unreachable.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (client == nullptr) {
+      client = AcquireControl(index, &dial_error);
+      if (client == nullptr) {
+        return Status::IoError("dial " + worker(index).spec + ": " +
+                                   dial_error.message());
+      }
+    }
+    if (client->SendLine(request)) {
+      std::optional<std::string> response = client->ReadLine();
+      if (response.has_value()) {
+        ReleaseControl(index, std::move(client));
+        return *response;
+      }
+    }
+    client.reset();  // broken: discard, maybe retry fresh
+  }
+  return Status::IoError("worker " + worker(index).spec +
+                             " closed the control connection");
+}
+
+}  // namespace rankhow

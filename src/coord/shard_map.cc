@@ -1,0 +1,121 @@
+#include "coord/shard_map.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace rankhow {
+namespace {
+
+/// Finds `spec` in `workers` (by spec string), appending it if new.
+Result<int> InternWorker(const std::string& spec,
+                         std::vector<WorkerSpec>* workers) {
+  for (size_t i = 0; i < workers->size(); ++i) {
+    if ((*workers)[i].spec == spec) return static_cast<int>(i);
+  }
+  RH_ASSIGN_OR_RETURN(ListenAddress address, ParseListenSpec(spec));
+  WorkerSpec worker;
+  worker.spec = spec;
+  worker.address = address;
+  workers->push_back(std::move(worker));
+  return static_cast<int>(workers->size() - 1);
+}
+
+}  // namespace
+
+Result<ShardMap> ShardMap::Parse(const std::string& workers_spec,
+                                 const std::string& shard_map_spec) {
+  ShardMap map;
+  if (!workers_spec.empty()) {
+    for (const std::string& raw : Split(workers_spec, ',')) {
+      const std::string spec(Trim(raw));
+      if (spec.empty()) {
+        return Status::Invalid("--workers has an empty entry: " +
+                               workers_spec);
+      }
+      RH_RETURN_NOT_OK(InternWorker(spec, &map.workers_).status());
+    }
+  }
+  if (!shard_map_spec.empty()) {
+    for (const std::string& raw : Split(shard_map_spec, ',')) {
+      const std::string entry(Trim(raw));
+      if (entry.empty()) {
+        return Status::Invalid("--shard-map has an empty entry: " +
+                               shard_map_spec);
+      }
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+        return Status::Invalid(
+            "--shard-map entries are dataset=host:port, got: " + entry);
+      }
+      const std::string dataset(Trim(entry.substr(0, eq)));
+      const std::string spec(Trim(entry.substr(eq + 1)));
+      if (map.fixed_.count(dataset) != 0) {
+        return Status::Invalid("--shard-map maps '" + dataset + "' twice");
+      }
+      RH_ASSIGN_OR_RETURN(int index, InternWorker(spec, &map.workers_));
+      map.fixed_[dataset] = index;
+    }
+  }
+  if (map.workers_.empty()) {
+    return Status::Invalid(
+        "no workers configured (need --workers and/or --shard-map)");
+  }
+  return map;
+}
+
+int ShardMap::PrimaryFor(const std::string& dataset) const {
+  if (dataset.empty()) return 0;
+  auto fixed = fixed_.find(dataset);
+  if (fixed != fixed_.end()) return fixed->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sticky = sticky_.find(dataset);
+  return sticky != sticky_.end() ? sticky->second : -1;
+}
+
+Result<int> ShardMap::Route(const std::string& dataset,
+                            const std::function<bool(int)>& alive) {
+  const int n = static_cast<int>(workers_.size());
+  int primary = -1;
+  if (dataset.empty()) {
+    primary = 0;  // the default dataset lives on the first worker
+  } else if (auto fixed = fixed_.find(dataset); fixed != fixed_.end()) {
+    primary = fixed->second;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto sticky = sticky_.find(dataset);
+    if (sticky != sticky_.end()) {
+      primary = sticky->second;
+    } else {
+      // Fresh assignment: the next alive worker in round-robin order, so
+      // a down worker never becomes a new dataset's sticky primary.
+      for (int step = 0; step < n; ++step) {
+        const int candidate = (round_robin_ + step) % n;
+        if (alive(candidate)) {
+          primary = candidate;
+          round_robin_ = (candidate + 1) % n;
+          sticky_[dataset] = candidate;
+          break;
+        }
+      }
+      if (primary < 0) {
+        return Status::IoError("no alive worker for dataset '" +
+                                   dataset + "' (" + std::to_string(n) +
+                                   " configured, all down)");
+      }
+    }
+  }
+  if (alive(primary)) return primary;
+  // The mapped worker is down: fall over in list order, keeping the
+  // fixed/sticky assignment so the primary resumes on recovery.
+  for (int step = 1; step < n; ++step) {
+    const int candidate = (primary + step) % n;
+    if (alive(candidate)) return candidate;
+  }
+  return Status::IoError(
+      "no alive worker for dataset '" + (dataset.empty() ? "<default>"
+                                                         : dataset) +
+      "' (primary " + workers_[primary].spec + " down, no replacement)");
+}
+
+}  // namespace rankhow

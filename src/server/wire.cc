@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <functional>
 #include <istream>
 #include <memory>
@@ -127,6 +128,46 @@ Result<WireRequest> ParseWireLine(const std::string& raw) {
   request.client = head;
   request.command = std::move(parsed[0]);
   return request;
+}
+
+Result<WireResponseTag> ParseWireResponseTag(const std::string& response) {
+  WireResponseTag tag;
+  std::string head, rest;
+  SplitHead(response, &head, &rest);
+  if (head == "ok") {
+    tag.ok = true;
+  } else if (head == "err") {
+    tag.ok = false;
+  } else {
+    return Status::Invalid("response without ok/err head: " + response);
+  }
+  std::string second, tail;
+  SplitHead(rest, &second, &tail);
+  if (second.empty()) {
+    return Status::Invalid("response without a second token: " + response);
+  }
+  tag.client = second;
+  std::string third, unused;
+  SplitHead(tail, &third, &unused);
+  if (StartsWith(third, "line=")) {
+    Result<int64_t> line = ParseInt(third.substr(5));
+    if (line.ok()) {
+      tag.has_line = true;
+      tag.line = *line;
+    }
+  }
+  return tag;
+}
+
+std::string RewriteWireResponseLine(const std::string& response,
+                                    int64_t line) {
+  const size_t at = response.find(" line=");
+  if (at == std::string::npos) return response;
+  const size_t begin = at + std::strlen(" line=");
+  size_t end = begin;
+  while (end < response.size() && response[end] != ' ') ++end;
+  return response.substr(0, begin) + std::to_string(line) +
+         response.substr(end);
 }
 
 // ---------------------------------------------------------------------------

@@ -121,6 +121,35 @@ struct WireRequest {
 /// client, bad command grammar.
 Result<WireRequest> ParseWireLine(const std::string& line);
 
+/// The proxy hooks (PR 10): a routing tier in front of N workers
+/// (src/coord/) forwards requests verbatim and must classify the
+/// responses coming back — which client a response belongs to and whether
+/// it is line-tagged (a session-command ack, matched to its request by
+/// the worker-side wire line number) or a verb response (open / close /
+/// stats / quit acks, answered in request order). Keeping the response
+/// head grammar here, next to the code that EMITS those responses,
+/// is what stops the coordinator and the server from drifting.
+struct WireResponseTag {
+  bool ok = false;       ///< "ok ..." vs "err ..."
+  std::string client;    ///< second token ("-" for wire-level errors)
+  bool has_line = false; ///< third token was "line=N"
+  int64_t line = 0;      ///< N, when has_line
+};
+
+/// Classifies one response message. kInvalidArgument when the message
+/// does not start with "ok "/"err " or has no second token — a proxy
+/// treats that as a worker protocol violation.
+Result<WireResponseTag> ParseWireResponseTag(const std::string& response);
+
+/// Rewrites the "line=N" token of a line-tagged response to `line`. A
+/// proxy counts wire lines per DOWNSTREAM stream, while each worker
+/// counts the lines the proxy sent IT — so every forwarded ack's line
+/// number is translated back before delivery (docs/PROTOCOL.md
+/// "Coordinator transparency"). Returns the input unchanged when no
+/// "line=" token exists.
+std::string RewriteWireResponseLine(const std::string& response,
+                                    int64_t line);
+
 /// What the wire layer needs from a serving backend. MakeWireBackend
 /// builds one over a SessionRegistry or a RegistryRouter; the protocol
 /// machine itself is backend-agnostic, so the single-dataset and routed

@@ -50,6 +50,7 @@
 #include "net/socket_server.h"
 #include "server/registry_router.h"
 #include "server/wire.h"
+#include "tests/support/protocol_conformance.h"
 #include "util/histogram.h"
 #include "util/random.h"
 
@@ -416,7 +417,9 @@ TEST(ReactorServerTest, TwoTcpClientsOnDifferentDatasetsMatchSerialReplay) {
 
 TEST(ReactorServerTest, EveryDocumentedVerbRoundTripsOverAUnixSocket) {
   // docs/PROTOCOL.md's round-trip guarantee: every verb it documents is
-  // exercised over a real socket and answers the documented shape.
+  // exercised over a real socket and answers the documented shape. The
+  // walk itself lives in tests/support/protocol_conformance.cc so the
+  // coordinator suite can replay it verbatim through rankhow_coord.
   ServerFixture fixture(/*seed=*/302, /*n=*/8, /*k=*/3);
   ListenAddress address;
   address.kind = ListenAddress::Kind::kUnix;
@@ -425,81 +428,7 @@ TEST(ReactorServerTest, EveryDocumentedVerbRoundTripsOverAUnixSocket) {
   if (!started.ok()) {
     GTEST_SKIP() << "unix sockets unavailable: " << started.ToString();
   }
-
-  WireClient client;
-  ASSERT_TRUE(client.ConnectUnix(address.path));
-  auto roundtrip = [&client](const std::string& request)
-      -> std::string {
-    if (!client.Send(request + "\n")) return "<send failed>";
-    auto line = client.ReadLine();
-    return line.has_value() ? *line : "<no response>";
-  };
-
-  // open, both forms (dataset-id routing and default-dataset).
-  EXPECT_EQ(roundtrip("open alice d1"), "ok open alice d1");
-  EXPECT_EQ(roundtrip("open bob"), "ok open bob d0");
-  // The full session-command grammar, one verb per request.
-  EXPECT_EQ(roundtrip("alice solve").rfind("ok alice line=3 error=", 0), 0u);
-  EXPECT_EQ(roundtrip("alice min-weight A0 0.05")
-                .rfind("ok alice line=4 error=", 0),
-            0u);
-  EXPECT_EQ(roundtrip("alice max-weight A1 0.6")
-                .rfind("ok alice line=5 error=", 0),
-            0u);
-  EXPECT_EQ(roundtrip("alice drop min_A0").rfind("ok alice line=6", 0), 0u);
-  EXPECT_EQ(roundtrip("alice order t0>t1").rfind("ok alice line=7", 0), 0u);
-  EXPECT_EQ(roundtrip("alice eps 4e-7").rfind("ok alice line=8", 0), 0u);
-  EXPECT_EQ(roundtrip("alice eps1 2e-6").rfind("ok alice line=9", 0), 0u);
-  EXPECT_EQ(roundtrip("alice eps2 0").rfind("ok alice line=10", 0), 0u);
-  EXPECT_EQ(roundtrip("alice objective topheavy")
-                .rfind("ok alice line=11", 0),
-            0u);
-  EXPECT_EQ(roundtrip("alice append 0.5 0.5 0.5")
-                .rfind("ok alice line=12", 0),
-            0u);
-  // stats: the router aggregate plus the transport fields the metered
-  // server appends, documented field by field.
-  const std::string stats = roundtrip("stats");
-  EXPECT_EQ(stats.rfind(
-                "ok stats registries=2 clients=2 datasets=3 commands=", 0),
-            0u)
-      << "(datasets=3: alice's append forked a private COW copy)";
-  for (const char* field :
-       {" connections=", " frames_binary=", " backpressure_closes=",
-        " writes_queued_peak=", " writes_retried=", " aborted_idle=",
-        " aborted_backpressure=", " aborted_eof="}) {
-    EXPECT_NE(stats.find(field), std::string::npos)
-        << stats << " missing " << field;
-  }
-  // deadline: stream-scoped solve budget, 0 restores the default.
-  EXPECT_EQ(roundtrip("deadline 30000"), "ok deadline 30000");
-  EXPECT_EQ(roundtrip("deadline 0"), "ok deadline 0");
-  // metrics: gauges plus per-verb latency histograms — by this point the
-  // stream has recorded opens, solves, and edits.
-  const std::string metrics = roundtrip("metrics");
-  EXPECT_EQ(metrics.rfind("ok metrics connections=1 ", 0), 0u) << metrics;
-  // Presence, not exact counts: a verb's latency is recorded just *after*
-  // its response is emitted, so a fast client can land `metrics` before
-  // the previous verb's sample does.
-  for (const char* field :
-       {" open.count=", " solve.count=", " edit.count=",
-        " solve.p50_us=", " solve.p99_us=", " stats.count="}) {
-    EXPECT_NE(metrics.find(field), std::string::npos)
-        << metrics << " missing " << field;
-  }
-  // frame: a text->text "switch" round-trips without disturbing the
-  // stream (the binary path has its own equivalence test below).
-  EXPECT_EQ(roundtrip("frame text"), "ok frame text");
-  // Documented error replies: unknown verb, unknown client, bad dataset.
-  EXPECT_EQ(roundtrip("alice frobnicate 1").rfind("err - wire line", 0), 0u);
-  EXPECT_EQ(roundtrip("ghost solve"),
-            "err ghost no client named ghost on this connection");
-  EXPECT_EQ(roundtrip("open carol nope"),
-            "err carol unknown dataset id: nope");
-  // close, then quit.
-  EXPECT_EQ(roundtrip("close alice"), "ok close alice");
-  EXPECT_EQ(roundtrip("quit"), "ok quit");
-  client.Close();
+  conformance::RunProtocolVerbWalk(address);
   fixture.server->Stop();
 }
 

@@ -1,0 +1,96 @@
+/// \file rankhow_coord.cc
+/// Shard coordinator for a fleet of `rankhow_cli --listen` workers
+/// (docs/OPERATIONS.md "Distributed serving"). Clients speak the
+/// unchanged wire protocol (docs/PROTOCOL.md) to this process; it routes
+/// each `open` to a worker by the catalog shard map, proxies session
+/// traffic verbatim, health-checks the fleet, scatter-gathers
+/// `stats`/`metrics`, and fails sessions over to a replacement worker by
+/// replaying their acked edit scripts when a worker dies.
+///
+///   rankhow_coord --listen=127.0.0.1:9000
+///       --workers=127.0.0.1:9001,127.0.0.1:9002
+///       --shard-map=nba=127.0.0.1:9001
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "coord/coordinator.h"
+#include "util/string_util.h"
+
+namespace rankhow {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  std::string listen_spec = flags.GetString(
+      "listen", "",
+      "address to serve clients on: unix:PATH (or a bare path containing "
+      "'/') or HOST:PORT (port 0 = ephemeral, printed on stderr)");
+  std::string workers_spec = flags.GetString(
+      "workers", "",
+      "comma-separated worker listen specs; datasets outside --shard-map "
+      "are assigned round-robin over this list on first open (sticky)");
+  std::string shard_map_spec = flags.GetString(
+      "shard-map", "",
+      "explicit dataset pins, comma-separated dataset=host:port entries; "
+      "workers named only here join the worker list");
+  int health_interval_ms = static_cast<int>(flags.GetInt(
+      "health-interval-ms", 1000, "worker health-probe period"));
+  int health_timeout_ms = static_cast<int>(flags.GetInt(
+      "health-timeout-ms", 2000, "per-probe response timeout"));
+  int health_failures = static_cast<int>(flags.GetInt(
+      "health-failures", 3,
+      "consecutive probe failures before a worker is marked down (a "
+      "broken session connection probes immediately)"));
+  int dial_timeout_ms = static_cast<int>(flags.GetInt(
+      "dial-timeout-ms", 2000, "worker connect timeout"));
+  if (!flags.Finish()) return 0;
+
+  if (listen_spec.empty()) {
+    std::cerr << "error: --listen is required (try --help)\n";
+    return 1;
+  }
+  if (health_interval_ms < 1 || health_timeout_ms < 1 ||
+      health_failures < 1 || dial_timeout_ms < 1) {
+    std::cerr << "error: health/dial settings want positive counts\n";
+    return 1;
+  }
+  auto address = ParseListenSpec(listen_spec);
+  if (!address.ok()) return Fail(address.status());
+  auto shard_map = ShardMap::Parse(workers_spec, shard_map_spec);
+  if (!shard_map.ok()) return Fail(shard_map.status());
+
+  CoordOptions options;
+  options.health.interval_ms = health_interval_ms;
+  options.health.timeout_ms = health_timeout_ms;
+  options.health.failure_threshold = health_failures;
+  options.health.dial_timeout_ms = dial_timeout_ms;
+
+  const size_t num_workers = shard_map->workers().size();
+  std::vector<std::string> specs;
+  for (const WorkerSpec& worker : shard_map->workers()) {
+    specs.push_back(worker.spec);
+  }
+  const int pinned = shard_map->num_fixed_shards();
+  CoordServer server(std::move(*shard_map), options);
+  Status started = server.Start(*address);
+  if (!started.ok()) return Fail(started);
+  std::cerr << "rankhow_coord: listening on " << server.bound_spec() << " ("
+            << num_workers << " worker" << (num_workers == 1 ? "" : "s")
+            << ": " << Join(specs, ", ") << "; " << pinned
+            << " pinned shard" << (pinned == 1 ? "" : "s") << ")\n";
+  // Serve until the process is terminated; workers treat a dying
+  // coordinator's connections like vanished clients (abort-close).
+  for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+}
+
+}  // namespace
+}  // namespace rankhow
+
+int main(int argc, char** argv) { return rankhow::Run(argc, argv); }
